@@ -1,0 +1,111 @@
+//! Contest-style evaluation over an archive: every detector returns one
+//! location per dataset; accuracy is the fraction of locations falling
+//! within the UCR tolerance of the labeled anomaly (§2.3's binary
+//! evaluation, aggregated as "simple accuracy, which is intuitively
+//! interpretable").
+
+use tsad_core::Dataset;
+use tsad_detectors::{most_anomalous_point, Detector};
+use tsad_eval::ucr::ucr_correct;
+
+use crate::error::Result;
+
+/// Per-dataset outcome for one detector.
+#[derive(Debug, Clone)]
+pub struct ContestOutcome {
+    /// Dataset name.
+    pub dataset: String,
+    /// Predicted location (arg-max of the detector's test-region score).
+    pub predicted: usize,
+    /// Whether the prediction falls within the UCR tolerance.
+    pub correct: bool,
+}
+
+/// A detector's full contest run.
+#[derive(Debug, Clone)]
+pub struct ContestResult {
+    /// Detector name.
+    pub detector: &'static str,
+    /// Per-dataset outcomes.
+    pub outcomes: Vec<ContestOutcome>,
+}
+
+impl ContestResult {
+    /// Aggregate accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.correct).count() as f64 / self.outcomes.len() as f64
+    }
+}
+
+/// Runs one detector over a slice of datasets. Detectors that error on a
+/// dataset (e.g. a window longer than the series) score that dataset as
+/// incorrect with `predicted = 0` rather than aborting the contest.
+pub fn run_contest(detector: &dyn Detector, datasets: &[Dataset]) -> Result<ContestResult> {
+    let mut outcomes = Vec::with_capacity(datasets.len());
+    for d in datasets {
+        let outcome = match most_anomalous_point(detector, d.series(), d.train_len()) {
+            Ok(predicted) => {
+                let correct = ucr_correct(predicted, d.labels())?;
+                ContestOutcome { dataset: d.name().to_string(), predicted, correct }
+            }
+            Err(_) => ContestOutcome {
+                dataset: d.name().to_string(),
+                predicted: 0,
+                correct: false,
+            },
+        };
+        outcomes.push(outcome);
+    }
+    Ok(ContestResult { detector: detector.name(), outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::{Labels, Region, Result as CoreResult, TimeSeries};
+    use tsad_detectors::baselines::{GlobalZScore, RandomDetector};
+
+    fn spike_dataset(n: usize, at: usize) -> Dataset {
+        let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin() * 0.2).collect();
+        x[at] += 6.0;
+        let ts = TimeSeries::new(format!("spike-{at}"), x).unwrap();
+        let labels = Labels::single(n, Region::point(at)).unwrap();
+        Dataset::new(ts, labels, n / 4).unwrap()
+    }
+
+    #[test]
+    fn zscore_wins_random_loses_on_spikes() {
+        let datasets: Vec<Dataset> =
+            (0..8).map(|k| spike_dataset(4000, 2000 + k * 137)).collect();
+        let z = run_contest(&GlobalZScore, &datasets).unwrap();
+        assert_eq!(z.accuracy(), 1.0, "{:?}", z.outcomes);
+        let r = run_contest(&RandomDetector::new(3), &datasets).unwrap();
+        assert!(r.accuracy() < 0.5, "random should mostly miss: {}", r.accuracy());
+    }
+
+    #[test]
+    fn erroring_detector_scores_zero_not_abort() {
+        struct Broken;
+        impl Detector for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn score(&self, _ts: &TimeSeries, _train_len: usize) -> CoreResult<Vec<f64>> {
+                Err(tsad_core::CoreError::EmptySeries)
+            }
+        }
+        let datasets = vec![spike_dataset(2000, 1500)];
+        let res = run_contest(&Broken, &datasets).unwrap();
+        assert_eq!(res.accuracy(), 0.0);
+        assert_eq!(res.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn empty_contest_accuracy_zero() {
+        let res = run_contest(&GlobalZScore, &[]).unwrap();
+        assert_eq!(res.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Archive-level error type: core validation errors plus filesystem IO.
+
+use std::fmt;
+
+use tsad_core::CoreError;
+
+/// Errors from archive construction, serialization, and scoring.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// A validation error from `tsad-core`.
+    Core(CoreError),
+    /// A filesystem error, tagged with the path involved.
+    Io { path: std::path::PathBuf, source: std::io::Error },
+    /// A generated dataset failed an archive invariant.
+    InvalidDataset { name: String, reason: String },
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Core(e) => write!(f, "{e}"),
+            ArchiveError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            ArchiveError::InvalidDataset { name, reason } => {
+                write!(f, "dataset {name:?} violates archive invariant: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchiveError::Core(e) => Some(e),
+            ArchiveError::Io { source, .. } => Some(source),
+            ArchiveError::InvalidDataset { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for ArchiveError {
+    fn from(e: CoreError) -> Self {
+        ArchiveError::Core(e)
+    }
+}
+
+/// Result alias for archive operations.
+pub type Result<T> = std::result::Result<T, ArchiveError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let core: ArchiveError = CoreError::EmptySeries.into();
+        assert!(core.to_string().contains("non-empty"));
+        let io = ArchiveError::Io {
+            path: "/tmp/x".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(io.to_string().contains("/tmp/x"));
+        use std::error::Error;
+        assert!(io.source().is_some());
+        let inv = ArchiveError::InvalidDataset { name: "d".into(), reason: "two anomalies".into() };
+        assert!(inv.to_string().contains("two anomalies"));
+        assert!(inv.source().is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Text serialization of archive datasets (one value per line, as the UCR
+//! archive distributes them) and directory-level read/write.
+
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use tsad_core::error::CoreError;
+use tsad_core::{Dataset, Labels, TimeSeries};
+
+use crate::error::{ArchiveError, Result};
+use crate::name::UcrName;
+
+/// Serializes values one-per-line.
+pub fn write_values(path: &Path, values: &[f64]) -> std::io::Result<()> {
+    let file = fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for v in values {
+        writeln!(w, "{v}")?;
+    }
+    w.flush()
+}
+
+/// Reads one-value-per-line text data (blank lines ignored).
+pub fn read_values(path: &Path) -> std::io::Result<Vec<f64>> {
+    let file = fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let v: f64 = t.parse().map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad value {t:?}: {e}"))
+        })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Writes a dataset into `dir` under its UCR name; returns the path.
+///
+/// The dataset must satisfy the archive invariants (exactly one labeled
+/// region, after the train prefix) so the name can carry the labels.
+pub fn write_dataset(dir: &Path, index: Option<u32>, dataset: &Dataset) -> Result<PathBuf> {
+    let labels = dataset.labels();
+    if labels.region_count() != 1 {
+        return Err(ArchiveError::InvalidDataset {
+            name: dataset.name().to_string(),
+            reason: format!("{} labeled regions; the archive requires exactly one", labels.region_count()),
+        });
+    }
+    // A dataset named with the UCR convention already carries a mnemonic;
+    // reuse it rather than re-wrapping the whole name.
+    let base = match UcrName::parse(dataset.name()) {
+        Ok(parsed) => parsed.name,
+        Err(_) => dataset.name().to_string(),
+    };
+    let mnemonic: String = base
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '-' })
+        .collect();
+    let mnemonic = if mnemonic.is_empty() { "unnamed".to_string() } else { mnemonic };
+    let name = UcrName::new(index, mnemonic, dataset.train_len(), labels.regions()[0])?;
+    let path = dir.join(name.file_name());
+    write_values(&path, dataset.values())
+        .map_err(|source| ArchiveError::Io { path: path.clone(), source })?;
+    Ok(path)
+}
+
+/// Loads a dataset from a UCR-named file (labels come from the name).
+pub fn read_dataset(path: &Path) -> Result<Dataset> {
+    let file_name = path
+        .file_name()
+        .and_then(|s| s.to_str())
+        .ok_or_else(|| ArchiveError::from(CoreError::BadParameter {
+            name: "path",
+            value: f64::NAN,
+            expected: "a UTF-8 file name",
+        }))?;
+    let name = UcrName::parse(file_name)?;
+    let values =
+        read_values(path).map_err(|source| ArchiveError::Io { path: path.to_path_buf(), source })?;
+    let ts = TimeSeries::new(name.to_string(), values)?;
+    let labels = Labels::single(ts.len(), name.anomaly)?;
+    Ok(Dataset::new(ts, labels, name.train_len)?)
+}
+
+/// Loads every `.txt` UCR dataset in a directory, sorted by file name.
+pub fn read_archive_dir(dir: &Path) -> Result<Vec<Dataset>> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|source| ArchiveError::Io { path: dir.to_path_buf(), source })?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| read_dataset(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::Region;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsad-archive-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_dataset() -> Dataset {
+        let mut x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.1).sin()).collect();
+        x[400] += 4.0;
+        let ts = TimeSeries::new("demo", x).unwrap();
+        let labels = Labels::single(500, Region::new(400, 402).unwrap()).unwrap();
+        Dataset::new(ts, labels, 200).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_dataset() {
+        let dir = tmpdir("roundtrip");
+        let d = sample_dataset();
+        let path = write_dataset(&dir, Some(7), &d).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("007_UCR_Anomaly_demo_200_400_402"));
+        let loaded = read_dataset(&path).unwrap();
+        assert_eq!(loaded.len(), d.len());
+        assert_eq!(loaded.train_len(), 200);
+        assert_eq!(loaded.labels().regions(), d.labels().regions());
+        for (a, b) in loaded.values().iter().zip(d.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_rejects_multi_region() {
+        let dir = tmpdir("multi");
+        let ts = TimeSeries::new("m", vec![0.0; 100]).unwrap();
+        let labels = Labels::new(
+            100,
+            vec![Region::new(50, 52).unwrap(), Region::new(70, 72).unwrap()],
+        )
+        .unwrap();
+        let d = Dataset::new(ts, labels, 10).unwrap();
+        assert!(write_dataset(&dir, None, &d).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_archive_dir_sorts() {
+        let dir = tmpdir("dir");
+        let d = sample_dataset();
+        write_dataset(&dir, Some(2), &d).unwrap();
+        write_dataset(&dir, Some(1), &d).unwrap();
+        // non-txt files are ignored
+        fs::write(dir.join("README.md"), "ignore me").unwrap();
+        let all = read_archive_dir(&dir).unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all[0].name().starts_with("001_"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_values_skips_blank_lines_rejects_garbage() {
+        let dir = tmpdir("values");
+        let p = dir.join("v.txt");
+        fs::write(&p, "1.5\n\n2.5\n").unwrap();
+        assert_eq!(read_values(&p).unwrap(), vec![1.5, 2.5]);
+        fs::write(&p, "1.5\nnot-a-number\n").unwrap();
+        assert!(read_values(&p).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! # tsad-archive
+//!
+//! The UCR-style anomaly archive (§3 of the paper): single-anomaly
+//! datasets whose supervision lives in their file names, built from the
+//! generators in `tsad-synth`, validated against the archive invariants,
+//! and scored as a contest by location accuracy.
+//!
+//! * [`name`] — the `UCR_Anomaly_<name>_<train>_<begin>_<end>` codec;
+//! * [`io`] — one-value-per-line text serialization and directory loading;
+//! * [`validate`] — the §3 invariants (exactly one anomaly, anomaly-free
+//!   train prefix, test behavior modes covered by training data);
+//! * [`builder`] — a deterministic archive builder spanning five domains
+//!   and three difficulty levels, with provenance metadata;
+//! * [`manifest`] — on-disk provenance (`MANIFEST.tsv` + generated README);
+//! * [`contest`] — run detectors over an archive and report UCR accuracy.
+
+pub mod builder;
+pub mod contest;
+pub mod error;
+pub mod io;
+pub mod manifest;
+pub mod name;
+pub mod validate;
+
+pub use error::{ArchiveError, Result};

@@ -1,0 +1,157 @@
+//! The UCR anomaly archive file-name convention.
+//!
+//! Every dataset's supervision signal lives *in its file name*:
+//! `<index>_UCR_Anomaly_<name>_<train>_<begin>_<end>.txt` (the index prefix
+//! is optional), e.g. `004_UCR_Anomaly_BIDMC1_2500_5400_5600.txt` — the
+//! first 2 500 points are training data and the anomaly spans
+//! `[5400, 5600)`. This module parses and formats that convention.
+
+use std::fmt;
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::Region;
+
+/// Parsed UCR archive file name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UcrName {
+    /// Optional archive index (the `004` prefix).
+    pub index: Option<u32>,
+    /// Dataset mnemonic (e.g. `BIDMC1`, `park3m`).
+    pub name: String,
+    /// Length of the training prefix.
+    pub train_len: usize,
+    /// Anomaly region (half-open, matching [`Region`]).
+    pub anomaly: Region,
+}
+
+impl UcrName {
+    /// Creates a name, validating the ordering invariants
+    /// (`train < begin < end`).
+    pub fn new(
+        index: Option<u32>,
+        name: impl Into<String>,
+        train_len: usize,
+        anomaly: Region,
+    ) -> Result<Self> {
+        let name = name.into();
+        if name.is_empty() || name.contains('_') || name.contains('.') {
+            return Err(CoreError::BadParameter {
+                name: "name",
+                value: f64::NAN,
+                expected: "a non-empty mnemonic without '_' or '.'",
+            });
+        }
+        if anomaly.start < train_len {
+            return Err(CoreError::BadRegion {
+                start: anomaly.start,
+                end: anomaly.end,
+                len: train_len,
+            });
+        }
+        Ok(Self { index, name, train_len, anomaly })
+    }
+
+    /// Parses `"[<idx>_]UCR_Anomaly_<name>_<train>_<begin>_<end>[.txt]"`.
+    pub fn parse(s: &str) -> Result<Self> {
+        let stem = s.strip_suffix(".txt").unwrap_or(s);
+        let parts: Vec<&str> = stem.split('_').collect();
+        let bad = || CoreError::BadParameter {
+            name: "ucr_name",
+            value: f64::NAN,
+            expected: "[<idx>_]UCR_Anomaly_<name>_<train>_<begin>_<end>[.txt]",
+        };
+        // locate the "UCR" "Anomaly" marker
+        let marker = parts
+            .windows(2)
+            .position(|w| w[0] == "UCR" && w[1] == "Anomaly")
+            .ok_or_else(bad)?;
+        let index = if marker == 1 {
+            Some(parts[0].parse::<u32>().map_err(|_| bad())?)
+        } else if marker == 0 {
+            None
+        } else {
+            return Err(bad());
+        };
+        let rest = &parts[marker + 2..];
+        if rest.len() < 4 {
+            return Err(bad());
+        }
+        // the last three parts are the numbers; everything before is the name
+        let numbers = &rest[rest.len() - 3..];
+        let name = rest[..rest.len() - 3].join("-");
+        let train_len: usize = numbers[0].parse().map_err(|_| bad())?;
+        let begin: usize = numbers[1].parse().map_err(|_| bad())?;
+        let end: usize = numbers[2].parse().map_err(|_| bad())?;
+        // The real archive encodes inclusive end positions in some entries;
+        // we normalize to half-open and require begin < end.
+        let anomaly = Region::new(begin, end)?;
+        Self::new(index, name, train_len, anomaly)
+    }
+
+    /// The file name (with `.txt`).
+    pub fn file_name(&self) -> String {
+        format!("{self}.txt")
+    }
+}
+
+impl fmt::Display for UcrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(i) = self.index {
+            write!(f, "{i:03}_")?;
+        }
+        write!(
+            f,
+            "UCR_Anomaly_{}_{}_{}_{}",
+            self.name, self.train_len, self.anomaly.start, self.anomaly.end
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_index() {
+        let n = UcrName::new(Some(4), "BIDMC1", 2500, Region::new(5400, 5600).unwrap()).unwrap();
+        assert_eq!(n.to_string(), "004_UCR_Anomaly_BIDMC1_2500_5400_5600");
+        assert_eq!(n.file_name(), "004_UCR_Anomaly_BIDMC1_2500_5400_5600.txt");
+        let parsed = UcrName::parse(&n.file_name()).unwrap();
+        assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn roundtrip_without_index() {
+        let n = UcrName::new(None, "park3m", 60000, Region::new(72150, 72495).unwrap()).unwrap();
+        assert_eq!(n.to_string(), "UCR_Anomaly_park3m_60000_72150_72495");
+        assert_eq!(UcrName::parse(&n.to_string()).unwrap(), n);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "nonsense.txt",
+            "UCR_Anomaly_x_10.txt",
+            "UCR_Anomaly_x_a_b_c.txt",
+            "UCR_Anomaly_x_100_50_60.txt",  // anomaly before train end
+            "UCR_Anomaly_x_10_60_50.txt",   // inverted region
+            "extra_stuff_UCR_Anomaly_x_1_2_3.txt",
+        ] {
+            assert!(UcrName::parse(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn multi_part_names_are_joined() {
+        let parsed = UcrName::parse("UCR_Anomaly_resp-deep-breath_4000_5000_5100").unwrap();
+        assert_eq!(parsed.name, "resp-deep-breath");
+        assert_eq!(parsed.train_len, 4000);
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(UcrName::new(None, "with_underscore", 10, Region::new(20, 30).unwrap()).is_err());
+        assert!(UcrName::new(None, "", 10, Region::new(20, 30).unwrap()).is_err());
+        assert!(UcrName::new(None, "ok", 100, Region::new(20, 30).unwrap()).is_err());
+    }
+}

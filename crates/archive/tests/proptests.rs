@@ -1,0 +1,68 @@
+//! Property-based tests for the archive: name-codec round-trips and
+//! builder invariants across the seed space.
+
+use proptest::prelude::*;
+use tsad_archive::builder::{build_entry, Difficulty, Domain};
+use tsad_archive::name::UcrName;
+use tsad_core::Region;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn name_codec_roundtrips(
+        index in prop::option::of(0u32..1000),
+        train in 1usize..100_000,
+        width in 1usize..5_000,
+        offset in 1usize..50_000,
+    ) {
+        let begin = train + offset;
+        let anomaly = Region::new(begin, begin + width).unwrap();
+        let name = UcrName::new(index, "prop", train, anomaly).unwrap();
+        let file = name.file_name();
+        prop_assert!(file.ends_with(".txt"));
+        let parsed = UcrName::parse(&file).unwrap();
+        prop_assert_eq!(parsed, name);
+    }
+
+    #[test]
+    fn name_parse_never_panics(s in ".{0,60}") {
+        let _ = UcrName::parse(&s);
+    }
+
+    #[test]
+    fn name_rejects_anomaly_before_train(
+        train in 100usize..10_000,
+        begin in 1usize..99,
+    ) {
+        let anomaly = Region::new(begin, begin + 5).unwrap();
+        prop_assert!(UcrName::new(None, "x", train, anomaly).is_err());
+    }
+}
+
+proptest! {
+    // builder entries are expensive; keep the case count low
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn every_domain_builds_valid_entries(seed in 0u64..100_000) {
+        for domain in [
+            Domain::Physiology,
+            Domain::Gait,
+            Domain::Industry,
+            Domain::Space,
+            Domain::Robotics,
+            Domain::Entomology,
+            Domain::Respiration,
+        ] {
+            for difficulty in [Difficulty::Easy, Difficulty::Medium, Difficulty::Hard] {
+                let e = build_entry(seed, domain, difficulty);
+                prop_assert_eq!(e.dataset.labels().region_count(), 1, "{:?}", domain);
+                let r = e.dataset.labels().regions()[0];
+                prop_assert!(r.start >= e.dataset.train_len(), "{:?}", domain);
+                prop_assert!(e.dataset.values().iter().all(|v| v.is_finite()));
+                prop_assert_eq!(e.provenance.seed, seed);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Archive benches — dataset generation, validation, serialization, and
+//! the contest evaluation (§3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsad_archive::builder::{build_entry, Difficulty, Domain};
+use tsad_archive::io::{read_dataset, write_dataset};
+use tsad_archive::validate::{validate, ValidationConfig};
+use tsad_detectors::baselines::GlobalZScore;
+use tsad_detectors::Detector;
+
+fn bench_entry_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("archive/generate");
+    group.sample_size(10);
+    for domain in [Domain::Physiology, Domain::Gait, Domain::Industry, Domain::Space, Domain::Robotics]
+    {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{domain:?}")),
+            &domain,
+            |b, &domain| b.iter(|| black_box(build_entry(42, domain, Difficulty::Medium))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("archive/validate");
+    group.sample_size(10);
+    let entry = build_entry(42, Domain::Space, Difficulty::Medium);
+    let config = ValidationConfig::default();
+    group.bench_function("space-medium", |b| {
+        b.iter(|| black_box(validate(&entry.dataset, &config).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_io_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("archive/io");
+    group.sample_size(10);
+    let entry = build_entry(42, Domain::Robotics, Difficulty::Easy);
+    let dir = std::env::temp_dir().join("tsad-bench-io");
+    std::fs::create_dir_all(&dir).unwrap();
+    group.bench_function("write+read", |b| {
+        b.iter(|| {
+            let path = write_dataset(&dir, Some(1), &entry.dataset).unwrap();
+            black_box(read_dataset(&path).unwrap())
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_contest_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("archive/contest");
+    group.sample_size(10);
+    let datasets: Vec<tsad_core::Dataset> = (0..4)
+        .map(|k| build_entry(42 + k, Domain::Robotics, Difficulty::Medium).dataset)
+        .collect();
+    group.bench_function("zscore-over-4", |b| {
+        b.iter(|| {
+            black_box(
+                tsad_archive::contest::run_contest(&GlobalZScore as &dyn Detector, &datasets)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_entry_generation,
+    bench_validation,
+    bench_io_roundtrip,
+    bench_contest_scoring
+);
+criterion_main!(benches);

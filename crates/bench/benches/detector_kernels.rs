@@ -1,0 +1,99 @@
+//! Detector-kernel benches and the STOMP-vs-alternatives ablation.
+//!
+//! Covers the computational cores behind every figure: the matrix profile
+//! (STOMP vs STAMP vs brute force — the design choice DESIGN.md calls
+//! out), MASS vs the naive distance profile, HOT SAX, MERLIN/DRAG, and the
+//! Telemanom pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsad_core::dist::{distance_profile_naive, mass};
+use tsad_detectors::hotsax::{hotsax_discord, HotSaxConfig};
+use tsad_detectors::matrix_profile::{matrix_profile_naive, stamp, stomp};
+use tsad_detectors::merlin::merlin;
+use tsad_detectors::telemanom::Telemanom;
+use tsad_detectors::Detector;
+use tsad_core::TimeSeries;
+
+fn ecg(n: usize) -> Vec<f64> {
+    let config = tsad_synth::physio::PhysioConfig {
+        n,
+        pvc_beat: Some(n / 320),
+        ..Default::default()
+    };
+    tsad_synth::physio::physio(42, &config).ecg.into_values()
+}
+
+fn bench_matrix_profile_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/matrix-profile");
+    group.sample_size(10);
+    let x = ecg(2000);
+    let m = 160;
+    group.bench_function("stomp", |b| b.iter(|| black_box(stomp(&x, m).unwrap())));
+    group.bench_function("stamp", |b| b.iter(|| black_box(stamp(&x, m).unwrap())));
+    group.bench_function("naive", |b| b.iter(|| black_box(matrix_profile_naive(&x, m).unwrap())));
+    group.finish();
+}
+
+fn bench_stomp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/stomp-scaling");
+    group.sample_size(10);
+    for n in [1000usize, 2000, 4000, 8000] {
+        let x = ecg(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| black_box(stomp(x, 160).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mass_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/distance-profile");
+    let x = ecg(4000);
+    let q = &x[100..260];
+    group.bench_function("mass(fft)", |b| b.iter(|| black_box(mass(q, &x).unwrap())));
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(distance_profile_naive(q, &x).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_discord_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/discord-discovery");
+    group.sample_size(10);
+    let x = ecg(1500);
+    group.bench_function("stomp-discord", |b| {
+        b.iter(|| black_box(stomp(&x, 160).unwrap().discord().unwrap()))
+    });
+    group.bench_function("hotsax", |b| {
+        b.iter(|| black_box(hotsax_discord(&x, 160, &HotSaxConfig::default()).unwrap()))
+    });
+    group.bench_function("merlin(150..170)", |b| {
+        b.iter(|| black_box(merlin(&x, 150, 170).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_telemanom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/telemanom");
+    group.sample_size(10);
+    let x = ecg(6000);
+    let ts = TimeSeries::new("ecg", x).unwrap();
+    for order in [20usize, 80, 160] {
+        let det = Telemanom { order, ..Telemanom::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(order), &det, |b, det| {
+            b.iter(|| black_box(det.score(&ts, 2000).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matrix_profile_variants,
+    bench_stomp_scaling,
+    bench_mass_vs_naive,
+    bench_discord_algorithms,
+    bench_telemanom
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **Fig. 13 bench** — Telemanom vs Discord on the PVC ECG, including the
+//! noise-sweep ablation (σ ∈ {0, 0.5}) and the Telemanom smoothing-window
+//! ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsad_detectors::matrix_profile::DiscordDetector;
+use tsad_detectors::telemanom::Telemanom;
+use tsad_detectors::Detector;
+use tsad_synth::physio::{fig13_ecg_with, PhysioConfig};
+
+fn dataset(sigma: f64) -> tsad_core::Dataset {
+    let config = PhysioConfig { n: 4000, pvc_beat: Some(18), ..Default::default() };
+    fig13_ecg_with(42, sigma, &config, 1200)
+}
+
+fn bench_methods_under_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13/methods");
+    group.sample_size(10);
+    for sigma in [0.0, 0.5] {
+        let d = dataset(sigma);
+        let tele = Telemanom { order: 160, ..Telemanom::default() };
+        let discord = DiscordDetector::euclidean(160);
+        group.bench_with_input(
+            BenchmarkId::new("telemanom", format!("{sigma}")),
+            &d,
+            |b, d| b.iter(|| black_box(tele.score(d.series(), d.train_len()).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("discord", format!("{sigma}")),
+            &d,
+            |b, d| b.iter(|| black_box(discord.score(d.series(), d.train_len()).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_telemanom_smoothing_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13/telemanom-smoothing");
+    group.sample_size(10);
+    let d = dataset(0.25);
+    for alpha in [0.02f64, 0.05, 0.2] {
+        let tele = Telemanom { order: 160, smoothing_alpha: alpha, ..Telemanom::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &d, |b, d| {
+            b.iter(|| black_box(tele.score(d.series(), d.train_len()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods_under_noise, bench_telemanom_smoothing_ablation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! **Fig. 8 bench** — the NYC-taxi discord computation, with the
+//! window-length ablation (1-day vs 2-day windows) DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsad_bench::experiments::taxi;
+use tsad_detectors::matrix_profile::stomp;
+use tsad_synth::numenta::{nyc_taxi, TAXI_SAMPLES_PER_DAY};
+
+fn bench_taxi_discord_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/discord-window");
+    group.sample_size(10);
+    let data = nyc_taxi(42);
+    let x = data.dataset.values().to_vec();
+    for days in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{days}d")),
+            &days,
+            |b, &days| b.iter(|| black_box(stomp(&x, days * TAXI_SAMPLES_PER_DAY).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/end-to-end");
+    group.sample_size(10);
+    group.bench_function("generate+profile+peaks", |b| {
+        b.iter(|| black_box(taxi::fig8(42, 1).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_taxi_discord_windows, bench_full_fig8);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Scoring-function benches — the §2.3/§4.4 scoring-disagreement ablation
+//! (the same predictions scored under every protocol) plus the flaw
+//! analyzers used in Figs. 4–7, 9, 10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsad_core::{Labels, Region};
+use tsad_eval::flaws::{mislabel, position};
+use tsad_eval::nab::{nab_score, NabProfile};
+use tsad_eval::range::{range_f1, RangeParams};
+use tsad_eval::scoring::{best_f1_over_thresholds, point_adjust_f1, pointwise_f1, F1Protocol};
+use tsad_synth::yahoo;
+
+fn fixture() -> (Vec<bool>, Labels, Vec<f64>) {
+    let n = 10_000;
+    let labels = Labels::new(
+        n,
+        vec![
+            Region::new(2_000, 2_050).unwrap(),
+            Region::new(5_000, 5_010).unwrap(),
+            Region::new(8_000, 8_200).unwrap(),
+        ],
+    )
+    .unwrap();
+    let predicted: Vec<bool> = (0..n).map(|i| (2_010..2_030).contains(&i) || i == 5_005).collect();
+    let score: Vec<f64> = (0..n)
+        .map(|i| ((i * 2_654_435_761) % 1_000) as f64 / 1_000.0 + if labels.contains(i) { 0.5 } else { 0.0 })
+        .collect();
+    (predicted, labels, score)
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let (predicted, labels, score) = fixture();
+    let detections: Vec<usize> =
+        predicted.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i).collect();
+    let pred_labels = Labels::from_mask(&predicted);
+    let mut group = c.benchmark_group("scoring/protocols");
+    group.bench_function("pointwise-f1", |b| {
+        b.iter(|| black_box(pointwise_f1(&predicted, &labels).unwrap()))
+    });
+    group.bench_function("point-adjust-f1", |b| {
+        b.iter(|| black_box(point_adjust_f1(&predicted, &labels).unwrap()))
+    });
+    group.bench_function("nab-standard", |b| {
+        b.iter(|| black_box(nab_score(&detections, &labels, NabProfile::standard()).unwrap()))
+    });
+    group.bench_function("range-based-f1", |b| {
+        b.iter(|| black_box(range_f1(&pred_labels, &labels, RangeParams::default()).unwrap()))
+    });
+    group.bench_function("best-f1-sweep", |b| {
+        b.iter(|| {
+            black_box(best_f1_over_thresholds(&score, &labels, F1Protocol::Pointwise).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_flaw_analyzers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring/flaw-analyzers");
+    group.sample_size(10);
+    let (twin_ds, _, _) = yahoo::twin_dropout(42);
+    group.bench_function("twin-detector", |b| {
+        b.iter(|| black_box(mislabel::find_unlabeled_twins(&twin_ds, 0.15).unwrap()))
+    });
+    let datasets: Vec<tsad_core::Dataset> = (1..=30)
+        .map(|i| yahoo::generate(42, yahoo::Family::A1, i).dataset)
+        .collect();
+    group.bench_function("position-bias", |b| {
+        b.iter(|| black_box(position::analyze(datasets.iter(), 0.1).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_flaw_analyzers);
+criterion_main!(benches);

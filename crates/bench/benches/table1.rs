@@ -1,0 +1,54 @@
+//! **Table 1 bench** — cost of the brute-force one-liner search per Yahoo
+//! family, plus the per-equation ablation (how much of the search budget
+//! each equation family consumes).
+//!
+//! Run `cargo run --release -p tsad-bench --bin repro -- table1` for the
+//! full 367-series table itself; this bench times the kernel on a fixed
+//! subsample so regressions in the search are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsad_detectors::oneliner::{equation, search, Equation, SearchConfig};
+use tsad_synth::yahoo::{self, Family};
+
+fn bench_search_per_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/search");
+    group.sample_size(10);
+    for family in Family::all() {
+        let series: Vec<_> = (1..=4).map(|i| yahoo::generate(42, family, i)).collect();
+        let config = SearchConfig::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{family}x4")),
+            &series,
+            |b, series| {
+                b.iter(|| {
+                    for s in series {
+                        let _ = black_box(
+                            search(s.dataset.values(), s.dataset.labels(), &config).unwrap(),
+                        );
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_equation_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/equation-eval");
+    let series = yahoo::generate(42, Family::A3, 1);
+    let x = series.dataset.values().to_vec();
+    for (name, eq) in [
+        ("eq3", Equation::Eq3),
+        ("eq4", Equation::Eq4),
+        ("eq5", Equation::Eq5),
+        ("eq6", Equation::Eq6),
+    ] {
+        let ol = equation(eq, 21, 3.0, 0.5);
+        group.bench_function(name, |b| b.iter(|| black_box(ol.mask(&x).unwrap())));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_per_family, bench_equation_evaluation);
+criterion_main!(benches);

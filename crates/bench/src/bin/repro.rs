@@ -1,0 +1,158 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--seed N] <experiment>...
+//! repro all                # everything (table1 takes ~1 min in release)
+//! repro table1 fig8 fig13  # a subset
+//! ```
+
+use std::process::ExitCode;
+
+use tsad_bench::experiments::*;
+use tsad_bench::DEFAULT_SEED;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "density", "summary", "contest", "invariances", "protocols", "gallery", "triviality", "audit", "write-archive",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--seed N] <experiment>...\n       repro all\nexperiments: {}",
+        EXPERIMENTS.join(", ")
+    )
+}
+
+fn run_one(name: &str, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    println!("════════ {name} (seed {seed}) ════════");
+    match name {
+        "table1" => {
+            let t = table1::run(seed, None)?;
+            println!("Table 1 — brute-force one-liner results on the simulated Yahoo benchmark");
+            println!("(paper: A1 65.7%, A2 97.0%, A3 98.0%, A4 77.0%, total 86.1%)");
+            println!("{}", t.render());
+        }
+        "fig1" => print!("{}", oneliners::render_fig1(&oneliners::fig1(seed)?)),
+        "fig2" => print!("{}", oneliners::render_fig2(&oneliners::fig2(seed)?)),
+        "fig3" => print!("{}", oneliners::render_fig3(&oneliners::fig3(seed)?)),
+        "fig4" => {
+            let f = mislabels::fig4(seed)?;
+            println!(
+                "Fig. 4 — constant-region mislabel: value at A ({}) = {:.4}, at B ({}) = {:.4}",
+                f.a, f.value_a, f.b, f.value_b
+            );
+            println!(
+                "  A labeled: {}, B labeled: {} — yet nothing changed from A to B",
+                f.dataset.labels().contains(f.a),
+                f.dataset.labels().contains(f.b)
+            );
+            println!("  twin analyzer surfaces B as a suspected false negative: {}", f.twin_found);
+        }
+        "fig5" => {
+            let f = mislabels::fig5(seed)?;
+            println!("Fig. 5 — twin dropouts: C at {} (labeled), D at {} (unlabeled)", f.c, f.d);
+            match f.twin_distance {
+                Some(d) => println!("  analyzer finds D with z-norm distance {d:.4} to C"),
+                None => println!("  analyzer FAILED to find D"),
+            }
+        }
+        "fig6" => print!("{}", mislabels::render_fig6(&mislabels::fig6(seed)?)),
+        "fig7" => {
+            let f = mislabels::fig7(seed)?;
+            println!("Fig. 7 — over-precise toggling labels:");
+            println!(
+                "  given labels: {} regions toggling after the change point",
+                f.dataset.labels().region_count()
+            );
+            println!(
+                "  oracle (whole changed suffix) F1 vs toggling labels: {:.3}; vs proposed contiguous label: {:.3}",
+                f.oracle_vs_toggling, f.oracle_vs_proposed
+            );
+        }
+        "fig8" => print!("{}", taxi::render(&taxi::fig8(seed, 1)?)),
+        "fig9" => {
+            let f = mislabels::fig9(seed)?;
+            println!(
+                "Fig. 9 — frozen telemetry: {} frozen regions at {:?}, 1 labeled",
+                f.frozen.len(),
+                f.frozen.iter().map(|r| r.start).collect::<Vec<_>>()
+            );
+            println!(
+                "  twin analyzer surfaces {} of 2 unlabeled freezes as suspected false negatives",
+                f.unlabeled_freezes_found
+            );
+        }
+        "fig10" => print!("{}", position::render(&position::fig10(seed, None)?)),
+        "fig11" | "fig12" => {
+            let f11 = ucr_figs::fig11(seed)?;
+            let f12 = ucr_figs::fig12(seed)?;
+            print!("{}", ucr_figs::render(&f11, &f12));
+        }
+        "fig13" => {
+            let f = fig13::run(seed, &[0.0, 0.25, 0.5, 0.75, 1.0])?;
+            print!("{}", fig13::render(&f));
+        }
+        "density" => print!("{}", density::render(&density::run(seed)?)),
+        "summary" => print!("{}", summary::render(&summary::run(seed, 25)?)),
+        "contest" => print!("{}", contest::render(&contest::run(seed, 30)?)),
+        "invariances" => print!("{}", invariances::render(&invariances::run(seed, 12_000)?)),
+        "protocols" => print!("{}", protocols::render(&protocols::run(seed)?)),
+        "gallery" => print!("{}", gallery::render(&gallery::run(seed)?)),
+        "triviality" => print!("{}", triviality_all::render(&triviality_all::run(seed, 38)?)),
+        "audit" => print!("{}", audit_exp::render(&audit_exp::run(seed, 10, 21)?)),
+        "write-archive" => {
+            let dir = std::env::temp_dir().join("tsad-ucr-archive");
+            let rows = tsad_archive::manifest::build_and_write(&dir, seed, 30)?;
+            println!(
+                "wrote {} datasets + MANIFEST.tsv + README.md to {}",
+                rows.len(),
+                dir.display()
+            );
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}\n{}", usage());
+            return Err("unknown experiment".into());
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = DEFAULT_SEED;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if pos + 1 >= args.len() {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+        match args[pos + 1].parse() {
+            Ok(s) => seed = s,
+            Err(e) => {
+                eprintln!("bad seed: {e}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        args.drain(pos..=pos + 1);
+    }
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let list: Vec<String> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS
+            .iter()
+            .filter(|e| **e != "fig12" && **e != "write-archive")
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+    for name in &list {
+        if let Err(e) = run_one(name, seed) {
+            eprintln!("experiment {name} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

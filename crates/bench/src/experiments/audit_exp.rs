@@ -1,0 +1,100 @@
+//! **§2.6 verdict** — the one-call benchmark audit over a mixed simulated
+//! benchmark vs. a slice of the UCR-style archive: the flawed benchmark
+//! fails the audit, the archive passes.
+
+use tsad_archive::builder::build_archive;
+use tsad_core::{Dataset, Result};
+use tsad_eval::flaws::audit::{audit, AuditConfig, BenchmarkAudit};
+use tsad_eval::report::{fmt, TextTable};
+use tsad_synth::yahoo::{self, Family};
+
+/// The two audits side by side.
+#[derive(Debug, Clone)]
+pub struct AuditStudy {
+    /// Audit of the simulated Yahoo benchmark slice.
+    pub yahoo: BenchmarkAudit,
+    /// Audit of the archive slice.
+    pub archive: BenchmarkAudit,
+}
+
+/// Runs both audits. `per_family` Yahoo series per family, `archive_count`
+/// archive entries.
+pub fn run(seed: u64, per_family: usize, archive_count: usize) -> Result<AuditStudy> {
+    let config = AuditConfig::default();
+    let mut yahoo_sets: Vec<Dataset> = Vec::new();
+    for family in Family::all() {
+        for index in 1..=per_family.min(family.size()) {
+            yahoo_sets.push(yahoo::generate(seed, family, index).dataset);
+        }
+    }
+    let yahoo_audit = audit(yahoo_sets.iter(), &config)?;
+
+    let entries = build_archive(seed, archive_count).map_err(|e| match e {
+        tsad_archive::ArchiveError::Core(c) => c,
+        // IO/validation failures cannot occur for an in-memory build; map
+        // them to a parameter error rather than panicking
+        _ => tsad_core::CoreError::BadParameter {
+            name: "archive_count",
+            value: archive_count as f64,
+            expected: "a buildable archive",
+        },
+    })?;
+    let archive_sets: Vec<Dataset> = entries.into_iter().map(|e| e.dataset).collect();
+    let archive_audit = audit(archive_sets.iter(), &config)?;
+    Ok(AuditStudy { yahoo: yahoo_audit, archive: archive_audit })
+}
+
+/// Renders the side-by-side verdict.
+pub fn render(study: &AuditStudy) -> String {
+    let mut t = TextTable::new(vec![
+        "collection",
+        "trivial",
+        "any flaw",
+        "position bias p",
+        "naive-last hits",
+        "suitable for comparison?",
+    ]);
+    for (name, a) in [("simulated Yahoo", &study.yahoo), ("UCR-style archive", &study.archive)] {
+        t.row(vec![
+            name.to_string(),
+            fmt(a.trivial_fraction()),
+            fmt(a.flawed_fraction()),
+            format!("{:.1e}", a.position_bias.p_value),
+            fmt(a.position_bias.naive_last_hit_rate),
+            if a.suitable_for_comparison(0.01) { "yes".to_string() } else { "NO".to_string() },
+        ]);
+    }
+    format!("§2.6 — the audit verdict, flawed benchmark vs. the archive:\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yahoo_fails_archive_passes() {
+        let s = run(42, 8, 10).unwrap();
+        assert!(!s.yahoo.suitable_for_comparison(0.01), "{:?}", s.yahoo.position_bias);
+        assert!(
+            s.yahoo.trivial_fraction() > 0.5,
+            "{}",
+            s.yahoo.trivial_fraction()
+        );
+        assert!(
+            s.archive.trivial_fraction() < s.yahoo.trivial_fraction(),
+            "archive {} vs yahoo {}",
+            s.archive.trivial_fraction(),
+            s.yahoo.trivial_fraction()
+        );
+        // the archive gives the naive end detector nothing, unlike Yahoo
+        assert!(
+            s.archive.position_bias.naive_last_hit_rate
+                < s.yahoo.position_bias.naive_last_hit_rate,
+            "archive {:?} vs yahoo {:?}",
+            s.archive.position_bias.naive_last_hit_rate,
+            s.yahoo.position_bias.naive_last_hit_rate
+        );
+        let text = render(&s);
+        assert!(text.contains("suitable for comparison"));
+    }
+}

@@ -1,0 +1,96 @@
+//! **§2.3** — unrealistic-density statistics across the simulated
+//! benchmark families.
+
+use tsad_core::Result;
+use tsad_eval::flaws::density::{analyze, DensityCriteria, DensityReport};
+use tsad_eval::report::{fmt, TextTable};
+use tsad_synth::{nasa, numenta, yahoo};
+
+/// One exhibit in the density study.
+#[derive(Debug, Clone)]
+pub struct DensityExhibit {
+    /// What this exemplar models.
+    pub label: String,
+    /// The measured report.
+    pub report: DensityReport,
+    /// Whether it trips the default criteria.
+    pub flawed: bool,
+}
+
+/// The density study: the three §2.3 flavors plus healthy references.
+#[derive(Debug, Clone)]
+pub struct DensityStudy {
+    /// All exhibits.
+    pub exhibits: Vec<DensityExhibit>,
+}
+
+/// Runs the density study.
+pub fn run(seed: u64) -> Result<DensityStudy> {
+    let criteria = DensityCriteria::default();
+    let mut exhibits = Vec::new();
+    let mut push = |label: &str, dataset: &tsad_core::Dataset| {
+        let report = analyze(dataset);
+        let flawed = report.is_flawed(&criteria);
+        exhibits.push(DensityExhibit { label: label.to_string(), report, flawed });
+    };
+    // flavor 1: >half the test data one contiguous anomaly (NASA D-2/M-1/M-2)
+    push("NASA D-2-like (60% contiguous)", &nasa::dense_anomaly(seed, 0.6));
+    push("NASA M-1-like (40% contiguous)", &nasa::dense_anomaly(seed + 1, 0.4));
+    // flavor 2: many separate anomalies (SMD machine-2-5: 21)
+    push("SMD machine-2-5-like (21 regions)", &nasa::crowded_anomalies(seed, 21));
+    // flavor 3: anomalies sandwiching a single normal point (Yahoo A1-Real1)
+    push("Yahoo A1-Real1-like (1-point gap)", &yahoo::a1_real1(seed));
+    // healthy references
+    push("Numenta art (single region)", &numenta::art_spike_density(seed));
+    let healthy = yahoo::generate(seed, yahoo::Family::A3, 1).dataset;
+    push("Yahoo A3 exemplar", &healthy);
+    Ok(DensityStudy { exhibits })
+}
+
+/// Renders the study.
+pub fn render(study: &DensityStudy) -> String {
+    let mut t = TextTable::new(vec![
+        "exemplar",
+        "test density",
+        "#regions",
+        "longest/test",
+        "min gap",
+        "flawed?",
+    ]);
+    for e in &study.exhibits {
+        t.row(vec![
+            e.label.clone(),
+            fmt(e.report.test_density),
+            e.report.region_count.to_string(),
+            fmt(e.report.longest_region_fraction),
+            e.report.min_gap.map_or("-".to_string(), |g| g.to_string()),
+            if e.flawed { "YES".to_string() } else { "no".to_string() },
+        ]);
+    }
+    format!("§2.3 — anomaly-density statistics:\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flawed_exemplars_are_flagged_healthy_are_not() {
+        let s = run(42).unwrap();
+        let by_label = |needle: &str| {
+            s.exhibits
+                .iter()
+                .find(|e| e.label.contains(needle))
+                .unwrap_or_else(|| panic!("{needle} missing"))
+        };
+        assert!(by_label("D-2").flawed);
+        assert!(by_label("machine-2-5").flawed);
+        assert!(by_label("1-point gap").flawed);
+        assert!(!by_label("art").flawed);
+        assert!(by_label("D-2").report.test_density > 0.5);
+        assert_eq!(by_label("machine-2-5").report.region_count, 21);
+        assert_eq!(by_label("1-point gap").report.min_gap, Some(1));
+        let text = render(&s);
+        assert!(text.contains("YES") && text.contains("no"));
+    }
+}

@@ -1,0 +1,160 @@
+//! **Figure 13** — invariance demonstration: Telemanom vs Discord on a
+//! one-minute ECG with a single PVC, clean and with added Gaussian noise
+//! (§4.2).
+//!
+//! Paper shape to reproduce: on clean data both methods peak at the
+//! anomaly (Discord with more "discrimination"); with significant noise,
+//! Discord still peaks in the right place while Telemanom peaks in the
+//! wrong location.
+
+use tsad_core::{Dataset, Result};
+use tsad_detectors::matrix_profile::DiscordDetector;
+use tsad_detectors::telemanom::Telemanom;
+use tsad_detectors::threshold::discrimination_ratio;
+use tsad_detectors::Detector;
+use tsad_eval::report::{fmt, sparkline, TextTable};
+use tsad_eval::ucr::ucr_correct;
+use tsad_synth::physio::{fig13_ecg_with, PhysioConfig};
+
+/// One method's outcome on one noise level.
+#[derive(Debug, Clone)]
+pub struct MethodOutcome {
+    /// Detector name.
+    pub method: &'static str,
+    /// Arg-max of the score over the test region.
+    pub peak: usize,
+    /// Whether the peak is within the UCR tolerance of the PVC.
+    pub correct: bool,
+    /// Discrimination ratio (peak / mean of the score).
+    pub discrimination: f64,
+    /// The score series (for plotting).
+    pub score: Vec<f64>,
+}
+
+/// Fig. 13 at one noise level.
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    /// Gaussian noise sigma added to the ECG.
+    pub noise_sigma: f64,
+    /// Telemanom outcome.
+    pub telemanom: MethodOutcome,
+    /// Discord outcome.
+    pub discord: MethodOutcome,
+}
+
+/// The full experiment: clean + noisy (and optionally a sweep).
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// One row per noise level.
+    pub rows: Vec<Fig13Row>,
+}
+
+fn run_method(
+    detector: &dyn Detector,
+    name: &'static str,
+    dataset: &Dataset,
+) -> Result<MethodOutcome> {
+    let score = detector.score(dataset.series(), dataset.train_len())?;
+    let test = &score[dataset.train_len()..];
+    let rel_peak = tsad_core::stats::argmax(test)?;
+    let peak = dataset.train_len() + rel_peak;
+    let correct = ucr_correct(peak, dataset.labels())?;
+    let discrimination = discrimination_ratio(test)?;
+    Ok(MethodOutcome { method: name, peak, correct, discrimination, score })
+}
+
+/// Runs Fig. 13 at the given noise levels (the paper uses clean + one
+/// noisy level; the ablation sweeps more) at the full 12 000-sample,
+/// one-minute recording length.
+pub fn run(seed: u64, noise_levels: &[f64]) -> Result<Fig13> {
+    run_sized(seed, noise_levels, 12_000, 55, 3000)
+}
+
+/// [`run`] with explicit recording length / PVC beat / train prefix —
+/// debug-mode tests use a shorter recording (STOMP is quadratic).
+pub fn run_sized(
+    seed: u64,
+    noise_levels: &[f64],
+    n: usize,
+    pvc_beat: usize,
+    train_len: usize,
+) -> Result<Fig13> {
+    // The forecaster gets one full beat of history so it can model the
+    // periodic ECG (the original LSTM sees a comparable input window). The
+    // discord uses the raw-Euclidean metric of Yankov et al.'s disk-aware
+    // discords — on a spiky ECG, z-normalization would let flat diastolic
+    // windows (pure noise after normalization) dominate the profile.
+    let telemanom = Telemanom { order: 160, ..Telemanom::default() };
+    let discord = DiscordDetector::euclidean(160);
+    let config = PhysioConfig { n, pvc_beat: Some(pvc_beat), ..PhysioConfig::default() };
+    let mut rows = Vec::with_capacity(noise_levels.len());
+    for &sigma in noise_levels {
+        let dataset = fig13_ecg_with(seed, sigma, &config, train_len);
+        let t = run_method(&telemanom, "Telemanom (AR+NDT)", &dataset)?;
+        let d = run_method(&discord, "Discord", &dataset)?;
+        rows.push(Fig13Row { noise_sigma: sigma, telemanom: t, discord: d });
+    }
+    Ok(Fig13 { rows })
+}
+
+/// Renders the score traces and the outcome table.
+pub fn render(fig: &Fig13) -> String {
+    let mut out = String::from(
+        "Fig. 13 — Telemanom vs Discord on 1-minute ECG with one PVC:\n",
+    );
+    let mut t = TextTable::new(vec![
+        "noise σ",
+        "method",
+        "peak at",
+        "correct?",
+        "discrimination",
+    ]);
+    for row in &fig.rows {
+        for m in [&row.telemanom, &row.discord] {
+            t.row(vec![
+                fmt(row.noise_sigma),
+                m.method.to_string(),
+                m.peak.to_string(),
+                if m.correct { "yes".to_string() } else { "NO".to_string() },
+                fmt(m.discrimination),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    if let Some(first) = fig.rows.first() {
+        out.push_str("clean scores —\n  telemanom: ");
+        out.push_str(&sparkline(&first.telemanom.score, 100));
+        out.push_str("\n  discord:   ");
+        out.push_str(&sparkline(&first.discord.score, 100));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_both_correct_noisy_discord_survives() {
+        // STOMP is quadratic: tests use a 5000-sample recording (the
+        // `repro` binary runs the full-size figure).
+        let f = run_sized(42, &[0.0, 0.5], 5000, 22, 1500).unwrap();
+        let clean = &f.rows[0];
+        assert!(clean.telemanom.correct, "clean Telemanom peak {}", clean.telemanom.peak);
+        assert!(clean.discord.correct, "clean Discord peak {}", clean.discord.peak);
+        let noisy = &f.rows[1];
+        assert!(noisy.discord.correct, "noisy Discord peak {}", noisy.discord.peak);
+        assert!(
+            !noisy.telemanom.correct,
+            "noise must break the forecaster's peak (got peak {})",
+            noisy.telemanom.peak
+        );
+        // both methods lose discrimination under noise; the discord's peak
+        // nevertheless stays in the right place (the paper's reading)
+        assert!(noisy.discord.discrimination < clean.discord.discrimination);
+        assert!(noisy.telemanom.discrimination < clean.telemanom.discrimination);
+        let text = render(&f);
+        assert!(text.contains("discrimination"));
+    }
+}

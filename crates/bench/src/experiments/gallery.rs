@@ -1,0 +1,93 @@
+//! **Supporting-page gallery** — the paper's web supplement \[17\] shows "a
+//! gallery of dozens of additional examples from Yahoo, Numenta, NASA and
+//! OMNI that yield to one line solutions". This experiment regenerates
+//! that gallery in ASCII: one exemplar per family with its solving
+//! one-liner printed beneath the plot.
+
+use tsad_core::{Dataset, Result};
+use tsad_detectors::oneliner::{search, SearchConfig};
+use tsad_eval::report::ascii_plot;
+use tsad_synth::{nasa, numenta, omni, yahoo};
+
+/// One gallery entry.
+#[derive(Debug, Clone)]
+pub struct GalleryEntry {
+    /// Which benchmark it simulates.
+    pub benchmark: &'static str,
+    /// The dataset.
+    pub dataset: Dataset,
+    /// The solving one-liner, rendered; `None` = not trivially solvable.
+    pub one_liner: Option<String>,
+}
+
+/// Builds the gallery: one representative per benchmark family.
+pub fn run(seed: u64) -> Result<Vec<GalleryEntry>> {
+    let config = SearchConfig::default();
+    let mut entries = Vec::new();
+
+    let mut push = |benchmark: &'static str, dataset: Dataset| -> Result<()> {
+        let one_liner =
+            search(dataset.values(), dataset.labels(), &config)?.map(|s| s.one_liner.to_string());
+        entries.push(GalleryEntry { benchmark, dataset, one_liner });
+        Ok(())
+    };
+
+    push("Yahoo A1", yahoo::generate(seed, yahoo::Family::A1, 2).dataset)?;
+    push("Yahoo A2", yahoo::generate(seed, yahoo::Family::A2, 50).dataset)?;
+    push("Yahoo A3", yahoo::generate(seed, yahoo::Family::A3, 10).dataset)?;
+    push("Yahoo A4", yahoo::generate(seed, yahoo::Family::A4, 60).dataset)?;
+    push("Numenta artificial", numenta::art_daily_jumpsup(seed))?;
+    push("Numenta spike density", numenta::art_spike_density(seed))?;
+    push("NASA magnitude jump", nasa::magnitude_jump(seed))?;
+    // OMNI dim 19 (Fig. 1's channel)
+    let machine = omni::smd_machine(seed);
+    let dim19 = machine.series.dimension(omni::FIG1_DIM)?;
+    let d19 = Dataset::unsupervised(dim19, machine.labels.clone())?;
+    push("OMNI/SMD dim 19", d19)?;
+    // and one deliberately hard exemplar so the gallery is honest
+    push("Yahoo A1 (hard tail)", yahoo::generate(seed, yahoo::Family::A1, 60).dataset)?;
+    Ok(entries)
+}
+
+/// Renders the gallery.
+pub fn render(entries: &[GalleryEntry]) -> String {
+    let mut out = String::from("Gallery — one exemplar per benchmark, with its one-liner:\n\n");
+    for e in entries {
+        out.push_str(&format!("── {} ({}) ──\n", e.benchmark, e.dataset.name()));
+        out.push_str(&ascii_plot(
+            e.dataset.values(),
+            Some(&e.dataset.labels().to_mask()),
+            100,
+            7,
+        ));
+        match &e.one_liner {
+            Some(ol) => out.push_str(&format!("   solved by: {ol}\n\n")),
+            None => out.push_str("   NOT solvable by the one-liner family\n\n"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallery_solves_the_easy_families_not_the_hard_tail() {
+        let g = run(42).unwrap();
+        assert_eq!(g.len(), 9);
+        let by_name = |needle: &str| {
+            g.iter().find(|e| e.benchmark.contains(needle)).expect("present")
+        };
+        for easy in ["Yahoo A2", "Yahoo A3", "NASA"] {
+            assert!(
+                by_name(easy).one_liner.is_some(),
+                "{easy} should be trivially solvable"
+            );
+        }
+        assert!(by_name("hard tail").one_liner.is_none());
+        let text = render(&g);
+        assert!(text.contains("solved by:"));
+        assert!(text.contains("NOT solvable"));
+    }
+}

@@ -1,0 +1,100 @@
+//! **§4.2** — the invariance table: which transformations each detector's
+//! anomaly peak survives, probed on the Fig. 13 ECG.
+
+use tsad_core::Result;
+use tsad_detectors::baselines::{GlobalZScore, MovingAvgResidual};
+use tsad_detectors::matrix_profile::DiscordDetector;
+use tsad_detectors::telemanom::Telemanom;
+use tsad_detectors::Detector;
+use tsad_eval::invariance::{probe_invariances, standard_transforms, Transform};
+use tsad_eval::report::TextTable;
+use tsad_synth::physio::{fig13_ecg_with, PhysioConfig};
+
+/// One detector's row: per-transform invariance verdicts.
+#[derive(Debug, Clone)]
+pub struct InvarianceRow {
+    /// Detector name.
+    pub detector: &'static str,
+    /// `(transform, survived)` pairs; `None` if the detector failed the
+    /// untransformed baseline.
+    pub outcomes: Option<Vec<(Transform, bool)>>,
+}
+
+/// The invariance study.
+#[derive(Debug, Clone)]
+pub struct InvarianceStudy {
+    /// The probed transforms, in column order.
+    pub transforms: Vec<Transform>,
+    /// One row per detector.
+    pub rows: Vec<InvarianceRow>,
+}
+
+/// Runs the study on a `n`-sample ECG (use ~4000 for debug-mode tests,
+/// 12 000 for the full figure).
+pub fn run(seed: u64, n: usize) -> Result<InvarianceStudy> {
+    let config = PhysioConfig { n, pvc_beat: Some(n / 320), ..PhysioConfig::default() };
+    let dataset = fig13_ecg_with(seed, 0.0, &config, n / 4);
+    let transforms = standard_transforms();
+    let detectors: Vec<(&'static str, Box<dyn Detector>)> = vec![
+        ("discord (euclidean)", Box::new(DiscordDetector::euclidean(160))),
+        ("discord (z-normalized)", Box::new(DiscordDetector::new(160))),
+        ("telemanom (AR+NDT)", Box::new(Telemanom { order: 160, ..Telemanom::default() })),
+        ("global z-score", Box::new(GlobalZScore)),
+        ("moving-average residual", Box::new(MovingAvgResidual::new(21))),
+    ];
+    let mut rows = Vec::new();
+    for (name, det) in &detectors {
+        let outcomes = match probe_invariances(det.as_ref(), &dataset, &transforms, seed) {
+            Ok(o) => Some(o.into_iter().map(|x| (x.transform, x.invariant)).collect()),
+            Err(_) => None, // failed the untransformed baseline
+        };
+        rows.push(InvarianceRow { detector: name, outcomes });
+    }
+    Ok(InvarianceStudy { transforms, rows })
+}
+
+/// Renders the study as the suggested "communicate invariances" table.
+pub fn render(study: &InvarianceStudy) -> String {
+    let mut header = vec!["detector".to_string()];
+    header.extend(study.transforms.iter().map(|t| t.to_string()));
+    let mut t = TextTable::new(header);
+    for row in &study.rows {
+        let mut cells = vec![row.detector.to_string()];
+        match &row.outcomes {
+            Some(outcomes) => {
+                cells.extend(outcomes.iter().map(|(_, ok)| {
+                    if *ok { "invariant".to_string() } else { "BREAKS".to_string() }
+                }));
+            }
+            None => cells.extend(
+                std::iter::repeat_n("(fails clean)".to_string(), study.transforms.len()),
+            ),
+        }
+        t.row(cells);
+    }
+    format!("§4.2 — invariance table on the PVC ECG:\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariance_table_has_expected_shape() {
+        let s = run(42, 4000).unwrap();
+        assert_eq!(s.rows.len(), 5);
+        let by_name = |needle: &str| {
+            s.rows.iter().find(|r| r.detector.contains(needle)).expect("present")
+        };
+        // the z-normalized discord is amplitude/offset invariant by design
+        let zn = by_name("z-normalized").outcomes.as_ref().expect("baseline holds");
+        assert!(zn[0].1, "amplitude scaling");
+        assert!(zn[1].1, "offset");
+        // the euclidean discord survives offset (distance unchanged) and
+        // amplitude scaling (all distances scale together)
+        let eu = by_name("euclidean").outcomes.as_ref().expect("baseline holds");
+        assert!(eu[0].1 && eu[1].1);
+        let text = render(&s);
+        assert!(text.contains("invariant"), "{text}");
+    }
+}

@@ -1,0 +1,187 @@
+//! **§2.3 + §4.4** — scoring-protocol disagreement: the *same* predictions
+//! on the *same* dataset, scored under every protocol the literature uses.
+//!
+//! The paper notes that the choice of scoring function alone "greatly
+//! confuses the task of scoring and comparing algorithms"; this experiment
+//! quantifies it. Two detectors whose ranking *flips* depending on the
+//! protocol are exhibited.
+
+use tsad_core::{Labels, Result};
+use tsad_detectors::Detector;
+use tsad_eval::auc::roc_auc;
+use tsad_eval::nab::{nab_score, NabProfile};
+use tsad_eval::range::{range_f1, RangeParams};
+use tsad_eval::report::{fmt, TextTable};
+use tsad_eval::scoring::{best_f1_over_thresholds, F1Protocol};
+use tsad_synth::nasa;
+
+/// Scores the dataset and thresholds at the 98th percentile (the simple
+/// deployment rule a practitioner would use), returning the raw score, the
+/// binary mask, and the fired indices.
+fn score_and_threshold(
+    detector: &dyn Detector,
+    dataset: &tsad_core::Dataset,
+) -> Result<(Vec<f64>, Vec<bool>, Vec<usize>)> {
+    let score = detector.score(dataset.series(), dataset.train_len())?;
+    let mask = tsad_detectors::threshold::quantile_mask(&score, 0.98)?;
+    let detections: Vec<usize> =
+        mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+    Ok((score, mask, detections))
+}
+
+/// One detector's scores under every protocol.
+#[derive(Debug, Clone)]
+pub struct ProtocolRow {
+    /// Detector name.
+    pub detector: &'static str,
+    /// Best point-wise F1.
+    pub pointwise: f64,
+    /// Best point-adjust F1.
+    pub point_adjust: f64,
+    /// Best tolerance(5) F1.
+    pub tolerance: f64,
+    /// Range-based F1 at the point-wise-optimal threshold.
+    pub range_based: f64,
+    /// NAB standard score of the thresholded detections.
+    pub nab: f64,
+    /// ROC-AUC of the raw score.
+    pub roc_auc: f64,
+}
+
+/// The §4.4 study.
+#[derive(Debug, Clone)]
+pub struct ProtocolStudy {
+    /// One row per detector.
+    pub rows: Vec<ProtocolRow>,
+    /// Name of the dataset used.
+    pub dataset: String,
+}
+
+fn evaluate(
+    detector: &dyn Detector,
+    name: &'static str,
+    dataset: &tsad_core::Dataset,
+) -> Result<ProtocolRow> {
+    let (score, mask, detections) = score_and_threshold(detector, dataset)?;
+    let labels = dataset.labels();
+    let (pointwise, _) = best_f1_over_thresholds(&score, labels, F1Protocol::Pointwise)?;
+    let (point_adjust, _) = best_f1_over_thresholds(&score, labels, F1Protocol::PointAdjust)?;
+    let (tolerance, _) = best_f1_over_thresholds(&score, labels, F1Protocol::Tolerance(5))?;
+    let predicted = Labels::from_mask(&mask);
+    let range_based = range_f1(&predicted, labels, RangeParams::default())?;
+    let nab = nab_score(&detections, labels, NabProfile::standard())?;
+    let roc = roc_auc(&score, labels)?;
+    Ok(ProtocolRow {
+        detector: name,
+        pointwise,
+        point_adjust,
+        tolerance,
+        range_based,
+        nab,
+        roc_auc: roc,
+    })
+}
+
+/// Runs the protocol study on a NASA-style dense-anomaly exemplar — the
+/// label shape (§2.3) that maximally confuses the protocols.
+pub fn run(seed: u64) -> Result<ProtocolStudy> {
+    let dataset = nasa::dense_anomaly(seed, 0.5);
+    let rows = vec![
+        evaluate(
+            &tsad_detectors::baselines::MovingAvgResidual::new(25),
+            "moving-average residual",
+            &dataset,
+        )?,
+        evaluate(&tsad_detectors::baselines::GlobalZScore, "global z-score", &dataset)?,
+        evaluate(
+            &tsad_detectors::matrix_profile::DiscordDetector::new(64),
+            "discord (matrix profile)",
+            &dataset,
+        )?,
+        evaluate(&tsad_detectors::baselines::NaiveLastPoint, "naive last-point", &dataset)?,
+    ];
+    Ok(ProtocolStudy { rows, dataset: dataset.name().to_string() })
+}
+
+/// Renders the table plus the headline: does any pair of detectors flip
+/// rank between two protocols?
+pub fn render(study: &ProtocolStudy) -> String {
+    let mut t = TextTable::new(vec![
+        "detector",
+        "pw-F1",
+        "PA-F1",
+        "tol-F1",
+        "range-F1",
+        "NAB",
+        "ROC-AUC",
+    ]);
+    for r in &study.rows {
+        t.row(vec![
+            r.detector.to_string(),
+            fmt(r.pointwise),
+            fmt(r.point_adjust),
+            fmt(r.tolerance),
+            fmt(r.range_based),
+            fmt(r.nab),
+            fmt(r.roc_auc),
+        ]);
+    }
+    let flip = rank_flips(study);
+    format!(
+        "§4.4 — the same predictions under every protocol ({}):\n{}rank flips between protocols: {flip}\n",
+        study.dataset,
+        t.render()
+    )
+}
+
+/// Counts detector pairs whose ordering differs between at least two
+/// protocols.
+pub fn rank_flips(study: &ProtocolStudy) -> usize {
+    let metrics: Vec<Vec<f64>> = study
+        .rows
+        .iter()
+        .map(|r| vec![r.pointwise, r.point_adjust, r.tolerance, r.range_based, r.nab, r.roc_auc])
+        .collect();
+    let mut flips = 0;
+    for a in 0..metrics.len() {
+        for b in a + 1..metrics.len() {
+            let mut saw_gt = false;
+            let mut saw_lt = false;
+            for (ma, mb) in metrics[a].iter().zip(&metrics[b]) {
+                if ma > &(mb + 1e-9) {
+                    saw_gt = true;
+                }
+                if ma + 1e-9 < *mb {
+                    saw_lt = true;
+                }
+            }
+            if saw_gt && saw_lt {
+                flips += 1;
+            }
+        }
+    }
+    flips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocols_disagree_on_dense_labels() {
+        let s = run(42).unwrap();
+        assert_eq!(s.rows.len(), 4);
+        // every metric is in range
+        for r in &s.rows {
+            for v in [r.pointwise, r.point_adjust, r.tolerance, r.range_based, r.roc_auc] {
+                assert!((0.0..=1.0).contains(&v), "{}: {v}", r.detector);
+            }
+            assert!(r.nab <= 100.0);
+        }
+        // the paper's point: at least one detector pair flips rank
+        // depending on the protocol
+        assert!(rank_flips(&s) >= 1, "{s:?}");
+        let text = render(&s);
+        assert!(text.contains("rank flips"));
+    }
+}

@@ -1,0 +1,136 @@
+//! **§2.6 + §4.4** — "there is simply no level of performance that would
+//! suggest the utility of a proposed algorithm": baseline detectors score
+//! *well* on the flawed benchmarks under the community's favourite
+//! protocols, and the protocols themselves disagree wildly on identical
+//! predictions.
+
+use tsad_core::{Dataset, Result};
+use tsad_detectors::baselines::{GlobalZScore, MovingAvgResidual, NaiveLastPoint, RandomDetector};
+use tsad_detectors::oneliner::{equation, Equation};
+use tsad_detectors::Detector;
+use tsad_eval::report::{fmt, TextTable};
+use tsad_eval::scoring::{best_f1_over_thresholds, F1Protocol};
+use tsad_synth::yahoo::{self, Family};
+
+/// One detector's aggregate scores under three protocols.
+#[derive(Debug, Clone)]
+pub struct DetectorScores {
+    /// Detector name.
+    pub detector: &'static str,
+    /// Mean best point-wise F1.
+    pub pointwise: f64,
+    /// Mean best point-adjust F1.
+    pub point_adjust: f64,
+    /// Mean best tolerance(5) F1.
+    pub tolerance: f64,
+}
+
+/// The §2.6 summary study.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Scores per detector.
+    pub detectors: Vec<DetectorScores>,
+    /// Number of datasets evaluated.
+    pub datasets: usize,
+}
+
+fn mean_scores(
+    detector: &dyn Detector,
+    name: &'static str,
+    datasets: &[Dataset],
+) -> Result<DetectorScores> {
+    let mut sums = [0.0f64; 3];
+    for d in datasets {
+        let score = detector.score(d.series(), d.train_len())?;
+        let (pw, _) = best_f1_over_thresholds(&score, d.labels(), F1Protocol::Pointwise)?;
+        let (pa, _) = best_f1_over_thresholds(&score, d.labels(), F1Protocol::PointAdjust)?;
+        let (tol, _) = best_f1_over_thresholds(&score, d.labels(), F1Protocol::Tolerance(5))?;
+        sums[0] += pw;
+        sums[1] += pa;
+        sums[2] += tol;
+    }
+    let n = datasets.len().max(1) as f64;
+    Ok(DetectorScores {
+        detector: name,
+        pointwise: sums[0] / n,
+        point_adjust: sums[1] / n,
+        tolerance: sums[2] / n,
+    })
+}
+
+/// Runs the summary over `per_family` series of each Yahoo family.
+pub fn run(seed: u64, per_family: usize) -> Result<Summary> {
+    let mut datasets = Vec::new();
+    for family in Family::all() {
+        for index in 1..=per_family.min(family.size()) {
+            datasets.push(yahoo::generate(seed, family, index).dataset);
+        }
+    }
+    let one_liner = equation(Equation::Eq3, 1, 0.0, 0.0);
+    let detectors: Vec<DetectorScores> = vec![
+        mean_scores(&one_liner, "one-liner |diff(TS)| score", &datasets)?,
+        mean_scores(&MovingAvgResidual::new(21), "moving-average residual", &datasets)?,
+        mean_scores(&GlobalZScore, "global z-score", &datasets)?,
+        mean_scores(&NaiveLastPoint, "naive last-point", &datasets)?,
+        mean_scores(&RandomDetector::new(seed), "random", &datasets)?,
+    ];
+    Ok(Summary { detectors, datasets: datasets.len() })
+}
+
+/// Renders the summary table.
+pub fn render(summary: &Summary) -> String {
+    let mut t = TextTable::new(vec![
+        "detector",
+        "best F1 (point-wise)",
+        "best F1 (point-adjust)",
+        "best F1 (tolerance 5)",
+    ]);
+    for d in &summary.detectors {
+        t.row(vec![
+            d.detector.to_string(),
+            fmt(d.pointwise),
+            fmt(d.point_adjust),
+            fmt(d.tolerance),
+        ]);
+    }
+    format!(
+        "§2.6 — baseline detectors on {} simulated Yahoo series (oracle thresholds):\n{}",
+        summary.datasets,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_baseline_scores_embarrassingly_well() {
+        let s = run(42, 6).unwrap();
+        let by_name = |needle: &str| {
+            s.detectors.iter().find(|d| d.detector.contains(needle)).expect("present")
+        };
+        let residual = by_name("residual");
+        // the one-liner-equivalent baseline looks like a SOTA paper result
+        assert!(
+            residual.point_adjust > 0.5,
+            "moving-average residual point-adjust F1: {}",
+            residual.point_adjust
+        );
+        // random is far below it
+        let random = by_name("random");
+        assert!(random.tolerance < residual.tolerance * 0.7);
+        // and point-adjust inflates *everything* relative to point-wise
+        for d in &s.detectors {
+            assert!(
+                d.point_adjust >= d.pointwise - 1e-9,
+                "{}: {} vs {}",
+                d.detector,
+                d.point_adjust,
+                d.pointwise
+            );
+        }
+        let text = render(&s);
+        assert!(text.contains("point-adjust"));
+    }
+}

@@ -1,0 +1,130 @@
+//! **Table 1** — brute-force one-liner solvability of the (simulated)
+//! Yahoo benchmark.
+//!
+//! Paper reference values:
+//!
+//! | family | solved | total | percent |
+//! |--------|--------|-------|---------|
+//! | A1     | 44     | 67    | 65.7 %  |
+//! | A2     | 97     | 100   | 97.0 %  |
+//! | A3     | 98     | 100   | 98.0 %  |
+//! | A4     | 77     | 100   | 77.0 %  |
+//! | total  | 316    | 367   | 86.1 %  |
+
+use tsad_core::Result;
+use tsad_detectors::oneliner::SearchConfig;
+use tsad_eval::flaws::triviality::{analyze, FamilySolvability};
+use tsad_eval::report::TextTable;
+use tsad_synth::yahoo::{self, Family};
+
+/// Measured Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Per-family aggregates in A1..A4 order.
+    pub families: Vec<(Family, FamilySolvability)>,
+}
+
+impl Table1 {
+    /// Total series solved.
+    pub fn total_solved(&self) -> usize {
+        self.families.iter().map(|(_, f)| f.solved).sum()
+    }
+
+    /// Total series examined.
+    pub fn total(&self) -> usize {
+        self.families.iter().map(|(_, f)| f.total).sum()
+    }
+
+    /// Overall percentage.
+    pub fn total_percent(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.total_solved() as f64 / self.total() as f64
+        }
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Dataset",
+            "Solvable with",
+            "# Solved",
+            "# Series",
+            "Percent",
+        ]);
+        for (family, agg) in &self.families {
+            for (eq, count) in &agg.by_equation {
+                t.row(vec![
+                    family.to_string(),
+                    (*eq).to_string(),
+                    count.to_string(),
+                    String::new(),
+                    format!("{:.1}%", 100.0 * *count as f64 / agg.total as f64),
+                ]);
+            }
+            t.row(vec![
+                family.to_string(),
+                "Subtotal".to_string(),
+                agg.solved.to_string(),
+                agg.total.to_string(),
+                format!("{:.1}%", agg.percent()),
+            ]);
+        }
+        t.row(vec![
+            String::new(),
+            "Total".to_string(),
+            self.total_solved().to_string(),
+            self.total().to_string(),
+            format!("{:.1}%", self.total_percent()),
+        ]);
+        t.render()
+    }
+}
+
+/// Runs the brute-force search over the simulated benchmark.
+///
+/// `per_family` caps how many series per family are searched (`None` = the
+/// full benchmark, 367 series — about a minute in release mode; tests use
+/// a small cap).
+pub fn run(seed: u64, per_family: Option<usize>) -> Result<Table1> {
+    let config = SearchConfig::default();
+    let mut families = Vec::with_capacity(4);
+    for family in Family::all() {
+        let count = per_family.map_or(family.size(), |c| c.min(family.size()));
+        let mut agg = FamilySolvability::default();
+        for index in 1..=count {
+            let series = yahoo::generate(seed, family, index);
+            let report = analyze(&series.dataset, &config)?;
+            agg.add(&report);
+        }
+        families.push((family, agg));
+    }
+    Ok(Table1 { families })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsampled_table1_has_structure() {
+        // 12 series per family keeps the test fast; the archetype quota
+        // puts eq-(3) series first in A1/A2 and eq-(5) first in A3/A4, so
+        // the subsample should be highly solvable.
+        let t = run(42, Some(12)).unwrap();
+        assert_eq!(t.total(), 48);
+        assert!(t.total_percent() > 80.0, "{}", t.total_percent());
+        let rendered = t.render();
+        assert!(rendered.contains("Subtotal"));
+        assert!(rendered.contains("Total"));
+        assert!(rendered.contains("A4"));
+    }
+
+    #[test]
+    fn render_contains_equation_rows() {
+        let t = run(42, Some(6)).unwrap();
+        let rendered = t.render();
+        assert!(rendered.contains("(3)") || rendered.contains("(5)"), "{rendered}");
+    }
+}

@@ -1,0 +1,136 @@
+//! A labeled anomaly-detection dataset: series + ground truth + train split.
+
+use crate::error::{CoreError, Result};
+use crate::labels::Labels;
+use crate::series::TimeSeries;
+
+/// One benchmark exemplar: a series, its ground-truth anomaly labels, and
+/// the length of the (assumed anomaly-free) train prefix.
+///
+/// This is the unit the flaw analyzers in `tsad-eval` inspect and the unit
+/// the UCR-style archive in `tsad-archive` serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    series: TimeSeries,
+    labels: Labels,
+    train_len: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that labels match the series length,
+    /// the train prefix is in bounds, and no labeled anomaly intrudes into
+    /// the train prefix.
+    pub fn new(series: TimeSeries, labels: Labels, train_len: usize) -> Result<Self> {
+        if labels.len() != series.len() {
+            return Err(CoreError::LengthMismatch { left: series.len(), right: labels.len() });
+        }
+        if train_len > series.len() {
+            return Err(CoreError::BadRegion { start: 0, end: train_len, len: series.len() });
+        }
+        if let Some(first) = labels.regions().first() {
+            if first.start < train_len {
+                return Err(CoreError::BadRegion {
+                    start: first.start,
+                    end: first.end,
+                    len: train_len,
+                });
+            }
+        }
+        Ok(Self { series, labels, train_len })
+    }
+
+    /// Creates a fully unsupervised dataset (no train prefix).
+    pub fn unsupervised(series: TimeSeries, labels: Labels) -> Result<Self> {
+        Self::new(series, labels, 0)
+    }
+
+    /// The time series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[f64] {
+        self.series.values()
+    }
+
+    /// The ground-truth labels.
+    pub fn labels(&self) -> &Labels {
+        &self.labels
+    }
+
+    /// Length of the anomaly-free train prefix (0 = unsupervised).
+    pub fn train_len(&self) -> usize {
+        self.train_len
+    }
+
+    /// Series length.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Dataset name (the series name).
+    pub fn name(&self) -> &str {
+        self.series.name()
+    }
+
+    /// Replaces the labels (e.g. to model mislabeling while keeping the
+    /// signal), revalidating the invariants.
+    pub fn with_labels(self, labels: Labels) -> Result<Self> {
+        Self::new(self.series, labels, self.train_len)
+    }
+
+    /// Decomposes the dataset into its parts.
+    pub fn into_parts(self) -> (TimeSeries, Labels, usize) {
+        (self.series, self.labels, self.train_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Region;
+
+    fn series(n: usize) -> TimeSeries {
+        TimeSeries::new("d", (0..n).map(|i| i as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn valid_dataset() {
+        let labels = Labels::single(100, Region::new(60, 70).unwrap()).unwrap();
+        let d = Dataset::new(series(100), labels, 50).unwrap();
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.train_len(), 50);
+        assert_eq!(d.labels().region_count(), 1);
+        assert_eq!(d.name(), "d");
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let labels = Labels::empty(90);
+        assert!(Dataset::new(series(100), labels, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_train_len_out_of_bounds() {
+        let labels = Labels::empty(100);
+        assert!(Dataset::new(series(100), labels, 101).is_err());
+    }
+
+    #[test]
+    fn rejects_anomaly_inside_train_prefix() {
+        let labels = Labels::single(100, Region::new(30, 40).unwrap()).unwrap();
+        assert!(Dataset::new(series(100), labels.clone(), 50).is_err());
+        assert!(Dataset::new(series(100), labels, 30).is_ok());
+    }
+
+    #[test]
+    fn with_labels_revalidates() {
+        let d = Dataset::unsupervised(series(100), Labels::empty(100)).unwrap();
+        let good = Labels::single(100, Region::new(10, 12).unwrap()).unwrap();
+        assert!(d.clone().with_labels(good).is_ok());
+        let bad = Labels::empty(99);
+        assert!(d.with_labels(bad).is_err());
+    }
+}

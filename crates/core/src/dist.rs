@@ -1,0 +1,255 @@
+//! Distance measures between time-series subsequences.
+//!
+//! Provides plain and z-normalized Euclidean distance, the MASS distance
+//! profile (FFT-accelerated z-normalized Euclidean distance of a query to
+//! every window of a series), and (constrained) dynamic time warping — the
+//! distance the paper's §4.2 invariance discussion recommends choosing
+//! deliberately.
+
+use crate::error::{CoreError, Result};
+use crate::fft::sliding_dot_product;
+use crate::windows::WindowMoments;
+
+/// Plain Euclidean distance between equal-length slices.
+pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(CoreError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    Ok(a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>().sqrt())
+}
+
+/// Z-normalized Euclidean distance between equal-length slices.
+///
+/// Degenerate cases follow the matrix-profile convention (see
+/// [`dot_to_znorm_dist`]): two constant slices are at distance 0; a constant
+/// slice versus a non-constant one is at the maximum z-normalized distance
+/// `sqrt(2m)`.
+pub fn znorm_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(CoreError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    let sa = crate::stats::std_dev(a)?;
+    let sb = crate::stats::std_dev(b)?;
+    const EPS: f64 = 1e-9;
+    let a_const = sa < EPS;
+    let b_const = sb < EPS;
+    if a_const && b_const {
+        return Ok(0.0);
+    }
+    if a_const || b_const {
+        return Ok((2.0 * a.len() as f64).sqrt());
+    }
+    let za = crate::ops::znormalize(a);
+    let zb = crate::ops::znormalize(b);
+    euclidean(&za, &zb)
+}
+
+/// Converts a sliding dot product `qt` into a z-normalized Euclidean
+/// distance, given query moments (`mq`, `sq`) and window moments
+/// (`mt`, `st`), using the standard identity
+/// `d² = 2m(1 − (qt − m·mq·mt) / (m·sq·st))`.
+///
+/// Degenerate (constant) windows are handled explicitly: two constants are
+/// at distance 0; a constant versus a non-constant is at the maximum
+/// z-normalized distance `sqrt(2m)` — the convention matrix-profile
+/// implementations use so flat regions do not spuriously match everything.
+#[inline]
+pub fn dot_to_znorm_dist(qt: f64, m: usize, mq: f64, sq: f64, mt: f64, st: f64) -> f64 {
+    const EPS: f64 = 1e-9;
+    let mf = m as f64;
+    let q_const = sq < EPS;
+    let t_const = st < EPS;
+    if q_const && t_const {
+        return 0.0;
+    }
+    if q_const || t_const {
+        return (2.0 * mf).sqrt();
+    }
+    let corr = (qt - mf * mq * mt) / (mf * sq * st);
+    let d2 = 2.0 * mf * (1.0 - corr.clamp(-1.0, 1.0));
+    d2.max(0.0).sqrt()
+}
+
+/// MASS: the z-normalized Euclidean distance from `query` to every
+/// length-`|query|` window of `series`, in `O(n log n)`.
+pub fn mass(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
+    let m = query.len();
+    let qt = sliding_dot_product(query, series)?;
+    let moments = WindowMoments::compute(series, m)?;
+    let mq = crate::stats::mean(query)?;
+    let sq = crate::stats::std_dev(query)?;
+    Ok(qt
+        .iter()
+        .enumerate()
+        .map(|(i, &dot)| dot_to_znorm_dist(dot, m, mq, sq, moments.means[i], moments.stds[i]))
+        .collect())
+}
+
+/// Naive `O(n·m)` distance profile — reference for MASS in tests, and faster
+/// for very short series.
+pub fn distance_profile_naive(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
+    let m = query.len();
+    if m == 0 || m > series.len() {
+        return Err(CoreError::BadWindow { window: m, len: series.len() });
+    }
+    (0..=series.len() - m).map(|i| znorm_euclidean(query, &series[i..i + m])).collect()
+}
+
+/// Dynamic time warping distance with a Sakoe–Chiba band of half-width
+/// `band` (`band >= max(len difference)` required for a path to exist; pass
+/// `band = usize::MAX` for unconstrained DTW). Returns the square-root of
+/// the accumulated squared pointwise costs, matching the Euclidean metric
+/// at `band = 0` for equal-length inputs.
+pub fn dtw(a: &[f64], b: &[f64], band: usize) -> Result<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Err(CoreError::EmptySeries);
+    }
+    let (n, m) = (a.len(), b.len());
+    let diff_len = n.abs_diff(m);
+    if band != usize::MAX && band < diff_len {
+        return Err(CoreError::BadParameter {
+            name: "band",
+            value: band as f64,
+            expected: "band >= |len(a) - len(b)|",
+        });
+    }
+    let inf = f64::INFINITY;
+    // Two-row dynamic program over the (optionally banded) alignment matrix.
+    let mut prev = vec![inf; m + 1];
+    let mut curr = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(inf);
+        let (j_lo, j_hi) = if band == usize::MAX {
+            (1, m)
+        } else {
+            (i.saturating_sub(band).max(1), i.saturating_add(band).min(m))
+        };
+        for j in j_lo..=j_hi {
+            let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let total = prev[m];
+    if !total.is_finite() {
+        return Err(CoreError::BadParameter {
+            name: "band",
+            value: band as f64,
+            expected: "a band wide enough to admit a warping path",
+        });
+    }
+    Ok(total.sqrt())
+}
+
+/// Constrained DTW (`cDTW`) with the band expressed as a fraction of the
+/// longer input's length — the parameterization used in the time-series
+/// classification literature the paper cites.
+pub fn cdtw(a: &[f64], b: &[f64], band_fraction: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&band_fraction) {
+        return Err(CoreError::BadParameter {
+            name: "band_fraction",
+            value: band_fraction,
+            expected: "0 <= band_fraction <= 1",
+        });
+    }
+    let band = ((a.len().max(b.len()) as f64) * band_fraction).ceil() as usize;
+    dtw(a, b, band.max(a.len().abs_diff(b.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 5.0);
+        assert!(euclidean(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn znorm_euclidean_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        let b: Vec<f64> = a.iter().map(|v| v * 10.0 + 100.0).collect();
+        assert!(znorm_euclidean(&a, &b).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn mass_matches_naive() {
+        let series: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 0.17).sin() * 3.0 + (i as f64 * 0.03).cos())
+            .collect();
+        for m in [4, 16, 50] {
+            let query = &series[37..37 + m];
+            let fast = mass(query, &series).unwrap();
+            let slow = distance_profile_naive(query, &series).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!((a - b).abs() < 1e-5, "m={m} i={i}: {a} vs {b}");
+            }
+            // the self-match is (near) zero
+            assert!(fast[37] < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mass_handles_constant_regions() {
+        let mut series = vec![1.0; 50];
+        for (i, v) in series.iter_mut().enumerate().skip(25) {
+            *v = (i as f64 * 0.9).sin();
+        }
+        let flat_query = vec![1.0; 8];
+        let d = mass(&flat_query, &series).unwrap();
+        // flat query against flat window: distance 0
+        assert!(d[0] < 1e-9);
+        // flat query against wiggly window: max distance sqrt(2m)
+        let max = (2.0 * 8.0_f64).sqrt();
+        assert!((d[40] - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_zero_for_identical_and_band_zero_is_euclidean() {
+        let a = [1.0, 3.0, 2.0, 5.0];
+        assert_eq!(dtw(&a, &a, 0).unwrap(), 0.0);
+        let b = [2.0, 3.0, 1.0, 5.0];
+        let d0 = dtw(&a, &b, 0).unwrap();
+        assert!((d0 - euclidean(&a, &b).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_absorbs_time_shift() {
+        // same bump shifted by 2 samples; DTW with a band of 2 should be
+        // (near) zero while Euclidean is large.
+        let n = 40;
+        let bump = |c: usize| -> Vec<f64> {
+            (0..n).map(|i| (-((i as f64 - c as f64) / 2.0).powi(2)).exp()).collect()
+        };
+        let a = bump(18);
+        let b = bump(20);
+        let de = euclidean(&a, &b).unwrap();
+        let dw = dtw(&a, &b, 3).unwrap();
+        assert!(dw < de * 0.2, "dtw {dw} vs euclid {de}");
+    }
+
+    #[test]
+    fn dtw_different_lengths() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, 1.0, 1.0, 2.0, 3.0];
+        let d = dtw(&a, &b, usize::MAX).unwrap();
+        assert!(d < 1e-12, "{d}");
+        // band narrower than the length difference is rejected
+        assert!(dtw(&a, &b, 0).is_err());
+        assert!(dtw(&[], &b, 1).is_err());
+    }
+
+    #[test]
+    fn cdtw_band_fraction() {
+        let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..100).map(|i| ((i as f64 + 3.0) * 0.2).sin()).collect();
+        let wide = cdtw(&a, &b, 0.1).unwrap();
+        let narrow = cdtw(&a, &b, 0.0).unwrap();
+        assert!(wide <= narrow);
+        assert!(cdtw(&a, &b, 1.5).is_err());
+    }
+}

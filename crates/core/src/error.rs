@@ -1,0 +1,92 @@
+//! Error type shared by all `tsad-core` operations.
+
+use std::fmt;
+
+/// Errors produced by core time-series operations.
+///
+/// All fallible APIs in this crate return [`CoreError`] rather than
+/// panicking, so that callers (benchmark harnesses, archive builders) can
+/// report which dataset or parameter combination was invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The input series is empty but the operation requires data.
+    EmptySeries,
+    /// A window/subsequence length was invalid for the given series.
+    ///
+    /// Carries `(window, series_len)`.
+    BadWindow { window: usize, len: usize },
+    /// A region `[start, end)` is out of bounds or inverted for a series of
+    /// length `len`.
+    BadRegion { start: usize, end: usize, len: usize },
+    /// Two labeled regions overlap; label sets must be disjoint.
+    OverlappingRegions { first_end: usize, second_start: usize },
+    /// A parameter was outside its documented domain.
+    BadParameter { name: &'static str, value: f64, expected: &'static str },
+    /// The series contains a non-finite value at `index`.
+    NonFinite { index: usize },
+    /// Two inputs that must have equal lengths did not.
+    LengthMismatch { left: usize, right: usize },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptySeries => write!(f, "operation requires a non-empty series"),
+            CoreError::BadWindow { window, len } => {
+                write!(f, "window length {window} invalid for series of length {len}")
+            }
+            CoreError::BadRegion { start, end, len } => {
+                write!(f, "region [{start}, {end}) invalid for series of length {len}")
+            }
+            CoreError::OverlappingRegions { first_end, second_start } => write!(
+                f,
+                "regions overlap: previous region ends at {first_end}, next starts at {second_start}"
+            ),
+            CoreError::BadParameter { name, value, expected } => {
+                write!(f, "parameter `{name}` = {value} invalid; expected {expected}")
+            }
+            CoreError::NonFinite { index } => {
+                write!(f, "series contains a non-finite value at index {index}")
+            }
+            CoreError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenient result alias used throughout `tsad-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (CoreError::EmptySeries, "non-empty"),
+            (CoreError::BadWindow { window: 9, len: 4 }, "window length 9"),
+            (CoreError::BadRegion { start: 5, end: 3, len: 10 }, "[5, 3)"),
+            (CoreError::OverlappingRegions { first_end: 7, second_start: 6 }, "overlap"),
+            (
+                CoreError::BadParameter { name: "alpha", value: -1.0, expected: "0 < alpha <= 1" },
+                "`alpha`",
+            ),
+            (CoreError::NonFinite { index: 3 }, "index 3"),
+            (CoreError::LengthMismatch { left: 2, right: 4 }, "2 vs 4"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error<E: std::error::Error>(_: E) {}
+        takes_std_error(CoreError::EmptySeries);
+    }
+}

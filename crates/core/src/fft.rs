@@ -1,0 +1,241 @@
+//! Minimal complex arithmetic and an iterative radix-2 FFT.
+//!
+//! This exists to support MASS (Mueen's Algorithm for Similarity Search),
+//! the `O(n log n)` sliding-dot-product kernel behind the STAMP matrix
+//! profile. We implement it here rather than pulling in an FFT crate — the
+//! required surface is tiny (power-of-two forward/inverse transforms and a
+//! real-input cross-correlation) and keeping it local keeps the workspace on
+//! the approved dependency list.
+
+use crate::error::{CoreError, Result};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A real number as a complex number.
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, other: Self) -> Self {
+        Self {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, other: Self) -> Self {
+        Self { re: self.re + other.re, im: self.im + other.im }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, other: Self) -> Self {
+        Self { re: self.re - other.re, im: self.im - other.im }
+    }
+}
+
+/// Smallest power of two `>= n` (and `>= 1`).
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two().max(1)
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `data.len()` must be a power
+/// of two. `inverse` selects the inverse transform (including the `1/n`
+/// scaling, so `ifft(fft(x)) == x`).
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(CoreError::BadParameter {
+            name: "fft_len",
+            value: n as f64,
+            expected: "a power of two",
+        });
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::new(angle.cos(), angle.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::from_real(1.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for c in data.iter_mut() {
+            c.re *= scale;
+            c.im *= scale;
+        }
+    }
+    Ok(())
+}
+
+/// Sliding dot products of `query` against every length-`m` window of
+/// `series`, computed by FFT cross-correlation in `O(n log n)`:
+/// `out[i] = Σ_j query[j] · series[i + j]` for `i = 0 ..= n − m`.
+pub fn sliding_dot_product(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
+    let m = query.len();
+    let n = series.len();
+    if m == 0 || m > n {
+        return Err(CoreError::BadWindow { window: m, len: n });
+    }
+    // linear correlation needs n + m points of headroom (the highest used
+    // convolution index is n - 1 + m); padding to 2n would double the FFT
+    // whenever n + m lands below a power-of-two boundary that 2n crosses
+    let size = next_pow2(n + m);
+    let mut ts: Vec<Complex> = Vec::with_capacity(size);
+    ts.extend(series.iter().map(|&v| Complex::from_real(v)));
+    ts.resize(size, Complex::default());
+    // Reverse the query so that convolution computes correlation.
+    let mut q: Vec<Complex> = Vec::with_capacity(size);
+    q.extend(query.iter().rev().map(|&v| Complex::from_real(v)));
+    q.resize(size, Complex::default());
+
+    fft_in_place(&mut ts, false)?;
+    fft_in_place(&mut q, false)?;
+    for (a, b) in ts.iter_mut().zip(&q) {
+        *a = *a * *b;
+    }
+    fft_in_place(&mut ts, true)?;
+
+    // Convolution index m-1+i holds Σ_j query[j]·series[i+j].
+    Ok((0..=n - m).map(|i| ts[m - 1 + i].re).collect())
+}
+
+/// Naive `O(n·m)` sliding dot product — reference implementation used in
+/// tests and for short queries where FFT overhead dominates.
+pub fn sliding_dot_product_naive(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
+    let m = query.len();
+    let n = series.len();
+    if m == 0 || m > n {
+        return Err(CoreError::BadWindow { window: m, len: n });
+    }
+    Ok((0..=n - m)
+        .map(|i| query.iter().zip(&series[i..i + m]).map(|(&a, &b)| a * b).sum())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+
+    #[test]
+    fn fft_rejects_non_pow2() {
+        let mut data = vec![Complex::default(); 3];
+        assert!(fft_in_place(&mut data, false).is_err());
+        let mut empty: Vec<Complex> = vec![];
+        assert!(fft_in_place(&mut empty, false).is_err());
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let original: Vec<Complex> =
+            (0..64).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
+        let mut data = original.clone();
+        fft_in_place(&mut data, false).unwrap();
+        fft_in_place(&mut data, true).unwrap();
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::from_real(1.0);
+        fft_in_place(&mut data, false).unwrap();
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let x: Vec<Complex> = (0..32).map(|i| Complex::from_real((i as f64).sin())).collect();
+        let time_energy: f64 = x.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+        let mut f = x.clone();
+        fft_in_place(&mut f, false).unwrap();
+        let freq_energy: f64 =
+            f.iter().map(|c| c.re * c.re + c.im * c.im).sum::<f64>() / f.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_dot_product_matches_naive() {
+        let series: Vec<f64> = (0..200).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+        for m in [1, 2, 3, 8, 64, 200] {
+            let query: Vec<f64> = series.iter().take(m).map(|&v| v * 0.5 + 1.0).collect();
+            let fast = sliding_dot_product(&query, &series).unwrap();
+            let slow = sliding_dot_product_naive(&query, &series).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!((a - b).abs() < 1e-6, "m={m} i={i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_dot_product_rejects_bad_sizes() {
+        assert!(sliding_dot_product(&[], &[1.0]).is_err());
+        assert!(sliding_dot_product(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(sliding_dot_product_naive(&[], &[1.0]).is_err());
+    }
+}

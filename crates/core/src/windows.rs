@@ -1,0 +1,138 @@
+//! Sliding-window utilities shared by the subsequence detectors.
+
+use crate::error::{CoreError, Result};
+
+/// Number of length-`m` subsequences in a series of length `n`
+/// (`n − m + 1`), or an error if `m` is invalid.
+pub fn subsequence_count(n: usize, m: usize) -> Result<usize> {
+    if m == 0 || m > n {
+        return Err(CoreError::BadWindow { window: m, len: n });
+    }
+    Ok(n - m + 1)
+}
+
+/// Per-window mean and standard deviation (population) of every length-`m`
+/// subsequence, computed in `O(n)` with mean-shifted prefix sums.
+///
+/// This is the precomputation step of MASS and STOMP: the z-normalized
+/// Euclidean distance between subsequences is a function of their dot
+/// product and these moments.
+#[derive(Debug, Clone)]
+pub struct WindowMoments {
+    /// `means[i]` = mean of `x[i .. i + m]`.
+    pub means: Vec<f64>,
+    /// `stds[i]` = population standard deviation of `x[i .. i + m]`.
+    pub stds: Vec<f64>,
+    /// Window length the moments were computed with.
+    pub window: usize,
+}
+
+impl WindowMoments {
+    /// Computes moments for every length-`m` window of `x`.
+    pub fn compute(x: &[f64], m: usize) -> Result<Self> {
+        let count = subsequence_count(x.len(), m)?;
+        let shift = x.iter().sum::<f64>() / x.len() as f64;
+        let mut sum = vec![0.0; x.len() + 1];
+        let mut sumsq = vec![0.0; x.len() + 1];
+        for (i, &v) in x.iter().enumerate() {
+            let d = v - shift;
+            sum[i + 1] = sum[i] + d;
+            sumsq[i + 1] = sumsq[i] + d * d;
+        }
+        let mf = m as f64;
+        let mut means = Vec::with_capacity(count);
+        let mut stds = Vec::with_capacity(count);
+        for i in 0..count {
+            let s = sum[i + m] - sum[i];
+            let ss = sumsq[i + m] - sumsq[i];
+            let mean = s / mf;
+            let mut var = (ss / mf - mean * mean).max(0.0);
+            // Prefix-sum cancellation leaves O(eps·magnitude²) noise in a
+            // variance that is mathematically 0; `sqrt` would amplify it.
+            // Clamp relative to the second moment (and exactly for m == 1,
+            // where the variance of a single point is 0 by definition).
+            if m == 1 || var < 1e-12 * (ss / mf + mean * mean) {
+                var = 0.0;
+            }
+            means.push(mean + shift);
+            stds.push(var.sqrt());
+        }
+        Ok(Self { means, stds, window: m })
+    }
+
+    /// Number of windows.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.means.len()
+    }
+}
+
+/// Iterator over `(start_index, window_slice)` pairs of length-`m`
+/// subsequences with a given hop.
+pub fn sliding(
+    x: &[f64],
+    m: usize,
+    hop: usize,
+) -> Result<impl Iterator<Item = (usize, &[f64])>> {
+    subsequence_count(x.len(), m)?;
+    if hop == 0 {
+        return Err(CoreError::BadParameter { name: "hop", value: 0.0, expected: "hop >= 1" });
+    }
+    Ok((0..=x.len() - m).step_by(hop).map(move |i| (i, &x[i..i + m])))
+}
+
+/// Extracts the length-`m` subsequence starting at `i`.
+pub fn subsequence(x: &[f64], i: usize, m: usize) -> Result<&[f64]> {
+    if m == 0 || i + m > x.len() {
+        return Err(CoreError::BadWindow { window: m, len: x.len() });
+    }
+    Ok(&x[i..i + m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(subsequence_count(10, 3).unwrap(), 8);
+        assert_eq!(subsequence_count(10, 10).unwrap(), 1);
+        assert!(subsequence_count(10, 0).is_err());
+        assert!(subsequence_count(10, 11).is_err());
+    }
+
+    #[test]
+    fn moments_match_naive() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * 7) % 13) as f64 + 100.0).collect();
+        for m in [1, 2, 5, 50] {
+            let mom = WindowMoments::compute(&x, m).unwrap();
+            assert_eq!(mom.len(), x.len() - m + 1);
+            for i in 0..mom.len() {
+                let w = &x[i..i + m];
+                let mean = w.iter().sum::<f64>() / m as f64;
+                let var = w.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / m as f64;
+                assert!((mom.means[i] - mean).abs() < 1e-8, "m={m} i={i}");
+                assert!((mom.stds[i] - var.sqrt()).abs() < 1e-6, "m={m} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_iterates_with_hop() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let pairs: Vec<(usize, &[f64])> = sliding(&x, 2, 2).unwrap().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (0, &x[0..2]));
+        assert_eq!(pairs[1], (2, &x[2..4]));
+        assert!(sliding(&x, 2, 0).is_err());
+        assert!(sliding(&x, 6, 1).is_err());
+    }
+
+    #[test]
+    fn subsequence_bounds() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(subsequence(&x, 1, 2).unwrap(), &[2.0, 3.0]);
+        assert!(subsequence(&x, 2, 2).is_err());
+        assert!(subsequence(&x, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! CUSUM change detection — Page (1957), the paper's *first* reference
+//! ("papers dating back to the dawn of computer science").
+//!
+//! The two-sided CUSUM tracks cumulative deviations of the standardized
+//! series above/below its in-control mean; the statistic resets toward
+//! zero while the process is in control and ramps when the mean shifts.
+//! The anomaly score at `t` is the larger of the two one-sided statistics,
+//! making CUSUM the canonical detector for level shifts and the honest
+//! historical baseline for every changepoint-flavored anomaly in the
+//! benchmarks.
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::{stats, TimeSeries};
+
+use crate::Detector;
+
+/// Two-sided CUSUM detector.
+#[derive(Debug, Clone, Copy)]
+pub struct Cusum {
+    /// Allowance (slack) `k`, in standard deviations: deviations smaller
+    /// than this are treated as in-control drift. The classic default is
+    /// 0.5 (tuned to detect 1σ shifts).
+    pub allowance: f64,
+    /// Decay applied each step (1.0 = the classical pure CUSUM; slightly
+    /// below 1 makes the statistic forget old evidence, which suits
+    /// anomaly *scoring* rather than one-shot change detection).
+    pub decay: f64,
+}
+
+impl Default for Cusum {
+    fn default() -> Self {
+        Self { allowance: 0.5, decay: 0.995 }
+    }
+}
+
+impl Cusum {
+    /// Raw two-sided CUSUM statistics over `x`, standardized by the mean
+    /// and deviation of `reference` (the in-control sample).
+    pub fn statistics(&self, x: &[f64], reference: &[f64]) -> Result<Vec<f64>> {
+        if !(0.0..10.0).contains(&self.allowance) {
+            return Err(CoreError::BadParameter {
+                name: "allowance",
+                value: self.allowance,
+                expected: "0 <= allowance < 10",
+            });
+        }
+        if !(0.0 < self.decay && self.decay <= 1.0) {
+            return Err(CoreError::BadParameter {
+                name: "decay",
+                value: self.decay,
+                expected: "0 < decay <= 1",
+            });
+        }
+        let mu = stats::mean(reference)?;
+        let sd = stats::std_dev(reference)?.max(1e-9);
+        let mut hi = 0.0f64;
+        let mut lo = 0.0f64;
+        let mut out = Vec::with_capacity(x.len());
+        for &v in x {
+            let z = (v - mu) / sd;
+            hi = (self.decay * hi + z - self.allowance).max(0.0);
+            lo = (self.decay * lo - z - self.allowance).max(0.0);
+            out.push(hi.max(lo));
+        }
+        Ok(out)
+    }
+}
+
+impl Detector for Cusum {
+    fn name(&self) -> &'static str {
+        "CUSUM (Page 1957)"
+    }
+    fn score(&self, ts: &TimeSeries, train_len: usize) -> Result<Vec<f64>> {
+        let x = ts.values();
+        if x.is_empty() {
+            return Err(CoreError::EmptySeries);
+        }
+        let reference = if train_len >= 2 { &x[..train_len] } else { x };
+        self.statistics(x, reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::most_anomalous_point;
+
+    fn shifted_series(n: usize, shift_at: usize, delta: f64) -> TimeSeries {
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let noise = (((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64
+                    / (1u64 << 24) as f64)
+                    - 0.5;
+                noise + if i >= shift_at { delta } else { 0.0 }
+            })
+            .collect();
+        TimeSeries::new("cusum", x).unwrap()
+    }
+
+    #[test]
+    fn ramps_after_a_level_shift() {
+        let ts = shifted_series(1000, 700, 1.5);
+        let det = Cusum::default();
+        let score = det.score(&ts, 500).unwrap();
+        // the statistic before the shift stays small, after it grows
+        let before = score[..690].iter().cloned().fold(0.0f64, f64::max);
+        let after = score[720..760].iter().cloned().fold(0.0f64, f64::max);
+        assert!(after > before * 3.0, "{after} vs {before}");
+    }
+
+    #[test]
+    fn detects_downward_shifts_symmetrically() {
+        let up = shifted_series(800, 600, 1.2);
+        let down = shifted_series(800, 600, -1.2);
+        let det = Cusum::default();
+        let peak_up = most_anomalous_point(&det, &up, 400).unwrap();
+        let peak_down = most_anomalous_point(&det, &down, 400).unwrap();
+        assert!(peak_up >= 600, "{peak_up}");
+        assert!(peak_down >= 600, "{peak_down}");
+    }
+
+    #[test]
+    fn in_control_scores_stay_low() {
+        let ts = shifted_series(1000, 2000, 0.0); // never shifts
+        let score = Cusum::default().score(&ts, 300).unwrap();
+        let max = score.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max < 3.0, "in-control CUSUM should stay small: {max}");
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let ts = shifted_series(100, 50, 1.0);
+        assert!(Cusum { allowance: -1.0, decay: 1.0 }.score(&ts, 0).is_err());
+        assert!(Cusum { allowance: 0.5, decay: 0.0 }.score(&ts, 0).is_err());
+        assert!(Cusum { allowance: 0.5, decay: 1.5 }.score(&ts, 0).is_err());
+        let empty = TimeSeries::from_values(vec![]).unwrap();
+        assert!(Cusum::default().score(&empty, 0).is_err());
+    }
+
+    #[test]
+    fn pure_cusum_accumulates_without_decay() {
+        let ts = shifted_series(400, 200, 1.0);
+        let pure = Cusum { allowance: 0.5, decay: 1.0 };
+        let score = pure.score(&ts, 150).unwrap();
+        // with no decay the statistic keeps growing after the shift
+        assert!(score[399] > score[250], "{} vs {}", score[399], score[250]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Score-averaging ensembles over heterogeneous detectors.
+//!
+//! Different detectors score on incomparable scales (z-scores, distances,
+//! smoothed errors), so member scores must be normalized before averaging.
+//! Two normalizations are provided: per-member standardization (the
+//! magnitude-preserving default) and rank transformation (fully
+//! scale-free); see [`EnsembleNormalization`] for the trade-off.
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::TimeSeries;
+
+use crate::multivariate::rank_normalize;
+use crate::Detector;
+
+/// How member scores are made comparable before averaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnsembleNormalization {
+    /// Standardize each member's score to zero mean / unit deviation.
+    /// Preserves *magnitude*: a member that is 20σ confident outvotes a
+    /// noise member bounded at ~3σ — the right default for arg-max use.
+    #[default]
+    ZScore,
+    /// Replace each member's score by its rank in `[0, 1]`. Fully
+    /// scale-free but compresses the top of the distribution: near-ties in
+    /// one member plus a noisy member can displace the arg-max.
+    Rank,
+}
+
+/// An ensemble of detectors combined by averaging normalized scores.
+pub struct Ensemble {
+    members: Vec<Box<dyn Detector>>,
+    /// Normalization applied to each member before averaging.
+    pub normalization: EnsembleNormalization,
+    /// Require at least this many members to score successfully
+    /// (detectors may error on inputs they cannot handle, e.g. too-short
+    /// train prefixes).
+    pub min_members: usize,
+}
+
+impl Ensemble {
+    /// Creates a z-score ensemble; at least one member must succeed per
+    /// series.
+    pub fn new(members: Vec<Box<dyn Detector>>) -> Self {
+        Self { members, normalization: EnsembleNormalization::ZScore, min_members: 1 }
+    }
+
+    /// Number of member detectors.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+}
+
+fn standardize(score: &[f64]) -> Vec<f64> {
+    let n = score.len().max(1) as f64;
+    let mean = score.iter().sum::<f64>() / n;
+    let var = score.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sd = var.sqrt().max(1e-12);
+    score.iter().map(|v| (v - mean) / sd).collect()
+}
+
+impl Detector for Ensemble {
+    fn name(&self) -> &'static str {
+        match self.normalization {
+            EnsembleNormalization::ZScore => "ensemble (mean z-score)",
+            EnsembleNormalization::Rank => "ensemble (mean rank)",
+        }
+    }
+    fn score(&self, ts: &TimeSeries, train_len: usize) -> Result<Vec<f64>> {
+        let mut normalized: Vec<Vec<f64>> = Vec::with_capacity(self.members.len());
+        for member in &self.members {
+            if let Ok(score) = member.score(ts, train_len) {
+                if score.len() == ts.len() {
+                    normalized.push(match self.normalization {
+                        EnsembleNormalization::ZScore => standardize(&score),
+                        EnsembleNormalization::Rank => rank_normalize(&score),
+                    });
+                }
+            }
+        }
+        if normalized.len() < self.min_members.max(1) {
+            return Err(CoreError::BadParameter {
+                name: "members",
+                value: normalized.len() as f64,
+                expected: "at least min_members successfully scoring detectors",
+            });
+        }
+        let n = ts.len();
+        let mut out = vec![0.0; n];
+        for r in &normalized {
+            for (o, v) in out.iter_mut().zip(r) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= normalized.len() as f64;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{GlobalZScore, MovingAvgResidual, RandomDetector};
+    use crate::most_anomalous_point;
+
+    fn spiky(n: usize, at: usize) -> TimeSeries {
+        let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin() * 0.3).collect();
+        x[at] += 5.0;
+        TimeSeries::new("ens", x).unwrap()
+    }
+
+    #[test]
+    fn ensemble_finds_the_anomaly_despite_a_noisy_member() {
+        let ts = spiky(600, 400);
+        let ensemble = Ensemble::new(vec![
+            Box::new(GlobalZScore),
+            Box::new(MovingAvgResidual::new(21)),
+            Box::new(RandomDetector::new(7)), // pure noise member
+        ]);
+        assert_eq!(ensemble.len(), 3);
+        let peak = most_anomalous_point(&ensemble, &ts, 0).unwrap();
+        assert_eq!(
+            peak, 400,
+            "magnitude-preserving aggregation outvotes the noise member"
+        );
+        let score = ensemble.score(&ts, 0).unwrap();
+        assert_eq!(score.len(), ts.len());
+        assert!(score.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rank_mode_is_scale_free_but_top_compressed() {
+        let ts = spiky(600, 400);
+        let mut ensemble =
+            Ensemble::new(vec![Box::new(GlobalZScore), Box::new(MovingAvgResidual::new(21))]);
+        ensemble.normalization = EnsembleNormalization::Rank;
+        // with only well-behaved (correlated) members, rank mode also works
+        let peak = most_anomalous_point(&ensemble, &ts, 0).unwrap();
+        assert_eq!(peak, 400);
+        let score = ensemble.score(&ts, 0).unwrap();
+        assert!(score.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert_eq!(ensemble.name(), "ensemble (mean rank)");
+    }
+
+    #[test]
+    fn failing_members_are_skipped() {
+        // SubsequenceKnn errors without a train prefix; the other member
+        // carries the ensemble
+        let ts = spiky(400, 250);
+        let ensemble = Ensemble::new(vec![
+            Box::new(crate::baselines::SubsequenceKnn::new(50)),
+            Box::new(GlobalZScore),
+        ]);
+        let peak = most_anomalous_point(&ensemble, &ts, 0).unwrap();
+        assert_eq!(peak, 250);
+    }
+
+    #[test]
+    fn all_members_failing_is_an_error() {
+        let ts = spiky(200, 100);
+        let ensemble =
+            Ensemble::new(vec![Box::new(crate::baselines::SubsequenceKnn::new(50))]);
+        assert!(ensemble.score(&ts, 0).is_err());
+    }
+
+    #[test]
+    fn min_members_is_enforced() {
+        let ts = spiky(400, 250);
+        let mut ensemble = Ensemble::new(vec![
+            Box::new(crate::baselines::SubsequenceKnn::new(50)), // fails (no train)
+            Box::new(GlobalZScore),
+        ]);
+        ensemble.min_members = 2;
+        assert!(ensemble.score(&ts, 0).is_err());
+    }
+}

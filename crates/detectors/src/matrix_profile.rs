@@ -1,0 +1,569 @@
+//! Self-join matrix profile: STOMP (exact, `O(n²)` with incremental dot
+//! products) and STAMP (MASS-per-query, `O(n² log n)`, kept as an
+//! independent reference implementation), plus a brute-force `O(n²·m)`
+//! oracle for testing.
+//!
+//! The matrix profile value at `i` is the z-normalized Euclidean distance
+//! from subsequence `i` to its nearest non-trivial neighbor. Its maximum is
+//! the *time series discord* — the anomaly score the paper plots in Fig. 8
+//! (NYC taxi) and Fig. 13 (ECG), and recommends as a strong decades-old
+//! baseline.
+
+use tsad_core::dist::{dot_to_znorm_dist, mass};
+use tsad_core::error::{CoreError, Result};
+use tsad_core::windows::WindowMoments;
+use tsad_core::{stats, TimeSeries};
+
+use crate::Detector;
+
+/// Distance metric for the matrix profile.
+///
+/// Z-normalized distance is the standard choice (amplitude/offset
+/// invariant). Raw Euclidean — the metric of Yankov et al.'s disk-aware
+/// discords — is preferable when window amplitude is meaningful and when
+/// additive noise would dominate low-variance windows after normalization
+/// (the paper's Fig. 13 ECG is exactly that case: its flat diastolic
+/// segments z-normalize to pure noise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMetric {
+    /// Z-normalized Euclidean distance (the matrix-profile default).
+    #[default]
+    ZNormalized,
+    /// Plain Euclidean distance between raw subsequences.
+    Euclidean,
+}
+
+/// A computed self-join matrix profile.
+#[derive(Debug, Clone)]
+pub struct MatrixProfile {
+    /// `profile[i]` = z-normalized distance from window `i` to its nearest
+    /// non-trivial neighbor.
+    pub profile: Vec<f64>,
+    /// `index[i]` = start of that nearest neighbor. Windows that received
+    /// no admissible neighbor (tiny inputs; the left profile's warm-up
+    /// prefix) keep the placeholder 0 — check `profile[i]` before trusting
+    /// `index[i]` in those regions.
+    pub index: Vec<usize>,
+    /// Subsequence length.
+    pub window: usize,
+}
+
+impl MatrixProfile {
+    /// The discord: the window whose nearest neighbor is farthest away.
+    /// Returns `(start_index, distance)`.
+    pub fn discord(&self) -> Result<(usize, f64)> {
+        let i = stats::argmax(&self.profile)?;
+        Ok((i, self.profile[i]))
+    }
+
+    /// Expands the window-aligned profile to a per-point score of the
+    /// original series length: each point receives the maximum profile
+    /// value among windows covering it. This is how the "discord score" is
+    /// rendered against per-point labels in the paper's figures.
+    pub fn point_scores(&self, series_len: usize) -> Vec<f64> {
+        let mut out = vec![0.0; series_len];
+        for (i, &p) in self.profile.iter().enumerate() {
+            for o in out.iter_mut().skip(i).take(self.window) {
+                if p > *o {
+                    *o = p;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Exclusion-zone half-width: `m / 2` rounded up, the standard choice that
+/// prevents trivial self-matches.
+pub fn exclusion_zone(m: usize) -> usize {
+    m.div_ceil(2)
+}
+
+/// STOMP: exact self-join matrix profile in `O(n²)` time, `O(n)` memory,
+/// under the z-normalized metric.
+pub fn stomp(x: &[f64], m: usize) -> Result<MatrixProfile> {
+    stomp_metric(x, m, ProfileMetric::ZNormalized)
+}
+
+/// STOMP under an explicit [`ProfileMetric`]. Both metrics share the same
+/// `O(n²)` incremental-dot-product core; Euclidean uses
+/// `d² = ‖a‖² + ‖b‖² − 2·a·b` with precomputed window norms.
+pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<MatrixProfile> {
+    let n = x.len();
+    let count = tsad_core::windows::subsequence_count(n, m)?;
+    if count < 2 {
+        return Err(CoreError::BadWindow { window: m, len: n });
+    }
+    let moments = WindowMoments::compute(x, m)?;
+    let excl = exclusion_zone(m);
+
+    // squared window norms for the Euclidean metric
+    let sq_norms: Vec<f64> = (0..count)
+        .map(|i| x[i..i + m].iter().map(|v| v * v).sum())
+        .collect();
+
+    let mut profile = vec![f64::INFINITY; count];
+    let mut index = vec![0usize; count];
+
+    // First row of the distance matrix: dot products of window 0 with all.
+    let first_row: Vec<f64> = tsad_core::fft::sliding_dot_product(&x[0..m], x)?;
+    let mut qt = first_row.clone();
+
+    let update = |i: usize,
+                      j: usize,
+                      dot: f64,
+                      profile: &mut [f64],
+                      index: &mut [usize]| {
+        if j.abs_diff(i) < excl {
+            return;
+        }
+        let d = match metric {
+            ProfileMetric::ZNormalized => dot_to_znorm_dist(
+                dot,
+                m,
+                moments.means[i],
+                moments.stds[i],
+                moments.means[j],
+                moments.stds[j],
+            ),
+            ProfileMetric::Euclidean => {
+                (sq_norms[i] + sq_norms[j] - 2.0 * dot).max(0.0).sqrt()
+            }
+        };
+        if d < profile[i] {
+            profile[i] = d;
+            index[i] = j;
+        }
+        if d < profile[j] {
+            profile[j] = d;
+            index[j] = i;
+        }
+    };
+
+    // Row 0.
+    #[allow(clippy::needless_range_loop)] // j is a window index, not just a position in qt
+    for j in 0..count {
+        update(0, j, qt[j], &mut profile, &mut index);
+    }
+    // Rows 1..count using the STOMP recurrence:
+    // QT[i][j] = QT[i-1][j-1] - x[i-1]*x[j-1] + x[i+m-1]*x[j+m-1].
+    for i in 1..count {
+        // iterate j from high to low so qt[j-1] is still row i-1's value
+        for j in (1..count).rev() {
+            qt[j] = qt[j - 1] - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
+        }
+        qt[0] = first_row[i]; // QT[i][0] = QT[0][i] by symmetry
+        // Only the upper triangle is needed; `update` fills both sides.
+        #[allow(clippy::needless_range_loop)]
+        for j in i..count {
+            update(i, j, qt[j], &mut profile, &mut index);
+        }
+    }
+
+    // Windows with no admissible neighbor (can only happen for tiny inputs)
+    // keep INFINITY replaced by the max finite value for downstream safety.
+    let max_finite =
+        profile.iter().copied().filter(|d| d.is_finite()).fold(0.0f64, f64::max);
+    for p in &mut profile {
+        if !p.is_finite() {
+            *p = max_finite;
+        }
+    }
+    Ok(MatrixProfile { profile, index, window: m })
+}
+
+/// Left matrix profile: each window's nearest neighbor among *preceding*
+/// windows only — the streaming/online variant (a window can only be
+/// compared against history, never the future), which is what a NAB-style
+/// real-time detector actually gets to see. Warm-up windows with no
+/// admissible left neighbor score 0 (no evidence either way).
+pub fn left_stomp(x: &[f64], m: usize, metric: ProfileMetric) -> Result<MatrixProfile> {
+    let n = x.len();
+    let count = tsad_core::windows::subsequence_count(n, m)?;
+    if count < 2 {
+        return Err(CoreError::BadWindow { window: m, len: n });
+    }
+    let moments = WindowMoments::compute(x, m)?;
+    let excl = exclusion_zone(m);
+    let sq_norms: Vec<f64> = (0..count)
+        .map(|i| x[i..i + m].iter().map(|v| v * v).sum())
+        .collect();
+
+    let mut profile = vec![f64::INFINITY; count];
+    let mut index = vec![0usize; count];
+
+    let first_row: Vec<f64> = tsad_core::fft::sliding_dot_product(&x[0..m], x)?;
+    let mut qt = first_row.clone();
+
+    let distance = |i: usize, j: usize, dot: f64| -> f64 {
+        match metric {
+            ProfileMetric::ZNormalized => dot_to_znorm_dist(
+                dot,
+                m,
+                moments.means[i],
+                moments.stds[i],
+                moments.means[j],
+                moments.stds[j],
+            ),
+            ProfileMetric::Euclidean => (sq_norms[i] + sq_norms[j] - 2.0 * dot).max(0.0).sqrt(),
+        }
+    };
+
+    // row i gives dot products of window i with all windows j; we only use
+    // j < i (left neighbors) outside the exclusion zone
+    for i in 1..count {
+        for j in (1..count).rev() {
+            qt[j] = qt[j - 1] - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
+        }
+        qt[0] = first_row[i];
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..i.saturating_sub(excl.saturating_sub(1)) {
+            if i.abs_diff(j) < excl {
+                continue;
+            }
+            let d = distance(i, j, qt[j]);
+            if d < profile[i] {
+                profile[i] = d;
+                index[i] = j;
+            }
+        }
+    }
+    // Warm-up: windows with no left neighbor — or too little history for
+    // the minimum distance to be meaningful (a lone far-away neighbor makes
+    // everything look novel) — score 0: no evidence of anomaly yet.
+    let warmup = (excl + 2 * m).min(count);
+    for p in &mut profile[..warmup] {
+        *p = 0.0;
+    }
+    for p in &mut profile {
+        if !p.is_finite() {
+            *p = 0.0;
+        }
+    }
+    Ok(MatrixProfile { profile, index, window: m })
+}
+
+/// STAMP: the same matrix profile computed with one MASS call per window.
+/// Asymptotically slower than STOMP but a fully independent code path, used
+/// to cross-check correctness (and historically, the anytime variant).
+pub fn stamp(x: &[f64], m: usize) -> Result<MatrixProfile> {
+    let n = x.len();
+    let count = tsad_core::windows::subsequence_count(n, m)?;
+    if count < 2 {
+        return Err(CoreError::BadWindow { window: m, len: n });
+    }
+    let excl = exclusion_zone(m);
+    let mut profile = vec![f64::INFINITY; count];
+    let mut index = vec![0usize; count];
+    for i in 0..count {
+        let dists = mass(&x[i..i + m], x)?;
+        for (j, &d) in dists.iter().enumerate() {
+            if j.abs_diff(i) < excl {
+                continue;
+            }
+            if d < profile[i] {
+                profile[i] = d;
+                index[i] = j;
+            }
+        }
+    }
+    let max_finite =
+        profile.iter().copied().filter(|d| d.is_finite()).fold(0.0f64, f64::max);
+    for p in &mut profile {
+        if !p.is_finite() {
+            *p = max_finite;
+        }
+    }
+    Ok(MatrixProfile { profile, index, window: m })
+}
+
+/// Brute-force matrix profile (`O(n²·m)`): the correctness oracle.
+pub fn matrix_profile_naive(x: &[f64], m: usize) -> Result<MatrixProfile> {
+    let count = tsad_core::windows::subsequence_count(x.len(), m)?;
+    if count < 2 {
+        return Err(CoreError::BadWindow { window: m, len: x.len() });
+    }
+    let excl = exclusion_zone(m);
+    let mut profile = vec![f64::INFINITY; count];
+    let mut index = vec![0usize; count];
+    for i in 0..count {
+        for j in 0..count {
+            if j.abs_diff(i) < excl {
+                continue;
+            }
+            let d = tsad_core::dist::znorm_euclidean(&x[i..i + m], &x[j..j + m])?;
+            if d < profile[i] {
+                profile[i] = d;
+                index[i] = j;
+            }
+        }
+    }
+    let max_finite =
+        profile.iter().copied().filter(|d| d.is_finite()).fold(0.0f64, f64::max);
+    for p in &mut profile {
+        if !p.is_finite() {
+            *p = max_finite;
+        }
+    }
+    Ok(MatrixProfile { profile, index, window: m })
+}
+
+/// Matrix-profile discord detector: scores each point by the profile of the
+/// windows covering it. Unsupervised — ignores the train prefix, exactly
+/// like the "Discord, no training data" trace in the paper's Fig. 13.
+#[derive(Debug, Clone)]
+pub struct DiscordDetector {
+    /// Subsequence length.
+    pub window: usize,
+    /// Distance metric.
+    pub metric: ProfileMetric,
+}
+
+impl DiscordDetector {
+    /// Creates a z-normalized discord detector with subsequence length
+    /// `window`.
+    pub fn new(window: usize) -> Self {
+        Self { window, metric: ProfileMetric::ZNormalized }
+    }
+
+    /// Creates a raw-Euclidean discord detector (Yankov-style).
+    pub fn euclidean(window: usize) -> Self {
+        Self { window, metric: ProfileMetric::Euclidean }
+    }
+}
+
+impl Detector for DiscordDetector {
+    fn name(&self) -> &'static str {
+        match self.metric {
+            ProfileMetric::ZNormalized => "discord (matrix profile)",
+            ProfileMetric::Euclidean => "discord (euclidean)",
+        }
+    }
+    fn score(&self, ts: &TimeSeries, _train_len: usize) -> Result<Vec<f64>> {
+        let mp = stomp_metric(ts.values(), self.window, self.metric)?;
+        Ok(mp.point_scores(ts.len()))
+    }
+}
+
+/// Streaming discord detector: scores each point with the *left* matrix
+/// profile, so the score at time `t` uses only data up to `t` — the
+/// honest online setting NAB evaluates (a self-join profile quietly looks
+/// into the future).
+#[derive(Debug, Clone)]
+pub struct OnlineDiscordDetector {
+    /// Subsequence length.
+    pub window: usize,
+    /// Distance metric.
+    pub metric: ProfileMetric,
+}
+
+impl OnlineDiscordDetector {
+    /// Creates a z-normalized online discord detector.
+    pub fn new(window: usize) -> Self {
+        Self { window, metric: ProfileMetric::ZNormalized }
+    }
+}
+
+impl Detector for OnlineDiscordDetector {
+    fn name(&self) -> &'static str {
+        "online discord (left profile)"
+    }
+    fn score(&self, ts: &TimeSeries, _train_len: usize) -> Result<Vec<f64>> {
+        let mp = left_stomp(ts.values(), self.window, self.metric)?;
+        Ok(mp.point_scores(ts.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Periodic signal with one anomalous cycle.
+    fn anomalous_sine(n: usize, period: usize, at: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let base = (i as f64 * std::f64::consts::TAU / period as f64).sin();
+                if i >= at && i < at + period / 2 {
+                    base * 0.2 + 0.8 // squashed half-cycle
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stomp_matches_naive() {
+        let x = anomalous_sine(240, 24, 120);
+        for m in [8, 24] {
+            let fast = stomp(&x, m).unwrap();
+            let slow = matrix_profile_naive(&x, m).unwrap();
+            assert_eq!(fast.profile.len(), slow.profile.len());
+            for i in 0..fast.profile.len() {
+                assert!(
+                    (fast.profile[i] - slow.profile[i]).abs() < 1e-4,
+                    "m={m} i={i}: {} vs {}",
+                    fast.profile[i],
+                    slow.profile[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_matches_stomp() {
+        let x = anomalous_sine(300, 30, 150);
+        let a = stomp(&x, 16).unwrap();
+        let b = stamp(&x, 16).unwrap();
+        for i in 0..a.profile.len() {
+            assert!((a.profile[i] - b.profile[i]).abs() < 1e-5, "i={i}");
+        }
+    }
+
+    #[test]
+    fn discord_lands_on_anomalous_cycle() {
+        let period = 32;
+        let at = 320;
+        let x = anomalous_sine(640, period, at);
+        let mp = stomp(&x, period).unwrap();
+        let (loc, dist) = mp.discord().unwrap();
+        assert!(dist > 0.0);
+        assert!(
+            loc >= at.saturating_sub(period) && loc <= at + period / 2,
+            "discord at {loc}, anomaly at {at}"
+        );
+    }
+
+    #[test]
+    fn profile_of_pure_periodic_signal_is_low() {
+        let x: Vec<f64> =
+            (0..512).map(|i| (i as f64 * std::f64::consts::TAU / 32.0).sin()).collect();
+        let mp = stomp(&x, 32).unwrap();
+        let max = mp.profile.iter().copied().fold(0.0f64, f64::max);
+        assert!(max < 0.5, "pure periodic signal should self-match well: {max}");
+    }
+
+    #[test]
+    fn point_scores_cover_series() {
+        let x = anomalous_sine(200, 20, 100);
+        let mp = stomp(&x, 20).unwrap();
+        let scores = mp.point_scores(x.len());
+        assert_eq!(scores.len(), x.len());
+        let peak = stats::argmax(&scores).unwrap();
+        assert!((80..=130).contains(&peak), "peak at {peak}");
+    }
+
+    #[test]
+    fn rejects_too_short_input() {
+        assert!(stomp(&[1.0, 2.0, 3.0], 3).is_err());
+        assert!(stomp(&[1.0, 2.0, 3.0], 0).is_err());
+        assert!(stamp(&[1.0; 4], 4).is_err());
+        assert!(matrix_profile_naive(&[1.0; 4], 4).is_err());
+    }
+
+    #[test]
+    fn euclidean_metric_matches_naive() {
+        let x = anomalous_sine(200, 20, 100);
+        let m = 16;
+        let fast = stomp_metric(&x, m, ProfileMetric::Euclidean).unwrap();
+        let excl = exclusion_zone(m);
+        let count = x.len() - m + 1;
+        for i in 0..count {
+            let mut nn = f64::INFINITY;
+            for j in 0..count {
+                if j.abs_diff(i) < excl {
+                    continue;
+                }
+                let d = tsad_core::dist::euclidean(&x[i..i + m], &x[j..j + m]).unwrap();
+                nn = nn.min(d);
+            }
+            assert!((fast.profile[i] - nn).abs() < 1e-6, "i={i}: {} vs {nn}", fast.profile[i]);
+        }
+    }
+
+    #[test]
+    fn nn_indices_respect_exclusion_zone() {
+        let x = anomalous_sine(160, 16, 80);
+        let mp = stomp(&x, 16).unwrap();
+        let excl = exclusion_zone(16);
+        for (i, &j) in mp.index.iter().enumerate() {
+            assert!(j.abs_diff(i) >= excl, "i={i} j={j}");
+        }
+    }
+
+    #[test]
+    fn left_profile_matches_naive_left_scan() {
+        let x = anomalous_sine(200, 20, 120);
+        let m = 16;
+        let left = left_stomp(&x, m, ProfileMetric::ZNormalized).unwrap();
+        let excl = exclusion_zone(m);
+        let count = x.len() - m + 1;
+        for i in (excl + 2 * m + 1)..count {
+            let mut nn = f64::INFINITY;
+            for j in 0..i {
+                if i - j < excl {
+                    continue;
+                }
+                let d = tsad_core::dist::znorm_euclidean(&x[i..i + m], &x[j..j + m]).unwrap();
+                nn = nn.min(d);
+            }
+            if nn.is_finite() {
+                assert!(
+                    (left.profile[i] - nn).abs() < 1e-6,
+                    "i={i}: {} vs {nn}",
+                    left.profile[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn left_profile_discord_is_the_first_novel_event(){
+        // two identical anomalous cycles: the SELF-JOIN profile pairs them
+        // (neither is a discord), but the LEFT profile still flags the
+        // first occurrence — the streaming advantage
+        let period = 24;
+        let x: Vec<f64> = (0..480)
+            .map(|i| {
+                let base = (i as f64 * std::f64::consts::TAU / period as f64).sin();
+                // events 8 periods apart: identical shape AND phase
+                if (192..204).contains(&i) || (384..396).contains(&i) {
+                    base + 2.0
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let full = stomp(&x, period).unwrap();
+        let left = left_stomp(&x, period, ProfileMetric::ZNormalized).unwrap();
+        let (left_loc, _) = left.discord().unwrap();
+        assert!(
+            (170..=204).contains(&left_loc),
+            "left discord at the first event: {left_loc}"
+        );
+        // the self-join profile at the first event is depressed by the twin
+        let first_event_profile = full.profile[190];
+        let left_event_profile = left.profile[190];
+        assert!(left_event_profile >= first_event_profile - 1e-9);
+    }
+
+    #[test]
+    fn online_detector_flags_first_novelty() {
+        let x = anomalous_sine(400, 20, 300);
+        let ts = TimeSeries::new("online", x).unwrap();
+        let det = OnlineDiscordDetector::new(20);
+        let peak = crate::most_anomalous_point(&det, &ts, 0).unwrap();
+        assert!((280..=330).contains(&peak), "peak {peak}");
+        assert_eq!(det.name(), "online discord (left profile)");
+    }
+
+    #[test]
+    fn detector_scores_full_length() {
+        let x = anomalous_sine(200, 20, 100);
+        let ts = TimeSeries::new("s", x).unwrap();
+        let det = DiscordDetector::new(20);
+        let s = det.score(&ts, 50).unwrap();
+        assert_eq!(s.len(), ts.len());
+        assert_eq!(det.name(), "discord (matrix profile)");
+    }
+}

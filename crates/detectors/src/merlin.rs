@@ -1,0 +1,226 @@
+//! MERLIN-style parameter-free discord discovery (Nakamura et al., ICDM
+//! 2020) — the paper's reference \[18\] for "decade-old simple ideas" that
+//! solve the challenging NASA examples.
+//!
+//! MERLIN removes the discord's one parameter (the subsequence length) by
+//! finding the top discord at *every* length in a range. Each per-length
+//! search uses DRAG (Yankov, Keogh & Rebbapragada, ICDM 2007):
+//!
+//! 1. **Candidate selection**: a single pass keeps a set of subsequences
+//!    that could have a nearest neighbor farther than `r`.
+//! 2. **Refinement**: a second pass computes each surviving candidate's
+//!    true nearest-neighbor distance, discarding it the moment the distance
+//!    drops below `r`.
+//!
+//! If `r` was too large (no candidates survive), MERLIN retries with a
+//! smaller `r`; between consecutive lengths it warm-starts `r` from the
+//! previous discord distance.
+
+use tsad_core::dist::znorm_euclidean;
+use tsad_core::error::{CoreError, Result};
+use tsad_core::windows::subsequence_count;
+
+use crate::matrix_profile::exclusion_zone;
+
+/// A discord found at a specific subsequence length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthDiscord {
+    /// Subsequence length.
+    pub length: usize,
+    /// Discord start index.
+    pub start: usize,
+    /// Distance to nearest non-trivial neighbor.
+    pub distance: f64,
+}
+
+/// DRAG phase 1+2 for one length: the top discord, or `None` if every
+/// subsequence has a neighbor within `r`.
+pub fn drag_discord(x: &[f64], m: usize, r: f64) -> Result<Option<(usize, f64)>> {
+    let count = subsequence_count(x.len(), m)?;
+    if count < 2 {
+        return Err(CoreError::BadWindow { window: m, len: x.len() });
+    }
+    let excl = exclusion_zone(m);
+
+    // Phase 1: candidate selection.
+    let mut candidates: Vec<usize> = Vec::new();
+    for i in 0..count {
+        let mut is_candidate = true;
+        // retain() with a side effect on is_candidate
+        let mut kept = Vec::with_capacity(candidates.len());
+        for &c in &candidates {
+            if i.abs_diff(c) < excl {
+                kept.push(c);
+                continue;
+            }
+            let d = znorm_euclidean(&x[i..i + m], &x[c..c + m])?;
+            if d < r {
+                // c has a neighbor within r → not a discord; and i matched
+                // something, so i is not a candidate either.
+                is_candidate = false;
+            } else {
+                kept.push(c);
+            }
+        }
+        candidates = kept;
+        if is_candidate {
+            candidates.push(i);
+        }
+    }
+    if candidates.is_empty() {
+        return Ok(None);
+    }
+
+    // Phase 2: refinement with early abandon at r.
+    let mut best: Option<(usize, f64)> = None;
+    'cand: for &c in &candidates {
+        let mut nn = f64::INFINITY;
+        for j in 0..count {
+            if j.abs_diff(c) < excl {
+                continue;
+            }
+            let d = znorm_euclidean(&x[c..c + m], &x[j..j + m])?;
+            if d < nn {
+                nn = d;
+                if nn < r {
+                    continue 'cand; // false positive from phase 1
+                }
+            }
+        }
+        if nn.is_finite() && best.is_none_or(|(_, bd)| nn > bd) {
+            best = Some((c, nn));
+        }
+    }
+    Ok(best)
+}
+
+/// MERLIN: top discord at every length in `min_len ..= max_len`.
+///
+/// `r` starts at `2√m` (the theoretical maximum z-normalized distance) and
+/// halves until DRAG succeeds; subsequent lengths warm-start from the
+/// previous discord distance scaled by 0.99, as in the published algorithm.
+pub fn merlin(x: &[f64], min_len: usize, max_len: usize) -> Result<Vec<LengthDiscord>> {
+    if min_len == 0 || min_len > max_len {
+        return Err(CoreError::BadParameter {
+            name: "min_len",
+            value: min_len as f64,
+            expected: "0 < min_len <= max_len",
+        });
+    }
+    subsequence_count(x.len(), max_len)?;
+    let mut out = Vec::with_capacity(max_len - min_len + 1);
+    let mut r_hint: Option<f64> = None;
+    for m in min_len..=max_len {
+        let mut r = r_hint.unwrap_or_else(|| 2.0 * (m as f64).sqrt());
+        let mut found = None;
+        for _ in 0..64 {
+            if let Some(hit) = drag_discord(x, m, r)? {
+                found = Some(hit);
+                break;
+            }
+            r *= 0.5;
+            if r < 1e-9 {
+                break;
+            }
+        }
+        if let Some((start, distance)) = found {
+            r_hint = Some(distance * 0.99);
+            out.push(LengthDiscord { length: m, start, distance });
+        } else {
+            // Degenerate series (e.g. constant): discord distance 0.
+            out.push(LengthDiscord { length: m, start: 0, distance: 0.0 });
+            r_hint = None;
+        }
+    }
+    Ok(out)
+}
+
+/// The single strongest discord across all lengths, with distances
+/// length-normalized (divided by `√m`) so different lengths are comparable,
+/// as MERLIN recommends.
+pub fn merlin_top(x: &[f64], min_len: usize, max_len: usize) -> Result<Option<LengthDiscord>> {
+    let all = merlin(x, min_len, max_len)?;
+    Ok(all.into_iter().max_by(|a, b| {
+        let na = a.distance / (a.length as f64).sqrt();
+        let nb = b.distance / (b.length as f64).sqrt();
+        na.partial_cmp(&nb).expect("finite")
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix_profile::stomp;
+
+    fn anomalous_signal() -> Vec<f64> {
+        (0..360)
+            .map(|i| {
+                let base = (i as f64 * std::f64::consts::TAU / 24.0).sin();
+                if (180..192).contains(&i) {
+                    -base * 0.9 // a phase-flipped patch
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn drag_agrees_with_matrix_profile() {
+        let x = anomalous_signal();
+        let m = 24;
+        let (mp_loc, mp_dist) = stomp(&x, m).unwrap().discord().unwrap();
+        // r slightly below the true discord distance must recover it exactly
+        let (loc, dist) = drag_discord(&x, m, mp_dist * 0.9).unwrap().unwrap();
+        assert!((dist - mp_dist).abs() < 1e-6, "{dist} vs {mp_dist}");
+        assert_eq!(loc, mp_loc);
+    }
+
+    #[test]
+    fn drag_returns_none_when_r_too_large() {
+        let x = anomalous_signal();
+        let got = drag_discord(&x, 24, 1e6).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn merlin_sweeps_lengths_and_finds_anomaly() {
+        let x = anomalous_signal();
+        let discords = merlin(&x, 20, 28).unwrap();
+        assert_eq!(discords.len(), 9);
+        for d in &discords {
+            assert!(
+                d.start.abs_diff(180) <= 2 * d.length,
+                "length {} discord at {}",
+                d.length,
+                d.start
+            );
+            assert!(d.distance > 0.0);
+        }
+    }
+
+    #[test]
+    fn merlin_top_selects_strongest() {
+        let x = anomalous_signal();
+        let top = merlin_top(&x, 20, 28).unwrap().unwrap();
+        assert!(top.distance > 0.0);
+        assert!((20..=28).contains(&top.length));
+    }
+
+    #[test]
+    fn merlin_validates_parameters() {
+        let x = vec![0.0; 50];
+        assert!(merlin(&x, 0, 10).is_err());
+        assert!(merlin(&x, 12, 10).is_err());
+        assert!(merlin(&x, 10, 60).is_err());
+    }
+
+    #[test]
+    fn merlin_on_constant_signal_reports_zero() {
+        let x = vec![1.0; 80];
+        let discords = merlin(&x, 8, 10).unwrap();
+        for d in discords {
+            assert_eq!(d.distance, 0.0);
+        }
+    }
+}

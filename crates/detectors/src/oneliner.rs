@@ -1,0 +1,737 @@
+//! The paper's "one-line-of-code" detectors.
+//!
+//! Definition 1 of the paper calls an anomaly detection problem *trivial*
+//! if it can be solved with a single line of standard-library MATLAB built
+//! from basic vectorized primitives. This module implements exactly that
+//! vocabulary as a tiny expression AST ([`Expr`]), the predicate form
+//! `lhs > rhs` ([`OneLiner`]), the paper's equation families (1)–(6), and
+//! the brute-force parameter search behind Table 1 ([`search`]).
+//!
+//! ## Alignment
+//!
+//! `diff` shortens a vector by one and shifts its meaning: position `i` of
+//! `diff(TS)` describes the transition `i → i+1`. The evaluator tracks how
+//! many `diff`s were applied; when a one-liner fires at diff-space position
+//! `i` after `d` diffs, the flagged *series* index is `i + d` (the arrival
+//! point of the jump). Binary operations require both operands to be at the
+//! same diff depth, mirroring the fact that MATLAB would raise a dimension
+//! error otherwise.
+
+use std::fmt;
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::{ops, Labels, TimeSeries};
+
+use crate::Detector;
+
+/// A vectorized expression over the input series `TS`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The raw time series.
+    Ts,
+    /// A scalar constant, broadcast to the current length.
+    Const(f64),
+    /// First difference (shortens by one, increases diff depth).
+    Diff(Box<Expr>),
+    /// Element-wise absolute value.
+    Abs(Box<Expr>),
+    /// MATLAB `movmean(e, k)`.
+    MovMean(Box<Expr>, usize),
+    /// MATLAB `movstd(e, k)`.
+    MovStd(Box<Expr>, usize),
+    /// MATLAB `movmax(e, k)`.
+    MovMax(Box<Expr>, usize),
+    /// MATLAB `movmin(e, k)`.
+    MovMin(Box<Expr>, usize),
+    /// Element-wise sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Element-wise difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Scalar multiple.
+    Scale(f64, Box<Expr>),
+}
+
+/// Evaluation result: the values plus the diff depth (alignment shift).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluated {
+    /// Expression values; length = series length − diff depth.
+    pub values: Vec<f64>,
+    /// Number of `diff`s applied along every path (all paths must agree).
+    pub depth: usize,
+}
+
+impl Expr {
+    /// Evaluates the expression over `x`.
+    pub fn eval(&self, x: &[f64]) -> Result<Evaluated> {
+        match self {
+            Expr::Ts => Ok(Evaluated { values: x.to_vec(), depth: 0 }),
+            Expr::Const(c) => Ok(Evaluated { values: vec![*c; x.len()], depth: 0 }),
+            Expr::Diff(e) => {
+                let inner = e.eval(x)?;
+                Ok(Evaluated { values: ops::diff(&inner.values), depth: inner.depth + 1 })
+            }
+            Expr::Abs(e) => {
+                let inner = e.eval(x)?;
+                Ok(Evaluated { values: ops::abs(&inner.values), depth: inner.depth })
+            }
+            Expr::MovMean(e, k) => {
+                let inner = e.eval(x)?;
+                Ok(Evaluated { values: ops::movmean(&inner.values, *k)?, depth: inner.depth })
+            }
+            Expr::MovStd(e, k) => {
+                let inner = e.eval(x)?;
+                Ok(Evaluated { values: ops::movstd(&inner.values, *k)?, depth: inner.depth })
+            }
+            Expr::MovMax(e, k) => {
+                let inner = e.eval(x)?;
+                Ok(Evaluated { values: ops::movmax(&inner.values, *k)?, depth: inner.depth })
+            }
+            Expr::MovMin(e, k) => {
+                let inner = e.eval(x)?;
+                Ok(Evaluated { values: ops::movmin(&inner.values, *k)?, depth: inner.depth })
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                let (ea, eb) = (a.eval(x)?, b.eval(x)?);
+                // `Const` is depth-polymorphic: broadcast it to the other
+                // operand's length/depth.
+                let (ea, eb) = broadcast(ea, eb)?;
+                if ea.depth != eb.depth {
+                    return Err(CoreError::LengthMismatch {
+                        left: ea.values.len(),
+                        right: eb.values.len(),
+                    });
+                }
+                let vals = match self {
+                    Expr::Add(..) => {
+                        ea.values.iter().zip(&eb.values).map(|(p, q)| p + q).collect()
+                    }
+                    _ => ea.values.iter().zip(&eb.values).map(|(p, q)| p - q).collect(),
+                };
+                Ok(Evaluated { values: vals, depth: ea.depth })
+            }
+            Expr::Scale(c, e) => {
+                let inner = e.eval(x)?;
+                Ok(Evaluated {
+                    values: inner.values.iter().map(|v| c * v).collect(),
+                    depth: inner.depth,
+                })
+            }
+        }
+    }
+
+    // ---- builder helpers (keep equation definitions readable) ----
+
+    /// `diff(self)`
+    pub fn diff(self) -> Expr {
+        Expr::Diff(Box::new(self))
+    }
+    /// `abs(self)`
+    pub fn abs(self) -> Expr {
+        Expr::Abs(Box::new(self))
+    }
+    /// `movmean(self, k)`
+    pub fn movmean(self, k: usize) -> Expr {
+        Expr::MovMean(Box::new(self), k)
+    }
+    /// `movstd(self, k)`
+    pub fn movstd(self, k: usize) -> Expr {
+        Expr::MovStd(Box::new(self), k)
+    }
+    /// `self + other`
+    pub fn plus(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+    /// `self - other`
+    pub fn minus(self, other: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(other))
+    }
+    /// `c * self`
+    pub fn scale(self, c: f64) -> Expr {
+        Expr::Scale(c, Box::new(self))
+    }
+}
+
+/// Broadcasts a `Const`-derived operand (depth 0, original length) to match
+/// the other operand when depths differ; otherwise returns inputs untouched.
+fn broadcast(a: Evaluated, b: Evaluated) -> Result<(Evaluated, Evaluated)> {
+    fn is_uniform(e: &Evaluated) -> Option<f64> {
+        let first = *e.values.first()?;
+        e.values.iter().all(|&v| v == first).then_some(first)
+    }
+    if a.depth == b.depth {
+        return Ok((a, b));
+    }
+    if a.depth < b.depth {
+        if let Some(c) = is_uniform(&a) {
+            let bv = Evaluated { values: vec![c; b.values.len()], depth: b.depth };
+            return Ok((bv, b));
+        }
+    } else if let Some(c) = is_uniform(&b) {
+        let bv = Evaluated { values: vec![c; a.values.len()], depth: a.depth };
+        return Ok((a, bv));
+    }
+    Ok((a, b))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Ts => write!(f, "TS"),
+            Expr::Const(c) => write!(f, "{c:.4}"),
+            Expr::Diff(e) => write!(f, "diff({e})"),
+            Expr::Abs(e) => write!(f, "abs({e})"),
+            Expr::MovMean(e, k) => write!(f, "movmean({e}, {k})"),
+            Expr::MovStd(e, k) => write!(f, "movstd({e}, {k})"),
+            Expr::MovMax(e, k) => write!(f, "movmax({e}, {k})"),
+            Expr::MovMin(e, k) => write!(f, "movmin({e}, {k})"),
+            Expr::Add(a, b) => write!(f, "{a} + {b}"),
+            Expr::Sub(a, b) => write!(f, "{a} - {b}"),
+            Expr::Scale(c, e) => write!(f, "{c:.4} * {e}"),
+        }
+    }
+}
+
+/// A one-line detector: the predicate `lhs > rhs`, rendered and evaluated
+/// like a line of MATLAB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneLiner {
+    /// Left-hand (signal) expression.
+    pub lhs: Expr,
+    /// Right-hand (threshold) expression.
+    pub rhs: Expr,
+}
+
+impl OneLiner {
+    /// Creates the predicate `lhs > rhs`.
+    pub fn new(lhs: Expr, rhs: Expr) -> Self {
+        Self { lhs, rhs }
+    }
+
+    /// Evaluates the predicate, returning a mask aligned to the *original*
+    /// series indices (length = series length; leading `depth` positions are
+    /// `false`).
+    pub fn mask(&self, x: &[f64]) -> Result<Vec<bool>> {
+        let l = self.lhs.eval(x)?;
+        let r = self.rhs.eval(x)?;
+        let (l, r) = broadcast(l, r)?;
+        if l.depth != r.depth || l.values.len() != r.values.len() {
+            return Err(CoreError::LengthMismatch { left: l.values.len(), right: r.values.len() });
+        }
+        let mut mask = vec![false; x.len()];
+        for (i, (a, b)) in l.values.iter().zip(&r.values).enumerate() {
+            if a > b {
+                mask[i + l.depth] = true;
+            }
+        }
+        Ok(mask)
+    }
+
+    /// Continuous score `lhs − rhs`, aligned to original indices. Leading
+    /// positions lost to `diff` are filled with the minimum so they can
+    /// never be the arg-max.
+    pub fn score_values(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let l = self.lhs.eval(x)?;
+        let r = self.rhs.eval(x)?;
+        let (l, r) = broadcast(l, r)?;
+        if l.depth != r.depth || l.values.len() != r.values.len() {
+            return Err(CoreError::LengthMismatch { left: l.values.len(), right: r.values.len() });
+        }
+        let margins: Vec<f64> = l.values.iter().zip(&r.values).map(|(a, b)| a - b).collect();
+        let pad = margins.iter().copied().fold(f64::INFINITY, f64::min);
+        let pad = if pad.is_finite() { pad } else { 0.0 };
+        let mut out = vec![pad; x.len()];
+        for (i, &v) in margins.iter().enumerate() {
+            out[i + l.depth] = v;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for OneLiner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} > {}", self.lhs, self.rhs)
+    }
+}
+
+impl Detector for OneLiner {
+    fn name(&self) -> &'static str {
+        "one-liner"
+    }
+    fn score(&self, ts: &TimeSeries, _train_len: usize) -> Result<Vec<f64>> {
+        self.score_values(ts.values())
+    }
+}
+
+/// Which of the paper's equation families a one-liner instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Equation {
+    /// (1) `abs(diff(TS)) > u*movmean(abs(diff(TS)),k) + c*movstd(abs(diff(TS)),k) + b`
+    Eq1,
+    /// (2) like (1) on `diff(TS)` without `abs`
+    Eq2,
+    /// (3) `abs(diff(TS)) > b`
+    Eq3,
+    /// (4) `diff(TS) > b`
+    Eq4,
+    /// (5) `abs(diff(TS)) > c*movstd(abs(diff(TS)),k) + b`
+    Eq5,
+    /// (6) `diff(TS) > c*movstd(diff(TS),k) + b`
+    Eq6,
+    /// The paper's frozen-signal one-liner, `diff(diff(TS)) == 0` for at
+    /// least `k` consecutive samples — expressed in the AST as
+    /// `-movmax(abs(diff(diff(TS))), k) > -ε`.
+    Frozen,
+}
+
+impl fmt::Display for Equation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = match self {
+            Equation::Eq1 => "(1)",
+            Equation::Eq2 => "(2)",
+            Equation::Eq3 => "(3)",
+            Equation::Eq4 => "(4)",
+            Equation::Eq5 => "(5)",
+            Equation::Eq6 => "(6)",
+            Equation::Frozen => "(frozen)",
+        };
+        f.write_str(n)
+    }
+}
+
+/// Builds the general equation (1)/(2): `u` toggles the `movmean` term, the
+/// signal is `abs(diff(TS))` for (1) and `diff(TS)` for (2).
+pub fn equation_general(use_abs: bool, u: f64, k: usize, c: f64, b: f64) -> OneLiner {
+    let signal = if use_abs { Expr::Ts.diff().abs() } else { Expr::Ts.diff() };
+    let rhs = signal
+        .clone()
+        .movmean(k)
+        .scale(u)
+        .plus(signal.clone().movstd(k).scale(c))
+        .plus(Expr::Const(b));
+    OneLiner::new(signal, rhs)
+}
+
+/// Instantiates one of the simplified equations (3)–(6).
+pub fn equation(eq: Equation, k: usize, c: f64, b: f64) -> OneLiner {
+    match eq {
+        Equation::Eq1 => equation_general(true, 1.0, k, c, b),
+        Equation::Eq2 => equation_general(false, 1.0, k, c, b),
+        Equation::Eq3 => OneLiner::new(Expr::Ts.diff().abs(), Expr::Const(b)),
+        Equation::Eq4 => OneLiner::new(Expr::Ts.diff(), Expr::Const(b)),
+        Equation::Eq5 => {
+            let signal = Expr::Ts.diff().abs();
+            let rhs = signal.clone().movstd(k).scale(c).plus(Expr::Const(b));
+            OneLiner::new(signal, rhs)
+        }
+        Equation::Eq6 => {
+            let signal = Expr::Ts.diff();
+            let rhs = signal.clone().movstd(k).scale(c).plus(Expr::Const(b));
+            OneLiner::new(signal, rhs)
+        }
+        Equation::Frozen => frozen_one_liner(k),
+    }
+}
+
+/// The frozen-signal predicate: fires where `abs(diff(diff(TS)))` is zero
+/// (within ε) across a centered window of `run` samples — i.e. the signal
+/// has been exactly constant for at least `run + 2` points.
+pub fn frozen_one_liner(run: usize) -> OneLiner {
+    let lhs = Expr::MovMax(Box::new(Expr::Ts.diff().diff().abs()), run).scale(-1.0);
+    OneLiner::new(lhs, Expr::Const(-1e-12))
+}
+
+/// Does a predicted mask *solve* a labeled problem under a tolerance of
+/// `slop` points (§4.4's "play")?
+///
+/// Solving means perfect detection: every labeled region receives at least
+/// one positive within its `slop`-dilation, and every positive falls within
+/// `slop` of some labeled region. An unlabeled series is solved only by an
+/// all-negative mask.
+pub fn solves(mask: &[bool], labels: &Labels, slop: usize) -> bool {
+    if mask.len() != labels.len() {
+        return false;
+    }
+    // every positive near a label
+    for (i, &m) in mask.iter().enumerate() {
+        if m && !labels.contains_with_slop(i, slop) {
+            return false;
+        }
+    }
+    // every label hit
+    labels.regions().iter().all(|r| {
+        let d = r.dilate(slop, labels.len());
+        (d.start..d.end).any(|i| mask[i])
+    })
+}
+
+/// A successful brute-force search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Which equation family solved the series.
+    pub equation: Equation,
+    /// Window parameter `k` (1 when unused).
+    pub k: usize,
+    /// Coefficient `c` (0 when unused).
+    pub c: f64,
+    /// Offset `b`.
+    pub b: f64,
+    /// The full predicate, renderable as a line of MATLAB.
+    pub one_liner: OneLiner,
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} via {} > {}", self.equation, self.one_liner.lhs, self.one_liner.rhs)
+    }
+}
+
+/// Search configuration for [`search`].
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Tolerance (in points) when matching predictions to labels.
+    pub slop: usize,
+    /// Candidate window lengths for equations (5)/(6).
+    pub window_grid: Vec<usize>,
+    /// Candidate coefficients for equations (5)/(6).
+    pub coeff_grid: Vec<f64>,
+    /// How many of the largest threshold gaps to try for `b`.
+    pub max_threshold_candidates: usize,
+    /// Candidate run lengths for the frozen-signal family.
+    pub frozen_run_grid: Vec<usize>,
+    /// Minimum separating gap for a threshold to count as a *solution*,
+    /// as a fraction of `max(signal) − median(signal)`. A genuine one-liner
+    /// separates the anomalies from everything else by a wide margin;
+    /// without this floor, the search can "win" by slipping a threshold
+    /// between two adjacent noise order statistics that happen to sit
+    /// inside a wide labeled region.
+    pub min_gap_fraction: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            slop: 5,
+            window_grid: vec![5, 11, 21, 51],
+            coeff_grid: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0],
+            max_threshold_candidates: 48,
+            frozen_run_grid: vec![3, 5, 10],
+            min_gap_fraction: 0.15,
+        }
+    }
+}
+
+/// Candidate `b` thresholds for separating the top of `signal` from the
+/// rest: midpoints of the largest gaps between consecutive sorted values.
+/// Anomalies are rare, so a separating constant (if one exists for the
+/// given labels) is almost always at one of the top gaps.
+fn threshold_candidates(
+    signal: &[f64],
+    max_candidates: usize,
+    min_gap_fraction: f64,
+) -> Vec<f64> {
+    let mut sorted = signal.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.dedup();
+    if sorted.len() < 2 {
+        return Vec::new();
+    }
+    let median = sorted[sorted.len() / 2];
+    // Midpoints between consecutive distinct values, largest values first,
+    // keeping only gaps wide *relative to the candidate's own height above
+    // the median*: a genuine anomaly sits far above the normal bulk with a
+    // clear gap below it, while adjacent noise order statistics have gaps
+    // that are a tiny fraction of their height.
+    let take = max_candidates.min(sorted.len() - 1);
+    sorted
+        .windows(2)
+        .rev()
+        .take(take)
+        .filter(|w| {
+            let height = w[1] - median;
+            height > 0.0 && w[1] - w[0] >= min_gap_fraction * height
+        })
+        .map(|w| 0.5 * (w[0] + w[1]))
+        .collect()
+}
+
+/// Brute-force search for a one-liner that solves `(x, labels)`, trying the
+/// paper's simplified equations in order (3), (4), (5), (6).
+///
+/// Returns the first solution found (the paper's Table 1 counts each series
+/// under the first/simplest equation that solves it).
+pub fn search(x: &[f64], labels: &Labels, config: &SearchConfig) -> Result<Option<Solution>> {
+    if x.len() != labels.len() {
+        return Err(CoreError::LengthMismatch { left: x.len(), right: labels.len() });
+    }
+    if x.len() < 3 || labels.region_count() == 0 {
+        return Ok(None);
+    }
+    let d = ops::diff(x);
+    let ad = ops::abs(&d);
+
+    // Equations (3) and (4): a pure constant threshold. Test candidates
+    // directly on the precomputed signals to avoid re-evaluating the AST.
+    for (eq, signal) in [(Equation::Eq3, &ad), (Equation::Eq4, &d)] {
+        for b in threshold_candidates(signal, config.max_threshold_candidates, config.min_gap_fraction) {
+            let mask = mask_from_signal(signal, b, x.len());
+            if solves(&mask, labels, config.slop) {
+                return Ok(Some(Solution {
+                    equation: eq,
+                    k: 1,
+                    c: 0.0,
+                    b,
+                    one_liner: equation(eq, 1, 0.0, b),
+                }));
+            }
+        }
+    }
+
+    // The frozen-signal one-liner (`diff(diff(TS)) == 0` over a run):
+    // cheap, and the only family that catches NASA-style freezes.
+    for &run in &config.frozen_run_grid {
+        if run == 0 || run + 2 >= x.len() {
+            continue;
+        }
+        let ol = frozen_one_liner(run);
+        let mask = ol.mask(x)?;
+        if mask.iter().any(|&m| m) && solves(&mask, labels, config.slop) {
+            return Ok(Some(Solution {
+                equation: Equation::Frozen,
+                k: run,
+                c: 0.0,
+                b: 0.0,
+                one_liner: ol,
+            }));
+        }
+    }
+
+    // Equations (5) and (6): adaptive movstd threshold plus offset.
+    for (eq, signal) in [(Equation::Eq5, &ad), (Equation::Eq6, &d)] {
+        for &k in &config.window_grid {
+            if k >= signal.len() {
+                continue;
+            }
+            let sd = ops::movstd(signal, k)?;
+            for &c in &config.coeff_grid {
+                if c == 0.0 {
+                    continue; // degenerate: identical to (3)/(4)
+                }
+                let residual: Vec<f64> =
+                    signal.iter().zip(&sd).map(|(s, v)| s - c * v).collect();
+                for b in threshold_candidates(&residual, config.max_threshold_candidates, config.min_gap_fraction)
+                {
+                    let mask = mask_from_signal(&residual, b, x.len());
+                    if solves(&mask, labels, config.slop) {
+                        return Ok(Some(Solution {
+                            equation: eq,
+                            k,
+                            c,
+                            b,
+                            one_liner: equation(eq, k, c, b),
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Converts `signal > b` (in diff space, depth 1) into an original-index
+/// mask.
+fn mask_from_signal(signal: &[f64], b: f64, original_len: usize) -> Vec<bool> {
+    let mut mask = vec![false; original_len];
+    for (i, &v) in signal.iter().enumerate() {
+        if v > b {
+            mask[i + 1] = true;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::Region;
+
+    fn spike_series(n: usize, at: usize, magnitude: f64) -> Vec<f64> {
+        let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        x[at] += magnitude;
+        x
+    }
+
+    #[test]
+    fn expr_eval_tracks_depth() {
+        let x = [1.0, 4.0, 2.0, 8.0];
+        let e = Expr::Ts.diff().abs();
+        let got = e.eval(&x).unwrap();
+        assert_eq!(got.depth, 1);
+        assert_eq!(got.values, vec![3.0, 2.0, 6.0]);
+        let e2 = Expr::Ts.diff().diff();
+        assert_eq!(e2.eval(&x).unwrap().depth, 2);
+    }
+
+    #[test]
+    fn expr_display_reads_like_matlab() {
+        let ol = equation(Equation::Eq5, 21, 3.0, 0.5);
+        let s = ol.to_string();
+        assert!(s.contains("abs(diff(TS))"), "{s}");
+        assert!(s.contains("movstd"), "{s}");
+        assert!(s.contains('>'), "{s}");
+    }
+
+    #[test]
+    fn const_broadcasts_across_depths() {
+        // abs(diff(TS)) > 0.5 : Const is depth 0 but must broadcast to depth 1
+        let ol = OneLiner::new(Expr::Ts.diff().abs(), Expr::Const(0.5));
+        let x = [0.0, 0.1, 5.0, 0.2];
+        let mask = ol.mask(&x).unwrap();
+        assert_eq!(mask, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn oneliner_mask_alignment() {
+        // spike at index 50 creates |diff| jumps at diff positions 49 and 50
+        // → original indices 50 and 51
+        let x = spike_series(100, 50, 10.0);
+        let ol = equation(Equation::Eq3, 1, 0.0, 5.0);
+        let mask = ol.mask(&x).unwrap();
+        let hits: Vec<usize> =
+            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        assert_eq!(hits, vec![50, 51]);
+    }
+
+    #[test]
+    fn score_values_peak_at_spike() {
+        let x = spike_series(200, 120, 8.0);
+        let ol = equation(Equation::Eq3, 1, 0.0, 0.0);
+        let score = ol.score_values(&x).unwrap();
+        let peak = tsad_core::stats::argmax(&score).unwrap();
+        assert!(peak == 120 || peak == 121, "peak at {peak}");
+    }
+
+    #[test]
+    fn solves_requires_hit_and_precision() {
+        let labels = Labels::single(10, Region::new(4, 6).unwrap()).unwrap();
+        let mut mask = vec![false; 10];
+        assert!(!solves(&mask, &labels, 0), "no positives → unsolved");
+        mask[5] = true;
+        assert!(solves(&mask, &labels, 0));
+        mask[0] = true;
+        assert!(!solves(&mask, &labels, 0), "far false positive → unsolved");
+        assert!(!solves(&mask, &labels, 2));
+        assert!(solves(&mask, &labels, 4), "slop 4 absorbs the extra positive");
+    }
+
+    #[test]
+    fn solves_with_slop_only_hit() {
+        // positive 3 points before the region, allowed with slop >= 3
+        let labels = Labels::single(20, Region::new(10, 12).unwrap()).unwrap();
+        let mut mask = vec![false; 20];
+        mask[7] = true;
+        assert!(!solves(&mask, &labels, 2));
+        assert!(solves(&mask, &labels, 3));
+    }
+
+    #[test]
+    fn solves_rejects_wrong_length_and_empty_labels() {
+        let labels = Labels::empty(5);
+        assert!(solves(&[false; 5], &labels, 1), "empty labels, empty mask: vacuously solved");
+        let labels1 = Labels::single(5, Region::point(2)).unwrap();
+        assert!(!solves(&[false; 4], &labels1, 1));
+    }
+
+    #[test]
+    fn search_solves_single_spike_with_eq3() {
+        let x = spike_series(300, 200, 12.0);
+        let labels = Labels::single(300, Region::new(200, 201).unwrap()).unwrap();
+        let sol = search(&x, &labels, &SearchConfig::default()).unwrap().unwrap();
+        assert_eq!(sol.equation, Equation::Eq3);
+        // the found one-liner actually solves it
+        let mask = sol.one_liner.mask(&x).unwrap();
+        assert!(solves(&mask, &labels, SearchConfig::default().slop));
+    }
+
+    #[test]
+    fn search_uses_eq4_for_one_sided_jump() {
+        // A descending staircase where downward level shifts are *normal*
+        // (single −6 diffs, no recovery) and the anomaly is the unique
+        // upward shift. |diff| cannot separate it; signed diff can.
+        let mut x: Vec<f64> = (0..300).map(|i| (i as f64 * 0.21).sin() * 0.1).collect();
+        let mut level = 0.0;
+        for (i, v) in x.iter_mut().enumerate() {
+            if matches!(i, 40 | 90 | 140 | 240 | 280) {
+                level -= 6.0; // normal down-steps
+            }
+            if i == 190 {
+                level += 6.0; // the anomalous up-step
+            }
+            *v += level;
+        }
+        let labels = Labels::single(300, Region::new(190, 192).unwrap()).unwrap();
+        let sol = search(&x, &labels, &SearchConfig::default()).unwrap().unwrap();
+        // |diff| can't separate (down-spikes look identical in magnitude)
+        assert_ne!(sol.equation, Equation::Eq3);
+        let mask = sol.one_liner.mask(&x).unwrap();
+        assert!(solves(&mask, &labels, SearchConfig::default().slop));
+    }
+
+    #[test]
+    fn search_finds_frozen_signals() {
+        // a dynamic signal that freezes for one full period (27 samples at
+        // 0.23 rad/sample), so it rejoins smoothly and no |diff| threshold
+        // can catch the boundaries — only the frozen-run family can
+        let mut x: Vec<f64> = (0..600).map(|i| (i as f64 * 0.23).sin()).collect();
+        // gentle noise everywhere EXCEPT the frozen region
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += 0.01 * (((i as u64).wrapping_mul(0x9E37_79B9)) % 97) as f64 / 97.0;
+        }
+        let held = x[300];
+        for v in x.iter_mut().skip(300).take(27) {
+            *v = held;
+        }
+        let labels = Labels::single(600, Region::new(300, 327).unwrap()).unwrap();
+        let sol = search(&x, &labels, &SearchConfig::default()).unwrap().unwrap();
+        assert_eq!(sol.equation, Equation::Frozen, "{sol:?}");
+        let mask = sol.one_liner.mask(&x).unwrap();
+        assert!(solves(&mask, &labels, SearchConfig::default().slop));
+    }
+
+    #[test]
+    fn search_returns_none_for_hard_problem() {
+        // A "mislabeled" problem: the labeled region of a pristine periodic
+        // signal is statistically identical to everywhere else, so no
+        // point-wise one-liner can be simultaneously complete and precise.
+        let n = 600;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
+        let labels = Labels::single(n, Region::new(300, 340).unwrap()).unwrap();
+        let sol = search(&x, &labels, &SearchConfig::default()).unwrap();
+        assert!(sol.is_none(), "indistinguishable region must not be 'solved': {sol:?}");
+    }
+
+    #[test]
+    fn search_validates_lengths() {
+        let labels = Labels::empty(5);
+        assert!(search(&[1.0; 6], &labels, &SearchConfig::default()).is_err());
+        // unlabeled series is vacuously unsolvable (nothing to find)
+        assert_eq!(search(&[1.0; 5], &labels, &SearchConfig::default()).unwrap(), None);
+    }
+
+    #[test]
+    fn threshold_candidates_cover_top_gap() {
+        let signal = vec![0.1, 0.2, 0.15, 9.0, 0.18];
+        let cands = threshold_candidates(&signal, 4, 0.15);
+        // the separating threshold between 0.2 and 9.0 must be present
+        assert!(cands.iter().any(|&b| b > 0.2 && b < 9.0));
+        assert!(threshold_candidates(&[1.0, 1.0], 5, 0.15).is_empty());
+    }
+
+    #[test]
+    fn detector_impl_matches_score_values() {
+        let x = spike_series(100, 60, 9.0);
+        let ts = TimeSeries::new("s", x.clone()).unwrap();
+        let ol = equation(Equation::Eq3, 1, 0.0, 1.0);
+        assert_eq!(ol.score(&ts, 0).unwrap(), ol.score_values(&x).unwrap());
+        assert_eq!(ol.name(), "one-liner");
+    }
+}

@@ -1,0 +1,165 @@
+//! Spectral Residual saliency detection (Ren et al., KDD 2019) — the
+//! method behind the production KPI monitors whose papers (e.g. the
+//! KPI-TSAD example in the paper's introduction) evaluate on the flawed
+//! Yahoo benchmark.
+//!
+//! The algorithm treats anomaly detection as visual saliency: compute the
+//! log-amplitude spectrum, subtract its local average (the *spectral
+//! residual*), transform back, and the reconstruction ("saliency map")
+//! peaks at salient — anomalous — points. We implement the published
+//! pipeline over our own FFT.
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::fft::{fft_in_place, next_pow2, Complex};
+use tsad_core::TimeSeries;
+
+use crate::Detector;
+
+/// Spectral Residual detector.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralResidual {
+    /// Window for the local average of the log-amplitude spectrum.
+    pub spectrum_window: usize,
+    /// Window for the output score normalization (the published method
+    /// compares the saliency map to its local average).
+    pub score_window: usize,
+}
+
+impl Default for SpectralResidual {
+    fn default() -> Self {
+        Self { spectrum_window: 3, score_window: 21 }
+    }
+}
+
+impl SpectralResidual {
+    /// The saliency map of `x` (same length).
+    pub fn saliency(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() < 8 {
+            return Err(CoreError::BadWindow { window: 8, len: x.len() });
+        }
+        if self.spectrum_window == 0 || self.score_window == 0 {
+            return Err(CoreError::BadParameter {
+                name: "window",
+                value: 0.0,
+                expected: "windows >= 1",
+            });
+        }
+        let n = x.len();
+        let size = next_pow2(n);
+        let mut data: Vec<Complex> = Vec::with_capacity(size);
+        data.extend(x.iter().map(|&v| Complex::from_real(v)));
+        // pad by repeating the last value (less ringing than zero-padding)
+        let last = *x.last().expect("non-empty");
+        data.resize(size, Complex::from_real(last));
+        fft_in_place(&mut data, false)?;
+
+        // log-amplitude spectrum and phase
+        let amplitude: Vec<f64> =
+            data.iter().map(|c| (c.re * c.re + c.im * c.im).sqrt().max(1e-12)).collect();
+        let log_amp: Vec<f64> = amplitude.iter().map(|a| a.ln()).collect();
+        let smoothed = tsad_core::ops::movmean(&log_amp, self.spectrum_window)?;
+        // spectral residual
+        let residual: Vec<f64> =
+            log_amp.iter().zip(&smoothed).map(|(l, s)| l - s).collect();
+
+        // back-transform exp(residual)·e^{i·phase}
+        for (k, c) in data.iter_mut().enumerate() {
+            let scale = residual[k].exp() / amplitude[k];
+            c.re *= scale;
+            c.im *= scale;
+        }
+        fft_in_place(&mut data, true)?;
+        let saliency: Vec<f64> =
+            data[..n].iter().map(|c| (c.re * c.re + c.im * c.im).sqrt()).collect();
+        Ok(saliency)
+    }
+}
+
+impl Detector for SpectralResidual {
+    fn name(&self) -> &'static str {
+        "spectral residual"
+    }
+    fn score(&self, ts: &TimeSeries, _train_len: usize) -> Result<Vec<f64>> {
+        let saliency = self.saliency(ts.values())?;
+        // normalized score: (S - movmean(S)) / movmean(S), floored at 0
+        let local = tsad_core::ops::movmean(&saliency, self.score_window)?;
+        Ok(saliency
+            .iter()
+            .zip(&local)
+            .map(|(s, m)| ((s - m) / m.max(1e-12)).max(0.0))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::most_anomalous_point;
+
+    fn spiky(n: usize, at: usize) -> TimeSeries {
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                (i as f64 * std::f64::consts::TAU / 32.0).sin()
+                    + if i == at { 4.0 } else { 0.0 }
+            })
+            .collect();
+        TimeSeries::new("sr", x).unwrap()
+    }
+
+    #[test]
+    fn saliency_peaks_at_the_spike() {
+        let ts = spiky(512, 300);
+        let det = SpectralResidual::default();
+        let peak = most_anomalous_point(&det, &ts, 0).unwrap();
+        assert!(peak.abs_diff(300) <= 2, "peak {peak}");
+    }
+
+    #[test]
+    fn periodic_signal_without_anomaly_is_flat() {
+        let x: Vec<f64> =
+            (0..512).map(|i| (i as f64 * std::f64::consts::TAU / 32.0).sin()).collect();
+        let ts = TimeSeries::new("clean", x).unwrap();
+        let spiked = spiky(512, 300);
+        let det = SpectralResidual::default();
+        let clean_max =
+            det.score(&ts, 0).unwrap().iter().cloned().fold(0.0f64, f64::max);
+        let spiked_max =
+            det.score(&spiked, 0).unwrap().iter().cloned().fold(0.0f64, f64::max);
+        assert!(spiked_max > 2.0 * clean_max, "{spiked_max} vs {clean_max}");
+    }
+
+    #[test]
+    fn dropout_is_as_salient_as_a_spike() {
+        let mut x: Vec<f64> =
+            (0..512).map(|i| (i as f64 * std::f64::consts::TAU / 32.0).sin() + 2.0).collect();
+        x[200] = -5.0; // dropout
+        let ts = TimeSeries::new("drop", x).unwrap();
+        let peak = most_anomalous_point(&SpectralResidual::default(), &ts, 0).unwrap();
+        assert!(peak.abs_diff(200) <= 2, "peak {peak}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let short = TimeSeries::from_values(vec![1.0; 4]).unwrap();
+        assert!(SpectralResidual::default().score(&short, 0).is_err());
+        let ts = spiky(64, 30);
+        let bad = SpectralResidual { spectrum_window: 0, score_window: 21 };
+        assert!(bad.score(&ts, 0).is_err());
+    }
+
+    #[test]
+    fn solves_a_simulated_yahoo_a2_series() {
+        // SR is the production-KPI method family; it should handle the
+        // point-outlier families the KPI papers test on
+        let series = tsad_synth::yahoo::generate(42, tsad_synth::yahoo::Family::A2, 3);
+        let det = SpectralResidual::default();
+        let peak = most_anomalous_point(&det, series.dataset.series(), 0).unwrap();
+        let hit = series
+            .dataset
+            .labels()
+            .regions()
+            .iter()
+            .any(|r| r.dilate(3, series.dataset.len()).contains(peak));
+        assert!(hit, "SR peak {peak} vs {:?}", series.dataset.labels().regions());
+    }
+}

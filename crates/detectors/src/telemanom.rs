@@ -1,0 +1,472 @@
+//! A Telemanom substitute: forecasting + nonparametric dynamic thresholding.
+//!
+//! Telemanom (Hundman et al., *Detecting Spacecraft Anomalies Using LSTMs
+//! and Nonparametric Dynamic Thresholding*, KDD 2018) is the paper's
+//! reference \[2\] and one of the two methods in its Fig. 13. It has two
+//! halves:
+//!
+//! 1. a one-step-ahead forecaster (an LSTM in the original), and
+//! 2. the **nonparametric dynamic thresholding (NDT)** pipeline over the
+//!    smoothed prediction errors, with anomaly pruning.
+//!
+//! Per the substitution note in `DESIGN.md`, we replace the LSTM with an
+//! autoregressive least-squares forecaster — the same *predict → error →
+//! threshold* code path the evaluation exercises — and implement NDT and
+//! pruning faithfully. Fig. 13's behaviour (the forecaster's error peak is
+//! disrupted by additive noise while a distance-based discord is not)
+//! is a property of forecasting-based scores generally, so the substitution
+//! preserves the experiment.
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::{stats, Labels, Region, TimeSeries};
+
+use crate::Detector;
+
+/// Autoregressive one-step forecaster `x[t] ≈ w·x[t−p..t] + w0`, fit by
+/// ordinary least squares.
+#[derive(Debug, Clone)]
+pub struct ArForecaster {
+    /// Lag order `p`.
+    pub order: usize,
+    /// Learned weights, `order` lags then the bias term.
+    pub weights: Vec<f64>,
+}
+
+impl ArForecaster {
+    /// Fits an AR(`order`) model on `train` (needs at least
+    /// `2·(order + 1)` points for a well-posed system; ridge-regularized to
+    /// keep near-collinear designs solvable).
+    pub fn fit(train: &[f64], order: usize) -> Result<Self> {
+        if order == 0 {
+            return Err(CoreError::BadParameter {
+                name: "order",
+                value: 0.0,
+                expected: "order >= 1",
+            });
+        }
+        let rows = train.len().saturating_sub(order);
+        if rows < 2 * (order + 1) {
+            return Err(CoreError::BadWindow { window: 2 * (order + 1) + order, len: train.len() });
+        }
+        let dim = order + 1; // lags + bias
+        // Normal equations: (XᵀX + λI) w = Xᵀy.
+        let mut xtx = vec![vec![0.0f64; dim]; dim];
+        let mut xty = vec![0.0f64; dim];
+        for t in order..train.len() {
+            // feature vector: [x[t-order], …, x[t-1], 1.0]
+            let y = train[t];
+            for a in 0..dim {
+                let fa = if a < order { train[t - order + a] } else { 1.0 };
+                xty[a] += fa * y;
+                for b in a..dim {
+                    let fb = if b < order { train[t - order + b] } else { 1.0 };
+                    xtx[a][b] += fa * fb;
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // a, b are matrix coordinates
+        for a in 0..dim {
+            for b in 0..a {
+                xtx[a][b] = xtx[b][a];
+            }
+        }
+        let lambda = 1e-6 * (rows as f64);
+        for (a, row) in xtx.iter_mut().enumerate() {
+            row[a] += lambda;
+        }
+        let weights = stats::solve_linear_system(&xtx, &xty)?;
+        Ok(Self { order, weights })
+    }
+
+    /// One-step-ahead predictions for `x[order..]`; the first `order`
+    /// outputs replicate the inputs (no history to predict from).
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        let p = self.order;
+        let mut out = Vec::with_capacity(x.len());
+        out.extend_from_slice(&x[..p.min(x.len())]);
+        for t in p..x.len() {
+            let mut y = self.weights[p]; // bias
+            for a in 0..p {
+                y += self.weights[a] * x[t - p + a];
+            }
+            out.push(y);
+        }
+        out
+    }
+}
+
+/// Exponentially weighted moving average with smoothing factor `alpha`
+/// (`0 < alpha <= 1`; smaller = smoother), as Telemanom applies to its
+/// prediction errors.
+pub fn ewma(x: &[f64], alpha: f64) -> Result<Vec<f64>> {
+    if !(0.0 < alpha && alpha <= 1.0) {
+        return Err(CoreError::BadParameter {
+            name: "alpha",
+            value: alpha,
+            expected: "0 < alpha <= 1",
+        });
+    }
+    let mut out = Vec::with_capacity(x.len());
+    let mut acc = match x.first() {
+        Some(&v) => v,
+        None => return Ok(out),
+    };
+    out.push(acc);
+    for &v in &x[1..] {
+        acc = alpha * v + (1.0 - alpha) * acc;
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// Result of the nonparametric dynamic thresholding step.
+#[derive(Debug, Clone)]
+pub struct NdtResult {
+    /// The selected threshold `ε = μ(e) + z·σ(e)`.
+    pub epsilon: f64,
+    /// The `z` that maximized the NDT criterion.
+    pub z: f64,
+    /// Contiguous regions of smoothed error above `ε`, after pruning.
+    pub anomalies: Vec<Region>,
+}
+
+/// Nonparametric dynamic thresholding (Hundman et al., §3.2) over smoothed
+/// errors `e_s`, with anomaly pruning at relative magnitude `p`
+/// (the original uses `p = 0.13`).
+///
+/// `shoulder` is the number of points on each side of an anomalous sequence
+/// excluded when computing the "normal maximum" used by pruning; it should
+/// cover the smoothing filter's decay (≈ `3 / alpha` for an EWMA), else the
+/// filter's shoulder masquerades as a high normal value and prunes
+/// everything.
+///
+/// For each candidate `z`, the criterion
+/// `(Δμ/μ + Δσ/σ) / (|e_a| + |E_seq|²)` rewards thresholds that remove a
+/// large share of mean/variance by excluding *few* points in *few*
+/// contiguous sequences.
+pub fn ndt(e_s: &[f64], prune_p: f64, shoulder: usize) -> Result<NdtResult> {
+    if e_s.is_empty() {
+        return Err(CoreError::EmptySeries);
+    }
+    if !(0.0..1.0).contains(&prune_p) {
+        return Err(CoreError::BadParameter {
+            name: "prune_p",
+            value: prune_p,
+            expected: "0 <= prune_p < 1",
+        });
+    }
+    let mu = stats::mean(e_s)?;
+    let sigma = stats::std_dev(e_s)?;
+    if sigma < 1e-12 {
+        // no variation: nothing is anomalous
+        return Ok(NdtResult { epsilon: mu, z: 0.0, anomalies: Vec::new() });
+    }
+
+    let mut best: Option<(f64, f64, f64)> = None; // (criterion, z, eps)
+    let mut z = 2.0;
+    while z <= 12.0 {
+        let eps = mu + z * sigma;
+        let below: Vec<f64> = e_s.iter().copied().filter(|&v| v < eps).collect();
+        let above = e_s.len() - below.len();
+        if above > 0 && !below.is_empty() {
+            let mu_b = stats::mean(&below)?;
+            let sd_b = stats::std_dev(&below)?;
+            let seqs = count_sequences_above(e_s, eps);
+            let delta_mu = (mu - mu_b) / mu.abs().max(1e-12);
+            let delta_sd = (sigma - sd_b) / sigma;
+            let criterion = (delta_mu + delta_sd) / (above as f64 + (seqs * seqs) as f64);
+            if best.is_none_or(|(c, _, _)| criterion > c) {
+                best = Some((criterion, z, eps));
+            }
+        }
+        z += 0.5;
+    }
+    let (_, z, epsilon) = best.unwrap_or((0.0, 12.0, mu + 12.0 * sigma));
+
+    // Contiguous sequences above epsilon.
+    let mask: Vec<bool> = e_s.iter().map(|&v| v >= epsilon).collect();
+    let mut anomalies: Vec<Region> = Labels::from_mask(&mask).regions().to_vec();
+
+    // Pruning: sort sequence maxima (plus the max of the normal remainder)
+    // descending; walk the sorted list and cut once the relative decrease
+    // stays below `prune_p` — everything from there on is reclassified
+    // nominal.
+    if !anomalies.is_empty() && prune_p > 0.0 {
+        // The "normal maximum" must come from genuinely normal data. The
+        // EWMA leaves a decaying shoulder just below epsilon next to every
+        // anomalous sequence; including it would make the first relative
+        // decrease tiny and prune everything. We therefore exclude the
+        // `shoulder` buffer around each sequence (a small deviation from
+        // Hundman et al., whose batched processing sidesteps the issue).
+        let mut buffered = mask.clone();
+        for r in &anomalies {
+            let d = r.dilate(r.len().max(shoulder), e_s.len());
+            for b in &mut buffered[d.start..d.end] {
+                *b = true;
+            }
+        }
+        let normal_max = e_s
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !buffered[*i])
+            .map(|(_, &v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if normal_max.is_finite() {
+            let mut maxima: Vec<(f64, Option<usize>)> = anomalies
+                .iter()
+                .enumerate()
+                .map(|(idx, r)| {
+                    let m =
+                        e_s[r.start..r.end].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    (m, Some(idx))
+                })
+                .collect();
+            maxima.push((normal_max, None));
+            maxima.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+            // Hundman et al.: walking the sorted maxima, every sequence at
+            // or above the LAST decrease exceeding p is kept. (Breaking at
+            // the first small decrease would let two near-equal dominant
+            // bursts shield each other into being pruned.)
+            let last_big_decrease = maxima
+                .windows(2)
+                .enumerate()
+                .filter(|(_, w)| {
+                    let decrease = (w[0].0 - w[1].0) / w[0].0.abs().max(1e-12);
+                    decrease > prune_p
+                })
+                .map(|(i, _)| i)
+                .next_back();
+            let mut keep = vec![false; anomalies.len()];
+            if let Some(cut) = last_big_decrease {
+                for (_, idx) in &maxima[..=cut] {
+                    if let Some(i) = idx {
+                        keep[*i] = true;
+                    }
+                }
+            }
+            anomalies = anomalies
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| keep[*i])
+                .map(|(_, r)| r)
+                .collect();
+        }
+        // normal_max not finite: the shoulder buffer covered the whole
+        // segment, so there is no normal level to prune against — keep all
+    }
+    Ok(NdtResult { epsilon, z, anomalies })
+}
+
+fn count_sequences_above(e_s: &[f64], eps: f64) -> usize {
+    let mask: Vec<bool> = e_s.iter().map(|&v| v >= eps).collect();
+    Labels::from_mask(&mask).region_count()
+}
+
+/// The full Telemanom-substitute detector.
+#[derive(Debug, Clone)]
+pub struct Telemanom {
+    /// AR order (history length), playing the role of the LSTM input window.
+    pub order: usize,
+    /// EWMA smoothing factor for the error signal.
+    pub smoothing_alpha: f64,
+    /// Pruning parameter `p` (original default 0.13).
+    pub prune_p: f64,
+}
+
+impl Default for Telemanom {
+    fn default() -> Self {
+        Self { order: 20, smoothing_alpha: 0.05, prune_p: 0.13 }
+    }
+}
+
+impl Telemanom {
+    /// Fits on the train prefix and returns the smoothed error signal over
+    /// the whole series (zeros within the train prefix) plus the NDT result
+    /// computed on the test region.
+    pub fn analyze(&self, x: &[f64], train_len: usize) -> Result<(Vec<f64>, NdtResult)> {
+        if train_len >= x.len() {
+            return Err(CoreError::BadRegion { start: 0, end: train_len, len: x.len() });
+        }
+        let effective_train = if train_len > self.order * 4 {
+            &x[..train_len]
+        } else {
+            // Unsupervised fallback: fit on the whole series, as the paper
+            // does when running Telemanom on label-free data.
+            x
+        };
+        let model = ArForecaster::fit(effective_train, self.order)?;
+        let pred = model.predict(x);
+        let errors: Vec<f64> = x.iter().zip(&pred).map(|(a, p)| (a - p).abs()).collect();
+        let mut smoothed = ewma(&errors, self.smoothing_alpha)?;
+        for v in smoothed.iter_mut().take(train_len) {
+            *v = 0.0;
+        }
+        let shoulder = (3.0 / self.smoothing_alpha).ceil() as usize;
+        let ndt_result = ndt(&smoothed[train_len..], self.prune_p, shoulder)?;
+        // shift NDT regions back to absolute indices
+        let anomalies = ndt_result
+            .anomalies
+            .iter()
+            .map(|r| Region { start: r.start + train_len, end: r.end + train_len })
+            .collect();
+        Ok((
+            smoothed,
+            NdtResult { epsilon: ndt_result.epsilon, z: ndt_result.z, anomalies },
+        ))
+    }
+}
+
+impl Detector for Telemanom {
+    fn name(&self) -> &'static str {
+        "telemanom (AR + NDT)"
+    }
+    fn score(&self, ts: &TimeSeries, train_len: usize) -> Result<Vec<f64>> {
+        let (smoothed, _) = self.analyze(ts.values(), train_len)?;
+        Ok(smoothed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, period: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * std::f64::consts::TAU / period).sin()).collect()
+    }
+
+    #[test]
+    fn ar_fits_and_predicts_sine_accurately() {
+        let x = sine(500, 25.0);
+        let model = ArForecaster::fit(&x[..300], 8).unwrap();
+        let pred = model.predict(&x);
+        // skip warmup; prediction error on a noiseless AR-representable
+        // signal should be tiny
+        let err: f64 = x[20..]
+            .iter()
+            .zip(&pred[20..])
+            .map(|(a, p)| (a - p).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-6, "max AR error {err}");
+    }
+
+    #[test]
+    fn ar_rejects_degenerate_fits() {
+        assert!(ArForecaster::fit(&[1.0; 100], 0).is_err());
+        assert!(ArForecaster::fit(&[1.0, 2.0, 3.0], 5).is_err());
+        // constant series is solvable thanks to ridge regularization
+        assert!(ArForecaster::fit(&[2.0; 50], 3).is_ok());
+    }
+
+    #[test]
+    fn ewma_smooths_and_validates() {
+        let x = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let s = ewma(&x, 0.5).unwrap();
+        assert_eq!(s.len(), x.len());
+        // smoothed signal has smaller total variation
+        let tv = |v: &[f64]| v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>();
+        assert!(tv(&s) < tv(&x));
+        assert!(ewma(&x, 0.0).is_err());
+        assert!(ewma(&x, 1.5).is_err());
+        assert!(ewma(&[], 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ndt_finds_obvious_error_burst() {
+        let mut e: Vec<f64> = (0..500).map(|i| 0.1 + 0.01 * ((i % 7) as f64)).collect();
+        for v in e.iter_mut().skip(300).take(10) {
+            *v = 2.0;
+        }
+        let res = ndt(&e, 0.13, 4).unwrap();
+        assert_eq!(res.anomalies.len(), 1);
+        let r = res.anomalies[0];
+        assert!(r.start >= 298 && r.end <= 312, "{r:?}");
+        assert!(res.z >= 2.0);
+    }
+
+    #[test]
+    fn ndt_on_flat_errors_reports_nothing() {
+        let e = vec![0.2; 100];
+        let res = ndt(&e, 0.13, 4).unwrap();
+        assert!(res.anomalies.is_empty());
+        assert!(ndt(&[], 0.13, 4).is_err());
+        assert!(ndt(&[1.0], 2.0, 4).is_err());
+    }
+
+    #[test]
+    fn ndt_keeps_two_near_equal_dominant_bursts() {
+        // two bursts of 3.0 and 2.9 over a ~0.1 floor: the tiny decrease
+        // between them must not shield the second from being kept
+        let mut e: Vec<f64> = (0..400).map(|i| 0.1 + 0.001 * ((i % 11) as f64)).collect();
+        for v in e.iter_mut().skip(100).take(8) {
+            *v = 3.0;
+        }
+        for v in e.iter_mut().skip(300).take(8) {
+            *v = 2.9;
+        }
+        let res = ndt(&e, 0.13, 4).unwrap();
+        assert_eq!(res.anomalies.len(), 2, "{:?}", res.anomalies);
+    }
+
+    #[test]
+    fn ndt_keeps_anomalies_when_buffer_covers_everything() {
+        // a short segment where the shoulder dilation buffers every point:
+        // with no normal level to compare against, nothing is pruned
+        let mut e: Vec<f64> = vec![0.1; 100];
+        for v in e.iter_mut().skip(45).take(5) {
+            *v = 3.0;
+        }
+        let res = ndt(&e, 0.13, 60).unwrap();
+        assert_eq!(res.anomalies.len(), 1, "{:?}", res.anomalies);
+    }
+
+    #[test]
+    fn ndt_pruning_drops_marginal_sequences() {
+        // one dominant burst and one barely-above-threshold blip with a tiny
+        // relative decrease from the normal maximum
+        let mut e: Vec<f64> = (0..400).map(|i| 0.1 + 0.001 * ((i % 11) as f64)).collect();
+        for v in e.iter_mut().skip(100).take(8) {
+            *v = 3.0; // dominant
+        }
+        let res = ndt(&e, 0.13, 4).unwrap();
+        assert_eq!(res.anomalies.len(), 1, "{:?}", res.anomalies);
+        assert!(res.anomalies[0].start >= 98 && res.anomalies[0].start <= 102);
+    }
+
+    #[test]
+    fn telemanom_detects_injected_anomaly_in_periodic_signal() {
+        let mut x = sine(1200, 40.0);
+        // anomaly: freeze the signal for 30 points
+        let frozen = x[700];
+        for v in x.iter_mut().skip(700).take(30) {
+            *v = frozen;
+        }
+        let ts = TimeSeries::new("ecg-like", x).unwrap();
+        let det = Telemanom::default();
+        let score = det.score(&ts, 400).unwrap();
+        assert_eq!(score.len(), ts.len());
+        let peak = crate::most_anomalous_point(&det, &ts, 400).unwrap();
+        assert!(
+            (690..=760).contains(&peak),
+            "Telemanom peak at {peak}, anomaly at 700..730"
+        );
+        let (_, ndt_res) = det.analyze(ts.values(), 400).unwrap();
+        assert!(
+            ndt_res.anomalies.iter().any(|r| r.start >= 680 && r.start <= 745),
+            "{:?}",
+            ndt_res.anomalies
+        );
+    }
+
+    #[test]
+    fn telemanom_unsupervised_fallback() {
+        let mut x = sine(600, 30.0);
+        x[400] += 4.0;
+        let ts = TimeSeries::new("u", x).unwrap();
+        let det = Telemanom::default();
+        // train_len 0 → fits on everything, still works
+        let peak = crate::most_anomalous_point(&det, &ts, 0).unwrap();
+        assert!((395..=430).contains(&peak), "peak {peak}");
+        // train_len >= len errors
+        assert!(det.score(&ts, 600).is_err());
+    }
+}

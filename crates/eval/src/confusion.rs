@@ -1,0 +1,96 @@
+//! Point-wise confusion counts and the derived precision/recall/F1.
+
+use tsad_core::error::{CoreError, Result};
+
+/// Point-wise confusion counts between a predicted and a truth mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Predicted anomalous, truly anomalous.
+    pub tp: usize,
+    /// Predicted anomalous, truly normal.
+    pub fp: usize,
+    /// Predicted normal, truly anomalous.
+    pub fn_: usize,
+    /// Predicted normal, truly normal.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Tallies point-wise counts. Errors on length mismatch.
+    pub fn from_masks(predicted: &[bool], truth: &[bool]) -> Result<Self> {
+        if predicted.len() != truth.len() {
+            return Err(CoreError::LengthMismatch { left: predicted.len(), right: truth.len() });
+        }
+        let mut c = Confusion::default();
+        for (&p, &t) in predicted.iter().zip(truth) {
+            match (p, t) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        Ok(c)
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when nothing was labeled.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1: harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_metrics() {
+        let pred = [true, true, false, false, true];
+        let truth = [true, false, true, false, true];
+        let c = Confusion::from_masks(&pred, &truth).unwrap();
+        assert_eq!(c, Confusion { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let c = Confusion::from_masks(&[false, false], &[false, false]).unwrap();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert!(Confusion::from_masks(&[true], &[true, false]).is_err());
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = [false, true, true, false];
+        let c = Confusion::from_masks(&truth, &truth).unwrap();
+        assert_eq!(c.f1(), 1.0);
+    }
+}

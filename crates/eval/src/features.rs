@@ -1,0 +1,107 @@
+//! Per-window feature vectors — the statistics the paper tabulates in the
+//! Fig. 6 argument ("if we measure its mean, min, max, variance,
+//! autocorrelation, complexity, Euclidean distance to the nearest
+//! neighbor, etc. … there is simply nothing remarkable about it").
+
+use tsad_core::dist::mass;
+use tsad_core::error::Result;
+use tsad_core::{stats, Region};
+
+/// Feature vector of one subsequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowFeatures {
+    /// Window start.
+    pub start: usize,
+    /// Window length.
+    pub len: usize,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Lag-1 autocorrelation.
+    pub autocorrelation: f64,
+    /// Complexity estimate `sqrt(Σ diff²)`.
+    pub complexity: f64,
+    /// Z-normalized Euclidean distance to the nearest non-overlapping
+    /// window elsewhere in the series.
+    pub nn_distance: f64,
+}
+
+/// Computes the features of `x[region]` in the context of the full series.
+pub fn window_features(x: &[f64], region: Region) -> Result<WindowFeatures> {
+    let w = &x[region.start..region.end.min(x.len())];
+    let m = w.len();
+    let dists = mass(w, x)?;
+    let nn = dists
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| j.abs_diff(region.start) >= m)
+        .map(|(_, &d)| d)
+        .fold(f64::INFINITY, f64::min);
+    Ok(WindowFeatures {
+        start: region.start,
+        len: m,
+        mean: stats::mean(w)?,
+        min: w.iter().copied().fold(f64::INFINITY, f64::min),
+        max: w.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        variance: stats::variance(w)?,
+        autocorrelation: if m >= 3 { stats::autocorrelation(w, 1)? } else { 0.0 },
+        complexity: stats::complexity_estimate(w),
+        nn_distance: if nn.is_finite() { nn } else { 0.0 },
+    })
+}
+
+/// How many population standard deviations `value` sits from the
+/// population mean — used to ask "is the labeled window's feature
+/// remarkable relative to the comparison windows?".
+pub fn feature_z_score(value: f64, population: &[f64]) -> Result<f64> {
+    let mu = stats::mean(population)?;
+    let sd = stats::std_dev(population)?;
+    if sd < 1e-12 {
+        return Ok(0.0);
+    }
+    Ok((value - mu) / sd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_of_constant_window() {
+        let x = vec![2.0; 100];
+        let f = window_features(&x, Region::new(40, 60).unwrap()).unwrap();
+        assert_eq!(f.mean, 2.0);
+        assert_eq!(f.variance, 0.0);
+        assert_eq!(f.complexity, 0.0);
+        assert_eq!(f.min, 2.0);
+        assert_eq!(f.max, 2.0);
+        assert_eq!(f.nn_distance, 0.0, "identical constant windows everywhere");
+    }
+
+    #[test]
+    fn unusual_window_has_large_nn_distance() {
+        let mut x: Vec<f64> =
+            (0..600).map(|i| (i as f64 * std::f64::consts::TAU / 30.0).sin()).collect();
+        for (k, v) in x.iter_mut().enumerate().skip(300).take(30) {
+            *v = ((k * k) as f64 * 0.01).sin() * 2.0;
+        }
+        let odd = window_features(&x, Region::new(300, 330).unwrap()).unwrap();
+        let typical = window_features(&x, Region::new(90, 120).unwrap()).unwrap();
+        assert!(odd.nn_distance > typical.nn_distance * 2.0);
+    }
+
+    #[test]
+    fn z_scores() {
+        let population = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let z = feature_z_score(3.0, &population).unwrap();
+        assert!(z.abs() < 1e-12);
+        let z = feature_z_score(6.0, &population).unwrap();
+        assert!(z > 2.0);
+        assert_eq!(feature_z_score(1.0, &[2.0, 2.0]).unwrap(), 0.0);
+    }
+}

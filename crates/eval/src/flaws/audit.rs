@@ -1,0 +1,187 @@
+//! One-call benchmark audit: run all four flaw analyzers over a dataset
+//! collection and produce the verdict the paper argues every benchmark
+//! should have received before anyone trusted it.
+
+use tsad_core::{Dataset, Result};
+use tsad_detectors::oneliner::SearchConfig;
+
+use super::density::{self, DensityCriteria};
+use super::mislabel;
+use super::position::{self, PositionBiasReport};
+use super::triviality;
+
+/// Audit configuration (thresholds for each analyzer).
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// One-liner search configuration.
+    pub search: SearchConfig,
+    /// Density criteria.
+    pub density: DensityCriteria,
+    /// Twin-detector distance threshold (fraction of `sqrt(2m)`).
+    pub twin_threshold: f64,
+    /// Unremarkable-label discord-ratio threshold.
+    pub unremarkable_ratio: f64,
+    /// Tail fraction for the naive end detector.
+    pub tail_fraction: f64,
+    /// Significance level for the positional KS test.
+    pub alpha: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            search: SearchConfig::default(),
+            density: DensityCriteria::default(),
+            twin_threshold: 0.12,
+            unremarkable_ratio: 1.0,
+            tail_fraction: 0.1,
+            alpha: 0.01,
+        }
+    }
+}
+
+/// Per-dataset audit outcome.
+#[derive(Debug, Clone)]
+pub struct DatasetAudit {
+    /// Dataset name.
+    pub name: String,
+    /// Solvable with a one-liner?
+    pub trivial: bool,
+    /// Violates the density criteria?
+    pub dense: bool,
+    /// Number of suspected unlabeled twins (false negatives).
+    pub suspected_false_negatives: usize,
+    /// Number of suspected unremarkable labels (false positives).
+    pub suspected_false_positives: usize,
+}
+
+impl DatasetAudit {
+    /// Does this dataset exhibit any flaw?
+    pub fn flawed(&self) -> bool {
+        self.trivial
+            || self.dense
+            || self.suspected_false_negatives > 0
+            || self.suspected_false_positives > 0
+    }
+}
+
+/// The collection-level audit report.
+#[derive(Debug, Clone)]
+pub struct BenchmarkAudit {
+    /// Per-dataset verdicts.
+    pub datasets: Vec<DatasetAudit>,
+    /// Collection-level positional bias.
+    pub position_bias: PositionBiasReport,
+}
+
+impl BenchmarkAudit {
+    /// Fraction of datasets with at least one flaw (position bias counted
+    /// separately, as it is a collection-level property).
+    pub fn flawed_fraction(&self) -> f64 {
+        if self.datasets.is_empty() {
+            return 0.0;
+        }
+        self.datasets.iter().filter(|d| d.flawed()).count() as f64 / self.datasets.len() as f64
+    }
+
+    /// Fraction solvable with a one-liner.
+    pub fn trivial_fraction(&self) -> f64 {
+        if self.datasets.is_empty() {
+            return 0.0;
+        }
+        self.datasets.iter().filter(|d| d.trivial).count() as f64 / self.datasets.len() as f64
+    }
+
+    /// The §2.6 verdict: is this benchmark suitable for comparing
+    /// algorithms?
+    ///
+    /// The thresholds mirror the paper's qualitative bar: a *minority* of
+    /// easy problems is legitimate — the UCR archive deliberately keeps
+    /// some one-liner-solvable dropouts (§3) — but a benchmark where
+    /// triviality is the norm (Yahoo's 86 %), or where flaws touch most
+    /// exemplars, or whose anomaly placement pays the naive end detector,
+    /// cannot rank algorithms.
+    pub fn suitable_for_comparison(&self, alpha: f64) -> bool {
+        self.trivial_fraction() < 0.4
+            && self.flawed_fraction() < 0.5
+            && !self.position_bias.is_biased(alpha)
+    }
+}
+
+/// Runs the full audit over a dataset collection.
+pub fn audit<'a>(
+    datasets: impl IntoIterator<Item = &'a Dataset>,
+    config: &AuditConfig,
+) -> Result<BenchmarkAudit> {
+    let datasets: Vec<&Dataset> = datasets.into_iter().collect();
+    let mut per_dataset = Vec::with_capacity(datasets.len());
+    for d in &datasets {
+        let trivial = triviality::analyze(d, &config.search)?.is_trivial();
+        let dense = density::analyze(d).is_flawed(&config.density);
+        let twins = mislabel::find_unlabeled_twins(d, config.twin_threshold)?;
+        let unremarkable = mislabel::find_unremarkable_labels(d, config.unremarkable_ratio)?;
+        per_dataset.push(DatasetAudit {
+            name: d.name().to_string(),
+            trivial,
+            dense,
+            suspected_false_negatives: twins.len(),
+            suspected_false_positives: unremarkable.len(),
+        });
+    }
+    let position_bias = position::analyze(datasets, config.tail_fraction)?;
+    Ok(BenchmarkAudit { datasets: per_dataset, position_bias })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::{Labels, Region, TimeSeries};
+
+    fn trivial_end_biased(seed: usize) -> Dataset {
+        let n = 600;
+        let at = 520 + (seed * 13) % 70;
+        let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin() * 0.2).collect();
+        x[at] += 6.0;
+        let ts = TimeSeries::new(format!("flawed-{seed}"), x).unwrap();
+        Dataset::unsupervised(ts, Labels::single(n, Region::point(at)).unwrap()).unwrap()
+    }
+
+    fn healthy(seed: usize) -> Dataset {
+        // subtle contextual anomaly with confounders: resists one-liners,
+        // placed mid-series
+        let n = 900;
+        let at = 250 + (seed * 97) % 400;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
+        let ts = TimeSeries::new(format!("healthy-{seed}"), x).unwrap();
+        Dataset::unsupervised(
+            ts,
+            Labels::single(n, Region { start: at, end: at + 30 }).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flawed_collection_fails_the_audit() {
+        let datasets: Vec<Dataset> = (0..12).map(trivial_end_biased).collect();
+        let report = audit(datasets.iter(), &AuditConfig::default()).unwrap();
+        assert!(report.trivial_fraction() > 0.8, "{}", report.trivial_fraction());
+        assert!(report.position_bias.is_biased(0.05));
+        assert!(!report.suitable_for_comparison(0.05));
+    }
+
+    #[test]
+    fn audit_reports_per_dataset_detail() {
+        let datasets = [trivial_end_biased(0), healthy(1)];
+        let report = audit(datasets.iter(), &AuditConfig::default()).unwrap();
+        assert_eq!(report.datasets.len(), 2);
+        assert!(report.datasets[0].trivial);
+        assert!(!report.datasets[1].trivial);
+        assert!(!report.datasets[1].dense);
+        assert!(report.datasets[0].flawed());
+    }
+
+    #[test]
+    fn empty_audit_errors() {
+        assert!(audit(std::iter::empty(), &AuditConfig::default()).is_err());
+    }
+}

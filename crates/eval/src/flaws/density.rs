@@ -1,0 +1,119 @@
+//! Flaw 2 — Unrealistic anomaly density (§2.3).
+//!
+//! Three flavors, measured directly from the label structure:
+//! contiguous anomalous regions covering a large share of the (test) data,
+//! many separate anomalies per series, and anomalies separated by only a
+//! handful of normal points.
+
+use tsad_core::Dataset;
+
+/// Density statistics of one dataset's labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityReport {
+    /// Dataset name.
+    pub name: String,
+    /// Fraction of the *test region* marked anomalous.
+    pub test_density: f64,
+    /// Number of separate labeled regions.
+    pub region_count: usize,
+    /// Longest single region as a fraction of the test region.
+    pub longest_region_fraction: f64,
+    /// Smallest gap (normal points) between consecutive regions.
+    pub min_gap: Option<usize>,
+}
+
+/// Thresholds deciding when a dataset exhibits the density flaw.
+#[derive(Debug, Clone, Copy)]
+pub struct DensityCriteria {
+    /// Flag when test density exceeds this (the paper cites exemplars with
+    /// > 1/2, and "another dozen or so" with > 1/3).
+    pub max_density: f64,
+    /// Flag when there are more separate anomalies than this (machine-2-5
+    /// has 21).
+    pub max_regions: usize,
+    /// Flag when two anomalies are separated by fewer normal points than
+    /// this (Fig. 3 shows a single-point gap).
+    pub min_gap: usize,
+}
+
+impl Default for DensityCriteria {
+    fn default() -> Self {
+        Self { max_density: 1.0 / 3.0, max_regions: 10, min_gap: 5 }
+    }
+}
+
+impl DensityReport {
+    /// Does this dataset exhibit any flavor of the density flaw?
+    pub fn is_flawed(&self, criteria: &DensityCriteria) -> bool {
+        self.test_density > criteria.max_density
+            || self.region_count > criteria.max_regions
+            || self.min_gap.is_some_and(|g| g < criteria.min_gap)
+    }
+}
+
+/// Measures density statistics over the dataset's test region.
+pub fn analyze(dataset: &Dataset) -> DensityReport {
+    let labels = dataset.labels();
+    let test_len = (dataset.len() - dataset.train_len()).max(1);
+    let anomalous = labels.anomalous_points();
+    DensityReport {
+        name: dataset.name().to_string(),
+        test_density: anomalous as f64 / test_len as f64,
+        region_count: labels.region_count(),
+        longest_region_fraction: labels.longest_region() as f64 / test_len as f64,
+        min_gap: labels.min_gap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::{Labels, Region, TimeSeries};
+
+    fn dataset(len: usize, train: usize, regions: &[(usize, usize)]) -> Dataset {
+        let ts = TimeSeries::new("d", vec![0.0; len]).unwrap();
+        let labels = Labels::new(
+            len,
+            regions.iter().map(|&(s, e)| Region::new(s, e).unwrap()).collect(),
+        )
+        .unwrap();
+        Dataset::new(ts, labels, train).unwrap()
+    }
+
+    #[test]
+    fn measures_test_density() {
+        // 1000 test points, 600 anomalous => 60% density (the NASA D-2 shape)
+        let d = dataset(2000, 1000, &[(1400, 2000)]);
+        let r = analyze(&d);
+        assert!((r.test_density - 0.6).abs() < 1e-12);
+        assert!((r.longest_region_fraction - 0.6).abs() < 1e-12);
+        assert!(r.is_flawed(&DensityCriteria::default()));
+    }
+
+    #[test]
+    fn counts_regions() {
+        let regions: Vec<(usize, usize)> = (0..21).map(|i| (1000 + i * 40, 1002 + i * 40)).collect();
+        let d = dataset(2000, 500, &regions);
+        let r = analyze(&d);
+        assert_eq!(r.region_count, 21);
+        assert!(r.is_flawed(&DensityCriteria::default()));
+    }
+
+    #[test]
+    fn detects_sandwich_gaps() {
+        // two anomalies with one normal point between (Fig. 3 flavor)
+        let d = dataset(1000, 0, &[(500, 501), (502, 503)]);
+        let r = analyze(&d);
+        assert_eq!(r.min_gap, Some(1));
+        assert!(r.is_flawed(&DensityCriteria::default()));
+    }
+
+    #[test]
+    fn healthy_dataset_passes() {
+        let d = dataset(5000, 1000, &[(3000, 3020)]);
+        let r = analyze(&d);
+        assert!(!r.is_flawed(&DensityCriteria::default()));
+        assert_eq!(r.min_gap, None);
+        assert!(r.test_density < 0.01);
+    }
+}

@@ -1,0 +1,16 @@
+//! The paper's four-flaw taxonomy (§2) as automated analyzers.
+//!
+//! | § | flaw | analyzer |
+//! |---|------|----------|
+//! | 2.2 | triviality | [`triviality`] — brute-force one-liner search |
+//! | 2.3 | unrealistic density | [`density`] — label-structure statistics |
+//! | 2.4 | mislabeled ground truth | [`mislabel`] — NN twin & unremarkable-label detectors |
+//! | 2.5 | run-to-failure bias | [`position`] — KS test of last-anomaly positions |
+//!
+//! [`audit`] runs all four in one call and renders the §2.6 verdict.
+
+pub mod audit;
+pub mod density;
+pub mod mislabel;
+pub mod position;
+pub mod triviality;

@@ -1,0 +1,108 @@
+//! Flaw 4 — Run-to-failure bias (§2.5, Fig. 10).
+//!
+//! Collects the relative position of the last anomaly in each dataset and
+//! tests the sample against the uniform distribution with the
+//! Kolmogorov–Smirnov statistic. Also reports how well the paper's "naive
+//! algorithm that simply labels the last point" would do.
+
+use tsad_core::stats::{ks_p_value, ks_statistic_uniform};
+use tsad_core::{Dataset, Result};
+
+/// Positional-bias statistics over a collection of datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PositionBiasReport {
+    /// Relative position (0..=1) of the last anomaly of each dataset.
+    pub positions: Vec<f64>,
+    /// Mean relative position (0.5 expected under uniform placement).
+    pub mean_position: f64,
+    /// KS statistic against Uniform(0, 1).
+    pub ks_statistic: f64,
+    /// Asymptotic KS p-value.
+    pub p_value: f64,
+    /// Fraction of datasets whose *last* anomaly sits in the final
+    /// `tail_fraction` of the series — the success rate of a naive
+    /// detector that always points near the end.
+    pub naive_last_hit_rate: f64,
+    /// The tail fraction used for the naive rate.
+    pub tail_fraction: f64,
+}
+
+impl PositionBiasReport {
+    /// Is the placement significantly end-biased? (one-sided check: the
+    /// mean is above 0.5 *and* uniformity is rejected at `alpha`).
+    pub fn is_biased(&self, alpha: f64) -> bool {
+        self.mean_position > 0.5 && self.p_value < alpha
+    }
+}
+
+/// Analyzes last-anomaly positions across datasets. `tail_fraction` is the
+/// share of the series the naive end-detector covers (e.g. 0.1).
+///
+/// Positions are measured relative to the *test region*: for a dataset
+/// with a train prefix, an unbiased generator places anomalies uniformly
+/// over `train_len..len`, so that is the interval the uniform null refers
+/// to. (For unsupervised datasets this is the whole series.)
+pub fn analyze<'a>(
+    datasets: impl IntoIterator<Item = &'a Dataset>,
+    tail_fraction: f64,
+) -> Result<PositionBiasReport> {
+    let positions: Vec<f64> = datasets
+        .into_iter()
+        .filter_map(|d| {
+            let last = d.labels().regions().last()?.end.saturating_sub(1);
+            let train = d.train_len();
+            let test_span = d.len().saturating_sub(train + 1);
+            if test_span == 0 || last < train {
+                return None;
+            }
+            Some((last - train) as f64 / test_span as f64)
+        })
+        .collect();
+    let ks = ks_statistic_uniform(&positions)?;
+    let mean = tsad_core::stats::mean(&positions)?;
+    let hits = positions.iter().filter(|&&p| p >= 1.0 - tail_fraction).count();
+    Ok(PositionBiasReport {
+        mean_position: mean,
+        ks_statistic: ks,
+        p_value: ks_p_value(ks, positions.len()),
+        naive_last_hit_rate: hits as f64 / positions.len() as f64,
+        tail_fraction,
+        positions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::{Labels, Region, TimeSeries};
+
+    fn dataset_with_anomaly_at(pos: usize, len: usize) -> Dataset {
+        let ts = TimeSeries::new("d", vec![0.0; len]).unwrap();
+        let labels = Labels::single(len, Region::point(pos)).unwrap();
+        Dataset::unsupervised(ts, labels).unwrap()
+    }
+
+    #[test]
+    fn end_biased_collection_is_flagged() {
+        let datasets: Vec<Dataset> =
+            (0..60).map(|i| dataset_with_anomaly_at(900 + i, 1000)).collect();
+        let r = analyze(datasets.iter(), 0.1).unwrap();
+        assert!(r.mean_position > 0.89);
+        assert!(r.is_biased(0.01), "ks={} p={}", r.ks_statistic, r.p_value);
+        assert!(r.naive_last_hit_rate > 0.9);
+    }
+
+    #[test]
+    fn uniform_collection_is_not_flagged() {
+        let datasets: Vec<Dataset> =
+            (0..60).map(|i| dataset_with_anomaly_at(8 + i * 16, 1000)).collect();
+        let r = analyze(datasets.iter(), 0.1).unwrap();
+        assert!(!r.is_biased(0.01), "ks={} p={}", r.ks_statistic, r.p_value);
+        assert!(r.naive_last_hit_rate < 0.25);
+    }
+
+    #[test]
+    fn empty_collection_errors() {
+        assert!(analyze(std::iter::empty(), 0.1).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Flaw 1 — Triviality (§2.2, Definition 1).
+//!
+//! A dataset is *trivial* if the brute-force search of
+//! [`tsad_detectors::oneliner`] finds a one-line solution. The analyzer
+//! wraps that search and aggregates Table-1-style statistics per benchmark
+//! family.
+
+use std::collections::BTreeMap;
+
+use tsad_core::{Dataset, Result};
+use tsad_detectors::oneliner::{search, Equation, SearchConfig, Solution};
+
+/// Triviality verdict for one dataset.
+#[derive(Debug, Clone)]
+pub struct TrivialityReport {
+    /// Dataset name.
+    pub name: String,
+    /// The solving one-liner, if any.
+    pub solution: Option<Solution>,
+}
+
+impl TrivialityReport {
+    /// `true` if a one-liner solves this dataset.
+    pub fn is_trivial(&self) -> bool {
+        self.solution.is_some()
+    }
+}
+
+/// Runs the one-liner search on a dataset.
+pub fn analyze(dataset: &Dataset, config: &SearchConfig) -> Result<TrivialityReport> {
+    let solution = search(dataset.values(), dataset.labels(), config)?;
+    Ok(TrivialityReport { name: dataset.name().to_string(), solution })
+}
+
+/// Aggregated Table-1 row: per-equation solve counts for one family.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FamilySolvability {
+    /// Solves per equation.
+    pub by_equation: BTreeMap<&'static str, usize>,
+    /// Total series solved.
+    pub solved: usize,
+    /// Total series examined.
+    pub total: usize,
+}
+
+impl FamilySolvability {
+    /// Percentage solved.
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.solved as f64 / self.total as f64
+        }
+    }
+
+    /// Folds one report into the aggregate.
+    pub fn add(&mut self, report: &TrivialityReport) {
+        self.total += 1;
+        if let Some(sol) = &report.solution {
+            self.solved += 1;
+            let key = match sol.equation {
+                Equation::Eq1 => "(1)",
+                Equation::Eq2 => "(2)",
+                Equation::Eq3 => "(3)",
+                Equation::Eq4 => "(4)",
+                Equation::Eq5 => "(5)",
+                Equation::Eq6 => "(6)",
+                Equation::Frozen => "(frozen)",
+            };
+            *self.by_equation.entry(key).or_insert(0) += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::{Labels, Region, TimeSeries};
+
+    fn trivial_dataset() -> Dataset {
+        let mut x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.2).sin() * 0.1).collect();
+        x[300] += 5.0;
+        let ts = TimeSeries::new("trivial", x).unwrap();
+        let labels = Labels::single(500, Region::point(300)).unwrap();
+        Dataset::unsupervised(ts, labels).unwrap()
+    }
+
+    fn hard_dataset() -> Dataset {
+        // labeled region on pristine periodic data: nothing to separate
+        let x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.2).sin()).collect();
+        let ts = TimeSeries::new("hard", x).unwrap();
+        let labels = Labels::single(500, Region::new(250, 280).unwrap()).unwrap();
+        Dataset::unsupervised(ts, labels).unwrap()
+    }
+
+    #[test]
+    fn trivial_dataset_is_flagged() {
+        let report = analyze(&trivial_dataset(), &SearchConfig::default()).unwrap();
+        assert!(report.is_trivial());
+        let sol = report.solution.unwrap();
+        assert_eq!(sol.equation, Equation::Eq3);
+    }
+
+    #[test]
+    fn hard_dataset_is_not() {
+        let report = analyze(&hard_dataset(), &SearchConfig::default()).unwrap();
+        assert!(!report.is_trivial());
+    }
+
+    #[test]
+    fn aggregation_counts() {
+        let cfg = SearchConfig::default();
+        let mut agg = FamilySolvability::default();
+        agg.add(&analyze(&trivial_dataset(), &cfg).unwrap());
+        agg.add(&analyze(&hard_dataset(), &cfg).unwrap());
+        assert_eq!(agg.total, 2);
+        assert_eq!(agg.solved, 1);
+        assert_eq!(agg.percent(), 50.0);
+        assert_eq!(agg.by_equation.get("(3)"), Some(&1));
+        assert_eq!(FamilySolvability::default().percent(), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! §4.2 — "Algorithms should be explained with reference to their
+//! invariances."
+//!
+//! The paper argues that a detector should be communicated through the
+//! transformations it is invariant to (amplitude scaling, offset, noise,
+//! linear trend, …), the way the time-series classification community
+//! does. This module makes that check *executable*: apply a transformation
+//! to a labeled dataset and test whether the detector's peak stays on the
+//! anomaly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsad_core::error::Result;
+use tsad_core::{Dataset, TimeSeries};
+use tsad_detectors::{most_anomalous_point, Detector};
+
+use crate::ucr::ucr_correct;
+
+/// A signal transformation whose effect on a detector we want to probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Transform {
+    /// Multiply every value by a constant.
+    AmplitudeScale(f64),
+    /// Add a constant to every value.
+    Offset(f64),
+    /// Add i.i.d. Gaussian noise of the given σ (times the signal's
+    /// standard deviation, so it is scale-free).
+    RelativeNoise(f64),
+    /// Add a linear trend with the given total rise over the series
+    /// (times the signal's standard deviation).
+    LinearTrend(f64),
+    /// Flip the series upside down.
+    Invert,
+}
+
+impl std::fmt::Display for Transform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transform::AmplitudeScale(c) => write!(f, "amplitude ×{c}"),
+            Transform::Offset(c) => write!(f, "offset +{c}"),
+            Transform::RelativeNoise(s) => write!(f, "noise σ={s}·std"),
+            Transform::LinearTrend(s) => write!(f, "trend {s}·std over series"),
+            Transform::Invert => write!(f, "inversion"),
+        }
+    }
+}
+
+impl Transform {
+    /// Applies the transform, returning a new dataset with the same labels.
+    pub fn apply(&self, dataset: &Dataset, seed: u64) -> Result<Dataset> {
+        let (series, labels, train_len) = dataset.clone().into_parts();
+        let name = format!("{}+{self}", series.name());
+        let mut x = series.into_values();
+        let sd = tsad_core::stats::std_dev(&x)?.max(1e-12);
+        match *self {
+            Transform::AmplitudeScale(c) => {
+                for v in &mut x {
+                    *v *= c;
+                }
+            }
+            Transform::Offset(c) => {
+                for v in &mut x {
+                    *v += c;
+                }
+            }
+            Transform::RelativeNoise(s) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for v in &mut x {
+                    *v += s * sd * tsad_synth_normal(&mut rng);
+                }
+            }
+            Transform::LinearTrend(s) => {
+                let n = x.len().max(2) as f64;
+                for (i, v) in x.iter_mut().enumerate() {
+                    *v += s * sd * (i as f64 / (n - 1.0));
+                }
+            }
+            Transform::Invert => {
+                for v in &mut x {
+                    *v = -*v;
+                }
+            }
+        }
+        Dataset::new(TimeSeries::new(name, x)?, labels, train_len)
+    }
+}
+
+// A local Box–Muller so this module does not depend on tsad-synth.
+fn tsad_synth_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// One row of the invariance report.
+#[derive(Debug, Clone)]
+pub struct InvarianceOutcome {
+    /// The transformation probed.
+    pub transform: Transform,
+    /// Peak location on the transformed data.
+    pub peak: usize,
+    /// Whether the peak stayed within the UCR tolerance of the anomaly.
+    pub invariant: bool,
+}
+
+/// Probes a detector against a set of transforms on a single-anomaly
+/// dataset. The detector must locate the anomaly on the *untransformed*
+/// data for the probe to be meaningful; an error is returned otherwise.
+pub fn probe_invariances(
+    detector: &dyn Detector,
+    dataset: &Dataset,
+    transforms: &[Transform],
+    seed: u64,
+) -> Result<Vec<InvarianceOutcome>> {
+    let base_peak = most_anomalous_point(detector, dataset.series(), dataset.train_len())?;
+    if !ucr_correct(base_peak, dataset.labels())? {
+        return Err(tsad_core::CoreError::BadParameter {
+            name: "baseline",
+            value: base_peak as f64,
+            expected: "a detector that locates the anomaly on untransformed data",
+        });
+    }
+    let mut out = Vec::with_capacity(transforms.len());
+    for (k, t) in transforms.iter().enumerate() {
+        let transformed = t.apply(dataset, seed.wrapping_add(k as u64))?;
+        let peak =
+            most_anomalous_point(detector, transformed.series(), transformed.train_len())?;
+        let invariant = ucr_correct(peak, transformed.labels())?;
+        out.push(InvarianceOutcome { transform: *t, peak, invariant });
+    }
+    Ok(out)
+}
+
+/// The standard probe battery used in reports.
+pub fn standard_transforms() -> Vec<Transform> {
+    vec![
+        Transform::AmplitudeScale(5.0),
+        Transform::Offset(100.0),
+        Transform::RelativeNoise(0.25),
+        Transform::LinearTrend(3.0),
+        Transform::Invert,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::{Labels, Region};
+    use tsad_detectors::baselines::GlobalZScore;
+    use tsad_detectors::matrix_profile::DiscordDetector;
+
+    fn periodic_anomaly_dataset() -> Dataset {
+        let n = 1200;
+        let mut x: Vec<f64> =
+            (0..n).map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin()).collect();
+        for (k, v) in x.iter_mut().enumerate().skip(700).take(20) {
+            *v = 1.6 + (k as f64 * 0.3).sin() * 0.1;
+        }
+        let ts = TimeSeries::new("inv", x).unwrap();
+        let labels = Labels::single(n, Region { start: 700, end: 720 }).unwrap();
+        Dataset::new(ts, labels, 300).unwrap()
+    }
+
+    #[test]
+    fn transforms_apply_correctly() {
+        let d = periodic_anomaly_dataset();
+        let scaled = Transform::AmplitudeScale(2.0).apply(&d, 1).unwrap();
+        assert!((scaled.values()[0] - 2.0 * d.values()[0]).abs() < 1e-12);
+        let offset = Transform::Offset(10.0).apply(&d, 1).unwrap();
+        assert!((offset.values()[5] - (d.values()[5] + 10.0)).abs() < 1e-12);
+        let inverted = Transform::Invert.apply(&d, 1).unwrap();
+        assert_eq!(inverted.values()[7], -d.values()[7]);
+        // labels and split survive every transform
+        assert_eq!(scaled.labels(), d.labels());
+        assert_eq!(scaled.train_len(), d.train_len());
+        let trended = Transform::LinearTrend(2.0).apply(&d, 1).unwrap();
+        assert!(trended.values()[d.len() - 1] > d.values()[d.len() - 1]);
+    }
+
+    #[test]
+    fn discord_is_invariant_to_scale_offset_trendless_transforms() {
+        let d = periodic_anomaly_dataset();
+        let outcomes = probe_invariances(
+            &DiscordDetector::new(40),
+            &d,
+            &[
+                Transform::AmplitudeScale(7.0),
+                Transform::Offset(50.0),
+                Transform::Invert,
+                Transform::RelativeNoise(0.1),
+            ],
+            9,
+        )
+        .unwrap();
+        for o in &outcomes {
+            assert!(o.invariant, "discord should survive {}: peak {}", o.transform, o.peak);
+        }
+    }
+
+    #[test]
+    fn zscore_is_scale_invariant_but_not_trend_invariant() {
+        let d = periodic_anomaly_dataset();
+        let outcomes = probe_invariances(
+            &GlobalZScore,
+            &d,
+            &[Transform::AmplitudeScale(3.0), Transform::LinearTrend(8.0)],
+            9,
+        )
+        .unwrap();
+        assert!(outcomes[0].invariant, "z-score survives pure scaling");
+        assert!(
+            !outcomes[1].invariant,
+            "a strong trend must drag the global z-score peak to the series end (peak {})",
+            outcomes[1].peak
+        );
+    }
+
+    #[test]
+    fn probe_rejects_detectors_that_fail_the_baseline() {
+        let d = periodic_anomaly_dataset();
+        // naive last-point never finds the mid-series anomaly
+        let err = probe_invariances(
+            &tsad_detectors::baselines::NaiveLastPoint,
+            &d,
+            &standard_transforms(),
+            9,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! # tsad-eval
+//!
+//! Scoring functions and benchmark *flaw analyzers* for the reproduction of
+//! Wu & Keogh (ICDE 2022).
+//!
+//! Scoring ([`confusion`], [`scoring`], [`nab`], [`range`], [`ucr`]) covers
+//! the protocols the TSAD literature actually uses — point-wise F1, the
+//! point-adjust protocol, NAB's windowed sigmoid score, range-based
+//! precision/recall, and the UCR archive's single-anomaly location
+//! accuracy — so the scoring-disagreement experiments (§2.3, §4.4) can be
+//! run side by side.
+//!
+//! The [`flaws`] module automates the paper's four-flaw taxonomy;
+//! [`invariance`] makes §4.2's "explain algorithms by their invariances"
+//! executable;
+//! [`features`] computes the Fig. 6 feature table; [`report`] renders
+//! text tables and ASCII plots for the reproduction harness.
+
+pub mod auc;
+pub mod confusion;
+pub mod features;
+pub mod flaws;
+pub mod invariance;
+pub mod nab;
+pub mod range;
+pub mod report;
+pub mod scoring;
+pub mod ucr;

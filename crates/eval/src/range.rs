@@ -1,0 +1,204 @@
+//! Range-based precision and recall (Tatbul et al., NeurIPS 2018) — the
+//! paper's reference \[19\] for "others have considered problems with current
+//! scoring functions".
+//!
+//! Each *real* anomaly range `R_i` contributes a recall term combining
+//! existence, size (overlap fraction under a positional bias), and a
+//! cardinality factor penalizing fragmented detections; precision is the
+//! symmetric quantity over *predicted* ranges. We implement the standard
+//! instantiation with γ(x) = 1/x cardinality and selectable positional
+//! bias.
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::{Labels, Region};
+
+/// Positional bias for the size reward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bias {
+    /// Every overlapped position counts equally.
+    Flat,
+    /// Earlier positions of the real range are worth more (early detection).
+    Front,
+    /// Later positions are worth more.
+    Back,
+}
+
+fn position_weight(bias: Bias, index_in_range: usize, range_len: usize) -> f64 {
+    let i = index_in_range as f64;
+    let n = range_len as f64;
+    match bias {
+        Bias::Flat => 1.0,
+        Bias::Front => n - i,
+        Bias::Back => i + 1.0,
+    }
+}
+
+/// ω(range, overlap_set): the positional-bias-weighted overlap fraction.
+fn omega(range: &Region, others: &[Region], bias: Bias) -> f64 {
+    let len = range.len();
+    let mut total = 0.0;
+    let mut hit = 0.0;
+    for (idx, pos) in (range.start..range.end).enumerate() {
+        let w = position_weight(bias, idx, len);
+        total += w;
+        if others.iter().any(|o| o.contains(pos)) {
+            hit += w;
+        }
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        hit / total
+    }
+}
+
+/// Cardinality factor γ = 1 / (number of distinct overlapping ranges),
+/// 1 when a single range overlaps.
+fn cardinality(range: &Region, others: &[Region]) -> f64 {
+    let count = others.iter().filter(|o| o.overlaps(range)).count();
+    if count <= 1 {
+        1.0
+    } else {
+        1.0 / count as f64
+    }
+}
+
+/// Range-based recall/precision parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeParams {
+    /// Weight of the existence reward vs the size reward (α in the paper;
+    /// recall = α·existence + (1−α)·cardinality·size).
+    pub alpha: f64,
+    /// Positional bias for recall's size term.
+    pub recall_bias: Bias,
+}
+
+impl Default for RangeParams {
+    fn default() -> Self {
+        Self { alpha: 0.5, recall_bias: Bias::Flat }
+    }
+}
+
+/// Range-based recall of `predicted` ranges against `real` labels.
+pub fn range_recall(predicted: &Labels, real: &Labels, params: RangeParams) -> Result<f64> {
+    check(predicted, real)?;
+    if real.region_count() == 0 {
+        return Ok(0.0);
+    }
+    let pred = predicted.regions();
+    let mut total = 0.0;
+    for r in real.regions() {
+        let existence = if pred.iter().any(|p| p.overlaps(r)) { 1.0 } else { 0.0 };
+        let size = cardinality(r, pred) * omega(r, pred, params.recall_bias);
+        total += params.alpha * existence + (1.0 - params.alpha) * size;
+    }
+    Ok(total / real.region_count() as f64)
+}
+
+/// Range-based precision of `predicted` ranges against `real` labels
+/// (α = 0 by definition: precision has no existence reward).
+pub fn range_precision(predicted: &Labels, real: &Labels, bias: Bias) -> Result<f64> {
+    check(predicted, real)?;
+    if predicted.region_count() == 0 {
+        return Ok(0.0);
+    }
+    let real_regions = real.regions();
+    let mut total = 0.0;
+    for p in predicted.regions() {
+        total += cardinality(p, real_regions) * omega(p, real_regions, bias);
+    }
+    Ok(total / predicted.region_count() as f64)
+}
+
+/// Range-based F1 from the above precision and recall.
+pub fn range_f1(predicted: &Labels, real: &Labels, params: RangeParams) -> Result<f64> {
+    let r = range_recall(predicted, real, params)?;
+    let p = range_precision(predicted, real, Bias::Flat)?;
+    Ok(if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) })
+}
+
+fn check(a: &Labels, b: &Labels) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(CoreError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(len: usize, regions: &[(usize, usize)]) -> Labels {
+        Labels::new(
+            len,
+            regions.iter().map(|&(s, e)| Region::new(s, e).unwrap()).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let real = labels(100, &[(10, 20), (50, 60)]);
+        let f1 = range_f1(&real, &real, RangeParams::default()).unwrap();
+        assert!((f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overlap_scores_zero() {
+        let real = labels(100, &[(10, 20)]);
+        let pred = labels(100, &[(70, 80)]);
+        assert_eq!(range_recall(&pred, &real, RangeParams::default()).unwrap(), 0.0);
+        assert_eq!(range_precision(&pred, &real, Bias::Flat).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_between() {
+        let real = labels(100, &[(10, 30)]);
+        let pred = labels(100, &[(20, 30)]); // second half detected
+        let r = range_recall(&pred, &real, RangeParams::default()).unwrap();
+        // existence 1·α + size 0.5·(1−α) with α=0.5 → 0.75
+        assert!((r - 0.75).abs() < 1e-12, "{r}");
+        let p = range_precision(&pred, &real, Bias::Flat).unwrap();
+        assert_eq!(p, 1.0, "the prediction lies fully inside a real range");
+    }
+
+    #[test]
+    fn front_bias_rewards_early_overlap() {
+        let real = labels(100, &[(10, 30)]);
+        let early = labels(100, &[(10, 20)]);
+        let late = labels(100, &[(20, 30)]);
+        let params_front = RangeParams { alpha: 0.0, recall_bias: Bias::Front };
+        let r_early = range_recall(&early, &real, params_front).unwrap();
+        let r_late = range_recall(&late, &real, params_front).unwrap();
+        assert!(r_early > r_late, "{r_early} vs {r_late}");
+        // back bias flips the preference
+        let params_back = RangeParams { alpha: 0.0, recall_bias: Bias::Back };
+        let b_early = range_recall(&early, &real, params_back).unwrap();
+        let b_late = range_recall(&late, &real, params_back).unwrap();
+        assert!(b_late > b_early);
+    }
+
+    #[test]
+    fn fragmented_detection_is_penalized() {
+        let real = labels(100, &[(10, 40)]);
+        let solid = labels(100, &[(10, 28)]);
+        // same 18 covered positions, but split into 3 fragments
+        let fragmented = labels(100, &[(10, 16), (22, 28), (34, 40)]);
+        let params = RangeParams { alpha: 0.0, recall_bias: Bias::Flat };
+        let r_solid = range_recall(&solid, &real, params).unwrap();
+        let r_frag = range_recall(&fragmented, &real, params).unwrap();
+        assert!(r_solid > r_frag, "{r_solid} vs {r_frag}");
+    }
+
+    #[test]
+    fn validates_lengths() {
+        let a = labels(100, &[(10, 20)]);
+        let b = labels(90, &[(10, 20)]);
+        assert!(range_recall(&a, &b, RangeParams::default()).is_err());
+        // empty predictions / labels
+        let empty = Labels::empty(100);
+        assert_eq!(range_recall(&empty, &a, RangeParams::default()).unwrap(), 0.0);
+        assert_eq!(range_precision(&empty, &a, Bias::Flat).unwrap(), 0.0);
+        assert_eq!(range_recall(&a, &empty, RangeParams::default()).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Plain-text rendering: aligned tables and ASCII plots for the `repro`
+//! binary's regeneration of the paper's tables and figures (§4.3 insists
+//! results should be *looked at*, so the harness draws everything it
+//! measures).
+
+/// A simple aligned-column text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(cols) {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate().take(cols) {
+                line.push_str("| ");
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', widths[c] - cell.chars().count() + 1));
+            }
+            line.push('|');
+            line
+        };
+        let separator: String = {
+            let mut s = String::new();
+            for w in &widths {
+                s.push('|');
+                s.extend(std::iter::repeat_n('-', w + 2));
+            }
+            s.push('|');
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&separator);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a series as a one-line unicode sparkline (8 levels).
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    // downsample by max-pooling so narrow peaks stay visible
+    let bucket = values.len().div_ceil(width);
+    let pooled: Vec<f64> = values
+        .chunks(bucket)
+        .map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .collect();
+    let lo = pooled.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = pooled.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(1e-12);
+    pooled
+        .iter()
+        .map(|&v| {
+            let level = (((v - lo) / range) * 7.0).round() as usize;
+            BLOCKS[level.min(7)]
+        })
+        .collect()
+}
+
+/// Renders an ASCII multi-row plot of a series (`height` text rows), with
+/// `*` marking anomalous columns per the given mask.
+pub fn ascii_plot(values: &[f64], mask: Option<&[bool]>, width: usize, height: usize) -> String {
+    if values.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    let bucket = values.len().div_ceil(width);
+    let pooled: Vec<f64> = values
+        .chunks(bucket)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    // tolerate a mask of different length: missing positions are normal
+    let mut pooled_mask: Vec<bool> = match mask {
+        Some(m) => m.chunks(bucket).map(|c| c.iter().any(|&b| b)).collect(),
+        None => vec![false; pooled.len()],
+    };
+    pooled_mask.resize(pooled.len(), false);
+    let lo = pooled.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = pooled.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(1e-12);
+    let mut grid = vec![vec![' '; pooled.len()]; height];
+    for (c, &v) in pooled.iter().enumerate() {
+        let r = (((v - lo) / range) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - r.min(height - 1);
+        grid[row][c] = if pooled_mask[c] { '*' } else { '·' };
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["Dataset", "Solved", "%"]);
+        t.row(vec!["A1", "44", "65.7"]);
+        t.row(vec!["Total", "316", "86.1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines equal width
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w), "{s}");
+        assert!(s.contains("86.1"));
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = sparkline(&v, 10);
+        assert_eq!(s.chars().count(), 10);
+        let first = s.chars().next().unwrap();
+        let last = s.chars().last().unwrap();
+        assert!(first < last, "ramp should rise: {s}");
+        assert_eq!(sparkline(&[], 10), "");
+    }
+
+    #[test]
+    fn sparkline_preserves_narrow_peaks() {
+        let mut v = vec![0.0; 1000];
+        v[500] = 10.0;
+        let s = sparkline(&v, 20);
+        assert!(s.contains('█'), "max pooling keeps the spike: {s}");
+    }
+
+    #[test]
+    fn ascii_plot_marks_anomalies() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut mask = vec![false; 100];
+        for m in mask.iter_mut().skip(40).take(10) {
+            *m = true;
+        }
+        let p = ascii_plot(&v, Some(&mask), 50, 8);
+        assert!(p.contains('*'));
+        assert!(p.contains('·'));
+        assert_eq!(p.lines().count(), 8);
+    }
+
+    #[test]
+    fn ascii_plot_tolerates_mismatched_mask() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let short_mask = vec![true; 90];
+        let p = ascii_plot(&v, Some(&short_mask), 50, 4);
+        assert_eq!(p.lines().count(), 4);
+        let long_mask = vec![true; 150];
+        let p = ascii_plot(&v, Some(&long_mask), 50, 4);
+        assert_eq!(p.lines().count(), 4);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(86.13), "86.1");
+        assert_eq!(fmt(0.8613), "0.861");
+    }
+}

@@ -1,0 +1,98 @@
+//! The UCR anomaly archive scoring rule.
+//!
+//! §2.3 argues the ideal test series has exactly **one** anomaly, reducing
+//! evaluation to a binary question: did the detector's most-anomalous
+//! *location* fall (approximately) inside the labeled region? Aggregated
+//! over many datasets this yields plain, interpretable accuracy.
+//!
+//! The tolerance follows the UCR contest rule: a prediction is correct iff
+//! it lies within the labeled region dilated by `max(100, region length)`
+//! on each side.
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::{Labels, Region};
+
+/// The UCR correctness tolerance for a labeled region.
+pub fn ucr_tolerance(region: &Region) -> usize {
+    region.len().max(100)
+}
+
+/// Is a predicted location correct for a single-anomaly label set?
+///
+/// Errors unless the labels contain exactly one region (the archive's
+/// invariant) or the prediction is out of bounds.
+pub fn ucr_correct(predicted: usize, labels: &Labels) -> Result<bool> {
+    if labels.region_count() != 1 {
+        return Err(CoreError::BadParameter {
+            name: "region_count",
+            value: labels.region_count() as f64,
+            expected: "exactly one labeled region (UCR convention)",
+        });
+    }
+    if predicted >= labels.len() {
+        return Err(CoreError::BadRegion { start: predicted, end: predicted + 1, len: labels.len() });
+    }
+    let region = labels.regions()[0];
+    let tol = ucr_tolerance(&region);
+    Ok(region.dilate(tol, labels.len()).contains(predicted))
+}
+
+/// Aggregate UCR accuracy over many `(prediction, labels)` pairs.
+pub fn ucr_accuracy<'a>(
+    results: impl IntoIterator<Item = (usize, &'a Labels)>,
+) -> Result<f64> {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (pred, labels) in results {
+        total += 1;
+        if ucr_correct(pred, labels)? {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        return Err(CoreError::EmptySeries);
+    }
+    Ok(correct as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_is_at_least_100() {
+        assert_eq!(ucr_tolerance(&Region::new(10, 20).unwrap()), 100);
+        assert_eq!(ucr_tolerance(&Region::new(0, 500).unwrap()), 500);
+    }
+
+    #[test]
+    fn correctness_window() {
+        let labels = Labels::single(10_000, Region::new(5000, 5050).unwrap()).unwrap();
+        assert!(ucr_correct(5025, &labels).unwrap());
+        assert!(ucr_correct(4900, &labels).unwrap(), "within 100 before");
+        assert!(ucr_correct(5149, &labels).unwrap(), "within 100 after");
+        assert!(!ucr_correct(4899, &labels).unwrap());
+        assert!(!ucr_correct(5150, &labels).unwrap());
+    }
+
+    #[test]
+    fn rejects_multi_anomaly_labels_and_oob() {
+        let multi = Labels::new(
+            1000,
+            vec![Region::new(10, 20).unwrap(), Region::new(100, 110).unwrap()],
+        )
+        .unwrap();
+        assert!(ucr_correct(15, &multi).is_err());
+        let single = Labels::single(100, Region::new(50, 60).unwrap()).unwrap();
+        assert!(ucr_correct(100, &single).is_err());
+    }
+
+    #[test]
+    fn accuracy_aggregates() {
+        let l1 = Labels::single(1000, Region::new(500, 520).unwrap()).unwrap();
+        let l2 = Labels::single(1000, Region::new(200, 220).unwrap()).unwrap();
+        let acc = ucr_accuracy(vec![(510, &l1), (900, &l2)]).unwrap();
+        assert_eq!(acc, 0.5);
+        assert!(ucr_accuracy(Vec::<(usize, &Labels)>::new()).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for scoring-protocol invariants.
+
+use proptest::prelude::*;
+use tsad_core::{Labels, Region};
+use tsad_eval::auc::{pr_auc, roc_auc};
+use tsad_eval::confusion::Confusion;
+use tsad_eval::nab::{nab_score, NabProfile};
+use tsad_eval::range::{range_f1, range_precision, range_recall, Bias, RangeParams};
+use tsad_eval::scoring::{point_adjust_f1, pointwise_f1, tolerance_f1};
+
+fn mask(len: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(prop::bool::weighted(0.1), len..=len)
+}
+
+fn labels_strategy(len: usize) -> impl Strategy<Value = Labels> {
+    (1usize..6).prop_flat_map(move |count| {
+        prop::collection::vec((0usize..len.saturating_sub(6), 1usize..5), count..=count)
+            .prop_map(move |raw| {
+                let mut mask = vec![false; len];
+                for (start, width) in raw {
+                    for m in mask.iter_mut().skip(start).take(width) {
+                        *m = true;
+                    }
+                }
+                Labels::from_mask(&mask)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f1_protocols_are_bounded_and_ordered(
+        pred in mask(300),
+        labels in labels_strategy(300),
+    ) {
+        let pw = pointwise_f1(&pred, &labels).unwrap();
+        let pa = point_adjust_f1(&pred, &labels).unwrap();
+        let tol0 = tolerance_f1(&pred, &labels, 0).unwrap();
+        let tol5 = tolerance_f1(&pred, &labels, 5).unwrap();
+        for v in [pw, pa, tol0, tol5] {
+            prop_assert!((0.0..=1.0).contains(&v), "{}", v);
+        }
+        // point-adjust can only help
+        prop_assert!(pa >= pw - 1e-12);
+        // more slop can only help
+        prop_assert!(tol5 >= tol0 - 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_maxes_every_protocol(labels in labels_strategy(300)) {
+        prop_assume!(labels.region_count() > 0);
+        let truth = labels.to_mask();
+        prop_assert!((pointwise_f1(&truth, &labels).unwrap() - 1.0).abs() < 1e-12);
+        prop_assert!((point_adjust_f1(&truth, &labels).unwrap() - 1.0).abs() < 1e-12);
+        prop_assert!((tolerance_f1(&truth, &labels, 3).unwrap() - 1.0).abs() < 1e-12);
+        prop_assert!((range_f1(&labels, &labels, RangeParams::default()).unwrap() - 1.0).abs() < 1e-9);
+        // NAB: detecting the start of every window is (near-)perfect
+        let detections: Vec<usize> =
+            tsad_eval::nab::nab_windows(&labels).iter().map(|w| w.start).collect();
+        let s = nab_score(&detections, &labels, NabProfile::standard()).unwrap();
+        prop_assert!(s > 95.0, "{}", s);
+    }
+
+    #[test]
+    fn confusion_counts_partition_the_series(
+        pred in mask(200),
+        truth in mask(200),
+    ) {
+        let c = Confusion::from_masks(&pred, &truth).unwrap();
+        prop_assert_eq!(c.tp + c.fp + c.fn_ + c.tn, 200);
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+        prop_assert!((0.0..=1.0).contains(&c.f1()));
+    }
+
+    #[test]
+    fn range_metrics_bounded(
+        pred in labels_strategy(300),
+        real in labels_strategy(300),
+    ) {
+        let r = range_recall(&pred, &real, RangeParams::default()).unwrap();
+        let p = range_precision(&pred, &real, Bias::Flat).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r), "{}", r);
+        prop_assert!((0.0..=1.0).contains(&p), "{}", p);
+    }
+
+    #[test]
+    fn auc_bounds_and_flip_antisymmetry(
+        score in prop::collection::vec(-10.0f64..10.0, 100..200),
+    ) {
+        // build labels guaranteed non-degenerate
+        let len = score.len();
+        let labels = Labels::single(len, Region::new(len / 2, len / 2 + 5).unwrap()).unwrap();
+        let auc = roc_auc(&score, &labels).unwrap();
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // negating the score mirrors ROC-AUC around 0.5
+        let neg: Vec<f64> = score.iter().map(|v| -v).collect();
+        let auc_neg = roc_auc(&neg, &labels).unwrap();
+        prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9, "{} + {}", auc, auc_neg);
+        let pr = pr_auc(&score, &labels).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&pr), "{}", pr);
+    }
+
+    #[test]
+    fn auc_is_rank_invariant(
+        score in prop::collection::vec(0.0f64..1.0, 60..120),
+    ) {
+        // any strictly monotone transform preserves ROC-AUC
+        let len = score.len();
+        let labels = Labels::single(len, Region::new(10, 20).unwrap()).unwrap();
+        let auc = roc_auc(&score, &labels).unwrap();
+        let warped: Vec<f64> = score.iter().map(|v| v.exp() * 3.0 + 1.0).collect();
+        let auc_warped = roc_auc(&warped, &labels).unwrap();
+        prop_assert!((auc - auc_warped).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nab_score_is_at_most_100(
+        detections in prop::collection::vec(0usize..500, 0..20),
+        labels in labels_strategy(500),
+    ) {
+        prop_assume!(labels.region_count() > 0);
+        let s = nab_score(&detections, &labels, NabProfile::standard()).unwrap();
+        prop_assert!(s <= 100.0 + 1e-9, "{}", s);
+    }
+}

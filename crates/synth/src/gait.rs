@@ -1,0 +1,181 @@
+//! Gait force-plate generator with the Fig. 12 cycle-swap construction.
+//!
+//! The paper's `UCR_Anomaly_park3m_60000_72150_72495` dataset was built from
+//! a two-channel force-plate recording of an individual with an antalgic
+//! (asymmetric) gait: a near-normal right-foot cycle (RFC) and a tentative,
+//! weak left-foot cycle (LFC). The archive series records the right foot,
+//! with **one** randomly chosen RFC replaced by the corresponding LFC —
+//! a synthetic but completely plausible anomaly ("the individual felt a
+//! sudden spasm in the leg").
+//!
+//! We reproduce this including the turnaround confounder the paper
+//! describes: the force-plate is finite, so gait speed changes when the
+//! subject turns around — and that behavior appears in *both* train and
+//! test so it must not be flagged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsad_core::{Dataset, Labels, Region, TimeSeries};
+
+use crate::signal::standard_normal;
+
+/// Samples per gait cycle at normal walking speed.
+pub const CYCLE_LEN: usize = 120;
+
+/// Right-foot cycle template: a strong double-hump (heel strike + toe off)
+/// vertical ground-reaction force profile.
+fn right_cycle(phase: f64) -> f64 {
+    // stance phase ~60% with the classic M shape, swing ~40% near zero
+    if phase < 0.6 {
+        let t = phase / 0.6;
+        let heel = (-((t - 0.22) / 0.12).powi(2)).exp();
+        let toe = (-((t - 0.78) / 0.12).powi(2)).exp();
+        let valley = 0.25 * (-((t - 0.5) / 0.18).powi(2)).exp();
+        1.05 * heel + 1.1 * toe - valley
+    } else {
+        0.02
+    }
+}
+
+/// Left-foot cycle template: tentative and weak — lower peak force, longer
+/// flat mid-stance, no crisp double hump.
+fn left_cycle(phase: f64) -> f64 {
+    if phase < 0.65 {
+        let t = phase / 0.65;
+        let hump = (-((t - 0.45) / 0.28).powi(2)).exp();
+        0.55 * hump
+    } else {
+        0.02
+    }
+}
+
+/// The generated gait dataset plus provenance.
+#[derive(Debug, Clone)]
+pub struct GaitData {
+    /// The labeled dataset (right-foot channel with one swapped cycle).
+    pub dataset: Dataset,
+    /// Index of the swapped cycle (0-based, over the whole series).
+    pub swapped_cycle: usize,
+    /// Start indices of the turnaround (slow-gait) segments — present in
+    /// both train and test, and *not* anomalies.
+    pub turnarounds: Vec<usize>,
+}
+
+/// Generates the Fig. 12 gait dataset: `cycles` cycles, train prefix
+/// `train_cycles` cycles, one swapped cycle in the test region.
+pub fn park_gait(seed: u64, cycles: usize, train_cycles: usize) -> GaitData {
+    assert!(train_cycles + 2 < cycles, "need test cycles after the train prefix");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6A17);
+    // Pick the swapped cycle uniformly in the test region (leave one
+    // normal cycle after the prefix and one at the end).
+    let swapped_cycle = rng.gen_range(train_cycles + 1..cycles - 1);
+
+    // Turnarounds every ~12 cycles (finite force plate): gait slows by 30%.
+    let turnaround_every = 12usize;
+
+    let mut x: Vec<f64> = Vec::with_capacity(cycles * CYCLE_LEN);
+    let mut turnarounds = Vec::new();
+    let mut anomaly = Region { start: 0, end: 1 };
+    for c in 0..cycles {
+        let slow = c % turnaround_every == turnaround_every - 1;
+        if slow {
+            turnarounds.push(x.len());
+        }
+        let len = if slow { (CYCLE_LEN as f64 * 1.3) as usize } else { CYCLE_LEN };
+        let start = x.len();
+        let weak = c == swapped_cycle;
+        for i in 0..len {
+            let phase = i as f64 / len as f64;
+            let v = if weak {
+                // the LFC swapped in, shifted by half a cycle as the paper
+                // describes (left foot strikes half a cycle out of phase)
+                left_cycle((phase + 0.5) % 1.0)
+            } else {
+                right_cycle(phase)
+            };
+            x.push(v * (1.0 + 0.02 * standard_normal(&mut rng)) + 0.01 * standard_normal(&mut rng));
+        }
+        if weak {
+            anomaly = Region { start, end: x.len() };
+        }
+    }
+    let n = x.len();
+    let train_len = {
+        // train prefix ends at the boundary of cycle `train_cycles`
+        let mut t = 0usize;
+        for c in 0..train_cycles {
+            let slow = c % turnaround_every == turnaround_every - 1;
+            t += if slow { (CYCLE_LEN as f64 * 1.3) as usize } else { CYCLE_LEN };
+        }
+        t
+    };
+    let labels = Labels::single(n, anomaly).expect("in bounds");
+    let name = format!("UCR_Anomaly_park3m_{}_{}_{}", train_len, anomaly.start, anomaly.end);
+    let ts = TimeSeries::new(name, x).expect("finite");
+    GaitData {
+        dataset: Dataset::new(ts, labels, train_len).expect("anomaly after prefix"),
+        swapped_cycle,
+        turnarounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gait_structure() {
+        let g = park_gait(3, 100, 40);
+        assert_eq!(g.dataset.labels().region_count(), 1);
+        let r = g.dataset.labels().regions()[0];
+        assert!(r.start >= g.dataset.train_len(), "anomaly in test region");
+        assert!(!g.turnarounds.is_empty());
+        // turnarounds occur in both train and test
+        assert!(g.turnarounds.iter().any(|&t| t < g.dataset.train_len()));
+        assert!(g.turnarounds.iter().any(|&t| t > g.dataset.train_len()));
+    }
+
+    #[test]
+    fn swapped_cycle_is_weaker() {
+        let g = park_gait(3, 100, 40);
+        let x = g.dataset.values();
+        let r = g.dataset.labels().regions()[0];
+        let weak_max = x[r.start..r.end].iter().cloned().fold(0.0f64, f64::max);
+        // a normal cycle's peak is ~1.1; the weak cycle's ~0.55
+        assert!(weak_max < 0.75, "swapped cycle peak {weak_max}");
+        let global_max = x.iter().cloned().fold(0.0f64, f64::max);
+        assert!(global_max > 0.9);
+    }
+
+    #[test]
+    fn name_encodes_ucr_convention() {
+        let g = park_gait(7, 80, 30);
+        let name = g.dataset.name();
+        let parts: Vec<&str> = name.split('_').collect();
+        assert_eq!(parts[0], "UCR");
+        assert_eq!(parts[1], "Anomaly");
+        assert_eq!(parts[2], "park3m");
+        let train: usize = parts[3].parse().unwrap();
+        let begin: usize = parts[4].parse().unwrap();
+        let end: usize = parts[5].parse().unwrap();
+        assert_eq!(train, g.dataset.train_len());
+        assert_eq!(begin, g.dataset.labels().regions()[0].start);
+        assert_eq!(end, g.dataset.labels().regions()[0].end);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = park_gait(3, 60, 20);
+        let b = park_gait(3, 60, 20);
+        assert_eq!(a.dataset.values(), b.dataset.values());
+        assert_eq!(a.swapped_cycle, b.swapped_cycle);
+        let c = park_gait(4, 60, 20);
+        assert!(a.swapped_cycle != c.swapped_cycle || a.dataset.values() != c.dataset.values());
+    }
+
+    #[test]
+    #[should_panic(expected = "need test cycles")]
+    fn rejects_prefix_covering_everything() {
+        park_gait(3, 20, 19);
+    }
+}

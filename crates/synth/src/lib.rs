@@ -1,0 +1,37 @@
+//! # tsad-synth
+//!
+//! Seeded, deterministic simulators of the benchmark datasets the paper
+//! critiques — **with their flaws injected on purpose** — plus the
+//! physiological and gait generators behind the UCR-archive constructions.
+//!
+//! The original archives are distributed under restrictive terms (Yahoo S5
+//! requires a signed agreement) or as large external downloads, so per the
+//! substitution rule in `DESIGN.md` every data source is regenerated
+//! synthetically while preserving the statistical structure the paper's
+//! experiments depend on:
+//!
+//! * [`yahoo`] — the 367-series S5 benchmark (A1–A4), with Table 1's
+//!   one-liner-solvability structure, §2.5's run-to-failure placement, and
+//!   §2.4's mislabeled exemplars (Figs. 3–7, 10);
+//! * [`numenta`] — `art_increase_spike_density` (Fig. 2) and the NYC-taxi
+//!   series with 5 official + 7 unlabeled true events (Fig. 8);
+//! * [`nasa`] — magnitude jumps, thrice-frozen signals (Fig. 9), and the
+//!   §2.3 density-flaw exemplars;
+//! * [`omni`] — a 38-dimensional SMD machine with Fig. 1's dimension 19;
+//! * [`physio`] — coupled ECG + pleth with a PVC (Figs. 11 and 13);
+//! * [`gait`] — the force-plate cycle-swap construction (Fig. 12);
+//! * [`insect`] / [`resp`] — the archive's entomology and respiration
+//!   domains (wingbeat-frequency intrusions, apnea / deep-breath);
+//! * [`signal`] / [`inject`] — the shared building blocks and flaw
+//!   machinery.
+
+pub mod gait;
+pub mod insect;
+pub mod inject;
+pub mod nasa;
+pub mod numenta;
+pub mod omni;
+pub mod physio;
+pub mod resp;
+pub mod signal;
+pub mod yahoo;

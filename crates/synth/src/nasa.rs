@@ -1,0 +1,183 @@
+//! Simulator of the NASA SMAP/MSL telemetry exemplars the paper discusses.
+//!
+//! Three patterns carry the paper's NASA arguments:
+//!
+//! * **magnitude jumps** — "the anomaly is manifest in many orders of
+//!   magnitude difference in the value of the time series" (§2.2);
+//! * **frozen signals** — "a dynamic time series suddenly becoming exactly
+//!   constant", solvable with `diff(diff(TS)) == 0`, *and* (Fig. 9)
+//!   typically occurring three times while only one occurrence is labeled;
+//! * **run-to-failure density** — exemplars like D-2/M-1/M-2 where more
+//!   than half the test data is one contiguous labeled anomaly (§2.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsad_core::{Dataset, Labels, Region, TimeSeries};
+
+use crate::inject;
+use crate::signal::{gaussian_noise, sine, standard_normal};
+
+/// A telemetry channel whose anomaly is an orders-of-magnitude jump —
+/// "well beyond trivial".
+pub fn magnitude_jump(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4A5A);
+    let n = 3000;
+    let base = sine(n, 120.0, 0.4, rng.gen_range(0.0..1.0));
+    let noise = gaussian_noise(&mut rng, n, 0.05);
+    let mut x: Vec<f64> = base.iter().zip(&noise).map(|(a, b)| a + b + 1.0).collect();
+    let start = rng.gen_range(n / 2..n - 300);
+    let width = rng.gen_range(40..120);
+    for v in &mut x[start..start + width] {
+        *v *= 1000.0; // three orders of magnitude
+    }
+    let labels = Labels::single(n, Region { start, end: start + width }).expect("in bounds");
+    let ts = TimeSeries::new("SMAP-like magnitude jump", x).expect("finite");
+    Dataset::new(ts, labels, n / 4).expect("valid")
+}
+
+/// Fig. 9 analogue (MSL G-1): a dynamic channel that freezes **three**
+/// times, with only the first freeze labeled. Returns
+/// `(dataset, all_frozen_regions)` — the unlabeled two are the paper's
+/// argument that the ground truth has false negatives.
+pub fn frozen_signal(seed: u64) -> (Dataset, Vec<Region>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4A5B);
+    let n = 6000;
+    let base = sine(n, 90.0, 1.0, rng.gen_range(0.0..1.0));
+    let noise = gaussian_noise(&mut rng, n, 0.08);
+    let mut x: Vec<f64> = base.iter().zip(&noise).map(|(a, b)| a + b).collect();
+    let starts = [2200usize, 3600, 5000];
+    let width = 120;
+    let mut frozen = Vec::new();
+    for &s in &starts {
+        frozen.push(inject::freeze(&mut x, s, s + width));
+    }
+    // ground truth only acknowledges the first
+    let labels = Labels::single(n, frozen[0]).expect("in bounds");
+    let ts = TimeSeries::new("MSL-G-1-like frozen", x).expect("finite");
+    (Dataset::new(ts, labels, 1500).expect("valid"), frozen)
+}
+
+/// A D-2/M-1-style exemplar: a contiguous labeled anomaly covering more
+/// than half the test region (§2.3's density flaw). `fraction` controls
+/// the anomalous share of the test suffix.
+pub fn dense_anomaly(seed: u64, fraction: f64) -> Dataset {
+    let fraction = fraction.clamp(0.05, 0.95);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4A5C);
+    let n = 4000;
+    let train_len = 1000;
+    let base = sine(n, 150.0, 0.8, rng.gen_range(0.0..1.0));
+    let noise = gaussian_noise(&mut rng, n, 0.06);
+    let mut x: Vec<f64> = base.iter().zip(&noise).map(|(a, b)| a + b).collect();
+    let test_len = n - train_len;
+    let width = (test_len as f64 * fraction) as usize;
+    let start = n - width;
+    // degraded-mode behavior: offset + altered dynamics
+    for (off, v) in x[start..].iter_mut().enumerate() {
+        *v = *v * 0.3 + 1.8 + 0.25 * standard_normal(&mut rng) + (off as f64 * 0.0005);
+    }
+    let labels = Labels::single(n, Region { start, end: n }).expect("in bounds");
+    let ts = TimeSeries::new("MSL-D-2-like dense", x).expect("finite");
+    Dataset::new(ts, labels, train_len).expect("valid")
+}
+
+/// machine-2-5-style exemplar (§2.3): many separate anomalies crowded into
+/// a short region — the paper counts 21.
+pub fn crowded_anomalies(seed: u64, count: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4A5D);
+    let n = 4000;
+    let base = sine(n, 100.0, 0.6, rng.gen_range(0.0..1.0));
+    let noise = gaussian_noise(&mut rng, n, 0.05);
+    let mut x: Vec<f64> = base.iter().zip(&noise).map(|(a, b)| a + b).collect();
+    // all anomalies packed into the last fifth
+    let zone = n - n / 5;
+    let spacing = (n / 5) / count.max(1);
+    let mut regions = Vec::with_capacity(count);
+    for k in 0..count {
+        let p = zone + k * spacing + rng.gen_range(0..spacing / 2);
+        regions.push(inject::spike(&mut x, p, 2.0 + rng.gen_range(0.0..1.0)));
+    }
+    let labels = Labels::new(n, regions).expect("spaced");
+    let ts = TimeSeries::new("SMD-machine-2-5-like crowded", x).expect("finite");
+    Dataset::new(ts, labels, 1000).expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::ops;
+
+    #[test]
+    fn magnitude_jump_is_orders_of_magnitude() {
+        let d = magnitude_jump(3);
+        let r = d.labels().regions()[0];
+        let x = d.values();
+        let inside_max = x[r.start..r.end].iter().cloned().fold(0.0f64, f64::max);
+        let outside_max = x[..r.start].iter().cloned().fold(0.0f64, f64::max);
+        assert!(inside_max / outside_max > 100.0, "{inside_max} vs {outside_max}");
+    }
+
+    #[test]
+    fn frozen_regions_are_exactly_constant_and_mostly_unlabeled() {
+        let (d, frozen) = frozen_signal(3);
+        assert_eq!(frozen.len(), 3);
+        assert_eq!(d.labels().region_count(), 1);
+        let x = d.values();
+        for r in &frozen {
+            let dd = ops::diff2(&x[r.start..r.end]);
+            assert!(dd.iter().all(|&v| v == 0.0), "frozen region must be constant");
+        }
+        // the two unlabeled freezes are false negatives
+        assert!(!d.labels().contains(frozen[1].start));
+        assert!(!d.labels().contains(frozen[2].start));
+    }
+
+    #[test]
+    fn frozen_signal_yields_to_diff_diff_oneliner() {
+        let (d, frozen) = frozen_signal(4);
+        let x = d.values();
+        // diff(diff(TS)) == 0 for three consecutive samples
+        let dd = ops::diff2(x);
+        let mask = ops::near_zero(&dd, 1e-12);
+        // count runs of >= 3 consecutive `true`
+        let mut runs = Vec::new();
+        let mut len = 0;
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                len += 1;
+            } else {
+                if len >= 3 {
+                    runs.push(i - len);
+                }
+                len = 0;
+            }
+        }
+        if len >= 3 {
+            runs.push(mask.len() - len);
+        }
+        assert_eq!(runs.len(), 3, "one-liner finds all three freezes: {runs:?}");
+        for (run, f) in runs.iter().zip(&frozen) {
+            assert!(run.abs_diff(f.start) <= 2, "{run} vs {}", f.start);
+        }
+    }
+
+    #[test]
+    fn dense_anomaly_has_requested_density() {
+        let d = dense_anomaly(3, 0.6);
+        let test_len = d.len() - d.train_len();
+        let density = d.labels().anomalous_points() as f64 / test_len as f64;
+        assert!((density - 0.6).abs() < 0.02, "density {density}");
+        // clamping
+        let d = dense_anomaly(3, 2.0);
+        assert!(d.labels().anomalous_points() > 0);
+    }
+
+    #[test]
+    fn crowded_anomalies_all_land_in_final_fifth() {
+        let d = crowded_anomalies(3, 21);
+        assert_eq!(d.labels().region_count(), 21);
+        let zone = d.len() - d.len() / 5;
+        for r in d.labels().regions() {
+            assert!(r.start >= zone);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Simulator of the OMNI / SMD (Server Machine Dataset) exemplars: 38
+//! machine-metric channels, with the paper's Fig. 1 structure on
+//! dimension 19.
+//!
+//! Fig. 1 shows that dimension 19 of SMD machine 3-11 — "one of the harder
+//! of the 38 dimensions" — yields to three different one-liners:
+//! `TS > c`, `movstd(TS, k) > c`, and `abs(diff(TS)) > c`. We reproduce
+//! that: during the anomaly window, dimension 19 rises above its normal
+//! range (solves `TS > c`), becomes more volatile (solves `movstd`), and
+//! jumps at the boundaries (solves `abs(diff)`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsad_core::{Labels, MultiSeries, Region};
+
+use crate::signal::{random_walk, standard_normal};
+
+/// Number of channels in an SMD machine exemplar.
+pub const SMD_DIMS: usize = 38;
+
+/// The dimension Fig. 1 analyses.
+pub const FIG1_DIM: usize = 19;
+
+/// A simulated SMD machine exemplar.
+#[derive(Debug, Clone)]
+pub struct SmdMachine {
+    /// The 38-channel series.
+    pub series: MultiSeries,
+    /// Ground-truth anomaly labels (shared across channels).
+    pub labels: Labels,
+}
+
+/// Simulates one SMD machine with a single anomaly window during which a
+/// subset of channels (always including [`FIG1_DIM`]) shift regime.
+pub fn smd_machine(seed: u64) -> SmdMachine {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5D3D);
+    let n = 2400;
+    let anomaly = Region { start: 1700, end: 1850 };
+    let mut channels = Vec::with_capacity(SMD_DIMS);
+    for dim in 0..SMD_DIMS {
+        let kind = dim % 4;
+        let mut ch: Vec<f64> = match kind {
+            // CPU-like: bursty utilisation (each channel's burst schedule
+            // is phase-staggered, as independent processes would be)
+            0 => (0..n)
+                .map(|i| {
+                    let burst =
+                        if ((i + dim * 37) / 60) % 5 == 0 { 0.35 } else { 0.0 };
+                    0.3 + burst + 0.05 * standard_normal(&mut rng)
+                })
+                .collect(),
+            // memory-like: slow ramps with resets (staggered per channel)
+            1 => (0..n)
+                .map(|i| {
+                    0.4 + 0.3 * (((i + dim * 53) % 400) as f64 / 400.0)
+                        + 0.02 * standard_normal(&mut rng)
+                })
+                .collect(),
+            // IO-like: random walk
+            2 => random_walk(&mut rng, n, 0.5, 0.01),
+            // network-like: diurnal wave
+            _ => (0..n)
+                .map(|i| {
+                    0.5 + 0.2 * (std::f64::consts::TAU * i as f64 / 300.0).sin()
+                        + 0.03 * standard_normal(&mut rng)
+                })
+                .collect(),
+        };
+        // roughly a third of channels react to the incident; dim 19 always
+        let reacts = dim == FIG1_DIM || rng.gen_bool(0.3);
+        if reacts {
+            let lift = if dim == FIG1_DIM { 0.9 } else { rng.gen_range(0.2..0.6) };
+            let extra_noise = if dim == FIG1_DIM { 0.12 } else { 0.04 };
+            for v in &mut ch[anomaly.start..anomaly.end] {
+                *v += lift + extra_noise * standard_normal(&mut rng);
+            }
+        }
+        // keep machine metrics in a plausible range
+        for v in &mut ch {
+            *v = v.clamp(-0.2, 3.0);
+        }
+        channels.push(ch);
+    }
+    let series = MultiSeries::new("SMD-machine-3-11-like", channels).expect("equal lengths");
+    let labels = Labels::single(n, anomaly).expect("in bounds");
+    SmdMachine { series, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::ops;
+
+    #[test]
+    fn machine_has_38_dims_and_one_anomaly() {
+        let m = smd_machine(3);
+        assert_eq!(m.series.dims(), SMD_DIMS);
+        assert_eq!(m.labels.region_count(), 1);
+        assert_eq!(m.series.len(), m.labels.len());
+    }
+
+    #[test]
+    fn dim19_solved_by_all_three_fig1_oneliners() {
+        let m = smd_machine(3);
+        let x = m.series.channel(FIG1_DIM).unwrap();
+        let r = m.labels.regions()[0];
+
+        // one-liner 1: TS > c
+        let outside_max = x
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !r.contains(*i))
+            .map(|(_, &v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let inside_frac_above = x[r.start..r.end]
+            .iter()
+            .filter(|&&v| v > outside_max)
+            .count() as f64
+            / r.len() as f64;
+        assert!(inside_frac_above > 0.5, "TS > c works: {inside_frac_above}");
+
+        // one-liner 2: movstd(TS, k) > c
+        let sd = ops::movstd(x, 25).unwrap();
+        let sd_out = sd
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !r.dilate(25, x.len()).contains(*i))
+            .map(|(_, &v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let sd_in = sd[r.start..r.end].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(sd_in > sd_out, "movstd works: {sd_in} vs {sd_out}");
+
+        // one-liner 3: abs(diff(TS)) > c fires at the boundaries
+        let ad = ops::abs(&ops::diff(x));
+        let peak = tsad_core::stats::argmax(&ad).unwrap();
+        let hits_boundary = peak.abs_diff(r.start) <= 2 || peak.abs_diff(r.end) <= 2;
+        assert!(hits_boundary, "abs(diff) peak at {peak}, region {r:?}");
+    }
+
+    #[test]
+    fn other_dims_vary_in_difficulty() {
+        let m = smd_machine(3);
+        let r = m.labels.regions()[0];
+        // at least one channel does NOT react (its anomaly window looks
+        // exactly like its normal behavior)
+        let mut unreactive = 0;
+        for dim in 0..SMD_DIMS {
+            let x = m.series.channel(dim).unwrap();
+            let inside: f64 =
+                x[r.start..r.end].iter().sum::<f64>() / r.len() as f64;
+            let outside: f64 =
+                x[..r.start].iter().sum::<f64>() / r.start as f64;
+            if (inside - outside).abs() < 0.1 {
+                unreactive += 1;
+            }
+        }
+        assert!(unreactive > 5, "{unreactive} unreactive channels");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = smd_machine(8);
+        let b = smd_machine(8);
+        assert_eq!(a.series, b.series);
+    }
+}

@@ -1,0 +1,126 @@
+//! Respiration generator — the archive's second medical domain.
+//!
+//! A slow breathing waveform (≈ 0.25 Hz at 25 Hz sampling) with a single
+//! anomaly: either a central **apnea** (breathing stops and the trace
+//! flattens to the noise floor) or one anomalously **deep breath**
+//! (amplitude excursion with normal timing).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsad_core::{Dataset, Labels, Region, TimeSeries};
+
+use crate::signal::standard_normal;
+
+/// The respiration anomaly type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RespAnomaly {
+    /// Breathing stops for `breaths` cycles.
+    Apnea,
+    /// One breath at `depth_factor` times normal amplitude.
+    DeepBreath,
+}
+
+/// Configuration for the respiration generator.
+#[derive(Debug, Clone)]
+pub struct RespConfig {
+    /// Total samples.
+    pub n: usize,
+    /// Train prefix.
+    pub train_len: usize,
+    /// Samples per breath (≈ 100 at 25 Hz / 15 breaths-per-minute).
+    pub samples_per_breath: usize,
+    /// Anomaly kind.
+    pub anomaly: RespAnomaly,
+}
+
+impl Default for RespConfig {
+    fn default() -> Self {
+        Self { n: 20_000, train_len: 6_000, samples_per_breath: 100, anomaly: RespAnomaly::Apnea }
+    }
+}
+
+/// Generates the respiration recording.
+pub fn respiration(seed: u64, config: &RespConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4E5B);
+    let n = config.n;
+    let spb = config.samples_per_breath;
+    let anomaly_breath =
+        rng.gen_range((config.train_len / spb) + 8..(n / spb).saturating_sub(4));
+    let (anomaly_start, anomaly_len) = match config.anomaly {
+        RespAnomaly::Apnea => (anomaly_breath * spb, 3 * spb),
+        RespAnomaly::DeepBreath => (anomaly_breath * spb, spb),
+    };
+    let region = Region { start: anomaly_start, end: (anomaly_start + anomaly_len).min(n - 1) };
+
+    let mut x = Vec::with_capacity(n);
+    let mut breath_amp = 1.0f64;
+    for i in 0..n {
+        if i % spb == 0 {
+            // breath-to-breath amplitude variability
+            breath_amp = 1.0 + 0.08 * standard_normal(&mut rng);
+            if config.anomaly == RespAnomaly::DeepBreath && region.contains(i) {
+                breath_amp *= 2.4;
+            }
+        }
+        let phase = (i % spb) as f64 / spb as f64;
+        // inhale faster than exhale: skewed sinusoid
+        let wave = (std::f64::consts::TAU * (phase - 0.08 * (std::f64::consts::TAU * phase).sin()))
+            .sin();
+        let breathing = if config.anomaly == RespAnomaly::Apnea && region.contains(i) {
+            0.0
+        } else {
+            breath_amp * wave
+        };
+        x.push(breathing + 0.03 * standard_normal(&mut rng));
+    }
+    let labels = Labels::single(n, region).expect("in bounds");
+    let name = match config.anomaly {
+        RespAnomaly::Apnea => "resp-apnea",
+        RespAnomaly::DeepBreath => "resp-deep-breath",
+    };
+    let ts = TimeSeries::new(name, x).expect("finite");
+    Dataset::new(ts, labels, config.train_len).expect("anomaly after prefix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apnea_flattens_the_trace() {
+        let d = respiration(9, &RespConfig::default());
+        let r = d.labels().regions()[0];
+        let x = d.values();
+        let inside_sd = tsad_core::stats::std_dev(&x[r.start + 10..r.end - 10]).unwrap();
+        let outside_sd = tsad_core::stats::std_dev(&x[..r.start]).unwrap();
+        assert!(inside_sd < outside_sd / 5.0, "{inside_sd} vs {outside_sd}");
+    }
+
+    #[test]
+    fn deep_breath_doubles_amplitude() {
+        let config = RespConfig { anomaly: RespAnomaly::DeepBreath, ..Default::default() };
+        let d = respiration(9, &config);
+        let r = d.labels().regions()[0];
+        let x = d.values();
+        let inside_max = x[r.start..r.end].iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        let outside_max = x[..r.start].iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        assert!(inside_max > 1.5 * outside_max, "{inside_max} vs {outside_max}");
+    }
+
+    #[test]
+    fn breath_cycle_period_is_respected() {
+        let d = respiration(9, &RespConfig::default());
+        let x = d.values();
+        let r1 = tsad_core::stats::autocorrelation(&x[..6000], 100).unwrap();
+        assert!(r1 > 0.6, "one-breath lag autocorrelation {r1}");
+    }
+
+    #[test]
+    fn anomaly_is_in_test_region() {
+        for anomaly in [RespAnomaly::Apnea, RespAnomaly::DeepBreath] {
+            let config = RespConfig { anomaly, ..Default::default() };
+            let d = respiration(3, &config);
+            assert!(d.labels().regions()[0].start >= d.train_len());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests over the generator space: every simulator must
+//! produce structurally valid, deterministic datasets for any seed.
+
+use proptest::prelude::*;
+use tsad_synth::{gait, insect, nasa, numenta, omni, physio, resp, yahoo};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn yahoo_series_valid_for_any_seed(seed in 0u64..1_000_000, index in 1usize..=30) {
+        for family in yahoo::Family::all() {
+            let s = yahoo::generate(seed, family, index);
+            prop_assert_eq!(s.dataset.len(), yahoo::SERIES_LEN);
+            prop_assert!(s.dataset.labels().region_count() >= 1);
+            prop_assert!(s.dataset.values().iter().all(|v| v.is_finite()));
+            // determinism
+            let again = yahoo::generate(seed, family, index);
+            prop_assert_eq!(s.dataset.values(), again.dataset.values());
+        }
+    }
+
+    #[test]
+    fn nasa_generators_valid(seed in 0u64..1_000_000) {
+        let d = nasa::magnitude_jump(seed);
+        prop_assert_eq!(d.labels().region_count(), 1);
+        prop_assert!(d.labels().regions()[0].start >= d.train_len());
+
+        let (frozen_d, frozen) = nasa::frozen_signal(seed);
+        prop_assert_eq!(frozen.len(), 3);
+        prop_assert_eq!(frozen_d.labels().region_count(), 1);
+
+        let dense = nasa::dense_anomaly(seed, 0.5);
+        let test_len = dense.len() - dense.train_len();
+        let density = dense.labels().anomalous_points() as f64 / test_len as f64;
+        prop_assert!((density - 0.5).abs() < 0.05, "{}", density);
+    }
+
+    #[test]
+    fn taxi_structure_holds_for_any_seed(seed in 0u64..1_000_000) {
+        let t = numenta::nyc_taxi(seed);
+        prop_assert_eq!(t.dataset.labels().region_count(), 5);
+        prop_assert_eq!(t.full_labels.region_count(), 12);
+        prop_assert!(t.dataset.values().iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn omni_machine_valid(seed in 0u64..1_000_000) {
+        let m = omni::smd_machine(seed);
+        prop_assert_eq!(m.series.dims(), omni::SMD_DIMS);
+        prop_assert_eq!(m.labels.region_count(), 1);
+        // every channel stays in the clamped range
+        for dim in 0..m.series.dims() {
+            let ch = m.series.channel(dim).unwrap();
+            prop_assert!(ch.iter().all(|&v| (-0.2..=3.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn physio_pvc_is_after_train(seed in 0u64..1_000_000) {
+        let d = physio::fig13_ecg(seed, 0.0);
+        prop_assert_eq!(d.labels().region_count(), 1);
+        prop_assert!(d.labels().regions()[0].start >= d.train_len());
+        let b = physio::bidmc_like(seed);
+        prop_assert!(b.pleth.labels().regions()[0].start > b.ecg_anomaly.start,
+            "pleth lags the ECG");
+    }
+
+    #[test]
+    fn gait_valid_for_any_seed(seed in 0u64..1_000_000) {
+        let g = gait::park_gait(seed, 80, 30);
+        prop_assert_eq!(g.dataset.labels().region_count(), 1);
+        let r = g.dataset.labels().regions()[0];
+        prop_assert!(r.start >= g.dataset.train_len());
+        // swapped cycle is weak: peak below the normal double-hump
+        let weak_max = g.dataset.values()[r.start..r.end]
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        prop_assert!(weak_max < 0.9, "{}", weak_max);
+    }
+
+    #[test]
+    fn insect_and_resp_valid(seed in 0u64..1_000_000) {
+        let w = insect::wingbeat(seed, &insect::WingbeatConfig::default());
+        prop_assert_eq!(w.labels().region_count(), 1);
+        prop_assert!(w.labels().regions()[0].start >= w.train_len());
+        for anomaly in [resp::RespAnomaly::Apnea, resp::RespAnomaly::DeepBreath] {
+            let config = resp::RespConfig { anomaly, ..resp::RespConfig::default() };
+            let d = resp::respiration(seed, &config);
+            prop_assert_eq!(d.labels().region_count(), 1);
+            prop_assert!(d.labels().regions()[0].start >= d.train_len());
+        }
+    }
+}

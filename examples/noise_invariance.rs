@@ -1,0 +1,42 @@
+//! The §4.2 invariance lens: sweep additive noise on the Fig. 13 ECG and
+//! watch which detector's peak survives (the argument for explaining
+//! algorithms "with reference to their invariances").
+//!
+//! ```sh
+//! cargo run --release --example noise_invariance
+//! ```
+
+use tsad::detectors::threshold::discrimination_ratio;
+use tsad::prelude::*;
+use tsad::synth::physio::fig13_ecg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // the Fig. 13 configuration: the forecaster sees one full beat of
+    // history; the discord uses the raw-Euclidean metric (z-normalization
+    // would let the ECG's flat diastolic windows drown in noise)
+    let telemanom = Telemanom { order: 160, ..Telemanom::default() };
+    let discord = DiscordDetector::euclidean(160);
+
+    println!("noise σ | method    | peak correct | discrimination");
+    println!("--------|-----------|--------------|---------------");
+    for sigma in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let dataset = fig13_ecg(42, sigma);
+        for (name, det) in
+            [("telemanom", &telemanom as &dyn Detector), ("discord", &discord)]
+        {
+            let score = det.score(dataset.series(), dataset.train_len())?;
+            let test = &score[dataset.train_len()..];
+            let peak = dataset.train_len() + tsad::core::stats::argmax(test)?;
+            let correct = ucr_correct(peak, dataset.labels())?;
+            println!(
+                "{sigma:>7.2} | {name:<9} | {:<12} | {:.2}",
+                if correct { "yes" } else { "NO" },
+                discrimination_ratio(test)?
+            );
+        }
+    }
+    println!(
+        "\n→ the distance-based discord is invariant to additive noise far longer\n  than the forecasting-based detector — the paper's Fig. 13."
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! The Fig. 8 workflow as a library consumer would run it: compute the
+//! discord score of the NYC-taxi series and compare its peaks against the
+//! official labels *and* the full injected ground truth.
+//!
+//! ```sh
+//! cargo run --release --example taxi_discords
+//! ```
+
+use tsad::detectors::matrix_profile::stomp;
+use tsad::detectors::threshold::top_k_peaks;
+use tsad::synth::numenta::{nyc_taxi, TAXI_SAMPLES_PER_DAY};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let taxi = nyc_taxi(42);
+    println!(
+        "NYC-taxi simulation: {} half-hour samples, {} official labels, {} true events",
+        taxi.dataset.len(),
+        taxi.dataset.labels().region_count(),
+        taxi.events.len()
+    );
+
+    // one-day discord windows, as in the paper's Fig. 8
+    let mp = stomp(taxi.dataset.values(), TAXI_SAMPLES_PER_DAY)?;
+    let score = mp.point_scores(taxi.dataset.len());
+    let peaks = top_k_peaks(&score, 12, TAXI_SAMPLES_PER_DAY);
+
+    println!("\ntop-12 discord peaks:");
+    for (rank, peak) in peaks.iter().enumerate() {
+        let day = peak.index / TAXI_SAMPLES_PER_DAY;
+        let event = taxi.events.iter().find(|e| day.abs_diff(e.day) <= 1);
+        let verdict = match event {
+            Some(e) if e.official => format!("{} (officially labeled)", e.name),
+            Some(e) => format!("{} (TRUE event the ground truth MISSES)", e.name),
+            None => "no injected event — a genuine false positive".to_string(),
+        };
+        println!("  #{:<2} day {:>3}  {verdict}", rank + 1, day);
+    }
+
+    // the paper's conclusion, recomputed
+    let unlabeled_found = peaks
+        .iter()
+        .filter(|p| {
+            let day = p.index / TAXI_SAMPLES_PER_DAY;
+            taxi.events.iter().any(|e| !e.official && day.abs_diff(e.day) <= 1)
+        })
+        .count();
+    println!(
+        "\n→ {unlabeled_found} of the top peaks are real events the official labels omit;\n  an algorithm reporting them would be scored as producing false positives."
+    );
+    Ok(())
+}

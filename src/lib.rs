@@ -1,0 +1,56 @@
+//! # tsad — a reproduction of Wu & Keogh (ICDE 2022)
+//!
+//! *"Current Time Series Anomaly Detection Benchmarks are Flawed and are
+//! Creating the Illusion of Progress."*
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — time series, labels, datasets, vectorized ops, statistics,
+//!   FFT/MASS, DTW, SAX;
+//! * [`detectors`] — one-liners (+ the Table 1 brute-force search), matrix
+//!   profile / discords / HOT SAX / MERLIN, the Telemanom substitute, and
+//!   naive baselines;
+//! * [`synth`] — seeded simulators of the flawed benchmarks (Yahoo,
+//!   Numenta, NASA, OMNI) and the physiological/gait generators;
+//! * [`eval`] — scoring protocols and the four flaw analyzers;
+//! * [`archive`] — the UCR-style single-anomaly archive (naming, IO,
+//!   validation, builder, contest).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tsad::prelude::*;
+//!
+//! // generate a simulated Yahoo A1 series with its (flawed) labels
+//! let series = tsad::synth::yahoo::generate(7, YahooFamily::A1, 1);
+//!
+//! // is it trivially solvable with one line of "MATLAB"?
+//! let solution = one_liner_search(
+//!     series.dataset.values(),
+//!     series.dataset.labels(),
+//!     &SearchConfig::default(),
+//! )
+//! .unwrap();
+//! if let Some(sol) = solution {
+//!     println!("{} solves {}", sol.one_liner, series.dataset.name());
+//! }
+//! ```
+
+pub use tsad_archive as archive;
+pub use tsad_core as core;
+pub use tsad_detectors as detectors;
+pub use tsad_eval as eval;
+pub use tsad_synth as synth;
+
+/// The most common imports, renamed to avoid collisions.
+pub mod prelude {
+    pub use tsad_core::{Dataset, Labels, Region, TimeSeries};
+    pub use tsad_detectors::baselines::{GlobalZScore, MovingAvgResidual, NaiveLastPoint};
+    pub use tsad_detectors::matrix_profile::DiscordDetector;
+    pub use tsad_detectors::oneliner::{search as one_liner_search, Equation, SearchConfig};
+    pub use tsad_detectors::telemanom::Telemanom;
+    pub use tsad_detectors::{most_anomalous_point, Detector};
+    pub use tsad_eval::scoring::{best_f1_over_thresholds, F1Protocol};
+    pub use tsad_eval::ucr::{ucr_accuracy, ucr_correct};
+    pub use tsad_synth::yahoo::Family as YahooFamily;
+}
