@@ -82,7 +82,8 @@ pub fn build_entry(seed: u64, domain: Domain, difficulty: Difficulty) -> Archive
             scale_difficulty(g.dataset, difficulty, seed)
         }
         Domain::Industry => {
-            construction = "AspenTech-style missing-data dropout (deliberately one-liner-solvable, §3)";
+            construction =
+                "AspenTech-style missing-data dropout (deliberately one-liner-solvable, §3)";
             industry_dropout(seed, difficulty)
         }
         Domain::Space => {
@@ -105,7 +106,12 @@ pub fn build_entry(seed: u64, domain: Domain, difficulty: Difficulty) -> Archive
     };
     ArchiveEntry {
         dataset,
-        provenance: Provenance { domain, difficulty, construction, seed },
+        provenance: Provenance {
+            domain,
+            difficulty,
+            construction,
+            seed,
+        },
     }
 }
 
@@ -143,8 +149,7 @@ fn industry_dropout(seed: u64, difficulty: Difficulty) -> Dataset {
     let base = sine(n, period, 1.0, rng.gen_range(0.0..1.0));
     let drift = tsad_synth::signal::random_walk(&mut rng, n, 10.0, 0.002);
     let noise = gaussian_noise(&mut rng, n, 0.03);
-    let mut x: Vec<f64> =
-        (0..n).map(|i| base[i] + drift[i] + noise[i]).collect();
+    let mut x: Vec<f64> = (0..n).map(|i| base[i] + drift[i] + noise[i]).collect();
     let at = rng.gen_range(train_len + 500..n - 200);
     let depth = match difficulty {
         Difficulty::Easy => -9999.0,
@@ -179,7 +184,14 @@ fn space_regime_change(seed: u64, difficulty: Difficulty) -> Dataset {
         })
         .collect();
     let ts = TimeSeries::new("sat-telemetry", x).expect("finite");
-    let labels = Labels::single(n, Region { start: at, end: at + width }).expect("in bounds");
+    let labels = Labels::single(
+        n,
+        Region {
+            start: at,
+            end: at + width,
+        },
+    )
+    .expect("in bounds");
     Dataset::new(ts, labels, train_len).expect("anomaly after prefix")
 }
 
@@ -219,13 +231,20 @@ fn robotics_degraded_cycle(seed: u64, difficulty: Difficulty) -> Dataset {
             x.push(degraded_v + 0.01 * standard_normal(&mut rng));
         }
         if c == degraded {
-            region = Region { start, end: x.len() };
+            region = Region {
+                start,
+                end: x.len(),
+            };
         }
     }
     let n = x.len();
     let ts = TimeSeries::new("robot-actuator", x).expect("finite");
-    Dataset::new(ts, Labels::single(n, region).expect("in bounds"), train_cycles * cycle)
-        .expect("anomaly after prefix")
+    Dataset::new(
+        ts,
+        Labels::single(n, region).expect("in bounds"),
+        train_cycles * cycle,
+    )
+    .expect("anomaly after prefix")
 }
 
 fn entomology_wingbeat(seed: u64, difficulty: Difficulty) -> Dataset {
@@ -250,7 +269,10 @@ fn respiration_event(seed: u64, difficulty: Difficulty) -> Dataset {
         Difficulty::Easy | Difficulty::Medium => resp::RespAnomaly::Apnea,
         Difficulty::Hard => resp::RespAnomaly::DeepBreath,
     };
-    let config = resp::RespConfig { anomaly, ..resp::RespConfig::default() };
+    let config = resp::RespConfig {
+        anomaly,
+        ..resp::RespConfig::default()
+    };
     resp::respiration(seed, &config)
 }
 
@@ -285,8 +307,11 @@ pub fn build_archive(seed: u64, count: usize) -> Result<Vec<ArchiveEntry>> {
         let difficulty = difficulties[k % difficulties.len()];
         let mut entry = None;
         for attempt in 0..4u64 {
-            let candidate =
-                build_entry(seed.wrapping_add((k as u64) << 8).wrapping_add(attempt), domain, difficulty);
+            let candidate = build_entry(
+                seed.wrapping_add((k as u64) << 8).wrapping_add(attempt),
+                domain,
+                difficulty,
+            );
             let violations = validate(&candidate.dataset, &config)?;
             // Hard entries may trip the novelty check because of their high
             // noise; only structural violations are fatal.
@@ -370,7 +395,7 @@ mod tests {
         // the easy anomaly (deep squash + big frequency change) deviates
         // more from the global distribution than the hard one
         assert!(contrast(&easy.dataset) < contrast(&hard.dataset) + 10.0); // sanity: both finite
-        // stronger check: amplitude inside the anomaly
+                                                                           // stronger check: amplitude inside the anomaly
         let amp = |d: &Dataset| {
             let x = d.values();
             let r = d.labels().regions()[0];
@@ -379,7 +404,10 @@ mod tests {
             let hi = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             hi - lo
         };
-        assert!(amp(&easy.dataset) < amp(&hard.dataset), "easy squashes amplitude much more");
+        assert!(
+            amp(&easy.dataset) < amp(&hard.dataset),
+            "easy squashes amplitude much more"
+        );
     }
 
     #[test]
@@ -387,8 +415,10 @@ mod tests {
         let archive = build_archive(21, 21).unwrap();
         assert_eq!(archive.len(), 21);
         // the easy tier is a deliberate minority
-        let easy =
-            archive.iter().filter(|e| e.provenance.difficulty == Difficulty::Easy).count();
+        let easy = archive
+            .iter()
+            .filter(|e| e.provenance.difficulty == Difficulty::Easy)
+            .count();
         assert!(easy <= archive.len() / 3, "{easy}");
         // domains cycle
         assert_eq!(archive[0].provenance.domain, Domain::Physiology);
@@ -399,7 +429,10 @@ mod tests {
             assert!(e.dataset.train_len() >= 1000, "{}", e.dataset.train_len());
         }
         // difficulty spectrum present
-        let hard = archive.iter().filter(|e| e.provenance.difficulty == Difficulty::Hard).count();
+        let hard = archive
+            .iter()
+            .filter(|e| e.provenance.difficulty == Difficulty::Hard)
+            .count();
         assert!(hard >= 6, "{hard}");
     }
 

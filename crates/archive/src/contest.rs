@@ -49,7 +49,11 @@ pub fn run_contest(detector: &dyn Detector, datasets: &[Dataset]) -> Result<Cont
         let outcome = match most_anomalous_point(detector, d.series(), d.train_len()) {
             Ok(predicted) => {
                 let correct = ucr_correct(predicted, d.labels())?;
-                ContestOutcome { dataset: d.name().to_string(), predicted, correct }
+                ContestOutcome {
+                    dataset: d.name().to_string(),
+                    predicted,
+                    correct,
+                }
             }
             Err(_) => ContestOutcome {
                 dataset: d.name().to_string(),
@@ -59,7 +63,10 @@ pub fn run_contest(detector: &dyn Detector, datasets: &[Dataset]) -> Result<Cont
         };
         outcomes.push(outcome);
     }
-    Ok(ContestResult { detector: detector.name(), outcomes })
+    Ok(ContestResult {
+        detector: detector.name(),
+        outcomes,
+    })
 }
 
 #[cfg(test)]
@@ -78,12 +85,17 @@ mod tests {
 
     #[test]
     fn zscore_wins_random_loses_on_spikes() {
-        let datasets: Vec<Dataset> =
-            (0..8).map(|k| spike_dataset(4000, 2000 + k * 137)).collect();
+        let datasets: Vec<Dataset> = (0..8)
+            .map(|k| spike_dataset(4000, 2000 + k * 137))
+            .collect();
         let z = run_contest(&GlobalZScore, &datasets).unwrap();
         assert_eq!(z.accuracy(), 1.0, "{:?}", z.outcomes);
         let r = run_contest(&RandomDetector::new(3), &datasets).unwrap();
-        assert!(r.accuracy() < 0.5, "random should mostly miss: {}", r.accuracy());
+        assert!(
+            r.accuracy() < 0.5,
+            "random should mostly miss: {}",
+            r.accuracy()
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@ pub enum ArchiveError {
     /// A validation error from `tsad-core`.
     Core(CoreError),
     /// A filesystem error, tagged with the path involved.
-    Io { path: std::path::PathBuf, source: std::io::Error },
+    Io {
+        path: std::path::PathBuf,
+        source: std::io::Error,
+    },
     /// A generated dataset failed an archive invariant.
     InvalidDataset { name: String, reason: String },
 }
@@ -63,7 +66,10 @@ mod tests {
         assert!(io.to_string().contains("/tmp/x"));
         use std::error::Error;
         assert!(io.source().is_some());
-        let inv = ArchiveError::InvalidDataset { name: "d".into(), reason: "two anomalies".into() };
+        let inv = ArchiveError::InvalidDataset {
+            name: "d".into(),
+            reason: "two anomalies".into(),
+        };
         assert!(inv.to_string().contains("two anomalies"));
         assert!(inv.source().is_none());
     }

@@ -33,7 +33,10 @@ pub fn read_values(path: &Path) -> std::io::Result<Vec<f64>> {
             continue;
         }
         let v: f64 = t.parse().map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad value {t:?}: {e}"))
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad value {t:?}: {e}"),
+            )
         })?;
         out.push(v);
     }
@@ -49,7 +52,10 @@ pub fn write_dataset(dir: &Path, index: Option<u32>, dataset: &Dataset) -> Resul
     if labels.region_count() != 1 {
         return Err(ArchiveError::InvalidDataset {
             name: dataset.name().to_string(),
-            reason: format!("{} labeled regions; the archive requires exactly one", labels.region_count()),
+            reason: format!(
+                "{} labeled regions; the archive requires exactly one",
+                labels.region_count()
+            ),
         });
     }
     // A dataset named with the UCR convention already carries a mnemonic;
@@ -60,29 +66,42 @@ pub fn write_dataset(dir: &Path, index: Option<u32>, dataset: &Dataset) -> Resul
     };
     let mnemonic: String = base
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '-' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
         .collect();
-    let mnemonic = if mnemonic.is_empty() { "unnamed".to_string() } else { mnemonic };
+    let mnemonic = if mnemonic.is_empty() {
+        "unnamed".to_string()
+    } else {
+        mnemonic
+    };
     let name = UcrName::new(index, mnemonic, dataset.train_len(), labels.regions()[0])?;
     let path = dir.join(name.file_name());
-    write_values(&path, dataset.values())
-        .map_err(|source| ArchiveError::Io { path: path.clone(), source })?;
+    write_values(&path, dataset.values()).map_err(|source| ArchiveError::Io {
+        path: path.clone(),
+        source,
+    })?;
     Ok(path)
 }
 
 /// Loads a dataset from a UCR-named file (labels come from the name).
 pub fn read_dataset(path: &Path) -> Result<Dataset> {
-    let file_name = path
-        .file_name()
-        .and_then(|s| s.to_str())
-        .ok_or_else(|| ArchiveError::from(CoreError::BadParameter {
+    let file_name = path.file_name().and_then(|s| s.to_str()).ok_or_else(|| {
+        ArchiveError::from(CoreError::BadParameter {
             name: "path",
             value: f64::NAN,
             expected: "a UTF-8 file name",
-        }))?;
+        })
+    })?;
     let name = UcrName::parse(file_name)?;
-    let values =
-        read_values(path).map_err(|source| ArchiveError::Io { path: path.to_path_buf(), source })?;
+    let values = read_values(path).map_err(|source| ArchiveError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
     let ts = TimeSeries::new(name.to_string(), values)?;
     let labels = Labels::single(ts.len(), name.anomaly)?;
     Ok(Dataset::new(ts, labels, name.train_len)?)
@@ -91,7 +110,10 @@ pub fn read_dataset(path: &Path) -> Result<Dataset> {
 /// Loads every `.txt` UCR dataset in a directory, sorted by file name.
 pub fn read_archive_dir(dir: &Path) -> Result<Vec<Dataset>> {
     let mut paths: Vec<PathBuf> = fs::read_dir(dir)
-        .map_err(|source| ArchiveError::Io { path: dir.to_path_buf(), source })?
+        .map_err(|source| ArchiveError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|e| e == "txt"))
@@ -106,7 +128,8 @@ mod tests {
     use tsad_core::Region;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("tsad-archive-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("tsad-archive-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -125,7 +148,12 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let d = sample_dataset();
         let path = write_dataset(&dir, Some(7), &d).unwrap();
-        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("007_UCR_Anomaly_demo_200_400_402"));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("007_UCR_Anomaly_demo_200_400_402"));
         let loaded = read_dataset(&path).unwrap();
         assert_eq!(loaded.len(), d.len());
         assert_eq!(loaded.train_len(), 200);

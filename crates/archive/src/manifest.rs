@@ -58,11 +58,16 @@ pub fn write_archive(dir: &Path, entries: &[ArchiveEntry]) -> Result<Vec<Manifes
         // from the manifest
         return Err(ArchiveError::InvalidDataset {
             name: "archive".to_string(),
-            reason: format!("{} entries exceed the 999 the naming scheme orders", entries.len()),
+            reason: format!(
+                "{} entries exceed the 999 the naming scheme orders",
+                entries.len()
+            ),
         });
     }
-    fs::create_dir_all(dir)
-        .map_err(|source| ArchiveError::Io { path: dir.to_path_buf(), source })?;
+    fs::create_dir_all(dir).map_err(|source| ArchiveError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
     let mut rows = Vec::with_capacity(entries.len());
     for (i, entry) in entries.iter().enumerate() {
         let path = write_dataset(dir, Some(i as u32 + 1), &entry.dataset)?;
@@ -79,8 +84,10 @@ pub fn write_archive(dir: &Path, entries: &[ArchiveEntry]) -> Result<Vec<Manifes
     }
 
     let manifest_path = dir.join("MANIFEST.tsv");
-    let mut manifest = fs::File::create(&manifest_path)
-        .map_err(|source| ArchiveError::Io { path: manifest_path.clone(), source })?;
+    let mut manifest = fs::File::create(&manifest_path).map_err(|source| ArchiveError::Io {
+        path: manifest_path.clone(),
+        source,
+    })?;
     writeln!(manifest, "file\tdomain\tdifficulty\tseed\tconstruction")
         .and_then(|_| {
             for r in &rows {
@@ -92,20 +99,27 @@ pub fn write_archive(dir: &Path, entries: &[ArchiveEntry]) -> Result<Vec<Manifes
             }
             Ok(())
         })
-        .map_err(|source| ArchiveError::Io { path: manifest_path.clone(), source })?;
+        .map_err(|source| ArchiveError::Io {
+            path: manifest_path.clone(),
+            source,
+        })?;
 
     let readme_path = dir.join("README.md");
     let readme = render_readme(&rows);
-    fs::write(&readme_path, readme)
-        .map_err(|source| ArchiveError::Io { path: readme_path, source })?;
+    fs::write(&readme_path, readme).map_err(|source| ArchiveError::Io {
+        path: readme_path,
+        source,
+    })?;
     Ok(rows)
 }
 
 /// Reads `MANIFEST.tsv` back.
 pub fn read_manifest(dir: &Path) -> Result<Vec<ManifestRow>> {
     let path = dir.join("MANIFEST.tsv");
-    let text = fs::read_to_string(&path)
-        .map_err(|source| ArchiveError::Io { path: path.clone(), source })?;
+    let text = fs::read_to_string(&path).map_err(|source| ArchiveError::Io {
+        path: path.clone(),
+        source,
+    })?;
     let mut rows = Vec::new();
     for (lineno, line) in text.lines().enumerate().skip(1) {
         if line.trim().is_empty() {
@@ -148,8 +162,7 @@ fn render_readme(rows: &[ManifestRow]) -> String {
         *by_domain.entry(r.domain.as_str()).or_insert(0) += 1;
     }
     out.push_str(&format!("{} datasets: ", rows.len()));
-    let parts: Vec<String> =
-        by_domain.iter().map(|(d, c)| format!("{d} ×{c}")).collect();
+    let parts: Vec<String> = by_domain.iter().map(|(d, c)| format!("{d} ×{c}")).collect();
     out.push_str(&parts.join(", "));
     out.push('\n');
     out
@@ -168,8 +181,7 @@ mod tests {
     use crate::builder::build_archive;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("tsad-manifest-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("tsad-manifest-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -208,7 +220,11 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("MANIFEST.tsv"), "header\nonly-one-column\n").unwrap();
         assert!(read_manifest(&dir).is_err());
-        fs::write(dir.join("MANIFEST.tsv"), "header\na\tb\tc\tnot-a-number\td\n").unwrap();
+        fs::write(
+            dir.join("MANIFEST.tsv"),
+            "header\na\tb\tc\tnot-a-number\td\n",
+        )
+        .unwrap();
         assert!(read_manifest(&dir).is_err());
         fs::remove_dir_all(&dir).unwrap();
     }

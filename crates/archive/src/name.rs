@@ -48,7 +48,12 @@ impl UcrName {
                 len: train_len,
             });
         }
-        Ok(Self { index, name, train_len, anomaly })
+        Ok(Self {
+            index,
+            name,
+            train_len,
+            anomaly,
+        })
     }
 
     /// Parses `"[<idx>_]UCR_Anomaly_<name>_<train>_<begin>_<end>[.txt]"`.
@@ -133,8 +138,8 @@ mod tests {
             "nonsense.txt",
             "UCR_Anomaly_x_10.txt",
             "UCR_Anomaly_x_a_b_c.txt",
-            "UCR_Anomaly_x_100_50_60.txt",  // anomaly before train end
-            "UCR_Anomaly_x_10_60_50.txt",   // inverted region
+            "UCR_Anomaly_x_100_50_60.txt", // anomaly before train end
+            "UCR_Anomaly_x_10_60_50.txt",  // inverted region
             "extra_stuff_UCR_Anomaly_x_1_2_3.txt",
         ] {
             assert!(UcrName::parse(bad).is_err(), "{bad} should be rejected");

@@ -34,7 +34,11 @@ pub struct ValidationConfig {
 
 impl Default for ValidationConfig {
     fn default() -> Self {
-        Self { window: 64, margin: 32, novelty_ratio: 2.5 }
+        Self {
+            window: 64,
+            margin: 32,
+            novelty_ratio: 2.5,
+        }
     }
 }
 
@@ -46,7 +50,11 @@ pub enum Violation {
     /// The anomaly starts too close to (or inside) the train prefix.
     AnomalyTooEarly { start: usize, required: usize },
     /// A normal test window has no similar counterpart in the train data.
-    UncoveredTestMode { window_start: usize, distance: f64, allowed: f64 },
+    UncoveredTestMode {
+        window_start: usize,
+        distance: f64,
+        allowed: f64,
+    },
     /// The series is too short for the checks.
     TooShort { len: usize, needed: usize },
 }
@@ -76,7 +84,9 @@ pub fn validate(dataset: &Dataset, config: &ValidationConfig) -> Result<Vec<Viol
     let mut violations = Vec::new();
     let labels = dataset.labels();
     if labels.region_count() != 1 {
-        violations.push(Violation::NotSingleAnomaly { regions: labels.region_count() });
+        violations.push(Violation::NotSingleAnomaly {
+            regions: labels.region_count(),
+        });
         return Ok(violations);
     }
     let anomaly = labels.regions()[0];
@@ -85,9 +95,11 @@ pub fn validate(dataset: &Dataset, config: &ValidationConfig) -> Result<Vec<Viol
     let m = config.window;
 
     let needed = train_len + 3 * m;
-    if x.len() < needed || subsequence_count(train_len.max(1), m.min(train_len.max(1))).is_err()
-    {
-        violations.push(Violation::TooShort { len: x.len(), needed });
+    if x.len() < needed || subsequence_count(train_len.max(1), m.min(train_len.max(1))).is_err() {
+        violations.push(Violation::TooShort {
+            len: x.len(),
+            needed,
+        });
         return Ok(violations);
     }
 
@@ -118,7 +130,10 @@ pub fn validate(dataset: &Dataset, config: &ValidationConfig) -> Result<Vec<Viol
         i += hop;
     }
     if internal.is_empty() {
-        violations.push(Violation::TooShort { len: train_len, needed: 2 * m });
+        violations.push(Violation::TooShort {
+            len: train_len,
+            needed: 2 * m,
+        });
         return Ok(violations);
     }
     let scale = tsad_core::stats::quantile(&internal, 0.95)?;
@@ -154,9 +169,15 @@ pub fn validate_strict(dataset: &Dataset, config: &ValidationConfig) -> Result<(
     if violations.is_empty() {
         return Ok(());
     }
-    let reason =
-        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ");
-    Err(ArchiveError::InvalidDataset { name: dataset.name().to_string(), reason })
+    let reason = violations
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("; ");
+    Err(ArchiveError::InvalidDataset {
+        name: dataset.name().to_string(),
+        reason,
+    })
 }
 
 #[cfg(test)]
@@ -165,13 +186,21 @@ mod tests {
     use tsad_core::{Labels, Region, TimeSeries};
 
     fn periodic_with_anomaly(n: usize, train: usize, at: usize) -> Dataset {
-        let mut x: Vec<f64> =
-            (0..n).map(|i| (i as f64 * std::f64::consts::TAU / 50.0).sin()).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 50.0).sin())
+            .collect();
         for (k, v) in x.iter_mut().enumerate().skip(at).take(25) {
             *v = 1.5 + (k as f64 * 0.5).sin() * 0.2;
         }
         let ts = TimeSeries::new("v", x).unwrap();
-        let labels = Labels::single(n, Region { start: at, end: at + 25 }).unwrap();
+        let labels = Labels::single(
+            n,
+            Region {
+                start: at,
+                end: at + 25,
+            },
+        )
+        .unwrap();
         Dataset::new(ts, labels, train).unwrap()
     }
 
@@ -188,7 +217,10 @@ mod tests {
         let ts = TimeSeries::new("m", vec![0.0; 4000]).unwrap();
         let labels = Labels::new(
             4000,
-            vec![Region::new(2000, 2010).unwrap(), Region::new(3000, 3010).unwrap()],
+            vec![
+                Region::new(2000, 2010).unwrap(),
+                Region::new(3000, 3010).unwrap(),
+            ],
         )
         .unwrap();
         let d = Dataset::new(ts, labels, 1000).unwrap();
@@ -202,7 +234,8 @@ mod tests {
         let d = periodic_with_anomaly(3000, 1000, 1005);
         let v = validate(&d, &ValidationConfig::default()).unwrap();
         assert!(
-            v.iter().any(|x| matches!(x, Violation::AnomalyTooEarly { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::AnomalyTooEarly { .. })),
             "{v:?}"
         );
     }
@@ -212,8 +245,9 @@ mod tests {
         // test region contains an unlabeled novel mode (a square wave) the
         // train prefix never shows
         let n = 3000;
-        let mut x: Vec<f64> =
-            (0..n).map(|i| (i as f64 * std::f64::consts::TAU / 50.0).sin()).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 50.0).sin())
+            .collect();
         // labeled anomaly at 2000
         for (k, v) in x.iter_mut().enumerate().skip(2000).take(25) {
             *v = 1.5 + (k as f64 * 0.5).sin() * 0.2;
@@ -223,11 +257,19 @@ mod tests {
             *v = if (k / 10) % 2 == 0 { 1.0 } else { -1.0 };
         }
         let ts = TimeSeries::new("u", x).unwrap();
-        let labels = Labels::single(n, Region { start: 2000, end: 2025 }).unwrap();
+        let labels = Labels::single(
+            n,
+            Region {
+                start: 2000,
+                end: 2025,
+            },
+        )
+        .unwrap();
         let d = Dataset::new(ts, labels, 1000).unwrap();
         let v = validate(&d, &ValidationConfig::default()).unwrap();
         assert!(
-            v.iter().any(|x| matches!(x, Violation::UncoveredTestMode { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::UncoveredTestMode { .. })),
             "{v:?}"
         );
     }
@@ -238,6 +280,9 @@ mod tests {
         let labels = Labels::single(120, Region::new(100, 105).unwrap()).unwrap();
         let d = Dataset::new(ts, labels, 50).unwrap();
         let v = validate(&d, &ValidationConfig::default()).unwrap();
-        assert!(v.iter().any(|x| matches!(x, Violation::TooShort { .. })), "{v:?}");
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::TooShort { .. })),
+            "{v:?}"
+        );
     }
 }

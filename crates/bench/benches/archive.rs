@@ -12,8 +12,13 @@ use tsad_detectors::Detector;
 fn bench_entry_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("archive/generate");
     group.sample_size(10);
-    for domain in [Domain::Physiology, Domain::Gait, Domain::Industry, Domain::Space, Domain::Robotics]
-    {
+    for domain in [
+        Domain::Physiology,
+        Domain::Gait,
+        Domain::Industry,
+        Domain::Space,
+        Domain::Robotics,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{domain:?}")),
             &domain,

@@ -8,12 +8,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tsad_core::dist::{distance_profile_naive, mass};
+use tsad_core::TimeSeries;
 use tsad_detectors::hotsax::{hotsax_discord, HotSaxConfig};
 use tsad_detectors::matrix_profile::{matrix_profile_naive, stamp, stomp};
 use tsad_detectors::merlin::merlin;
 use tsad_detectors::telemanom::Telemanom;
 use tsad_detectors::Detector;
-use tsad_core::TimeSeries;
 
 fn ecg(n: usize) -> Vec<f64> {
     let config = tsad_synth::physio::PhysioConfig {
@@ -31,7 +31,9 @@ fn bench_matrix_profile_variants(c: &mut Criterion) {
     let m = 160;
     group.bench_function("stomp", |b| b.iter(|| black_box(stomp(&x, m).unwrap())));
     group.bench_function("stamp", |b| b.iter(|| black_box(stamp(&x, m).unwrap())));
-    group.bench_function("naive", |b| b.iter(|| black_box(matrix_profile_naive(&x, m).unwrap())));
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(matrix_profile_naive(&x, m).unwrap()))
+    });
     group.finish();
 }
 
@@ -80,7 +82,10 @@ fn bench_telemanom(c: &mut Criterion) {
     let x = ecg(6000);
     let ts = TimeSeries::new("ecg", x).unwrap();
     for order in [20usize, 80, 160] {
-        let det = Telemanom { order, ..Telemanom::default() };
+        let det = Telemanom {
+            order,
+            ..Telemanom::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(order), &det, |b, det| {
             b.iter(|| black_box(det.score(&ts, 2000).unwrap()))
         });

@@ -10,7 +10,11 @@ use tsad_detectors::Detector;
 use tsad_synth::physio::{fig13_ecg_with, PhysioConfig};
 
 fn dataset(sigma: f64) -> tsad_core::Dataset {
-    let config = PhysioConfig { n: 4000, pvc_beat: Some(18), ..Default::default() };
+    let config = PhysioConfig {
+        n: 4000,
+        pvc_beat: Some(18),
+        ..Default::default()
+    };
     fig13_ecg_with(42, sigma, &config, 1200)
 }
 
@@ -19,7 +23,10 @@ fn bench_methods_under_noise(c: &mut Criterion) {
     group.sample_size(10);
     for sigma in [0.0, 0.5] {
         let d = dataset(sigma);
-        let tele = Telemanom { order: 160, ..Telemanom::default() };
+        let tele = Telemanom {
+            order: 160,
+            ..Telemanom::default()
+        };
         let discord = DiscordDetector::euclidean(160);
         group.bench_with_input(
             BenchmarkId::new("telemanom", format!("{sigma}")),
@@ -40,7 +47,11 @@ fn bench_telemanom_smoothing_ablation(c: &mut Criterion) {
     group.sample_size(10);
     let d = dataset(0.25);
     for alpha in [0.02f64, 0.05, 0.2] {
-        let tele = Telemanom { order: 160, smoothing_alpha: alpha, ..Telemanom::default() };
+        let tele = Telemanom {
+            order: 160,
+            smoothing_alpha: alpha,
+            ..Telemanom::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(alpha), &d, |b, d| {
             b.iter(|| black_box(tele.score(d.series(), d.train_len()).unwrap()))
         });
@@ -48,5 +59,9 @@ fn bench_telemanom_smoothing_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_methods_under_noise, bench_telemanom_smoothing_ablation);
+criterion_group!(
+    benches,
+    bench_methods_under_noise,
+    bench_telemanom_smoothing_ablation
+);
 criterion_main!(benches);

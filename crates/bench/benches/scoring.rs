@@ -22,17 +22,26 @@ fn fixture() -> (Vec<bool>, Labels, Vec<f64>) {
         ],
     )
     .unwrap();
-    let predicted: Vec<bool> = (0..n).map(|i| (2_010..2_030).contains(&i) || i == 5_005).collect();
+    let predicted: Vec<bool> = (0..n)
+        .map(|i| (2_010..2_030).contains(&i) || i == 5_005)
+        .collect();
     let score: Vec<f64> = (0..n)
-        .map(|i| ((i * 2_654_435_761) % 1_000) as f64 / 1_000.0 + if labels.contains(i) { 0.5 } else { 0.0 })
+        .map(|i| {
+            ((i * 2_654_435_761) % 1_000) as f64 / 1_000.0
+                + if labels.contains(i) { 0.5 } else { 0.0 }
+        })
         .collect();
     (predicted, labels, score)
 }
 
 fn bench_protocols(c: &mut Criterion) {
     let (predicted, labels, score) = fixture();
-    let detections: Vec<usize> =
-        predicted.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i).collect();
+    let detections: Vec<usize> = predicted
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p)
+        .map(|(i, _)| i)
+        .collect();
     let pred_labels = Labels::from_mask(&predicted);
     let mut group = c.benchmark_group("scoring/protocols");
     group.bench_function("pointwise-f1", |b| {

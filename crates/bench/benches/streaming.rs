@@ -1,0 +1,106 @@
+//! Streaming-engine benches: per-push cost of each native port, the
+//! replay driver at chunk sizes {1, 64, 4096}, and the batch adapter's
+//! amortized cost for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsad_detectors::baselines::GlobalZScore;
+use tsad_detectors::cusum::Cusum;
+use tsad_detectors::oneliner::{equation, Equation};
+use tsad_stream::{
+    replay, BatchAdapter, ReplayConfig, StreamingCusum, StreamingDetector, StreamingGlobalZScore,
+    StreamingLeftDiscord, StreamingMovingAvgResidual, StreamingOneLiner,
+};
+
+fn fixture(n: usize) -> (Vec<f64>, tsad_core::Labels) {
+    let taxi = tsad_synth::numenta::nyc_taxi(42);
+    let xs: Vec<f64> = taxi
+        .dataset
+        .values()
+        .iter()
+        .copied()
+        .cycle()
+        .take(n)
+        .collect();
+    let labels = tsad_core::Labels::new(n, vec![]).unwrap();
+    (xs, labels)
+}
+
+fn bench_ports(c: &mut Criterion) {
+    let (xs, _) = fixture(20_000);
+    let train = xs.len() / 4;
+    let mut group = c.benchmark_group("streaming/ports");
+    group.bench_function("zscore", |b| {
+        let mut det = StreamingGlobalZScore::new(train).unwrap();
+        b.iter(|| {
+            det.reset();
+            black_box(det.score_stream(&xs))
+        })
+    });
+    group.bench_function("cusum", |b| {
+        let mut det = StreamingCusum::new(Cusum::default(), train).unwrap();
+        b.iter(|| {
+            det.reset();
+            black_box(det.score_stream(&xs))
+        })
+    });
+    group.bench_function("mavg-residual-21", |b| {
+        let mut det = StreamingMovingAvgResidual::new(21).unwrap();
+        b.iter(|| {
+            det.reset();
+            black_box(det.score_stream(&xs))
+        })
+    });
+    group.bench_function("oneliner-eq5", |b| {
+        let mut det = StreamingOneLiner::compile(&equation(Equation::Eq5, 21, 3.0, 0.1)).unwrap();
+        b.iter(|| {
+            det.reset();
+            black_box(det.score_stream(&xs))
+        })
+    });
+    group.bench_function("batch-adapter-zscore", |b| {
+        let mut det = BatchAdapter::new(GlobalZScore, 512, 128, 128).unwrap();
+        b.iter(|| {
+            det.reset();
+            black_box(det.score_stream(&xs))
+        })
+    });
+    group.finish();
+}
+
+fn bench_discord(c: &mut Criterion) {
+    let (xs, _) = fixture(4_000);
+    let mut group = c.benchmark_group("streaming/discord");
+    group.sample_size(10);
+    for horizon in [256usize, 1024] {
+        group.bench_function(format!("left-discord-m32-h{horizon}"), |b| {
+            let mut det = StreamingLeftDiscord::new(32, Default::default(), horizon).unwrap();
+            b.iter(|| {
+                det.reset();
+                black_box(det.score_stream(&xs))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay_chunks(c: &mut Criterion) {
+    let (xs, labels) = fixture(20_000);
+    let train = xs.len() / 4;
+    let mut group = c.benchmark_group("streaming/replay");
+    for chunk_size in [1usize, 64, 4096] {
+        group.bench_function(format!("zscore-chunk{chunk_size}"), |b| {
+            let mut det = StreamingGlobalZScore::new(train).unwrap();
+            let cfg = ReplayConfig {
+                chunk_size,
+                threshold: 3.0,
+                slop: 0,
+            };
+            b.iter(|| black_box(replay(&mut det, &xs, &labels, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ports, bench_discord, bench_replay_chunks);
+criterion_main!(benches);

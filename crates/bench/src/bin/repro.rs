@@ -12,8 +12,30 @@ use tsad_bench::experiments::*;
 use tsad_bench::DEFAULT_SEED;
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig13", "density", "summary", "contest", "invariances", "protocols", "gallery", "triviality", "audit", "write-archive",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "density",
+    "summary",
+    "contest",
+    "invariances",
+    "protocols",
+    "gallery",
+    "triviality",
+    "audit",
+    "stream",
+    "write-archive",
 ];
 
 fn usage() -> String {
@@ -46,11 +68,17 @@ fn run_one(name: &str, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
                 f.dataset.labels().contains(f.a),
                 f.dataset.labels().contains(f.b)
             );
-            println!("  twin analyzer surfaces B as a suspected false negative: {}", f.twin_found);
+            println!(
+                "  twin analyzer surfaces B as a suspected false negative: {}",
+                f.twin_found
+            );
         }
         "fig5" => {
             let f = mislabels::fig5(seed)?;
-            println!("Fig. 5 — twin dropouts: C at {} (labeled), D at {} (unlabeled)", f.c, f.d);
+            println!(
+                "Fig. 5 — twin dropouts: C at {} (labeled), D at {} (unlabeled)",
+                f.c, f.d
+            );
             match f.twin_distance {
                 Some(d) => println!("  analyzer finds D with z-norm distance {d:.4} to C"),
                 None => println!("  analyzer FAILED to find D"),
@@ -98,8 +126,12 @@ fn run_one(name: &str, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
         "invariances" => print!("{}", invariances::render(&invariances::run(seed, 12_000)?)),
         "protocols" => print!("{}", protocols::render(&protocols::run(seed)?)),
         "gallery" => print!("{}", gallery::render(&gallery::run(seed)?)),
-        "triviality" => print!("{}", triviality_all::render(&triviality_all::run(seed, 38)?)),
+        "triviality" => print!(
+            "{}",
+            triviality_all::render(&triviality_all::run(seed, 38)?)
+        ),
         "audit" => print!("{}", audit_exp::render(&audit_exp::run(seed, 10, 21)?)),
+        "stream" => print!("{}", stream::render(&stream::run(seed)?)),
         "write-archive" => {
             let dir = std::env::temp_dir().join("tsad-ucr-archive");
             let rows = tsad_archive::manifest::build_and_write(&dir, seed, 30)?;

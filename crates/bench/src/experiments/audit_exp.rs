@@ -41,7 +41,10 @@ pub fn run(seed: u64, per_family: usize, archive_count: usize) -> Result<AuditSt
     })?;
     let archive_sets: Vec<Dataset> = entries.into_iter().map(|e| e.dataset).collect();
     let archive_audit = audit(archive_sets.iter(), &config)?;
-    Ok(AuditStudy { yahoo: yahoo_audit, archive: archive_audit })
+    Ok(AuditStudy {
+        yahoo: yahoo_audit,
+        archive: archive_audit,
+    })
 }
 
 /// Renders the side-by-side verdict.
@@ -54,17 +57,27 @@ pub fn render(study: &AuditStudy) -> String {
         "naive-last hits",
         "suitable for comparison?",
     ]);
-    for (name, a) in [("simulated Yahoo", &study.yahoo), ("UCR-style archive", &study.archive)] {
+    for (name, a) in [
+        ("simulated Yahoo", &study.yahoo),
+        ("UCR-style archive", &study.archive),
+    ] {
         t.row(vec![
             name.to_string(),
             fmt(a.trivial_fraction()),
             fmt(a.flawed_fraction()),
             format!("{:.1e}", a.position_bias.p_value),
             fmt(a.position_bias.naive_last_hit_rate),
-            if a.suitable_for_comparison(0.01) { "yes".to_string() } else { "NO".to_string() },
+            if a.suitable_for_comparison(0.01) {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
-    format!("§2.6 — the audit verdict, flawed benchmark vs. the archive:\n{}", t.render())
+    format!(
+        "§2.6 — the audit verdict, flawed benchmark vs. the archive:\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -74,7 +87,11 @@ mod tests {
     #[test]
     fn yahoo_fails_archive_passes() {
         let s = run(42, 8, 10).unwrap();
-        assert!(!s.yahoo.suitable_for_comparison(0.01), "{:?}", s.yahoo.position_bias);
+        assert!(
+            !s.yahoo.suitable_for_comparison(0.01),
+            "{:?}",
+            s.yahoo.position_bias
+        );
         assert!(
             s.yahoo.trivial_fraction() > 0.5,
             "{}",
@@ -88,8 +105,7 @@ mod tests {
         );
         // the archive gives the naive end detector nothing, unlike Yahoo
         assert!(
-            s.archive.position_bias.naive_last_hit_rate
-                < s.yahoo.position_bias.naive_last_hit_rate,
+            s.archive.position_bias.naive_last_hit_rate < s.yahoo.position_bias.naive_last_hit_rate,
             "archive {:?} vs yahoo {:?}",
             s.archive.position_bias.naive_last_hit_rate,
             s.yahoo.position_bias.naive_last_hit_rate

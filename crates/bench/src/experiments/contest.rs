@@ -27,9 +27,18 @@ pub fn run(seed: u64, count: usize) -> tsad_archive::Result<Contest> {
     let archive = build_archive(seed, count)?;
     let datasets: Vec<Dataset> = archive.iter().map(|e| e.dataset.clone()).collect();
     let difficulty_counts = (
-        archive.iter().filter(|e| e.provenance.difficulty == Difficulty::Easy).count(),
-        archive.iter().filter(|e| e.provenance.difficulty == Difficulty::Medium).count(),
-        archive.iter().filter(|e| e.provenance.difficulty == Difficulty::Hard).count(),
+        archive
+            .iter()
+            .filter(|e| e.provenance.difficulty == Difficulty::Easy)
+            .count(),
+        archive
+            .iter()
+            .filter(|e| e.provenance.difficulty == Difficulty::Medium)
+            .count(),
+        archive
+            .iter()
+            .filter(|e| e.provenance.difficulty == Difficulty::Hard)
+            .count(),
     );
     let results = vec![
         run_contest(&DiscordDetector::new(128), &datasets)?,
@@ -41,7 +50,11 @@ pub fn run(seed: u64, count: usize) -> tsad_archive::Result<Contest> {
         run_contest(&NaiveLastPoint, &datasets)?,
         run_contest(&RandomDetector::new(seed), &datasets)?,
     ];
-    Ok(Contest { results, datasets: datasets.len(), difficulty_counts })
+    Ok(Contest {
+        results,
+        datasets: datasets.len(),
+        difficulty_counts,
+    })
 }
 
 /// Renders the leaderboard.
@@ -83,7 +96,10 @@ mod tests {
         assert!(discord > random, "{discord} vs random {random}");
         // unlike the flawed benchmarks, the archive gives the naive
         // last-point detector no foothold
-        assert!(last <= random + 0.34, "naive-last {last} vs random {random}");
+        assert!(
+            last <= random + 0.34,
+            "naive-last {last} vs random {random}"
+        );
         let text = render(&c);
         assert!(text.contains("UCR accuracy"));
     }

@@ -31,17 +31,33 @@ pub fn run(seed: u64) -> Result<DensityStudy> {
     let mut push = |label: &str, dataset: &tsad_core::Dataset| {
         let report = analyze(dataset);
         let flawed = report.is_flawed(&criteria);
-        exhibits.push(DensityExhibit { label: label.to_string(), report, flawed });
+        exhibits.push(DensityExhibit {
+            label: label.to_string(),
+            report,
+            flawed,
+        });
     };
     // flavor 1: >half the test data one contiguous anomaly (NASA D-2/M-1/M-2)
-    push("NASA D-2-like (60% contiguous)", &nasa::dense_anomaly(seed, 0.6));
-    push("NASA M-1-like (40% contiguous)", &nasa::dense_anomaly(seed + 1, 0.4));
+    push(
+        "NASA D-2-like (60% contiguous)",
+        &nasa::dense_anomaly(seed, 0.6),
+    );
+    push(
+        "NASA M-1-like (40% contiguous)",
+        &nasa::dense_anomaly(seed + 1, 0.4),
+    );
     // flavor 2: many separate anomalies (SMD machine-2-5: 21)
-    push("SMD machine-2-5-like (21 regions)", &nasa::crowded_anomalies(seed, 21));
+    push(
+        "SMD machine-2-5-like (21 regions)",
+        &nasa::crowded_anomalies(seed, 21),
+    );
     // flavor 3: anomalies sandwiching a single normal point (Yahoo A1-Real1)
     push("Yahoo A1-Real1-like (1-point gap)", &yahoo::a1_real1(seed));
     // healthy references
-    push("Numenta art (single region)", &numenta::art_spike_density(seed));
+    push(
+        "Numenta art (single region)",
+        &numenta::art_spike_density(seed),
+    );
     let healthy = yahoo::generate(seed, yahoo::Family::A3, 1).dataset;
     push("Yahoo A3 exemplar", &healthy);
     Ok(DensityStudy { exhibits })
@@ -64,7 +80,11 @@ pub fn render(study: &DensityStudy) -> String {
             e.report.region_count.to_string(),
             fmt(e.report.longest_region_fraction),
             e.report.min_gap.map_or("-".to_string(), |g| g.to_string()),
-            if e.flawed { "YES".to_string() } else { "no".to_string() },
+            if e.flawed {
+                "YES".to_string()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     format!("§2.3 — anomaly-density statistics:\n{}", t.render())

@@ -28,14 +28,30 @@ pub fn run(seed: u64) -> Result<Vec<GalleryEntry>> {
     let mut push = |benchmark: &'static str, dataset: Dataset| -> Result<()> {
         let one_liner =
             search(dataset.values(), dataset.labels(), &config)?.map(|s| s.one_liner.to_string());
-        entries.push(GalleryEntry { benchmark, dataset, one_liner });
+        entries.push(GalleryEntry {
+            benchmark,
+            dataset,
+            one_liner,
+        });
         Ok(())
     };
 
-    push("Yahoo A1", yahoo::generate(seed, yahoo::Family::A1, 2).dataset)?;
-    push("Yahoo A2", yahoo::generate(seed, yahoo::Family::A2, 50).dataset)?;
-    push("Yahoo A3", yahoo::generate(seed, yahoo::Family::A3, 10).dataset)?;
-    push("Yahoo A4", yahoo::generate(seed, yahoo::Family::A4, 60).dataset)?;
+    push(
+        "Yahoo A1",
+        yahoo::generate(seed, yahoo::Family::A1, 2).dataset,
+    )?;
+    push(
+        "Yahoo A2",
+        yahoo::generate(seed, yahoo::Family::A2, 50).dataset,
+    )?;
+    push(
+        "Yahoo A3",
+        yahoo::generate(seed, yahoo::Family::A3, 10).dataset,
+    )?;
+    push(
+        "Yahoo A4",
+        yahoo::generate(seed, yahoo::Family::A4, 60).dataset,
+    )?;
     push("Numenta artificial", numenta::art_daily_jumpsup(seed))?;
     push("Numenta spike density", numenta::art_spike_density(seed))?;
     push("NASA magnitude jump", nasa::magnitude_jump(seed))?;
@@ -45,7 +61,10 @@ pub fn run(seed: u64) -> Result<Vec<GalleryEntry>> {
     let d19 = Dataset::unsupervised(dim19, machine.labels.clone())?;
     push("OMNI/SMD dim 19", d19)?;
     // and one deliberately hard exemplar so the gallery is honest
-    push("Yahoo A1 (hard tail)", yahoo::generate(seed, yahoo::Family::A1, 60).dataset)?;
+    push(
+        "Yahoo A1 (hard tail)",
+        yahoo::generate(seed, yahoo::Family::A1, 60).dataset,
+    )?;
     Ok(entries)
 }
 
@@ -77,7 +96,9 @@ mod tests {
         let g = run(42).unwrap();
         assert_eq!(g.len(), 9);
         let by_name = |needle: &str| {
-            g.iter().find(|e| e.benchmark.contains(needle)).expect("present")
+            g.iter()
+                .find(|e| e.benchmark.contains(needle))
+                .expect("present")
         };
         for easy in ["Yahoo A2", "Yahoo A3", "NASA"] {
             assert!(

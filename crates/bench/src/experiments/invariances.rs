@@ -32,15 +32,34 @@ pub struct InvarianceStudy {
 /// Runs the study on a `n`-sample ECG (use ~4000 for debug-mode tests,
 /// 12 000 for the full figure).
 pub fn run(seed: u64, n: usize) -> Result<InvarianceStudy> {
-    let config = PhysioConfig { n, pvc_beat: Some(n / 320), ..PhysioConfig::default() };
+    let config = PhysioConfig {
+        n,
+        pvc_beat: Some(n / 320),
+        ..PhysioConfig::default()
+    };
     let dataset = fig13_ecg_with(seed, 0.0, &config, n / 4);
     let transforms = standard_transforms();
     let detectors: Vec<(&'static str, Box<dyn Detector>)> = vec![
-        ("discord (euclidean)", Box::new(DiscordDetector::euclidean(160))),
-        ("discord (z-normalized)", Box::new(DiscordDetector::new(160))),
-        ("telemanom (AR+NDT)", Box::new(Telemanom { order: 160, ..Telemanom::default() })),
+        (
+            "discord (euclidean)",
+            Box::new(DiscordDetector::euclidean(160)),
+        ),
+        (
+            "discord (z-normalized)",
+            Box::new(DiscordDetector::new(160)),
+        ),
+        (
+            "telemanom (AR+NDT)",
+            Box::new(Telemanom {
+                order: 160,
+                ..Telemanom::default()
+            }),
+        ),
         ("global z-score", Box::new(GlobalZScore)),
-        ("moving-average residual", Box::new(MovingAvgResidual::new(21))),
+        (
+            "moving-average residual",
+            Box::new(MovingAvgResidual::new(21)),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, det) in &detectors {
@@ -48,7 +67,10 @@ pub fn run(seed: u64, n: usize) -> Result<InvarianceStudy> {
             Ok(o) => Some(o.into_iter().map(|x| (x.transform, x.invariant)).collect()),
             Err(_) => None, // failed the untransformed baseline
         };
-        rows.push(InvarianceRow { detector: name, outcomes });
+        rows.push(InvarianceRow {
+            detector: name,
+            outcomes,
+        });
     }
     Ok(InvarianceStudy { transforms, rows })
 }
@@ -63,12 +85,17 @@ pub fn render(study: &InvarianceStudy) -> String {
         match &row.outcomes {
             Some(outcomes) => {
                 cells.extend(outcomes.iter().map(|(_, ok)| {
-                    if *ok { "invariant".to_string() } else { "BREAKS".to_string() }
+                    if *ok {
+                        "invariant".to_string()
+                    } else {
+                        "BREAKS".to_string()
+                    }
                 }));
             }
-            None => cells.extend(
-                std::iter::repeat_n("(fails clean)".to_string(), study.transforms.len()),
-            ),
+            None => cells.extend(std::iter::repeat_n(
+                "(fails clean)".to_string(),
+                study.transforms.len(),
+            )),
         }
         t.row(cells);
     }
@@ -84,15 +111,24 @@ mod tests {
         let s = run(42, 4000).unwrap();
         assert_eq!(s.rows.len(), 5);
         let by_name = |needle: &str| {
-            s.rows.iter().find(|r| r.detector.contains(needle)).expect("present")
+            s.rows
+                .iter()
+                .find(|r| r.detector.contains(needle))
+                .expect("present")
         };
         // the z-normalized discord is amplitude/offset invariant by design
-        let zn = by_name("z-normalized").outcomes.as_ref().expect("baseline holds");
+        let zn = by_name("z-normalized")
+            .outcomes
+            .as_ref()
+            .expect("baseline holds");
         assert!(zn[0].1, "amplitude scaling");
         assert!(zn[1].1, "offset");
         // the euclidean discord survives offset (distance unchanged) and
         // amplitude scaling (all distances scale together)
-        let eu = by_name("euclidean").outcomes.as_ref().expect("baseline holds");
+        let eu = by_name("euclidean")
+            .outcomes
+            .as_ref()
+            .expect("baseline holds");
         assert!(eu[0].1 && eu[1].1);
         let text = render(&s);
         assert!(text.contains("invariant"), "{text}");

@@ -33,8 +33,17 @@ pub fn fig4(seed: u64) -> Result<Fig4> {
     let value_b = dataset.values()[b];
     // adjacent matches collapse to one representative, so check that some
     // twin window sits on the same constant value as B
-    let twin_found = twins.iter().any(|t| dataset.values()[t.twin_start] == value_b);
-    Ok(Fig4 { dataset, a, b, value_a, value_b, twin_found })
+    let twin_found = twins
+        .iter()
+        .any(|t| dataset.values()[t.twin_start] == value_b);
+    Ok(Fig4 {
+        dataset,
+        a,
+        b,
+        value_a,
+        value_b,
+        twin_found,
+    })
 }
 
 /// Fig. 5 — the twin-dropout mislabel.
@@ -59,7 +68,12 @@ pub fn fig5(seed: u64) -> Result<Fig5> {
         .filter(|t| (t.twin_start..t.twin_start + 16).contains(&d))
         .map(|t| t.distance)
         .next();
-    Ok(Fig5 { dataset, c, d, twin_distance })
+    Ok(Fig5 {
+        dataset,
+        c,
+        d,
+        twin_distance,
+    })
 }
 
 /// Fig. 6 — the unremarkable labeled region `F`.
@@ -82,11 +96,23 @@ pub fn fig6(seed: u64) -> Result<Fig6> {
     let (dataset, e, f, bottoms) = yahoo::rounded_bottoms(seed);
     let width = 20usize;
     let x = dataset.values();
-    let f_features = window_features(x, Region { start: f, end: f + width })?;
+    let f_features = window_features(
+        x,
+        Region {
+            start: f,
+            end: f + width,
+        },
+    )?;
     // feature table for all other bottoms
     let mut per_feature: Vec<Vec<f64>> = vec![Vec::new(); 6];
     for &b in bottoms.iter().filter(|&&b| b != f && b + width <= x.len()) {
-        let wf = window_features(x, Region { start: b, end: b + width })?;
+        let wf = window_features(
+            x,
+            Region {
+                start: b,
+                end: b + width,
+            },
+        )?;
         per_feature[0].push(wf.mean);
         per_feature[1].push(wf.min);
         per_feature[2].push(wf.max);
@@ -113,7 +139,13 @@ pub fn fig6(seed: u64) -> Result<Fig6> {
     let unremarkable = find_unremarkable_labels(&dataset, 1.5)?;
     let f_flagged = unremarkable.iter().any(|u| u.labeled.contains(f));
     let e_not_flagged = !unremarkable.iter().any(|u| u.labeled.contains(e));
-    Ok(Fig6 { dataset, f_features, max_feature_z, f_flagged, e_not_flagged })
+    Ok(Fig6 {
+        dataset,
+        f_features,
+        max_feature_z,
+        f_flagged,
+        e_not_flagged,
+    })
 }
 
 /// Fig. 7 — over-precise toggling labels.
@@ -138,7 +170,12 @@ pub fn fig7(seed: u64) -> Result<Fig7> {
     let oracle = proposed.to_mask();
     let oracle_vs_toggling = tolerance_f1(&oracle, dataset.labels(), 0)?;
     let oracle_vs_proposed = point_adjust_f1(&oracle, &proposed)?;
-    Ok(Fig7 { dataset, proposed, oracle_vs_toggling, oracle_vs_proposed })
+    Ok(Fig7 {
+        dataset,
+        proposed,
+        oracle_vs_toggling,
+        oracle_vs_proposed,
+    })
 }
 
 /// Fig. 9 — the thrice-frozen NASA channel with one label.
@@ -161,24 +198,59 @@ pub fn fig9(seed: u64) -> Result<Fig9> {
         .iter()
         .filter(|f| {
             twins.iter().any(|t| {
-                let twin = Region { start: t.twin_start, end: t.twin_start + f.len() };
+                let twin = Region {
+                    start: t.twin_start,
+                    end: t.twin_start + f.len(),
+                };
                 twin.overlaps(f)
             })
         })
         .count();
-    Ok(Fig9 { dataset, frozen, unlabeled_freezes_found })
+    Ok(Fig9 {
+        dataset,
+        frozen,
+        unlabeled_freezes_found,
+    })
 }
 
 /// Renders the Fig. 6 feature table.
 pub fn render_fig6(fig: &Fig6) -> String {
     let mut t = TextTable::new(vec!["feature", "region F", "max |z| vs other bottoms"]);
-    t.row(vec!["mean".to_string(), fmt(fig.f_features.mean), String::new()]);
-    t.row(vec!["min".to_string(), fmt(fig.f_features.min), String::new()]);
-    t.row(vec!["max".to_string(), fmt(fig.f_features.max), String::new()]);
-    t.row(vec!["variance".to_string(), fmt(fig.f_features.variance), String::new()]);
-    t.row(vec!["complexity".to_string(), fmt(fig.f_features.complexity), String::new()]);
-    t.row(vec!["1-NN dist".to_string(), fmt(fig.f_features.nn_distance), String::new()]);
-    t.row(vec!["(all)".to_string(), String::new(), fmt(fig.max_feature_z)]);
+    t.row(vec![
+        "mean".to_string(),
+        fmt(fig.f_features.mean),
+        String::new(),
+    ]);
+    t.row(vec![
+        "min".to_string(),
+        fmt(fig.f_features.min),
+        String::new(),
+    ]);
+    t.row(vec![
+        "max".to_string(),
+        fmt(fig.f_features.max),
+        String::new(),
+    ]);
+    t.row(vec![
+        "variance".to_string(),
+        fmt(fig.f_features.variance),
+        String::new(),
+    ]);
+    t.row(vec![
+        "complexity".to_string(),
+        fmt(fig.f_features.complexity),
+        String::new(),
+    ]);
+    t.row(vec![
+        "1-NN dist".to_string(),
+        fmt(fig.f_features.nn_distance),
+        String::new(),
+    ]);
+    t.row(vec![
+        "(all)".to_string(),
+        String::new(),
+        fmt(fig.max_feature_z),
+    ]);
     format!(
         "Fig. 6 — label F is statistically unremarkable:\n{}flagged as mislabel: {}, genuine dropout E spared: {}\n",
         t.render(),
@@ -204,7 +276,10 @@ mod tests {
     fn fig5_twin_distance_is_tiny() {
         let f = fig5(42).unwrap();
         let d = f.twin_distance.expect("twin D must be found");
-        assert!(d < 0.15 * (2.0 * 16.0f64).sqrt(), "near-identical dropouts: {d}");
+        assert!(
+            d < 0.15 * (2.0 * 16.0f64).sqrt(),
+            "near-identical dropouts: {d}"
+        );
     }
 
     #[test]
@@ -216,7 +291,10 @@ mod tests {
             f.max_feature_z
         );
         assert!(f.f_flagged, "analyzer must flag F");
-        assert!(f.e_not_flagged, "analyzer must not flag the genuine dropout E");
+        assert!(
+            f.e_not_flagged,
+            "analyzer must not flag the genuine dropout E"
+        );
         assert!(render_fig6(&f).contains("1-NN dist"));
     }
 
@@ -239,6 +317,9 @@ mod tests {
     fn fig9_finds_both_unlabeled_freezes() {
         let f = fig9(42).unwrap();
         assert_eq!(f.frozen.len(), 3);
-        assert_eq!(f.unlabeled_freezes_found, 2, "both unlabeled freezes surfaced");
+        assert_eq!(
+            f.unlabeled_freezes_found, 2,
+            "both unlabeled freezes surfaced"
+        );
     }
 }

@@ -37,7 +37,10 @@ pub const DEMO_SLOP: usize = 8;
 
 fn demo(one_liner: &OneLiner, x: &[f64], labels: &Labels, slop: usize) -> Result<Demo> {
     let mask = one_liner.mask(x)?;
-    Ok(Demo { rendered: one_liner.to_string(), solved: solves(&mask, labels, slop) })
+    Ok(Demo {
+        rendered: one_liner.to_string(),
+        solved: solves(&mask, labels, slop),
+    })
 }
 
 /// Runs the Fig. 1 demonstration.
@@ -83,7 +86,11 @@ pub fn fig1(seed: u64) -> Result<Fig1> {
         demo(&ol2, &x, &labels, 25)?,
         demo(&ol3, &x, &labels, DEMO_SLOP)?,
     ];
-    Ok(Fig1 { series: x, labels, demos })
+    Ok(Fig1 {
+        series: x,
+        labels,
+        demos,
+    })
 }
 
 /// Fig. 2 result.
@@ -114,7 +121,10 @@ pub fn fig2(seed: u64) -> Result<Fig2> {
     // Demo correctness uses a slop of k: the movstd response necessarily
     // extends half a window outside the labeled region.
     let mask = ol.mask(x)?;
-    let demo = Demo { rendered: ol.to_string(), solved: solves(&mask, dataset.labels(), k) };
+    let demo = Demo {
+        rendered: ol.to_string(),
+        solved: solves(&mask, dataset.labels(), k),
+    };
     Ok(Fig2 { dataset, demo })
 }
 
@@ -142,15 +152,17 @@ pub fn fig3(seed: u64) -> Result<Fig3> {
     let sd = ops::movstd(&signal, 21)?;
     // c = 1: larger coefficients let the anomaly's own contribution to the
     // centered movstd cancel it out
-    let residual: Vec<f64> =
-        signal.iter().zip(mm.iter().zip(&sd)).map(|(s, (m, v))| s - m - v).collect();
+    let residual: Vec<f64> = signal
+        .iter()
+        .zip(mm.iter().zip(&sd))
+        .map(|(s, (m, v))| s - m - v)
+        .collect();
     // threshold: midpoint of the largest gap at the top
     let mut sorted = residual.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let b = {
         let hi = sorted[sorted.len() - 1];
-        let candidates: Vec<f64> =
-            sorted.iter().rev().take(8).copied().collect();
+        let candidates: Vec<f64> = sorted.iter().rev().take(8).copied().collect();
         let mut best_gap = 0.0;
         let mut best_mid = hi - 1e-3;
         for w in candidates.windows(2) {
@@ -165,21 +177,37 @@ pub fn fig3(seed: u64) -> Result<Fig3> {
     let ol = equation_general(true, 1.0, 21, 1.0, b);
     let mask = ol.mask(x)?;
     let solved = solves(&mask, dataset.labels(), 3);
-    let demo = Demo { rendered: ol.to_string(), solved };
+    let demo = Demo {
+        rendered: ol.to_string(),
+        solved,
+    };
     // "precisely": every labeled region has a positive within 1 point
     let matches_exactly = dataset.labels().regions().iter().all(|r| {
         let d = r.dilate(1, dataset.len());
         (d.start..d.end).any(|i| mask[i])
     });
-    Ok(Fig3 { dataset, demo, matches_exactly })
+    Ok(Fig3 {
+        dataset,
+        demo,
+        matches_exactly,
+    })
 }
 
 /// Text rendering shared by the three figures.
 pub fn render_fig1(fig: &Fig1) -> String {
     let mut out = String::from("Fig. 1 — OMNI/SMD dimension 19, three one-liners:\n");
-    out.push_str(&ascii_plot(&fig.series, Some(&fig.labels.to_mask()), 100, 10));
+    out.push_str(&ascii_plot(
+        &fig.series,
+        Some(&fig.labels.to_mask()),
+        100,
+        10,
+    ));
     for d in &fig.demos {
-        out.push_str(&format!("  [{}] {}\n", if d.solved { "solves" } else { "FAILS " }, d.rendered));
+        out.push_str(&format!(
+            "  [{}] {}\n",
+            if d.solved { "solves" } else { "FAILS " },
+            d.rendered
+        ));
     }
     out
 }

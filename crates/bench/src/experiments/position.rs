@@ -30,8 +30,7 @@ pub fn fig10(seed: u64, per_family: Option<usize>) -> Result<Fig10> {
 
 /// Renders Fig. 10 as a table plus a histogram sparkline of A1 positions.
 pub fn render(fig: &Fig10) -> String {
-    let mut out =
-        String::from("Fig. 10 — last-anomaly positions (run-to-failure bias):\n");
+    let mut out = String::from("Fig. 10 — last-anomaly positions (run-to-failure bias):\n");
     let mut t = TextTable::new(vec![
         "family",
         "mean position",
@@ -47,7 +46,11 @@ pub fn render(fig: &Fig10) -> String {
             fmt(r.ks_statistic),
             format!("{:.2e}", r.p_value),
             fmt(r.naive_last_hit_rate),
-            if r.is_biased(0.01) { "YES".to_string() } else { "no".to_string() },
+            if r.is_biased(0.01) {
+                "YES".to_string()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -73,7 +76,10 @@ mod tests {
     fn a1_is_biased_beyond_the_other_families() {
         let f = fig10(42, None).unwrap();
         let a1 = &f.families[0].1;
-        assert!(a1.is_biased(0.01), "A1 must show run-to-failure bias: {a1:?}");
+        assert!(
+            a1.is_biased(0.01),
+            "A1 must show run-to-failure bias: {a1:?}"
+        );
         assert!(a1.mean_position > 0.72, "{}", a1.mean_position);
         // the naive last-point detector looks good on A1
         assert!(a1.naive_last_hit_rate > 0.3, "{}", a1.naive_last_hit_rate);

@@ -24,8 +24,12 @@ fn score_and_threshold(
 ) -> Result<(Vec<f64>, Vec<bool>, Vec<usize>)> {
     let score = detector.score(dataset.series(), dataset.train_len())?;
     let mask = tsad_detectors::threshold::quantile_mask(&score, 0.98)?;
-    let detections: Vec<usize> =
-        mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+    let detections: Vec<usize> = mask
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .map(|(i, _)| i)
+        .collect();
     Ok((score, mask, detections))
 }
 
@@ -92,28 +96,33 @@ pub fn run(seed: u64) -> Result<ProtocolStudy> {
             "moving-average residual",
             &dataset,
         )?,
-        evaluate(&tsad_detectors::baselines::GlobalZScore, "global z-score", &dataset)?,
+        evaluate(
+            &tsad_detectors::baselines::GlobalZScore,
+            "global z-score",
+            &dataset,
+        )?,
         evaluate(
             &tsad_detectors::matrix_profile::DiscordDetector::new(64),
             "discord (matrix profile)",
             &dataset,
         )?,
-        evaluate(&tsad_detectors::baselines::NaiveLastPoint, "naive last-point", &dataset)?,
+        evaluate(
+            &tsad_detectors::baselines::NaiveLastPoint,
+            "naive last-point",
+            &dataset,
+        )?,
     ];
-    Ok(ProtocolStudy { rows, dataset: dataset.name().to_string() })
+    Ok(ProtocolStudy {
+        rows,
+        dataset: dataset.name().to_string(),
+    })
 }
 
 /// Renders the table plus the headline: does any pair of detectors flip
 /// rank between two protocols?
 pub fn render(study: &ProtocolStudy) -> String {
     let mut t = TextTable::new(vec![
-        "detector",
-        "pw-F1",
-        "PA-F1",
-        "tol-F1",
-        "range-F1",
-        "NAB",
-        "ROC-AUC",
+        "detector", "pw-F1", "PA-F1", "tol-F1", "range-F1", "NAB", "ROC-AUC",
     ]);
     for r in &study.rows {
         t.row(vec![
@@ -140,7 +149,16 @@ pub fn rank_flips(study: &ProtocolStudy) -> usize {
     let metrics: Vec<Vec<f64>> = study
         .rows
         .iter()
-        .map(|r| vec![r.pointwise, r.point_adjust, r.tolerance, r.range_based, r.nab, r.roc_auc])
+        .map(|r| {
+            vec![
+                r.pointwise,
+                r.point_adjust,
+                r.tolerance,
+                r.range_based,
+                r.nab,
+                r.roc_auc,
+            ]
+        })
         .collect();
     let mut flips = 0;
     for a in 0..metrics.len() {
@@ -173,7 +191,13 @@ mod tests {
         assert_eq!(s.rows.len(), 4);
         // every metric is in range
         for r in &s.rows {
-            for v in [r.pointwise, r.point_adjust, r.tolerance, r.range_based, r.roc_auc] {
+            for v in [
+                r.pointwise,
+                r.point_adjust,
+                r.tolerance,
+                r.range_based,
+                r.roc_auc,
+            ] {
                 assert!((0.0..=1.0).contains(&v), "{}: {v}", r.detector);
             }
             assert!(r.nab <= 100.0);

@@ -69,12 +69,19 @@ pub fn run(seed: u64, per_family: usize) -> Result<Summary> {
     let one_liner = equation(Equation::Eq3, 1, 0.0, 0.0);
     let detectors: Vec<DetectorScores> = vec![
         mean_scores(&one_liner, "one-liner |diff(TS)| score", &datasets)?,
-        mean_scores(&MovingAvgResidual::new(21), "moving-average residual", &datasets)?,
+        mean_scores(
+            &MovingAvgResidual::new(21),
+            "moving-average residual",
+            &datasets,
+        )?,
         mean_scores(&GlobalZScore, "global z-score", &datasets)?,
         mean_scores(&NaiveLastPoint, "naive last-point", &datasets)?,
         mean_scores(&RandomDetector::new(seed), "random", &datasets)?,
     ];
-    Ok(Summary { detectors, datasets: datasets.len() })
+    Ok(Summary {
+        detectors,
+        datasets: datasets.len(),
+    })
 }
 
 /// Renders the summary table.
@@ -108,7 +115,10 @@ mod tests {
     fn trivial_baseline_scores_embarrassingly_well() {
         let s = run(42, 6).unwrap();
         let by_name = |needle: &str| {
-            s.detectors.iter().find(|d| d.detector.contains(needle)).expect("present")
+            s.detectors
+                .iter()
+                .find(|d| d.detector.contains(needle))
+                .expect("present")
         };
         let residual = by_name("residual");
         // the one-liner-equivalent baseline looks like a SOTA paper result

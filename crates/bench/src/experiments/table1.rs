@@ -125,6 +125,9 @@ mod tests {
     fn render_contains_equation_rows() {
         let t = run(42, Some(6)).unwrap();
         let rendered = t.render();
-        assert!(rendered.contains("(3)") || rendered.contains("(5)"), "{rendered}");
+        assert!(
+            rendered.contains("(3)") || rendered.contains("(5)"),
+            "{rendered}"
+        );
     }
 }

@@ -104,7 +104,9 @@ pub fn render(fig: &Fig8) -> String {
         t.row(vec![
             (rank + 1).to_string(),
             p.day.to_string(),
-            p.event.clone().unwrap_or_else(|| "(no injected event)".to_string()),
+            p.event
+                .clone()
+                .unwrap_or_else(|| "(no injected event)".to_string()),
             if p.event.is_none() {
                 "-".to_string()
             } else if p.official {
@@ -129,7 +131,11 @@ mod tests {
     #[test]
     fn discord_surfaces_unlabeled_events() {
         let f = fig8(42, 1).unwrap();
-        assert!(f.official_hits >= 4, "official events found: {}", f.official_hits);
+        assert!(
+            f.official_hits >= 4,
+            "official events found: {}",
+            f.official_hits
+        );
         assert!(
             f.unlabeled_hits >= 5,
             "the paper's point: many unlabeled true events rank as top discords, got {}",

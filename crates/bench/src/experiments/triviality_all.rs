@@ -73,8 +73,7 @@ pub fn run(seed: u64, omni_dims: usize) -> Result<TrivialityStudy> {
     // NASA frozen signals, AS LABELED: the frozen one-liner finds all three
     // freezes, but only one is labeled (Fig. 9) — so the series is
     // "unsolvable" against its own flawed ground truth.
-    let nasa_frozen: Vec<Dataset> =
-        (0..4).map(|k| nasa::frozen_signal(seed + k).0).collect();
+    let nasa_frozen: Vec<Dataset> = (0..4).map(|k| nasa::frozen_signal(seed + k).0).collect();
     families.push(FamilyTriviality {
         family: "NASA frozen (flawed labels)",
         solved: count_solved(&nasa_frozen, &config)?,
@@ -153,7 +152,10 @@ mod tests {
     fn nasa_and_numenta_mostly_trivial_omni_half() {
         let s = run(42, 12).unwrap();
         let by_name = |needle: &str| {
-            s.families.iter().find(|f| f.family.contains(needle)).expect("present")
+            s.families
+                .iter()
+                .find(|f| f.family.contains(needle))
+                .expect("present")
         };
         // magnitude jumps all yield to one-liners
         assert!(
@@ -171,7 +173,11 @@ mod tests {
             by_name("corrected labels").percent()
         );
         // Numenta artificial mostly yields
-        assert!(by_name("Numenta").percent() >= 50.0, "{}", by_name("Numenta").percent());
+        assert!(
+            by_name("Numenta").percent() >= 50.0,
+            "{}",
+            by_name("Numenta").percent()
+        );
         // OMNI: a machine has reacting channels (easy) and unreactive ones
         // (unsolvable): somewhere in the middle, like the paper's "at least
         // half"

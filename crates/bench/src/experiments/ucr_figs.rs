@@ -30,8 +30,7 @@ pub fn fig11(seed: u64) -> Result<Fig11> {
     let b = physio::bidmc_like(seed);
     let ecg_peak = tsad_core::stats::argmax(b.ecg.values())?;
     let detector = DiscordDetector::new(160);
-    let pleth_prediction =
-        most_anomalous_point(&detector, b.pleth.series(), b.pleth.train_len())?;
+    let pleth_prediction = most_anomalous_point(&detector, b.pleth.series(), b.pleth.train_len())?;
     let prediction_correct = ucr_correct(pleth_prediction, b.pleth.labels())?;
     // electro-mechanical delay: the pleth label onset trails the *onset* of
     // the electrical PVC
@@ -70,7 +69,9 @@ pub fn fig12(seed: u64) -> Result<Fig12> {
     let prediction = most_anomalous_point(&detector, g.dataset.series(), g.dataset.train_len())?;
     let prediction_correct = ucr_correct(prediction, g.dataset.labels())?;
     let flagged_turnaround = !prediction_correct
-        && g.turnarounds.iter().any(|&t| prediction.abs_diff(t) < 2 * gait::CYCLE_LEN);
+        && g.turnarounds
+            .iter()
+            .any(|&t| prediction.abs_diff(t) < 2 * gait::CYCLE_LEN);
     Ok(Fig12 {
         dataset: g.dataset,
         turnarounds: g.turnarounds,
@@ -109,14 +110,22 @@ mod tests {
         // the pleth label lags the ECG evidence (mechanical vs electrical)
         assert!(f.lag > 0, "pleth must lag the ECG: {}", f.lag);
         assert!(f.lag < 200, "but only by a fraction of a beat: {}", f.lag);
-        assert!(f.prediction_correct, "discord finds the subtle pleth anomaly");
+        assert!(
+            f.prediction_correct,
+            "discord finds the subtle pleth anomaly"
+        );
         assert!(f.dataset.name().starts_with("UCR_Anomaly_BIDMC1_2500_"));
     }
 
     #[test]
     fn fig12_discord_finds_swap_not_turnarounds() {
         let f = fig12(42).unwrap();
-        assert!(f.prediction_correct, "prediction {} vs {:?}", f.prediction, f.dataset.labels().regions());
+        assert!(
+            f.prediction_correct,
+            "prediction {} vs {:?}",
+            f.prediction,
+            f.dataset.labels().regions()
+        );
         assert!(!f.flagged_turnaround);
         assert!(!f.turnarounds.is_empty());
         let text = render(&fig11(42).unwrap(), &f);

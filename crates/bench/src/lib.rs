@@ -22,6 +22,7 @@
 //! | `gallery` | [`experiments::gallery`] | the supplement's one-liner gallery |
 //! | `triviality` | [`experiments::triviality_all`] | §2.2 solvability beyond Yahoo |
 //! | `audit` | [`experiments::audit_exp`] | §2.6 audit verdict: benchmark vs archive |
+//! | `stream` | [`experiments::stream`] | streaming engine: equivalence + replay tables |
 
 pub mod experiments {
     //! One module per paper artifact; see the crate-level table.
@@ -35,6 +36,7 @@ pub mod experiments {
     pub mod oneliners;
     pub mod position;
     pub mod protocols;
+    pub mod stream;
     pub mod summary;
     pub mod table1;
     pub mod taxi;

@@ -22,10 +22,17 @@ impl Dataset {
     /// the train prefix.
     pub fn new(series: TimeSeries, labels: Labels, train_len: usize) -> Result<Self> {
         if labels.len() != series.len() {
-            return Err(CoreError::LengthMismatch { left: series.len(), right: labels.len() });
+            return Err(CoreError::LengthMismatch {
+                left: series.len(),
+                right: labels.len(),
+            });
         }
         if train_len > series.len() {
-            return Err(CoreError::BadRegion { start: 0, end: train_len, len: series.len() });
+            return Err(CoreError::BadRegion {
+                start: 0,
+                end: train_len,
+                len: series.len(),
+            });
         }
         if let Some(first) = labels.regions().first() {
             if first.start < train_len {
@@ -36,7 +43,11 @@ impl Dataset {
                 });
             }
         }
-        Ok(Self { series, labels, train_len })
+        Ok(Self {
+            series,
+            labels,
+            train_len,
+        })
     }
 
     /// Creates a fully unsupervised dataset (no train prefix).

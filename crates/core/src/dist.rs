@@ -13,9 +13,16 @@ use crate::windows::WindowMoments;
 /// Plain Euclidean distance between equal-length slices.
 pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(CoreError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(CoreError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
-    Ok(a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>().sqrt())
+    Ok(a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt())
 }
 
 /// Z-normalized Euclidean distance between equal-length slices.
@@ -26,7 +33,10 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
 /// `sqrt(2m)`.
 pub fn znorm_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(CoreError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(CoreError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     let sa = crate::stats::std_dev(a)?;
     let sb = crate::stats::std_dev(b)?;
@@ -90,9 +100,14 @@ pub fn mass(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
 pub fn distance_profile_naive(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
     let m = query.len();
     if m == 0 || m > series.len() {
-        return Err(CoreError::BadWindow { window: m, len: series.len() });
+        return Err(CoreError::BadWindow {
+            window: m,
+            len: series.len(),
+        });
     }
-    (0..=series.len() - m).map(|i| znorm_euclidean(query, &series[i..i + m])).collect()
+    (0..=series.len() - m)
+        .map(|i| znorm_euclidean(query, &series[i..i + m]))
+        .collect()
 }
 
 /// Dynamic time warping distance with a Sakoe–Chiba band of half-width
@@ -223,7 +238,9 @@ mod tests {
         // (near) zero while Euclidean is large.
         let n = 40;
         let bump = |c: usize| -> Vec<f64> {
-            (0..n).map(|i| (-((i as f64 - c as f64) / 2.0).powi(2)).exp()).collect()
+            (0..n)
+                .map(|i| (-((i as f64 - c as f64) / 2.0).powi(2)).exp())
+                .collect()
         };
         let a = bump(18);
         let b = bump(20);

@@ -17,11 +17,22 @@ pub enum CoreError {
     BadWindow { window: usize, len: usize },
     /// A region `[start, end)` is out of bounds or inverted for a series of
     /// length `len`.
-    BadRegion { start: usize, end: usize, len: usize },
+    BadRegion {
+        start: usize,
+        end: usize,
+        len: usize,
+    },
     /// Two labeled regions overlap; label sets must be disjoint.
-    OverlappingRegions { first_end: usize, second_start: usize },
+    OverlappingRegions {
+        first_end: usize,
+        second_start: usize,
+    },
     /// A parameter was outside its documented domain.
-    BadParameter { name: &'static str, value: f64, expected: &'static str },
+    BadParameter {
+        name: &'static str,
+        value: f64,
+        expected: &'static str,
+    },
     /// The series contains a non-finite value at `index`.
     NonFinite { index: usize },
     /// Two inputs that must have equal lengths did not.
@@ -68,11 +79,31 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(CoreError, &str)> = vec![
             (CoreError::EmptySeries, "non-empty"),
-            (CoreError::BadWindow { window: 9, len: 4 }, "window length 9"),
-            (CoreError::BadRegion { start: 5, end: 3, len: 10 }, "[5, 3)"),
-            (CoreError::OverlappingRegions { first_end: 7, second_start: 6 }, "overlap"),
             (
-                CoreError::BadParameter { name: "alpha", value: -1.0, expected: "0 < alpha <= 1" },
+                CoreError::BadWindow { window: 9, len: 4 },
+                "window length 9",
+            ),
+            (
+                CoreError::BadRegion {
+                    start: 5,
+                    end: 3,
+                    len: 10,
+                },
+                "[5, 3)",
+            ),
+            (
+                CoreError::OverlappingRegions {
+                    first_end: 7,
+                    second_start: 6,
+                },
+                "overlap",
+            ),
+            (
+                CoreError::BadParameter {
+                    name: "alpha",
+                    value: -1.0,
+                    expected: "0 < alpha <= 1",
+                },
                 "`alpha`",
             ),
             (CoreError::NonFinite { index: 3 }, "index 3"),

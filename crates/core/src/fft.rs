@@ -29,7 +29,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -46,14 +49,20 @@ impl std::ops::Mul for Complex {
 impl std::ops::Add for Complex {
     type Output = Complex;
     fn add(self, other: Self) -> Self {
-        Self { re: self.re + other.re, im: self.im + other.im }
+        Self {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
     }
 }
 
 impl std::ops::Sub for Complex {
     type Output = Complex;
     fn sub(self, other: Self) -> Self {
-        Self { re: self.re - other.re, im: self.im - other.im }
+        Self {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
     }
 }
 
@@ -158,7 +167,13 @@ pub fn sliding_dot_product_naive(query: &[f64], series: &[f64]) -> Result<Vec<f6
         return Err(CoreError::BadWindow { window: m, len: n });
     }
     Ok((0..=n - m)
-        .map(|i| query.iter().zip(&series[i..i + m]).map(|(&a, &b)| a * b).sum())
+        .map(|i| {
+            query
+                .iter()
+                .zip(&series[i..i + m])
+                .map(|(&a, &b)| a * b)
+                .sum()
+        })
         .collect())
 }
 
@@ -185,8 +200,9 @@ mod tests {
 
     #[test]
     fn fft_roundtrip() {
-        let original: Vec<Complex> =
-            (0..64).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
+        let original: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
         let mut data = original.clone();
         fft_in_place(&mut data, false).unwrap();
         fft_in_place(&mut data, true).unwrap();
@@ -209,7 +225,9 @@ mod tests {
 
     #[test]
     fn fft_parseval() {
-        let x: Vec<Complex> = (0..32).map(|i| Complex::from_real((i as f64).sin())).collect();
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::from_real((i as f64).sin()))
+            .collect();
         let time_energy: f64 = x.iter().map(|c| c.re * c.re + c.im * c.im).sum();
         let mut f = x.clone();
         fft_in_place(&mut f, false).unwrap();

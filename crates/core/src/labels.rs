@@ -20,14 +20,21 @@ impl Region {
     /// Creates a region, validating `start < end`.
     pub fn new(start: usize, end: usize) -> Result<Self> {
         if start >= end {
-            return Err(CoreError::BadRegion { start, end, len: usize::MAX });
+            return Err(CoreError::BadRegion {
+                start,
+                end,
+                len: usize::MAX,
+            });
         }
         Ok(Self { start, end })
     }
 
     /// Creates a single-point region at `index`.
     pub fn point(index: usize) -> Self {
-        Self { start: index, end: index + 1 }
+        Self {
+            start: index,
+            end: index + 1,
+        }
     }
 
     /// Number of indices covered.
@@ -64,7 +71,10 @@ impl Region {
 
     /// The region dilated by `slop` on each side (clamped at 0 / `len`).
     pub fn dilate(&self, slop: usize, len: usize) -> Region {
-        Region { start: self.start.saturating_sub(slop), end: (self.end + slop).min(len) }
+        Region {
+            start: self.start.saturating_sub(slop),
+            end: (self.end + slop).min(len),
+        }
     }
 }
 
@@ -78,7 +88,10 @@ pub struct Labels {
 impl Labels {
     /// Creates an empty (all-normal) label set for a series of length `len`.
     pub fn empty(len: usize) -> Self {
-        Self { len, regions: Vec::new() }
+        Self {
+            len,
+            regions: Vec::new(),
+        }
     }
 
     /// Creates a label set from regions; sorts them and validates bounds and
@@ -89,7 +102,11 @@ impl Labels {
         let mut merged: Vec<Region> = Vec::with_capacity(regions.len());
         for r in regions {
             if r.end > len {
-                return Err(CoreError::BadRegion { start: r.start, end: r.end, len });
+                return Err(CoreError::BadRegion {
+                    start: r.start,
+                    end: r.end,
+                    len,
+                });
             }
             match merged.last_mut() {
                 Some(last) if r.start < last.end => {
@@ -102,7 +119,10 @@ impl Labels {
                 _ => merged.push(r),
             }
         }
-        Ok(Self { len, regions: merged })
+        Ok(Self {
+            len,
+            regions: merged,
+        })
     }
 
     /// Creates a label set containing exactly one region — the ideal shape
@@ -126,9 +146,15 @@ impl Labels {
             }
         }
         if let Some(s) = start {
-            regions.push(Region { start: s, end: mask.len() });
+            regions.push(Region {
+                start: s,
+                end: mask.len(),
+            });
         }
-        Self { len: mask.len(), regions }
+        Self {
+            len: mask.len(),
+            regions,
+        }
     }
 
     /// Renders the labels as a boolean mask of length `len()`.
@@ -198,7 +224,9 @@ impl Labels {
     /// `true` if `index` falls within `slop` of any labeled region — the
     /// "play" that scoring functions need (§4.4).
     pub fn contains_with_slop(&self, index: usize, slop: usize) -> bool {
-        self.regions.iter().any(|r| r.dilate(slop, self.len).contains(index))
+        self.regions
+            .iter()
+            .any(|r| r.dilate(slop, self.len).contains(index))
     }
 
     /// Relative position (0..=1) of the *last* anomalous point, the statistic
@@ -207,7 +235,9 @@ impl Labels {
         if self.len <= 1 {
             return None;
         }
-        self.regions.last().map(|r| (r.end - 1) as f64 / (self.len - 1) as f64)
+        self.regions
+            .last()
+            .map(|r| (r.end - 1) as f64 / (self.len - 1) as f64)
     }
 
     /// The complement label set (normal regions become "anomalies").
@@ -256,19 +286,28 @@ mod tests {
 
     #[test]
     fn labels_sort_and_merge_touching() {
-        let l = Labels::new(20, vec![Region::new(8, 10).unwrap(), Region::new(2, 4).unwrap()])
-            .unwrap();
+        let l = Labels::new(
+            20,
+            vec![Region::new(8, 10).unwrap(), Region::new(2, 4).unwrap()],
+        )
+        .unwrap();
         assert_eq!(l.regions()[0].start, 2);
-        let merged =
-            Labels::new(20, vec![Region::new(2, 4).unwrap(), Region::new(4, 6).unwrap()]).unwrap();
+        let merged = Labels::new(
+            20,
+            vec![Region::new(2, 4).unwrap(), Region::new(4, 6).unwrap()],
+        )
+        .unwrap();
         assert_eq!(merged.region_count(), 1);
         assert_eq!(merged.regions()[0], Region { start: 2, end: 6 });
     }
 
     #[test]
     fn labels_reject_overlap_and_oob() {
-        let err = Labels::new(20, vec![Region::new(2, 6).unwrap(), Region::new(5, 9).unwrap()])
-            .unwrap_err();
+        let err = Labels::new(
+            20,
+            vec![Region::new(2, 6).unwrap(), Region::new(5, 9).unwrap()],
+        )
+        .unwrap_err();
         assert!(matches!(err, CoreError::OverlappingRegions { .. }));
         let err = Labels::new(5, vec![Region::new(2, 9).unwrap()]).unwrap_err();
         assert!(matches!(err, CoreError::BadRegion { .. }));
@@ -287,8 +326,11 @@ mod tests {
 
     #[test]
     fn density_and_gaps() {
-        let l = Labels::new(10, vec![Region::new(1, 3).unwrap(), Region::new(4, 5).unwrap()])
-            .unwrap();
+        let l = Labels::new(
+            10,
+            vec![Region::new(1, 3).unwrap(), Region::new(4, 5).unwrap()],
+        )
+        .unwrap();
         assert_eq!(l.anomalous_points(), 3);
         assert!((l.density() - 0.3).abs() < 1e-12);
         assert_eq!(l.min_gap(), Some(1));
@@ -310,8 +352,9 @@ mod tests {
 
     #[test]
     fn contains_binary_search_many_regions() {
-        let regions: Vec<Region> =
-            (0..50).map(|i| Region::new(i * 10, i * 10 + 3).unwrap()).collect();
+        let regions: Vec<Region> = (0..50)
+            .map(|i| Region::new(i * 10, i * 10 + 3).unwrap())
+            .collect();
         let l = Labels::new(500, regions).unwrap();
         for i in 0..500 {
             let expected = i % 10 < 3;
@@ -332,7 +375,10 @@ mod tests {
     fn complement() {
         let l = Labels::single(6, Region::new(2, 4).unwrap()).unwrap();
         let c = l.complement();
-        assert_eq!(c.regions(), &[Region { start: 0, end: 2 }, Region { start: 4, end: 6 }]);
+        assert_eq!(
+            c.regions(),
+            &[Region { start: 0, end: 2 }, Region { start: 4, end: 6 }]
+        );
         assert_eq!(c.complement(), l);
     }
 }

@@ -6,8 +6,15 @@
 //! semantics: a centered window of nominal length `k` that *shrinks* at the
 //! endpoints, producing an output of the same length as the input.
 //!
-//! All windowed reductions run in `O(n)` (prefix sums / monotonic deque), so
-//! brute-force one-liner searches over hundreds of series stay fast.
+//! `movmean`/`movstd` evaluate each window *directly* (`O(n·k)`): the window
+//! lengths used throughout this repository are small (≤ a few hundred), the
+//! two-pass per-window formula is numerically stable for arbitrary offsets,
+//! and — crucially — a streaming ring-buffer node that re-reduces its buffer
+//! with the same [`window_mean`]/[`window_std`] helpers reproduces the batch
+//! output *bitwise* (see `ops::incremental` and the `tsad-stream` crate).
+//! `movmax`/`movmin` remain `O(n)` via a monotonic deque.
+
+pub mod incremental;
 
 use crate::error::{CoreError, Result};
 
@@ -47,12 +54,42 @@ pub fn cumsum(x: &[f64]) -> Vec<f64> {
 /// `k/2` points before (exclusive of fractional) and `(k-1)/2` after, clipped
 /// to the array bounds.
 #[inline]
-fn centered_window(i: usize, k: usize, n: usize) -> (usize, usize) {
+pub fn centered_window(i: usize, k: usize, n: usize) -> (usize, usize) {
     let before = k / 2;
     let after = (k - 1) / 2;
     let lo = i.saturating_sub(before);
     let hi = (i + after + 1).min(n);
     (lo, hi)
+}
+
+/// Mean of one window, summed left-to-right. Shared by the batch moving
+/// statistics and the streaming nodes in [`incremental`]: both reduce the
+/// same values in the same order, so batch and streaming agree bitwise.
+#[inline]
+pub fn window_mean(w: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for &v in w {
+        sum += v;
+    }
+    sum / w.len() as f64
+}
+
+/// Sample standard deviation (normalized by `N − 1`) of one window via the
+/// two-pass formula, summed left-to-right. Windows shorter than 2 produce 0.
+/// Shared by batch and streaming for bitwise agreement (see [`window_mean`]).
+#[inline]
+pub fn window_std(w: &[f64]) -> f64 {
+    let m = w.len();
+    if m < 2 {
+        return 0.0;
+    }
+    let mean = window_mean(w);
+    let mut acc = 0.0;
+    for &v in w {
+        let d = v - mean;
+        acc += d * d;
+    }
+    (acc / (m as f64 - 1.0)).sqrt()
 }
 
 fn validate_window(k: usize) -> Result<()> {
@@ -63,61 +100,32 @@ fn validate_window(k: usize) -> Result<()> {
 }
 
 /// Moving mean with a centered, endpoint-shrinking window of nominal length
-/// `k` (MATLAB `movmean(x, k)`).
+/// `k` (MATLAB `movmean(x, k)`). Each window is reduced directly with
+/// [`window_mean`] so a streaming node holding the same window in a ring
+/// buffer reproduces the output bitwise.
 pub fn movmean(x: &[f64], k: usize) -> Result<Vec<f64>> {
     validate_window(k)?;
     let n = x.len();
-    // Prefix sums over mean-shifted data: subtracting the global mean first
-    // keeps the cancellation error of `prefix[hi] - prefix[lo]` small even
-    // for long series with a large offset.
-    let shift = if n == 0 { 0.0 } else { x.iter().sum::<f64>() / n as f64 };
-    let mut prefix = Vec::with_capacity(n + 1);
-    prefix.push(0.0);
-    let mut acc = 0.0;
-    for &v in x {
-        acc += v - shift;
-        prefix.push(acc);
-    }
     Ok((0..n)
         .map(|i| {
             let (lo, hi) = centered_window(i, k, n);
-            (prefix[hi] - prefix[lo]) / (hi - lo) as f64 + shift
+            window_mean(&x[lo..hi])
         })
         .collect())
 }
 
 /// Moving (sample) standard deviation with a centered, endpoint-shrinking
 /// window of nominal length `k` (MATLAB `movstd(x, k)`, normalized by
-/// `N - 1`). Windows of effective length 1 produce 0.
+/// `N - 1`). Windows of effective length 1 produce 0. Each window is reduced
+/// directly with [`window_std`] (see [`movmean`] on bitwise streaming
+/// agreement).
 pub fn movstd(x: &[f64], k: usize) -> Result<Vec<f64>> {
     validate_window(k)?;
     let n = x.len();
-    let shift = if n == 0 { 0.0 } else { x.iter().sum::<f64>() / n as f64 };
-    let mut sum = Vec::with_capacity(n + 1);
-    let mut sumsq = Vec::with_capacity(n + 1);
-    sum.push(0.0);
-    sumsq.push(0.0);
-    let (mut s, mut ss) = (0.0, 0.0);
-    for &v in x {
-        let d = v - shift;
-        s += d;
-        ss += d * d;
-        sum.push(s);
-        sumsq.push(ss);
-    }
     Ok((0..n)
         .map(|i| {
             let (lo, hi) = centered_window(i, k, n);
-            let m = (hi - lo) as f64;
-            if m < 2.0 {
-                return 0.0;
-            }
-            let wsum = sum[hi] - sum[lo];
-            let wsq = sumsq[hi] - sumsq[lo];
-            // sample variance = (Σd² − (Σd)²/m) / (m − 1); clamp tiny
-            // negative values caused by floating-point rounding.
-            let var = ((wsq - wsum * wsum / m) / (m - 1.0)).max(0.0);
-            var.sqrt()
+            window_std(&x[lo..hi])
         })
         .collect())
 }
@@ -220,7 +228,10 @@ pub fn gt(x: &[f64], threshold: f64) -> Vec<bool> {
 /// Element-wise `x[i] > y[i]` mask. Errors on length mismatch.
 pub fn gt_elementwise(x: &[f64], y: &[f64]) -> Result<Vec<bool>> {
     if x.len() != y.len() {
-        return Err(CoreError::LengthMismatch { left: x.len(), right: y.len() });
+        return Err(CoreError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
     }
     Ok(x.iter().zip(y).map(|(&a, &b)| a > b).collect())
 }

@@ -1,0 +1,474 @@
+//! Incremental (streaming) counterparts of the batch primitives in
+//! [`ops`](super).
+//!
+//! Every node follows one contract:
+//!
+//! * [`push`](MovMean::push) consumes one input value and returns **at most
+//!   one** output value — `None` while the node is still warming up (a
+//!   centered window cannot emit position `i` until the `(k−1)/2` samples
+//!   *after* `i` have arrived);
+//! * [`finish`](MovMean::finish) drains the outputs whose endpoint-shrinking
+//!   windows only complete at the end of the stream.
+//!
+//! For any input sequence, `concat(push outputs, finish())` equals the batch
+//! operation applied to the whole input — **bitwise** for `MovMean`/`MovStd`
+//! (both reduce the same window values in the same order through
+//! [`window_mean`]/[`window_std`]) and value-exact for `MovMax`/`MovMin`
+//! (`max` is order-insensitive; the only bit-level caveat is `±0.0`, which
+//! cannot arise from the `abs`-transformed signals the one-liners feed it).
+//!
+//! Memory is bounded: a node of window `k` retains `O(k)` floats regardless
+//! of stream length.
+
+use super::{window_mean, window_std};
+use crate::error::{CoreError, Result};
+use std::collections::VecDeque;
+
+/// Fixed-capacity ring buffer over `f64` with *logical* (stream) indexing:
+/// pushing beyond capacity evicts the oldest value, and every value keeps the
+/// index it had in the stream.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buf: VecDeque<f64>,
+    capacity: usize,
+    evicted: usize,
+}
+
+impl RingBuffer {
+    /// Creates a buffer holding at most `capacity` values (≥ 1).
+    pub fn new(capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(CoreError::BadWindow { window: 0, len: 0 });
+        }
+        Ok(Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+        })
+    }
+
+    /// Appends a value, evicting the oldest if full.
+    pub fn push(&mut self, v: f64) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(v);
+    }
+
+    /// Number of values currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no values are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained values.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Logical index of the oldest retained value.
+    pub fn first_index(&self) -> usize {
+        self.evicted
+    }
+
+    /// Logical index the next pushed value will receive.
+    pub fn next_index(&self) -> usize {
+        self.evicted + self.buf.len()
+    }
+
+    /// The value at logical index `idx`, if still retained.
+    pub fn get(&self, idx: usize) -> Option<f64> {
+        idx.checked_sub(self.evicted)
+            .and_then(|off| self.buf.get(off))
+            .copied()
+    }
+
+    /// Copies logical range `[lo, hi)` into `out` (cleared first), oldest
+    /// first. Panics if part of the range has been evicted or not yet pushed.
+    pub fn extract(&self, lo: usize, hi: usize, out: &mut Vec<f64>) {
+        assert!(lo >= self.evicted, "range [{lo}, {hi}) partially evicted");
+        assert!(hi <= self.next_index(), "range [{lo}, {hi}) not yet pushed");
+        out.clear();
+        for off in (lo - self.evicted)..(hi - self.evicted) {
+            out.push(self.buf[off]);
+        }
+    }
+
+    /// Iterates retained values, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Forgets all values and resets logical indexing to 0.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.evicted = 0;
+    }
+}
+
+/// Welford's online mean/variance accumulator — the numerically stable way
+/// to keep running statistics without retaining the data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in one observation.
+    pub fn push(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (denominator `N`; 0 before the first observation).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Sample variance (denominator `N − 1`; 0 for fewer than 2 observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation, matching
+    /// [`stats::std_dev`](crate::stats::std_dev).
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation, matching the `movstd` normalization.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Forgets all observations.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Incremental first difference: emits `x[i] − x[i−1]` on the push of
+/// `x[i]`, `None` on the first push (batch `diff` output is one shorter than
+/// its input).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Diff {
+    prev: Option<f64>,
+}
+
+impl Diff {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one value.
+    pub fn push(&mut self, v: f64) -> Option<f64> {
+        let out = self.prev.map(|p| v - p);
+        self.prev = Some(v);
+        out
+    }
+
+    /// Forgets the previous value.
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+/// Shared machinery for the centered, endpoint-shrinking MATLAB-style moving
+/// windows: tracks which output position is complete after each push and
+/// materializes its window from the ring buffer.
+#[derive(Debug, Clone)]
+struct Centered {
+    before: usize,
+    after: usize,
+    ring: RingBuffer,
+    pushed: usize,
+    emitted: usize,
+    scratch: Vec<f64>,
+}
+
+impl Centered {
+    fn new(k: usize) -> Result<Self> {
+        // reject k = 0 before the `k − 1` below can underflow
+        let ring = RingBuffer::new(k)?;
+        Ok(Self {
+            before: k / 2,
+            after: (k - 1) / 2,
+            ring,
+            pushed: 0,
+            emitted: 0,
+            scratch: Vec::with_capacity(k),
+        })
+    }
+
+    /// Pushes one value; if the window of output position `emitted` is now
+    /// complete, materializes it into `scratch` and returns it.
+    fn push_window(&mut self, v: f64) -> Option<&[f64]> {
+        self.ring.push(v);
+        self.pushed += 1;
+        let i = self.emitted;
+        if self.pushed == i + self.after + 1 {
+            let lo = i.saturating_sub(self.before);
+            let ring = &self.ring;
+            ring.extract(lo, self.pushed, &mut self.scratch);
+            self.emitted += 1;
+            Some(&self.scratch)
+        } else {
+            None
+        }
+    }
+
+    /// Materializes the next end-of-stream (right-shrunken) window, or `None`
+    /// when all positions have been emitted.
+    fn finish_window(&mut self) -> Option<&[f64]> {
+        if self.emitted >= self.pushed {
+            return None;
+        }
+        let i = self.emitted;
+        let lo = i.saturating_sub(self.before);
+        let ring = &self.ring;
+        ring.extract(lo, self.pushed, &mut self.scratch);
+        self.emitted += 1;
+        Some(&self.scratch)
+    }
+
+    /// Pushes before the first emission: `(k − 1) / 2`.
+    fn delay(&self) -> usize {
+        self.after
+    }
+
+    fn reset(&mut self) {
+        self.ring.clear();
+        self.pushed = 0;
+        self.emitted = 0;
+        self.scratch.clear();
+    }
+
+    fn memory_bound(&self) -> usize {
+        2 * self.ring.capacity()
+    }
+}
+
+macro_rules! centered_node {
+    ($(#[$doc:meta])* $name:ident, $reduce:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            w: Centered,
+        }
+
+        impl $name {
+            /// Streaming node with nominal window length `k` (≥ 1).
+            pub fn new(k: usize) -> Result<Self> {
+                Ok(Self { w: Centered::new(k)? })
+            }
+
+            /// Consumes one value; emits the output for position
+            /// `pushes_so_far − 1 − delay()` once its window is complete.
+            pub fn push(&mut self, v: f64) -> Option<f64> {
+                #[allow(clippy::redundant_closure_call)]
+                self.w.push_window(v).map(|win| ($reduce)(win))
+            }
+
+            /// Drains the outputs whose right-shrunken windows complete at
+            /// end of stream (`delay()` values, fewer on short streams).
+            pub fn finish(&mut self) -> Vec<f64> {
+                let mut out = Vec::with_capacity(self.w.delay());
+                #[allow(clippy::redundant_closure_call)]
+                while let Some(win) = self.w.finish_window() {
+                    out.push(($reduce)(win));
+                }
+                out
+            }
+
+            /// Number of pushes before the first emission: `(k − 1) / 2`.
+            pub fn delay(&self) -> usize {
+                self.w.delay()
+            }
+
+            /// Restores the fresh state.
+            pub fn reset(&mut self) {
+                self.w.reset();
+            }
+
+            /// Upper bound on retained `f64` state, in elements.
+            pub fn memory_bound(&self) -> usize {
+                self.w.memory_bound()
+            }
+        }
+    };
+}
+
+centered_node!(
+    /// Streaming `movmean`: bitwise-identical to [`ops::movmean`](super::movmean).
+    MovMean,
+    window_mean
+);
+centered_node!(
+    /// Streaming `movstd`: bitwise-identical to [`ops::movstd`](super::movstd).
+    MovStd,
+    window_std
+);
+centered_node!(
+    /// Streaming `movmax`, value-identical to [`ops::movmax`](super::movmax).
+    MovMax,
+    |w: &[f64]| w.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+);
+centered_node!(
+    /// Streaming `movmin`, value-identical to [`ops::movmin`](super::movmin).
+    MovMin,
+    |w: &[f64]| w.iter().copied().fold(f64::INFINITY, f64::min)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn ring_buffer_logical_indexing() {
+        let mut r = RingBuffer::new(3).unwrap();
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.first_index(), 2);
+        assert_eq!(r.next_index(), 5);
+        assert_eq!(r.get(1), None);
+        assert_eq!(r.get(2), Some(2.0));
+        assert_eq!(r.get(4), Some(4.0));
+        assert_eq!(r.get(5), None);
+        let mut w = Vec::new();
+        r.extract(3, 5, &mut w);
+        assert_eq!(w, vec![3.0, 4.0]);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+        r.clear();
+        assert_eq!(r.next_index(), 0);
+        assert!(RingBuffer::new(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "partially evicted")]
+    fn ring_buffer_extract_checks_eviction() {
+        let mut r = RingBuffer::new(2).unwrap();
+        for i in 0..4 {
+            r.push(i as f64);
+        }
+        let mut w = Vec::new();
+        r.extract(0, 2, &mut w);
+    }
+
+    #[test]
+    fn welford_matches_batch_stats() {
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.7).sin() * 3.0 + 1e6)
+            .collect();
+        let mut w = Welford::new();
+        for &v in &xs {
+            w.push(v);
+        }
+        assert_eq!(w.count(), 100);
+        assert!((w.mean() - crate::stats::mean(&xs).unwrap()).abs() < 1e-9);
+        assert!((w.std_dev() - crate::stats::std_dev(&xs).unwrap()).abs() < 1e-9);
+        assert!((w.sample_variance() - crate::stats::sample_variance(&xs).unwrap()).abs() < 1e-6);
+        w.reset();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_std(), 0.0);
+    }
+
+    #[test]
+    fn diff_matches_batch() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let mut d = Diff::new();
+        let got: Vec<f64> = xs.iter().filter_map(|&v| d.push(v)).collect();
+        assert_eq!(got, ops::diff(&xs));
+        d.reset();
+        assert_eq!(d.push(9.0), None);
+    }
+
+    #[test]
+    fn centered_nodes_match_batch_bitwise() {
+        let xs: Vec<f64> = (0..57)
+            .map(|i| ((i * 31) % 17) as f64 * 0.3 - 2.0)
+            .collect();
+        for k in [1usize, 2, 3, 4, 5, 8, 11, 56, 57, 90] {
+            let mut mm = MovMean::new(k).unwrap();
+            let mut got: Vec<f64> = xs.iter().filter_map(|&v| mm.push(v)).collect();
+            got.extend(mm.finish());
+            let batch = ops::movmean(&xs, k).unwrap();
+            assert_eq!(got.len(), batch.len(), "movmean k={k}");
+            for (i, (a, b)) in got.iter().zip(&batch).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "movmean k={k} i={i}: {a} vs {b}"
+                );
+            }
+
+            let mut ms = MovStd::new(k).unwrap();
+            let mut got: Vec<f64> = xs.iter().filter_map(|&v| ms.push(v)).collect();
+            got.extend(ms.finish());
+            let batch = ops::movstd(&xs, k).unwrap();
+            for (i, (a, b)) in got.iter().zip(&batch).enumerate() {
+                assert!(a.to_bits() == b.to_bits(), "movstd k={k} i={i}: {a} vs {b}");
+            }
+
+            let mut mx = MovMax::new(k).unwrap();
+            let mut got: Vec<f64> = xs.iter().filter_map(|&v| mx.push(v)).collect();
+            got.extend(mx.finish());
+            assert_eq!(got, ops::movmax(&xs, k).unwrap(), "movmax k={k}");
+
+            let mut mn = MovMin::new(k).unwrap();
+            let mut got: Vec<f64> = xs.iter().filter_map(|&v| mn.push(v)).collect();
+            got.extend(mn.finish());
+            assert_eq!(got, ops::movmin(&xs, k).unwrap(), "movmin k={k}");
+        }
+    }
+
+    #[test]
+    fn centered_node_delay_and_reset() {
+        let mut mm = MovMean::new(7).unwrap();
+        assert_eq!(mm.delay(), 3);
+        assert!(mm.memory_bound() >= 7);
+        for i in 0..3 {
+            assert_eq!(mm.push(i as f64), None, "warm-up push {i}");
+        }
+        assert!(mm.push(3.0).is_some());
+        mm.reset();
+        assert_eq!(mm.push(9.0), None);
+        assert_eq!(mm.finish(), vec![9.0]);
+    }
+}

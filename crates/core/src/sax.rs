@@ -18,7 +18,10 @@ use crate::stats::normal_quantile;
 pub fn paa(x: &[f64], segments: usize) -> Result<Vec<f64>> {
     let n = x.len();
     if segments == 0 || segments > n {
-        return Err(CoreError::BadWindow { window: segments, len: n });
+        return Err(CoreError::BadWindow {
+            window: segments,
+            len: n,
+        });
     }
     if segments == n {
         return Ok(x.to_vec());
@@ -54,7 +57,9 @@ pub fn sax_breakpoints(alphabet: usize) -> Result<Vec<f64>> {
             expected: "2 <= alphabet <= 20",
         });
     }
-    (1..alphabet).map(|i| normal_quantile(i as f64 / alphabet as f64)).collect()
+    (1..alphabet)
+        .map(|i| normal_quantile(i as f64 / alphabet as f64))
+        .collect()
 }
 
 /// A SAX word: symbols in `0 .. alphabet`.
@@ -76,7 +81,10 @@ pub fn sax_word(x: &[f64], word_length: usize, alphabet: usize) -> Result<SaxWor
 /// subsequence length `n` (Lin et al.). Zero for adjacent symbols.
 pub fn sax_mindist(a: &SaxWord, b: &SaxWord, n: usize, alphabet: usize) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(CoreError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(CoreError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     if let Some(&bad) = a.iter().chain(b).find(|&&s| s as usize >= alphabet) {
         return Err(CoreError::BadParameter {
@@ -124,7 +132,9 @@ mod tests {
 
     #[test]
     fn paa_preserves_mean() {
-        let x: Vec<f64> = (0..97).map(|i| (i as f64 * 0.3).sin() * 2.0 + 1.0).collect();
+        let x: Vec<f64> = (0..97)
+            .map(|i| (i as f64 * 0.3).sin() * 2.0 + 1.0)
+            .collect();
         for segments in [1, 3, 10, 48, 97] {
             let reduced = paa(&x, segments).unwrap();
             let mean_x = x.iter().sum::<f64>() / x.len() as f64;
@@ -141,7 +151,10 @@ mod tests {
     fn breakpoints_are_symmetric_and_sorted() {
         let bp = sax_breakpoints(4).unwrap();
         assert_eq!(bp.len(), 3);
-        assert!((bp[1]).abs() < 1e-9, "middle breakpoint of even alphabet is 0");
+        assert!(
+            (bp[1]).abs() < 1e-9,
+            "middle breakpoint of even alphabet is 0"
+        );
         assert!((bp[0] + bp[2]).abs() < 1e-9, "symmetric");
         assert!(bp.windows(2).all(|w| w[0] < w[1]));
         assert!(sax_breakpoints(1).is_err());
@@ -166,7 +179,10 @@ mod tests {
         let a = sax_word(&x, 8, 5).unwrap();
         let scaled: Vec<f64> = x.iter().map(|v| v * 4.0 + 10.0).collect();
         let b = sax_word(&scaled, 8, 5).unwrap();
-        assert_eq!(a, b, "SAX is amplitude/offset invariant via z-normalization");
+        assert_eq!(
+            a, b,
+            "SAX is amplitude/offset invariant via z-normalization"
+        );
     }
 
     #[test]

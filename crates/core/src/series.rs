@@ -24,7 +24,10 @@ impl TimeSeries {
         if let Some(index) = values.iter().position(|v| !v.is_finite()) {
             return Err(CoreError::NonFinite { index });
         }
-        Ok(Self { name: name.into(), values })
+        Ok(Self {
+            name: name.into(),
+            values,
+        })
     }
 
     /// Creates a series without a meaningful name.
@@ -61,7 +64,11 @@ impl TimeSeries {
     /// Returns the `[start, end)` slice of the series as a new series.
     pub fn slice(&self, start: usize, end: usize) -> Result<TimeSeries> {
         if start > end || end > self.values.len() {
-            return Err(CoreError::BadRegion { start, end, len: self.values.len() });
+            return Err(CoreError::BadRegion {
+                start,
+                end,
+                len: self.values.len(),
+            });
         }
         Ok(TimeSeries {
             name: format!("{}[{start}..{end}]", self.name),
@@ -73,19 +80,34 @@ impl TimeSeries {
     /// the convention used by the UCR anomaly archive file names.
     pub fn split_train_test(&self, train_len: usize) -> Result<(TimeSeries, TimeSeries)> {
         if train_len > self.values.len() {
-            return Err(CoreError::BadRegion { start: 0, end: train_len, len: self.values.len() });
+            return Err(CoreError::BadRegion {
+                start: 0,
+                end: train_len,
+                len: self.values.len(),
+            });
         }
-        Ok((self.slice(0, train_len)?, self.slice(train_len, self.values.len())?))
+        Ok((
+            self.slice(0, train_len)?,
+            self.slice(train_len, self.values.len())?,
+        ))
     }
 
     /// Minimum value. Errors on an empty series.
     pub fn min(&self) -> Result<f64> {
-        self.values.iter().copied().reduce(f64::min).ok_or(CoreError::EmptySeries)
+        self.values
+            .iter()
+            .copied()
+            .reduce(f64::min)
+            .ok_or(CoreError::EmptySeries)
     }
 
     /// Maximum value. Errors on an empty series.
     pub fn max(&self) -> Result<f64> {
-        self.values.iter().copied().reduce(f64::max).ok_or(CoreError::EmptySeries)
+        self.values
+            .iter()
+            .copied()
+            .reduce(f64::max)
+            .ok_or(CoreError::EmptySeries)
     }
 
     /// Renames the series in place and returns it (builder style).
@@ -119,13 +141,20 @@ impl MultiSeries {
         let len = channels.first().map_or(0, Vec::len);
         for ch in &channels {
             if ch.len() != len {
-                return Err(CoreError::LengthMismatch { left: len, right: ch.len() });
+                return Err(CoreError::LengthMismatch {
+                    left: len,
+                    right: ch.len(),
+                });
             }
             if let Some(index) = ch.iter().position(|v| !v.is_finite()) {
                 return Err(CoreError::NonFinite { index });
             }
         }
-        Ok(Self { name: name.into(), channels, len })
+        Ok(Self {
+            name: name.into(),
+            channels,
+            len,
+        })
     }
 
     /// The series name.
@@ -156,10 +185,11 @@ impl MultiSeries {
 
     /// Extract channel `dim` as an owned, named univariate series.
     pub fn dimension(&self, dim: usize) -> Result<TimeSeries> {
-        let ch = self
-            .channels
-            .get(dim)
-            .ok_or(CoreError::BadRegion { start: dim, end: dim + 1, len: self.channels.len() })?;
+        let ch = self.channels.get(dim).ok_or(CoreError::BadRegion {
+            start: dim,
+            end: dim + 1,
+            len: self.channels.len(),
+        })?;
         TimeSeries::new(format!("{}:dim{}", self.name, dim), ch.clone())
     }
 }

@@ -30,7 +30,10 @@ pub fn std_dev(x: &[f64]) -> Result<f64> {
 /// observations.
 pub fn sample_variance(x: &[f64]) -> Result<f64> {
     if x.len() < 2 {
-        return Err(CoreError::BadWindow { window: 2, len: x.len() });
+        return Err(CoreError::BadWindow {
+            window: 2,
+            len: x.len(),
+        });
     }
     let m = mean(x)?;
     Ok(x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64)
@@ -55,7 +58,11 @@ pub fn quantile(x: &[f64], q: f64) -> Result<f64> {
         return Err(CoreError::EmptySeries);
     }
     if !(0.0..=1.0).contains(&q) {
-        return Err(CoreError::BadParameter { name: "q", value: q, expected: "0 <= q <= 1" });
+        return Err(CoreError::BadParameter {
+            name: "q",
+            value: q,
+            expected: "0 <= q <= 1",
+        });
     }
     let mut sorted = x.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
@@ -71,7 +78,10 @@ pub fn quantile(x: &[f64], q: f64) -> Result<f64> {
 /// estimator). Returns 0 for (near-)constant input.
 pub fn autocorrelation(x: &[f64], lag: usize) -> Result<f64> {
     if x.len() < lag + 2 {
-        return Err(CoreError::BadWindow { window: lag + 2, len: x.len() });
+        return Err(CoreError::BadWindow {
+            window: lag + 2,
+            len: x.len(),
+        });
     }
     let m = mean(x)?;
     let denom: f64 = x.iter().map(|&v| (v - m) * (v - m)).sum();
@@ -80,7 +90,9 @@ pub fn autocorrelation(x: &[f64], lag: usize) -> Result<f64> {
     if denom == 0.0 {
         return Ok(0.0);
     }
-    let num: f64 = (0..x.len() - lag).map(|i| (x[i] - m) * (x[i + lag] - m)).sum();
+    let num: f64 = (0..x.len() - lag)
+        .map(|i| (x[i] - m) * (x[i + lag] - m))
+        .sum();
     Ok(num / denom)
 }
 
@@ -88,16 +100,25 @@ pub fn autocorrelation(x: &[f64], lag: usize) -> Result<f64> {
 /// (Batista et al.) — one of the features the paper tabulates when arguing
 /// that Yahoo A1-Real47's "anomaly" F is statistically unremarkable (Fig 6).
 pub fn complexity_estimate(x: &[f64]) -> f64 {
-    x.windows(2).map(|w| (w[1] - w[0]) * (w[1] - w[0])).sum::<f64>().sqrt()
+    x.windows(2)
+        .map(|w| (w[1] - w[0]) * (w[1] - w[0]))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Pearson correlation coefficient between two equal-length slices.
 pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
     if x.len() != y.len() {
-        return Err(CoreError::LengthMismatch { left: x.len(), right: y.len() });
+        return Err(CoreError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
     }
     if x.len() < 2 {
-        return Err(CoreError::BadWindow { window: 2, len: x.len() });
+        return Err(CoreError::BadWindow {
+            window: 2,
+            len: x.len(),
+        });
     }
     let (mx, my) = (mean(x)?, mean(y)?);
     let mut num = 0.0;
@@ -125,7 +146,10 @@ pub struct LineFit {
 /// Fits a straight line to `(i, y[i])` pairs.
 pub fn linear_fit(y: &[f64]) -> Result<LineFit> {
     if y.len() < 2 {
-        return Err(CoreError::BadWindow { window: 2, len: y.len() });
+        return Err(CoreError::BadWindow {
+            window: 2,
+            len: y.len(),
+        });
     }
     let n = y.len() as f64;
     let mx = (y.len() - 1) as f64 / 2.0;
@@ -139,7 +163,10 @@ pub fn linear_fit(y: &[f64]) -> Result<LineFit> {
     }
     let slope = if den < 1e-12 { 0.0 } else { num / den };
     let _ = n;
-    Ok(LineFit { slope, intercept: my - slope * mx })
+    Ok(LineFit {
+        slope,
+        intercept: my - slope * mx,
+    })
 }
 
 /// Solves the square linear system `A·x = b` by Gaussian elimination with
@@ -148,14 +175,22 @@ pub fn linear_fit(y: &[f64]) -> Result<LineFit> {
 pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>> {
     let n = b.len();
     if a.len() != n || a.iter().any(|row| row.len() != n) {
-        return Err(CoreError::LengthMismatch { left: a.len(), right: n });
+        return Err(CoreError::LengthMismatch {
+            left: a.len(),
+            right: n,
+        });
     }
     let mut m: Vec<Vec<f64>> = a.to_vec();
     let mut rhs = b.to_vec();
     for col in 0..n {
         // Partial pivot: bring the largest-magnitude entry to the diagonal.
         let pivot = (col..n)
-            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty range");
         if m[pivot][col].abs() < 1e-12 {
             return Err(CoreError::BadParameter {
@@ -250,7 +285,11 @@ fn erf(x: f64) -> f64 {
 #[allow(clippy::excessive_precision)] // Acklam's published coefficients, verbatim
 pub fn normal_quantile(p: f64) -> Result<f64> {
     if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
-        return Err(CoreError::BadParameter { name: "p", value: p, expected: "0 < p < 1" });
+        return Err(CoreError::BadParameter {
+            name: "p",
+            value: p,
+            expected: "0 < p < 1",
+        });
     }
     const A: [f64; 6] = [
         -3.969683028665376e+01,
@@ -371,7 +410,9 @@ mod tests {
     #[test]
     fn complexity_estimate_orders_signals() {
         let smooth: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
-        let rough: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let rough: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         assert!(complexity_estimate(&rough) > complexity_estimate(&smooth));
         assert_eq!(complexity_estimate(&[5.0]), 0.0);
     }

@@ -57,7 +57,11 @@ impl WindowMoments {
             means.push(mean + shift);
             stds.push(var.sqrt());
         }
-        Ok(Self { means, stds, window: m })
+        Ok(Self {
+            means,
+            stds,
+            window: m,
+        })
     }
 
     /// Number of windows.
@@ -69,22 +73,27 @@ impl WindowMoments {
 
 /// Iterator over `(start_index, window_slice)` pairs of length-`m`
 /// subsequences with a given hop.
-pub fn sliding(
-    x: &[f64],
-    m: usize,
-    hop: usize,
-) -> Result<impl Iterator<Item = (usize, &[f64])>> {
+pub fn sliding(x: &[f64], m: usize, hop: usize) -> Result<impl Iterator<Item = (usize, &[f64])>> {
     subsequence_count(x.len(), m)?;
     if hop == 0 {
-        return Err(CoreError::BadParameter { name: "hop", value: 0.0, expected: "hop >= 1" });
+        return Err(CoreError::BadParameter {
+            name: "hop",
+            value: 0.0,
+            expected: "hop >= 1",
+        });
     }
-    Ok((0..=x.len() - m).step_by(hop).map(move |i| (i, &x[i..i + m])))
+    Ok((0..=x.len() - m)
+        .step_by(hop)
+        .map(move |i| (i, &x[i..i + m])))
 }
 
 /// Extracts the length-`m` subsequence starting at `i`.
 pub fn subsequence(x: &[f64], i: usize, m: usize) -> Result<&[f64]> {
     if m == 0 || i + m > x.len() {
-        return Err(CoreError::BadWindow { window: m, len: x.len() });
+        return Err(CoreError::BadWindow {
+            window: m,
+            len: x.len(),
+        });
     }
     Ok(&x[i..i + m])
 }

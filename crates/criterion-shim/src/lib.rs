@@ -1,0 +1,302 @@
+//! Offline stand-in for the subset of the `criterion` API used by the
+//! workspace's benches.
+//!
+//! Provides genuine wall-clock measurement — per benchmark: a warm-up
+//! phase, then `sample_size` timed samples whose iteration count is chosen
+//! so each sample runs ≳ [`TARGET_SAMPLE`] — and prints
+//! `group/name  mean  [min .. max]` lines. The statistical analysis,
+//! plotting, and regression detection of the real crate are out of scope;
+//! the numbers are honest and comparable run-to-run on the same machine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock duration of one timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--bench`, an optional name filter;
+    /// everything else is accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        self.filter = filter;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: None,
+        }
+    }
+
+    /// Benches a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let full = id.to_string();
+        if self.matches(&full) {
+            run_benchmark(&full, 10, None, f);
+        }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets a target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Benches `f` under `group-name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, self.sample_size, self.measurement_time, f);
+        }
+    }
+
+    /// Benches `f` with a borrowed input under `group-name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (output is already flushed; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (mirror of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Per-benchmark timing harness handed to the closure.
+pub struct Bencher {
+    /// Iterations per timed sample (calibrated before sampling).
+    iters: u64,
+    /// Collected per-iteration durations, one entry per sample.
+    samples: Vec<Duration>,
+    /// When set, run exactly one iteration and record nothing (calibration).
+    calibrating: bool,
+    /// Duration of the last calibration iteration.
+    last_calibration: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.calibrating {
+            let start = Instant::now();
+            black_box(routine());
+            self.last_calibration = start.elapsed();
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.samples.push(total / self.iters.max(1) as u32);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+    mut f: F,
+) {
+    // calibration: run single iterations until we know roughly how long one
+    // takes (also serves as warm-up)
+    let mut b = Bencher {
+        iters: 1,
+        samples: Vec::new(),
+        calibrating: true,
+        last_calibration: Duration::ZERO,
+    };
+    let calib_start = Instant::now();
+    let mut one_iter = Duration::ZERO;
+    let mut calib_runs = 0u32;
+    while calib_runs < 3 || (calib_start.elapsed() < Duration::from_millis(50) && calib_runs < 100)
+    {
+        f(&mut b);
+        one_iter = b.last_calibration.max(Duration::from_nanos(1));
+        calib_runs += 1;
+    }
+
+    let per_sample = measurement_time
+        .map(|t| t / sample_size.max(1) as u32)
+        .unwrap_or(TARGET_SAMPLE)
+        .max(Duration::from_millis(1));
+    let iters = (per_sample.as_nanos() / one_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    b.calibrating = false;
+    b.iters = iters;
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len().max(1) as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{name:<56} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        b.samples.len(),
+        iters
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions (mirror of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (mirror of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(5));
+        let data = vec![1.0f64; 64];
+        group.bench_with_input(BenchmarkId::from_parameter(64), &data, |b, d| {
+            b.iter(|| d.iter().sum::<f64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.bench_function("something-else", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

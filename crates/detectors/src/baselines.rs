@@ -113,10 +113,16 @@ impl Detector for SubsequenceKnn {
         let x = ts.values();
         let m = self.window;
         if m == 0 || m > x.len() {
-            return Err(CoreError::BadWindow { window: m, len: x.len() });
+            return Err(CoreError::BadWindow {
+                window: m,
+                len: x.len(),
+            });
         }
         if train_len < 2 * m {
-            return Err(CoreError::BadWindow { window: 2 * m, len: train_len });
+            return Err(CoreError::BadWindow {
+                window: 2 * m,
+                len: train_len,
+            });
         }
         let train = &x[..train_len];
         let mut out = vec![0.0; x.len()];
@@ -200,8 +206,9 @@ mod tests {
     fn subsequence_knn_flags_novel_shape() {
         // periodic train, test contains one novel bump
         let n = 600;
-        let mut x: Vec<f64> =
-            (0..n).map(|i| (i as f64 * std::f64::consts::TAU / 30.0).sin()).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 30.0).sin())
+            .collect();
         for (off, v) in x.iter_mut().skip(450).take(15).enumerate() {
             *v = 2.0 + off as f64 * 0.01;
         }

@@ -29,7 +29,10 @@ pub struct Cusum {
 
 impl Default for Cusum {
     fn default() -> Self {
-        Self { allowance: 0.5, decay: 0.995 }
+        Self {
+            allowance: 0.5,
+            decay: 0.995,
+        }
     }
 }
 
@@ -130,9 +133,24 @@ mod tests {
     #[test]
     fn validates_parameters() {
         let ts = shifted_series(100, 50, 1.0);
-        assert!(Cusum { allowance: -1.0, decay: 1.0 }.score(&ts, 0).is_err());
-        assert!(Cusum { allowance: 0.5, decay: 0.0 }.score(&ts, 0).is_err());
-        assert!(Cusum { allowance: 0.5, decay: 1.5 }.score(&ts, 0).is_err());
+        assert!(Cusum {
+            allowance: -1.0,
+            decay: 1.0
+        }
+        .score(&ts, 0)
+        .is_err());
+        assert!(Cusum {
+            allowance: 0.5,
+            decay: 0.0
+        }
+        .score(&ts, 0)
+        .is_err());
+        assert!(Cusum {
+            allowance: 0.5,
+            decay: 1.5
+        }
+        .score(&ts, 0)
+        .is_err());
         let empty = TimeSeries::from_values(vec![]).unwrap();
         assert!(Cusum::default().score(&empty, 0).is_err());
     }
@@ -140,7 +158,10 @@ mod tests {
     #[test]
     fn pure_cusum_accumulates_without_decay() {
         let ts = shifted_series(400, 200, 1.0);
-        let pure = Cusum { allowance: 0.5, decay: 1.0 };
+        let pure = Cusum {
+            allowance: 0.5,
+            decay: 1.0,
+        };
         let score = pure.score(&ts, 150).unwrap();
         // with no decay the statistic keeps growing after the shift
         assert!(score[399] > score[250], "{} vs {}", score[399], score[250]);

@@ -29,7 +29,11 @@ pub fn top_k_discords(mp: &MatrixProfile, k: usize, exclusion: usize) -> Vec<Dis
     crate::threshold::top_k_peaks(&mp.profile, k, exclusion)
         .into_iter()
         .enumerate()
-        .map(|(rank, peak)| Discord { start: peak.index, distance: peak.value, rank })
+        .map(|(rank, peak)| Discord {
+            start: peak.index,
+            distance: peak.value,
+            rank,
+        })
         .collect()
 }
 
@@ -96,7 +100,9 @@ mod tests {
 
     #[test]
     fn k_larger_than_possible_truncates() {
-        let x: Vec<f64> = (0..60).map(|i| (i as f64 * 0.4).sin() * (1.0 + i as f64 / 60.0)).collect();
+        let x: Vec<f64> = (0..60)
+            .map(|i| (i as f64 * 0.4).sin() * (1.0 + i as f64 / 60.0))
+            .collect();
         let discords = find_discords(&x, 10, 100).unwrap();
         assert!(!discords.is_empty());
         assert!(discords.len() < 100);

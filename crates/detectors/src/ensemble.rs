@@ -41,7 +41,11 @@ impl Ensemble {
     /// Creates a z-score ensemble; at least one member must succeed per
     /// series.
     pub fn new(members: Vec<Box<dyn Detector>>) -> Self {
-        Self { members, normalization: EnsembleNormalization::ZScore, min_members: 1 }
+        Self {
+            members,
+            normalization: EnsembleNormalization::ZScore,
+            min_members: 1,
+        }
     }
 
     /// Number of member detectors.
@@ -133,8 +137,10 @@ mod tests {
     #[test]
     fn rank_mode_is_scale_free_but_top_compressed() {
         let ts = spiky(600, 400);
-        let mut ensemble =
-            Ensemble::new(vec![Box::new(GlobalZScore), Box::new(MovingAvgResidual::new(21))]);
+        let mut ensemble = Ensemble::new(vec![
+            Box::new(GlobalZScore),
+            Box::new(MovingAvgResidual::new(21)),
+        ]);
         ensemble.normalization = EnsembleNormalization::Rank;
         // with only well-behaved (correlated) members, rank mode also works
         let peak = most_anomalous_point(&ensemble, &ts, 0).unwrap();
@@ -160,8 +166,7 @@ mod tests {
     #[test]
     fn all_members_failing_is_an_error() {
         let ts = spiky(200, 100);
-        let ensemble =
-            Ensemble::new(vec![Box::new(crate::baselines::SubsequenceKnn::new(50))]);
+        let ensemble = Ensemble::new(vec![Box::new(crate::baselines::SubsequenceKnn::new(50))]);
         assert!(ensemble.score(&ts, 0).is_err());
     }
 

@@ -31,7 +31,10 @@ pub struct HotSaxConfig {
 
 impl Default for HotSaxConfig {
     fn default() -> Self {
-        Self { word_length: 3, alphabet: 3 }
+        Self {
+            word_length: 3,
+            alphabet: 3,
+        }
     }
 }
 
@@ -43,7 +46,10 @@ impl Default for HotSaxConfig {
 pub fn hotsax_discord(x: &[f64], m: usize, config: &HotSaxConfig) -> Result<(usize, f64)> {
     let count = subsequence_count(x.len(), m)?;
     if count < 2 {
-        return Err(CoreError::BadWindow { window: m, len: x.len() });
+        return Err(CoreError::BadWindow {
+            window: m,
+            len: x.len(),
+        });
     }
     if config.word_length > m {
         return Err(CoreError::BadParameter {
@@ -102,7 +108,10 @@ pub fn hotsax_discord(x: &[f64], m: usize, config: &HotSaxConfig) -> Result<(usi
         }
     }
     if !best_dist.is_finite() {
-        return Err(CoreError::BadWindow { window: m, len: x.len() });
+        return Err(CoreError::BadWindow {
+            window: m,
+            len: x.len(),
+        });
     }
     Ok((best_loc, best_dist))
 }
@@ -145,7 +154,10 @@ mod tests {
         let x = vec![0.0; 50];
         assert!(hotsax_discord(&x, 0, &HotSaxConfig::default()).is_err());
         assert!(hotsax_discord(&x, 50, &HotSaxConfig::default()).is_err());
-        let cfg = HotSaxConfig { word_length: 40, alphabet: 3 };
+        let cfg = HotSaxConfig {
+            word_length: 40,
+            alphabet: 3,
+        };
         assert!(hotsax_discord(&x, 20, &cfg).is_err());
     }
 

@@ -109,11 +109,7 @@ pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<Matrix
     let first_row: Vec<f64> = tsad_core::fft::sliding_dot_product(&x[0..m], x)?;
     let mut qt = first_row.clone();
 
-    let update = |i: usize,
-                      j: usize,
-                      dot: f64,
-                      profile: &mut [f64],
-                      index: &mut [usize]| {
+    let update = |i: usize, j: usize, dot: f64, profile: &mut [f64], index: &mut [usize]| {
         if j.abs_diff(i) < excl {
             return;
         }
@@ -126,9 +122,7 @@ pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<Matrix
                 moments.means[j],
                 moments.stds[j],
             ),
-            ProfileMetric::Euclidean => {
-                (sq_norms[i] + sq_norms[j] - 2.0 * dot).max(0.0).sqrt()
-            }
+            ProfileMetric::Euclidean => (sq_norms[i] + sq_norms[j] - 2.0 * dot).max(0.0).sqrt(),
         };
         if d < profile[i] {
             profile[i] = d;
@@ -153,7 +147,7 @@ pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<Matrix
             qt[j] = qt[j - 1] - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
         }
         qt[0] = first_row[i]; // QT[i][0] = QT[0][i] by symmetry
-        // Only the upper triangle is needed; `update` fills both sides.
+                              // Only the upper triangle is needed; `update` fills both sides.
         #[allow(clippy::needless_range_loop)]
         for j in i..count {
             update(i, j, qt[j], &mut profile, &mut index);
@@ -162,14 +156,21 @@ pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<Matrix
 
     // Windows with no admissible neighbor (can only happen for tiny inputs)
     // keep INFINITY replaced by the max finite value for downstream safety.
-    let max_finite =
-        profile.iter().copied().filter(|d| d.is_finite()).fold(0.0f64, f64::max);
+    let max_finite = profile
+        .iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .fold(0.0f64, f64::max);
     for p in &mut profile {
         if !p.is_finite() {
             *p = max_finite;
         }
     }
-    Ok(MatrixProfile { profile, index, window: m })
+    Ok(MatrixProfile {
+        profile,
+        index,
+        window: m,
+    })
 }
 
 /// Left matrix profile: each window's nearest neighbor among *preceding*
@@ -240,7 +241,11 @@ pub fn left_stomp(x: &[f64], m: usize, metric: ProfileMetric) -> Result<MatrixPr
             *p = 0.0;
         }
     }
-    Ok(MatrixProfile { profile, index, window: m })
+    Ok(MatrixProfile {
+        profile,
+        index,
+        window: m,
+    })
 }
 
 /// STAMP: the same matrix profile computed with one MASS call per window.
@@ -267,21 +272,31 @@ pub fn stamp(x: &[f64], m: usize) -> Result<MatrixProfile> {
             }
         }
     }
-    let max_finite =
-        profile.iter().copied().filter(|d| d.is_finite()).fold(0.0f64, f64::max);
+    let max_finite = profile
+        .iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .fold(0.0f64, f64::max);
     for p in &mut profile {
         if !p.is_finite() {
             *p = max_finite;
         }
     }
-    Ok(MatrixProfile { profile, index, window: m })
+    Ok(MatrixProfile {
+        profile,
+        index,
+        window: m,
+    })
 }
 
 /// Brute-force matrix profile (`O(n²·m)`): the correctness oracle.
 pub fn matrix_profile_naive(x: &[f64], m: usize) -> Result<MatrixProfile> {
     let count = tsad_core::windows::subsequence_count(x.len(), m)?;
     if count < 2 {
-        return Err(CoreError::BadWindow { window: m, len: x.len() });
+        return Err(CoreError::BadWindow {
+            window: m,
+            len: x.len(),
+        });
     }
     let excl = exclusion_zone(m);
     let mut profile = vec![f64::INFINITY; count];
@@ -298,14 +313,21 @@ pub fn matrix_profile_naive(x: &[f64], m: usize) -> Result<MatrixProfile> {
             }
         }
     }
-    let max_finite =
-        profile.iter().copied().filter(|d| d.is_finite()).fold(0.0f64, f64::max);
+    let max_finite = profile
+        .iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .fold(0.0f64, f64::max);
     for p in &mut profile {
         if !p.is_finite() {
             *p = max_finite;
         }
     }
-    Ok(MatrixProfile { profile, index, window: m })
+    Ok(MatrixProfile {
+        profile,
+        index,
+        window: m,
+    })
 }
 
 /// Matrix-profile discord detector: scores each point by the profile of the
@@ -323,12 +345,18 @@ impl DiscordDetector {
     /// Creates a z-normalized discord detector with subsequence length
     /// `window`.
     pub fn new(window: usize) -> Self {
-        Self { window, metric: ProfileMetric::ZNormalized }
+        Self {
+            window,
+            metric: ProfileMetric::ZNormalized,
+        }
     }
 
     /// Creates a raw-Euclidean discord detector (Yankov-style).
     pub fn euclidean(window: usize) -> Self {
-        Self { window, metric: ProfileMetric::Euclidean }
+        Self {
+            window,
+            metric: ProfileMetric::Euclidean,
+        }
     }
 }
 
@@ -360,7 +388,10 @@ pub struct OnlineDiscordDetector {
 impl OnlineDiscordDetector {
     /// Creates a z-normalized online discord detector.
     pub fn new(window: usize) -> Self {
-        Self { window, metric: ProfileMetric::ZNormalized }
+        Self {
+            window,
+            metric: ProfileMetric::ZNormalized,
+        }
     }
 }
 
@@ -436,11 +467,15 @@ mod tests {
 
     #[test]
     fn profile_of_pure_periodic_signal_is_low() {
-        let x: Vec<f64> =
-            (0..512).map(|i| (i as f64 * std::f64::consts::TAU / 32.0).sin()).collect();
+        let x: Vec<f64> = (0..512)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 32.0).sin())
+            .collect();
         let mp = stomp(&x, 32).unwrap();
         let max = mp.profile.iter().copied().fold(0.0f64, f64::max);
-        assert!(max < 0.5, "pure periodic signal should self-match well: {max}");
+        assert!(
+            max < 0.5,
+            "pure periodic signal should self-match well: {max}"
+        );
     }
 
     #[test]
@@ -477,7 +512,11 @@ mod tests {
                 let d = tsad_core::dist::euclidean(&x[i..i + m], &x[j..j + m]).unwrap();
                 nn = nn.min(d);
             }
-            assert!((fast.profile[i] - nn).abs() < 1e-6, "i={i}: {} vs {nn}", fast.profile[i]);
+            assert!(
+                (fast.profile[i] - nn).abs() < 1e-6,
+                "i={i}: {} vs {nn}",
+                fast.profile[i]
+            );
         }
     }
 
@@ -518,7 +557,7 @@ mod tests {
     }
 
     #[test]
-    fn left_profile_discord_is_the_first_novel_event(){
+    fn left_profile_discord_is_the_first_novel_event() {
         // two identical anomalous cycles: the SELF-JOIN profile pairs them
         // (neither is a discord), but the LEFT profile still flags the
         // first occurrence — the streaming advantage

@@ -38,7 +38,10 @@ pub struct LengthDiscord {
 pub fn drag_discord(x: &[f64], m: usize, r: f64) -> Result<Option<(usize, f64)>> {
     let count = subsequence_count(x.len(), m)?;
     if count < 2 {
-        return Err(CoreError::BadWindow { window: m, len: x.len() });
+        return Err(CoreError::BadWindow {
+            window: m,
+            len: x.len(),
+        });
     }
     let excl = exclusion_zone(m);
 
@@ -125,10 +128,18 @@ pub fn merlin(x: &[f64], min_len: usize, max_len: usize) -> Result<Vec<LengthDis
         }
         if let Some((start, distance)) = found {
             r_hint = Some(distance * 0.99);
-            out.push(LengthDiscord { length: m, start, distance });
+            out.push(LengthDiscord {
+                length: m,
+                start,
+                distance,
+            });
         } else {
             // Degenerate series (e.g. constant): discord distance 0.
-            out.push(LengthDiscord { length: m, start: 0, distance: 0.0 });
+            out.push(LengthDiscord {
+                length: m,
+                start: 0,
+                distance: 0.0,
+            });
             r_hint = None;
         }
     }

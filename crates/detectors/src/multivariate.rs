@@ -33,7 +33,12 @@ pub fn rank_normalize(score: &[f64]) -> Vec<f64> {
         return vec![0.0; n];
     }
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| score[a].partial_cmp(&score[b]).expect("finite").then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| {
+        score[a]
+            .partial_cmp(&score[b])
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -124,8 +129,7 @@ mod tests {
         // extreme hijacks it (see the next test) — which is exactly why
         // consensus aggregations exist.
         for agg in [Aggregation::Mean, Aggregation::KthLargest(5)] {
-            let score =
-                score_multivariate(&det, &machine.series, 0, agg).unwrap();
+            let score = score_multivariate(&det, &machine.series, 0, agg).unwrap();
             assert_eq!(score.len(), machine.series.len());
             let peak = tsad_core::stats::argmax(&score).unwrap();
             assert!(
@@ -140,7 +144,10 @@ mod tests {
         // a machine where one channel has a huge *normal* glitch outside
         // the incident: Max is fooled, Mean (consensus) is not
         let n = 1200;
-        let incident = tsad_core::Region { start: 800, end: 850 };
+        let incident = tsad_core::Region {
+            start: 800,
+            end: 850,
+        };
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut channels = Vec::new();
@@ -161,8 +168,7 @@ mod tests {
         channels[0][300] += 50.0;
         let series = tsad_core::MultiSeries::new("m", channels).unwrap();
         let det = GlobalZScore;
-        let mean_score =
-            score_multivariate(&det, &series, 0, Aggregation::Mean).unwrap();
+        let mean_score = score_multivariate(&det, &series, 0, Aggregation::Mean).unwrap();
         let peak = tsad_core::stats::argmax(&mean_score).unwrap();
         assert!(
             incident.dilate(25, n).contains(peak),
@@ -184,11 +190,8 @@ mod tests {
     fn erroring_channels_are_skipped() {
         // SubsequenceKnn needs a train prefix of 2·window: with train_len
         // 10 it errors on every channel → the aggregate call must error
-        let series = tsad_core::MultiSeries::new(
-            "m",
-            vec![vec![0.0; 100], vec![1.0; 100]],
-        )
-        .unwrap();
+        let series =
+            tsad_core::MultiSeries::new("m", vec![vec![0.0; 100], vec![1.0; 100]]).unwrap();
         let knn = crate::baselines::SubsequenceKnn::new(30);
         assert!(score_multivariate(&knn, &series, 10, Aggregation::Mean).is_err());
     }

@@ -64,31 +64,55 @@ impl Expr {
     /// Evaluates the expression over `x`.
     pub fn eval(&self, x: &[f64]) -> Result<Evaluated> {
         match self {
-            Expr::Ts => Ok(Evaluated { values: x.to_vec(), depth: 0 }),
-            Expr::Const(c) => Ok(Evaluated { values: vec![*c; x.len()], depth: 0 }),
+            Expr::Ts => Ok(Evaluated {
+                values: x.to_vec(),
+                depth: 0,
+            }),
+            Expr::Const(c) => Ok(Evaluated {
+                values: vec![*c; x.len()],
+                depth: 0,
+            }),
             Expr::Diff(e) => {
                 let inner = e.eval(x)?;
-                Ok(Evaluated { values: ops::diff(&inner.values), depth: inner.depth + 1 })
+                Ok(Evaluated {
+                    values: ops::diff(&inner.values),
+                    depth: inner.depth + 1,
+                })
             }
             Expr::Abs(e) => {
                 let inner = e.eval(x)?;
-                Ok(Evaluated { values: ops::abs(&inner.values), depth: inner.depth })
+                Ok(Evaluated {
+                    values: ops::abs(&inner.values),
+                    depth: inner.depth,
+                })
             }
             Expr::MovMean(e, k) => {
                 let inner = e.eval(x)?;
-                Ok(Evaluated { values: ops::movmean(&inner.values, *k)?, depth: inner.depth })
+                Ok(Evaluated {
+                    values: ops::movmean(&inner.values, *k)?,
+                    depth: inner.depth,
+                })
             }
             Expr::MovStd(e, k) => {
                 let inner = e.eval(x)?;
-                Ok(Evaluated { values: ops::movstd(&inner.values, *k)?, depth: inner.depth })
+                Ok(Evaluated {
+                    values: ops::movstd(&inner.values, *k)?,
+                    depth: inner.depth,
+                })
             }
             Expr::MovMax(e, k) => {
                 let inner = e.eval(x)?;
-                Ok(Evaluated { values: ops::movmax(&inner.values, *k)?, depth: inner.depth })
+                Ok(Evaluated {
+                    values: ops::movmax(&inner.values, *k)?,
+                    depth: inner.depth,
+                })
             }
             Expr::MovMin(e, k) => {
                 let inner = e.eval(x)?;
-                Ok(Evaluated { values: ops::movmin(&inner.values, *k)?, depth: inner.depth })
+                Ok(Evaluated {
+                    values: ops::movmin(&inner.values, *k)?,
+                    depth: inner.depth,
+                })
             }
             Expr::Add(a, b) | Expr::Sub(a, b) => {
                 let (ea, eb) = (a.eval(x)?, b.eval(x)?);
@@ -102,12 +126,23 @@ impl Expr {
                     });
                 }
                 let vals = match self {
-                    Expr::Add(..) => {
-                        ea.values.iter().zip(&eb.values).map(|(p, q)| p + q).collect()
-                    }
-                    _ => ea.values.iter().zip(&eb.values).map(|(p, q)| p - q).collect(),
+                    Expr::Add(..) => ea
+                        .values
+                        .iter()
+                        .zip(&eb.values)
+                        .map(|(p, q)| p + q)
+                        .collect(),
+                    _ => ea
+                        .values
+                        .iter()
+                        .zip(&eb.values)
+                        .map(|(p, q)| p - q)
+                        .collect(),
                 };
-                Ok(Evaluated { values: vals, depth: ea.depth })
+                Ok(Evaluated {
+                    values: vals,
+                    depth: ea.depth,
+                })
             }
             Expr::Scale(c, e) => {
                 let inner = e.eval(x)?;
@@ -163,11 +198,17 @@ fn broadcast(a: Evaluated, b: Evaluated) -> Result<(Evaluated, Evaluated)> {
     }
     if a.depth < b.depth {
         if let Some(c) = is_uniform(&a) {
-            let bv = Evaluated { values: vec![c; b.values.len()], depth: b.depth };
+            let bv = Evaluated {
+                values: vec![c; b.values.len()],
+                depth: b.depth,
+            };
             return Ok((bv, b));
         }
     } else if let Some(c) = is_uniform(&b) {
-        let bv = Evaluated { values: vec![c; a.values.len()], depth: a.depth };
+        let bv = Evaluated {
+            values: vec![c; a.values.len()],
+            depth: a.depth,
+        };
         return Ok((a, bv));
     }
     Ok((a, b))
@@ -215,7 +256,10 @@ impl OneLiner {
         let r = self.rhs.eval(x)?;
         let (l, r) = broadcast(l, r)?;
         if l.depth != r.depth || l.values.len() != r.values.len() {
-            return Err(CoreError::LengthMismatch { left: l.values.len(), right: r.values.len() });
+            return Err(CoreError::LengthMismatch {
+                left: l.values.len(),
+                right: r.values.len(),
+            });
         }
         let mut mask = vec![false; x.len()];
         for (i, (a, b)) in l.values.iter().zip(&r.values).enumerate() {
@@ -234,7 +278,10 @@ impl OneLiner {
         let r = self.rhs.eval(x)?;
         let (l, r) = broadcast(l, r)?;
         if l.depth != r.depth || l.values.len() != r.values.len() {
-            return Err(CoreError::LengthMismatch { left: l.values.len(), right: r.values.len() });
+            return Err(CoreError::LengthMismatch {
+                left: l.values.len(),
+                right: r.values.len(),
+            });
         }
         let margins: Vec<f64> = l.values.iter().zip(&r.values).map(|(a, b)| a - b).collect();
         let pad = margins.iter().copied().fold(f64::INFINITY, f64::min);
@@ -301,7 +348,11 @@ impl fmt::Display for Equation {
 /// Builds the general equation (1)/(2): `u` toggles the `movmean` term, the
 /// signal is `abs(diff(TS))` for (1) and `diff(TS)` for (2).
 pub fn equation_general(use_abs: bool, u: f64, k: usize, c: f64, b: f64) -> OneLiner {
-    let signal = if use_abs { Expr::Ts.diff().abs() } else { Expr::Ts.diff() };
+    let signal = if use_abs {
+        Expr::Ts.diff().abs()
+    } else {
+        Expr::Ts.diff()
+    };
     let rhs = signal
         .clone()
         .movmean(k)
@@ -381,7 +432,11 @@ pub struct Solution {
 
 impl fmt::Display for Solution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} via {} > {}", self.equation, self.one_liner.lhs, self.one_liner.rhs)
+        write!(
+            f,
+            "{} via {} > {}",
+            self.equation, self.one_liner.lhs, self.one_liner.rhs
+        )
     }
 }
 
@@ -424,11 +479,7 @@ impl Default for SearchConfig {
 /// rest: midpoints of the largest gaps between consecutive sorted values.
 /// Anomalies are rare, so a separating constant (if one exists for the
 /// given labels) is almost always at one of the top gaps.
-fn threshold_candidates(
-    signal: &[f64],
-    max_candidates: usize,
-    min_gap_fraction: f64,
-) -> Vec<f64> {
+fn threshold_candidates(signal: &[f64], max_candidates: usize, min_gap_fraction: f64) -> Vec<f64> {
     let mut sorted = signal.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
     sorted.dedup();
@@ -461,7 +512,10 @@ fn threshold_candidates(
 /// under the first/simplest equation that solves it).
 pub fn search(x: &[f64], labels: &Labels, config: &SearchConfig) -> Result<Option<Solution>> {
     if x.len() != labels.len() {
-        return Err(CoreError::LengthMismatch { left: x.len(), right: labels.len() });
+        return Err(CoreError::LengthMismatch {
+            left: x.len(),
+            right: labels.len(),
+        });
     }
     if x.len() < 3 || labels.region_count() == 0 {
         return Ok(None);
@@ -472,7 +526,11 @@ pub fn search(x: &[f64], labels: &Labels, config: &SearchConfig) -> Result<Optio
     // Equations (3) and (4): a pure constant threshold. Test candidates
     // directly on the precomputed signals to avoid re-evaluating the AST.
     for (eq, signal) in [(Equation::Eq3, &ad), (Equation::Eq4, &d)] {
-        for b in threshold_candidates(signal, config.max_threshold_candidates, config.min_gap_fraction) {
+        for b in threshold_candidates(
+            signal,
+            config.max_threshold_candidates,
+            config.min_gap_fraction,
+        ) {
             let mask = mask_from_signal(signal, b, x.len());
             if solves(&mask, labels, config.slop) {
                 return Ok(Some(Solution {
@@ -516,10 +574,12 @@ pub fn search(x: &[f64], labels: &Labels, config: &SearchConfig) -> Result<Optio
                 if c == 0.0 {
                     continue; // degenerate: identical to (3)/(4)
                 }
-                let residual: Vec<f64> =
-                    signal.iter().zip(&sd).map(|(s, v)| s - c * v).collect();
-                for b in threshold_candidates(&residual, config.max_threshold_candidates, config.min_gap_fraction)
-                {
+                let residual: Vec<f64> = signal.iter().zip(&sd).map(|(s, v)| s - c * v).collect();
+                for b in threshold_candidates(
+                    &residual,
+                    config.max_threshold_candidates,
+                    config.min_gap_fraction,
+                ) {
                     let mask = mask_from_signal(&residual, b, x.len());
                     if solves(&mask, labels, config.slop) {
                         return Ok(Some(Solution {
@@ -596,8 +656,12 @@ mod tests {
         let x = spike_series(100, 50, 10.0);
         let ol = equation(Equation::Eq3, 1, 0.0, 5.0);
         let mask = ol.mask(&x).unwrap();
-        let hits: Vec<usize> =
-            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        let hits: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(hits, vec![50, 51]);
     }
 
@@ -620,7 +684,10 @@ mod tests {
         mask[0] = true;
         assert!(!solves(&mask, &labels, 0), "far false positive → unsolved");
         assert!(!solves(&mask, &labels, 2));
-        assert!(solves(&mask, &labels, 4), "slop 4 absorbs the extra positive");
+        assert!(
+            solves(&mask, &labels, 4),
+            "slop 4 absorbs the extra positive"
+        );
     }
 
     #[test]
@@ -636,7 +703,10 @@ mod tests {
     #[test]
     fn solves_rejects_wrong_length_and_empty_labels() {
         let labels = Labels::empty(5);
-        assert!(solves(&[false; 5], &labels, 1), "empty labels, empty mask: vacuously solved");
+        assert!(
+            solves(&[false; 5], &labels, 1),
+            "empty labels, empty mask: vacuously solved"
+        );
         let labels1 = Labels::single(5, Region::point(2)).unwrap();
         assert!(!solves(&[false; 4], &labels1, 1));
     }
@@ -645,7 +715,9 @@ mod tests {
     fn search_solves_single_spike_with_eq3() {
         let x = spike_series(300, 200, 12.0);
         let labels = Labels::single(300, Region::new(200, 201).unwrap()).unwrap();
-        let sol = search(&x, &labels, &SearchConfig::default()).unwrap().unwrap();
+        let sol = search(&x, &labels, &SearchConfig::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(sol.equation, Equation::Eq3);
         // the found one-liner actually solves it
         let mask = sol.one_liner.mask(&x).unwrap();
@@ -669,7 +741,9 @@ mod tests {
             *v += level;
         }
         let labels = Labels::single(300, Region::new(190, 192).unwrap()).unwrap();
-        let sol = search(&x, &labels, &SearchConfig::default()).unwrap().unwrap();
+        let sol = search(&x, &labels, &SearchConfig::default())
+            .unwrap()
+            .unwrap();
         // |diff| can't separate (down-spikes look identical in magnitude)
         assert_ne!(sol.equation, Equation::Eq3);
         let mask = sol.one_liner.mask(&x).unwrap();
@@ -691,7 +765,9 @@ mod tests {
             *v = held;
         }
         let labels = Labels::single(600, Region::new(300, 327).unwrap()).unwrap();
-        let sol = search(&x, &labels, &SearchConfig::default()).unwrap().unwrap();
+        let sol = search(&x, &labels, &SearchConfig::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(sol.equation, Equation::Frozen, "{sol:?}");
         let mask = sol.one_liner.mask(&x).unwrap();
         assert!(solves(&mask, &labels, SearchConfig::default().slop));
@@ -706,7 +782,10 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
         let labels = Labels::single(n, Region::new(300, 340).unwrap()).unwrap();
         let sol = search(&x, &labels, &SearchConfig::default()).unwrap();
-        assert!(sol.is_none(), "indistinguishable region must not be 'solved': {sol:?}");
+        assert!(
+            sol.is_none(),
+            "indistinguishable region must not be 'solved': {sol:?}"
+        );
     }
 
     #[test]
@@ -714,7 +793,10 @@ mod tests {
         let labels = Labels::empty(5);
         assert!(search(&[1.0; 6], &labels, &SearchConfig::default()).is_err());
         // unlabeled series is vacuously unsolvable (nothing to find)
-        assert_eq!(search(&[1.0; 5], &labels, &SearchConfig::default()).unwrap(), None);
+        assert_eq!(
+            search(&[1.0; 5], &labels, &SearchConfig::default()).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub fn estimate_period(x: &[f64], min_period: usize, max_period: usize) -> Resul
         });
     }
     if x.len() < 2 * max_period + 2 {
-        return Err(CoreError::BadWindow { window: 2 * max_period + 2, len: x.len() });
+        return Err(CoreError::BadWindow {
+            window: 2 * max_period + 2,
+            len: x.len(),
+        });
     }
     let acf: Vec<f64> = (min_period.saturating_sub(1)..=max_period + 1)
         .map(|lag| stats::autocorrelation(x, lag))
@@ -66,7 +69,10 @@ impl SeasonalProfile {
     /// Fits the profile on `x` with the given period.
     pub fn fit(x: &[f64], period: usize) -> Result<Self> {
         if period < 2 || period * 2 > x.len() {
-            return Err(CoreError::BadWindow { window: period, len: x.len() });
+            return Err(CoreError::BadWindow {
+                window: period,
+                len: x.len(),
+            });
         }
         let mut medians = Vec::with_capacity(period);
         let mut mads = Vec::with_capacity(period);
@@ -90,7 +96,11 @@ impl SeasonalProfile {
         for m in &mut mads {
             *m = m.max(floor);
         }
-        Ok(Self { period, medians, mads })
+        Ok(Self {
+            period,
+            medians,
+            mads,
+        })
     }
 
     /// Robust z-score of each point against its phase.
@@ -119,12 +129,18 @@ pub struct SeasonalDetector {
 impl SeasonalDetector {
     /// Detector with a known period.
     pub fn with_period(period: usize) -> Self {
-        Self { period: Some(period), search_range: (2, period.max(4)) }
+        Self {
+            period: Some(period),
+            search_range: (2, period.max(4)),
+        }
     }
 
     /// Detector that estimates the period in `min..=max`.
     pub fn auto(min_period: usize, max_period: usize) -> Self {
-        Self { period: None, search_range: (min_period, max_period) }
+        Self {
+            period: None,
+            search_range: (min_period, max_period),
+        }
     }
 }
 
@@ -134,7 +150,11 @@ impl Detector for SeasonalDetector {
     }
     fn score(&self, ts: &TimeSeries, train_len: usize) -> Result<Vec<f64>> {
         let x = ts.values();
-        let fit_on = if train_len >= self.search_range.1 * 4 { &x[..train_len] } else { x };
+        let fit_on = if train_len >= self.search_range.1 * 4 {
+            &x[..train_len]
+        } else {
+            x
+        };
         let period = match self.period {
             Some(p) => p,
             None => estimate_period(fit_on, self.search_range.0, self.search_range.1)?,

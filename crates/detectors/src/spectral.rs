@@ -27,7 +27,10 @@ pub struct SpectralResidual {
 
 impl Default for SpectralResidual {
     fn default() -> Self {
-        Self { spectrum_window: 3, score_window: 21 }
+        Self {
+            spectrum_window: 3,
+            score_window: 21,
+        }
     }
 }
 
@@ -35,7 +38,10 @@ impl SpectralResidual {
     /// The saliency map of `x` (same length).
     pub fn saliency(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() < 8 {
-            return Err(CoreError::BadWindow { window: 8, len: x.len() });
+            return Err(CoreError::BadWindow {
+                window: 8,
+                len: x.len(),
+            });
         }
         if self.spectrum_window == 0 || self.score_window == 0 {
             return Err(CoreError::BadParameter {
@@ -54,13 +60,14 @@ impl SpectralResidual {
         fft_in_place(&mut data, false)?;
 
         // log-amplitude spectrum and phase
-        let amplitude: Vec<f64> =
-            data.iter().map(|c| (c.re * c.re + c.im * c.im).sqrt().max(1e-12)).collect();
+        let amplitude: Vec<f64> = data
+            .iter()
+            .map(|c| (c.re * c.re + c.im * c.im).sqrt().max(1e-12))
+            .collect();
         let log_amp: Vec<f64> = amplitude.iter().map(|a| a.ln()).collect();
         let smoothed = tsad_core::ops::movmean(&log_amp, self.spectrum_window)?;
         // spectral residual
-        let residual: Vec<f64> =
-            log_amp.iter().zip(&smoothed).map(|(l, s)| l - s).collect();
+        let residual: Vec<f64> = log_amp.iter().zip(&smoothed).map(|(l, s)| l - s).collect();
 
         // back-transform exp(residual)·e^{i·phase}
         for (k, c) in data.iter_mut().enumerate() {
@@ -69,8 +76,10 @@ impl SpectralResidual {
             c.im *= scale;
         }
         fft_in_place(&mut data, true)?;
-        let saliency: Vec<f64> =
-            data[..n].iter().map(|c| (c.re * c.re + c.im * c.im).sqrt()).collect();
+        let saliency: Vec<f64> = data[..n]
+            .iter()
+            .map(|c| (c.re * c.re + c.im * c.im).sqrt())
+            .collect();
         Ok(saliency)
     }
 }
@@ -99,8 +108,7 @@ mod tests {
     fn spiky(n: usize, at: usize) -> TimeSeries {
         let x: Vec<f64> = (0..n)
             .map(|i| {
-                (i as f64 * std::f64::consts::TAU / 32.0).sin()
-                    + if i == at { 4.0 } else { 0.0 }
+                (i as f64 * std::f64::consts::TAU / 32.0).sin() + if i == at { 4.0 } else { 0.0 }
             })
             .collect();
         TimeSeries::new("sr", x).unwrap()
@@ -116,22 +124,32 @@ mod tests {
 
     #[test]
     fn periodic_signal_without_anomaly_is_flat() {
-        let x: Vec<f64> =
-            (0..512).map(|i| (i as f64 * std::f64::consts::TAU / 32.0).sin()).collect();
+        let x: Vec<f64> = (0..512)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 32.0).sin())
+            .collect();
         let ts = TimeSeries::new("clean", x).unwrap();
         let spiked = spiky(512, 300);
         let det = SpectralResidual::default();
-        let clean_max =
-            det.score(&ts, 0).unwrap().iter().cloned().fold(0.0f64, f64::max);
-        let spiked_max =
-            det.score(&spiked, 0).unwrap().iter().cloned().fold(0.0f64, f64::max);
+        let clean_max = det
+            .score(&ts, 0)
+            .unwrap()
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let spiked_max = det
+            .score(&spiked, 0)
+            .unwrap()
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
         assert!(spiked_max > 2.0 * clean_max, "{spiked_max} vs {clean_max}");
     }
 
     #[test]
     fn dropout_is_as_salient_as_a_spike() {
-        let mut x: Vec<f64> =
-            (0..512).map(|i| (i as f64 * std::f64::consts::TAU / 32.0).sin() + 2.0).collect();
+        let mut x: Vec<f64> = (0..512)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 32.0).sin() + 2.0)
+            .collect();
         x[200] = -5.0; // dropout
         let ts = TimeSeries::new("drop", x).unwrap();
         let peak = most_anomalous_point(&SpectralResidual::default(), &ts, 0).unwrap();
@@ -143,7 +161,10 @@ mod tests {
         let short = TimeSeries::from_values(vec![1.0; 4]).unwrap();
         assert!(SpectralResidual::default().score(&short, 0).is_err());
         let ts = spiky(64, 30);
-        let bad = SpectralResidual { spectrum_window: 0, score_window: 21 };
+        let bad = SpectralResidual {
+            spectrum_window: 0,
+            score_window: 21,
+        };
         assert!(bad.score(&ts, 0).is_err());
     }
 
@@ -160,6 +181,10 @@ mod tests {
             .regions()
             .iter()
             .any(|r| r.dilate(3, series.dataset.len()).contains(peak));
-        assert!(hit, "SR peak {peak} vs {:?}", series.dataset.labels().regions());
+        assert!(
+            hit,
+            "SR peak {peak} vs {:?}",
+            series.dataset.labels().regions()
+        );
     }
 }

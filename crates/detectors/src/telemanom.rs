@@ -46,10 +46,13 @@ impl ArForecaster {
         }
         let rows = train.len().saturating_sub(order);
         if rows < 2 * (order + 1) {
-            return Err(CoreError::BadWindow { window: 2 * (order + 1) + order, len: train.len() });
+            return Err(CoreError::BadWindow {
+                window: 2 * (order + 1) + order,
+                len: train.len(),
+            });
         }
         let dim = order + 1; // lags + bias
-        // Normal equations: (XᵀX + λI) w = Xᵀy.
+                             // Normal equations: (XᵀX + λI) w = Xᵀy.
         let mut xtx = vec![vec![0.0f64; dim]; dim];
         let mut xty = vec![0.0f64; dim];
         for t in order..train.len() {
@@ -159,7 +162,11 @@ pub fn ndt(e_s: &[f64], prune_p: f64, shoulder: usize) -> Result<NdtResult> {
     let sigma = stats::std_dev(e_s)?;
     if sigma < 1e-12 {
         // no variation: nothing is anomalous
-        return Ok(NdtResult { epsilon: mu, z: 0.0, anomalies: Vec::new() });
+        return Ok(NdtResult {
+            epsilon: mu,
+            z: 0.0,
+            anomalies: Vec::new(),
+        });
     }
 
     let mut best: Option<(f64, f64, f64)> = None; // (criterion, z, eps)
@@ -216,8 +223,10 @@ pub fn ndt(e_s: &[f64], prune_p: f64, shoulder: usize) -> Result<NdtResult> {
                 .iter()
                 .enumerate()
                 .map(|(idx, r)| {
-                    let m =
-                        e_s[r.start..r.end].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let m = e_s[r.start..r.end]
+                        .iter()
+                        .copied()
+                        .fold(f64::NEG_INFINITY, f64::max);
                     (m, Some(idx))
                 })
                 .collect();
@@ -254,7 +263,11 @@ pub fn ndt(e_s: &[f64], prune_p: f64, shoulder: usize) -> Result<NdtResult> {
         // normal_max not finite: the shoulder buffer covered the whole
         // segment, so there is no normal level to prune against — keep all
     }
-    Ok(NdtResult { epsilon, z, anomalies })
+    Ok(NdtResult {
+        epsilon,
+        z,
+        anomalies,
+    })
 }
 
 fn count_sequences_above(e_s: &[f64], eps: f64) -> usize {
@@ -275,7 +288,11 @@ pub struct Telemanom {
 
 impl Default for Telemanom {
     fn default() -> Self {
-        Self { order: 20, smoothing_alpha: 0.05, prune_p: 0.13 }
+        Self {
+            order: 20,
+            smoothing_alpha: 0.05,
+            prune_p: 0.13,
+        }
     }
 }
 
@@ -285,7 +302,11 @@ impl Telemanom {
     /// computed on the test region.
     pub fn analyze(&self, x: &[f64], train_len: usize) -> Result<(Vec<f64>, NdtResult)> {
         if train_len >= x.len() {
-            return Err(CoreError::BadRegion { start: 0, end: train_len, len: x.len() });
+            return Err(CoreError::BadRegion {
+                start: 0,
+                end: train_len,
+                len: x.len(),
+            });
         }
         let effective_train = if train_len > self.order * 4 {
             &x[..train_len]
@@ -307,11 +328,18 @@ impl Telemanom {
         let anomalies = ndt_result
             .anomalies
             .iter()
-            .map(|r| Region { start: r.start + train_len, end: r.end + train_len })
+            .map(|r| Region {
+                start: r.start + train_len,
+                end: r.end + train_len,
+            })
             .collect();
         Ok((
             smoothed,
-            NdtResult { epsilon: ndt_result.epsilon, z: ndt_result.z, anomalies },
+            NdtResult {
+                epsilon: ndt_result.epsilon,
+                z: ndt_result.z,
+                anomalies,
+            },
         ))
     }
 }
@@ -331,7 +359,9 @@ mod tests {
     use super::*;
 
     fn sine(n: usize, period: f64) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * std::f64::consts::TAU / period).sin()).collect()
+        (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / period).sin())
+            .collect()
     }
 
     #[test]
@@ -451,7 +481,10 @@ mod tests {
         );
         let (_, ndt_res) = det.analyze(ts.values(), 400).unwrap();
         assert!(
-            ndt_res.anomalies.iter().any(|r| r.start >= 680 && r.start <= 745),
+            ndt_res
+                .anomalies
+                .iter()
+                .any(|r| r.start >= 680 && r.start <= 745),
             "{:?}",
             ndt_res.anomalies
         );

@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn masks() {
-        assert_eq!(threshold_mask(&[0.1, 0.9, 0.5], 0.4), vec![false, true, true]);
+        assert_eq!(
+            threshold_mask(&[0.1, 0.9, 0.5], 0.4),
+            vec![false, true, true]
+        );
         let m = quantile_mask(&[1.0, 2.0, 3.0, 4.0, 100.0], 0.9).unwrap();
         assert_eq!(m.iter().filter(|&&b| b).count(), 1);
         assert!(quantile_mask(&[], 0.5).is_err());
@@ -111,8 +114,11 @@ mod tests {
         let mut sharp = vec![0.1; 100];
         sharp[40] = 10.0;
         // the same peak over a noisy floor discriminates less
-        let noisy: Vec<f64> =
-            sharp.iter().enumerate().map(|(i, &v)| v + ((i * 13 % 7) as f64) * 0.5).collect();
+        let noisy: Vec<f64> = sharp
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + ((i * 13 % 7) as f64) * 0.5)
+            .collect();
         let r_sharp = discrimination_ratio(&sharp).unwrap();
         let r_noisy = discrimination_ratio(&noisy).unwrap();
         assert!(r_sharp > r_noisy, "{r_sharp} vs {r_noisy}");

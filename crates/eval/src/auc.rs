@@ -14,14 +14,20 @@ use tsad_core::Labels;
 fn ranked_indices(score: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..score.len()).collect();
     idx.sort_by(|&a, &b| {
-        score[b].partial_cmp(&score[a]).expect("finite scores").then(a.cmp(&b))
+        score[b]
+            .partial_cmp(&score[a])
+            .expect("finite scores")
+            .then(a.cmp(&b))
     });
     idx
 }
 
 fn validate(score: &[f64], labels: &Labels) -> Result<(usize, usize)> {
     if score.len() != labels.len() {
-        return Err(CoreError::LengthMismatch { left: score.len(), right: labels.len() });
+        return Err(CoreError::LengthMismatch {
+            left: score.len(),
+            right: labels.len(),
+        });
     }
     if score.is_empty() {
         return Err(CoreError::EmptySeries);
@@ -123,7 +129,9 @@ mod tests {
     #[test]
     fn perfect_scorer_gets_auc_one() {
         let l = labels(10, (7, 10));
-        let score: Vec<f64> = (0..10).map(|i| if i >= 7 { 10.0 + i as f64 } else { i as f64 }).collect();
+        let score: Vec<f64> = (0..10)
+            .map(|i| if i >= 7 { 10.0 + i as f64 } else { i as f64 })
+            .collect();
         assert!((roc_auc(&score, &l).unwrap() - 1.0).abs() < 1e-12);
         assert!((pr_auc(&score, &l).unwrap() - 1.0).abs() < 1e-12);
     }

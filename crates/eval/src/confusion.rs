@@ -19,7 +19,10 @@ impl Confusion {
     /// Tallies point-wise counts. Errors on length mismatch.
     pub fn from_masks(predicted: &[bool], truth: &[bool]) -> Result<Self> {
         if predicted.len() != truth.len() {
-            return Err(CoreError::LengthMismatch { left: predicted.len(), right: truth.len() });
+            return Err(CoreError::LengthMismatch {
+                left: predicted.len(),
+                right: truth.len(),
+            });
         }
         let mut c = Confusion::default();
         for (&p, &t) in predicted.iter().zip(truth) {
@@ -72,7 +75,15 @@ mod tests {
         let pred = [true, true, false, false, true];
         let truth = [true, false, true, false, true];
         let c = Confusion::from_masks(&pred, &truth).unwrap();
-        assert_eq!(c, Confusion { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);

@@ -49,7 +49,11 @@ pub fn window_features(x: &[f64], region: Region) -> Result<WindowFeatures> {
         min: w.iter().copied().fold(f64::INFINITY, f64::min),
         max: w.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         variance: stats::variance(w)?,
-        autocorrelation: if m >= 3 { stats::autocorrelation(w, 1)? } else { 0.0 },
+        autocorrelation: if m >= 3 {
+            stats::autocorrelation(w, 1)?
+        } else {
+            0.0
+        },
         complexity: stats::complexity_estimate(w),
         nn_distance: if nn.is_finite() { nn } else { 0.0 },
     })
@@ -85,8 +89,9 @@ mod tests {
 
     #[test]
     fn unusual_window_has_large_nn_distance() {
-        let mut x: Vec<f64> =
-            (0..600).map(|i| (i as f64 * std::f64::consts::TAU / 30.0).sin()).collect();
+        let mut x: Vec<f64> = (0..600)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 30.0).sin())
+            .collect();
         for (k, v) in x.iter_mut().enumerate().skip(300).take(30) {
             *v = ((k * k) as f64 * 0.01).sin() * 2.0;
         }

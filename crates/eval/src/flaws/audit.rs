@@ -129,7 +129,10 @@ pub fn audit<'a>(
         });
     }
     let position_bias = position::analyze(datasets, config.tail_fraction)?;
-    Ok(BenchmarkAudit { datasets: per_dataset, position_bias })
+    Ok(BenchmarkAudit {
+        datasets: per_dataset,
+        position_bias,
+    })
 }
 
 #[cfg(test)]
@@ -155,7 +158,14 @@ mod tests {
         let ts = TimeSeries::new(format!("healthy-{seed}"), x).unwrap();
         Dataset::unsupervised(
             ts,
-            Labels::single(n, Region { start: at, end: at + 30 }).unwrap(),
+            Labels::single(
+                n,
+                Region {
+                    start: at,
+                    end: at + 30,
+                },
+            )
+            .unwrap(),
         )
         .unwrap()
     }
@@ -164,7 +174,11 @@ mod tests {
     fn flawed_collection_fails_the_audit() {
         let datasets: Vec<Dataset> = (0..12).map(trivial_end_biased).collect();
         let report = audit(datasets.iter(), &AuditConfig::default()).unwrap();
-        assert!(report.trivial_fraction() > 0.8, "{}", report.trivial_fraction());
+        assert!(
+            report.trivial_fraction() > 0.8,
+            "{}",
+            report.trivial_fraction()
+        );
         assert!(report.position_bias.is_biased(0.05));
         assert!(!report.suitable_for_comparison(0.05));
     }

@@ -38,7 +38,11 @@ pub struct DensityCriteria {
 
 impl Default for DensityCriteria {
     fn default() -> Self {
-        Self { max_density: 1.0 / 3.0, max_regions: 10, min_gap: 5 }
+        Self {
+            max_density: 1.0 / 3.0,
+            max_regions: 10,
+            min_gap: 5,
+        }
     }
 }
 
@@ -74,7 +78,10 @@ mod tests {
         let ts = TimeSeries::new("d", vec![0.0; len]).unwrap();
         let labels = Labels::new(
             len,
-            regions.iter().map(|&(s, e)| Region::new(s, e).unwrap()).collect(),
+            regions
+                .iter()
+                .map(|&(s, e)| Region::new(s, e).unwrap())
+                .collect(),
         )
         .unwrap();
         Dataset::new(ts, labels, train).unwrap()
@@ -92,7 +99,8 @@ mod tests {
 
     #[test]
     fn counts_regions() {
-        let regions: Vec<(usize, usize)> = (0..21).map(|i| (1000 + i * 40, 1002 + i * 40)).collect();
+        let regions: Vec<(usize, usize)> =
+            (0..21).map(|i| (1000 + i * 40, 1002 + i * 40)).collect();
         let d = dataset(2000, 500, &regions);
         let r = analyze(&d);
         assert_eq!(r.region_count, 21);

@@ -44,7 +44,10 @@ pub fn find_unlabeled_twins(dataset: &Dataset, threshold: f64) -> Result<Vec<Sus
         // 16-point context window — a z-normalized 3-point window matches
         // half the series by shape alone.
         let (m, start) = if r.len() >= 8 {
-            (r.len().min(x.len() / 2), r.start.min(x.len() - r.len().min(x.len() / 2)))
+            (
+                r.len().min(x.len() / 2),
+                r.start.min(x.len() - r.len().min(x.len() / 2)),
+            )
         } else {
             let m = 16.min(x.len() / 2);
             (m, r.center().saturating_sub(m / 2).min(x.len() - m))
@@ -54,22 +57,26 @@ pub fn find_unlabeled_twins(dataset: &Dataset, threshold: f64) -> Result<Vec<Sus
         let abs_threshold = threshold * (2.0 * m as f64).sqrt();
         for (j, &d) in dists.iter().enumerate() {
             // skip windows overlapping ANY labeled region (with slop m)
-            let overlaps_label = labels
-                .regions()
-                .iter()
-                .any(|lr| lr.dilate(m, labels.len()).overlaps(&Region { start: j, end: j + m }));
+            let overlaps_label = labels.regions().iter().any(|lr| {
+                lr.dilate(m, labels.len()).overlaps(&Region {
+                    start: j,
+                    end: j + m,
+                })
+            });
             if overlaps_label {
                 continue;
             }
             if d <= abs_threshold {
-                out.push(SuspectedTwin { labeled: *r, twin_start: j, distance: d });
+                out.push(SuspectedTwin {
+                    labeled: *r,
+                    twin_start: j,
+                    distance: d,
+                });
             }
         }
     }
     // collapse runs of adjacent matches to their best representative
-    out.sort_by(|a, b| {
-        (a.labeled, a.twin_start).cmp(&(b.labeled, b.twin_start))
-    });
+    out.sort_by_key(|a| (a.labeled, a.twin_start));
     let mut collapsed: Vec<SuspectedTwin> = Vec::new();
     for t in out {
         match collapsed.last_mut() {
@@ -109,7 +116,11 @@ impl UnremarkableLabel {
             // perfectly self-similar normal data: a label whose own NN
             // distance is also ~0 is maximally unremarkable (ratio 1);
             // any real novelty is infinitely remarkable
-            return if self.nn_distance < 1e-12 { 1.0 } else { f64::INFINITY };
+            return if self.nn_distance < 1e-12 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.nn_distance / self.background_nn
     }
@@ -146,9 +157,12 @@ pub fn find_unremarkable_labels(
             .iter()
             .enumerate()
             .filter(|(j, _)| {
-                Region { start: *j, end: *j + m }
-                    .distance_to(r.center())
-                    .max(r.distance_to(*j))
+                Region {
+                    start: *j,
+                    end: *j + m,
+                }
+                .distance_to(r.center())
+                .max(r.distance_to(*j))
                     > excl
             })
             .map(|(_, &d)| d)
@@ -159,7 +173,10 @@ pub fn find_unremarkable_labels(
         let hop = (x.len() / 64).max(1);
         let mut j = 0;
         while j + m <= x.len() {
-            let w_region = Region { start: j, end: j + m };
+            let w_region = Region {
+                start: j,
+                end: j + m,
+            };
             let overlaps_label = labels
                 .regions()
                 .iter()
@@ -182,7 +199,11 @@ pub fn find_unremarkable_labels(
             continue;
         }
         let background_nn = tsad_core::stats::median(&background)?;
-        let candidate = UnremarkableLabel { labeled: *r, nn_distance: nn, background_nn };
+        let candidate = UnremarkableLabel {
+            labeled: *r,
+            nn_distance: nn,
+            background_nn,
+        };
         if candidate.discord_ratio() <= ratio_threshold {
             out.push(candidate);
         }
@@ -199,8 +220,9 @@ mod tests {
     /// (the Fig. 5 construction).
     fn twin_dataset() -> Dataset {
         let n = 1200;
-        let mut x: Vec<f64> =
-            (0..n).map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin()).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin())
+            .collect();
         x[300] = -6.0;
         x[900] = -6.0;
         let labels = Labels::single(n, Region::point(900)).unwrap();
@@ -213,7 +235,9 @@ mod tests {
         assert!(!twins.is_empty(), "the unlabeled dropout must be found");
         // some twin window must cover the unlabeled dropout at index 300
         assert!(
-            twins.iter().any(|t| (t.twin_start..t.twin_start + 16).contains(&300)),
+            twins
+                .iter()
+                .any(|t| (t.twin_start..t.twin_start + 16).contains(&300)),
             "{twins:?}"
         );
     }
@@ -221,8 +245,9 @@ mod tests {
     #[test]
     fn no_twins_for_unique_anomaly() {
         let n = 1200;
-        let mut x: Vec<f64> =
-            (0..n).map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin()).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin())
+            .collect();
         x[900] = -6.0; // only one dropout
         let labels = Labels::single(n, Region::point(900)).unwrap();
         let d = Dataset::unsupervised(TimeSeries::new("unique", x).unwrap(), labels).unwrap();
@@ -235,8 +260,9 @@ mod tests {
         // labeled region on pristine periodic data: its NN distance is as
         // small as anyone's (a clear mislabel)
         let n = 1600;
-        let x: Vec<f64> =
-            (0..n).map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin())
+            .collect();
         let labels = Labels::single(n, Region::new(800, 840).unwrap()).unwrap();
         let d = Dataset::unsupervised(TimeSeries::new("bland", x).unwrap(), labels).unwrap();
         let suspects = find_unremarkable_labels(&d, 1.5).unwrap();
@@ -247,8 +273,9 @@ mod tests {
     #[test]
     fn genuine_anomaly_is_not_flagged() {
         let n = 1600;
-        let mut x: Vec<f64> =
-            (0..n).map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin()).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin())
+            .collect();
         // a genuinely unique shape: one-off frequency burst
         for (k, v) in x.iter_mut().enumerate().skip(800).take(40) {
             *v = (k as f64 * 0.9).sin() * 1.5;

@@ -60,7 +60,10 @@ pub fn analyze<'a>(
         .collect();
     let ks = ks_statistic_uniform(&positions)?;
     let mean = tsad_core::stats::mean(&positions)?;
-    let hits = positions.iter().filter(|&&p| p >= 1.0 - tail_fraction).count();
+    let hits = positions
+        .iter()
+        .filter(|&&p| p >= 1.0 - tail_fraction)
+        .count();
     Ok(PositionBiasReport {
         mean_position: mean,
         ks_statistic: ks,
@@ -84,8 +87,9 @@ mod tests {
 
     #[test]
     fn end_biased_collection_is_flagged() {
-        let datasets: Vec<Dataset> =
-            (0..60).map(|i| dataset_with_anomaly_at(900 + i, 1000)).collect();
+        let datasets: Vec<Dataset> = (0..60)
+            .map(|i| dataset_with_anomaly_at(900 + i, 1000))
+            .collect();
         let r = analyze(datasets.iter(), 0.1).unwrap();
         assert!(r.mean_position > 0.89);
         assert!(r.is_biased(0.01), "ks={} p={}", r.ks_statistic, r.p_value);
@@ -94,8 +98,9 @@ mod tests {
 
     #[test]
     fn uniform_collection_is_not_flagged() {
-        let datasets: Vec<Dataset> =
-            (0..60).map(|i| dataset_with_anomaly_at(8 + i * 16, 1000)).collect();
+        let datasets: Vec<Dataset> = (0..60)
+            .map(|i| dataset_with_anomaly_at(8 + i * 16, 1000))
+            .collect();
         let r = analyze(datasets.iter(), 0.1).unwrap();
         assert!(!r.is_biased(0.01), "ks={} p={}", r.ks_statistic, r.p_value);
         assert!(r.naive_last_hit_rate < 0.25);

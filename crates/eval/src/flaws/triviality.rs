@@ -29,7 +29,10 @@ impl TrivialityReport {
 /// Runs the one-liner search on a dataset.
 pub fn analyze(dataset: &Dataset, config: &SearchConfig) -> Result<TrivialityReport> {
     let solution = search(dataset.values(), dataset.labels(), config)?;
-    Ok(TrivialityReport { name: dataset.name().to_string(), solution })
+    Ok(TrivialityReport {
+        name: dataset.name().to_string(),
+        solution,
+    })
 }
 
 /// Aggregated Table-1 row: per-equation solve counts for one family.

@@ -123,10 +123,13 @@ pub fn probe_invariances(
     let mut out = Vec::with_capacity(transforms.len());
     for (k, t) in transforms.iter().enumerate() {
         let transformed = t.apply(dataset, seed.wrapping_add(k as u64))?;
-        let peak =
-            most_anomalous_point(detector, transformed.series(), transformed.train_len())?;
+        let peak = most_anomalous_point(detector, transformed.series(), transformed.train_len())?;
         let invariant = ucr_correct(peak, transformed.labels())?;
-        out.push(InvarianceOutcome { transform: *t, peak, invariant });
+        out.push(InvarianceOutcome {
+            transform: *t,
+            peak,
+            invariant,
+        });
     }
     Ok(out)
 }
@@ -151,13 +154,21 @@ mod tests {
 
     fn periodic_anomaly_dataset() -> Dataset {
         let n = 1200;
-        let mut x: Vec<f64> =
-            (0..n).map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin()).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 40.0).sin())
+            .collect();
         for (k, v) in x.iter_mut().enumerate().skip(700).take(20) {
             *v = 1.6 + (k as f64 * 0.3).sin() * 0.1;
         }
         let ts = TimeSeries::new("inv", x).unwrap();
-        let labels = Labels::single(n, Region { start: 700, end: 720 }).unwrap();
+        let labels = Labels::single(
+            n,
+            Region {
+                start: 700,
+                end: 720,
+            },
+        )
+        .unwrap();
         Dataset::new(ts, labels, 300).unwrap()
     }
 
@@ -193,7 +204,11 @@ mod tests {
         )
         .unwrap();
         for o in &outcomes {
-            assert!(o.invariant, "discord should survive {}: peak {}", o.transform, o.peak);
+            assert!(
+                o.invariant,
+                "discord should survive {}: peak {}",
+                o.transform, o.peak
+            );
         }
     }
 

@@ -14,7 +14,9 @@
 //! [`invariance`] makes §4.2's "explain algorithms by their invariances"
 //! executable;
 //! [`features`] computes the Fig. 6 feature table; [`report`] renders
-//! text tables and ASCII plots for the reproduction harness.
+//! text tables and ASCII plots for the reproduction harness;
+//! [`streaming`] scores alarm sequences by detection delay (first alarm −
+//! anomaly onset) for the `tsad-stream` replay harness.
 
 pub mod auc;
 pub mod confusion;
@@ -25,4 +27,5 @@ pub mod nab;
 pub mod range;
 pub mod report;
 pub mod scoring;
+pub mod streaming;
 pub mod ucr;

@@ -31,15 +31,27 @@ pub struct NabProfile {
 impl NabProfile {
     /// The NAB "standard" profile.
     pub fn standard() -> Self {
-        Self { a_tp: 1.0, a_fp: -0.11, a_fn: -1.0 }
+        Self {
+            a_tp: 1.0,
+            a_fp: -0.11,
+            a_fn: -1.0,
+        }
     }
     /// The "reward low FP" profile.
     pub fn reward_low_fp() -> Self {
-        Self { a_tp: 1.0, a_fp: -0.22, a_fn: -1.0 }
+        Self {
+            a_tp: 1.0,
+            a_fp: -0.22,
+            a_fn: -1.0,
+        }
     }
     /// The "reward low FN" profile.
     pub fn reward_low_fn() -> Self {
-        Self { a_tp: 1.0, a_fp: -0.11, a_fn: -2.0 }
+        Self {
+            a_tp: 1.0,
+            a_fp: -0.11,
+            a_fn: -2.0,
+        }
     }
 }
 
@@ -94,7 +106,11 @@ pub fn nab_score(detections: &[usize], labels: &Labels, profile: NabProfile) -> 
         return Err(CoreError::EmptySeries);
     }
     if let Some(&bad) = detections.iter().find(|&&i| i >= len) {
-        return Err(CoreError::BadRegion { start: bad, end: bad + 1, len });
+        return Err(CoreError::BadRegion {
+            start: bad,
+            end: bad + 1,
+            len,
+        });
     }
     let windows = nab_windows(labels);
     let mut sorted: Vec<usize> = detections.to_vec();
@@ -127,7 +143,11 @@ pub fn nab_score(detections: &[usize], labels: &Labels, profile: NabProfile) -> 
             // scaled_sigmoid of a positive distance is in (-1, 0]: a FP just
             // past a window is penalized lightly, a distant one fully. FPs
             // preceding every window take the full -1 weight.
-            let weight = if dist.is_finite() { scaled_sigmoid(dist) } else { -1.0 };
+            let weight = if dist.is_finite() {
+                scaled_sigmoid(dist)
+            } else {
+                -1.0
+            };
             raw += profile.a_fp.abs() * weight;
         }
     }
@@ -154,7 +174,10 @@ mod tests {
     fn labels() -> Labels {
         Labels::new(
             1000,
-            vec![Region::new(300, 310).unwrap(), Region::new(700, 710).unwrap()],
+            vec![
+                Region::new(300, 310).unwrap(),
+                Region::new(700, 710).unwrap(),
+            ],
         )
         .unwrap()
     }
@@ -188,8 +211,7 @@ mod tests {
         let l = labels();
         let w = nab_windows(&l);
         let early = nab_score(&[w[0].start, w[1].start], &l, NabProfile::standard()).unwrap();
-        let late =
-            nab_score(&[w[0].end - 1, w[1].end - 1], &l, NabProfile::standard()).unwrap();
+        let late = nab_score(&[w[0].end - 1, w[1].end - 1], &l, NabProfile::standard()).unwrap();
         assert!(early > late, "{early} vs {late}");
         assert!(late > 0.0, "late detection still beats nothing: {late}");
     }
@@ -223,9 +245,12 @@ mod tests {
         let l = labels();
         let w = nab_windows(&l);
         let once = nab_score(&[w[0].start], &l, NabProfile::standard()).unwrap();
-        let thrice =
-            nab_score(&[w[0].start, w[0].start + 1, w[0].start + 2], &l, NabProfile::standard())
-                .unwrap();
+        let thrice = nab_score(
+            &[w[0].start, w[0].start + 1, w[0].start + 2],
+            &l,
+            NabProfile::standard(),
+        )
+        .unwrap();
         assert!((once - thrice).abs() < 1e-9, "{once} vs {thrice}");
     }
 }

@@ -75,7 +75,10 @@ pub struct RangeParams {
 
 impl Default for RangeParams {
     fn default() -> Self {
-        Self { alpha: 0.5, recall_bias: Bias::Flat }
+        Self {
+            alpha: 0.5,
+            recall_bias: Bias::Flat,
+        }
     }
 }
 
@@ -88,7 +91,11 @@ pub fn range_recall(predicted: &Labels, real: &Labels, params: RangeParams) -> R
     let pred = predicted.regions();
     let mut total = 0.0;
     for r in real.regions() {
-        let existence = if pred.iter().any(|p| p.overlaps(r)) { 1.0 } else { 0.0 };
+        let existence = if pred.iter().any(|p| p.overlaps(r)) {
+            1.0
+        } else {
+            0.0
+        };
         let size = cardinality(r, pred) * omega(r, pred, params.recall_bias);
         total += params.alpha * existence + (1.0 - params.alpha) * size;
     }
@@ -114,12 +121,19 @@ pub fn range_precision(predicted: &Labels, real: &Labels, bias: Bias) -> Result<
 pub fn range_f1(predicted: &Labels, real: &Labels, params: RangeParams) -> Result<f64> {
     let r = range_recall(predicted, real, params)?;
     let p = range_precision(predicted, real, Bias::Flat)?;
-    Ok(if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) })
+    Ok(if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    })
 }
 
 fn check(a: &Labels, b: &Labels) -> Result<()> {
     if a.len() != b.len() {
-        return Err(CoreError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(CoreError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     Ok(())
 }
@@ -131,7 +145,10 @@ mod tests {
     fn labels(len: usize, regions: &[(usize, usize)]) -> Labels {
         Labels::new(
             len,
-            regions.iter().map(|&(s, e)| Region::new(s, e).unwrap()).collect(),
+            regions
+                .iter()
+                .map(|&(s, e)| Region::new(s, e).unwrap())
+                .collect(),
         )
         .unwrap()
     }
@@ -147,7 +164,10 @@ mod tests {
     fn no_overlap_scores_zero() {
         let real = labels(100, &[(10, 20)]);
         let pred = labels(100, &[(70, 80)]);
-        assert_eq!(range_recall(&pred, &real, RangeParams::default()).unwrap(), 0.0);
+        assert_eq!(
+            range_recall(&pred, &real, RangeParams::default()).unwrap(),
+            0.0
+        );
         assert_eq!(range_precision(&pred, &real, Bias::Flat).unwrap(), 0.0);
     }
 
@@ -167,12 +187,18 @@ mod tests {
         let real = labels(100, &[(10, 30)]);
         let early = labels(100, &[(10, 20)]);
         let late = labels(100, &[(20, 30)]);
-        let params_front = RangeParams { alpha: 0.0, recall_bias: Bias::Front };
+        let params_front = RangeParams {
+            alpha: 0.0,
+            recall_bias: Bias::Front,
+        };
         let r_early = range_recall(&early, &real, params_front).unwrap();
         let r_late = range_recall(&late, &real, params_front).unwrap();
         assert!(r_early > r_late, "{r_early} vs {r_late}");
         // back bias flips the preference
-        let params_back = RangeParams { alpha: 0.0, recall_bias: Bias::Back };
+        let params_back = RangeParams {
+            alpha: 0.0,
+            recall_bias: Bias::Back,
+        };
         let b_early = range_recall(&early, &real, params_back).unwrap();
         let b_late = range_recall(&late, &real, params_back).unwrap();
         assert!(b_late > b_early);
@@ -184,7 +210,10 @@ mod tests {
         let solid = labels(100, &[(10, 28)]);
         // same 18 covered positions, but split into 3 fragments
         let fragmented = labels(100, &[(10, 16), (22, 28), (34, 40)]);
-        let params = RangeParams { alpha: 0.0, recall_bias: Bias::Flat };
+        let params = RangeParams {
+            alpha: 0.0,
+            recall_bias: Bias::Flat,
+        };
         let r_solid = range_recall(&solid, &real, params).unwrap();
         let r_frag = range_recall(&fragmented, &real, params).unwrap();
         assert!(r_solid > r_frag, "{r_solid} vs {r_frag}");
@@ -197,8 +226,14 @@ mod tests {
         assert!(range_recall(&a, &b, RangeParams::default()).is_err());
         // empty predictions / labels
         let empty = Labels::empty(100);
-        assert_eq!(range_recall(&empty, &a, RangeParams::default()).unwrap(), 0.0);
+        assert_eq!(
+            range_recall(&empty, &a, RangeParams::default()).unwrap(),
+            0.0
+        );
         assert_eq!(range_precision(&empty, &a, Bias::Flat).unwrap(), 0.0);
-        assert_eq!(range_recall(&a, &empty, RangeParams::default()).unwrap(), 0.0);
+        assert_eq!(
+            range_recall(&a, &empty, RangeParams::default()).unwrap(),
+            0.0
+        );
     }
 }

@@ -13,7 +13,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -38,7 +41,10 @@ impl TextTable {
             for (c, cell) in cells.iter().enumerate().take(cols) {
                 line.push_str("| ");
                 line.push_str(cell);
-                line.extend(std::iter::repeat_n(' ', widths[c] - cell.chars().count() + 1));
+                line.extend(std::iter::repeat_n(
+                    ' ',
+                    widths[c] - cell.chars().count() + 1,
+                ));
             }
             line.push('|');
             line

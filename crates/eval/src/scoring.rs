@@ -25,7 +25,10 @@ pub fn pointwise_f1(predicted: &[bool], labels: &Labels) -> Result<f64> {
 /// positives remain point-wise.
 pub fn point_adjust_f1(predicted: &[bool], labels: &Labels) -> Result<f64> {
     if predicted.len() != labels.len() {
-        return Err(CoreError::LengthMismatch { left: predicted.len(), right: labels.len() });
+        return Err(CoreError::LengthMismatch {
+            left: predicted.len(),
+            right: labels.len(),
+        });
     }
     let mut adjusted = predicted.to_vec();
     for r in labels.regions() {
@@ -44,12 +47,21 @@ pub fn point_adjust_f1(predicted: &[bool], labels: &Labels) -> Result<f64> {
 /// recalled if any positive lands in its dilation).
 pub fn tolerance_f1(predicted: &[bool], labels: &Labels, slop: usize) -> Result<f64> {
     if predicted.len() != labels.len() {
-        return Err(CoreError::LengthMismatch { left: predicted.len(), right: labels.len() });
+        return Err(CoreError::LengthMismatch {
+            left: predicted.len(),
+            right: labels.len(),
+        });
     }
-    let positives: Vec<usize> =
-        predicted.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i).collect();
-    let tp_points =
-        positives.iter().filter(|&&i| labels.contains_with_slop(i, slop)).count();
+    let positives: Vec<usize> = predicted
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p)
+        .map(|(i, _)| i)
+        .collect();
+    let tp_points = positives
+        .iter()
+        .filter(|&&i| labels.contains_with_slop(i, slop))
+        .count();
     let fp = positives.len() - tp_points;
     let recalled = labels
         .regions()
@@ -59,8 +71,11 @@ pub fn tolerance_f1(predicted: &[bool], labels: &Labels, slop: usize) -> Result<
             positives.iter().any(|&i| d.contains(i))
         })
         .count();
-    let precision =
-        if positives.is_empty() { 0.0 } else { tp_points as f64 / positives.len() as f64 };
+    let precision = if positives.is_empty() {
+        0.0
+    } else {
+        tp_points as f64 / positives.len() as f64
+    };
     let recall = if labels.region_count() == 0 {
         0.0
     } else {
@@ -94,7 +109,10 @@ pub fn best_f1_over_thresholds(
     protocol: F1Protocol,
 ) -> Result<(f64, f64)> {
     if score.len() != labels.len() {
-        return Err(CoreError::LengthMismatch { left: score.len(), right: labels.len() });
+        return Err(CoreError::LengthMismatch {
+            left: score.len(),
+            right: labels.len(),
+        });
     }
     if score.is_empty() {
         return Err(CoreError::EmptySeries);
@@ -187,8 +205,9 @@ mod tests {
     #[test]
     fn best_threshold_finds_separating_value() {
         let labels = labels_1020(100);
-        let score: Vec<f64> =
-            (0..100).map(|i| if (10..20).contains(&i) { 5.0 } else { 1.0 }).collect();
+        let score: Vec<f64> = (0..100)
+            .map(|i| if (10..20).contains(&i) { 5.0 } else { 1.0 })
+            .collect();
         let (f1, t) = best_f1_over_thresholds(&score, &labels, F1Protocol::Pointwise).unwrap();
         assert_eq!(f1, 1.0);
         assert!((1.0..5.0).contains(&t), "threshold {t}");
@@ -206,8 +225,7 @@ mod tests {
     fn constant_score_reaches_the_all_positive_point() {
         // a constant score can still be thresholded below its value
         let labels = Labels::single(100, Region::new(0, 90).unwrap()).unwrap();
-        let (f1, t) =
-            best_f1_over_thresholds(&[1.0; 100], &labels, F1Protocol::Pointwise).unwrap();
+        let (f1, t) = best_f1_over_thresholds(&[1.0; 100], &labels, F1Protocol::Pointwise).unwrap();
         assert!((f1 - 2.0 * 90.0 / 190.0).abs() < 1e-12, "{f1}");
         assert!(t.is_infinite() && t < 0.0);
         // non-finite scores are rejected, not mis-sorted

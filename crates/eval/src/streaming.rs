@@ -1,0 +1,241 @@
+//! Detection-delay evaluation for streaming detectors.
+//!
+//! Batch protocols ask *where* a detector's score peaks; a streaming
+//! deployment asks *how long after onset* the first alarm fires. This
+//! module scores an alarm sequence against labeled regions:
+//!
+//! * for each labeled region, the **detection delay** is
+//!   `first alarm in [start, end + slop) − start` — 0 means the alarm fired
+//!   on the onset sample;
+//! * an alarm that falls inside no region's `[start, end + slop)` window is
+//!   a **false alarm** — in particular, an alarm *before* a region's onset
+//!   does not count as detecting it (the detector cannot take credit for
+//!   firing early on data it had not seen);
+//! * a region with no alarm inside its window is **missed** (`delay:
+//!   None`).
+//!
+//! The `slop` mirrors the UCR protocol's tolerance: an alarm slightly after
+//! the labeled region ends still plausibly refers to the anomaly.
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::{Labels, Region};
+
+/// Delay outcome for one labeled region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionDelay {
+    /// The labeled region.
+    pub region: Region,
+    /// Index of the first alarm in `[start, end + slop)`, if any.
+    pub first_alarm: Option<usize>,
+    /// `first_alarm − start`; `None` when the region was missed.
+    pub delay: Option<usize>,
+}
+
+/// Detection-delay report for one alarm sequence against one label set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayReport {
+    /// One entry per labeled region, in label order.
+    pub regions: Vec<RegionDelay>,
+    /// Alarms outside every region's `[start, end + slop)` window.
+    pub false_alarms: usize,
+    /// Total alarms raised.
+    pub total_alarms: usize,
+    /// Slop used.
+    pub slop: usize,
+}
+
+impl DelayReport {
+    /// Number of regions whose window contains at least one alarm.
+    pub fn detected(&self) -> usize {
+        self.regions.iter().filter(|r| r.delay.is_some()).count()
+    }
+
+    /// Number of regions with no alarm in their window.
+    pub fn missed(&self) -> usize {
+        self.regions.len() - self.detected()
+    }
+
+    /// Mean delay over detected regions; `None` when nothing was detected.
+    pub fn mean_delay(&self) -> Option<f64> {
+        let delays: Vec<usize> = self.regions.iter().filter_map(|r| r.delay).collect();
+        if delays.is_empty() {
+            None
+        } else {
+            Some(delays.iter().sum::<usize>() as f64 / delays.len() as f64)
+        }
+    }
+}
+
+/// Scores an alarm mask (one flag per series position) against labeled
+/// regions. `alarms.len()` must equal `labels.len()`.
+pub fn detection_delays(alarms: &[bool], labels: &Labels, slop: usize) -> Result<DelayReport> {
+    if alarms.len() != labels.len() {
+        return Err(CoreError::LengthMismatch {
+            left: alarms.len(),
+            right: labels.len(),
+        });
+    }
+    let n = alarms.len();
+    let windows: Vec<(usize, usize)> = labels
+        .regions()
+        .iter()
+        .map(|r| (r.start, (r.end + slop).min(n)))
+        .collect();
+
+    let mut regions = Vec::with_capacity(windows.len());
+    for (r, &(lo, hi)) in labels.regions().iter().zip(&windows) {
+        let first_alarm = (lo..hi).find(|&i| alarms[i]);
+        regions.push(RegionDelay {
+            region: *r,
+            first_alarm,
+            delay: first_alarm.map(|a| a - r.start),
+        });
+    }
+
+    let mut false_alarms = 0;
+    let mut total_alarms = 0;
+    for (i, &a) in alarms.iter().enumerate() {
+        if !a {
+            continue;
+        }
+        total_alarms += 1;
+        if !windows.iter().any(|&(lo, hi)| (lo..hi).contains(&i)) {
+            false_alarms += 1;
+        }
+    }
+    Ok(DelayReport {
+        regions,
+        false_alarms,
+        total_alarms,
+        slop,
+    })
+}
+
+/// Convenience: builds the alarm mask `score > threshold` (positions before
+/// `score_offset` never alarm — the detector had not emitted yet) and scores
+/// it. `scores` holds one value per position from `score_offset` on.
+pub fn delays_from_scores(
+    scores: &[f64],
+    score_offset: usize,
+    threshold: f64,
+    labels: &Labels,
+    slop: usize,
+) -> Result<DelayReport> {
+    let n = labels.len();
+    if score_offset + scores.len() != n {
+        return Err(CoreError::LengthMismatch {
+            left: score_offset + scores.len(),
+            right: n,
+        });
+    }
+    let mut alarms = vec![false; n];
+    for (i, &s) in scores.iter().enumerate() {
+        alarms[score_offset + i] = s > threshold;
+    }
+    detection_delays(&alarms, labels, slop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize, regions: &[(usize, usize)]) -> Labels {
+        let regions: Vec<Region> = regions
+            .iter()
+            .map(|&(start, end)| Region { start, end })
+            .collect();
+        Labels::new(n, regions).unwrap()
+    }
+
+    fn mask(n: usize, on: &[usize]) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for &i in on {
+            m[i] = true;
+        }
+        m
+    }
+
+    #[test]
+    fn on_time_alarm_has_delay() {
+        let l = labels(100, &[(40, 50)]);
+        let r = detection_delays(&mask(100, &[43, 47]), &l, 5).unwrap();
+        assert_eq!(r.detected(), 1);
+        assert_eq!(r.regions[0].first_alarm, Some(43));
+        assert_eq!(r.regions[0].delay, Some(3));
+        assert_eq!(r.false_alarms, 0);
+        assert_eq!(r.total_alarms, 2);
+        assert_eq!(r.mean_delay(), Some(3.0));
+    }
+
+    #[test]
+    fn alarm_before_onset_is_a_false_alarm_not_a_detection() {
+        let l = labels(100, &[(40, 50)]);
+        let r = detection_delays(&mask(100, &[30]), &l, 5).unwrap();
+        assert_eq!(r.detected(), 0);
+        assert_eq!(r.missed(), 1);
+        assert_eq!(r.regions[0].delay, None);
+        assert_eq!(r.false_alarms, 1);
+        assert_eq!(r.mean_delay(), None);
+    }
+
+    #[test]
+    fn no_alarm_means_missed() {
+        let l = labels(60, &[(10, 20)]);
+        let r = detection_delays(&mask(60, &[]), &l, 0).unwrap();
+        assert_eq!(r.detected(), 0);
+        assert_eq!(r.missed(), 1);
+        assert_eq!(r.total_alarms, 0);
+        assert_eq!(r.false_alarms, 0);
+    }
+
+    #[test]
+    fn slop_extends_the_window_past_the_region_end() {
+        let l = labels(100, &[(40, 50)]);
+        // alarm at 52: outside the region, inside start..end+5
+        let hit = detection_delays(&mask(100, &[52]), &l, 5).unwrap();
+        assert_eq!(hit.regions[0].delay, Some(12));
+        assert_eq!(hit.false_alarms, 0);
+        // without slop the same alarm is a miss + false alarm
+        let miss = detection_delays(&mask(100, &[52]), &l, 0).unwrap();
+        assert_eq!(miss.regions[0].delay, None);
+        assert_eq!(miss.false_alarms, 1);
+    }
+
+    #[test]
+    fn multiple_regions_score_independently() {
+        let l = labels(200, &[(20, 30), (100, 110), (150, 160)]);
+        // first region: alarm at 25 (delay 5); second: missed; third: alarm
+        // at 150 (delay 0); plus a stray false alarm at 60
+        let r = detection_delays(&mask(200, &[25, 60, 150]), &l, 0).unwrap();
+        assert_eq!(r.detected(), 2);
+        assert_eq!(r.missed(), 1);
+        assert_eq!(r.regions[0].delay, Some(5));
+        assert_eq!(r.regions[1].delay, None);
+        assert_eq!(r.regions[2].delay, Some(0));
+        assert_eq!(r.false_alarms, 1);
+        assert_eq!(r.mean_delay(), Some(2.5));
+    }
+
+    #[test]
+    fn window_is_clipped_at_series_end() {
+        let l = labels(50, &[(45, 50)]);
+        let r = detection_delays(&mask(50, &[49]), &l, 20).unwrap();
+        assert_eq!(r.regions[0].delay, Some(4));
+    }
+
+    #[test]
+    fn from_scores_respects_offset_and_threshold() {
+        let l = labels(10, &[(4, 6)]);
+        // offset 2: scores cover positions 2..10
+        let scores = [0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let r = delays_from_scores(&scores, 2, 1.0, &l, 0).unwrap();
+        assert_eq!(r.regions[0].delay, Some(0));
+        assert!(delays_from_scores(&scores, 3, 1.0, &l, 0).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let l = labels(10, &[(2, 4)]);
+        assert!(detection_delays(&[false; 9], &l, 0).is_err());
+    }
+}

@@ -30,7 +30,11 @@ pub fn ucr_correct(predicted: usize, labels: &Labels) -> Result<bool> {
         });
     }
     if predicted >= labels.len() {
-        return Err(CoreError::BadRegion { start: predicted, end: predicted + 1, len: labels.len() });
+        return Err(CoreError::BadRegion {
+            start: predicted,
+            end: predicted + 1,
+            len: labels.len(),
+        });
     }
     let region = labels.regions()[0];
     let tol = ucr_tolerance(&region);
@@ -38,9 +42,7 @@ pub fn ucr_correct(predicted: usize, labels: &Labels) -> Result<bool> {
 }
 
 /// Aggregate UCR accuracy over many `(prediction, labels)` pairs.
-pub fn ucr_accuracy<'a>(
-    results: impl IntoIterator<Item = (usize, &'a Labels)>,
-) -> Result<f64> {
+pub fn ucr_accuracy<'a>(results: impl IntoIterator<Item = (usize, &'a Labels)>) -> Result<f64> {
     let mut correct = 0usize;
     let mut total = 0usize;
     for (pred, labels) in results {

@@ -14,8 +14,8 @@ fn mask(len: usize) -> impl Strategy<Value = Vec<bool>> {
 
 fn labels_strategy(len: usize) -> impl Strategy<Value = Labels> {
     (1usize..6).prop_flat_map(move |count| {
-        prop::collection::vec((0usize..len.saturating_sub(6), 1usize..5), count..=count)
-            .prop_map(move |raw| {
+        prop::collection::vec((0usize..len.saturating_sub(6), 1usize..5), count..=count).prop_map(
+            move |raw| {
                 let mut mask = vec![false; len];
                 for (start, width) in raw {
                     for m in mask.iter_mut().skip(start).take(width) {
@@ -23,7 +23,8 @@ fn labels_strategy(len: usize) -> impl Strategy<Value = Labels> {
                     }
                 }
                 Labels::from_mask(&mask)
-            })
+            },
+        )
     })
 }
 

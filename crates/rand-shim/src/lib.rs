@@ -1,0 +1,394 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API used in this
+//! workspace.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real `rand` crate can never be resolved. This shim implements the
+//! same *source-level* API for the calls the repository makes:
+//!
+//! * `rand::rngs::StdRng` + `SeedableRng::seed_from_u64`
+//! * `Rng::{gen, gen_range, gen_bool, fill}` for the types actually used
+//!   (`f64`, the integer primitives, ranges and inclusive ranges)
+//!
+//! The generator behind [`rngs::StdRng`] is ChaCha with 12 rounds — the
+//! same algorithm the real `rand` 0.8 `StdRng` uses — seeded through the
+//! standard SplitMix64 expansion, so streams are deterministic, of
+//! cryptographic quality, and stable across platforms. Bit-exact equality
+//! with crates.io `rand` is *not* guaranteed and nothing in the workspace
+//! relies on it; every test asserts statistical properties, not literal
+//! streams.
+
+/// Core random-number-generator interface (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator constructible from a seed (mirror of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64 —
+    /// the same derivation `rand_core` documents.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types samplable uniformly over their whole domain (`Rng::gen`).
+pub trait Standard: Sized {
+    #[doc(hidden)]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1), the standard construction
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_lossless)]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform, unbiased draw below `n` (Lemire's widening-multiply method).
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let zone = n.wrapping_neg() % n; // 2^64 mod n low values are rejected
+    loop {
+        let v = rng.next_u64();
+        let wide = (v as u128) * (n as u128);
+        if (wide as u64) >= zone {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+/// Types with a uniform sampler over arbitrary sub-ranges. The single
+/// blanket [`SampleRange`] impl below goes through this trait so type
+/// inference can link a range literal's element type to `gen_range`'s
+/// return type (mirrors the real crate's `SampleUniform` design).
+pub trait SampleUniform: Copy {
+    #[doc(hidden)]
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = sample_below(rng, span + 1);
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let off = sample_below(rng, span);
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(
+                    lo < hi && (hi - lo).is_finite(),
+                    "cannot sample empty or non-finite float range"
+                );
+                let unit = <$t as Standard>::sample_standard(rng);
+                let v = lo + unit * (hi - lo);
+                // guard against `lo + 1.0 * span` rounding up to `hi`
+                if v < hi { v } else { <$t>::from_bits(hi.to_bits() - 1) }
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Ranges a value can be drawn from (`Rng::gen_range`).
+pub trait SampleRange<T> {
+    #[doc(hidden)]
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// User-facing convenience methods (mirror of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample over a type's full domain (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_range(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
+        self.gen::<f64>() < p
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG: ChaCha (12 rounds), the
+    /// same algorithm crates.io `rand` 0.8 uses for its `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        /// ChaCha state: 4 constant words, 8 key words, 2 counter words,
+        /// 2 nonce words.
+        state: [u32; 16],
+        /// Current 16-word output block.
+        block: [u32; 16],
+        /// Next unread word in `block` (16 = exhausted).
+        cursor: usize,
+    }
+
+    const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+    #[inline(always)]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut w = self.state;
+            for _ in 0..6 {
+                // double round = column round + diagonal round
+                quarter_round(&mut w, 0, 4, 8, 12);
+                quarter_round(&mut w, 1, 5, 9, 13);
+                quarter_round(&mut w, 2, 6, 10, 14);
+                quarter_round(&mut w, 3, 7, 11, 15);
+                quarter_round(&mut w, 0, 5, 10, 15);
+                quarter_round(&mut w, 1, 6, 11, 12);
+                quarter_round(&mut w, 2, 7, 8, 13);
+                quarter_round(&mut w, 3, 4, 9, 14);
+            }
+            for (out, (&work, &init)) in self.block.iter_mut().zip(w.iter().zip(&self.state)) {
+                *out = work.wrapping_add(init);
+            }
+            // 64-bit block counter in words 12/13
+            let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+            self.state[12] = counter as u32;
+            self.state[13] = (counter >> 32) as u32;
+            self.cursor = 0;
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.cursor >= 16 {
+                self.refill();
+            }
+            let v = self.block[self.cursor];
+            self.cursor += 1;
+            v
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            lo | (hi << 32)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = [0u32; 16];
+            state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+            for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+                *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            // counter and nonce start at zero
+            Self {
+                state,
+                block: [0; 16],
+                cursor: 16,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn unit_floats_have_uniform_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

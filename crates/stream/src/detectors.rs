@@ -1,0 +1,432 @@
+//! Native streaming ports of the batch threshold detectors.
+//!
+//! All three detectors here are **bitwise-equivalent** to their batch
+//! counterparts: they buffer exactly the data the batch version derives its
+//! statistics from (a finite calibration prefix, or a centered window),
+//! compute those statistics with the *same* `tsad-core` calls in the same
+//! order, and evaluate the same per-sample expression. See
+//! [`equivalence`](crate::equivalence) for the machine-checked claim.
+//!
+//! The batch [`GlobalZScore`](tsad_detectors::GlobalZScore) and
+//! [`Cusum`](tsad_detectors::Cusum) fall back to whole-series statistics
+//! when `train_len < 2`; a bounded-memory stream cannot do that (the
+//! "whole series" never ends), so the streaming constructors require
+//! `train_len ≥ 2` and score the calibration prefix retroactively once it
+//! completes — exactly the values the batch detector assigns those indices.
+
+use std::collections::VecDeque;
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::ops::incremental::{MovMean, MovStd, RingBuffer};
+use tsad_core::stats;
+use tsad_detectors::cusum::Cusum;
+
+use crate::StreamingDetector;
+
+fn require_train_len(train_len: usize) -> Result<()> {
+    if train_len < 2 {
+        return Err(CoreError::BadParameter {
+            name: "train_len",
+            value: train_len as f64,
+            expected: "train_len >= 2 (a stream has no whole-series fallback)",
+        });
+    }
+    Ok(())
+}
+
+/// Streaming [`GlobalZScore`](tsad_detectors::GlobalZScore): buffers the
+/// `train_len` calibration samples, then scores every sample (prefix
+/// included) as `|x − μ| / σ` with μ, σ frozen from the prefix.
+///
+/// Bitwise-equivalent to the batch detector for the same `train_len ≥ 2`.
+#[derive(Debug, Clone)]
+pub struct StreamingGlobalZScore {
+    train_len: usize,
+    prefix: Vec<f64>,
+    calibrated: Option<(f64, f64)>,
+    ready: VecDeque<f64>,
+}
+
+impl StreamingGlobalZScore {
+    /// Creates the detector; statistics freeze after `train_len ≥ 2` pushes.
+    pub fn new(train_len: usize) -> Result<Self> {
+        require_train_len(train_len)?;
+        Ok(Self {
+            train_len,
+            prefix: Vec::with_capacity(train_len),
+            calibrated: None,
+            ready: VecDeque::new(),
+        })
+    }
+
+    fn score_one(&self, v: f64) -> f64 {
+        let (mu, sd) = self.calibrated.expect("calibrated");
+        (v - mu).abs() / sd
+    }
+}
+
+impl StreamingDetector for StreamingGlobalZScore {
+    fn name(&self) -> String {
+        format!("global z-score (stream, train={})", self.train_len)
+    }
+
+    fn push(&mut self, x: f64) -> Option<f64> {
+        if self.calibrated.is_none() {
+            self.prefix.push(x);
+            if self.prefix.len() < self.train_len {
+                return None;
+            }
+            // Same calls, same slice, same order as the batch detector.
+            let mu = stats::mean(&self.prefix).expect("train_len >= 2");
+            let sd = stats::std_dev(&self.prefix)
+                .expect("train_len >= 2")
+                .max(1e-12);
+            self.calibrated = Some((mu, sd));
+            for i in 0..self.prefix.len() {
+                self.ready.push_back(self.score_one(self.prefix[i]));
+            }
+            self.prefix = Vec::new();
+        } else {
+            let s = self.score_one(x);
+            self.ready.push_back(s);
+        }
+        self.ready.pop_front()
+    }
+
+    fn finish(&mut self) -> Vec<f64> {
+        // a stream shorter than train_len never calibrates; score what we
+        // have the way the batch detector would be *unable* to — emit
+        // nothing rather than invent statistics
+        self.ready.drain(..).collect()
+    }
+
+    fn reset(&mut self) {
+        self.prefix.clear();
+        self.calibrated = None;
+        self.ready.clear();
+    }
+
+    fn lag(&self) -> usize {
+        self.train_len - 1
+    }
+
+    fn memory_bound(&self) -> usize {
+        2 * self.train_len + 2
+    }
+}
+
+/// Streaming two-sided CUSUM: calibrates μ, σ on the first `train_len`
+/// samples, replays the recursion over the buffered prefix, then updates
+/// the two one-sided statistics in O(1) per push.
+///
+/// Bitwise-equivalent to the batch [`Cusum`] for the same `train_len ≥ 2`:
+/// the recursion `hi ← max(0, d·hi + z − k)`, `lo ← max(0, d·lo − z − k)`
+/// is replayed in identical order with identical constants.
+#[derive(Debug, Clone)]
+pub struct StreamingCusum {
+    params: Cusum,
+    train_len: usize,
+    prefix: Vec<f64>,
+    // (mu, sd, hi, lo) once calibrated
+    state: Option<(f64, f64, f64, f64)>,
+    ready: VecDeque<f64>,
+}
+
+impl StreamingCusum {
+    /// Creates the detector from batch parameters; validation matches
+    /// [`Cusum::statistics`].
+    pub fn new(params: Cusum, train_len: usize) -> Result<Self> {
+        require_train_len(train_len)?;
+        // same checks as Cusum::statistics, performed eagerly
+        if !(0.0..10.0).contains(&params.allowance) {
+            return Err(CoreError::BadParameter {
+                name: "allowance",
+                value: params.allowance,
+                expected: "0 <= allowance < 10",
+            });
+        }
+        if !(0.0 < params.decay && params.decay <= 1.0) {
+            return Err(CoreError::BadParameter {
+                name: "decay",
+                value: params.decay,
+                expected: "0 < decay <= 1",
+            });
+        }
+        Ok(Self {
+            params,
+            train_len,
+            prefix: Vec::with_capacity(train_len),
+            state: None,
+            ready: VecDeque::new(),
+        })
+    }
+
+    fn step(&mut self, v: f64) -> f64 {
+        let (mu, sd, hi, lo) = self.state.expect("calibrated");
+        let z = (v - mu) / sd;
+        let hi = (self.params.decay * hi + z - self.params.allowance).max(0.0);
+        let lo = (self.params.decay * lo - z - self.params.allowance).max(0.0);
+        self.state = Some((mu, sd, hi, lo));
+        hi.max(lo)
+    }
+}
+
+impl StreamingDetector for StreamingCusum {
+    fn name(&self) -> String {
+        format!("CUSUM (stream, train={})", self.train_len)
+    }
+
+    fn push(&mut self, x: f64) -> Option<f64> {
+        if self.state.is_none() {
+            self.prefix.push(x);
+            if self.prefix.len() < self.train_len {
+                return None;
+            }
+            let mu = stats::mean(&self.prefix).expect("train_len >= 2");
+            let sd = stats::std_dev(&self.prefix)
+                .expect("train_len >= 2")
+                .max(1e-9);
+            self.state = Some((mu, sd, 0.0, 0.0));
+            let prefix = std::mem::take(&mut self.prefix);
+            for &v in &prefix {
+                let s = self.step(v);
+                self.ready.push_back(s);
+            }
+        } else {
+            let s = self.step(x);
+            self.ready.push_back(s);
+        }
+        self.ready.pop_front()
+    }
+
+    fn finish(&mut self) -> Vec<f64> {
+        self.ready.drain(..).collect()
+    }
+
+    fn reset(&mut self) {
+        self.prefix.clear();
+        self.state = None;
+        self.ready.clear();
+    }
+
+    fn lag(&self) -> usize {
+        self.train_len - 1
+    }
+
+    fn memory_bound(&self) -> usize {
+        2 * self.train_len + 4
+    }
+}
+
+/// Streaming [`MovingAvgResidual`](tsad_detectors::MovingAvgResidual):
+/// `|x − movmean(x, k)| / (movstd(x, k) + ε)` with the centered,
+/// endpoint-shrinking MATLAB windows.
+///
+/// Bitwise-equivalent to the batch detector: the incremental
+/// `MovMean`/`MovStd` nodes materialize the same windows and reduce them
+/// through the same `window_mean`/`window_std` helpers the batch ops use.
+#[derive(Debug, Clone)]
+pub struct StreamingMovingAvgResidual {
+    window: usize,
+    mm: MovMean,
+    ms: MovStd,
+    raw: RingBuffer,
+    emitted: usize,
+}
+
+impl StreamingMovingAvgResidual {
+    /// Creates the detector with window `k ≥ 1`.
+    pub fn new(window: usize) -> Result<Self> {
+        Ok(Self {
+            window,
+            mm: MovMean::new(window)?,
+            ms: MovStd::new(window)?,
+            raw: RingBuffer::new(window)?,
+            emitted: 0,
+        })
+    }
+
+    fn residual(&mut self, m: f64, s: f64) -> f64 {
+        // the raw sample at the emission index is still retained: the node
+        // delay (k−1)/2 is strictly less than the ring capacity k
+        let v = self.raw.get(self.emitted).expect("raw sample retained");
+        self.emitted += 1;
+        (v - m).abs() / (s + 1e-9)
+    }
+}
+
+impl StreamingDetector for StreamingMovingAvgResidual {
+    fn name(&self) -> String {
+        format!("moving-average residual (stream, k={})", self.window)
+    }
+
+    fn push(&mut self, x: f64) -> Option<f64> {
+        self.raw.push(x);
+        // same k ⇒ the two nodes warm up and emit in lockstep
+        match (self.mm.push(x), self.ms.push(x)) {
+            (Some(m), Some(s)) => Some(self.residual(m, s)),
+            _ => None,
+        }
+    }
+
+    fn finish(&mut self) -> Vec<f64> {
+        let means = self.mm.finish();
+        let stds = self.ms.finish();
+        means
+            .into_iter()
+            .zip(stds)
+            .map(|(m, s)| self.residual(m, s))
+            .collect()
+    }
+
+    fn reset(&mut self) {
+        self.mm.reset();
+        self.ms.reset();
+        self.raw.clear();
+        self.emitted = 0;
+    }
+
+    fn lag(&self) -> usize {
+        self.mm.delay()
+    }
+
+    fn memory_bound(&self) -> usize {
+        self.mm.memory_bound() + self.ms.memory_bound() + self.raw.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::TimeSeries;
+    use tsad_detectors::baselines::{GlobalZScore, MovingAvgResidual};
+    use tsad_detectors::Detector;
+
+    /// Deterministic wiggly series with a level shift and a spike.
+    fn series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let noise = (((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64
+                    / (1u64 << 24) as f64)
+                    - 0.5;
+                let shift = if i >= 2 * n / 3 { 1.2 } else { 0.0 };
+                let spike = if i == n / 2 { 6.0 } else { 0.0 };
+                (i as f64 * 0.07).sin() + noise + shift + spike
+            })
+            .collect()
+    }
+
+    fn assert_bitwise(batch: &[f64], stream: &[f64], what: &str) {
+        assert_eq!(batch.len(), stream.len(), "{what}: length");
+        for (i, (a, b)) in batch.iter().zip(stream).enumerate() {
+            assert!(a.to_bits() == b.to_bits(), "{what} i={i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zscore_stream_is_bitwise_batch() {
+        let xs = series(400);
+        let ts = TimeSeries::from_values(xs.clone()).unwrap();
+        let batch = GlobalZScore.score(&ts, 60).unwrap();
+        let mut det = StreamingGlobalZScore::new(60).unwrap();
+        let got = det.score_stream(&xs);
+        assert_bitwise(&batch, &got, "zscore");
+        // reset reproduces the identical stream
+        det.reset();
+        assert_bitwise(&batch, &det.score_stream(&xs), "zscore after reset");
+    }
+
+    #[test]
+    fn zscore_emission_schedule() {
+        let mut det = StreamingGlobalZScore::new(5).unwrap();
+        assert_eq!(det.lag(), 4);
+        for i in 0..4 {
+            assert_eq!(det.push(i as f64), None, "warm-up push {i}");
+        }
+        assert!(det.push(4.0).is_some(), "calibration push emits score 0");
+        assert!(det.push(5.0).is_some());
+        assert_eq!(det.finish().len(), 4);
+        assert!(StreamingGlobalZScore::new(1).is_err());
+    }
+
+    #[test]
+    fn short_stream_never_calibrates_and_emits_nothing() {
+        let mut det = StreamingGlobalZScore::new(100).unwrap();
+        assert_eq!(det.score_stream(&[1.0, 2.0, 3.0]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn cusum_stream_is_bitwise_batch() {
+        let xs = series(600);
+        let ts = TimeSeries::from_values(xs.clone()).unwrap();
+        for params in [
+            Cusum::default(),
+            Cusum {
+                allowance: 0.25,
+                decay: 1.0,
+            },
+        ] {
+            let batch = params.score(&ts, 150).unwrap();
+            let mut det = StreamingCusum::new(params, 150).unwrap();
+            assert_bitwise(&batch, &det.score_stream(&xs), "cusum");
+        }
+    }
+
+    #[test]
+    fn cusum_validates_eagerly() {
+        assert!(StreamingCusum::new(
+            Cusum {
+                allowance: -1.0,
+                decay: 1.0
+            },
+            10
+        )
+        .is_err());
+        assert!(StreamingCusum::new(
+            Cusum {
+                allowance: 0.5,
+                decay: 0.0
+            },
+            10
+        )
+        .is_err());
+        assert!(StreamingCusum::new(Cusum::default(), 1).is_err());
+    }
+
+    #[test]
+    fn moving_avg_residual_stream_is_bitwise_batch() {
+        let xs = series(257);
+        let ts = TimeSeries::from_values(xs.clone()).unwrap();
+        for k in [1usize, 2, 5, 21, 64] {
+            let batch = MovingAvgResidual::new(k).score(&ts, 0).unwrap();
+            let mut det = StreamingMovingAvgResidual::new(k).unwrap();
+            assert_bitwise(&batch, &det.score_stream(&xs), &format!("mavg k={k}"));
+            det.reset();
+            assert_bitwise(
+                &batch,
+                &det.score_stream(&xs),
+                &format!("mavg k={k} after reset"),
+            );
+        }
+        assert!(StreamingMovingAvgResidual::new(0).is_err());
+    }
+
+    #[test]
+    fn memory_bounds_are_constant_in_stream_length() {
+        let mut z = StreamingGlobalZScore::new(50).unwrap();
+        let mut c = StreamingCusum::new(Cusum::default(), 50).unwrap();
+        let mut m = StreamingMovingAvgResidual::new(31).unwrap();
+        let (bz, bc, bm) = (z.memory_bound(), c.memory_bound(), m.memory_bound());
+        for i in 0..10_000 {
+            let v = (i as f64 * 0.1).sin();
+            z.push(v);
+            c.push(v);
+            m.push(v);
+        }
+        assert_eq!(z.memory_bound(), bz);
+        assert_eq!(c.memory_bound(), bc);
+        assert_eq!(m.memory_bound(), bm);
+        // the z-score backlog really is bounded by train_len
+        assert!(z.ready.len() <= 50);
+    }
+}

@@ -1,0 +1,353 @@
+//! Streaming left matrix profile — the bounded-memory port of
+//! [`OnlineDiscordDetector`](tsad_detectors::matrix_profile::OnlineDiscordDetector).
+//!
+//! The batch left profile already respects causality (window `i` is only
+//! compared against windows `j ≤ i − excl`), but it holds the whole series.
+//! This port retains a sliding **horizon** of the most recent `H` windows
+//! and maintains the STOMP dot-product recurrence along diagonals as
+//! samples arrive: when window `i` completes, every retained dot
+//! `QT(j, i−1)` becomes `QT(j+1, i)` with one multiply-add, and the one
+//! diagonal entering the horizon is seeded with a direct `O(m)` dot
+//! product. Per-push work is `O(H + m)`; memory is `O(H + m)`.
+//!
+//! ## Equivalence
+//!
+//! With `horizon ≥ count` the admissible-neighbor set matches the batch
+//! left profile exactly, but the arithmetic does not: the batch seeds each
+//! diagonal from an FFT sliding dot product and takes window moments from
+//! mean-shifted prefix sums, while the stream seeds diagonals with direct
+//! summation and computes two-pass moments. The scores therefore agree to a
+//! floating-point **tolerance** (≈1e-6 on well-conditioned signals), not
+//! bitwise — this is the one detector family the equivalence harness checks
+//! in [`EquivalenceMode::Tolerance`](crate::EquivalenceMode) rather than
+//! bitwise mode.
+
+use std::collections::VecDeque;
+
+use tsad_core::dist::dot_to_znorm_dist;
+use tsad_core::error::{CoreError, Result};
+use tsad_core::ops::incremental::RingBuffer;
+use tsad_detectors::matrix_profile::{exclusion_zone, ProfileMetric};
+
+use crate::StreamingDetector;
+
+/// Per-window summary retained for the horizon.
+#[derive(Debug, Clone, Copy)]
+struct WindowStats {
+    mean: f64,
+    std: f64,
+    sq_norm: f64,
+}
+
+/// Streaming left-matrix-profile discord detector.
+///
+/// Emits one point score per sample (lag `m − 1`): the maximum left-profile
+/// value among the windows covering the point, exactly the expansion
+/// [`MatrixProfile::point_scores`](tsad_detectors::matrix_profile::MatrixProfile::point_scores)
+/// performs. Warm-up windows (`i < excl + 2m`) score 0, matching the batch
+/// convention that early windows carry no evidence.
+#[derive(Debug, Clone)]
+pub struct StreamingLeftDiscord {
+    m: usize,
+    excl: usize,
+    metric: ProfileMetric,
+    horizon: usize,
+    /// Raw samples; window `j` needs `x[j − 1 .. j + m]` for the recurrence,
+    /// so capacity is `horizon + m + 1`.
+    values: RingBuffer,
+    /// `dots[idx] = QT(dots_lo + idx, i_cur)` for the retained diagonals.
+    dots: VecDeque<f64>,
+    dots_lo: usize,
+    /// Moments/norms for the retained windows `[i_cur − len + 1, i_cur]`.
+    wstats: VecDeque<WindowStats>,
+    /// Last `≤ m` window-profile values, for the point-score expansion.
+    tail: VecDeque<f64>,
+    pushed: usize,
+    scratch: Vec<f64>,
+}
+
+impl StreamingLeftDiscord {
+    /// Creates the detector: subsequence length `m ≥ 2`, retained-window
+    /// horizon `horizon ≥ excl(m)`. Choose `horizon ≥ n − m + 1` for exact
+    /// agreement (to tolerance) with the batch left profile.
+    pub fn new(m: usize, metric: ProfileMetric, horizon: usize) -> Result<Self> {
+        if m < 2 {
+            return Err(CoreError::BadWindow { window: m, len: 0 });
+        }
+        let excl = exclusion_zone(m);
+        if horizon < excl {
+            return Err(CoreError::BadParameter {
+                name: "horizon",
+                value: horizon as f64,
+                expected: "horizon >= exclusion_zone(m), or no window ever \
+                           has an admissible left neighbor",
+            });
+        }
+        Ok(Self {
+            m,
+            excl,
+            metric,
+            horizon,
+            values: RingBuffer::new(horizon + m + 1)?,
+            dots: VecDeque::new(),
+            dots_lo: 0,
+            wstats: VecDeque::new(),
+            tail: VecDeque::new(),
+            pushed: 0,
+            scratch: Vec::with_capacity(m),
+        })
+    }
+
+    fn val(&self, idx: usize) -> f64 {
+        self.values
+            .get(idx)
+            .expect("sample within the retained horizon")
+    }
+
+    /// Direct O(m) dot product of windows `j` and `i` (both retained).
+    fn direct_dot(&self, j: usize, i: usize) -> f64 {
+        (0..self.m).map(|o| self.val(j + o) * self.val(i + o)).sum()
+    }
+
+    /// Two-pass moments + squared norm of the just-completed window `i`.
+    fn window_stats(&mut self, i: usize) -> WindowStats {
+        self.values.extract(i, i + self.m, &mut self.scratch);
+        let mf = self.m as f64;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for &v in &self.scratch {
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / mf;
+        let mut acc = 0.0;
+        for &v in &self.scratch {
+            let d = v - mean;
+            acc += d * d;
+        }
+        WindowStats {
+            mean,
+            std: (acc / mf).sqrt(),
+            sq_norm: sq,
+        }
+    }
+
+    /// Left-profile value of window `i` over the retained horizon.
+    fn profile_of(&self, i: usize, cur: WindowStats) -> f64 {
+        if i < self.excl + 2 * self.m {
+            return 0.0; // batch warm-up convention
+        }
+        let hi = i - self.excl;
+        let mut best = f64::INFINITY;
+        for j in self.dots_lo..=hi {
+            let dot = self.dots[j - self.dots_lo];
+            let s = self.wstats[self.wstats.len() - 1 - (i - j)];
+            let d = match self.metric {
+                ProfileMetric::ZNormalized => {
+                    dot_to_znorm_dist(dot, self.m, cur.mean, cur.std, s.mean, s.std)
+                }
+                ProfileMetric::Euclidean => (cur.sq_norm + s.sq_norm - 2.0 * dot).max(0.0).sqrt(),
+            };
+            if d < best {
+                best = d;
+            }
+        }
+        if best.is_finite() {
+            best
+        } else {
+            0.0 // no admissible neighbor in the horizon: no evidence
+        }
+    }
+
+    fn tail_max(&self) -> f64 {
+        self.tail.iter().copied().fold(0.0f64, f64::max)
+    }
+}
+
+impl StreamingDetector for StreamingLeftDiscord {
+    fn name(&self) -> String {
+        let metric = match self.metric {
+            ProfileMetric::ZNormalized => "znorm",
+            ProfileMetric::Euclidean => "euclid",
+        };
+        format!(
+            "left discord (stream, m={}, {metric}, horizon={})",
+            self.m, self.horizon
+        )
+    }
+
+    fn push(&mut self, x: f64) -> Option<f64> {
+        self.values.push(x);
+        self.pushed += 1;
+        if self.pushed < self.m {
+            return None;
+        }
+        let i = self.pushed - self.m; // just-completed window index
+        let cur = self.window_stats(i);
+
+        if i == 0 {
+            self.dots.push_back(cur.sq_norm); // QT(0, 0) is the self-dot
+        } else {
+            // Advance every retained diagonal one row:
+            // QT(j+1, i) = QT(j, i−1) − x[i−1]·x[j] + x[i+m−1]·x[j+m].
+            let xl = self.val(i - 1);
+            let xr = self.val(i + self.m - 1);
+            for idx in 0..self.dots.len() {
+                let j_old = self.dots_lo + idx;
+                self.dots[idx] =
+                    self.dots[idx] - xl * self.val(j_old) + xr * self.val(j_old + self.m);
+            }
+            self.dots_lo += 1;
+            // seed the diagonal that (re-)enters the horizon with a direct
+            // dot product — at most one per push in steady state
+            let lo_target = i.saturating_sub(self.horizon);
+            while self.dots_lo > lo_target {
+                self.dots_lo -= 1;
+                let d = self.direct_dot(self.dots_lo, i);
+                self.dots.push_front(d);
+            }
+            while self.dots_lo < lo_target {
+                self.dots.pop_front();
+                self.dots_lo += 1;
+            }
+        }
+
+        self.wstats.push_back(cur);
+        while self.wstats.len() > self.horizon + 1 {
+            self.wstats.pop_front();
+        }
+
+        let p = self.profile_of(i, cur);
+        self.tail.push_back(p);
+        if self.tail.len() > self.m {
+            self.tail.pop_front();
+        }
+        // point i is now covered only by completed windows [i − m + 1, i]
+        Some(self.tail_max())
+    }
+
+    fn finish(&mut self) -> Vec<f64> {
+        // remaining points: the last m − 1 (or all, on streams shorter than
+        // one window) — point p is covered by windows [max(0, p−m+1),
+        // count−1], a suffix of the tail that shrinks once p ≥ m
+        let emitted = self.pushed.saturating_sub(self.m - 1).min(self.pushed);
+        let mut out = Vec::with_capacity(self.pushed - emitted);
+        for p in emitted..self.pushed {
+            if p >= self.m {
+                self.tail.pop_front();
+            }
+            out.push(self.tail_max());
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.values.clear();
+        self.dots.clear();
+        self.dots_lo = 0;
+        self.wstats.clear();
+        self.tail.clear();
+        self.pushed = 0;
+        self.scratch.clear();
+    }
+
+    fn lag(&self) -> usize {
+        self.m - 1
+    }
+
+    fn memory_bound(&self) -> usize {
+        self.values.capacity() + 4 * (self.horizon + 1) + 2 * self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::TimeSeries;
+    use tsad_detectors::matrix_profile::OnlineDiscordDetector;
+    use tsad_detectors::Detector;
+
+    fn anomalous_sine(n: usize, period: usize, at: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let base = (i as f64 * std::f64::consts::TAU / period as f64).sin();
+                if i >= at && i < at + period / 2 {
+                    base * 0.2 + 0.8
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_horizon_matches_batch_left_profile_to_tolerance() {
+        let x = anomalous_sine(500, 25, 360);
+        let ts = TimeSeries::from_values(x.clone()).unwrap();
+        for m in [16usize, 25] {
+            let batch = OnlineDiscordDetector::new(m).score(&ts, 0).unwrap();
+            let mut s = StreamingLeftDiscord::new(m, ProfileMetric::ZNormalized, x.len()).unwrap();
+            let got = s.score_stream(&x);
+            assert_eq!(got.len(), batch.len(), "m={m}");
+            for (i, (a, b)) in batch.iter().zip(&got).enumerate() {
+                assert!((a - b).abs() < 1e-6, "m={m} i={i}: batch {a} vs stream {b}");
+            }
+            // reset replays identically
+            s.reset();
+            assert_eq!(s.score_stream(&x), got, "m={m} reset");
+        }
+    }
+
+    #[test]
+    fn euclidean_metric_matches_batch_too() {
+        let x = anomalous_sine(400, 20, 300);
+        let ts = TimeSeries::from_values(x.clone()).unwrap();
+        let m = 20;
+        let batch = tsad_detectors::matrix_profile::left_stomp(&x, m, ProfileMetric::Euclidean)
+            .unwrap()
+            .point_scores(ts.len());
+        let mut s = StreamingLeftDiscord::new(m, ProfileMetric::Euclidean, x.len()).unwrap();
+        let got = s.score_stream(&x);
+        for (i, (a, b)) in batch.iter().zip(&got).enumerate() {
+            assert!((a - b).abs() < 1e-6, "i={i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bounded_horizon_still_flags_the_novel_cycle() {
+        let x = anomalous_sine(2000, 25, 1700);
+        let m = 25;
+        // horizon of 300 windows ≪ 1976 total
+        let mut s = StreamingLeftDiscord::new(m, ProfileMetric::ZNormalized, 300).unwrap();
+        let bound = s.memory_bound();
+        let got = s.score_stream(&x);
+        assert_eq!(got.len(), x.len());
+        assert_eq!(s.memory_bound(), bound, "memory bound must not grow");
+        let peak = got
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!((1670..=1740).contains(&peak), "peak at {peak}");
+    }
+
+    #[test]
+    fn emission_schedule_and_short_streams() {
+        let mut s = StreamingLeftDiscord::new(8, ProfileMetric::ZNormalized, 64).unwrap();
+        assert_eq!(s.lag(), 7);
+        for i in 0..7 {
+            assert_eq!(s.push(i as f64), None, "push {i}");
+        }
+        assert!(s.push(7.0).is_some());
+        assert_eq!(s.finish().len(), 7);
+        // shorter than one window: all points drain at finish as zeros
+        s.reset();
+        s.push(1.0);
+        s.push(2.0);
+        assert_eq!(s.finish(), vec![0.0, 0.0]);
+        // parameter validation
+        assert!(StreamingLeftDiscord::new(1, ProfileMetric::ZNormalized, 10).is_err());
+        assert!(StreamingLeftDiscord::new(10, ProfileMetric::ZNormalized, 2).is_err());
+    }
+}

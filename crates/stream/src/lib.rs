@@ -1,0 +1,134 @@
+//! # tsad-stream — bounded-memory streaming detection
+//!
+//! The batch detectors in `tsad-detectors` score a complete series at once.
+//! Deployed anomaly detection is a *stream*: one sample arrives, the
+//! detector updates `O(k)` state and (possibly) emits a score. This crate
+//! provides that execution model for the repository's detector panel, with
+//! two guarantees the batch/streaming split usually loses:
+//!
+//! 1. **Bounded memory** — every detector reports an upper bound on its
+//!    retained state ([`StreamingDetector::memory_bound`]); nothing grows
+//!    with stream length.
+//! 2. **Batch equivalence** — the native streaming ports reproduce their
+//!    batch counterparts *bitwise* (z-score, CUSUM, moving-average
+//!    residual, the whole one-liner family; see [`equivalence`]) or within
+//!    a documented floating-point tolerance (the left matrix profile, whose
+//!    rolling dot products accumulate rounding differently).
+//!
+//! ## Emission model
+//!
+//! [`StreamingDetector::push`] consumes one sample and returns at most one
+//! score. Centered-window detectors cannot score index `i` until the
+//! samples after `i` arrive, so scores trail the input by
+//! [`lag`](StreamingDetector::lag) pushes; [`finish`](StreamingDetector::finish)
+//! drains the held-back tail once the stream ends. Detectors whose batch
+//! counterpart pads a non-causal prefix (the one-liner's `diff` depth)
+//! start emitting at [`score_offset`](StreamingDetector::score_offset)
+//! instead of index 0.
+//!
+//! For every native port: `concat(push outputs, finish())` equals the batch
+//! detector's score vector from `score_offset` on.
+//!
+//! ## Replay
+//!
+//! The [`replay`] module feeds any dataset through a detector in
+//! configurable chunk sizes, recording throughput (points/second),
+//! per-push latency, and *detection delay* (first alarm − anomaly onset,
+//! scored by `tsad-eval::streaming`).
+
+pub mod adapter;
+pub mod detectors;
+pub mod discord;
+pub mod equivalence;
+pub mod oneliner;
+pub mod replay;
+
+pub use adapter::BatchAdapter;
+pub use detectors::{StreamingCusum, StreamingGlobalZScore, StreamingMovingAvgResidual};
+pub use discord::StreamingLeftDiscord;
+pub use equivalence::{check_equivalence, EquivalenceMode, EquivalenceReport};
+pub use oneliner::StreamingOneLiner;
+pub use replay::{replay, ReplayConfig, ReplayOutcome};
+
+/// A push-based anomaly detector with bounded memory.
+///
+/// Contract: for a stream of `n` pushes, the concatenation of all `Some`
+/// values returned by [`push`](Self::push) followed by
+/// [`finish`](Self::finish) contains exactly `n − score_offset()` scores;
+/// score `t` of that sequence refers to series index `score_offset() + t`.
+/// Higher scores mean more anomalous, matching
+/// `tsad_detectors::Detector::score`.
+pub trait StreamingDetector {
+    /// Human-readable detector name.
+    fn name(&self) -> String;
+
+    /// Consumes one sample; returns the next in-order score once its
+    /// window/warm-up allows, `None` while warming up.
+    fn push(&mut self, x: f64) -> Option<f64>;
+
+    /// Drains the scores still held back at end of stream (shrunken
+    /// windows, buffered warm-up prefixes).
+    fn finish(&mut self) -> Vec<f64>;
+
+    /// Restores the freshly-constructed state.
+    fn reset(&mut self);
+
+    /// Series index of the first emitted score (0 for most detectors; the
+    /// one-liner family starts at its `diff` depth, whose batch scores are
+    /// non-causal padding).
+    fn score_offset(&self) -> usize {
+        0
+    }
+
+    /// Steady-state emission lag: `push` number `t` emits the score for
+    /// series index `t − lag()` (0-based, once warmed up).
+    fn lag(&self) -> usize;
+
+    /// Upper bound on retained state, in `f64`-equivalents. Constant in
+    /// stream length by construction.
+    fn memory_bound(&self) -> usize;
+
+    /// Convenience: streams a whole slice and returns the full score
+    /// sequence (`push` outputs then `finish`), aligned to
+    /// `score_offset()`.
+    fn score_stream(&mut self, xs: &[f64]) -> Vec<f64> {
+        let mut out: Vec<f64> = xs.iter().filter_map(|&v| self.push(v)).collect();
+        out.extend(self.finish());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_stream_concatenates_pushes_and_finish() {
+        struct Delay1 {
+            held: Option<f64>,
+        }
+        impl StreamingDetector for Delay1 {
+            fn name(&self) -> String {
+                "delay1".into()
+            }
+            fn push(&mut self, x: f64) -> Option<f64> {
+                self.held.replace(x)
+            }
+            fn finish(&mut self) -> Vec<f64> {
+                self.held.take().into_iter().collect()
+            }
+            fn reset(&mut self) {
+                self.held = None;
+            }
+            fn lag(&self) -> usize {
+                1
+            }
+            fn memory_bound(&self) -> usize {
+                1
+            }
+        }
+        let mut d = Delay1 { held: None };
+        assert_eq!(d.score_stream(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(d.score_offset(), 0);
+    }
+}

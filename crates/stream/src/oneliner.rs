@@ -1,0 +1,564 @@
+//! Streaming execution of the paper's one-line detectors.
+//!
+//! [`StreamingOneLiner::compile`] lowers a batch
+//! [`OneLiner`](tsad_detectors::oneliner::OneLiner) predicate into a tree of
+//! incremental nodes (one per AST operator) that consumes the series one
+//! sample at a time. The emitted scores are the margins `lhs − rhs` — the
+//! same values [`OneLiner::score_values`] computes — produced **bitwise
+//! identically**, because every `movmean`/`movstd` window is materialized
+//! and reduced through the same `tsad-core` helpers as the batch ops, and
+//! every elementwise combination preserves the batch operand order.
+//!
+//! ## Alignment
+//!
+//! `diff` shifts meaning: after `d` diffs the first margin describes series
+//! index `d`. Batch `score_values` pads indices `0..d` with the *global
+//! minimum* margin — a non-causal value no stream can know up front — so
+//! the streaming engine simply starts emitting at
+//! [`score_offset`](crate::StreamingDetector::score_offset)` = d` and the
+//! equivalence harness compares `batch[d..]`.
+//!
+//! ## Constant broadcasting
+//!
+//! The batch evaluator broadcasts any operand that *evaluates* to a uniform
+//! vector across diff depths. A stream cannot decide runtime uniformity in
+//! advance, so the compiler folds subtrees that are uniform *by
+//! construction* (`Const`, scaled/negated/summed constants, `diff` of a
+//! constant) and rejects depth-mismatched binaries whose lower side is not
+//! such a fold with [`CoreError::BadParameter`]. Every equation family the
+//! Table-1 search emits (Eq. 1–6) compiles.
+
+use std::collections::VecDeque;
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::ops::incremental;
+use tsad_detectors::oneliner::{Expr, OneLiner};
+
+use crate::StreamingDetector;
+
+/// One incremental operator of the compiled plan.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Emits the raw sample.
+    Source,
+    /// Emits the constant once per push (depth-polymorphic; surplus outputs
+    /// are discarded when paired against a deeper operand).
+    Const(f64),
+    Diff(Box<Node>, incremental::Diff),
+    Abs(Box<Node>),
+    Scale(f64, Box<Node>),
+    MovMean(Box<Node>, incremental::MovMean),
+    MovStd(Box<Node>, incremental::MovStd),
+    MovMax(Box<Node>, incremental::MovMax),
+    MovMin(Box<Node>, incremental::MovMin),
+    Bin {
+        sub: bool,
+        a: Box<Node>,
+        b: Box<Node>,
+        qa: VecDeque<f64>,
+        qb: VecDeque<f64>,
+        /// Emission-delay gap between the children: the faster side's queue
+        /// never grows beyond this (+1 in-flight value).
+        gap: usize,
+    },
+}
+
+impl Node {
+    /// Consumes one raw sample; emits at most one in-order output.
+    fn push(&mut self, v: f64) -> Option<f64> {
+        match self {
+            Node::Source => Some(v),
+            Node::Const(c) => Some(*c),
+            Node::Diff(inner, d) => inner.push(v).and_then(|x| d.push(x)),
+            Node::Abs(inner) => inner.push(v).map(f64::abs),
+            Node::Scale(c, inner) => inner.push(v).map(|x| *c * x),
+            Node::MovMean(inner, n) => inner.push(v).and_then(|x| n.push(x)),
+            Node::MovStd(inner, n) => inner.push(v).and_then(|x| n.push(x)),
+            Node::MovMax(inner, n) => inner.push(v).and_then(|x| n.push(x)),
+            Node::MovMin(inner, n) => inner.push(v).and_then(|x| n.push(x)),
+            Node::Bin {
+                sub, a, b, qa, qb, ..
+            } => {
+                if let Some(x) = a.push(v) {
+                    qa.push_back(x);
+                }
+                if let Some(x) = b.push(v) {
+                    qb.push_back(x);
+                }
+                combine(*sub, qa, qb)
+            }
+        }
+    }
+
+    /// Drains the outputs held back by centered windows at end of stream.
+    fn finish(&mut self) -> Vec<f64> {
+        match self {
+            Node::Source | Node::Const(_) => Vec::new(),
+            Node::Diff(inner, d) => inner
+                .finish()
+                .into_iter()
+                .filter_map(|x| d.push(x))
+                .collect(),
+            Node::Abs(inner) => inner.finish().into_iter().map(f64::abs).collect(),
+            Node::Scale(c, inner) => inner.finish().into_iter().map(|x| *c * x).collect(),
+            Node::MovMean(inner, n) => drain_window(inner, n),
+            Node::MovStd(inner, n) => drain_window(inner, n),
+            Node::MovMax(inner, n) => drain_window(inner, n),
+            Node::MovMin(inner, n) => drain_window(inner, n),
+            Node::Bin {
+                sub, a, b, qa, qb, ..
+            } => {
+                qa.extend(a.finish());
+                qb.extend(b.finish());
+                let mut out = Vec::new();
+                while let Some(x) = combine(*sub, qa, qb) {
+                    out.push(x);
+                }
+                // a depth-polymorphic Const side legitimately over-produces
+                // by `depth` values; they pair with nothing, as in batch
+                // broadcasting
+                qa.clear();
+                qb.clear();
+                out
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Node::Source | Node::Const(_) => {}
+            Node::Diff(inner, d) => {
+                inner.reset();
+                d.reset();
+            }
+            Node::Abs(inner) | Node::Scale(_, inner) => inner.reset(),
+            Node::MovMean(inner, n) => {
+                inner.reset();
+                n.reset();
+            }
+            Node::MovStd(inner, n) => {
+                inner.reset();
+                n.reset();
+            }
+            Node::MovMax(inner, n) => {
+                inner.reset();
+                n.reset();
+            }
+            Node::MovMin(inner, n) => {
+                inner.reset();
+                n.reset();
+            }
+            Node::Bin { a, b, qa, qb, .. } => {
+                a.reset();
+                b.reset();
+                qa.clear();
+                qb.clear();
+            }
+        }
+    }
+
+    /// Upper bound on retained `f64`-equivalents.
+    fn memory_bound(&self) -> usize {
+        match self {
+            Node::Source | Node::Const(_) => 1,
+            Node::Diff(inner, _) => inner.memory_bound() + 1,
+            Node::Abs(inner) | Node::Scale(_, inner) => inner.memory_bound(),
+            Node::MovMean(inner, n) => inner.memory_bound() + n.memory_bound(),
+            Node::MovStd(inner, n) => inner.memory_bound() + n.memory_bound(),
+            Node::MovMax(inner, n) => inner.memory_bound() + n.memory_bound(),
+            Node::MovMin(inner, n) => inner.memory_bound() + n.memory_bound(),
+            Node::Bin { a, b, gap, .. } => a.memory_bound() + b.memory_bound() + 2 * (gap + 1),
+        }
+    }
+}
+
+/// Small helper so the macro-generated window nodes share drain logic.
+trait WindowNode {
+    fn push_w(&mut self, v: f64) -> Option<f64>;
+    fn finish_w(&mut self) -> Vec<f64>;
+}
+macro_rules! window_node {
+    ($t:ty) => {
+        impl WindowNode for $t {
+            fn push_w(&mut self, v: f64) -> Option<f64> {
+                self.push(v)
+            }
+            fn finish_w(&mut self) -> Vec<f64> {
+                self.finish()
+            }
+        }
+    };
+}
+window_node!(incremental::MovMean);
+window_node!(incremental::MovStd);
+window_node!(incremental::MovMax);
+window_node!(incremental::MovMin);
+
+fn drain_window<W: WindowNode>(inner: &mut Node, node: &mut W) -> Vec<f64> {
+    let mut out: Vec<f64> = inner
+        .finish()
+        .into_iter()
+        .filter_map(|x| node.push_w(x))
+        .collect();
+    out.extend(node.finish_w());
+    out
+}
+
+fn combine(sub: bool, qa: &mut VecDeque<f64>, qb: &mut VecDeque<f64>) -> Option<f64> {
+    if qa.is_empty() || qb.is_empty() {
+        return None;
+    }
+    let p = qa.pop_front().expect("non-empty");
+    let q = qb.pop_front().expect("non-empty");
+    // batch evaluates `p + q` / `p − q` with the a-side first; keep that
+    // operand order for bitwise agreement
+    Some(if sub { p - q } else { p + q })
+}
+
+/// Compile output for one subtree.
+struct Compiled {
+    node: Node,
+    /// Diff depth: the first output describes series index `depth`.
+    depth: usize,
+    /// Emission delay: output `t` emerges on push `t + delay`.
+    delay: usize,
+    /// True when the subtree folded to a constant (depth-polymorphic).
+    poly: bool,
+}
+
+/// Uniform-by-construction subtrees fold to a single constant. This mirrors
+/// exactly the cases where the batch broadcaster is *guaranteed* to see a
+/// uniform vector; `movmean`/`movstd` of a constant are excluded because
+/// their endpoint-shrinking windows break uniformity in general.
+fn const_fold(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Const(c) => Some(*c),
+        Expr::Scale(c, e) => const_fold(e).map(|v| c * v),
+        Expr::Abs(e) => const_fold(e).map(f64::abs),
+        Expr::Add(a, b) => Some(const_fold(a)? + const_fold(b)?),
+        Expr::Sub(a, b) => Some(const_fold(a)? - const_fold(b)?),
+        // diff of a uniform vector is uniformly v − v = 0
+        // `v - v` (not 0.0): keeps the batch bit pattern for non-finite
+        // constants (inf − inf = NaN) and +0.0 for every finite `v`
+        #[allow(clippy::eq_op)]
+        Expr::Diff(e) => const_fold(e).map(|v| v - v),
+        Expr::MovMax(e, _) | Expr::MovMin(e, _) => const_fold(e),
+        Expr::Ts | Expr::MovMean(..) | Expr::MovStd(..) => None,
+    }
+}
+
+fn depth_mismatch(left: usize) -> CoreError {
+    CoreError::BadParameter {
+        name: "diff depth",
+        value: left as f64,
+        expected: "equal diff depth on both operands of a binary op \
+                   (or a constant operand)",
+    }
+}
+
+fn compile_expr(e: &Expr) -> Result<Compiled> {
+    if let Some(c) = const_fold(e) {
+        return Ok(Compiled {
+            node: Node::Const(c),
+            depth: 0,
+            delay: 0,
+            poly: true,
+        });
+    }
+    match e {
+        Expr::Ts => Ok(Compiled {
+            node: Node::Source,
+            depth: 0,
+            delay: 0,
+            poly: false,
+        }),
+        Expr::Const(_) => unreachable!("handled by const_fold"),
+        Expr::Diff(inner) => {
+            let c = compile_expr(inner)?;
+            Ok(Compiled {
+                node: Node::Diff(Box::new(c.node), incremental::Diff::new()),
+                depth: c.depth + 1,
+                delay: c.delay + 1,
+                poly: false,
+            })
+        }
+        Expr::Abs(inner) => {
+            let c = compile_expr(inner)?;
+            Ok(Compiled {
+                node: Node::Abs(Box::new(c.node)),
+                depth: c.depth,
+                delay: c.delay,
+                poly: false,
+            })
+        }
+        Expr::Scale(f, inner) => {
+            let c = compile_expr(inner)?;
+            Ok(Compiled {
+                node: Node::Scale(*f, Box::new(c.node)),
+                depth: c.depth,
+                delay: c.delay,
+                poly: false,
+            })
+        }
+        Expr::MovMean(inner, k) => window(inner, *k, |n, w| {
+            Ok(Node::MovMean(n, incremental::MovMean::new(w)?))
+        }),
+        Expr::MovStd(inner, k) => window(inner, *k, |n, w| {
+            Ok(Node::MovStd(n, incremental::MovStd::new(w)?))
+        }),
+        Expr::MovMax(inner, k) => window(inner, *k, |n, w| {
+            Ok(Node::MovMax(n, incremental::MovMax::new(w)?))
+        }),
+        Expr::MovMin(inner, k) => window(inner, *k, |n, w| {
+            Ok(Node::MovMin(n, incremental::MovMin::new(w)?))
+        }),
+        Expr::Add(a, b) | Expr::Sub(a, b) => {
+            let ca = compile_expr(a)?;
+            let cb = compile_expr(b)?;
+            let (depth, delay) = match (ca.poly, cb.poly) {
+                (false, false) if ca.depth != cb.depth => {
+                    return Err(depth_mismatch(ca.depth));
+                }
+                (false, false) => (ca.depth, ca.delay.max(cb.delay)),
+                (true, false) => (cb.depth, cb.delay),
+                (false, true) => (ca.depth, ca.delay),
+                (true, true) => unreachable!("handled by const_fold"),
+            };
+            let gap = ca.delay.abs_diff(cb.delay);
+            Ok(Compiled {
+                node: Node::Bin {
+                    sub: matches!(e, Expr::Sub(..)),
+                    a: Box::new(ca.node),
+                    b: Box::new(cb.node),
+                    qa: VecDeque::new(),
+                    qb: VecDeque::new(),
+                    gap,
+                },
+                depth,
+                delay,
+                poly: false,
+            })
+        }
+    }
+}
+
+fn window(
+    inner: &Expr,
+    k: usize,
+    make: impl FnOnce(Box<Node>, usize) -> Result<Node>,
+) -> Result<Compiled> {
+    let c = compile_expr(inner)?;
+    Ok(Compiled {
+        node: make(Box::new(c.node), k)?,
+        depth: c.depth,
+        delay: c.delay + (k - 1) / 2,
+        poly: false,
+    })
+}
+
+/// A compiled one-liner: streams the margin `lhs − rhs` per sample.
+///
+/// `concat(push outputs, finish())` equals
+/// `OneLiner::score_values(x)[depth..]` bitwise; the batch scores before
+/// `depth` are non-causal padding (the global minimum margin) and are not
+/// emitted.
+#[derive(Debug, Clone)]
+pub struct StreamingOneLiner {
+    name: String,
+    root: Node,
+    depth: usize,
+    delay: usize,
+}
+
+impl StreamingOneLiner {
+    /// Compiles the predicate `lhs > rhs` into an incremental plan.
+    pub fn compile(ol: &OneLiner) -> Result<Self> {
+        // margin = lhs − rhs, exactly as OneLiner::score_values computes it
+        let margin = Expr::Sub(Box::new(ol.lhs.clone()), Box::new(ol.rhs.clone()));
+        let c = compile_expr(&margin)?;
+        Ok(Self {
+            name: ol.to_string(),
+            root: c.node,
+            depth: c.depth,
+            delay: c.delay,
+        })
+    }
+
+    /// Diff depth of the compiled predicate (= `score_offset`).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl StreamingDetector for StreamingOneLiner {
+    fn name(&self) -> String {
+        format!("one-liner (stream): {}", self.name)
+    }
+
+    fn push(&mut self, x: f64) -> Option<f64> {
+        self.root.push(x)
+    }
+
+    fn finish(&mut self) -> Vec<f64> {
+        self.root.finish()
+    }
+
+    fn reset(&mut self) {
+        self.root.reset();
+    }
+
+    fn score_offset(&self) -> usize {
+        self.depth
+    }
+
+    fn lag(&self) -> usize {
+        self.delay - self.depth
+    }
+
+    fn memory_bound(&self) -> usize {
+        self.root.memory_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::TimeSeries;
+    use tsad_detectors::Detector;
+
+    fn series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let noise = (((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64
+                    / (1u64 << 24) as f64)
+                    - 0.5;
+                (i as f64 * 0.11).sin() * 2.0 + noise + if i == 2 * n / 3 { 5.0 } else { 0.0 }
+            })
+            .collect()
+    }
+
+    /// The paper's equation shapes (Table 1 search space).
+    fn panel() -> Vec<OneLiner> {
+        vec![
+            // Eq. 3: abs(diff(TS)) > c
+            OneLiner::new(Expr::Ts.diff().abs(), Expr::Const(1.8)),
+            // Eq. 4 (signed): diff(TS) > c
+            OneLiner::new(Expr::Ts.diff(), Expr::Const(1.8)),
+            // frozen-signal: movstd(TS, k) < c  ⇒  c − movstd > 0 form
+            OneLiner::new(Expr::Const(0.05), Expr::Ts.movstd(11)),
+            // Eq. 5: TS − movmean(TS, k) > c * movstd(TS, k)
+            OneLiner::new(
+                Expr::Ts.minus(Expr::Ts.movmean(21)),
+                Expr::Ts.movstd(21).scale(2.5),
+            ),
+            // Eq. 6: abs(diff(TS)) − movmean(abs(diff(TS)), k) > c * movstd(...)
+            OneLiner::new(
+                Expr::Ts
+                    .diff()
+                    .abs()
+                    .minus(Expr::Ts.diff().abs().movmean(15)),
+                Expr::Ts.diff().abs().movstd(15).scale(3.0),
+            ),
+            // mixed windows on the two sides (unequal delays exercise the
+            // Bin queues)
+            OneLiner::new(Expr::Ts.movmean(5), Expr::Ts.movmean(41)),
+            // movmax/movmin
+            OneLiner::new(
+                Expr::MovMax(Box::new(Expr::Ts), 9),
+                Expr::MovMin(Box::new(Expr::Ts), 31).plus(Expr::Const(3.0)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn compiled_panel_is_bitwise_batch_after_depth() {
+        let xs = series(500);
+        let ts = TimeSeries::from_values(xs.clone()).unwrap();
+        for ol in panel() {
+            let batch = ol.score_values(&xs).unwrap();
+            let mut s = StreamingOneLiner::compile(&ol).unwrap();
+            let got = s.score_stream(&xs);
+            let d = s.score_offset();
+            assert_eq!(got.len(), xs.len() - d, "{ol}: output count");
+            for (i, (a, b)) in batch[d..].iter().zip(&got).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "{ol} i={}: batch {a} vs stream {b}",
+                    i + d
+                );
+            }
+            // and via the Detector trait (same padding story)
+            let det = ol.score(&ts, 0).unwrap();
+            assert_eq!(det.len(), xs.len());
+            // reset → identical replay
+            s.reset();
+            assert_eq!(s.score_stream(&xs), got, "{ol}: reset replay");
+        }
+    }
+
+    #[test]
+    fn depth_and_lag_follow_the_ast() {
+        // Eq. 6 shape: depth 1 (one diff), delay 1 + (15−1)/2 = 8
+        let ol = OneLiner::new(
+            Expr::Ts
+                .diff()
+                .abs()
+                .minus(Expr::Ts.diff().abs().movmean(15)),
+            Expr::Ts.diff().abs().movstd(15).scale(3.0),
+        );
+        let s = StreamingOneLiner::compile(&ol).unwrap();
+        assert_eq!(s.score_offset(), 1);
+        assert_eq!(s.lag(), 7);
+        assert!(s.memory_bound() >= 30);
+        assert!(
+            s.memory_bound() < 200,
+            "bound should be O(k), got {}",
+            s.memory_bound()
+        );
+    }
+
+    #[test]
+    fn constant_threshold_broadcasts_across_depth() {
+        // Const is depth-polymorphic: scaled consts pair with a depth-1 lhs
+        let ol = OneLiner::new(
+            Expr::Ts.diff().abs(),
+            Expr::Const(0.9).scale(2.0).plus(Expr::Const(0.2)),
+        );
+        let xs = series(60);
+        let batch = ol.score_values(&xs).unwrap();
+        let mut s = StreamingOneLiner::compile(&ol).unwrap();
+        let got = s.score_stream(&xs);
+        assert_eq!(got.len(), 59);
+        for (a, b) in batch[1..].iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn depth_mismatch_without_a_constant_is_rejected() {
+        let ol = OneLiner::new(Expr::Ts.diff(), Expr::Ts.movstd(5));
+        assert!(StreamingOneLiner::compile(&ol).is_err());
+    }
+
+    #[test]
+    fn memory_stays_bounded_on_long_streams() {
+        let ol = OneLiner::new(Expr::Ts.movmean(5), Expr::Ts.movmean(41));
+        let mut s = StreamingOneLiner::compile(&ol).unwrap();
+        let bound = s.memory_bound();
+        let mut emitted = 0usize;
+        for i in 0..50_000 {
+            if s.push((i as f64 * 0.01).sin()).is_some() {
+                emitted += 1;
+            }
+        }
+        assert_eq!(s.memory_bound(), bound);
+        assert_eq!(emitted, 50_000 - s.lag());
+        // Bin queue backlog is bounded by the delay gap
+        if let Node::Bin { qa, qb, gap, .. } = &s.root {
+            assert!(qa.len() <= gap + 1, "qa backlog {} > gap {}", qa.len(), gap);
+            assert!(qb.len() <= gap + 1);
+        } else {
+            panic!("root should be a Bin");
+        }
+    }
+}

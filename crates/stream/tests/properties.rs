@@ -1,0 +1,139 @@
+//! Property tests for the streaming primitives and detector ports: on
+//! arbitrary finite signals, incremental state agrees with the batch
+//! computation (within 1e-9 — in fact bitwise for the window ops) and
+//! never emits a non-finite score after warm-up.
+
+use proptest::prelude::*;
+use tsad_core::ops::{self, incremental};
+use tsad_core::{stats, TimeSeries};
+use tsad_detectors::baselines::GlobalZScore;
+use tsad_detectors::cusum::Cusum;
+use tsad_detectors::oneliner::{Expr, OneLiner};
+use tsad_detectors::Detector;
+use tsad_stream::{StreamingCusum, StreamingDetector, StreamingGlobalZScore, StreamingOneLiner};
+
+fn signal(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, min_len..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_movmean_matches_batch(x in signal(1, 300), k in 1usize..64) {
+        let mut node = incremental::MovMean::new(k).unwrap();
+        let mut got: Vec<f64> = x.iter().filter_map(|&v| node.push(v)).collect();
+        got.extend(node.finish());
+        let batch = ops::movmean(&x, k).unwrap();
+        prop_assert_eq!(got.len(), batch.len());
+        for (i, (a, b)) in got.iter().zip(&batch).enumerate() {
+            prop_assert!(a.is_finite(), "NaN/inf at {} (k={})", i, k);
+            prop_assert!((a - b).abs() <= 1e-9, "i={} k={}: {} vs {}", i, k, a, b);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "not bitwise at {} (k={})", i, k);
+        }
+    }
+
+    #[test]
+    fn incremental_movstd_matches_batch(x in signal(1, 300), k in 1usize..64) {
+        let mut node = incremental::MovStd::new(k).unwrap();
+        let mut got: Vec<f64> = x.iter().filter_map(|&v| node.push(v)).collect();
+        got.extend(node.finish());
+        let batch = ops::movstd(&x, k).unwrap();
+        prop_assert_eq!(got.len(), batch.len());
+        for (i, (a, b)) in got.iter().zip(&batch).enumerate() {
+            prop_assert!(a.is_finite(), "NaN/inf at {} (k={})", i, k);
+            prop_assert!((a - b).abs() <= 1e-9, "i={} k={}: {} vs {}", i, k, a, b);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "not bitwise at {} (k={})", i, k);
+        }
+    }
+
+    #[test]
+    fn welford_matches_batch_stats(x in signal(2, 400)) {
+        let mut w = incremental::Welford::new();
+        for &v in &x {
+            w.push(v);
+        }
+        let mean = stats::mean(&x).unwrap();
+        let sd = stats::std_dev(&x).unwrap();
+        prop_assert!((w.mean() - mean).abs() <= 1e-9, "{} vs {}", w.mean(), mean);
+        prop_assert!((w.std_dev() - sd).abs() <= 1e-9, "{} vs {}", w.std_dev(), sd);
+        prop_assert!(w.mean().is_finite() && w.std_dev().is_finite());
+    }
+
+    #[test]
+    fn zscore_port_is_bitwise_on_random_signals(
+        x in signal(10, 400),
+        frac in 0.1f64..0.9,
+    ) {
+        let train_len = ((x.len() as f64 * frac) as usize).max(2);
+        let ts = TimeSeries::from_values(x.clone()).unwrap();
+        let batch = GlobalZScore.score(&ts, train_len).unwrap();
+        let mut det = StreamingGlobalZScore::new(train_len).unwrap();
+        let got = det.score_stream(&x);
+        prop_assert_eq!(got.len(), batch.len());
+        for (i, (a, b)) in batch.iter().zip(&got).enumerate() {
+            prop_assert!(b.is_finite(), "NaN/inf at {}", i);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "i={}: {} vs {}", i, a, b);
+        }
+    }
+
+    #[test]
+    fn cusum_port_is_bitwise_on_random_signals(
+        x in signal(10, 400),
+        frac in 0.1f64..0.9,
+        allowance in 0.0f64..2.0,
+        decay in 0.5f64..1.0,
+    ) {
+        let train_len = ((x.len() as f64 * frac) as usize).max(2);
+        let params = Cusum { allowance, decay };
+        let ts = TimeSeries::from_values(x.clone()).unwrap();
+        let batch = params.score(&ts, train_len).unwrap();
+        let mut det = StreamingCusum::new(params, train_len).unwrap();
+        let got = det.score_stream(&x);
+        prop_assert_eq!(got.len(), batch.len());
+        for (i, (a, b)) in batch.iter().zip(&got).enumerate() {
+            prop_assert!(b.is_finite(), "NaN/inf at {}", i);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "i={}: {} vs {}", i, a, b);
+        }
+    }
+
+    #[test]
+    fn compiled_oneliner_is_bitwise_on_random_signals(
+        x in signal(12, 300),
+        k in 1usize..40,
+        c in 0.5f64..4.0,
+    ) {
+        // Eq. 5 shape: TS − movmean(TS, k) > c · movstd(TS, k)
+        let ol = OneLiner::new(
+            Expr::Ts.minus(Expr::Ts.movmean(k)),
+            Expr::Ts.movstd(k).scale(c),
+        );
+        let batch = ol.score_values(&x).unwrap();
+        let mut s = StreamingOneLiner::compile(&ol).unwrap();
+        let got = s.score_stream(&x);
+        let d = s.score_offset();
+        prop_assert_eq!(got.len(), x.len() - d);
+        for (i, (a, b)) in batch[d..].iter().zip(&got).enumerate() {
+            prop_assert!(b.is_finite(), "NaN/inf at {}", i + d);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "i={}: {} vs {}", i + d, a, b);
+        }
+    }
+
+    #[test]
+    fn streaming_scores_are_nan_free_after_warmup(x in signal(20, 300)) {
+        // a catch-all over the native ports with default-ish parameters
+        let train = (x.len() / 3).max(2);
+        let mut dets: Vec<Box<dyn StreamingDetector>> = vec![
+            Box::new(StreamingGlobalZScore::new(train).unwrap()),
+            Box::new(StreamingCusum::new(Cusum::default(), train).unwrap()),
+            Box::new(tsad_stream::StreamingMovingAvgResidual::new(9).unwrap()),
+        ];
+        for det in dets.iter_mut() {
+            let scores = det.score_stream(&x);
+            prop_assert_eq!(scores.len(), x.len() - det.score_offset());
+            for (i, s) in scores.iter().enumerate() {
+                prop_assert!(s.is_finite(), "{}: NaN/inf at {}", det.name(), i);
+            }
+        }
+    }
+}

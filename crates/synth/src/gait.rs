@@ -64,7 +64,10 @@ pub struct GaitData {
 /// Generates the Fig. 12 gait dataset: `cycles` cycles, train prefix
 /// `train_cycles` cycles, one swapped cycle in the test region.
 pub fn park_gait(seed: u64, cycles: usize, train_cycles: usize) -> GaitData {
-    assert!(train_cycles + 2 < cycles, "need test cycles after the train prefix");
+    assert!(
+        train_cycles + 2 < cycles,
+        "need test cycles after the train prefix"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6A17);
     // Pick the swapped cycle uniformly in the test region (leave one
     // normal cycle after the prefix and one at the end).
@@ -81,7 +84,11 @@ pub fn park_gait(seed: u64, cycles: usize, train_cycles: usize) -> GaitData {
         if slow {
             turnarounds.push(x.len());
         }
-        let len = if slow { (CYCLE_LEN as f64 * 1.3) as usize } else { CYCLE_LEN };
+        let len = if slow {
+            (CYCLE_LEN as f64 * 1.3) as usize
+        } else {
+            CYCLE_LEN
+        };
         let start = x.len();
         let weak = c == swapped_cycle;
         for i in 0..len {
@@ -96,7 +103,10 @@ pub fn park_gait(seed: u64, cycles: usize, train_cycles: usize) -> GaitData {
             x.push(v * (1.0 + 0.02 * standard_normal(&mut rng)) + 0.01 * standard_normal(&mut rng));
         }
         if weak {
-            anomaly = Region { start, end: x.len() };
+            anomaly = Region {
+                start,
+                end: x.len(),
+            };
         }
     }
     let n = x.len();
@@ -105,12 +115,19 @@ pub fn park_gait(seed: u64, cycles: usize, train_cycles: usize) -> GaitData {
         let mut t = 0usize;
         for c in 0..train_cycles {
             let slow = c % turnaround_every == turnaround_every - 1;
-            t += if slow { (CYCLE_LEN as f64 * 1.3) as usize } else { CYCLE_LEN };
+            t += if slow {
+                (CYCLE_LEN as f64 * 1.3) as usize
+            } else {
+                CYCLE_LEN
+            };
         }
         t
     };
     let labels = Labels::single(n, anomaly).expect("in bounds");
-    let name = format!("UCR_Anomaly_park3m_{}_{}_{}", train_len, anomaly.start, anomaly.end);
+    let name = format!(
+        "UCR_Anomaly_park3m_{}_{}_{}",
+        train_len, anomaly.start, anomaly.end
+    );
     let ts = TimeSeries::new(name, x).expect("finite");
     GaitData {
         dataset: Dataset::new(ts, labels, train_len).expect("anomaly after prefix"),

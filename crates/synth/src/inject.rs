@@ -107,9 +107,11 @@ pub fn corrupt_labels(
                 return None;
             }
             let victim = regions[rng.gen_range(0..regions.len())];
-            let kept: Vec<Region> =
-                regions.iter().copied().filter(|r| *r != victim).collect();
-            Some((Labels::new(len, kept).expect("subset of valid labels"), victim))
+            let kept: Vec<Region> = regions.iter().copied().filter(|r| *r != victim).collect();
+            Some((
+                Labels::new(len, kept).expect("subset of valid labels"),
+                victim,
+            ))
         }
         LabelCorruption::SpuriousRegion => {
             if len < 8 {
@@ -119,7 +121,10 @@ pub fn corrupt_labels(
             for _ in 0..32 {
                 let width = rng.gen_range(1..=4usize);
                 let start = rng.gen_range(0..len - width);
-                let candidate = Region { start, end: start + width };
+                let candidate = Region {
+                    start,
+                    end: start + width,
+                };
                 let clashes = labels.regions().iter().any(|r| r.overlaps(&candidate));
                 if !clashes {
                     let mut regions = labels.regions().to_vec();
@@ -144,7 +149,10 @@ pub fn corrupt_labels(
             let (start, end) = if forward {
                 (victim.start + delta, (victim.end + delta).min(len))
             } else {
-                (victim.start.saturating_sub(delta), victim.end.saturating_sub(delta))
+                (
+                    victim.start.saturating_sub(delta),
+                    victim.end.saturating_sub(delta),
+                )
             };
             if start >= end {
                 return None;
@@ -215,15 +223,20 @@ mod tests {
     fn end_biased_positions_cluster_late() {
         let mut rng = StdRng::seed_from_u64(11);
         let n = 4000;
-        let positions: Vec<usize> =
-            (0..n).map(|_| end_biased_position(&mut rng, 0, 1000, 5)).collect();
+        let positions: Vec<usize> = (0..n)
+            .map(|_| end_biased_position(&mut rng, 0, 1000, 5))
+            .collect();
         let mean = positions.iter().sum::<usize>() as f64 / n as f64;
         // E[max of 5 uniforms] = 5/6 ≈ 0.833
-        assert!((mean / 999.0 - 5.0 / 6.0).abs() < 0.03, "mean position {mean}");
+        assert!(
+            (mean / 999.0 - 5.0 / 6.0).abs() < 0.03,
+            "mean position {mean}"
+        );
         assert!(positions.iter().all(|&p| p < 1000));
         // bias = 1 is uniform
-        let uniform: Vec<usize> =
-            (0..n).map(|_| end_biased_position(&mut rng, 0, 1000, 1)).collect();
+        let uniform: Vec<usize> = (0..n)
+            .map(|_| end_biased_position(&mut rng, 0, 1000, 1))
+            .collect();
         let mean_u = uniform.iter().sum::<usize>() as f64 / n as f64;
         assert!((mean_u / 999.0 - 0.5).abs() < 0.03, "uniform mean {mean_u}");
     }
@@ -242,8 +255,9 @@ mod tests {
         assert!(labels.regions().contains(&dropped));
         assert!(!corrupted.regions().contains(&dropped));
         // dropping from empty labels is not applicable
-        assert!(corrupt_labels(&mut rng, &Labels::empty(50), LabelCorruption::DropRegion)
-            .is_none());
+        assert!(
+            corrupt_labels(&mut rng, &Labels::empty(50), LabelCorruption::DropRegion).is_none()
+        );
     }
 
     #[test]

@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn anomaly_free_variant_has_no_labels() {
-        let config = WingbeatConfig { intruder_hz: None, ..Default::default() };
+        let config = WingbeatConfig {
+            intruder_hz: None,
+            ..Default::default()
+        };
         let d = wingbeat(7, &config);
         assert_eq!(d.labels().region_count(), 0);
         assert_eq!(d.len(), config.n);
@@ -125,7 +128,13 @@ mod tests {
 
     #[test]
     fn temperature_drift_moves_base_frequency() {
-        let d = wingbeat(7, &WingbeatConfig { intruder_hz: None, ..Default::default() });
+        let d = wingbeat(
+            7,
+            &WingbeatConfig {
+                intruder_hz: None,
+                ..Default::default()
+            },
+        );
         let x = d.values();
         let hz_early = zero_crossing_hz(&x[0..2000]);
         let hz_mid = zero_crossing_hz(&x[4000..6000]);

@@ -26,8 +26,8 @@
 //!   machinery.
 
 pub mod gait;
-pub mod insect;
 pub mod inject;
+pub mod insect;
 pub mod nasa;
 pub mod numenta;
 pub mod omni;

@@ -30,7 +30,14 @@ pub fn magnitude_jump(seed: u64) -> Dataset {
     for v in &mut x[start..start + width] {
         *v *= 1000.0; // three orders of magnitude
     }
-    let labels = Labels::single(n, Region { start, end: start + width }).expect("in bounds");
+    let labels = Labels::single(
+        n,
+        Region {
+            start,
+            end: start + width,
+        },
+    )
+    .expect("in bounds");
     let ts = TimeSeries::new("SMAP-like magnitude jump", x).expect("finite");
     Dataset::new(ts, labels, n / 4).expect("valid")
 }
@@ -45,8 +52,35 @@ pub fn frozen_signal(seed: u64) -> (Dataset, Vec<Region>) {
     let base = sine(n, 90.0, 1.0, rng.gen_range(0.0..1.0));
     let noise = gaussian_noise(&mut rng, n, 0.08);
     let mut x: Vec<f64> = base.iter().zip(&noise).map(|(a, b)| a + b).collect();
-    let starts = [2200usize, 3600, 5000];
     let width = 120;
+    // Freeze starts are phase-tuned on the noise-free base: the *labeled*
+    // freeze gets the smallest exit jump `|base[s+width] - base[s]|` near
+    // t = 2200 while the two unlabeled ones get the largest jumps near
+    // t = 3600 / t = 5000. The labeled occurrence is therefore never the
+    // most extreme point-wise event in the series, so no diff-threshold
+    // one-liner can isolate it — mirroring Fig. 9, where nothing
+    // distinguishes the labeled freeze except the (incomplete) ground
+    // truth. (Each 100-point search window spans more than one 90-sample
+    // period, so both extremes of the jump magnitude are always available.)
+    let exit_jump = |s: usize| (base[s + width] - base[s]).abs();
+    let pick = |lo: usize, hi: usize, smallest: bool| -> usize {
+        (lo..hi)
+            .min_by(|&a, &b| {
+                let (ja, jb) = (exit_jump(a), exit_jump(b));
+                let ord = ja.total_cmp(&jb);
+                if smallest {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            })
+            .expect("non-empty range")
+    };
+    let starts = [
+        pick(2150, 2250, true),
+        pick(3550, 3650, false),
+        pick(4950, 5050, false),
+    ];
     let mut frozen = Vec::new();
     for &s in &starts {
         frozen.push(inject::freeze(&mut x, s, s + width));
@@ -113,7 +147,10 @@ mod tests {
         let x = d.values();
         let inside_max = x[r.start..r.end].iter().cloned().fold(0.0f64, f64::max);
         let outside_max = x[..r.start].iter().cloned().fold(0.0f64, f64::max);
-        assert!(inside_max / outside_max > 100.0, "{inside_max} vs {outside_max}");
+        assert!(
+            inside_max / outside_max > 100.0,
+            "{inside_max} vs {outside_max}"
+        );
     }
 
     #[test]
@@ -124,7 +161,10 @@ mod tests {
         let x = d.values();
         for r in &frozen {
             let dd = ops::diff2(&x[r.start..r.end]);
-            assert!(dd.iter().all(|&v| v == 0.0), "frozen region must be constant");
+            assert!(
+                dd.iter().all(|&v| v == 0.0),
+                "frozen region must be constant"
+            );
         }
         // the two unlabeled freezes are false negatives
         assert!(!d.labels().contains(frozen[1].start));

@@ -29,11 +29,21 @@ pub fn art_spike_density(seed: u64) -> Dataset {
     let sparse = random_spikes(&mut rng, n, base_rate, 1.0);
     let dense = random_spikes(&mut rng, n, dense_rate, 1.0);
     for i in 0..n {
-        let spike = if (anomaly_start..anomaly_end).contains(&i) { dense[i] } else { sparse[i] };
+        let spike = if (anomaly_start..anomaly_end).contains(&i) {
+            dense[i]
+        } else {
+            sparse[i]
+        };
         x[i] = 0.2 * standard_normal(&mut rng) * 0.1 + spike;
     }
-    let labels = Labels::single(n, Region { start: anomaly_start, end: anomaly_end })
-        .expect("in bounds");
+    let labels = Labels::single(
+        n,
+        Region {
+            start: anomaly_start,
+            end: anomaly_end,
+        },
+    )
+    .expect("in bounds");
     let ts = TimeSeries::new("art_increase_spike_density", x).expect("finite");
     Dataset::unsupervised(ts, labels).expect("valid")
 }
@@ -44,7 +54,10 @@ pub fn art_daily_jumpsup(seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xAB03);
     let n = 4032; // 14 days at 5-minute rate (288/day)
     let per_day = 288;
-    let anomaly = Region { start: 3000, end: 3100 };
+    let anomaly = Region {
+        start: 3000,
+        end: 3100,
+    };
     let x: Vec<f64> = (0..n)
         .map(|i| {
             let tod = (i % per_day) as f64 / per_day as f64;
@@ -64,7 +77,10 @@ pub fn art_daily_flatmiddle(seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xAB04);
     let n = 4032;
     let per_day = 288;
-    let anomaly = Region { start: 2600, end: 2744 };
+    let anomaly = Region {
+        start: 2600,
+        end: 2744,
+    };
     let x: Vec<f64> = (0..n)
         .map(|i| {
             let tod = (i % per_day) as f64 / per_day as f64;
@@ -83,12 +99,19 @@ pub fn art_daily_flatmiddle(seed: u64) -> Dataset {
 pub fn art_load_balancer_spikes(seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xAB05);
     let n = 4000;
-    let anomaly = Region { start: 3300, end: 3380 };
+    let anomaly = Region {
+        start: 3300,
+        end: 3380,
+    };
     let benign = random_spikes(&mut rng, n, 0.002, 3.0);
     let x: Vec<f64> = (0..n)
         .map(|i| {
             let base = 1.0 + 0.15 * standard_normal(&mut rng);
-            let cluster = if anomaly.contains(i) && rng.gen_bool(0.4) { 3.0 } else { 0.0 };
+            let cluster = if anomaly.contains(i) && rng.gen_bool(0.4) {
+                3.0
+            } else {
+                0.0
+            };
             base + benign[i] + cluster
         })
         .collect();
@@ -121,19 +144,79 @@ pub const TAXI_DAYS: usize = 215;
 pub fn taxi_events() -> Vec<TaxiEvent> {
     vec![
         // --- unlabeled but real ---
-        TaxiEvent { name: "Independence Day", day: 3, effect: 0.62, official: false },
-        TaxiEvent { name: "Labor Day", day: 63, effect: 0.68, official: false },
-        TaxiEvent { name: "Comic Con", day: 101, effect: 1.32, official: false },
-        TaxiEvent { name: "Climate March", day: 82, effect: 1.30, official: false },
-        TaxiEvent { name: "Garner grand jury protests", day: 156, effect: 0.70, official: false },
-        TaxiEvent { name: "Millions March NYC", day: 166, effect: 0.72, official: false },
-        TaxiEvent { name: "MLK Day", day: 202, effect: 0.71, official: false },
+        TaxiEvent {
+            name: "Independence Day",
+            day: 3,
+            effect: 0.62,
+            official: false,
+        },
+        TaxiEvent {
+            name: "Labor Day",
+            day: 63,
+            effect: 0.68,
+            official: false,
+        },
+        TaxiEvent {
+            name: "Comic Con",
+            day: 101,
+            effect: 1.32,
+            official: false,
+        },
+        TaxiEvent {
+            name: "Climate March",
+            day: 82,
+            effect: 1.30,
+            official: false,
+        },
+        TaxiEvent {
+            name: "Garner grand jury protests",
+            day: 156,
+            effect: 0.70,
+            official: false,
+        },
+        TaxiEvent {
+            name: "Millions March NYC",
+            day: 166,
+            effect: 0.72,
+            official: false,
+        },
+        TaxiEvent {
+            name: "MLK Day",
+            day: 202,
+            effect: 0.71,
+            official: false,
+        },
         // --- the five official NAB labels ---
-        TaxiEvent { name: "NYC Marathon / DST", day: 124, effect: 1.35, official: true },
-        TaxiEvent { name: "Thanksgiving", day: 149, effect: 0.55, official: true },
-        TaxiEvent { name: "Christmas", day: 177, effect: 0.50, official: true },
-        TaxiEvent { name: "New Year's Day", day: 184, effect: 1.40, official: true },
-        TaxiEvent { name: "Blizzard", day: 209, effect: 0.38, official: true },
+        TaxiEvent {
+            name: "NYC Marathon / DST",
+            day: 124,
+            effect: 1.35,
+            official: true,
+        },
+        TaxiEvent {
+            name: "Thanksgiving",
+            day: 149,
+            effect: 0.55,
+            official: true,
+        },
+        TaxiEvent {
+            name: "Christmas",
+            day: 177,
+            effect: 0.50,
+            official: true,
+        },
+        TaxiEvent {
+            name: "New Year's Day",
+            day: 184,
+            effect: 1.40,
+            official: true,
+        },
+        TaxiEvent {
+            name: "Blizzard",
+            day: 209,
+            effect: 0.38,
+            official: true,
+        },
     ]
 }
 
@@ -172,14 +255,21 @@ pub fn nyc_taxi(seed: u64) -> TaxiData {
         start: day * TAXI_SAMPLES_PER_DAY,
         end: (day + 1) * TAXI_SAMPLES_PER_DAY,
     };
-    let official: Vec<Region> =
-        events.iter().filter(|e| e.official).map(|e| day_region(e.day)).collect();
+    let official: Vec<Region> = events
+        .iter()
+        .filter(|e| e.official)
+        .map(|e| day_region(e.day))
+        .collect();
     let all: Vec<Region> = events.iter().map(|e| day_region(e.day)).collect();
     let official_labels = Labels::new(n, official).expect("distinct days");
     let full_labels = Labels::new(n, all).expect("distinct days");
     let ts = TimeSeries::new("nyc_taxi", x).expect("finite");
     let dataset = Dataset::unsupervised(ts, official_labels).expect("valid");
-    TaxiData { dataset, events, full_labels }
+    TaxiData {
+        dataset,
+        events,
+        full_labels,
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +286,10 @@ mod tests {
         let count = |lo: usize, hi: usize| x[lo..hi].iter().filter(|&&v| v > 0.5).count();
         let inside = count(r.start, r.end) as f64 / r.len() as f64;
         let outside = count(0, r.start) as f64 / r.start as f64;
-        assert!(inside > 10.0 * outside, "inside {inside}, outside {outside}");
+        assert!(
+            inside > 10.0 * outside,
+            "inside {inside}, outside {outside}"
+        );
     }
 
     #[test]
@@ -229,7 +322,10 @@ mod tests {
         let count = |lo: usize, hi: usize| x[lo..hi].iter().filter(|&&v| v > 2.5).count();
         let inside_rate = count(r.start, r.end) as f64 / r.len() as f64;
         let outside_rate = count(0, r.start) as f64 / r.start as f64;
-        assert!(inside_rate > 20.0 * outside_rate, "{inside_rate} vs {outside_rate}");
+        assert!(
+            inside_rate > 20.0 * outside_rate,
+            "{inside_rate} vs {outside_rate}"
+        );
     }
 
     #[test]
@@ -248,15 +344,15 @@ mod tests {
         let t = nyc_taxi(5);
         let x = t.dataset.values();
         let day_total = |day: usize| -> f64 {
-            x[day * TAXI_SAMPLES_PER_DAY..(day + 1) * TAXI_SAMPLES_PER_DAY].iter().sum()
+            x[day * TAXI_SAMPLES_PER_DAY..(day + 1) * TAXI_SAMPLES_PER_DAY]
+                .iter()
+                .sum()
         };
         let event_days: Vec<usize> = t.events.iter().map(|e| e.day).collect();
         for ev in &t.events {
             // compare to the nearest event-free same weekday
             let neighbor = (1..10)
-                .flat_map(|w| {
-                    [ev.day.checked_sub(7 * w), Some(ev.day + 7 * w)]
-                })
+                .flat_map(|w| [ev.day.checked_sub(7 * w), Some(ev.day + 7 * w)])
                 .flatten()
                 .find(|d| *d < TAXI_DAYS && !event_days.contains(d))
                 .expect("an event-free week exists");

@@ -35,7 +35,10 @@ pub struct SmdMachine {
 pub fn smd_machine(seed: u64) -> SmdMachine {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5D3D);
     let n = 2400;
-    let anomaly = Region { start: 1700, end: 1850 };
+    let anomaly = Region {
+        start: 1700,
+        end: 1850,
+    };
     let mut channels = Vec::with_capacity(SMD_DIMS);
     for dim in 0..SMD_DIMS {
         let kind = dim % 4;
@@ -44,8 +47,11 @@ pub fn smd_machine(seed: u64) -> SmdMachine {
             // is phase-staggered, as independent processes would be)
             0 => (0..n)
                 .map(|i| {
-                    let burst =
-                        if ((i + dim * 37) / 60) % 5 == 0 { 0.35 } else { 0.0 };
+                    let burst = if ((i + dim * 37) / 60) % 5 == 0 {
+                        0.35
+                    } else {
+                        0.0
+                    };
                     0.3 + burst + 0.05 * standard_normal(&mut rng)
                 })
                 .collect(),
@@ -69,7 +75,11 @@ pub fn smd_machine(seed: u64) -> SmdMachine {
         // roughly a third of channels react to the incident; dim 19 always
         let reacts = dim == FIG1_DIM || rng.gen_bool(0.3);
         if reacts {
-            let lift = if dim == FIG1_DIM { 0.9 } else { rng.gen_range(0.2..0.6) };
+            let lift = if dim == FIG1_DIM {
+                0.9
+            } else {
+                rng.gen_range(0.2..0.6)
+            };
             let extra_noise = if dim == FIG1_DIM { 0.12 } else { 0.04 };
             for v in &mut ch[anomaly.start..anomaly.end] {
                 *v += lift + extra_noise * standard_normal(&mut rng);
@@ -127,7 +137,10 @@ mod tests {
             .filter(|(i, _)| !r.dilate(25, x.len()).contains(*i))
             .map(|(_, &v)| v)
             .fold(f64::NEG_INFINITY, f64::max);
-        let sd_in = sd[r.start..r.end].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sd_in = sd[r.start..r.end]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(sd_in > sd_out, "movstd works: {sd_in} vs {sd_out}");
 
         // one-liner 3: abs(diff(TS)) > c fires at the boundaries
@@ -146,10 +159,8 @@ mod tests {
         let mut unreactive = 0;
         for dim in 0..SMD_DIMS {
             let x = m.series.channel(dim).unwrap();
-            let inside: f64 =
-                x[r.start..r.end].iter().sum::<f64>() / r.len() as f64;
-            let outside: f64 =
-                x[..r.start].iter().sum::<f64>() / r.start as f64;
+            let inside: f64 = x[r.start..r.end].iter().sum::<f64>() / r.len() as f64;
+            let outside: f64 = x[..r.start].iter().sum::<f64>() / r.start as f64;
             if (inside - outside).abs() < 0.1 {
                 unreactive += 1;
             }

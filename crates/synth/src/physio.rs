@@ -20,20 +20,20 @@ use crate::signal::standard_normal;
 /// One wave component of the synthetic beat: (phase center in [0,1),
 /// width, amplitude).
 const NORMAL_BEAT: [(f64, f64, f64); 5] = [
-    (0.15, 0.035, 0.12),  // P
+    (0.15, 0.035, 0.12),   // P
     (0.265, 0.012, -0.12), // Q
-    (0.30, 0.016, 1.0),   // R
-    (0.34, 0.014, -0.25), // S
-    (0.55, 0.06, 0.28),   // T
+    (0.30, 0.016, 1.0),    // R
+    (0.34, 0.014, -0.25),  // S
+    (0.55, 0.06, 0.28),    // T
 ];
 
 /// A PVC beat: wide, bizarre QRS with no preceding P wave and inverted T.
 const PVC_BEAT: [(f64, f64, f64); 5] = [
-    (0.15, 0.035, 0.0),   // absent P
-    (0.24, 0.05, -0.35),  // slurred onset
-    (0.32, 0.055, 1.25),  // wide tall R'
-    (0.44, 0.05, -0.5),   // deep S'
-    (0.62, 0.07, -0.30),  // inverted T
+    (0.15, 0.035, 0.0),  // absent P
+    (0.24, 0.05, -0.35), // slurred onset
+    (0.32, 0.055, 1.25), // wide tall R'
+    (0.44, 0.05, -0.5),  // deep S'
+    (0.62, 0.07, -0.30), // inverted T
 ];
 
 fn beat_value(phase: f64, waves: &[(f64, f64, f64); 5]) -> f64 {
@@ -135,13 +135,20 @@ pub fn physio(seed: u64, config: &PhysioConfig) -> PhysioRecording {
             *sample += beat_value(phase, waves);
         }
         // each beat ejects a pressure pulse; PVC ejects a weak one
-        let strength = if is_pvc { 0.45 } else { 1.0 + 0.05 * standard_normal(&mut rng) };
+        let strength = if is_pvc {
+            0.45
+        } else {
+            1.0 + 0.05 * standard_normal(&mut rng)
+        };
         let pulse_at = start + len / 4;
         if pulse_at < config.n {
             pulse_train[pulse_at] = strength;
         }
         if is_pvc {
-            ecg_anomaly = Region { start, end: end.min(config.n) };
+            ecg_anomaly = Region {
+                start,
+                end: end.min(config.n),
+            };
         }
     }
     for v in &mut ecg {
@@ -155,7 +162,11 @@ pub fn physio(seed: u64, config: &PhysioConfig) -> PhysioRecording {
     let a1 = 0.12;
     let a2 = 0.06;
     for i in 0..config.n {
-        let drive = if i >= config.pleth_lag { pulse_train[i - config.pleth_lag] } else { 0.0 };
+        let drive = if i >= config.pleth_lag {
+            pulse_train[i - config.pleth_lag]
+        } else {
+            0.0
+        };
         s1 += a1 * (drive * 12.0 - s1);
         s2 += a2 * (s1 - s2);
         pleth[i] = s2 + 0.004 * standard_normal(&mut rng);
@@ -180,7 +191,10 @@ pub fn physio(seed: u64, config: &PhysioConfig) -> PhysioRecording {
 /// `noise_sigma`, as a labeled dataset with a 3 000-point train prefix
 /// (the Telemanom setting in the figure).
 pub fn fig13_ecg(seed: u64, noise_sigma: f64) -> Dataset {
-    let config = PhysioConfig { pvc_beat: Some(55), ..PhysioConfig::default() };
+    let config = PhysioConfig {
+        pvc_beat: Some(55),
+        ..PhysioConfig::default()
+    };
     fig13_ecg_with(seed, noise_sigma, &config, 3000)
 }
 
@@ -234,7 +248,11 @@ pub fn bidmc_like(seed: u64) -> BidmcData {
     );
     let pleth = rec.pleth.clone().with_name(name);
     let dataset = Dataset::new(pleth, labels, 2500).expect("valid");
-    BidmcData { pleth: dataset, ecg: rec.ecg, ecg_anomaly: rec.ecg_anomaly }
+    BidmcData {
+        pleth: dataset,
+        ecg: rec.ecg,
+        ecg_anomaly: rec.ecg_anomaly,
+    }
 }
 
 #[cfg(test)]
@@ -256,7 +274,11 @@ mod tests {
         assert!((60..=90).contains(&r_peaks), "{r_peaks} R peaks");
         // the PVC region contains the global max (tall R')
         let peak = tsad_core::stats::argmax(rec.ecg.values()).unwrap();
-        assert!(rec.ecg_anomaly.contains(peak), "peak {peak} vs {:?}", rec.ecg_anomaly);
+        assert!(
+            rec.ecg_anomaly.contains(peak),
+            "peak {peak} vs {:?}",
+            rec.ecg_anomaly
+        );
     }
 
     #[test]
@@ -267,7 +289,10 @@ mod tests {
         // compare the local max around the pleth anomaly to the median of
         // per-beat maxima
         let r = rec.pleth_anomaly;
-        let local_max = p[r.start..r.end.min(p.len())].iter().cloned().fold(0.0f64, f64::max);
+        let local_max = p[r.start..r.end.min(p.len())]
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
         let global_max = p.iter().cloned().fold(0.0f64, f64::max);
         assert!(local_max < 0.8 * global_max, "{local_max} vs {global_max}");
         // lag: pleth anomaly starts after the ECG anomaly
@@ -284,7 +309,12 @@ mod tests {
             let m = x.iter().sum::<f64>() / x.len() as f64;
             x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
         };
-        assert!(var(&noisy) > var(&clean) + 0.2, "{} vs {}", var(&noisy), var(&clean));
+        assert!(
+            var(&noisy) > var(&clean) + 0.2,
+            "{} vs {}",
+            var(&noisy),
+            var(&clean)
+        );
         // same underlying signal and labels
         assert_eq!(clean.labels(), noisy.labels());
         assert_eq!(clean.train_len(), 3000);
@@ -294,7 +324,11 @@ mod tests {
     fn bidmc_names_encode_anomaly_location() {
         let b = bidmc_like(5);
         let (d, ecg) = (&b.pleth, &b.ecg);
-        assert!(d.name().starts_with("UCR_Anomaly_BIDMC1_2500_"), "{}", d.name());
+        assert!(
+            d.name().starts_with("UCR_Anomaly_BIDMC1_2500_"),
+            "{}",
+            d.name()
+        );
         assert_eq!(d.train_len(), 2500);
         assert_eq!(d.labels().region_count(), 1);
         assert_eq!(ecg.len(), d.len());
@@ -304,7 +338,10 @@ mod tests {
 
     #[test]
     fn anomaly_free_recording_when_pvc_none() {
-        let config = PhysioConfig { pvc_beat: None, ..PhysioConfig::default() };
+        let config = PhysioConfig {
+            pvc_beat: None,
+            ..PhysioConfig::default()
+        };
         let rec = physio(3, &config);
         // no beat region is degenerate; ecg_anomaly stays the placeholder
         assert_eq!(rec.ecg_anomaly, Region { start: 0, end: 1 });

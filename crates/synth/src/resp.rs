@@ -35,7 +35,12 @@ pub struct RespConfig {
 
 impl Default for RespConfig {
     fn default() -> Self {
-        Self { n: 20_000, train_len: 6_000, samples_per_breath: 100, anomaly: RespAnomaly::Apnea }
+        Self {
+            n: 20_000,
+            train_len: 6_000,
+            samples_per_breath: 100,
+            anomaly: RespAnomaly::Apnea,
+        }
     }
 }
 
@@ -44,13 +49,15 @@ pub fn respiration(seed: u64, config: &RespConfig) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4E5B);
     let n = config.n;
     let spb = config.samples_per_breath;
-    let anomaly_breath =
-        rng.gen_range((config.train_len / spb) + 8..(n / spb).saturating_sub(4));
+    let anomaly_breath = rng.gen_range((config.train_len / spb) + 8..(n / spb).saturating_sub(4));
     let (anomaly_start, anomaly_len) = match config.anomaly {
         RespAnomaly::Apnea => (anomaly_breath * spb, 3 * spb),
         RespAnomaly::DeepBreath => (anomaly_breath * spb, spb),
     };
-    let region = Region { start: anomaly_start, end: (anomaly_start + anomaly_len).min(n - 1) };
+    let region = Region {
+        start: anomaly_start,
+        end: (anomaly_start + anomaly_len).min(n - 1),
+    };
 
     let mut x = Vec::with_capacity(n);
     let mut breath_amp = 1.0f64;
@@ -64,8 +71,8 @@ pub fn respiration(seed: u64, config: &RespConfig) -> Dataset {
         }
         let phase = (i % spb) as f64 / spb as f64;
         // inhale faster than exhale: skewed sinusoid
-        let wave = (std::f64::consts::TAU * (phase - 0.08 * (std::f64::consts::TAU * phase).sin()))
-            .sin();
+        let wave =
+            (std::f64::consts::TAU * (phase - 0.08 * (std::f64::consts::TAU * phase).sin())).sin();
         let breathing = if config.anomaly == RespAnomaly::Apnea && region.contains(i) {
             0.0
         } else {
@@ -98,13 +105,22 @@ mod tests {
 
     #[test]
     fn deep_breath_doubles_amplitude() {
-        let config = RespConfig { anomaly: RespAnomaly::DeepBreath, ..Default::default() };
+        let config = RespConfig {
+            anomaly: RespAnomaly::DeepBreath,
+            ..Default::default()
+        };
         let d = respiration(9, &config);
         let r = d.labels().regions()[0];
         let x = d.values();
-        let inside_max = x[r.start..r.end].iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        let inside_max = x[r.start..r.end]
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max);
         let outside_max = x[..r.start].iter().map(|v| v.abs()).fold(0.0f64, f64::max);
-        assert!(inside_max > 1.5 * outside_max, "{inside_max} vs {outside_max}");
+        assert!(
+            inside_max > 1.5 * outside_max,
+            "{inside_max} vs {outside_max}"
+        );
     }
 
     #[test]
@@ -118,7 +134,10 @@ mod tests {
     #[test]
     fn anomaly_is_in_test_region() {
         for anomaly in [RespAnomaly::Apnea, RespAnomaly::DeepBreath] {
-            let config = RespConfig { anomaly, ..Default::default() };
+            let config = RespConfig {
+                anomaly,
+                ..Default::default()
+            };
             let d = respiration(3, &config);
             assert!(d.labels().regions()[0].start >= d.train_len());
         }

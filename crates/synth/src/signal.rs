@@ -95,7 +95,15 @@ fn gaussian_bump(x: f64, center: f64, width: f64) -> f64 {
 /// Occasional unit impulses with probability `rate` per sample — the
 /// building block of Numenta's "spike density" artificial data.
 pub fn random_spikes(rng: &mut StdRng, n: usize, rate: f64, magnitude: f64) -> Vec<f64> {
-    (0..n).map(|_| if rng.gen_bool(rate.clamp(0.0, 1.0)) { magnitude } else { 0.0 }).collect()
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                magnitude
+            } else {
+                0.0
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -155,8 +163,12 @@ mod tests {
         let spd = 48;
         let p = demand_profile(spd * 14, spd, 0.7);
         // weekday peak exceeds weekend peak
-        let day_max =
-            |d: usize| p[d * spd..(d + 1) * spd].iter().cloned().fold(0.0f64, f64::max);
+        let day_max = |d: usize| {
+            p[d * spd..(d + 1) * spd]
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max)
+        };
         assert!(day_max(0) > day_max(5), "weekday vs weekend");
         // same weekday repeats exactly
         assert!((day_max(0) - day_max(7)).abs() < 1e-12);

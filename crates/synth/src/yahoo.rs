@@ -120,7 +120,8 @@ pub fn generate(seed: u64, family: Family, index: usize) -> YahooSeries {
         Family::A4 => 4,
     };
     let mut rng = StdRng::seed_from_u64(
-        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tag * 1_000_003 + index as u64),
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(tag * 1_000_003 + index as u64),
     );
     let archetype = assign_archetype(family, index);
     let (series, labels) = match archetype {
@@ -138,7 +139,12 @@ pub fn generate(seed: u64, family: Family, index: usize) -> YahooSeries {
     };
     let ts = TimeSeries::new(name, series).expect("generated values are finite");
     let dataset = Dataset::unsupervised(ts, labels).expect("labels match length");
-    YahooSeries { dataset, family, archetype, index }
+    YahooSeries {
+        dataset,
+        family,
+        archetype,
+        index,
+    }
 }
 
 /// Archetype quota per family, matching Table 1's per-equation solve
@@ -248,8 +254,14 @@ fn stormy_base(rng: &mut StdRng, n: usize, storm_jump: f64) -> (Vec<f64>, Vec<Re
         guard += 1;
         let width = rng.gen_range(80..140usize);
         let start = rng.gen_range(n / 20..n - width - 1);
-        let candidate = Region { start, end: start + width };
-        if storms.iter().all(|s| !s.dilate(160, n).overlaps(&candidate)) {
+        let candidate = Region {
+            start,
+            end: start + width,
+        };
+        if storms
+            .iter()
+            .all(|s| !s.dilate(160, n).overlaps(&candidate))
+        {
             storms.push(candidate);
         }
     }
@@ -308,8 +320,10 @@ fn eq5_series(rng: &mut StdRng, _family: Family) -> (Vec<f64>, Labels) {
     let positions = calm_positions(rng, n, &storms, 120, count);
     let mut regions = Vec::new();
     for &p in &positions {
-        let magnitude =
-            rng.gen_range(0.85..1.05) * storm_jump * 0.65 * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let magnitude = rng.gen_range(0.85..1.05)
+            * storm_jump
+            * 0.65
+            * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
         regions.push(inject::spike(&mut x, p, magnitude));
     }
     (x, Labels::new(n, regions).expect("positions are separated"))
@@ -341,7 +355,11 @@ fn eq6_series(rng: &mut StdRng, _family: Family) -> (Vec<f64>, Labels) {
             && all_taken.iter().all(|&q| p.abs_diff(q) >= 60);
         if clear {
             all_taken.push(p);
-            regions.push(inject::spike(&mut x, p, anomaly_mag * rng.gen_range(0.95..1.1)));
+            regions.push(inject::spike(
+                &mut x,
+                p,
+                anomaly_mag * rng.gen_range(0.95..1.1),
+            ));
         }
     }
     (x, Labels::new(n, regions).expect("positions are separated"))
@@ -353,18 +371,28 @@ fn hard_series(rng: &mut StdRng, family: Family) -> (Vec<f64>, Labels) {
     let amp = rng.gen_range(0.8..1.4);
     let noise_sigma = rng.gen_range(0.05..0.1);
     let e = gaussian_noise(rng, n, noise_sigma);
-    let mut x: Vec<f64> = sine(n, period, amp, rng.gen_range(0.0..1.0))
-        .into_iter()
-        .zip(&e)
-        .map(|(v, &ne)| v + ne)
-        .collect();
+    let mut x = sine(n, period, amp, rng.gen_range(0.0..1.0));
+    // Natural slow amplitude wander (±22%, period ≫ sag width): local
+    // variance dips of comparable depth to a sag's occur all over the
+    // series, so `movstd` minima are not informative about the anomaly and
+    // the adaptive equations cannot use a variance dip as a signature.
+    let am_period = rng.gen_range(350.0..550.0);
+    let am_phase = rng.gen_range(0.0..1.0);
+    for (i, v) in x.iter_mut().enumerate() {
+        let t = i as f64 / am_period + am_phase;
+        *v *= 1.0 + 0.22 * (2.0 * std::f64::consts::PI * t).sin();
+    }
     // Anomaly: a gradual amplitude sag over roughly one period — no
     // point-wise signature, every diff stays within the normal envelope.
     // Crucially, *unlabeled* sags with the same local statistics occur
     // elsewhere (the paper's hard/ambiguously-labeled exemplars look
     // exactly like this): any threshold that fires inside the labeled sag
     // also fires at the confounders, so no one-liner can be simultaneously
-    // complete and precise.
+    // complete and precise. The sag is applied to the *deterministic*
+    // component only and the noise is added afterwards: the diff signal is
+    // noise-dominated (noise diffs ≈ σ√2 ≫ per-sample sine slope), so
+    // damping the sine leaves no localized dip in `movstd(abs(diff(TS)))`
+    // for the adaptive equations (5)/(6) to latch onto.
     let width = period as usize;
     let sag = |x: &mut [f64], p: usize, depth: f64| {
         for (off, v) in x[p..p + width].iter_mut().enumerate() {
@@ -384,11 +412,25 @@ fn hard_series(rng: &mut StdRng, family: Family) -> (Vec<f64>, Labels) {
     }
     let labeled = spots[0];
     for (k, &p) in spots.iter().enumerate() {
-        let depth = if k == 0 { 0.45 } else { rng.gen_range(0.38..0.5) };
+        // The first confounder is always strictly *deeper* than the labeled
+        // sag: equations (5)/(6) with a large `c` degenerate into
+        // low-variance detectors (`s - c*movstd(s,k)` peaks where the local
+        // variance bottoms out), and without this guarantee a lucky draw in
+        // which every confounder is shallower than 0.45 lets that route
+        // isolate the labeled sag and "solve" a series meant to be hard.
+        let depth = match k {
+            0 => 0.45,
+            1 => rng.gen_range(0.55..0.62),
+            _ => rng.gen_range(0.38..0.5),
+        };
         sag(&mut x, p, depth);
     }
+    let x: Vec<f64> = x.into_iter().zip(&e).map(|(v, &ne)| v + ne).collect();
     let _ = family;
-    let region = Region { start: labeled, end: labeled + width };
+    let region = Region {
+        start: labeled,
+        end: labeled + width,
+    };
     (x, Labels::single(n, region).expect("in bounds"))
 }
 
@@ -412,7 +454,14 @@ pub fn mislabeled_constant(seed: u64) -> (Dataset, usize, usize) {
     let a = start + 5;
     let b = start + 120;
     // Only the first few constant points are labeled.
-    let labels = Labels::single(n, Region { start, end: start + 12 }).expect("in bounds");
+    let labels = Labels::single(
+        n,
+        Region {
+            start,
+            end: start + 12,
+        },
+    )
+    .expect("in bounds");
     let ts = TimeSeries::new("A1-Real32-like", x).expect("finite");
     (Dataset::unsupervised(ts, labels).expect("valid"), a, b)
 }
@@ -472,11 +521,22 @@ pub fn rounded_bottoms(seed: u64) -> (Dataset, usize, usize, Vec<usize>) {
     let f = bottoms[30];
     let labels = Labels::new(
         n,
-        vec![Region::point(e), Region { start: f, end: f + dip_width }],
+        vec![
+            Region::point(e),
+            Region {
+                start: f,
+                end: f + dip_width,
+            },
+        ],
     )
     .expect("disjoint");
     let ts = TimeSeries::new("A1-Real47-like", x).expect("finite");
-    (Dataset::unsupervised(ts, labels).expect("valid"), e, f, bottoms)
+    (
+        Dataset::unsupervised(ts, labels).expect("valid"),
+        e,
+        f,
+        bottoms,
+    )
 }
 
 /// Fig. 7 analogue (A1-Real67): ~50 repeated cycles, then at `change_point`
@@ -514,9 +574,19 @@ pub fn toggling_labels(seed: u64) -> (Dataset, Labels) {
         on = !on;
     }
     let toggling = Labels::new(n, toggled).expect("disjoint runs");
-    let proposed = Labels::single(n, Region { start: change, end: n }).expect("in bounds");
+    let proposed = Labels::single(
+        n,
+        Region {
+            start: change,
+            end: n,
+        },
+    )
+    .expect("in bounds");
     let ts = TimeSeries::new("A1-Real67-like", x).expect("finite");
-    (Dataset::unsupervised(ts, toggling).expect("valid"), proposed)
+    (
+        Dataset::unsupervised(ts, toggling).expect("valid"),
+        proposed,
+    )
 }
 
 /// Fig. 3 analogue (A1-Real1): a challenging-to-the-eye traffic series that
@@ -556,7 +626,11 @@ mod tests {
         assert_eq!(count(Family::A4), 100);
         for s in &all {
             assert_eq!(s.dataset.len(), SERIES_LEN);
-            assert!(s.dataset.labels().region_count() >= 1, "{}", s.dataset.name());
+            assert!(
+                s.dataset.labels().region_count() >= 1,
+                "{}",
+                s.dataset.name()
+            );
         }
     }
 
@@ -600,7 +674,9 @@ mod tests {
     fn archetype_mixture_roughly_matches_table1() {
         let all = benchmark(11);
         let frac = |f: Family, a: Archetype| {
-            all.iter().filter(|s| s.family == f && s.archetype == a).count() as f64
+            all.iter()
+                .filter(|s| s.family == f && s.archetype == a)
+                .count() as f64
                 / f.size() as f64
         };
         assert!(frac(Family::A1, Archetype::Hard) > 0.2);
@@ -622,7 +698,12 @@ mod tests {
     fn twin_dropouts_are_near_identical_but_differently_labeled() {
         let (d, c, dd) = twin_dropout(5);
         let x = d.values();
-        assert!((x[c] - x[dd]).abs() < 0.1, "dropout depths: {} vs {}", x[c], x[dd]);
+        assert!(
+            (x[c] - x[dd]).abs() < 0.1,
+            "dropout depths: {} vs {}",
+            x[c],
+            x[dd]
+        );
         assert!(d.labels().contains(c));
         assert!(!d.labels().contains(dd));
         // both are extreme values of the series
@@ -640,8 +721,7 @@ mod tests {
         let x = d.values();
         let w = 20;
         let other = bottoms[10];
-        let dist =
-            tsad_core::dist::znorm_euclidean(&x[f..f + w], &x[other..other + w]).unwrap();
+        let dist = tsad_core::dist::znorm_euclidean(&x[f..f + w], &x[other..other + w]).unwrap();
         assert!(dist < 1.0, "F should look like any other bottom: {dist}");
     }
 
@@ -662,6 +742,10 @@ mod tests {
     fn a1_real1_has_sandwich_density_flaw() {
         let d = a1_real1(5);
         assert_eq!(d.labels().region_count(), 2);
-        assert_eq!(d.labels().min_gap(), Some(1), "single normal point between anomalies");
+        assert_eq!(
+            d.labels().min_gap(),
+            Some(1),
+            "single normal point between anomalies"
+        );
     }
 }

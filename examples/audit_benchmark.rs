@@ -35,8 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Flaw 2: density
     let criteria = density::DensityCriteria::default();
-    let dense = datasets.iter().filter(|d| density::analyze(d).is_flawed(&criteria)).count();
-    println!("[density]      {dense}/{} with unrealistic anomaly density", datasets.len());
+    let dense = datasets
+        .iter()
+        .filter(|d| density::analyze(d).is_flawed(&criteria))
+        .count();
+    println!(
+        "[density]      {dense}/{} with unrealistic anomaly density",
+        datasets.len()
+    );
 
     // Flaw 3: mislabels (twin + unremarkable-label detectors)
     let mut suspects = 0;
@@ -47,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             suspects += 1;
         }
     }
-    println!("[mislabels]    {suspects}/{} with suspected label errors", datasets.len());
+    println!(
+        "[mislabels]    {suspects}/{} with suspected label errors",
+        datasets.len()
+    );
 
     // Flaw 4: run-to-failure bias across the collection
     let bias = position::analyze(datasets.iter(), 0.1)?;

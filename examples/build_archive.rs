@@ -35,14 +35,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // reload from disk (labels come from the file names) and run a contest
     let datasets = read_archive_dir(&dir)?;
-    println!("\nreloaded {} datasets; running the contest…", datasets.len());
+    println!(
+        "\nreloaded {} datasets; running the contest…",
+        datasets.len()
+    );
     for detector in [
         &DiscordDetector::new(128) as &dyn Detector,
         &Telemanom::default(),
         &NaiveLastPoint,
     ] {
         let result = run_contest(detector, &datasets)?;
-        println!("  {:<28} accuracy {:.2}", result.detector, result.accuracy());
+        println!(
+            "  {:<28} accuracy {:.2}",
+            result.detector,
+            result.accuracy()
+        );
     }
     Ok(())
 }

@@ -14,16 +14,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the Fig. 13 configuration: the forecaster sees one full beat of
     // history; the discord uses the raw-Euclidean metric (z-normalization
     // would let the ECG's flat diastolic windows drown in noise)
-    let telemanom = Telemanom { order: 160, ..Telemanom::default() };
+    let telemanom = Telemanom {
+        order: 160,
+        ..Telemanom::default()
+    };
     let discord = DiscordDetector::euclidean(160);
 
     println!("noise σ | method    | peak correct | discrimination");
     println!("--------|-----------|--------------|---------------");
     for sigma in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let dataset = fig13_ecg(42, sigma);
-        for (name, det) in
-            [("telemanom", &telemanom as &dyn Detector), ("discord", &discord)]
-        {
+        for (name, det) in [
+            ("telemanom", &telemanom as &dyn Detector),
+            ("discord", &discord),
+        ] {
             let score = det.score(dataset.series(), dataset.train_len())?;
             let test = &score[dataset.train_len()..];
             let peak = dataset.train_len() + tsad::core::stats::argmax(test)?;

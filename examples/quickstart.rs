@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "archive dataset {:?}: prediction {} is {}",
         entry.dataset.name(),
         predicted,
-        if ucr_correct(predicted, entry.dataset.labels())? { "CORRECT" } else { "wrong" }
+        if ucr_correct(predicted, entry.dataset.labels())? {
+            "CORRECT"
+        } else {
+            "wrong"
+        }
     );
     Ok(())
 }

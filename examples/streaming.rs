@@ -50,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &e in &events {
         println!(
             "  event @{e}: offline profile {:.2}, online profile {:.2}",
-            offline.profile[e],
-            online.profile[e]
+            offline.profile[e], online.profile[e]
         );
     }
     println!(

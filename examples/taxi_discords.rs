@@ -41,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter(|p| {
             let day = p.index / TAXI_SAMPLES_PER_DAY;
-            taxi.events.iter().any(|e| !e.official && day.abs_diff(e.day) <= 1)
+            taxi.events
+                .iter()
+                .any(|e| !e.official && day.abs_diff(e.day) <= 1)
         })
         .count();
     println!(

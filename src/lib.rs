@@ -13,6 +13,8 @@
 //! * [`synth`] — seeded simulators of the flawed benchmarks (Yahoo,
 //!   Numenta, NASA, OMNI) and the physiological/gait generators;
 //! * [`eval`] — scoring protocols and the four flaw analyzers;
+//! * [`stream`] — bounded-memory streaming ports of the detector panel,
+//!   with a replay harness and batch-equivalence checking;
 //! * [`archive`] — the UCR-style single-anomaly archive (naming, IO,
 //!   validation, builder, contest).
 //!
@@ -40,6 +42,7 @@ pub use tsad_archive as archive;
 pub use tsad_core as core;
 pub use tsad_detectors as detectors;
 pub use tsad_eval as eval;
+pub use tsad_stream as stream;
 pub use tsad_synth as synth;
 
 /// The most common imports, renamed to avoid collisions.
@@ -51,6 +54,11 @@ pub mod prelude {
     pub use tsad_detectors::telemanom::Telemanom;
     pub use tsad_detectors::{most_anomalous_point, Detector};
     pub use tsad_eval::scoring::{best_f1_over_thresholds, F1Protocol};
+    pub use tsad_eval::streaming::{detection_delays, DelayReport};
     pub use tsad_eval::ucr::{ucr_accuracy, ucr_correct};
+    pub use tsad_stream::{
+        check_equivalence, replay as stream_replay, BatchAdapter, EquivalenceMode, ReplayConfig,
+        StreamingDetector, StreamingOneLiner,
+    };
     pub use tsad_synth::yahoo::Family as YahooFamily;
 }

@@ -33,14 +33,21 @@ fn full_archive_pipeline_on_disk() {
     // every reloaded dataset keeps the archive invariants
     for d in &datasets {
         assert_eq!(d.labels().region_count(), 1, "{}", d.name());
-        assert!(d.labels().regions()[0].start >= d.train_len(), "{}", d.name());
+        assert!(
+            d.labels().regions()[0].start >= d.train_len(),
+            "{}",
+            d.name()
+        );
         assert!(d.train_len() > 0, "{}", d.name());
     }
 
     // contest on the reloaded data: a real detector beats random
     let discord = run_contest(&DiscordDetector::new(128), &datasets).unwrap();
-    let random =
-        run_contest(&tsad::detectors::baselines::RandomDetector::new(3), &datasets).unwrap();
+    let random = run_contest(
+        &tsad::detectors::baselines::RandomDetector::new(3),
+        &datasets,
+    )
+    .unwrap();
     assert!(
         discord.accuracy() > random.accuracy(),
         "discord {} vs random {}",
@@ -51,7 +58,11 @@ fn full_archive_pipeline_on_disk() {
 
     // audit on the reloaded data: not trivially dominated, no end bias gift
     let report = audit(datasets.iter(), &AuditConfig::default()).unwrap();
-    assert!(report.trivial_fraction() < 0.6, "{}", report.trivial_fraction());
+    assert!(
+        report.trivial_fraction() < 0.6,
+        "{}",
+        report.trivial_fraction()
+    );
     assert!(
         report.position_bias.naive_last_hit_rate < 0.3,
         "{}",

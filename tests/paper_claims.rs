@@ -18,11 +18,19 @@ fn most_yahoo_series_are_trivial() {
     // First 10 per family: quota ordering puts solvable archetypes first in
     // every family, so this subsample should be fully or almost fully
     // trivial.
-    for family in [YahooFamily::A1, YahooFamily::A2, YahooFamily::A3, YahooFamily::A4] {
+    for family in [
+        YahooFamily::A1,
+        YahooFamily::A2,
+        YahooFamily::A3,
+        YahooFamily::A4,
+    ] {
         for index in 1..=10 {
             let series = tsad::synth::yahoo::generate(42, family, index);
             total += 1;
-            if triviality::analyze(&series.dataset, &config).unwrap().is_trivial() {
+            if triviality::analyze(&series.dataset, &config)
+                .unwrap()
+                .is_trivial()
+            {
                 solved += 1;
             }
         }
@@ -38,11 +46,17 @@ fn hard_a1_series_are_not_trivial() {
     let mut unsolved = 0;
     for index in 48..=55 {
         let series = tsad::synth::yahoo::generate(42, YahooFamily::A1, index);
-        if !triviality::analyze(&series.dataset, &config).unwrap().is_trivial() {
+        if !triviality::analyze(&series.dataset, &config)
+            .unwrap()
+            .is_trivial()
+        {
             unsolved += 1;
         }
     }
-    assert!(unsolved >= 6, "hard archetype should mostly resist: {unsolved}/8");
+    assert!(
+        unsolved >= 6,
+        "hard archetype should mostly resist: {unsolved}/8"
+    );
 }
 
 /// §2.3 — the benchmark simulators reproduce the density pathologies.
@@ -66,7 +80,11 @@ fn run_to_failure_bias_reproduces() {
         .collect();
     let report = position::analyze(datasets.iter(), 0.1).unwrap();
     assert!(report.is_biased(0.01), "{report:?}");
-    assert!(report.naive_last_hit_rate > 0.25, "{}", report.naive_last_hit_rate);
+    assert!(
+        report.naive_last_hit_rate > 0.25,
+        "{}",
+        report.naive_last_hit_rate
+    );
 }
 
 /// §3 — the archive rejects multi-anomaly datasets and the file-name
@@ -125,7 +143,10 @@ fn trivial_baseline_beats_random_under_tolerant_f1() {
     let oneliner_mean = oneliner_sum / count as f64;
     let random_mean = random_sum / count as f64;
     assert!(oneliner_mean > 0.9, "{oneliner_mean}");
-    assert!(oneliner_mean > 2.0 * random_mean, "{oneliner_mean} vs {random_mean}");
+    assert!(
+        oneliner_mean > 2.0 * random_mean,
+        "{oneliner_mean} vs {random_mean}"
+    );
     // the moving-average residual baseline is also far above random
     let _ = MovingAvgResidual::new(21);
 }
