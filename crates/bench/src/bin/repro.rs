@@ -35,6 +35,7 @@ const EXPERIMENTS: &[&str] = &[
     "triviality",
     "audit",
     "stream",
+    "bench-json",
     "write-archive",
 ];
 
@@ -132,6 +133,13 @@ fn run_one(name: &str, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
         ),
         "audit" => print!("{}", audit_exp::render(&audit_exp::run(seed, 10, 21)?)),
         "stream" => print!("{}", stream::render(&stream::run(seed)?)),
+        "bench-json" => {
+            let doc = bench_json::run(seed, &bench_json::BenchConfig::default())?;
+            let json = bench_json::render(&doc);
+            std::fs::write("BENCH_kernels.json", &json)?;
+            println!("wrote BENCH_kernels.json ({} kernels):", doc.kernels.len());
+            print!("{json}");
+        }
         "write-archive" => {
             let dir = std::env::temp_dir().join("tsad-ucr-archive");
             let rows = tsad_archive::manifest::build_and_write(&dir, seed, 30)?;
@@ -174,7 +182,7 @@ fn main() -> ExitCode {
     let list: Vec<String> = if args.iter().any(|a| a == "all") {
         EXPERIMENTS
             .iter()
-            .filter(|e| **e != "fig12" && **e != "write-archive")
+            .filter(|e| **e != "fig12" && **e != "write-archive" && **e != "bench-json")
             .map(|s| s.to_string())
             .collect()
     } else {

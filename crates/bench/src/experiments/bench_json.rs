@@ -1,0 +1,294 @@
+//! `bench-json` — machine-readable kernel baselines.
+//!
+//! Times the four parallelized kernels (STOMP, MERLIN, the sliding dot
+//! product, and a streaming replay) at 1 thread and at [`PAR_THREADS`]
+//! threads via `tsad_parallel::with_threads`, and renders the medians as a
+//! small, dependency-free JSON document (`BENCH_kernels.json`). The file
+//! is a *baseline*, not a pass/fail gate: CI only asserts it is produced
+//! and well-formed, because absolute numbers are machine-specific.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tsad_core::error::Result;
+use tsad_core::fft::sliding_dot_product;
+use tsad_core::Labels;
+use tsad_detectors::matrix_profile::stomp;
+use tsad_detectors::merlin::merlin;
+use tsad_parallel::with_threads;
+use tsad_stream::{replay, ReplayConfig, StreamingLeftDiscord};
+
+/// Thread count used for the parallel column.
+pub const PAR_THREADS: usize = 4;
+
+/// Sizes for one timing run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Series length for STOMP.
+    pub stomp_n: usize,
+    /// STOMP window.
+    pub stomp_m: usize,
+    /// Series length for MERLIN.
+    pub merlin_n: usize,
+    /// MERLIN length range (inclusive).
+    pub merlin_lengths: (usize, usize),
+    /// Series length for the sliding dot product.
+    pub sdp_n: usize,
+    /// Query length for the sliding dot product (past the FFT crossover).
+    pub sdp_m: usize,
+    /// Series length for the streaming replay.
+    pub replay_n: usize,
+    /// Left-discord window for the streaming replay.
+    pub replay_m: usize,
+    /// Timed repetitions per kernel per thread count (median reported).
+    pub iters: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            stomp_n: 4096,
+            stomp_m: 128,
+            merlin_n: 800,
+            merlin_lengths: (24, 40),
+            sdp_n: 65_536,
+            sdp_m: 512,
+            replay_n: 6000,
+            replay_m: 32,
+            iters: 5,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// A tiny configuration for debug-mode tests.
+    pub fn smoke() -> Self {
+        Self {
+            stomp_n: 300,
+            stomp_m: 16,
+            merlin_n: 200,
+            merlin_lengths: (8, 10),
+            sdp_n: 2048,
+            sdp_m: 256,
+            replay_n: 400,
+            replay_m: 8,
+            iters: 2,
+        }
+    }
+}
+
+/// Median wall-clock per iteration for one kernel at both thread counts.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Kernel label.
+    pub name: &'static str,
+    /// Human-readable size note.
+    pub params: String,
+    /// Timed repetitions per thread count.
+    pub iters: usize,
+    /// Median ns/iter at 1 thread.
+    pub median_ns_1t: u128,
+    /// Median ns/iter at [`PAR_THREADS`] threads.
+    pub median_ns_nt: u128,
+}
+
+impl KernelTiming {
+    /// `1-thread / N-thread` wall-clock ratio (> 1 means the pool helped).
+    pub fn speedup(&self) -> f64 {
+        if self.median_ns_nt == 0 {
+            0.0
+        } else {
+            self.median_ns_1t as f64 / self.median_ns_nt as f64
+        }
+    }
+}
+
+/// The full baseline document.
+#[derive(Debug, Clone)]
+pub struct BenchJson {
+    /// Seed the inputs were generated from.
+    pub seed: u64,
+    /// Thread count of the parallel column.
+    pub threads: usize,
+    /// Host parallelism the override competed against.
+    pub host_threads: usize,
+    /// Per-kernel medians.
+    pub kernels: Vec<KernelTiming>,
+}
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            (i as f64 * 0.12).sin() + 0.2 * noise
+        })
+        .collect()
+}
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_at_threads(iters: usize, threads: usize, f: &dyn Fn()) -> u128 {
+    with_threads(threads, || median_ns(iters, f))
+}
+
+/// Runs the kernel panel and collects the timings.
+pub fn run(seed: u64, cfg: &BenchConfig) -> Result<BenchJson> {
+    let mut kernels = Vec::new();
+
+    let x = series(cfg.stomp_n, seed);
+    let m = cfg.stomp_m;
+    let go = || {
+        stomp(&x, m).expect("stomp");
+    };
+    kernels.push(KernelTiming {
+        name: "stomp",
+        params: format!("n={}, m={}", cfg.stomp_n, cfg.stomp_m),
+        iters: cfg.iters,
+        median_ns_1t: time_at_threads(cfg.iters, 1, &go),
+        median_ns_nt: time_at_threads(cfg.iters, PAR_THREADS, &go),
+    });
+
+    let x = series(cfg.merlin_n, seed + 1);
+    let (lo, hi) = cfg.merlin_lengths;
+    let go = || {
+        merlin(&x, lo, hi).expect("merlin");
+    };
+    kernels.push(KernelTiming {
+        name: "merlin",
+        params: format!("n={}, lengths={lo}..={hi}", cfg.merlin_n),
+        iters: cfg.iters,
+        median_ns_1t: time_at_threads(cfg.iters, 1, &go),
+        median_ns_nt: time_at_threads(cfg.iters, PAR_THREADS, &go),
+    });
+
+    let x = series(cfg.sdp_n, seed + 2);
+    let q = series(cfg.sdp_m, seed + 3);
+    let go = || {
+        sliding_dot_product(&q, &x).expect("sliding_dot_product");
+    };
+    kernels.push(KernelTiming {
+        name: "sliding_dot_product",
+        params: format!("n={}, m={}", cfg.sdp_n, cfg.sdp_m),
+        iters: cfg.iters,
+        median_ns_1t: time_at_threads(cfg.iters, 1, &go),
+        median_ns_nt: time_at_threads(cfg.iters, PAR_THREADS, &go),
+    });
+
+    let x = series(cfg.replay_n, seed + 4);
+    let labels = Labels::new(x.len(), vec![])?;
+    let replay_cfg = ReplayConfig {
+        chunk_size: 64,
+        threshold: f64::INFINITY,
+        slop: 0,
+    };
+    let go = || {
+        let mut det =
+            StreamingLeftDiscord::new(cfg.replay_m, Default::default(), x.len()).expect("detector");
+        replay(&mut det, &x, &labels, &replay_cfg).expect("replay");
+    };
+    kernels.push(KernelTiming {
+        name: "streaming_replay_left_discord",
+        params: format!("n={}, m={}", cfg.replay_n, cfg.replay_m),
+        iters: cfg.iters,
+        median_ns_1t: time_at_threads(cfg.iters, 1, &go),
+        median_ns_nt: time_at_threads(cfg.iters, PAR_THREADS, &go),
+    });
+
+    Ok(BenchJson {
+        seed,
+        threads: PAR_THREADS,
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        kernels,
+    })
+}
+
+/// Renders the document as pretty-printed JSON (handwritten — the build is
+/// offline, so no serde).
+pub fn render(doc: &BenchJson) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"tsad-bench-kernels/v1\",");
+    let _ = writeln!(out, "  \"seed\": {},", doc.seed);
+    let _ = writeln!(out, "  \"threads\": {},", doc.threads);
+    let _ = writeln!(out, "  \"host_threads\": {},", doc.host_threads);
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in doc.kernels.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", k.name);
+        let _ = writeln!(out, "      \"params\": \"{}\",", k.params);
+        let _ = writeln!(out, "      \"iters\": {},", k.iters);
+        let _ = writeln!(
+            out,
+            "      \"median_ns_per_iter_1_thread\": {},",
+            k.median_ns_1t
+        );
+        let _ = writeln!(
+            out,
+            "      \"median_ns_per_iter_{}_threads\": {},",
+            doc.threads, k.median_ns_nt
+        );
+        let _ = writeln!(out, "      \"speedup\": {:.3}", k.speedup());
+        out.push_str(if i + 1 < doc.kernels.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_wellformed_json() {
+        let doc = run(42, &BenchConfig::smoke()).unwrap();
+        assert_eq!(doc.kernels.len(), 4);
+        let json = render(&doc);
+        // structural sanity without a JSON parser: balanced braces/brackets
+        // and every expected field present
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for field in [
+            "\"schema\"",
+            "\"seed\"",
+            "\"threads\"",
+            "\"kernels\"",
+            "\"median_ns_per_iter_1_thread\"",
+            "\"speedup\"",
+            "\"stomp\"",
+            "\"merlin\"",
+            "\"sliding_dot_product\"",
+            "\"streaming_replay_left_discord\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        // no trailing commas (the classic handwritten-JSON bug)
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n    }"));
+    }
+
+    #[test]
+    fn timings_are_positive() {
+        let doc = run(7, &BenchConfig::smoke()).unwrap();
+        for k in doc.kernels {
+            assert!(k.median_ns_1t > 0, "{}", k.name);
+            assert!(k.median_ns_nt > 0, "{}", k.name);
+        }
+    }
+}

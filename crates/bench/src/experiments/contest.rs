@@ -40,16 +40,24 @@ pub fn run(seed: u64, count: usize) -> tsad_archive::Result<Contest> {
             .filter(|e| e.provenance.difficulty == Difficulty::Hard)
             .count(),
     );
-    let results = vec![
-        run_contest(&DiscordDetector::new(128), &datasets)?,
-        run_contest(&OnlineDiscordDetector::new(128), &datasets)?,
-        run_contest(&Telemanom::default(), &datasets)?,
-        run_contest(&SubsequenceKnn::new(128), &datasets)?,
-        run_contest(&SeasonalDetector::auto(20, 300), &datasets)?,
-        run_contest(&GlobalZScore, &datasets)?,
-        run_contest(&NaiveLastPoint, &datasets)?,
-        run_contest(&RandomDetector::new(seed), &datasets)?,
+    // The panel members are independent of each other; `par_invoke` keeps
+    // the leaderboard rows in this declaration order regardless of which
+    // detector finishes first.
+    let datasets_ref = &datasets;
+    type Task<'a> = Box<dyn FnOnce() -> tsad_archive::Result<ContestResult> + Send + 'a>;
+    let tasks: Vec<Task<'_>> = vec![
+        Box::new(move || run_contest(&DiscordDetector::new(128), datasets_ref)),
+        Box::new(move || run_contest(&OnlineDiscordDetector::new(128), datasets_ref)),
+        Box::new(move || run_contest(&Telemanom::default(), datasets_ref)),
+        Box::new(move || run_contest(&SubsequenceKnn::new(128), datasets_ref)),
+        Box::new(move || run_contest(&SeasonalDetector::auto(20, 300), datasets_ref)),
+        Box::new(move || run_contest(&GlobalZScore, datasets_ref)),
+        Box::new(move || run_contest(&NaiveLastPoint, datasets_ref)),
+        Box::new(move || run_contest(&RandomDetector::new(seed), datasets_ref)),
     ];
+    let results = tsad_parallel::par_invoke(tasks)
+        .into_iter()
+        .collect::<tsad_archive::Result<Vec<_>>>()?;
     Ok(Contest {
         results,
         datasets: datasets.len(),

@@ -100,18 +100,25 @@ pub fn run_sized(
         pvc_beat: Some(pvc_beat),
         ..PhysioConfig::default()
     };
-    let mut rows = Vec::with_capacity(noise_levels.len());
-    for &sigma in noise_levels {
+    // Noise levels are independent replicates (each regenerates its own
+    // dataset), and within a level the two methods never interact — fan the
+    // levels out and run the pair with `join`. Results come back in
+    // noise-level order by construction.
+    let rows = tsad_parallel::par_map_indexed(noise_levels, |_, &sigma| -> Result<Fig13Row> {
         let dataset = fig13_ecg_with(seed, sigma, &config, train_len);
-        let t = run_method(&telemanom, "Telemanom (AR+NDT)", &dataset)?;
-        let d = run_method(&discord, "Discord", &dataset)?;
-        rows.push(Fig13Row {
+        let (t, d) = tsad_parallel::join(
+            || run_method(&telemanom, "Telemanom (AR+NDT)", &dataset),
+            || run_method(&discord, "Discord", &dataset),
+        );
+        Ok(Fig13Row {
             noise_sigma: sigma,
-            telemanom: t,
-            discord: d,
-        });
-    }
-    Ok(Fig13 { rows })
+            telemanom: t?,
+            discord: d?,
+        })
+    });
+    Ok(Fig13 {
+        rows: rows.into_iter().collect::<Result<Vec<_>>>()?,
+    })
 }
 
 /// Renders the score traces and the outcome table.

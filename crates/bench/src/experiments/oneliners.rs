@@ -51,41 +51,52 @@ pub fn fig1(seed: u64) -> Result<Fig1> {
     let labels = machine.labels.clone();
 
     // pick thresholds from the data like the figure does (a constant that
-    // separates the anomaly window)
+    // separates the anomaly window); the three predicates are built and
+    // checked independently, so they fan out as one task each (results stay
+    // in declaration order — that is `par_invoke`'s contract)
     let region = labels.regions()[0];
-    let outside_max = x
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| !region.contains(*i))
-        .map(|(_, &v)| v)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let ol1 = OneLiner::new(Expr::Ts, Expr::Const(outside_max + 0.01));
-
-    let sd = ops::movstd(&x, 25)?;
-    let sd_out = sd
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| !region.dilate(25, x.len()).contains(*i))
-        .map(|(_, &v)| v)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let ol2 = OneLiner::new(Expr::Ts.movstd(25), Expr::Const(sd_out * 1.05));
-
-    let ad = ops::abs(&ops::diff(&x));
-    let ad_out = ad
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| !region.dilate(2, x.len()).contains(i + 1))
-        .map(|(_, &v)| v)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let ol3 = OneLiner::new(Expr::Ts.diff().abs(), Expr::Const(ad_out * 1.05));
-
-    // the movstd response necessarily extends half a window beyond the
-    // labeled region, so its demo gets window-sized slop
-    let demos = vec![
-        demo(&ol1, &x, &labels, DEMO_SLOP)?,
-        demo(&ol2, &x, &labels, 25)?,
-        demo(&ol3, &x, &labels, DEMO_SLOP)?,
+    type DemoTask<'a> = Box<dyn FnOnce() -> Result<Demo> + Send + 'a>;
+    let x_ref = &x;
+    let labels_ref = &labels;
+    let tasks: Vec<DemoTask<'_>> = vec![
+        Box::new(move || {
+            let outside_max = x_ref
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !region.contains(*i))
+                .map(|(_, &v)| v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let ol1 = OneLiner::new(Expr::Ts, Expr::Const(outside_max + 0.01));
+            demo(&ol1, x_ref, labels_ref, DEMO_SLOP)
+        }),
+        Box::new(move || {
+            let sd = ops::movstd(x_ref, 25)?;
+            let sd_out = sd
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !region.dilate(25, x_ref.len()).contains(*i))
+                .map(|(_, &v)| v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let ol2 = OneLiner::new(Expr::Ts.movstd(25), Expr::Const(sd_out * 1.05));
+            // the movstd response necessarily extends half a window beyond
+            // the labeled region, so its demo gets window-sized slop
+            demo(&ol2, x_ref, labels_ref, 25)
+        }),
+        Box::new(move || {
+            let ad = ops::abs(&ops::diff(x_ref));
+            let ad_out = ad
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !region.dilate(2, x_ref.len()).contains(i + 1))
+                .map(|(_, &v)| v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let ol3 = OneLiner::new(Expr::Ts.diff().abs(), Expr::Const(ad_out * 1.05));
+            demo(&ol3, x_ref, labels_ref, DEMO_SLOP)
+        }),
     ];
+    let demos = tsad_parallel::par_invoke(tasks)
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
     Ok(Fig1 {
         series: x,
         labels,

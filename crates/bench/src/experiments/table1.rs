@@ -92,11 +92,18 @@ pub fn run(seed: u64, per_family: Option<usize>) -> Result<Table1> {
     let mut families = Vec::with_capacity(4);
     for family in Family::all() {
         let count = per_family.map_or(family.size(), |c| c.min(family.size()));
-        let mut agg = FamilySolvability::default();
-        for index in 1..=count {
+        // Series are independent one-liner searches; fan them out and fold
+        // the reports back in series order so the aggregate (including the
+        // first-seen ordering of its per-equation rows) matches a
+        // sequential run exactly.
+        let indices: Vec<usize> = (1..=count).collect();
+        let reports = tsad_parallel::par_map_indexed(&indices, |_, &index| {
             let series = yahoo::generate(seed, family, index);
-            let report = analyze(&series.dataset, &config)?;
-            agg.add(&report);
+            analyze(&series.dataset, &config)
+        });
+        let mut agg = FamilySolvability::default();
+        for report in reports {
+            agg.add(&report?);
         }
         families.push((family, agg));
     }

@@ -46,9 +46,14 @@ pub struct TrivialityStudy {
 }
 
 fn count_solved(datasets: &[Dataset], config: &SearchConfig) -> Result<usize> {
+    // Each dataset's one-liner search is independent; the count is
+    // order-insensitive, so fanning out cannot change the result.
+    let verdicts = tsad_parallel::par_map_indexed(datasets, |_, d| {
+        analyze(d, config).map(|report| report.is_trivial())
+    });
     let mut solved = 0;
-    for d in datasets {
-        if analyze(d, config)?.is_trivial() {
+    for v in verdicts {
+        if v? {
             solved += 1;
         }
     }

@@ -27,6 +27,7 @@
 pub mod experiments {
     //! One module per paper artifact; see the crate-level table.
     pub mod audit_exp;
+    pub mod bench_json;
     pub mod contest;
     pub mod density;
     pub mod fig13;

@@ -1,0 +1,51 @@
+//! Experiment-level thread-count invariance.
+//!
+//! The `repro` drivers fan dataset × detector cells onto the
+//! `tsad-parallel` pool; these tests pin that the *reported numbers* —
+//! solvability counts, per-equation row ordering, contest accuracies —
+//! are identical under `TSAD_THREADS` overrides of 1, 2, and 8.
+
+use tsad_bench::experiments::{contest, table1, triviality_all};
+use tsad_parallel::with_threads;
+
+#[test]
+fn table1_is_thread_count_invariant() {
+    let base = with_threads(1, || table1::run(42, Some(6)).unwrap());
+    for t in [2usize, 8] {
+        let got = with_threads(t, || table1::run(42, Some(6)).unwrap());
+        assert_eq!(got.total(), base.total(), "at {t} threads");
+        assert_eq!(got.total_solved(), base.total_solved(), "at {t} threads");
+        // the rendered table pins per-equation row ordering too (the
+        // aggregate's by-equation rows are in first-seen series order)
+        assert_eq!(got.render(), base.render(), "at {t} threads");
+    }
+}
+
+#[test]
+fn triviality_study_is_thread_count_invariant() {
+    let base = with_threads(1, || triviality_all::run(42, 8).unwrap());
+    for t in [2usize, 8] {
+        let got = with_threads(t, || triviality_all::run(42, 8).unwrap());
+        assert_eq!(
+            triviality_all::render(&got),
+            triviality_all::render(&base),
+            "at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn contest_is_thread_count_invariant() {
+    let base = with_threads(1, || contest::run(42, 4).unwrap());
+    for t in [2usize, 8] {
+        let got = with_threads(t, || contest::run(42, 4).unwrap());
+        assert_eq!(got.datasets, base.datasets, "at {t} threads");
+        let accs = |c: &contest::Contest| {
+            c.results
+                .iter()
+                .map(|r| (r.detector, r.accuracy().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(accs(&got), accs(&base), "at {t} threads");
+    }
+}

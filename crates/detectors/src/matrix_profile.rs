@@ -85,87 +85,154 @@ pub fn stomp(x: &[f64], m: usize) -> Result<MatrixProfile> {
     stomp_metric(x, m, ProfileMetric::ZNormalized)
 }
 
-/// STOMP under an explicit [`ProfileMetric`]. Both metrics share the same
-/// `O(n²)` incremental-dot-product core; Euclidean uses
-/// `d² = ‖a‖² + ‖b‖² − 2·a·b` with precomputed window norms.
-pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<MatrixProfile> {
-    let n = x.len();
-    let count = tsad_core::windows::subsequence_count(n, m)?;
-    if count < 2 {
-        return Err(CoreError::BadWindow { window: m, len: n });
-    }
-    let moments = WindowMoments::compute(x, m)?;
-    let excl = exclusion_zone(m);
+/// Shared per-call context for the diagonal STOMP kernels.
+struct StompContext {
+    m: usize,
+    count: usize,
+    excl: usize,
+    metric: ProfileMetric,
+    moments: WindowMoments,
+    /// Squared window norms, populated only under the Euclidean metric.
+    sq_norms: Vec<f64>,
+    /// Dot products of window 0 with every window (diagonal seeds).
+    first_row: Vec<f64>,
+}
 
-    // squared window norms for the Euclidean metric
-    let sq_norms: Vec<f64> = (0..count)
-        .map(|i| x[i..i + m].iter().map(|v| v * v).sum())
-        .collect();
-
-    let mut profile = vec![f64::INFINITY; count];
-    let mut index = vec![0usize; count];
-
-    // First row of the distance matrix: dot products of window 0 with all.
-    let first_row: Vec<f64> = tsad_core::fft::sliding_dot_product(&x[0..m], x)?;
-    let mut qt = first_row.clone();
-
-    let update = |i: usize, j: usize, dot: f64, profile: &mut [f64], index: &mut [usize]| {
-        if j.abs_diff(i) < excl {
-            return;
+impl StompContext {
+    fn new(x: &[f64], m: usize, metric: ProfileMetric) -> Result<Self> {
+        let n = x.len();
+        let count = tsad_core::windows::subsequence_count(n, m)?;
+        if count < 2 {
+            return Err(CoreError::BadWindow { window: m, len: n });
         }
-        let d = match metric {
+        let moments = WindowMoments::compute(x, m)?;
+        let sq_norms: Vec<f64> = match metric {
+            ProfileMetric::Euclidean => (0..count)
+                .map(|i| x[i..i + m].iter().map(|v| v * v).sum())
+                .collect(),
+            ProfileMetric::ZNormalized => Vec::new(),
+        };
+        let first_row = tsad_core::fft::sliding_dot_product(&x[0..m], x)?;
+        Ok(Self {
+            m,
+            count,
+            excl: exclusion_zone(m),
+            metric,
+            moments,
+            sq_norms,
+            first_row,
+        })
+    }
+
+    #[inline]
+    fn distance(&self, i: usize, j: usize, dot: f64) -> f64 {
+        match self.metric {
             ProfileMetric::ZNormalized => dot_to_znorm_dist(
                 dot,
-                m,
-                moments.means[i],
-                moments.stds[i],
-                moments.means[j],
-                moments.stds[j],
+                self.m,
+                self.moments.means[i],
+                self.moments.stds[i],
+                self.moments.means[j],
+                self.moments.stds[j],
             ),
-            ProfileMetric::Euclidean => (sq_norms[i] + sq_norms[j] - 2.0 * dot).max(0.0).sqrt(),
-        };
-        if d < profile[i] {
-            profile[i] = d;
-            index[i] = j;
-        }
-        if d < profile[j] {
-            profile[j] = d;
-            index[j] = i;
-        }
-    };
-
-    // Row 0.
-    #[allow(clippy::needless_range_loop)] // j is a window index, not just a position in qt
-    for j in 0..count {
-        update(0, j, qt[j], &mut profile, &mut index);
-    }
-    // Rows 1..count using the STOMP recurrence:
-    // QT[i][j] = QT[i-1][j-1] - x[i-1]*x[j-1] + x[i+m-1]*x[j+m-1].
-    for i in 1..count {
-        // iterate j from high to low so qt[j-1] is still row i-1's value
-        for j in (1..count).rev() {
-            qt[j] = qt[j - 1] - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
-        }
-        qt[0] = first_row[i]; // QT[i][0] = QT[0][i] by symmetry
-                              // Only the upper triangle is needed; `update` fills both sides.
-        #[allow(clippy::needless_range_loop)]
-        for j in i..count {
-            update(i, j, qt[j], &mut profile, &mut index);
+            ProfileMetric::Euclidean => (self.sq_norms[i] + self.sq_norms[j] - 2.0 * dot)
+                .max(0.0)
+                .sqrt(),
         }
     }
 
-    // Windows with no admissible neighbor (can only happen for tiny inputs)
-    // keep INFINITY replaced by the max finite value for downstream safety.
+    /// Number of admissible diagonals (`k = excl .. count`, pairing window
+    /// `i` with window `i + k`).
+    fn diagonals(&self) -> usize {
+        self.count.saturating_sub(self.excl)
+    }
+}
+
+/// Merges per-band `(profile, index)` results **in band order** with a
+/// strict `<`: equivalent to one sequential scan over all diagonals in
+/// ascending order, so the outcome is identical wherever the band
+/// boundaries fall — the determinism contract of `tsad-parallel`.
+fn merge_bands(count: usize, bands: Vec<(Vec<f64>, Vec<usize>)>) -> (Vec<f64>, Vec<usize>) {
+    let mut bands = bands.into_iter();
+    let (mut profile, mut index) = bands
+        .next()
+        .unwrap_or_else(|| (vec![f64::INFINITY; count], vec![0usize; count]));
+    for (p, ix) in bands {
+        for i in 0..count {
+            if p[i] < profile[i] {
+                profile[i] = p[i];
+                index[i] = ix[i];
+            }
+        }
+    }
+    (profile, index)
+}
+
+/// Replaces the INFINITY placeholder of windows that received no
+/// admissible neighbor (tiny inputs only) with the max finite value, for
+/// downstream safety.
+fn cap_non_finite(profile: &mut [f64]) {
     let max_finite = profile
         .iter()
         .copied()
         .filter(|d| d.is_finite())
         .fold(0.0f64, f64::max);
-    for p in &mut profile {
+    for p in profile.iter_mut() {
         if !p.is_finite() {
             *p = max_finite;
         }
     }
+}
+
+/// STOMP under an explicit [`ProfileMetric`]. Both metrics share the same
+/// `O(n²)` incremental-dot-product core; Euclidean uses
+/// `d² = ‖a‖² + ‖b‖² − 2·a·b` with precomputed window norms.
+///
+/// The distance matrix is walked along its diagonals: diagonal `k` pairs
+/// window `i` with window `i + k`, and the dot product follows the STOMP
+/// recurrence `QT[i+1][j+1] = QT[i][j] − x[i]·x[j] + x[i+m]·x[j+m]` from
+/// the seed `QT[0][k]`. Diagonals are independent, so contiguous bands of
+/// them fan out over `tsad-parallel` with per-thread profile buffers that
+/// are min-merged in band order. Each pairwise distance is computed by the
+/// same floating-point operation chain regardless of banding, and the
+/// ordered merge reproduces a sequential ascending-diagonal scan, so the
+/// result is **bitwise identical at every thread count**.
+pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<MatrixProfile> {
+    let ctx = StompContext::new(x, m, metric)?;
+    let count = ctx.count;
+    let bands = tsad_parallel::par_chunks(ctx.diagonals(), |band| {
+        let mut profile = vec![f64::INFINITY; count];
+        let mut index = vec![0usize; count];
+        for d in band {
+            let k = ctx.excl + d;
+            let mut qt = ctx.first_row[k];
+            let dist = ctx.distance(0, k, qt);
+            if dist < profile[0] {
+                profile[0] = dist;
+                index[0] = k;
+            }
+            if dist < profile[k] {
+                profile[k] = dist;
+                index[k] = 0;
+            }
+            for i in 1..count - k {
+                let j = i + k;
+                qt = qt - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
+                let dist = ctx.distance(i, j, qt);
+                if dist < profile[i] {
+                    profile[i] = dist;
+                    index[i] = j;
+                }
+                if dist < profile[j] {
+                    profile[j] = dist;
+                    index[j] = i;
+                }
+            }
+        }
+        (profile, index)
+    });
+    let (mut profile, index) = merge_bands(count, bands);
+    cap_non_finite(&mut profile);
     Ok(MatrixProfile {
         profile,
         index,
@@ -179,56 +246,40 @@ pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<Matrix
 /// real-time detector actually gets to see. Warm-up windows with no
 /// admissible left neighbor score 0 (no evidence either way).
 pub fn left_stomp(x: &[f64], m: usize, metric: ProfileMetric) -> Result<MatrixProfile> {
-    let n = x.len();
-    let count = tsad_core::windows::subsequence_count(n, m)?;
-    if count < 2 {
-        return Err(CoreError::BadWindow { window: m, len: n });
-    }
-    let moments = WindowMoments::compute(x, m)?;
-    let excl = exclusion_zone(m);
-    let sq_norms: Vec<f64> = (0..count)
-        .map(|i| x[i..i + m].iter().map(|v| v * v).sum())
-        .collect();
+    let ctx = StompContext::new(x, m, metric)?;
+    let count = ctx.count;
 
-    let mut profile = vec![f64::INFINITY; count];
-    let mut index = vec![0usize; count];
-
-    let first_row: Vec<f64> = tsad_core::fft::sliding_dot_product(&x[0..m], x)?;
-    let mut qt = first_row.clone();
-
-    let distance = |i: usize, j: usize, dot: f64| -> f64 {
-        match metric {
-            ProfileMetric::ZNormalized => dot_to_znorm_dist(
-                dot,
-                m,
-                moments.means[i],
-                moments.stds[i],
-                moments.means[j],
-                moments.stds[j],
-            ),
-            ProfileMetric::Euclidean => (sq_norms[i] + sq_norms[j] - 2.0 * dot).max(0.0).sqrt(),
-        }
-    };
-
-    // row i gives dot products of window i with all windows j; we only use
-    // j < i (left neighbors) outside the exclusion zone
-    for i in 1..count {
-        for j in (1..count).rev() {
-            qt[j] = qt[j - 1] - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
-        }
-        qt[0] = first_row[i];
-        #[allow(clippy::needless_range_loop)]
-        for j in 0..i.saturating_sub(excl.saturating_sub(1)) {
-            if i.abs_diff(j) < excl {
-                continue;
+    // Diagonal k pairs window i with its left neighbor j = i − k, k ≥ excl.
+    // The diagonal starts at (i, j) = (k, 0) whose dot product is
+    // QT[k][0] = QT[0][k] by symmetry, then follows the same recurrence as
+    // the self-join. Only profile[i] (the later window) is updated, so each
+    // entry sees the same candidate set as the row-wise scan and the banded
+    // min-merge stays bitwise identical at every thread count.
+    let bands = tsad_parallel::par_chunks(ctx.diagonals(), |band| {
+        let mut profile = vec![f64::INFINITY; count];
+        let mut index = vec![0usize; count];
+        for d in band {
+            let k = ctx.excl + d;
+            let mut qt = ctx.first_row[k];
+            let dist = ctx.distance(k, 0, qt);
+            if dist < profile[k] {
+                profile[k] = dist;
+                index[k] = 0;
             }
-            let d = distance(i, j, qt[j]);
-            if d < profile[i] {
-                profile[i] = d;
-                index[i] = j;
+            for i in k + 1..count {
+                let j = i - k;
+                qt = qt - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
+                let dist = ctx.distance(i, j, qt);
+                if dist < profile[i] {
+                    profile[i] = dist;
+                    index[i] = j;
+                }
             }
         }
-    }
+        (profile, index)
+    });
+    let (mut profile, index) = merge_bands(count, bands);
+    let excl = ctx.excl;
     // Warm-up: windows with no left neighbor — or too little history for
     // the minimum distance to be meaningful (a lone far-away neighbor makes
     // everything look novel) — score 0: no evidence of anomaly yet.
@@ -258,19 +309,36 @@ pub fn stamp(x: &[f64], m: usize) -> Result<MatrixProfile> {
         return Err(CoreError::BadWindow { window: m, len: n });
     }
     let excl = exclusion_zone(m);
-    let mut profile = vec![f64::INFINITY; count];
-    let mut index = vec![0usize; count];
-    for i in 0..count {
-        let dists = mass(&x[i..i + m], x)?;
-        for (j, &d) in dists.iter().enumerate() {
-            if j.abs_diff(i) < excl {
-                continue;
-            }
-            if d < profile[i] {
-                profile[i] = d;
-                index[i] = j;
+    // Each window's row is independent (one MASS scan, min over admissible
+    // columns), so windows fan out over contiguous chunks and the per-chunk
+    // slices are stitched back in index order — trivially deterministic.
+    let chunks = tsad_parallel::par_chunks(count, |range| {
+        let mut rows = Vec::with_capacity(range.len());
+        for i in range {
+            let mut best = (f64::INFINITY, 0usize);
+            match mass(&x[i..i + m], x) {
+                Ok(dists) => {
+                    for (j, &d) in dists.iter().enumerate() {
+                        if j.abs_diff(i) < excl {
+                            continue;
+                        }
+                        if d < best.0 {
+                            best = (d, j);
+                        }
+                    }
+                    rows.push(Ok(best));
+                }
+                Err(e) => rows.push(Err(e)),
             }
         }
+        rows
+    });
+    let mut profile = Vec::with_capacity(count);
+    let mut index = Vec::with_capacity(count);
+    for row in chunks.into_iter().flatten() {
+        let (d, j) = row?;
+        profile.push(d);
+        index.push(j);
     }
     let max_finite = profile
         .iter()

@@ -97,11 +97,61 @@ pub fn drag_discord(x: &[f64], m: usize, r: f64) -> Result<Option<(usize, f64)>>
     Ok(best)
 }
 
+/// The top discord at one length, with a warm-started `r` threaded through
+/// `r_hint`. Crucially the *result* does not depend on the hint — only the
+/// amount of work does: DRAG returns the exact top discord whenever it
+/// returns `Some` (any `r` at or below the discord distance recovers it,
+/// with ties broken by the earliest start index), and if the halving loop
+/// bottoms out, the `r = 0` call disables both pruning rules and returns
+/// the exact answer unconditionally. This hint-independence is what lets
+/// [`merlin`] split the length range into chunks at arbitrary boundaries.
+fn discord_at_length(x: &[f64], m: usize, r_hint: &mut Option<f64>) -> Result<LengthDiscord> {
+    let mut r = r_hint.unwrap_or_else(|| 2.0 * (m as f64).sqrt());
+    let mut found = None;
+    for _ in 0..64 {
+        if let Some(hit) = drag_discord(x, m, r)? {
+            found = Some(hit);
+            break;
+        }
+        r *= 0.5;
+        if r < 1e-9 {
+            break;
+        }
+    }
+    if found.is_none() {
+        // (Near-)degenerate series: fall back to the exact, unpruned search.
+        found = drag_discord(x, m, 0.0)?;
+    }
+    if let Some((start, distance)) = found {
+        *r_hint = Some(distance * 0.99);
+        Ok(LengthDiscord {
+            length: m,
+            start,
+            distance,
+        })
+    } else {
+        // Only reachable when every distance is non-finite (e.g. NaNs in
+        // every window): report discord distance 0.
+        *r_hint = None;
+        Ok(LengthDiscord {
+            length: m,
+            start: 0,
+            distance: 0.0,
+        })
+    }
+}
+
 /// MERLIN: top discord at every length in `min_len ..= max_len`.
 ///
 /// `r` starts at `2√m` (the theoretical maximum z-normalized distance) and
 /// halves until DRAG succeeds; subsequent lengths warm-start from the
 /// previous discord distance scaled by 0.99, as in the published algorithm.
+///
+/// The length range fans out over `tsad-parallel` in contiguous chunks;
+/// the warm-start chain restarts cold at each chunk boundary, which costs
+/// a few extra halving probes but — because [`discord_at_length`] is
+/// hint-independent — leaves every per-length result identical at every
+/// thread count.
 pub fn merlin(x: &[f64], min_len: usize, max_len: usize) -> Result<Vec<LengthDiscord>> {
     if min_len == 0 || min_len > max_len {
         return Err(CoreError::BadParameter {
@@ -111,37 +161,18 @@ pub fn merlin(x: &[f64], min_len: usize, max_len: usize) -> Result<Vec<LengthDis
         });
     }
     subsequence_count(x.len(), max_len)?;
-    let mut out = Vec::with_capacity(max_len - min_len + 1);
-    let mut r_hint: Option<f64> = None;
-    for m in min_len..=max_len {
-        let mut r = r_hint.unwrap_or_else(|| 2.0 * (m as f64).sqrt());
-        let mut found = None;
-        for _ in 0..64 {
-            if let Some(hit) = drag_discord(x, m, r)? {
-                found = Some(hit);
-                break;
-            }
-            r *= 0.5;
-            if r < 1e-9 {
-                break;
-            }
+    let lengths = max_len - min_len + 1;
+    let chunks = tsad_parallel::par_chunks(lengths, |range| -> Result<Vec<LengthDiscord>> {
+        let mut part = Vec::with_capacity(range.len());
+        let mut r_hint: Option<f64> = None;
+        for offset in range {
+            part.push(discord_at_length(x, min_len + offset, &mut r_hint)?);
         }
-        if let Some((start, distance)) = found {
-            r_hint = Some(distance * 0.99);
-            out.push(LengthDiscord {
-                length: m,
-                start,
-                distance,
-            });
-        } else {
-            // Degenerate series (e.g. constant): discord distance 0.
-            out.push(LengthDiscord {
-                length: m,
-                start: 0,
-                distance: 0.0,
-            });
-            r_hint = None;
-        }
+        Ok(part)
+    });
+    let mut out = Vec::with_capacity(lengths);
+    for chunk in chunks {
+        out.extend(chunk?);
     }
     Ok(out)
 }

@@ -48,7 +48,7 @@ pub use detectors::{StreamingCusum, StreamingGlobalZScore, StreamingMovingAvgRes
 pub use discord::StreamingLeftDiscord;
 pub use equivalence::{check_equivalence, EquivalenceMode, EquivalenceReport};
 pub use oneliner::StreamingOneLiner;
-pub use replay::{replay, ReplayConfig, ReplayOutcome};
+pub use replay::{replay, replay_many, ReplayConfig, ReplayJob, ReplayOutcome};
 
 /// A push-based anomaly detector with bounded memory.
 ///

@@ -131,6 +131,37 @@ pub fn replay(
     })
 }
 
+/// One independent replay: a detector instance, its input, and a config.
+///
+/// Owned (not borrowed) detectors so each job can run on its own thread.
+pub struct ReplayJob<'a> {
+    /// The streaming detector (consumed by the replay).
+    pub detector: Box<dyn StreamingDetector + Send>,
+    /// The series to feed.
+    pub xs: &'a [f64],
+    /// Per-point ground truth.
+    pub labels: &'a Labels,
+    /// Replay parameters.
+    pub cfg: ReplayConfig,
+}
+
+/// Replays a panel of independent jobs on the `tsad-parallel` pool.
+///
+/// Outcomes come back in job order. Scores — and therefore alarms, delays,
+/// and false-alarm counts — are chunking- **and thread-count**-invariant;
+/// only the wall-clock fields (`total_ns`, `points_per_sec`, …) vary
+/// between runs, exactly as they do sequentially.
+pub fn replay_many(jobs: Vec<ReplayJob<'_>>) -> Vec<Result<ReplayOutcome>> {
+    let tasks: Vec<Box<dyn FnOnce() -> Result<ReplayOutcome> + Send + '_>> = jobs
+        .into_iter()
+        .map(|mut job| {
+            Box::new(move || replay(job.detector.as_mut(), job.xs, job.labels, &job.cfg))
+                as Box<dyn FnOnce() -> Result<ReplayOutcome> + Send + '_>
+        })
+        .collect();
+    tsad_parallel::par_invoke(tasks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +215,44 @@ mod tests {
         assert_eq!(reports[0].delays.detected(), 1);
         assert_eq!(reports[0].delays.regions[0].delay, Some(0));
         assert_eq!(reports[0].delays.false_alarms, 0);
+    }
+
+    #[test]
+    fn replay_many_matches_sequential_replays_in_order() {
+        let (xs, labels) = spiky();
+        let cfgs = [
+            ReplayConfig {
+                chunk_size: 1,
+                threshold: 4.0,
+                slop: 16,
+            },
+            ReplayConfig {
+                chunk_size: 64,
+                threshold: 4.0,
+                slop: 16,
+            },
+        ];
+        let windows = [300usize, 500];
+        let jobs: Vec<ReplayJob<'_>> = windows
+            .iter()
+            .zip(&cfgs)
+            .map(|(&w, cfg)| ReplayJob {
+                detector: Box::new(StreamingGlobalZScore::new(w).unwrap()),
+                xs: &xs,
+                labels: &labels,
+                cfg: *cfg,
+            })
+            .collect();
+        let outcomes = tsad_parallel::with_threads(4, || replay_many(jobs));
+        assert_eq!(outcomes.len(), 2);
+        for ((outcome, &w), cfg) in outcomes.into_iter().zip(&windows).zip(&cfgs) {
+            let got = outcome.unwrap();
+            let mut det = StreamingGlobalZScore::new(w).unwrap();
+            let want = replay(&mut det, &xs, &labels, cfg).unwrap();
+            assert_eq!(got.chunk_size, want.chunk_size);
+            assert_eq!(got.delays, want.delays);
+            assert_eq!(got.memory_bound, want.memory_bound);
+        }
     }
 
     #[test]

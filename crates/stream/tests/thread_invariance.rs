@@ -1,0 +1,79 @@
+//! The PR-1 equivalence guarantees must hold at every thread count.
+//!
+//! The batch side of each comparison now runs on the `tsad-parallel` pool
+//! (left-STOMP over diagonal bands); these tests re-run the equivalence
+//! harness under explicit thread-count overrides to pin that the banding
+//! never leaks into the scores.
+
+use tsad_core::TimeSeries;
+use tsad_detectors::baselines::GlobalZScore;
+use tsad_detectors::matrix_profile::OnlineDiscordDetector;
+use tsad_detectors::Detector;
+use tsad_parallel::with_threads;
+use tsad_stream::{
+    check_equivalence, EquivalenceMode, StreamingGlobalZScore, StreamingLeftDiscord,
+};
+
+fn bumpy(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let base = (i as f64 * 0.21).sin() + 0.3 * (i as f64 * 0.047).cos();
+            if (n / 2..n / 2 + 9).contains(&i) {
+                base + 3.5
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn left_discord_equivalence_holds_at_every_thread_count() {
+    let xs = bumpy(700);
+    let m = 32;
+    for t in [1usize, 2, 8] {
+        let report = with_threads(t, || {
+            let ts = TimeSeries::from_values(xs.clone()).unwrap();
+            let batch = OnlineDiscordDetector::new(m).score(&ts, 0).unwrap();
+            let mut det = StreamingLeftDiscord::new(m, Default::default(), xs.len()).unwrap();
+            check_equivalence(
+                "bumpy",
+                &batch,
+                &mut det,
+                &xs,
+                EquivalenceMode::Tolerance(1e-6),
+            )
+            .unwrap()
+        });
+        assert!(report.passed, "at {t} threads: {report}");
+    }
+}
+
+#[test]
+fn batch_scores_themselves_are_thread_count_invariant() {
+    let xs = bumpy(600);
+    let ts = TimeSeries::from_values(xs).unwrap();
+    let base = with_threads(1, || OnlineDiscordDetector::new(24).score(&ts, 0).unwrap());
+    for t in [2usize, 8] {
+        let got = with_threads(t, || OnlineDiscordDetector::new(24).score(&ts, 0).unwrap());
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            base.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "batch scores diverged at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn bitwise_ports_stay_bitwise_under_overrides() {
+    let xs = bumpy(400);
+    for t in [1usize, 2, 8] {
+        let report = with_threads(t, || {
+            let ts = TimeSeries::from_values(xs.clone()).unwrap();
+            let batch = GlobalZScore.score(&ts, 80).unwrap();
+            let mut det = StreamingGlobalZScore::new(80).unwrap();
+            check_equivalence("bumpy", &batch, &mut det, &xs, EquivalenceMode::Bitwise).unwrap()
+        });
+        assert!(report.passed, "at {t} threads: {report}");
+    }
+}
