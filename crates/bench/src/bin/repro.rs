@@ -11,6 +11,11 @@ use std::process::ExitCode;
 use tsad_bench::experiments::*;
 use tsad_bench::DEFAULT_SEED;
 
+// Count allocations in this binary so `bench-json` can report
+// `allocs_per_iter` honestly; library consumers never see this allocator.
+#[global_allocator]
+static ALLOC: tsad_bench::alloc_track::CountingAlloc = tsad_bench::alloc_track::CountingAlloc;
+
 const EXPERIMENTS: &[&str] = &[
     "table1",
     "fig1",

@@ -3,20 +3,31 @@
 //! Times the four parallelized kernels (STOMP, MERLIN, the sliding dot
 //! product, and a streaming replay) at 1 thread and at [`PAR_THREADS`]
 //! threads via `tsad_parallel::with_threads`, and renders the medians as a
-//! small, dependency-free JSON document (`BENCH_kernels.json`). The file
-//! is a *baseline*, not a pass/fail gate: CI only asserts it is produced
-//! and well-formed, because absolute numbers are machine-specific.
+//! small, dependency-free JSON document (`BENCH_kernels.json`). Alongside
+//! each median the document records `allocs_per_iter`: the number of heap
+//! allocations one warm single-threaded iteration performs, counted by the
+//! [`crate::alloc_track`] allocator when the host binary installs it (the
+//! `repro` driver does; under `cargo test` the field is honestly `null`).
+//!
+//! The timings are a *baseline*, not a pass/fail gate — absolute numbers
+//! are machine-specific. The allocation counts, in contrast, are exact and
+//! portable, so CI does gate on `allocs_per_iter == 0` for the two kernels
+//! with allocation-free contracts (`sliding_dot_product`, `stomp`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use tsad_core::error::Result;
-use tsad_core::fft::sliding_dot_product;
+use tsad_core::fft::sliding_dot_product_into;
 use tsad_core::Labels;
-use tsad_detectors::matrix_profile::stomp;
+use tsad_detectors::matrix_profile::{
+    stomp_metric_with, MatrixProfile, ProfileMetric, StompWorkspace,
+};
 use tsad_detectors::merlin::merlin;
 use tsad_parallel::with_threads;
 use tsad_stream::{replay, ReplayConfig, StreamingLeftDiscord};
+
+use crate::alloc_track::{count_allocs, counting_allocator_active};
 
 /// Thread count used for the parallel column.
 pub const PAR_THREADS: usize = 4;
@@ -77,7 +88,8 @@ impl BenchConfig {
     }
 }
 
-/// Median wall-clock per iteration for one kernel at both thread counts.
+/// Median wall-clock per iteration for one kernel at both thread counts,
+/// plus the warm-iteration allocation count.
 #[derive(Debug, Clone)]
 pub struct KernelTiming {
     /// Kernel label.
@@ -90,15 +102,21 @@ pub struct KernelTiming {
     pub median_ns_1t: u128,
     /// Median ns/iter at [`PAR_THREADS`] threads.
     pub median_ns_nt: u128,
+    /// Heap allocations in one warm single-threaded iteration, or `None`
+    /// when the counting allocator is not installed in this process.
+    pub allocs_per_iter: Option<u64>,
 }
 
 impl KernelTiming {
-    /// `1-thread / N-thread` wall-clock ratio (> 1 means the pool helped).
-    pub fn speedup(&self) -> f64 {
-        if self.median_ns_nt == 0 {
-            0.0
+    /// `1-thread / N-thread` wall-clock ratio (> 1 means the pool helped),
+    /// or `None` when the host cannot actually run [`PAR_THREADS`] workers
+    /// concurrently — on a single-CPU host the ratio measures scheduler
+    /// thrash, not parallel speedup, so the document refuses to report one.
+    pub fn speedup(&self, host_threads: usize) -> Option<f64> {
+        if host_threads <= 1 || self.median_ns_nt == 0 {
+            None
         } else {
-            self.median_ns_1t as f64 / self.median_ns_nt as f64
+            Some(self.median_ns_1t as f64 / self.median_ns_nt as f64)
         }
     }
 }
@@ -129,7 +147,7 @@ fn series(n: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+fn median_ns(iters: usize, f: &mut dyn FnMut()) -> u128 {
     let mut samples: Vec<u128> = (0..iters.max(1))
         .map(|_| {
             let t0 = Instant::now();
@@ -141,52 +159,78 @@ fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
     samples[samples.len() / 2]
 }
 
-fn time_at_threads(iters: usize, threads: usize, f: &dyn Fn()) -> u128 {
+fn time_at_threads(iters: usize, threads: usize, f: &mut dyn FnMut()) -> u128 {
     with_threads(threads, || median_ns(iters, f))
+}
+
+/// Warms the kernel once at 1 effective thread (populating plan caches,
+/// thread-local scratch, and pooled band buffers on *this* thread), counts
+/// the allocations of a second warm iteration, then times both thread
+/// columns. The count is taken single-threaded because the per-call scoped
+/// worker spawns at higher thread counts allocate by construction.
+fn measure(name: &'static str, params: String, iters: usize, f: &mut dyn FnMut()) -> KernelTiming {
+    let allocs_per_iter = with_threads(1, || {
+        f();
+        counting_allocator_active().then(|| count_allocs(&mut *f))
+    });
+    KernelTiming {
+        name,
+        params,
+        iters,
+        median_ns_1t: time_at_threads(iters, 1, f),
+        median_ns_nt: time_at_threads(iters, PAR_THREADS, f),
+        allocs_per_iter,
+    }
 }
 
 /// Runs the kernel panel and collects the timings.
 pub fn run(seed: u64, cfg: &BenchConfig) -> Result<BenchJson> {
     let mut kernels = Vec::new();
 
+    // STOMP through the caller-owned-buffer entry point: the workspace and
+    // output profile persist across iterations, so warm iterations are
+    // allocation-free.
     let x = series(cfg.stomp_n, seed);
     let m = cfg.stomp_m;
-    let go = || {
-        stomp(&x, m).expect("stomp");
+    let mut ws = StompWorkspace::default();
+    let mut mp = MatrixProfile {
+        profile: Vec::new(),
+        index: Vec::new(),
+        window: m,
     };
-    kernels.push(KernelTiming {
-        name: "stomp",
-        params: format!("n={}, m={}", cfg.stomp_n, cfg.stomp_m),
-        iters: cfg.iters,
-        median_ns_1t: time_at_threads(cfg.iters, 1, &go),
-        median_ns_nt: time_at_threads(cfg.iters, PAR_THREADS, &go),
-    });
+    kernels.push(measure(
+        "stomp",
+        format!("n={}, m={}", cfg.stomp_n, cfg.stomp_m),
+        cfg.iters,
+        &mut || {
+            stomp_metric_with(&x, m, ProfileMetric::ZNormalized, &mut ws, &mut mp).expect("stomp");
+        },
+    ));
 
     let x = series(cfg.merlin_n, seed + 1);
     let (lo, hi) = cfg.merlin_lengths;
-    let go = || {
-        merlin(&x, lo, hi).expect("merlin");
-    };
-    kernels.push(KernelTiming {
-        name: "merlin",
-        params: format!("n={}, lengths={lo}..={hi}", cfg.merlin_n),
-        iters: cfg.iters,
-        median_ns_1t: time_at_threads(cfg.iters, 1, &go),
-        median_ns_nt: time_at_threads(cfg.iters, PAR_THREADS, &go),
-    });
+    kernels.push(measure(
+        "merlin",
+        format!("n={}, lengths={lo}..={hi}", cfg.merlin_n),
+        cfg.iters,
+        &mut || {
+            merlin(&x, lo, hi).expect("merlin");
+        },
+    ));
 
+    // The sliding dot product into a persistent output buffer; the FFT
+    // scratch lives in plan-cache-adjacent thread-locals.
     let x = series(cfg.sdp_n, seed + 2);
     let q = series(cfg.sdp_m, seed + 3);
-    let go = || {
-        sliding_dot_product(&q, &x).expect("sliding_dot_product");
-    };
-    kernels.push(KernelTiming {
-        name: "sliding_dot_product",
-        params: format!("n={}, m={}", cfg.sdp_n, cfg.sdp_m),
-        iters: cfg.iters,
-        median_ns_1t: time_at_threads(cfg.iters, 1, &go),
-        median_ns_nt: time_at_threads(cfg.iters, PAR_THREADS, &go),
-    });
+    let mut dots = Vec::new();
+    kernels.push(measure(
+        "sliding_dot_product",
+        format!("n={}, m={}", cfg.sdp_n, cfg.sdp_m),
+        cfg.iters,
+        &mut || {
+            sliding_dot_product_into(&q, &x, &mut dots).expect("sliding_dot_product");
+        },
+    ));
 
     let x = series(cfg.replay_n, seed + 4);
     let labels = Labels::new(x.len(), vec![])?;
@@ -195,18 +239,16 @@ pub fn run(seed: u64, cfg: &BenchConfig) -> Result<BenchJson> {
         threshold: f64::INFINITY,
         slop: 0,
     };
-    let go = || {
-        let mut det =
-            StreamingLeftDiscord::new(cfg.replay_m, Default::default(), x.len()).expect("detector");
-        replay(&mut det, &x, &labels, &replay_cfg).expect("replay");
-    };
-    kernels.push(KernelTiming {
-        name: "streaming_replay_left_discord",
-        params: format!("n={}, m={}", cfg.replay_n, cfg.replay_m),
-        iters: cfg.iters,
-        median_ns_1t: time_at_threads(cfg.iters, 1, &go),
-        median_ns_nt: time_at_threads(cfg.iters, PAR_THREADS, &go),
-    });
+    kernels.push(measure(
+        "streaming_replay_left_discord",
+        format!("n={}, m={}", cfg.replay_n, cfg.replay_m),
+        cfg.iters,
+        &mut || {
+            let mut det = StreamingLeftDiscord::new(cfg.replay_m, Default::default(), x.len())
+                .expect("detector");
+            replay(&mut det, &x, &labels, &replay_cfg).expect("replay");
+        },
+    ));
 
     Ok(BenchJson {
         seed,
@@ -220,7 +262,7 @@ pub fn run(seed: u64, cfg: &BenchConfig) -> Result<BenchJson> {
 /// offline, so no serde).
 pub fn render(doc: &BenchJson) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"tsad-bench-kernels/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"tsad-bench-kernels/v2\",");
     let _ = writeln!(out, "  \"seed\": {},", doc.seed);
     let _ = writeln!(out, "  \"threads\": {},", doc.threads);
     let _ = writeln!(out, "  \"host_threads\": {},", doc.host_threads);
@@ -240,7 +282,18 @@ pub fn render(doc: &BenchJson) -> String {
             "      \"median_ns_per_iter_{}_threads\": {},",
             doc.threads, k.median_ns_nt
         );
-        let _ = writeln!(out, "      \"speedup\": {:.3}", k.speedup());
+        match k.allocs_per_iter {
+            Some(n) => {
+                let _ = writeln!(out, "      \"allocs_per_iter\": {n},");
+            }
+            None => out.push_str("      \"allocs_per_iter\": null,\n"),
+        }
+        match k.speedup(doc.host_threads) {
+            Some(s) => {
+                let _ = writeln!(out, "      \"speedup\": {s:.3}");
+            }
+            None => out.push_str("      \"speedup\": null\n"),
+        }
         out.push_str(if i + 1 < doc.kernels.len() {
             "    },\n"
         } else {
@@ -265,11 +318,13 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for field in [
-            "\"schema\"",
+            "\"schema\": \"tsad-bench-kernels/v2\"",
             "\"seed\"",
             "\"threads\"",
+            "\"host_threads\"",
             "\"kernels\"",
             "\"median_ns_per_iter_1_thread\"",
+            "\"allocs_per_iter\"",
             "\"speedup\"",
             "\"stomp\"",
             "\"merlin\"",
@@ -290,5 +345,33 @@ mod tests {
             assert!(k.median_ns_1t > 0, "{}", k.name);
             assert!(k.median_ns_nt > 0, "{}", k.name);
         }
+    }
+
+    #[test]
+    fn allocs_are_null_without_the_counting_allocator() {
+        // the library test binary runs under the plain system allocator, so
+        // the document must say "not measured" rather than a bogus zero
+        let doc = run(3, &BenchConfig::smoke()).unwrap();
+        for k in &doc.kernels {
+            assert_eq!(k.allocs_per_iter, None, "{}", k.name);
+        }
+        assert!(render(&doc).contains("\"allocs_per_iter\": null"));
+    }
+
+    #[test]
+    fn speedup_is_null_on_single_cpu_hosts() {
+        let mut doc = run(5, &BenchConfig::smoke()).unwrap();
+        doc.host_threads = 1;
+        assert!(doc.kernels.iter().all(|k| k.speedup(1).is_none()));
+        let json = render(&doc);
+        assert!(json.contains("\"speedup\": null"));
+        assert!(!json.contains("\"speedup\": 0."));
+
+        doc.host_threads = 8;
+        for k in &doc.kernels {
+            let s = k.speedup(doc.host_threads);
+            assert!(s.is_some() && s.unwrap() > 0.0, "{}", k.name);
+        }
+        assert!(!render(&doc).contains("\"speedup\": null"));
     }
 }

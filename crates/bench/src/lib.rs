@@ -24,6 +24,8 @@
 //! | `audit` | [`experiments::audit_exp`] | §2.6 audit verdict: benchmark vs archive |
 //! | `stream` | [`experiments::stream`] | streaming engine: equivalence + replay tables |
 
+pub mod alloc_track;
+
 pub mod experiments {
     //! One module per paper artifact; see the crate-level table.
     pub mod audit_exp;

@@ -1,0 +1,113 @@
+//! End-to-end proof of the allocation-free kernel contracts.
+//!
+//! This test binary installs [`tsad_bench::alloc_track::CountingAlloc`] as
+//! its global allocator and asserts that, after one warm-up call at a
+//! single effective thread, the hot kernels perform **zero** heap
+//! allocations: the FFT plan lookup, the sliding dot product into a
+//! caller-owned buffer, and STOMP through its workspace entry point.
+//!
+//! Everything runs under `with_threads(1)`: the zero-allocation contract
+//! is single-threaded by design (scoped worker spawns at higher thread
+//! counts allocate), and the override also keeps the thread-count probe
+//! from touching the environment inside the counted region.
+
+#[global_allocator]
+static ALLOC: tsad_bench::alloc_track::CountingAlloc = tsad_bench::alloc_track::CountingAlloc;
+
+use tsad_bench::alloc_track::{count_allocs, counting_allocator_active};
+use tsad_core::fft::{fft_plan, rfft_plan, sliding_dot_product_into};
+use tsad_detectors::matrix_profile::{
+    stomp_metric_with, MatrixProfile, ProfileMetric, StompWorkspace,
+};
+use tsad_parallel::with_threads;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            (i as f64 * 0.12).sin() + 0.2 * noise
+        })
+        .collect()
+}
+
+#[test]
+fn counting_allocator_is_installed() {
+    assert!(counting_allocator_active());
+    assert!(
+        count_allocs(|| {
+            std::hint::black_box(vec![0u8; 64]);
+        }) > 0
+    );
+}
+
+#[test]
+fn warm_plan_lookup_is_allocation_free() {
+    let _ = fft_plan(1024).unwrap();
+    let _ = rfft_plan(1024).unwrap();
+    let allocs = count_allocs(|| {
+        for _ in 0..8 {
+            std::hint::black_box(fft_plan(1024).unwrap());
+            std::hint::black_box(rfft_plan(1024).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "plan cache lookup allocated");
+}
+
+#[test]
+fn warm_sliding_dot_product_is_allocation_free() {
+    let x = series(8192, 2);
+    let q = series(512, 3);
+    with_threads(1, || {
+        let mut dots = Vec::new();
+        sliding_dot_product_into(&q, &x, &mut dots).unwrap();
+        let allocs = count_allocs(|| {
+            sliding_dot_product_into(&q, &x, &mut dots).unwrap();
+        });
+        assert_eq!(allocs, 0, "warm sliding_dot_product allocated");
+        assert_eq!(dots.len(), x.len() - q.len() + 1);
+    });
+}
+
+#[test]
+fn warm_stomp_is_allocation_free() {
+    let x = series(1024, 4);
+    let m = 64;
+    with_threads(1, || {
+        let mut ws = StompWorkspace::default();
+        let mut mp = MatrixProfile {
+            profile: Vec::new(),
+            index: Vec::new(),
+            window: m,
+        };
+        stomp_metric_with(&x, m, ProfileMetric::ZNormalized, &mut ws, &mut mp).unwrap();
+        let allocs = count_allocs(|| {
+            stomp_metric_with(&x, m, ProfileMetric::ZNormalized, &mut ws, &mut mp).unwrap();
+        });
+        assert_eq!(allocs, 0, "warm stomp allocated");
+        assert_eq!(mp.profile.len(), x.len() - m + 1);
+    });
+}
+
+#[test]
+fn warm_euclidean_stomp_is_allocation_free() {
+    // the other scorer path has the same contract
+    let x = series(700, 5);
+    let m = 32;
+    with_threads(1, || {
+        let mut ws = StompWorkspace::default();
+        let mut mp = MatrixProfile {
+            profile: Vec::new(),
+            index: Vec::new(),
+            window: m,
+        };
+        stomp_metric_with(&x, m, ProfileMetric::Euclidean, &mut ws, &mut mp).unwrap();
+        let allocs = count_allocs(|| {
+            stomp_metric_with(&x, m, ProfileMetric::Euclidean, &mut ws, &mut mp).unwrap();
+        });
+        assert_eq!(allocs, 0, "warm euclidean stomp allocated");
+    });
+}

@@ -7,7 +7,6 @@
 //! deliberately.
 
 use crate::error::{CoreError, Result};
-use crate::fft::sliding_dot_product;
 use crate::windows::WindowMoments;
 
 /// Plain Euclidean distance between equal-length slices.
@@ -84,15 +83,47 @@ pub fn dot_to_znorm_dist(qt: f64, m: usize, mq: f64, sq: f64, mt: f64, st: f64) 
 /// length-`|query|` window of `series`, in `O(n log n)`.
 pub fn mass(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
     let m = query.len();
-    let qt = sliding_dot_product(query, series)?;
     let moments = WindowMoments::compute(series, m)?;
+    let mut qt = Vec::new();
+    let mut out = Vec::new();
+    mass_with_moments(query, &moments, series, &mut qt, &mut out)?;
+    Ok(out)
+}
+
+/// [`mass`] with the series moments precomputed and all buffers owned by
+/// the caller: `qt_scratch` receives the sliding dot products and `out` the
+/// distances (both cleared first). Loop-heavy callers (STAMP rows, MERLIN
+/// candidate refinement) compute moments once and stop paying two
+/// allocations plus an `O(n)` moments pass per query. Numerically identical
+/// to [`mass`]: the query moments still come from `stats::mean` /
+/// `stats::std_dev`.
+pub fn mass_with_moments(
+    query: &[f64],
+    moments: &WindowMoments,
+    series: &[f64],
+    qt_scratch: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    let m = query.len();
+    if moments.window != m || moments.len() != series.len().saturating_sub(m) + 1 {
+        return Err(CoreError::BadParameter {
+            name: "moments_window",
+            value: moments.window as f64,
+            expected: "moments computed from this series at the query length",
+        });
+    }
+    crate::fft::sliding_dot_product_into(query, series, qt_scratch)?;
     let mq = crate::stats::mean(query)?;
     let sq = crate::stats::std_dev(query)?;
-    Ok(qt
-        .iter()
-        .enumerate()
-        .map(|(i, &dot)| dot_to_znorm_dist(dot, m, mq, sq, moments.means[i], moments.stds[i]))
-        .collect())
+    out.clear();
+    out.reserve(qt_scratch.len());
+    out.extend(
+        qt_scratch
+            .iter()
+            .enumerate()
+            .map(|(i, &dot)| dot_to_znorm_dist(dot, m, mq, sq, moments.means[i], moments.stds[i])),
+    );
+    Ok(())
 }
 
 /// Naive `O(n·m)` distance profile — reference for MASS in tests, and faster
@@ -205,6 +236,31 @@ mod tests {
             }
             // the self-match is (near) zero
             assert!(fast[37] < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mass_with_moments_matches_mass_bitwise() {
+        let series: Vec<f64> = (0..250)
+            .map(|i| (i as f64 * 0.13).sin() * 2.0 + (i as f64 * 0.05).cos())
+            .collect();
+        let mut qt = Vec::new();
+        let mut out = Vec::new();
+        for m in [5usize, 20, 140] {
+            let moments = WindowMoments::compute(&series, m).unwrap();
+            for start in [0usize, 11, 60] {
+                let query = &series[start..start + m];
+                mass_with_moments(query, &moments, &series, &mut qt, &mut out).unwrap();
+                let owned = mass(query, &series).unwrap();
+                assert_eq!(out.len(), owned.len());
+                assert!(out
+                    .iter()
+                    .zip(&owned)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+            // moments from the wrong window length are rejected
+            let wrong = WindowMoments::compute(&series, m + 1).unwrap();
+            assert!(mass_with_moments(&series[..m], &wrong, &series, &mut qt, &mut out).is_err());
         }
     }
 

@@ -118,15 +118,38 @@ impl FftPlan {
     }
 }
 
-/// Process-wide plan store, indexed by `log2(n)`. Shared so a plan built by
-/// one worker thread is visible to all; the lock is held only for a lookup
-/// or an insert, never while transforming.
-static SHARED_PLANS: Mutex<Vec<Option<Arc<FftPlan>>>> = Mutex::new(Vec::new());
+/// Number of cacheable transform sizes: `log2(n)` must be below this. The
+/// twiddle tables for a `2^39`-point transform alone would be terabytes, so
+/// the bound is unreachable in practice; larger sizes are rejected like any
+/// other invalid length.
+pub const PLAN_SLOTS: usize = 40;
+
+/// Process-wide plan store: a **fixed-size** array indexed by `log2(n)`.
+/// Shared so a plan built by one worker thread is visible to all; the lock
+/// is held only for a lookup or an insert, never while transforming. The
+/// fixed array (rather than a grow-by-index `Vec`) means a lookup never
+/// reallocates cache storage and never leaves `None` holes to resize
+/// around — plan lookup is allocation-free once a plan exists.
+static SHARED_PLANS: Mutex<[Option<Arc<FftPlan>>; PLAN_SLOTS]> =
+    Mutex::new([const { None }; PLAN_SLOTS]);
 
 thread_local! {
     /// Per-thread lock-free mirror of [`SHARED_PLANS`]: after the first
-    /// transform of a given size on a thread, plan lookup touches no lock.
-    static LOCAL_PLANS: RefCell<Vec<Option<Arc<FftPlan>>>> = const { RefCell::new(Vec::new()) };
+    /// transform of a given size on a thread, plan lookup touches no lock
+    /// and performs no allocation.
+    static LOCAL_PLANS: RefCell<[Option<Arc<FftPlan>>; PLAN_SLOTS]> =
+        const { RefCell::new([const { None }; PLAN_SLOTS]) };
+}
+
+fn plan_index(n: usize) -> Result<usize> {
+    if n == 0 || !n.is_power_of_two() || (n.trailing_zeros() as usize) >= PLAN_SLOTS {
+        return Err(CoreError::BadParameter {
+            name: "fft_len",
+            value: n as f64,
+            expected: "a power of two below 2^40",
+        });
+    }
+    Ok(n.trailing_zeros() as usize)
 }
 
 /// Fetches (building and caching if needed) the twiddle plan for a
@@ -135,30 +158,83 @@ thread_local! {
 /// unity; the tables cost `2(n − 1)` complex values per cached size, a
 /// geometric series bounded by ~4× the largest transform.
 pub fn fft_plan(n: usize) -> Result<Arc<FftPlan>> {
-    if n == 0 || !n.is_power_of_two() {
-        return Err(CoreError::BadParameter {
-            name: "fft_len",
-            value: n as f64,
-            expected: "a power of two",
-        });
-    }
-    let idx = n.trailing_zeros() as usize;
+    let idx = plan_index(n)?;
     LOCAL_PLANS.with(|local| {
         let mut local = local.borrow_mut();
-        if local.len() <= idx {
-            local.resize(idx + 1, None);
-        }
         if let Some(plan) = &local[idx] {
             return Ok(plan.clone());
         }
-        let mut shared = SHARED_PLANS.lock().expect("fft plan cache poisoned");
-        if shared.len() <= idx {
-            shared.resize(idx + 1, None);
-        }
-        let plan = shared
-            .get_mut(idx)
-            .expect("resized above")
+        let plan = SHARED_PLANS.lock().expect("fft plan cache poisoned")[idx]
             .get_or_insert_with(|| Arc::new(FftPlan::new(n)))
+            .clone();
+        local[idx] = Some(plan.clone());
+        Ok(plan)
+    })
+}
+
+/// Twiddle plan for a real-input transform of `n` real points: the complex
+/// plan for the half-size transform plus the pack/unpack roots
+/// `e^{-2πik/n}` for `k = 0 ..= n/4`.
+#[derive(Debug)]
+pub struct RfftPlan {
+    /// Real transform size (a power of two, `>= 2`).
+    pub n: usize,
+    half: Arc<FftPlan>,
+    /// `twiddles[k] = e^{-2πik/n}`, `k = 0 ..= n/4`, generated with the
+    /// same incremental recurrence as the complex tables.
+    twiddles: Vec<Complex>,
+}
+
+impl RfftPlan {
+    fn new(n: usize, half: Arc<FftPlan>) -> Self {
+        debug_assert!(n.is_power_of_two() && n >= 2);
+        let angle = -std::f64::consts::TAU / n as f64;
+        let wlen = Complex::new(angle.cos(), angle.sin());
+        let mut w = Complex::from_real(1.0);
+        let mut twiddles = Vec::with_capacity(n / 4 + 1);
+        for _ in 0..=n / 4 {
+            twiddles.push(w);
+            w = w * wlen;
+        }
+        Self { n, half, twiddles }
+    }
+
+    /// The half-size complex plan driving the packed transform.
+    pub fn half_plan(&self) -> &FftPlan {
+        &self.half
+    }
+}
+
+/// Process-wide real-plan store, fixed-size like [`SHARED_PLANS`].
+static SHARED_RPLANS: Mutex<[Option<Arc<RfftPlan>>; PLAN_SLOTS]> =
+    Mutex::new([const { None }; PLAN_SLOTS]);
+
+thread_local! {
+    static LOCAL_RPLANS: RefCell<[Option<Arc<RfftPlan>>; PLAN_SLOTS]> =
+        const { RefCell::new([const { None }; PLAN_SLOTS]) };
+}
+
+/// Fetches (building and caching if needed) the real-input plan for a
+/// power-of-two size `n >= 2`. Same caching discipline as [`fft_plan`]:
+/// fixed-slot stores, shared across threads, mirrored thread-locally, and
+/// allocation-free on the steady-state lookup path.
+pub fn rfft_plan(n: usize) -> Result<Arc<RfftPlan>> {
+    let idx = plan_index(n)?;
+    if n < 2 {
+        return Err(CoreError::BadParameter {
+            name: "rfft_len",
+            value: n as f64,
+            expected: "a power of two >= 2",
+        });
+    }
+    let half = fft_plan(n / 2)?;
+    LOCAL_RPLANS.with(|local| {
+        let mut local = local.borrow_mut();
+        if let Some(plan) = &local[idx] {
+            return Ok(plan.clone());
+        }
+        let plan = SHARED_RPLANS.lock().expect("rfft plan cache poisoned")[idx]
+            .get_or_insert_with(|| Arc::new(RfftPlan::new(n, half)))
             .clone();
         local[idx] = Some(plan.clone());
         Ok(plan)
@@ -252,9 +328,164 @@ pub fn sliding_dot_product(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
     }
 }
 
+/// [`sliding_dot_product`] writing into a caller-owned buffer (cleared
+/// first): the allocation-free entry point for kernels that call the scan
+/// in a loop. Same `m`-only dispatch, bitwise identical to the returning
+/// form.
+pub fn sliding_dot_product_into(query: &[f64], series: &[f64], out: &mut Vec<f64>) -> Result<()> {
+    if query.len() <= FFT_CROSSOVER_M {
+        sliding_dot_product_naive_into(query, series, out)
+    } else {
+        sliding_dot_product_fft_into(query, series, out)
+    }
+}
+
+/// Forward half of the packed real transform: pack `sample(0..n)` into
+/// `n/2` complex points, run the half-size complex FFT, and unpack in place
+/// into the **packed spectrum** layout: slot `k` (`1 <= k < n/2`) holds
+/// `X[k]`; slot 0 holds `{re: X[0], im: X[n/2]}` (both bins are purely real
+/// for real input, so they share a slot and nothing is lost).
+fn rfft_with_plan(plan: &RfftPlan, out: &mut Vec<Complex>, mut sample: impl FnMut(usize) -> f64) {
+    let h = plan.n / 2;
+    out.clear();
+    out.reserve(h);
+    for k in 0..h {
+        out.push(Complex::new(sample(2 * k), sample(2 * k + 1)));
+    }
+    fft_with_plan(out, &plan.half, false);
+    // Unpack: with Z the half transform, E_k = (Z[k] + conj(Z[h−k]))/2 and
+    // O_k = (Z[k] − conj(Z[h−k]))/(2i) are the even/odd-sample DFTs, and
+    // X[k] = E_k + w^k·O_k, X[h−k] = conj(E_k − w^k·O_k) with w = e^{-2πi/n}.
+    let z0 = out[0];
+    out[0] = Complex::new(z0.re + z0.im, z0.re - z0.im);
+    let mut k = 1;
+    while 2 * k < h {
+        let a = out[k];
+        let b = out[h - k];
+        let e = Complex::new((a.re + b.re) * 0.5, (a.im - b.im) * 0.5);
+        let f = Complex::new((a.re - b.re) * 0.5, (a.im + b.im) * 0.5);
+        let t = plan.twiddles[k] * f;
+        let wo = Complex::new(t.im, -t.re); // −i·(w^k·F) = w^k·O_k
+        let xk = e + wo;
+        let xc = e - wo;
+        out[k] = xk;
+        out[h - k] = xc.conj();
+        k += 1;
+    }
+    if h >= 2 {
+        // k = h/2 pairs with itself: w^{h/2} = −i collapses the formula.
+        out[h / 2] = out[h / 2].conj();
+    }
+}
+
+/// Pointwise product of two packed spectra (the frequency-domain step of a
+/// real convolution). Slot 0 multiplies componentwise because `X[0]` and
+/// `X[n/2]` are independent real bins sharing the slot.
+pub fn packed_spectrum_mul(a: &mut [Complex], b: &[Complex]) {
+    debug_assert_eq!(a.len(), b.len());
+    a[0] = Complex::new(a[0].re * b[0].re, a[0].im * b[0].im);
+    for (x, y) in a[1..].iter_mut().zip(&b[1..]) {
+        *x = *x * *y;
+    }
+}
+
+/// Inverse half of the packed real transform, in place: rebuild the
+/// half-size spectrum `Z` from the packed `X`, then run the inverse
+/// half-size FFT (whose `1/(n/2)` scaling makes the roundtrip exact, and
+/// makes `irfft(X·Y)` the properly scaled circular convolution). Afterwards
+/// slot `k` holds the real samples `{re: x[2k], im: x[2k+1]}`.
+fn irfft_with_plan(plan: &RfftPlan, x: &mut [Complex]) {
+    let h = plan.n / 2;
+    debug_assert_eq!(x.len(), h);
+    // Inverse of the unpack: E_k = (X[k] + conj(X[h−k]))/2,
+    // w^k·O_k = (X[k] − conj(X[h−k]))/2, Z[k] = E_k + i·O_k,
+    // Z[h−k] = conj(E_k) + i·conj(O_k).
+    let x0 = x[0];
+    x[0] = Complex::new((x0.re + x0.im) * 0.5, (x0.re - x0.im) * 0.5);
+    let mut k = 1;
+    while 2 * k < h {
+        let a = x[k];
+        let b = x[h - k];
+        let e = Complex::new((a.re + b.re) * 0.5, (a.im - b.im) * 0.5);
+        let g = Complex::new((a.re - b.re) * 0.5, (a.im + b.im) * 0.5);
+        let o = plan.twiddles[k].conj() * g;
+        x[k] = Complex::new(e.re - o.im, e.im + o.re);
+        x[h - k] = Complex::new(e.re + o.im, o.re - e.im);
+        k += 1;
+    }
+    if h >= 2 {
+        x[h / 2] = x[h / 2].conj();
+    }
+    fft_with_plan(x, &plan.half, true);
+}
+
+/// Real-input FFT: writes the packed `n/2`-point spectrum of the length-`n`
+/// real `input` (a power of two, `>= 2`) into `out`. `out` is reused via
+/// `clear` + `extend`, so repeated same-size calls allocate nothing once
+/// its capacity suffices. See [`packed_spectrum_mul`] for the slot layout.
+pub fn rfft(input: &[f64], out: &mut Vec<Complex>) -> Result<()> {
+    let plan = rfft_plan(input.len())?;
+    rfft_with_plan(&plan, out, |i| input[i]);
+    Ok(())
+}
+
+/// Inverse real-input FFT: consumes a packed spectrum of `n/2` slots
+/// (mutated in place) and appends the `n` recovered real samples to `out`
+/// after clearing it. `irfft(rfft(x))` reproduces `x` up to rounding.
+pub fn irfft(spec: &mut [Complex], out: &mut Vec<f64>) -> Result<()> {
+    let n = spec.len() * 2;
+    let plan = rfft_plan(n)?;
+    irfft_with_plan(&plan, spec);
+    out.clear();
+    out.reserve(n);
+    for c in spec.iter() {
+        out.push(c.re);
+        out.push(c.im);
+    }
+    Ok(())
+}
+
+/// Reusable frequency-domain buffers for [`sliding_dot_product_fft_into`].
+/// One per thread; both vectors are fully overwritten each call, so no
+/// numeric state leaks between calls — only capacity is reused.
+struct SdpScratch {
+    series_spec: Vec<Complex>,
+    query_spec: Vec<Complex>,
+}
+
+impl SdpScratch {
+    const fn new() -> Self {
+        Self {
+            series_spec: Vec::new(),
+            query_spec: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static SDP_SCRATCH: RefCell<SdpScratch> = const { RefCell::new(SdpScratch::new()) };
+}
+
 /// The FFT cross-correlation path of [`sliding_dot_product`], callable
-/// directly (benches and the crossover tests compare the two paths).
+/// directly (benches and the crossover tests compare the paths). Runs over
+/// the packed real-input transform: two forward half-size FFTs, a packed
+/// pointwise product, one inverse — half the butterfly work of the complex
+/// formulation in [`sliding_dot_product_fft_complex`].
 pub fn sliding_dot_product_fft(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    sliding_dot_product_fft_into(query, series, &mut out)?;
+    Ok(out)
+}
+
+/// [`sliding_dot_product_fft`] writing into a caller-owned buffer. Repeated
+/// calls with the same `(n, m)` shape — STOMP seed rows, STAMP's per-row
+/// scans, MERLIN's length sweep — perform zero heap allocations once the
+/// thread-local scratch and `out` have warmed up.
+pub fn sliding_dot_product_fft_into(
+    query: &[f64],
+    series: &[f64],
+    out: &mut Vec<f64>,
+) -> Result<()> {
     let m = query.len();
     let n = series.len();
     if m == 0 || m > n {
@@ -264,10 +495,48 @@ pub fn sliding_dot_product_fft(query: &[f64], series: &[f64]) -> Result<Vec<f64>
     // convolution index is n - 1 + m); padding to 2n would double the FFT
     // whenever n + m lands below a power-of-two boundary that 2n crosses
     let size = next_pow2(n + m);
+    let plan = rfft_plan(size)?;
+    SDP_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let ts = &mut scratch.series_spec;
+        let q = &mut scratch.query_spec;
+        rfft_with_plan(&plan, ts, |i| if i < n { series[i] } else { 0.0 });
+        // Reverse the query so that convolution computes correlation.
+        rfft_with_plan(&plan, q, |i| if i < m { query[m - 1 - i] } else { 0.0 });
+        packed_spectrum_mul(ts, q);
+        irfft_with_plan(&plan, ts);
+        out.clear();
+        out.reserve(n - m + 1);
+        // Convolution index m-1+i holds Σ_j query[j]·series[i+j]; after the
+        // inverse, slot k packs real samples {2k, 2k+1}.
+        out.extend((0..=n - m).map(|i| {
+            let idx = m - 1 + i;
+            let c = ts[idx / 2];
+            if idx.is_multiple_of(2) {
+                c.re
+            } else {
+                c.im
+            }
+        }));
+    });
+    Ok(())
+}
+
+/// The historical complex-transform formulation of the FFT path: three
+/// full-size complex transforms with the series and reversed query each
+/// promoted to complex. Kept as an independent oracle for the rfft path
+/// (the property tests pit it against both the packed path and the naive
+/// scan) — not used by the dispatcher.
+pub fn sliding_dot_product_fft_complex(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
+    let m = query.len();
+    let n = series.len();
+    if m == 0 || m > n {
+        return Err(CoreError::BadWindow { window: m, len: n });
+    }
+    let size = next_pow2(n + m);
     let mut ts: Vec<Complex> = Vec::with_capacity(size);
     ts.extend(series.iter().map(|&v| Complex::from_real(v)));
     ts.resize(size, Complex::default());
-    // Reverse the query so that convolution computes correlation.
     let mut q: Vec<Complex> = Vec::with_capacity(size);
     q.extend(query.iter().rev().map(|&v| Complex::from_real(v)));
     q.resize(size, Complex::default());
@@ -280,27 +549,39 @@ pub fn sliding_dot_product_fft(query: &[f64], series: &[f64]) -> Result<Vec<f64>
     }
     fft_with_plan(&mut ts, &plan, true);
 
-    // Convolution index m-1+i holds Σ_j query[j]·series[i+j].
     Ok((0..=n - m).map(|i| ts[m - 1 + i].re).collect())
 }
 
 /// Naive `O(n·m)` sliding dot product — reference implementation used in
 /// tests and for short queries where FFT overhead dominates.
 pub fn sliding_dot_product_naive(query: &[f64], series: &[f64]) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    sliding_dot_product_naive_into(query, series, &mut out)?;
+    Ok(out)
+}
+
+/// [`sliding_dot_product_naive`] writing into a caller-owned buffer
+/// (cleared first); allocation-free once `out` has capacity.
+pub fn sliding_dot_product_naive_into(
+    query: &[f64],
+    series: &[f64],
+    out: &mut Vec<f64>,
+) -> Result<()> {
     let m = query.len();
     let n = series.len();
     if m == 0 || m > n {
         return Err(CoreError::BadWindow { window: m, len: n });
     }
-    Ok((0..=n - m)
-        .map(|i| {
-            query
-                .iter()
-                .zip(&series[i..i + m])
-                .map(|(&a, &b)| a * b)
-                .sum()
-        })
-        .collect())
+    out.clear();
+    out.reserve(n - m + 1);
+    out.extend((0..=n - m).map(|i| {
+        query
+            .iter()
+            .zip(&series[i..i + m])
+            .map(|(&a, &b)| a * b)
+            .sum::<f64>()
+    }));
+    Ok(())
 }
 
 #[cfg(test)]
@@ -392,6 +673,112 @@ mod tests {
         assert_eq!(a.n, 256);
         assert!(fft_plan(0).is_err());
         assert!(fft_plan(24).is_err());
+    }
+
+    #[test]
+    fn plan_lookup_never_reallocates_the_cache() {
+        // The stores are fixed-size arrays indexed by log2(n): interleaved
+        // lookups of other sizes must not move previously cached plans (a
+        // grow-by-index Vec would reallocate and a pointer-identity check
+        // like this would be the first thing to catch a regression).
+        let first = fft_plan(64).unwrap();
+        for shift in [1usize, 3, 5, 7, 9, 11] {
+            fft_plan(1 << shift).unwrap();
+        }
+        let again = fft_plan(64).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        let rfirst = rfft_plan(128).unwrap();
+        for shift in [2usize, 4, 6, 8] {
+            rfft_plan(1 << shift).unwrap();
+        }
+        let ragain = rfft_plan(128).unwrap();
+        assert!(Arc::ptr_eq(&rfirst, &ragain));
+        // sizes at or above 2^PLAN_SLOTS are rejected, not grown into
+        assert!(fft_plan(1usize << PLAN_SLOTS).is_err());
+        assert!(rfft_plan(1usize << PLAN_SLOTS).is_err());
+        assert!(rfft_plan(1).is_err(), "rfft needs at least two points");
+    }
+
+    #[test]
+    fn rfft_roundtrip_recovers_input() {
+        for n in [2usize, 4, 8, 64, 256] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.25).collect();
+            let mut spec = Vec::new();
+            rfft(&x, &mut spec).unwrap();
+            assert_eq!(spec.len(), n / 2);
+            let mut back = Vec::new();
+            irfft(&mut spec, &mut back).unwrap();
+            assert_eq!(back.len(), n);
+            for (a, b) in back.iter().zip(&x) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_matches_complex_spectrum() {
+        // The packed spectrum must agree with the plain complex transform of
+        // the same real input: slot 0 carries {X[0], X[n/2]}, slot k carries
+        // X[k] for 1 <= k < n/2.
+        let n = 128;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.11).cos() * 2.0 - 0.5)
+            .collect();
+        let mut packed = Vec::new();
+        rfft(&x, &mut packed).unwrap();
+        let mut full: Vec<Complex> = x.iter().map(|&v| Complex::from_real(v)).collect();
+        fft_in_place(&mut full, false).unwrap();
+        assert!((packed[0].re - full[0].re).abs() < 1e-9);
+        assert!((packed[0].im - full[n / 2].re).abs() < 1e-9);
+        for k in 1..n / 2 {
+            assert!((packed[k].re - full[k].re).abs() < 1e-9, "k={k}");
+            assert!((packed[k].im - full[k].im).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn rfft_sdp_agrees_with_complex_and_naive_paths() {
+        let series: Vec<f64> = (0..777)
+            .map(|i| ((i * 29 % 41) as f64) * 0.25 - 3.0)
+            .collect();
+        for m in [1usize, 2, 129, 300, 777] {
+            let query: Vec<f64> = series.iter().take(m).map(|&v| v * 0.8 - 0.4).collect();
+            let packed = sliding_dot_product_fft(&query, &series).unwrap();
+            let complex = sliding_dot_product_fft_complex(&query, &series).unwrap();
+            let naive = sliding_dot_product_naive(&query, &series).unwrap();
+            assert_eq!(packed.len(), complex.len());
+            for i in 0..packed.len() {
+                let scale = naive[i].abs().max(1.0);
+                assert!(
+                    (packed[i] - complex[i]).abs() < 1e-9 * scale,
+                    "m={m} i={i}: packed {} vs complex {}",
+                    packed[i],
+                    complex[i]
+                );
+                assert!(
+                    (packed[i] - naive[i]).abs() < 1e-9 * scale,
+                    "m={m} i={i}: packed {} vs naive {}",
+                    packed[i],
+                    naive[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_returning_forms_bitwise() {
+        let series: Vec<f64> = (0..400).map(|i| ((i * 13 % 29) as f64) - 14.0).collect();
+        let mut out = Vec::new();
+        for m in [3usize, 64, 129, 256] {
+            let query: Vec<f64> = series[1..1 + m].to_vec();
+            sliding_dot_product_into(&query, &series, &mut out).unwrap();
+            let owned = sliding_dot_product(&query, &series).unwrap();
+            assert_eq!(out.len(), owned.len());
+            assert!(out
+                .iter()
+                .zip(&owned)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]

@@ -27,21 +27,72 @@ pub struct WindowMoments {
     pub window: usize,
 }
 
+/// Reusable prefix-sum buffers for [`WindowMoments::compute_with`]: callers
+/// that recompute moments in a loop (MERLIN's length sweep, streaming
+/// replays) keep one of these around so the two length-`n + 1` temporaries
+/// stop being reallocated per call.
+#[derive(Debug, Default)]
+pub struct MomentsScratch {
+    sum: Vec<f64>,
+    sumsq: Vec<f64>,
+}
+
+impl MomentsScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub const fn new() -> Self {
+        Self {
+            sum: Vec::new(),
+            sumsq: Vec::new(),
+        }
+    }
+}
+
 impl WindowMoments {
     /// Computes moments for every length-`m` window of `x`.
     pub fn compute(x: &[f64], m: usize) -> Result<Self> {
+        let mut scratch = MomentsScratch::new();
+        let mut out = Self {
+            means: Vec::new(),
+            stds: Vec::new(),
+            window: m,
+        };
+        Self::compute_with(x, m, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`WindowMoments::compute`] writing into caller-owned storage: the
+    /// prefix sums live in `scratch` and the moment vectors in `out`, so a
+    /// warmed-up caller allocates nothing. The arithmetic (and therefore
+    /// every produced bit) is identical to `compute`; only buffer ownership
+    /// differs.
+    pub fn compute_with(
+        x: &[f64],
+        m: usize,
+        scratch: &mut MomentsScratch,
+        out: &mut Self,
+    ) -> Result<()> {
         let count = subsequence_count(x.len(), m)?;
         let shift = x.iter().sum::<f64>() / x.len() as f64;
-        let mut sum = vec![0.0; x.len() + 1];
-        let mut sumsq = vec![0.0; x.len() + 1];
+        let sum = &mut scratch.sum;
+        let sumsq = &mut scratch.sumsq;
+        sum.clear();
+        sum.reserve(x.len() + 1);
+        sum.push(0.0);
+        sumsq.clear();
+        sumsq.reserve(x.len() + 1);
+        sumsq.push(0.0);
         for (i, &v) in x.iter().enumerate() {
             let d = v - shift;
-            sum[i + 1] = sum[i] + d;
-            sumsq[i + 1] = sumsq[i] + d * d;
+            sum.push(sum[i] + d);
+            sumsq.push(sumsq[i] + d * d);
         }
         let mf = m as f64;
-        let mut means = Vec::with_capacity(count);
-        let mut stds = Vec::with_capacity(count);
+        let means = &mut out.means;
+        let stds = &mut out.stds;
+        means.clear();
+        means.reserve(count);
+        stds.clear();
+        stds.reserve(count);
         for i in 0..count {
             let s = sum[i + m] - sum[i];
             let ss = sumsq[i + m] - sumsq[i];
@@ -57,17 +108,25 @@ impl WindowMoments {
             means.push(mean + shift);
             stds.push(var.sqrt());
         }
-        Ok(Self {
-            means,
-            stds,
-            window: m,
-        })
+        out.window = m;
+        Ok(())
     }
 
     /// Number of windows.
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.means.len()
+    }
+}
+
+impl Default for WindowMoments {
+    /// An empty container for [`WindowMoments::compute_with`] to fill.
+    fn default() -> Self {
+        Self {
+            means: Vec::new(),
+            stds: Vec::new(),
+            window: 0,
+        }
     }
 }
 
@@ -124,6 +183,32 @@ mod tests {
                 assert!((mom.stds[i] - var.sqrt()).abs() < 1e-6, "m={m} i={i}");
             }
         }
+    }
+
+    #[test]
+    fn compute_with_is_bitwise_identical_and_reuses_buffers() {
+        let x: Vec<f64> = (0..120)
+            .map(|i| ((i * 11) % 31) as f64 * 0.7 - 3.0)
+            .collect();
+        let mut scratch = MomentsScratch::new();
+        let mut out = WindowMoments::default();
+        // sweep lengths through the same scratch, as MERLIN does
+        for m in [40usize, 8, 25, 120] {
+            WindowMoments::compute_with(&x, m, &mut scratch, &mut out).unwrap();
+            let fresh = WindowMoments::compute(&x, m).unwrap();
+            assert_eq!(out.window, fresh.window);
+            assert!(out
+                .means
+                .iter()
+                .zip(&fresh.means)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert!(out
+                .stds
+                .iter()
+                .zip(&fresh.stds)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        assert!(WindowMoments::compute_with(&x, 0, &mut scratch, &mut out).is_err());
     }
 
     #[test]

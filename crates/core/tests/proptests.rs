@@ -108,6 +108,43 @@ proptest! {
     }
 
     #[test]
+    fn rfft_complex_and_naive_sdp_paths_agree(
+        x in finite_vec(8, 160),
+        m_frac in 0.0f64..1.0,
+    ) {
+        // the three sliding-dot-product implementations — naive O(nm), the
+        // historical complex-FFT path, and the packed real-input FFT path —
+        // must agree to 1e-9 relative tolerance on arbitrary (n, m),
+        // including m == n and non-power-of-two n (which exercises the
+        // zero-padding to the next power of two)
+        let n = x.len();
+        let m_random = ((n as f64 * m_frac) as usize).clamp(1, n);
+        for m in [m_random, n] {
+            let query = x[..m].to_vec();
+            let naive = fft::sliding_dot_product_naive(&query, &x).unwrap();
+            let complex = fft::sliding_dot_product_fft_complex(&query, &x).unwrap();
+            let real = fft::sliding_dot_product_fft(&query, &x).unwrap();
+            prop_assert_eq!(real.len(), naive.len());
+            prop_assert_eq!(complex.len(), naive.len());
+            let qmax = query.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+            let xmax = x.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+            let scale = 1.0 + m as f64 * qmax * xmax;
+            for i in 0..naive.len() {
+                prop_assert!(
+                    (real[i] - naive[i]).abs() < 1e-9 * scale,
+                    "rfft vs naive at {}: {} vs {} (n={}, m={})",
+                    i, real[i], naive[i], n, m
+                );
+                prop_assert!(
+                    (real[i] - complex[i]).abs() < 1e-9 * scale,
+                    "rfft vs complex at {}: {} vs {} (n={}, m={})",
+                    i, real[i], complex[i], n, m
+                );
+            }
+        }
+    }
+
+    #[test]
     fn mass_matches_naive_profile(x in finite_vec(16, 100), m in 2usize..10) {
         prop_assume!(m < x.len());
         let query = x[..m].to_vec();

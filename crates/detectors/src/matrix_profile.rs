@@ -9,10 +9,14 @@
 //! (NYC taxi) and Fig. 13 (ECG), and recommends as a strong decades-old
 //! baseline.
 
-use tsad_core::dist::{dot_to_znorm_dist, mass};
+use std::cell::RefCell;
+use std::ops::Range;
+
+use tsad_core::dist::{dot_to_znorm_dist, mass_with_moments};
 use tsad_core::error::{CoreError, Result};
-use tsad_core::windows::WindowMoments;
+use tsad_core::windows::{MomentsScratch, WindowMoments};
 use tsad_core::{stats, TimeSeries};
+use tsad_parallel::ScratchPool;
 
 use crate::Detector;
 
@@ -85,87 +89,318 @@ pub fn stomp(x: &[f64], m: usize) -> Result<MatrixProfile> {
     stomp_metric(x, m, ProfileMetric::ZNormalized)
 }
 
-/// Shared per-call context for the diagonal STOMP kernels.
-struct StompContext {
+/// Per-cell scoring strategy for the diagonal STOMP kernels.
+///
+/// The band scan minimizes the *score*, not necessarily the distance: any
+/// strictly decreasing transform of similarity works for the argmin, and
+/// [`Scorer::finalize`] maps the winning score back to the metric's
+/// distance once per window instead of once per `O(n²)` cell. `score` must
+/// be a pure function of `(i, j, qt)` — no call-order state — which is
+/// what keeps the banded scan thread-count invariant.
+trait Scorer: Sync {
+    /// Score of the pair `(i, j)` with sliding dot product `qt`; lower
+    /// means nearer.
+    fn score(&self, i: usize, j: usize, qt: f64) -> f64;
+    /// Maps a merged score back to the metric's distance. Must be weakly
+    /// monotone so the argmin carries over.
+    fn finalize(&self, s: f64) -> f64;
+}
+
+/// Z-normalized scoring for series with no degenerate (constant) windows:
+/// minimizes the negated Pearson correlation
+/// `-(qt − a_i·a_j)·inv_i·inv_j` with `a_i = √m·μ_i` and
+/// `inv_i = 1/(√m·σ_i)`, replacing the per-cell divide/clamp/sqrt of
+/// [`dot_to_znorm_dist`] with two multiplies. `finalize` converts via
+/// `d = √(2m(1 + s))`; correlation noise beyond ±1 clamps at 0 on the
+/// near side exactly like the old path and only inflates the far side by
+/// rounding-level amounts that never win a minimum.
+struct CorrScorer<'a> {
+    a: &'a [f64],
+    inv: &'a [f64],
+    two_m: f64,
+}
+
+impl Scorer for CorrScorer<'_> {
+    #[inline]
+    fn score(&self, i: usize, j: usize, qt: f64) -> f64 {
+        -((qt - self.a[i] * self.a[j]) * (self.inv[i] * self.inv[j]))
+    }
+    #[inline]
+    fn finalize(&self, s: f64) -> f64 {
+        (self.two_m * (1.0 + s)).max(0.0).sqrt()
+    }
+}
+
+/// Exact z-normalized scoring, used whenever the series contains a
+/// degenerate window: [`dot_to_znorm_dist`]'s explicit constant-window
+/// conventions (two constants at distance 0) cannot be expressed in the
+/// correlation form, so these inputs keep the historical per-cell path
+/// bit for bit.
+struct ZnormScorer<'a> {
+    m: usize,
+    means: &'a [f64],
+    stds: &'a [f64],
+}
+
+impl Scorer for ZnormScorer<'_> {
+    #[inline]
+    fn score(&self, i: usize, j: usize, qt: f64) -> f64 {
+        dot_to_znorm_dist(
+            qt,
+            self.m,
+            self.means[i],
+            self.stds[i],
+            self.means[j],
+            self.stds[j],
+        )
+    }
+    #[inline]
+    fn finalize(&self, s: f64) -> f64 {
+        s
+    }
+}
+
+/// Raw-Euclidean scoring: minimizes the squared distance
+/// `‖a‖² + ‖b‖² − 2·qt` and takes one square root per window at the end.
+struct EuclidScorer<'a> {
+    sq_norms: &'a [f64],
+}
+
+impl Scorer for EuclidScorer<'_> {
+    #[inline]
+    fn score(&self, i: usize, j: usize, qt: f64) -> f64 {
+        (self.sq_norms[i] + self.sq_norms[j] - 2.0 * qt).max(0.0)
+    }
+    #[inline]
+    fn finalize(&self, s: f64) -> f64 {
+        s.sqrt()
+    }
+}
+
+/// Per-worker band buffers, pooled across calls (the workspace spawns
+/// threads per call, so persistence has to live outside the workers; see
+/// `tsad_parallel::ScratchPool`). Both vectors are fully re-initialized on
+/// every use — only capacity survives.
+#[derive(Debug, Default)]
+struct BandSpace {
+    scores: Vec<f64>,
+    index: Vec<usize>,
+}
+
+static BAND_POOL: ScratchPool<BandSpace> = ScratchPool::new();
+
+/// Walks one band of diagonals. Diagonal `k` pairs window `i` with window
+/// `i ± k` following the STOMP dot-product recurrence
+/// `QT[i+1][j+1] = QT[i][j] − x[i]·x[j] + x[i+m]·x[j+m]` from the seed
+/// `QT[0][k]`. `LEFT` selects the left-profile variant: only the later
+/// window of each pair is updated, so every entry sees exactly the
+/// candidates preceding it.
+#[allow(clippy::too_many_arguments)]
+fn fill_band<S: Scorer, const LEFT: bool>(
+    x: &[f64],
     m: usize,
     count: usize,
     excl: usize,
-    metric: ProfileMetric,
-    moments: WindowMoments,
-    /// Squared window norms, populated only under the Euclidean metric.
-    sq_norms: Vec<f64>,
-    /// Dot products of window 0 with every window (diagonal seeds).
-    first_row: Vec<f64>,
-}
-
-impl StompContext {
-    fn new(x: &[f64], m: usize, metric: ProfileMetric) -> Result<Self> {
-        let n = x.len();
-        let count = tsad_core::windows::subsequence_count(n, m)?;
-        if count < 2 {
-            return Err(CoreError::BadWindow { window: m, len: n });
-        }
-        let moments = WindowMoments::compute(x, m)?;
-        let sq_norms: Vec<f64> = match metric {
-            ProfileMetric::Euclidean => (0..count)
-                .map(|i| x[i..i + m].iter().map(|v| v * v).sum())
-                .collect(),
-            ProfileMetric::ZNormalized => Vec::new(),
-        };
-        let first_row = tsad_core::fft::sliding_dot_product(&x[0..m], x)?;
-        Ok(Self {
-            m,
-            count,
-            excl: exclusion_zone(m),
-            metric,
-            moments,
-            sq_norms,
-            first_row,
-        })
-    }
-
-    #[inline]
-    fn distance(&self, i: usize, j: usize, dot: f64) -> f64 {
-        match self.metric {
-            ProfileMetric::ZNormalized => dot_to_znorm_dist(
-                dot,
-                self.m,
-                self.moments.means[i],
-                self.moments.stds[i],
-                self.moments.means[j],
-                self.moments.stds[j],
-            ),
-            ProfileMetric::Euclidean => (self.sq_norms[i] + self.sq_norms[j] - 2.0 * dot)
-                .max(0.0)
-                .sqrt(),
-        }
-    }
-
-    /// Number of admissible diagonals (`k = excl .. count`, pairing window
-    /// `i` with window `i + k`).
-    fn diagonals(&self) -> usize {
-        self.count.saturating_sub(self.excl)
-    }
-}
-
-/// Merges per-band `(profile, index)` results **in band order** with a
-/// strict `<`: equivalent to one sequential scan over all diagonals in
-/// ascending order, so the outcome is identical wherever the band
-/// boundaries fall — the determinism contract of `tsad-parallel`.
-fn merge_bands(count: usize, bands: Vec<(Vec<f64>, Vec<usize>)>) -> (Vec<f64>, Vec<usize>) {
-    let mut bands = bands.into_iter();
-    let (mut profile, mut index) = bands
-        .next()
-        .unwrap_or_else(|| (vec![f64::INFINITY; count], vec![0usize; count]));
-    for (p, ix) in bands {
-        for i in 0..count {
-            if p[i] < profile[i] {
-                profile[i] = p[i];
-                index[i] = ix[i];
+    first_row: &[f64],
+    scorer: &S,
+    band: Range<usize>,
+    scores: &mut [f64],
+    index: &mut [usize],
+) {
+    for d in band {
+        let k = excl + d;
+        let mut qt = first_row[k];
+        if LEFT {
+            let s = scorer.score(k, 0, qt);
+            if s < scores[k] {
+                scores[k] = s;
+                index[k] = 0;
+            }
+            for i in k + 1..count {
+                let j = i - k;
+                qt = qt - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
+                let s = scorer.score(i, j, qt);
+                if s < scores[i] {
+                    scores[i] = s;
+                    index[i] = j;
+                }
+            }
+        } else {
+            let s = scorer.score(0, k, qt);
+            if s < scores[0] {
+                scores[0] = s;
+                index[0] = k;
+            }
+            if s < scores[k] {
+                scores[k] = s;
+                index[k] = 0;
+            }
+            for i in 1..count - k {
+                let j = i + k;
+                qt = qt - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
+                let s = scorer.score(i, j, qt);
+                if s < scores[i] {
+                    scores[i] = s;
+                    index[i] = j;
+                }
+                if s < scores[j] {
+                    scores[j] = s;
+                    index[j] = i;
+                }
             }
         }
     }
-    (profile, index)
+}
+
+/// Fans contiguous bands of diagonals out over `tsad-parallel` and
+/// min-merges the per-worker buffers back **in band order** with a strict
+/// `<` — equivalent to one sequential scan over all diagonals in ascending
+/// order, so the outcome is identical wherever the band boundaries fall.
+/// `scores`/`index` are reset and receive the merged result.
+#[allow(clippy::too_many_arguments)]
+fn scan_bands<S: Scorer, const LEFT: bool>(
+    x: &[f64],
+    m: usize,
+    count: usize,
+    excl: usize,
+    first_row: &[f64],
+    scorer: &S,
+    scores: &mut Vec<f64>,
+    index: &mut Vec<usize>,
+) {
+    scores.clear();
+    scores.resize(count, f64::INFINITY);
+    index.clear();
+    index.resize(count, 0);
+    let diagonals = count.saturating_sub(excl);
+    tsad_parallel::par_chunks_scratch(
+        &BAND_POOL,
+        diagonals,
+        BandSpace::default,
+        |space, band| {
+            space.scores.clear();
+            space.scores.resize(count, f64::INFINITY);
+            space.index.clear();
+            space.index.resize(count, 0);
+            fill_band::<S, LEFT>(
+                x,
+                m,
+                count,
+                excl,
+                first_row,
+                scorer,
+                band,
+                &mut space.scores,
+                &mut space.index,
+            );
+        },
+        |space| {
+            for i in 0..count {
+                if space.scores[i] < scores[i] {
+                    scores[i] = space.scores[i];
+                    index[i] = space.index[i];
+                }
+            }
+        },
+    );
+}
+
+/// Reusable buffers for [`stomp_metric_with`] / [`left_stomp_with`]: the
+/// window moments (plus their prefix-sum scratch), the seed row of dot
+/// products, squared norms (Euclidean metric only), the correlation-form
+/// lookup tables, and the merged score profile. A caller that keeps one of
+/// these across calls of the same shape performs no heap allocation in the
+/// kernel after the first call; numeric state never carries over because
+/// every buffer is fully rewritten per call.
+#[derive(Debug, Default)]
+pub struct StompWorkspace {
+    moments: WindowMoments,
+    mscratch: MomentsScratch,
+    first_row: Vec<f64>,
+    sq_norms: Vec<f64>,
+    a: Vec<f64>,
+    inv: Vec<f64>,
+    scores: Vec<f64>,
+}
+
+thread_local! {
+    /// Workspace behind the allocating convenience wrappers, so even
+    /// one-shot callers stop paying the setup allocations after their
+    /// thread's first call.
+    static STOMP_WS: RefCell<StompWorkspace> = RefCell::new(StompWorkspace::default());
+}
+
+/// Shared preparation + dispatch for both profile variants. Scorer choice
+/// is a pure function of the input (`ZNormalized` series with any window
+/// std below the degeneracy epsilon take the exact historical path), so
+/// dispatch cannot vary with thread count.
+fn run_scan<const LEFT: bool>(
+    x: &[f64],
+    m: usize,
+    metric: ProfileMetric,
+    ws: &mut StompWorkspace,
+    out: &mut MatrixProfile,
+) -> Result<()> {
+    let n = x.len();
+    let count = tsad_core::windows::subsequence_count(n, m)?;
+    if count < 2 {
+        return Err(CoreError::BadWindow { window: m, len: n });
+    }
+    let excl = exclusion_zone(m);
+    WindowMoments::compute_with(x, m, &mut ws.mscratch, &mut ws.moments)?;
+    tsad_core::fft::sliding_dot_product_into(&x[0..m], x, &mut ws.first_row)?;
+    let StompWorkspace {
+        moments,
+        first_row,
+        sq_norms,
+        a,
+        inv,
+        scores,
+        ..
+    } = ws;
+    let index = &mut out.index;
+    let profile = &mut out.profile;
+    match metric {
+        ProfileMetric::ZNormalized => {
+            // mirror dot_to_znorm_dist's degeneracy epsilon
+            let degenerate = moments.stds.iter().any(|&s| s < 1e-9);
+            if degenerate {
+                let scorer = ZnormScorer {
+                    m,
+                    means: &moments.means,
+                    stds: &moments.stds,
+                };
+                scan_bands::<_, LEFT>(x, m, count, excl, first_row, &scorer, scores, index);
+                profile.clear();
+                profile.extend(scores.iter().map(|&s| scorer.finalize(s)));
+            } else {
+                let sqrt_m = (m as f64).sqrt();
+                a.clear();
+                a.extend(moments.means.iter().map(|&mu| sqrt_m * mu));
+                inv.clear();
+                inv.extend(moments.stds.iter().map(|&s| 1.0 / (sqrt_m * s)));
+                let scorer = CorrScorer {
+                    a,
+                    inv,
+                    two_m: 2.0 * m as f64,
+                };
+                scan_bands::<_, LEFT>(x, m, count, excl, first_row, &scorer, scores, index);
+                profile.clear();
+                profile.extend(scores.iter().map(|&s| scorer.finalize(s)));
+            }
+        }
+        ProfileMetric::Euclidean => {
+            sq_norms.clear();
+            sq_norms.reserve(count);
+            sq_norms.extend((0..count).map(|i| x[i..i + m].iter().map(|v| v * v).sum::<f64>()));
+            let scorer = EuclidScorer { sq_norms };
+            scan_bands::<_, LEFT>(x, m, count, excl, first_row, &scorer, scores, index);
+            profile.clear();
+            profile.extend(scores.iter().map(|&s| scorer.finalize(s)));
+        }
+    }
+    out.window = m;
+    Ok(())
 }
 
 /// Replaces the INFINITY placeholder of windows that received no
@@ -198,46 +433,34 @@ fn cap_non_finite(profile: &mut [f64]) {
 /// ordered merge reproduces a sequential ascending-diagonal scan, so the
 /// result is **bitwise identical at every thread count**.
 pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<MatrixProfile> {
-    let ctx = StompContext::new(x, m, metric)?;
-    let count = ctx.count;
-    let bands = tsad_parallel::par_chunks(ctx.diagonals(), |band| {
-        let mut profile = vec![f64::INFINITY; count];
-        let mut index = vec![0usize; count];
-        for d in band {
-            let k = ctx.excl + d;
-            let mut qt = ctx.first_row[k];
-            let dist = ctx.distance(0, k, qt);
-            if dist < profile[0] {
-                profile[0] = dist;
-                index[0] = k;
-            }
-            if dist < profile[k] {
-                profile[k] = dist;
-                index[k] = 0;
-            }
-            for i in 1..count - k {
-                let j = i + k;
-                qt = qt - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
-                let dist = ctx.distance(i, j, qt);
-                if dist < profile[i] {
-                    profile[i] = dist;
-                    index[i] = j;
-                }
-                if dist < profile[j] {
-                    profile[j] = dist;
-                    index[j] = i;
-                }
-            }
-        }
-        (profile, index)
-    });
-    let (mut profile, index) = merge_bands(count, bands);
-    cap_non_finite(&mut profile);
-    Ok(MatrixProfile {
-        profile,
-        index,
-        window: m,
+    STOMP_WS.with(|ws| {
+        let mut out = MatrixProfile {
+            profile: Vec::new(),
+            index: Vec::new(),
+            window: m,
+        };
+        stomp_metric_with(x, m, metric, &mut ws.borrow_mut(), &mut out)?;
+        Ok(out)
     })
+}
+
+/// [`stomp_metric`] with caller-owned buffers: the workspace holds every
+/// intermediate and `out` receives the profile (both fully rewritten). A
+/// caller looping over same-shaped series — the benchmark harness, batch
+/// sweeps — allocates nothing here once buffers are warm (single-threaded;
+/// with more threads the per-call scoped spawns still allocate, though
+/// band buffers are pooled). Scores and indices are identical to
+/// [`stomp_metric`] at every thread count.
+pub fn stomp_metric_with(
+    x: &[f64],
+    m: usize,
+    metric: ProfileMetric,
+    ws: &mut StompWorkspace,
+    out: &mut MatrixProfile,
+) -> Result<()> {
+    run_scan::<false>(x, m, metric, ws, out)?;
+    cap_non_finite(&mut out.profile);
+    Ok(())
 }
 
 /// Left matrix profile: each window's nearest neighbor among *preceding*
@@ -246,57 +469,47 @@ pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<Matrix
 /// real-time detector actually gets to see. Warm-up windows with no
 /// admissible left neighbor score 0 (no evidence either way).
 pub fn left_stomp(x: &[f64], m: usize, metric: ProfileMetric) -> Result<MatrixProfile> {
-    let ctx = StompContext::new(x, m, metric)?;
-    let count = ctx.count;
+    STOMP_WS.with(|ws| {
+        let mut out = MatrixProfile {
+            profile: Vec::new(),
+            index: Vec::new(),
+            window: m,
+        };
+        left_stomp_with(x, m, metric, &mut ws.borrow_mut(), &mut out)?;
+        Ok(out)
+    })
+}
 
-    // Diagonal k pairs window i with its left neighbor j = i − k, k ≥ excl.
-    // The diagonal starts at (i, j) = (k, 0) whose dot product is
-    // QT[k][0] = QT[0][k] by symmetry, then follows the same recurrence as
-    // the self-join. Only profile[i] (the later window) is updated, so each
-    // entry sees the same candidate set as the row-wise scan and the banded
-    // min-merge stays bitwise identical at every thread count.
-    let bands = tsad_parallel::par_chunks(ctx.diagonals(), |band| {
-        let mut profile = vec![f64::INFINITY; count];
-        let mut index = vec![0usize; count];
-        for d in band {
-            let k = ctx.excl + d;
-            let mut qt = ctx.first_row[k];
-            let dist = ctx.distance(k, 0, qt);
-            if dist < profile[k] {
-                profile[k] = dist;
-                index[k] = 0;
-            }
-            for i in k + 1..count {
-                let j = i - k;
-                qt = qt - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
-                let dist = ctx.distance(i, j, qt);
-                if dist < profile[i] {
-                    profile[i] = dist;
-                    index[i] = j;
-                }
-            }
-        }
-        (profile, index)
-    });
-    let (mut profile, index) = merge_bands(count, bands);
-    let excl = ctx.excl;
+/// [`left_stomp`] with caller-owned buffers; see [`stomp_metric_with`] for
+/// the reuse contract.
+///
+/// Diagonal `k` pairs window `i` with its left neighbor `j = i − k`,
+/// `k ≥ excl`. The diagonal starts at `(i, j) = (k, 0)` whose dot product
+/// is `QT[k][0] = QT[0][k]` by symmetry, then follows the same recurrence
+/// as the self-join; only the later window is updated, so each entry sees
+/// the same candidate set as a row-wise scan.
+pub fn left_stomp_with(
+    x: &[f64],
+    m: usize,
+    metric: ProfileMetric,
+    ws: &mut StompWorkspace,
+    out: &mut MatrixProfile,
+) -> Result<()> {
+    run_scan::<true>(x, m, metric, ws, out)?;
+    let count = out.profile.len();
     // Warm-up: windows with no left neighbor — or too little history for
     // the minimum distance to be meaningful (a lone far-away neighbor makes
     // everything look novel) — score 0: no evidence of anomaly yet.
-    let warmup = (excl + 2 * m).min(count);
-    for p in &mut profile[..warmup] {
+    let warmup = (exclusion_zone(m) + 2 * m).min(count);
+    for p in &mut out.profile[..warmup] {
         *p = 0.0;
     }
-    for p in &mut profile {
+    for p in &mut out.profile {
         if !p.is_finite() {
             *p = 0.0;
         }
     }
-    Ok(MatrixProfile {
-        profile,
-        index,
-        window: m,
-    })
+    Ok(())
 }
 
 /// STAMP: the same matrix profile computed with one MASS call per window.
@@ -309,15 +522,20 @@ pub fn stamp(x: &[f64], m: usize) -> Result<MatrixProfile> {
         return Err(CoreError::BadWindow { window: m, len: n });
     }
     let excl = exclusion_zone(m);
+    // One moments pass for the whole series (each MASS row used to redo
+    // it), and per-worker dot-product/distance buffers reused across rows.
+    let moments = WindowMoments::compute(x, m)?;
     // Each window's row is independent (one MASS scan, min over admissible
     // columns), so windows fan out over contiguous chunks and the per-chunk
     // slices are stitched back in index order — trivially deterministic.
     let chunks = tsad_parallel::par_chunks(count, |range| {
+        let mut qt = Vec::new();
+        let mut dists = Vec::new();
         let mut rows = Vec::with_capacity(range.len());
         for i in range {
             let mut best = (f64::INFINITY, 0usize);
-            match mass(&x[i..i + m], x) {
-                Ok(dists) => {
+            match mass_with_moments(&x[i..i + m], &moments, x, &mut qt, &mut dists) {
+                Ok(()) => {
                     for (j, &d) in dists.iter().enumerate() {
                         if j.abs_diff(i) < excl {
                             continue;
@@ -554,6 +772,67 @@ mod tests {
         assert_eq!(scores.len(), x.len());
         let peak = stats::argmax(&scores).unwrap();
         assert!((80..=130).contains(&peak), "peak at {peak}");
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical() {
+        // one workspace swept across metrics, variants, and shapes must
+        // reproduce the convenience wrappers exactly — proof that no
+        // numeric state leaks between calls
+        let x = anomalous_sine(260, 26, 130);
+        let mut ws = StompWorkspace::default();
+        let mut out = MatrixProfile {
+            profile: Vec::new(),
+            index: Vec::new(),
+            window: 0,
+        };
+        for m in [8usize, 26, 13] {
+            for metric in [ProfileMetric::ZNormalized, ProfileMetric::Euclidean] {
+                stomp_metric_with(&x, m, metric, &mut ws, &mut out).unwrap();
+                let fresh = stomp_metric(&x, m, metric).unwrap();
+                assert_eq!(out.index, fresh.index, "m={m} {metric:?}");
+                assert!(out
+                    .profile
+                    .iter()
+                    .zip(&fresh.profile)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+                left_stomp_with(&x, m, metric, &mut ws, &mut out).unwrap();
+                let fresh = left_stomp(&x, m, metric).unwrap();
+                assert_eq!(out.index, fresh.index, "left m={m} {metric:?}");
+                assert!(out
+                    .profile
+                    .iter()
+                    .zip(&fresh.profile)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_windows_keep_the_flat_region_conventions() {
+        // a series with constant windows must take the exact historical
+        // path: two flat windows pair at distance 0, flat-vs-wiggly at
+        // sqrt(2m)
+        let mut x: Vec<f64> = (0..120).map(|i| (i as f64 * 0.4).sin()).collect();
+        for v in &mut x[10..30] {
+            *v = 2.0;
+        }
+        for v in &mut x[70..90] {
+            *v = 2.0;
+        }
+        let m = 8;
+        let fast = stomp(&x, m).unwrap();
+        let slow = matrix_profile_naive(&x, m).unwrap();
+        for i in 0..fast.profile.len() {
+            assert!(
+                (fast.profile[i] - slow.profile[i]).abs() < 1e-4,
+                "i={i}: {} vs {}",
+                fast.profile[i],
+                slow.profile[i]
+            );
+        }
+        // the two flat stretches pair up at exactly 0
+        assert_eq!(fast.profile[12], 0.0);
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! smaller `r`; between consecutive lengths it warm-starts `r` from the
 //! previous discord distance.
 
-use tsad_core::dist::znorm_euclidean;
+use std::cell::RefCell;
+
+use tsad_core::dist::dot_to_znorm_dist;
 use tsad_core::error::{CoreError, Result};
-use tsad_core::windows::subsequence_count;
+use tsad_core::windows::{subsequence_count, MomentsScratch, WindowMoments};
 
 use crate::matrix_profile::exclusion_zone;
 
@@ -33,56 +35,97 @@ pub struct LengthDiscord {
     pub distance: f64,
 }
 
-/// DRAG phase 1+2 for one length: the top discord, or `None` if every
-/// subsequence has a neighbor within `r`.
-pub fn drag_discord(x: &[f64], m: usize, r: f64) -> Result<Option<(usize, f64)>> {
-    let count = subsequence_count(x.len(), m)?;
-    if count < 2 {
-        return Err(CoreError::BadWindow {
-            window: m,
-            len: x.len(),
-        });
-    }
+/// Reusable per-thread buffers for the DRAG passes: the window moments
+/// (with their prefix-sum scratch) and the candidate set. MERLIN's length
+/// sweep reuses one of these across every candidate length a worker
+/// handles, so the halving retries and the per-length searches stop
+/// allocating once the largest shape has been seen.
+#[derive(Debug, Default)]
+struct DragScratch {
+    moments: WindowMoments,
+    mscratch: MomentsScratch,
+    candidates: Vec<usize>,
+}
+
+thread_local! {
+    static DRAG_SCRATCH: RefCell<DragScratch> = RefCell::new(DragScratch::default());
+}
+
+/// Z-normalized distance between windows `i` and `j` from one fused dot
+/// product and the precomputed moments — no per-pair normalization buffers
+/// (the historical `znorm_euclidean` call allocated two vectors and made
+/// four passes per pair).
+#[inline]
+fn pair_distance(x: &[f64], m: usize, moments: &WindowMoments, i: usize, j: usize) -> f64 {
+    let dot: f64 = x[i..i + m]
+        .iter()
+        .zip(&x[j..j + m])
+        .map(|(&a, &b)| a * b)
+        .sum();
+    dot_to_znorm_dist(
+        dot,
+        m,
+        moments.means[i],
+        moments.stds[i],
+        moments.means[j],
+        moments.stds[j],
+    )
+}
+
+/// The two DRAG passes for one `(m, r)`, over precomputed moments and a
+/// caller-owned candidate buffer.
+fn drag_phases(
+    x: &[f64],
+    m: usize,
+    r: f64,
+    moments: &WindowMoments,
+    candidates: &mut Vec<usize>,
+) -> Option<(usize, f64)> {
+    let count = moments.len();
     let excl = exclusion_zone(m);
 
-    // Phase 1: candidate selection.
-    let mut candidates: Vec<usize> = Vec::new();
+    // Phase 1: candidate selection, compacting the survivor list in place
+    // with a write cursor (the historical version rebuilt a `kept` vector
+    // per window — `O(count)` allocations per call).
+    candidates.clear();
     for i in 0..count {
         let mut is_candidate = true;
-        // retain() with a side effect on is_candidate
-        let mut kept = Vec::with_capacity(candidates.len());
-        for &c in &candidates {
+        let mut write = 0;
+        for read in 0..candidates.len() {
+            let c = candidates[read];
             if i.abs_diff(c) < excl {
-                kept.push(c);
+                candidates[write] = c;
+                write += 1;
                 continue;
             }
-            let d = znorm_euclidean(&x[i..i + m], &x[c..c + m])?;
+            let d = pair_distance(x, m, moments, i, c);
             if d < r {
                 // c has a neighbor within r → not a discord; and i matched
                 // something, so i is not a candidate either.
                 is_candidate = false;
             } else {
-                kept.push(c);
+                candidates[write] = c;
+                write += 1;
             }
         }
-        candidates = kept;
+        candidates.truncate(write);
         if is_candidate {
             candidates.push(i);
         }
     }
     if candidates.is_empty() {
-        return Ok(None);
+        return None;
     }
 
     // Phase 2: refinement with early abandon at r.
     let mut best: Option<(usize, f64)> = None;
-    'cand: for &c in &candidates {
+    'cand: for &c in candidates.iter() {
         let mut nn = f64::INFINITY;
         for j in 0..count {
             if j.abs_diff(c) < excl {
                 continue;
             }
-            let d = znorm_euclidean(&x[c..c + m], &x[j..j + m])?;
+            let d = pair_distance(x, m, moments, c, j);
             if d < nn {
                 nn = d;
                 if nn < r {
@@ -94,7 +137,30 @@ pub fn drag_discord(x: &[f64], m: usize, r: f64) -> Result<Option<(usize, f64)>>
             best = Some((c, nn));
         }
     }
-    Ok(best)
+    best
+}
+
+/// DRAG phase 1+2 for one length: the top discord, or `None` if every
+/// subsequence has a neighbor within `r`.
+pub fn drag_discord(x: &[f64], m: usize, r: f64) -> Result<Option<(usize, f64)>> {
+    let count = subsequence_count(x.len(), m)?;
+    if count < 2 {
+        return Err(CoreError::BadWindow {
+            window: m,
+            len: x.len(),
+        });
+    }
+    DRAG_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        WindowMoments::compute_with(x, m, &mut scratch.mscratch, &mut scratch.moments)?;
+        Ok(drag_phases(
+            x,
+            m,
+            r,
+            &scratch.moments,
+            &mut scratch.candidates,
+        ))
+    })
 }
 
 /// The top discord at one length, with a warm-started `r` threaded through
@@ -106,22 +172,38 @@ pub fn drag_discord(x: &[f64], m: usize, r: f64) -> Result<Option<(usize, f64)>>
 /// the exact answer unconditionally. This hint-independence is what lets
 /// [`merlin`] split the length range into chunks at arbitrary boundaries.
 fn discord_at_length(x: &[f64], m: usize, r_hint: &mut Option<f64>) -> Result<LengthDiscord> {
+    let count = subsequence_count(x.len(), m)?;
+    if count < 2 {
+        return Err(CoreError::BadWindow {
+            window: m,
+            len: x.len(),
+        });
+    }
     let mut r = r_hint.unwrap_or_else(|| 2.0 * (m as f64).sqrt());
+    // Moments are computed once per length; the halving retries and the
+    // exact fallback all reuse them (and the candidate buffer) through the
+    // thread-local scratch.
     let mut found = None;
-    for _ in 0..64 {
-        if let Some(hit) = drag_discord(x, m, r)? {
-            found = Some(hit);
-            break;
+    DRAG_SCRATCH.with(|scratch| -> Result<()> {
+        let scratch = &mut *scratch.borrow_mut();
+        WindowMoments::compute_with(x, m, &mut scratch.mscratch, &mut scratch.moments)?;
+        for _ in 0..64 {
+            if let Some(hit) = drag_phases(x, m, r, &scratch.moments, &mut scratch.candidates) {
+                found = Some(hit);
+                break;
+            }
+            r *= 0.5;
+            if r < 1e-9 {
+                break;
+            }
         }
-        r *= 0.5;
-        if r < 1e-9 {
-            break;
+        if found.is_none() {
+            // (Near-)degenerate series: fall back to the exact, unpruned
+            // search.
+            found = drag_phases(x, m, 0.0, &scratch.moments, &mut scratch.candidates);
         }
-    }
-    if found.is_none() {
-        // (Near-)degenerate series: fall back to the exact, unpruned search.
-        found = drag_discord(x, m, 0.0)?;
-    }
+        Ok(())
+    })?;
     if let Some((start, distance)) = found {
         *r_hint = Some(distance * 0.99);
         Ok(LengthDiscord {

@@ -186,6 +186,115 @@ where
     out
 }
 
+/// A pool of reusable per-worker scratch states, shared across calls.
+///
+/// The workspace's threads are spawned per call (see the module docs), so
+/// thread-local storage on a worker dies with it; buffers that should
+/// survive *across* kernel invocations instead live here, in a static or a
+/// caller-owned pool. Workers [`take`](ScratchPool::take) a state on entry
+/// (building a fresh one only when the pool is empty) and
+/// [`put`](ScratchPool::put) it back on exit, so a steady-state caller
+/// cycles the same allocations forever. States must not carry numeric
+/// results between uses — only capacity — or determinism breaks; the
+/// kernels enforce that by fully overwriting every buffer they read.
+#[derive(Debug)]
+pub struct ScratchPool<S> {
+    pool: Mutex<Vec<S>>,
+}
+
+impl<S> ScratchPool<S> {
+    /// An empty pool (usable in `static` position).
+    pub const fn new() -> Self {
+        Self {
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pops a pooled state, or builds one with `init`.
+    pub fn take(&self, init: impl FnOnce() -> S) -> S {
+        self.pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(init)
+    }
+
+    /// Returns a state to the pool for reuse.
+    pub fn put(&self, state: S) {
+        self.pool.lock().expect("scratch pool poisoned").push(state);
+    }
+}
+
+impl<S> Default for ScratchPool<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// [`par_chunks`] with pooled per-worker scratch and an in-order fold
+/// instead of a returned `Vec`: each worker takes a scratch state from
+/// `pool`, processes its contiguous range with `work`, and the caller folds
+/// the states back **in range order** via `fold` before returning them to
+/// the pool.
+///
+/// With one effective thread this is completely allocation-free once the
+/// pool holds a state: no range vector, no result vector, no spawn — the
+/// calling thread takes one state, works `0 .. len`, folds, and puts it
+/// back. That single-thread fast path is what the zero-alloc benchmark
+/// gates measure.
+pub fn par_chunks_scratch<S, F, M>(
+    pool: &ScratchPool<S>,
+    len: usize,
+    init: fn() -> S,
+    work: F,
+    mut fold: M,
+) where
+    S: Send,
+    F: Fn(&mut S, Range<usize>) + Sync,
+    M: FnMut(&mut S),
+{
+    if len == 0 {
+        return;
+    }
+    let threads = current_threads().min(len);
+    if threads <= 1 {
+        let mut state = pool.take(init);
+        work(&mut state, 0..len);
+        fold(&mut state);
+        pool.put(state);
+        return;
+    }
+    let ranges = chunk_ranges(len, threads);
+    let mut states: Vec<S> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges[1..]
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                let work = &work;
+                s.spawn(move || {
+                    let mut state = pool.take(init);
+                    work(&mut state, r);
+                    state
+                })
+            })
+            .collect();
+        let mut states = Vec::with_capacity(handles.len() + 1);
+        let mut first = pool.take(init);
+        work(&mut first, ranges[0].clone());
+        states.push(first);
+        for h in handles {
+            states.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+        }
+        states
+    });
+    for state in &mut states {
+        fold(state);
+    }
+    for state in states {
+        pool.put(state);
+    }
+}
+
 /// A boxed task for [`par_invoke`]; may borrow the caller's stack.
 pub type Task<'env, R> = Box<dyn FnOnce() -> R + Send + 'env>;
 
@@ -358,6 +467,50 @@ mod tests {
         ];
         let got = with_threads(4, || par_invoke(tasks));
         assert_eq!(got, vec![128.0, 128.0]);
+    }
+
+    #[test]
+    fn scratch_pool_recycles_states() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        let mut a = pool.take(Vec::new);
+        a.reserve(4096);
+        let cap = a.capacity();
+        let ptr = a.as_ptr();
+        pool.put(a);
+        let b = pool.take(Vec::new);
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(b.as_ptr(), ptr, "the pooled allocation must be reused");
+    }
+
+    #[test]
+    fn par_chunks_scratch_folds_in_range_order_at_any_thread_count() {
+        // each worker records the indices it saw; the fold concatenates, so
+        // an ascending final sequence proves range-ordered folding
+        static POOL: ScratchPool<Vec<usize>> = ScratchPool::new();
+        for threads in [1usize, 2, 3, 8] {
+            let mut seen: Vec<usize> = Vec::new();
+            with_threads(threads, || {
+                par_chunks_scratch(
+                    &POOL,
+                    103,
+                    Vec::new,
+                    |state, range| {
+                        state.clear();
+                        state.extend(range);
+                    },
+                    |state| seen.extend(state.iter().copied()),
+                );
+            });
+            assert_eq!(seen, (0..103).collect::<Vec<usize>>(), "threads={threads}");
+        }
+        // len == 0 is a no-op
+        par_chunks_scratch(
+            &POOL,
+            0,
+            Vec::new,
+            |_, _| panic!("no work"),
+            |_| panic!("no fold"),
+        );
     }
 
     #[test]

@@ -133,23 +133,45 @@ impl StreamingLeftDiscord {
     }
 
     /// Left-profile value of window `i` over the retained horizon.
+    ///
+    /// `dots` and `wstats` advance in lockstep over neighbors
+    /// `j = dots_lo ..= i − excl`, as iterators rather than per-element
+    /// deque indexing (each `VecDeque` index costs wraparound arithmetic
+    /// and a bounds check — this loop is the `O(H)` hot path of every
+    /// push). The metric dispatch is hoisted out of the loop; the per-pair
+    /// arithmetic is unchanged, so scores are bitwise identical to the
+    /// indexed form.
     fn profile_of(&self, i: usize, cur: WindowStats) -> f64 {
         if i < self.excl + 2 * self.m {
             return 0.0; // batch warm-up convention
         }
         let hi = i - self.excl;
+        let take = hi - self.dots_lo + 1;
+        // wstats slot for j = dots_lo is len − 1 − (i − dots_lo); each
+        // subsequent neighbor is the next slot.
+        let start_w = self.wstats.len() - 1 - (i - self.dots_lo);
+        let pairs = self
+            .dots
+            .iter()
+            .take(take)
+            .zip(self.wstats.iter().skip(start_w));
         let mut best = f64::INFINITY;
-        for j in self.dots_lo..=hi {
-            let dot = self.dots[j - self.dots_lo];
-            let s = self.wstats[self.wstats.len() - 1 - (i - j)];
-            let d = match self.metric {
-                ProfileMetric::ZNormalized => {
-                    dot_to_znorm_dist(dot, self.m, cur.mean, cur.std, s.mean, s.std)
+        match self.metric {
+            ProfileMetric::ZNormalized => {
+                for (&dot, s) in pairs {
+                    let d = dot_to_znorm_dist(dot, self.m, cur.mean, cur.std, s.mean, s.std);
+                    if d < best {
+                        best = d;
+                    }
                 }
-                ProfileMetric::Euclidean => (cur.sq_norm + s.sq_norm - 2.0 * dot).max(0.0).sqrt(),
-            };
-            if d < best {
-                best = d;
+            }
+            ProfileMetric::Euclidean => {
+                for (&dot, s) in pairs {
+                    let d = (cur.sq_norm + s.sq_norm - 2.0 * dot).max(0.0).sqrt();
+                    if d < best {
+                        best = d;
+                    }
+                }
             }
         }
         if best.is_finite() {
@@ -192,10 +214,12 @@ impl StreamingDetector for StreamingLeftDiscord {
             // QT(j+1, i) = QT(j, i−1) − x[i−1]·x[j] + x[i+m−1]·x[j+m].
             let xl = self.val(i - 1);
             let xr = self.val(i + self.m - 1);
-            for idx in 0..self.dots.len() {
-                let j_old = self.dots_lo + idx;
-                self.dots[idx] =
-                    self.dots[idx] - xl * self.val(j_old) + xr * self.val(j_old + self.m);
+            let m = self.m;
+            let values = &self.values;
+            for (j_old, dot) in (self.dots_lo..).zip(self.dots.iter_mut()) {
+                let vl = values.get(j_old).expect("sample within horizon");
+                let vr = values.get(j_old + m).expect("sample within horizon");
+                *dot = *dot - xl * vl + xr * vr;
             }
             self.dots_lo += 1;
             // seed the diagonal that (re-)enters the horizon with a direct
