@@ -1,9 +1,11 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--seed N] <experiment>...
-//! repro all                # everything (table1 takes ~1 min in release)
-//! repro table1 fig8 fig13  # a subset
+//! repro [--seed N] [--obs-summary] <experiment>...
+//! repro all                             # everything (table1 takes ~1 min in release)
+//! repro table1 fig8 fig13               # a subset
+//! repro --bench-out /tmp/fresh.json bench-json
+//! repro bench-compare --baseline BENCH_kernels.json --fresh /tmp/fresh.json
 //! ```
 
 use std::process::ExitCode;
@@ -15,6 +17,9 @@ use tsad_bench::DEFAULT_SEED;
 // `allocs_per_iter` honestly; library consumers never see this allocator.
 #[global_allocator]
 static ALLOC: tsad_bench::alloc_track::CountingAlloc = tsad_bench::alloc_track::CountingAlloc;
+
+/// Wall-clock time per experiment (one sample per `run_one` call).
+static EXPERIMENT_NS: tsad_obs::Span = tsad_obs::Span::new("repro.experiment_ns");
 
 const EXPERIMENTS: &[&str] = &[
     "table1",
@@ -41,17 +46,47 @@ const EXPERIMENTS: &[&str] = &[
     "audit",
     "stream",
     "bench-json",
+    "bench-compare",
     "write-archive",
 ];
 
 fn usage() -> String {
     format!(
-        "usage: repro [--seed N] <experiment>...\n       repro all\nexperiments: {}",
+        "usage: repro [--seed N] [--obs-summary] [--bench-out PATH] \
+         [--baseline PATH] [--fresh PATH] <experiment>...\n       \
+         repro all\nexperiments: {}\n\
+         --obs-summary     print the tsad-obs metric summary to stderr at exit\n\
+         --bench-out PATH  where bench-json writes its document (default BENCH_kernels.json)\n\
+         --baseline PATH   bench-compare: the committed baseline (default BENCH_kernels.json)\n\
+         --fresh PATH      bench-compare: the freshly generated document (required)",
         EXPERIMENTS.join(", ")
     )
 }
 
-fn run_one(name: &str, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+/// Parsed command-line options (everything but the experiment list).
+struct Options {
+    seed: u64,
+    obs_summary: bool,
+    bench_out: String,
+    baseline: String,
+    fresh: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            seed: DEFAULT_SEED,
+            obs_summary: false,
+            bench_out: "BENCH_kernels.json".to_string(),
+            baseline: "BENCH_kernels.json".to_string(),
+            fresh: None,
+        }
+    }
+}
+
+fn run_one(name: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let seed = opts.seed;
+    let _timer = EXPERIMENT_NS.start();
     println!("════════ {name} (seed {seed}) ════════");
     match name {
         "table1" => {
@@ -141,9 +176,22 @@ fn run_one(name: &str, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
         "bench-json" => {
             let doc = bench_json::run(seed, &bench_json::BenchConfig::default())?;
             let json = bench_json::render(&doc);
-            std::fs::write("BENCH_kernels.json", &json)?;
-            println!("wrote BENCH_kernels.json ({} kernels):", doc.kernels.len());
+            std::fs::write(&opts.bench_out, &json)?;
+            println!("wrote {} ({} kernels):", opts.bench_out, doc.kernels.len());
             print!("{json}");
+        }
+        "bench-compare" => {
+            let fresh = opts
+                .fresh
+                .as_deref()
+                .ok_or_else(|| format!("bench-compare needs --fresh PATH\n{}", usage()))?;
+            match bench_compare::run_files(&opts.baseline, fresh) {
+                Ok(table) => print!("{table}"),
+                Err(table) => {
+                    print!("{table}");
+                    return Err("bench-compare gate failed".into());
+                }
+            }
         }
         "write-archive" => {
             let dir = std::env::temp_dir().join("tsad-ucr-archive");
@@ -163,23 +211,47 @@ fn run_one(name: &str, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Removes `--flag VALUE` from `args`, returning the value if present.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+fn parse_options(args: &mut Vec<String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    if let Some(v) = take_value_flag(args, "--seed")? {
+        opts.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--obs-summary") {
+        args.remove(pos);
+        opts.obs_summary = true;
+    }
+    if let Some(v) = take_value_flag(args, "--bench-out")? {
+        opts.bench_out = v;
+    }
+    if let Some(v) = take_value_flag(args, "--baseline")? {
+        opts.baseline = v;
+    }
+    opts.fresh = take_value_flag(args, "--fresh")?;
+    Ok(opts)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seed = DEFAULT_SEED;
-    if let Some(pos) = args.iter().position(|a| a == "--seed") {
-        if pos + 1 >= args.len() {
-            eprintln!("{}", usage());
+    let opts = match parse_options(&mut args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
             return ExitCode::FAILURE;
         }
-        match args[pos + 1].parse() {
-            Ok(s) => seed = s,
-            Err(e) => {
-                eprintln!("bad seed: {e}\n{}", usage());
-                return ExitCode::FAILURE;
-            }
-        }
-        args.drain(pos..=pos + 1);
-    }
+    };
     if args.is_empty() {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
@@ -187,17 +259,25 @@ fn main() -> ExitCode {
     let list: Vec<String> = if args.iter().any(|a| a == "all") {
         EXPERIMENTS
             .iter()
-            .filter(|e| **e != "fig12" && **e != "write-archive" && **e != "bench-json")
+            .filter(|e| {
+                !matches!(
+                    **e,
+                    "fig12" | "write-archive" | "bench-json" | "bench-compare"
+                )
+            })
             .map(|s| s.to_string())
             .collect()
     } else {
         args
     };
     for name in &list {
-        if let Err(e) = run_one(name, seed) {
+        if let Err(e) = run_one(name, &opts) {
             eprintln!("experiment {name} failed: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if opts.obs_summary {
+        eprint!("{}", tsad_obs::render_summary(&tsad_obs::snapshot()));
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,384 @@
+//! `bench-compare` — perf-regression gating against the committed baseline.
+//!
+//! Reads two `BENCH_kernels.json` documents — the checked-in baseline and a
+//! freshly generated run — and compares them kernel by kernel:
+//!
+//! * **Wall time**: a fresh single-thread median more than
+//!   [`MAX_WALL_RATIO`]× the baseline fails the gate. The 1-thread column is
+//!   compared because it is the least scheduler-sensitive number the
+//!   document has; the generous threshold absorbs CI-runner noise while
+//!   still catching real (2×-style) regressions.
+//! * **Allocations** (for the [`GATED_KERNELS`] with allocation-free
+//!   contracts): any increase over the baseline, any nonzero count, or a
+//!   missing measurement fails. Allocation counts are exact and portable,
+//!   so this gate has no noise margin at all.
+//! * **Coverage**: a baseline kernel missing from the fresh run fails (a
+//!   silently dropped kernel must not pass the gate); a fresh-only kernel
+//!   is reported but allowed (that is what adding a kernel looks like).
+//!
+//! The CLI (`repro -- bench-compare`) prints the per-kernel delta table and
+//! exits nonzero when any check fails; CI runs it in the `bench-smoke` job
+//! against a fresh run written to a temp path, so the committed baseline
+//! stays authoritative.
+
+use std::fmt::Write as _;
+
+use crate::minijson::{parse, JsonValue};
+
+/// Fresh wall time may be at most this multiple of the baseline.
+pub const MAX_WALL_RATIO: f64 = 1.30;
+
+/// Kernels with an allocation-free contract (`allocs_per_iter == 0`).
+pub const GATED_KERNELS: [&str; 2] = ["sliding_dot_product", "stomp"];
+
+/// One kernel's baseline-vs-fresh numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Kernel name.
+    pub name: String,
+    /// Baseline median ns/iter at 1 thread (`None` if absent there).
+    pub base_ns: Option<u64>,
+    /// Fresh median ns/iter at 1 thread (`None` if absent there).
+    pub fresh_ns: Option<u64>,
+    /// `fresh / base` when both sides are present and the base is nonzero.
+    pub ratio: Option<f64>,
+    /// Baseline allocations per warm iteration (`None` = not measured).
+    pub base_allocs: Option<u64>,
+    /// Fresh allocations per warm iteration (`None` = not measured).
+    pub fresh_allocs: Option<u64>,
+}
+
+/// The comparison outcome: every row plus the failed checks (empty =
+/// the gate passes).
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Per-kernel rows, baseline order first, then fresh-only kernels.
+    pub rows: Vec<CompareRow>,
+    /// Human-readable failures; the gate passes iff this is empty.
+    pub failures: Vec<String>,
+    /// Non-fatal observations (fresh-only kernels, unmeasured columns).
+    pub notes: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+struct KernelNumbers {
+    name: String,
+    ns_1t: Option<u64>,
+    allocs: Option<u64>,
+}
+
+fn extract_kernels(doc_name: &str, text: &str) -> Result<Vec<KernelNumbers>, String> {
+    let doc = parse(text).map_err(|e| format!("{doc_name}: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{doc_name}: missing \"schema\""))?;
+    // v2 documents (no obs block) carry the same timing fields, so the
+    // gate still works across the schema bump.
+    if !schema.starts_with("tsad-bench-kernels/") {
+        return Err(format!("{doc_name}: unexpected schema {schema:?}"));
+    }
+    let kernels = doc
+        .get("kernels")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("{doc_name}: missing \"kernels\" array"))?;
+    kernels
+        .iter()
+        .map(|k| {
+            let name = k
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{doc_name}: kernel without a name"))?
+                .to_string();
+            Ok(KernelNumbers {
+                ns_1t: k
+                    .get("median_ns_per_iter_1_thread")
+                    .and_then(JsonValue::as_u64),
+                allocs: k.get("allocs_per_iter").and_then(JsonValue::as_u64),
+                name,
+            })
+        })
+        .collect()
+}
+
+/// Compares two rendered documents. `max_ratio` is the wall-time gate
+/// (pass [`MAX_WALL_RATIO`] outside tests). Errors are malformed inputs;
+/// regression *failures* come back inside the report.
+pub fn compare(baseline: &str, fresh: &str, max_ratio: f64) -> Result<CompareReport, String> {
+    let base = extract_kernels("baseline", baseline)?;
+    let new = extract_kernels("fresh", fresh)?;
+    let mut report = CompareReport::default();
+
+    for b in &base {
+        let f = new.iter().find(|k| k.name == b.name);
+        let mut row = CompareRow {
+            name: b.name.clone(),
+            base_ns: b.ns_1t,
+            fresh_ns: f.and_then(|k| k.ns_1t),
+            ratio: None,
+            base_allocs: b.allocs,
+            fresh_allocs: f.and_then(|k| k.allocs),
+        };
+        let Some(f) = f else {
+            report.failures.push(format!(
+                "{}: present in baseline but missing from fresh run",
+                b.name
+            ));
+            report.rows.push(row);
+            continue;
+        };
+        match (b.ns_1t, f.ns_1t) {
+            (Some(base_ns), Some(fresh_ns)) if base_ns > 0 => {
+                let ratio = fresh_ns as f64 / base_ns as f64;
+                row.ratio = Some(ratio);
+                if ratio > max_ratio {
+                    report.failures.push(format!(
+                        "{}: wall-time regression {:.2}x (fresh {} ns vs baseline {} ns, limit {:.2}x)",
+                        b.name, ratio, fresh_ns, base_ns, max_ratio
+                    ));
+                }
+            }
+            _ => report
+                .notes
+                .push(format!("{}: wall time not comparable", b.name)),
+        }
+        if GATED_KERNELS.contains(&b.name.as_str()) {
+            match (b.allocs, f.allocs) {
+                (_, Some(fresh_allocs)) if fresh_allocs > 0 => {
+                    report.failures.push(format!(
+                        "{}: allocs_per_iter is {} (contract: 0)",
+                        b.name, fresh_allocs
+                    ));
+                }
+                (Some(base_allocs), Some(fresh_allocs)) if fresh_allocs > base_allocs => {
+                    report.failures.push(format!(
+                        "{}: allocs_per_iter grew {} -> {}",
+                        b.name, base_allocs, fresh_allocs
+                    ));
+                }
+                (Some(_), None) => {
+                    report.failures.push(format!(
+                        "{}: allocs_per_iter not measured in fresh run (baseline has it)",
+                        b.name
+                    ));
+                }
+                _ => {}
+            }
+        }
+        report.rows.push(row);
+    }
+
+    for f in &new {
+        if !base.iter().any(|b| b.name == f.name) {
+            report
+                .notes
+                .push(format!("{}: new kernel, not in baseline (allowed)", f.name));
+            report.rows.push(CompareRow {
+                name: f.name.clone(),
+                base_ns: None,
+                fresh_ns: f.ns_1t,
+                ratio: None,
+                base_allocs: None,
+                fresh_allocs: f.allocs,
+            });
+        }
+    }
+    Ok(report)
+}
+
+fn fmt_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| n.to_string())
+}
+
+/// Renders the per-kernel delta table plus the failure/note lists.
+pub fn render(report: &CompareReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>14} {:>14} {:>7} {:>12} {:>12}",
+        "kernel", "base ns/iter", "fresh ns/iter", "ratio", "base allocs", "fresh allocs"
+    );
+    for r in &report.rows {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>14} {:>14} {:>7} {:>12} {:>12}",
+            r.name,
+            fmt_opt(r.base_ns),
+            fmt_opt(r.fresh_ns),
+            r.ratio
+                .map_or_else(|| "-".to_string(), |x| format!("{x:.2}x")),
+            fmt_opt(r.base_allocs),
+            fmt_opt(r.fresh_allocs),
+        );
+    }
+    for note in &report.notes {
+        let _ = writeln!(out, "note: {note}");
+    }
+    if report.passed() {
+        let _ = writeln!(
+            out,
+            "PASS: no wall-time regression beyond {MAX_WALL_RATIO:.2}x, allocation contracts hold"
+        );
+    } else {
+        for failure in &report.failures {
+            let _ = writeln!(out, "FAIL: {failure}");
+        }
+    }
+    out
+}
+
+/// Reads both files and runs the gate; `Err` for unreadable/malformed
+/// inputs or a failed gate (message includes the table).
+pub fn run_files(baseline_path: &str, fresh_path: &str) -> Result<String, String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let fresh = std::fs::read_to_string(fresh_path)
+        .map_err(|e| format!("cannot read fresh run {fresh_path}: {e}"))?;
+    let report = compare(&baseline, &fresh, MAX_WALL_RATIO)?;
+    let table = render(&report);
+    if report.passed() {
+        Ok(table)
+    } else {
+        Err(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::bench_json::{render as render_bench, run as run_bench, BenchConfig};
+
+    fn doc(stomp_ns: u64, stomp_allocs: &str) -> String {
+        format!(
+            r#"{{
+  "schema": "tsad-bench-kernels/v3",
+  "seed": 42,
+  "threads": 4,
+  "host_threads": 1,
+  "kernels": [
+    {{
+      "name": "stomp",
+      "params": "n=4096, m=128",
+      "iters": 5,
+      "median_ns_per_iter_1_thread": {stomp_ns},
+      "median_ns_per_iter_4_threads": {stomp_ns},
+      "allocs_per_iter": {stomp_allocs},
+      "speedup": null,
+      "obs": {{"schema": "tsad-obs/v1", "counters": {{}}, "gauges": {{}}, "histograms": {{}}}}
+    }},
+    {{
+      "name": "merlin",
+      "params": "n=800",
+      "iters": 5,
+      "median_ns_per_iter_1_thread": 1000000,
+      "median_ns_per_iter_4_threads": 900000,
+      "allocs_per_iter": 4,
+      "speedup": null,
+      "obs": {{"schema": "tsad-obs/v1", "counters": {{}}, "gauges": {{}}, "histograms": {{}}}}
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let base = doc(22_000_000, "0");
+        let report = compare(&base, &base, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.rows.len(), 2);
+        assert!((report.rows[0].ratio.unwrap() - 1.0).abs() < 1e-12);
+        let table = render(&report);
+        assert!(table.contains("PASS"));
+        assert!(table.contains("stomp"));
+        assert!(table.contains("1.00x"));
+    }
+
+    #[test]
+    fn injected_2x_slowdown_fails_the_gate() {
+        let base = doc(22_000_000, "0");
+        let slow = doc(44_000_000, "0"); // synthetic 2x wall-time regression
+        let report = compare(&base, &slow, MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(
+            report.failures.iter().any(|f| f.contains("2.00x")),
+            "failures: {:?}",
+            report.failures
+        );
+        assert!(render(&report).contains("FAIL"));
+        // and the mirror image (a 2x speedup) passes
+        let report = compare(&slow, &base, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn small_jitter_within_the_margin_passes() {
+        let base = doc(22_000_000, "0");
+        let jitter = doc(26_000_000, "0"); // +18%, inside the 30% margin
+        let report = compare(&base, &jitter, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn alloc_increase_on_a_gated_kernel_fails() {
+        let base = doc(22_000_000, "0");
+        for bad in ["1", "null"] {
+            let report = compare(&base, &doc(22_000_000, bad), MAX_WALL_RATIO).unwrap();
+            assert!(!report.passed(), "allocs {bad} passed");
+            assert!(
+                report
+                    .failures
+                    .iter()
+                    .any(|f| f.contains("allocs_per_iter")),
+                "failures: {:?}",
+                report.failures
+            );
+        }
+        // merlin is not a gated kernel: its nonzero allocs never fail
+        let report = compare(&base, &base, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn missing_kernel_fails_but_new_kernel_is_noted() {
+        let base = doc(22_000_000, "0");
+        let only_stomp = r#"{
+  "schema": "tsad-bench-kernels/v3",
+  "kernels": [
+    {"name": "stomp", "median_ns_per_iter_1_thread": 22000000, "allocs_per_iter": 0}
+  ]
+}"#;
+        let report = compare(&base, only_stomp, MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("merlin")));
+        // fresh-only kernels are allowed
+        let report = compare(only_stomp, &base, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report.notes.iter().any(|n| n.contains("merlin")));
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_failures() {
+        assert!(compare("not json", &doc(1, "0"), MAX_WALL_RATIO).is_err());
+        assert!(compare(&doc(1, "0"), "{}", MAX_WALL_RATIO).is_err());
+        let wrong_schema = doc(1, "0").replace("tsad-bench-kernels/v3", "something-else/v9");
+        assert!(compare(&wrong_schema, &doc(1, "0"), MAX_WALL_RATIO).is_err());
+    }
+
+    #[test]
+    fn a_real_bench_run_compares_clean_against_itself() {
+        // end-to-end: generate a real (smoke-sized) document and push it
+        // through the parser + gate
+        let rendered = render_bench(&run_bench(42, &BenchConfig::smoke()).unwrap());
+        let report = compare(&rendered, &rendered, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.rows.iter().all(|r| r.ratio == Some(1.0)));
+    }
+}

@@ -12,9 +12,18 @@
 //! The timings are a *baseline*, not a pass/fail gate — absolute numbers
 //! are machine-specific. The allocation counts, in contrast, are exact and
 //! portable, so CI does gate on `allocs_per_iter == 0` for the two kernels
-//! with allocation-free contracts (`sliding_dot_product`, `stomp`).
+//! with allocation-free contracts (`sliding_dot_product`, `stomp`); the
+//! wall-clock columns are gated *relatively* by the `bench-compare`
+//! subcommand (fresh run vs the committed baseline).
+//!
+//! Since schema v3 every kernel entry embeds a per-kernel `tsad-obs`
+//! snapshot (`"obs"`, schema `tsad-obs/v1`): FFT plan-cache hit rates,
+//! STOMP band timings, MERLIN prune counts, worker utilization, replay
+//! throughput. The registry is reset before each kernel, so the block
+//! describes that kernel alone.
 
 use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use tsad_core::error::Result;
@@ -105,6 +114,10 @@ pub struct KernelTiming {
     /// Heap allocations in one warm single-threaded iteration, or `None`
     /// when the counting allocator is not installed in this process.
     pub allocs_per_iter: Option<u64>,
+    /// Observability snapshot covering this kernel's warm-up, allocation
+    /// count, and both timing columns (the registry is reset before each
+    /// kernel, so the snapshot is per-kernel, not cumulative).
+    pub obs: tsad_obs::Snapshot,
 }
 
 impl KernelTiming {
@@ -168,23 +181,36 @@ fn time_at_threads(iters: usize, threads: usize, f: &mut dyn FnMut()) -> u128 {
 /// the allocations of a second warm iteration, then times both thread
 /// columns. The count is taken single-threaded because the per-call scoped
 /// worker spawns at higher thread counts allocate by construction.
+///
+/// The global metric registry is reset on entry and snapshotted on exit,
+/// so each kernel's `obs` block covers exactly its own activity.
 fn measure(name: &'static str, params: String, iters: usize, f: &mut dyn FnMut()) -> KernelTiming {
+    tsad_obs::reset_all();
     let allocs_per_iter = with_threads(1, || {
         f();
         counting_allocator_active().then(|| count_allocs(&mut *f))
     });
+    let median_ns_1t = time_at_threads(iters, 1, f);
+    let median_ns_nt = time_at_threads(iters, PAR_THREADS, f);
     KernelTiming {
         name,
         params,
         iters,
-        median_ns_1t: time_at_threads(iters, 1, f),
-        median_ns_nt: time_at_threads(iters, PAR_THREADS, f),
+        median_ns_1t,
+        median_ns_nt,
         allocs_per_iter,
+        obs: tsad_obs::snapshot(),
     }
 }
 
+/// Serializes [`run`] calls within one process: the observability registry
+/// is global, so two concurrent runs (e.g. unit tests on the default
+/// multi-threaded test runner) would reset and snapshot through each other.
+static RUN_LOCK: Mutex<()> = Mutex::new(());
+
 /// Runs the kernel panel and collects the timings.
 pub fn run(seed: u64, cfg: &BenchConfig) -> Result<BenchJson> {
+    let _serialize = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut kernels = Vec::new();
 
     // STOMP through the caller-owned-buffer entry point: the workspace and
@@ -262,7 +288,7 @@ pub fn run(seed: u64, cfg: &BenchConfig) -> Result<BenchJson> {
 /// offline, so no serde).
 pub fn render(doc: &BenchJson) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"tsad-bench-kernels/v2\",");
+    let _ = writeln!(out, "  \"schema\": \"tsad-bench-kernels/v3\",");
     let _ = writeln!(out, "  \"seed\": {},", doc.seed);
     let _ = writeln!(out, "  \"threads\": {},", doc.threads);
     let _ = writeln!(out, "  \"host_threads\": {},", doc.host_threads);
@@ -290,10 +316,11 @@ pub fn render(doc: &BenchJson) -> String {
         }
         match k.speedup(doc.host_threads) {
             Some(s) => {
-                let _ = writeln!(out, "      \"speedup\": {s:.3}");
+                let _ = writeln!(out, "      \"speedup\": {s:.3},");
             }
-            None => out.push_str("      \"speedup\": null\n"),
+            None => out.push_str("      \"speedup\": null,\n"),
         }
+        let _ = writeln!(out, "      \"obs\": {}", tsad_obs::render_json(&k.obs, 6));
         out.push_str(if i + 1 < doc.kernels.len() {
             "    },\n"
         } else {
@@ -318,7 +345,9 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for field in [
-            "\"schema\": \"tsad-bench-kernels/v2\"",
+            "\"schema\": \"tsad-bench-kernels/v3\"",
+            "\"obs\"",
+            "\"tsad-obs/v1\"",
             "\"seed\"",
             "\"threads\"",
             "\"host_threads\"",
@@ -336,6 +365,64 @@ mod tests {
         // no trailing commas (the classic handwritten-JSON bug)
         assert!(!json.contains(",\n  ]"));
         assert!(!json.contains(",\n    }"));
+    }
+
+    #[test]
+    fn smoke_run_embeds_nonzero_obs_snapshots() {
+        let doc = run(42, &BenchConfig::smoke()).unwrap();
+        let kernel = |name: &str| {
+            doc.kernels
+                .iter()
+                .find(|k| k.name == name)
+                .unwrap_or_else(|| panic!("kernel {name} missing"))
+        };
+        // the sliding dot product is past the FFT crossover: warm
+        // iterations hit the cached rfft plan
+        let sdp = kernel("sliding_dot_product");
+        assert!(
+            sdp.obs.counter("core.fft.plan_hit").unwrap_or(0) > 0,
+            "sdp snapshot lacks FFT plan hits: {:?}",
+            sdp.obs
+        );
+        assert!(sdp.obs.counter("core.fft.scratch_reuse").unwrap_or(0) > 0);
+        // every STOMP band fill is timed, on workers and the caller alike
+        let stomp = kernel("stomp");
+        let band = stomp
+            .obs
+            .histogram("detectors.stomp.band_ns")
+            .expect("stomp snapshot lacks band timings");
+        assert!(band.count > 0 && band.sum > 0);
+        assert!(
+            stomp
+                .obs
+                .histogram("parallel.worker.busy_ns")
+                .is_some_and(|h| h.count > 0),
+            "stomp snapshot lacks worker utilization: {:?}",
+            stomp.obs
+        );
+        // MERLIN's phase 1 prunes almost everything on a smooth series
+        let merlin = kernel("merlin");
+        assert!(
+            merlin
+                .obs
+                .counter("detectors.merlin.drag_passes")
+                .unwrap_or(0)
+                > 0
+        );
+        assert!(
+            merlin
+                .obs
+                .counter("detectors.merlin.windows_pruned")
+                .unwrap_or(0)
+                > 0
+        );
+        // the replay kernel reports throughput and per-chunk latency
+        let rep = kernel("streaming_replay_left_discord");
+        assert!(rep.obs.counter("stream.replay.points").unwrap_or(0) > 0);
+        assert!(rep
+            .obs
+            .histogram("stream.replay.chunk_push_ns")
+            .is_some_and(|h| h.count > 0));
     }
 
     #[test]

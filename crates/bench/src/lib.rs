@@ -25,10 +25,12 @@
 //! | `stream` | [`experiments::stream`] | streaming engine: equivalence + replay tables |
 
 pub mod alloc_track;
+pub mod minijson;
 
 pub mod experiments {
     //! One module per paper artifact; see the crate-level table.
     pub mod audit_exp;
+    pub mod bench_compare;
     pub mod bench_json;
     pub mod contest;
     pub mod density;

@@ -10,6 +10,13 @@
 //! is single-threaded by design (scoped worker spawns at higher thread
 //! counts allocate), and the override also keeps the thread-count probe
 //! from touching the environment inside the counted region.
+//!
+//! Observability is ON by default (`TSAD_OBS` is unset here), so every
+//! kernel assertion in this file also proves that `tsad-obs` recording —
+//! plan-cache counters, band-timing spans, worker spans — adds **zero**
+//! allocations to the instrumented hot paths. The explicit obs tests at
+//! the bottom pin the switch both ways; the disabled side is proven
+//! end-to-end (environment variable and all) in `obs_noop.rs`.
 
 #[global_allocator]
 static ALLOC: tsad_bench::alloc_track::CountingAlloc = tsad_bench::alloc_track::CountingAlloc;
@@ -89,6 +96,70 @@ fn warm_stomp_is_allocation_free() {
         });
         assert_eq!(allocs, 0, "warm stomp allocated");
         assert_eq!(mp.profile.len(), x.len() - m + 1);
+    });
+}
+
+#[test]
+fn obs_recording_is_allocation_free_when_enabled() {
+    static C: tsad_obs::Counter = tsad_obs::Counter::new("bench.alloc_test.counter");
+    static H: tsad_obs::Histogram = tsad_obs::Histogram::new("bench.alloc_test.hist", "ns");
+    static S: tsad_obs::Span = tsad_obs::Span::new("bench.alloc_test.span_ns");
+    tsad_obs::with_enabled(true, || {
+        // first records register the metrics (a lock-free CAS, not an
+        // allocation — counted below anyway, after this warm-up)
+        C.inc();
+        H.record(1);
+        drop(S.start());
+        let allocs = count_allocs(|| {
+            for i in 0..64u64 {
+                C.add(2);
+                H.record(i * 1000);
+                let _g = S.start();
+            }
+        });
+        assert_eq!(allocs, 0, "enabled obs recording allocated");
+    });
+    assert_eq!(C.get(), 1 + 64 * 2);
+    assert_eq!(H.count(), 65);
+    assert_eq!(S.histogram().count(), 65);
+}
+
+#[test]
+fn obs_disabled_recording_is_allocation_free_noop() {
+    static C: tsad_obs::Counter = tsad_obs::Counter::new("bench.alloc_test.disabled_counter");
+    static S: tsad_obs::Span = tsad_obs::Span::new("bench.alloc_test.disabled_span_ns");
+    tsad_obs::with_enabled(false, || {
+        let allocs = count_allocs(|| {
+            for _ in 0..64 {
+                C.inc();
+                let _g = S.start();
+            }
+        });
+        assert_eq!(allocs, 0, "disabled obs recording allocated");
+    });
+    assert_eq!(C.get(), 0, "disabled recording moved a counter");
+    assert_eq!(S.histogram().count(), 0, "disabled span recorded");
+}
+
+#[test]
+fn warm_stomp_stays_allocation_free_with_obs_pinned_off() {
+    // the kill-switch path must not regress the kernel contract either
+    let x = series(1024, 6);
+    let m = 64;
+    tsad_obs::with_enabled(false, || {
+        with_threads(1, || {
+            let mut ws = StompWorkspace::default();
+            let mut mp = MatrixProfile {
+                profile: Vec::new(),
+                index: Vec::new(),
+                window: m,
+            };
+            stomp_metric_with(&x, m, ProfileMetric::ZNormalized, &mut ws, &mut mp).unwrap();
+            let allocs = count_allocs(|| {
+                stomp_metric_with(&x, m, ProfileMetric::ZNormalized, &mut ws, &mut mp).unwrap();
+            });
+            assert_eq!(allocs, 0, "warm stomp allocated with obs disabled");
+        });
     });
 }
 

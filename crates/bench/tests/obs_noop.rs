@@ -1,0 +1,129 @@
+//! End-to-end proof that `TSAD_OBS=0` makes observability a true no-op.
+//!
+//! This binary holds exactly ONE test: the crate caches the environment
+//! verdict on first use, so the variable must be set before any obs call
+//! and must stay authoritative for the whole process — a second test could
+//! race the cache fill. (The in-process equivalents using `with_enabled`
+//! live in `alloc_free.rs`; this file proves the real environment path,
+//! including spawned worker threads, which thread-local overrides do not
+//! reach.)
+//!
+//! Claims proven here, per the kernel contracts in `DESIGN.md` §8:
+//! 1. with `TSAD_OBS=0`, the gated kernels (`sliding_dot_product`,
+//!    `stomp`) still run **zero** allocations per warm iteration;
+//! 2. kernel outputs are **bitwise identical** at 1, 2, and 8 threads with
+//!    observability disabled — and bitwise identical to an
+//!    observability-enabled run (instrumentation never touches numerics);
+//! 3. nothing registers: the global snapshot stays empty.
+
+#[global_allocator]
+static ALLOC: tsad_bench::alloc_track::CountingAlloc = tsad_bench::alloc_track::CountingAlloc;
+
+use tsad_bench::alloc_track::count_allocs;
+use tsad_core::fft::sliding_dot_product_into;
+use tsad_detectors::matrix_profile::{
+    stomp_metric_with, MatrixProfile, ProfileMetric, StompWorkspace,
+};
+use tsad_parallel::with_threads;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            (i as f64 * 0.12).sin() + 0.2 * noise
+        })
+        .collect()
+}
+
+fn stomp_profile(x: &[f64], m: usize, threads: usize) -> (Vec<f64>, Vec<usize>) {
+    with_threads(threads, || {
+        let mut ws = StompWorkspace::default();
+        let mut mp = MatrixProfile {
+            profile: Vec::new(),
+            index: Vec::new(),
+            window: m,
+        };
+        stomp_metric_with(x, m, ProfileMetric::ZNormalized, &mut ws, &mut mp).unwrap();
+        (mp.profile, mp.index)
+    })
+}
+
+#[test]
+fn tsad_obs_0_disables_recording_without_touching_the_kernels() {
+    // Must precede every obs call in this process (see the module docs).
+    std::env::set_var("TSAD_OBS", "0");
+    assert!(!tsad_obs::enabled(), "TSAD_OBS=0 not honored");
+
+    let x = series(2048, 11);
+    let m = 64;
+    let q = series(256, 12);
+
+    // 1. allocation contracts hold with the kill switch thrown
+    with_threads(1, || {
+        let mut dots = Vec::new();
+        sliding_dot_product_into(&q, &x, &mut dots).unwrap();
+        let allocs = count_allocs(|| {
+            sliding_dot_product_into(&q, &x, &mut dots).unwrap();
+        });
+        assert_eq!(
+            allocs, 0,
+            "warm sliding_dot_product allocated under TSAD_OBS=0"
+        );
+
+        let mut ws = StompWorkspace::default();
+        let mut mp = MatrixProfile {
+            profile: Vec::new(),
+            index: Vec::new(),
+            window: m,
+        };
+        stomp_metric_with(&x, m, ProfileMetric::ZNormalized, &mut ws, &mut mp).unwrap();
+        let allocs = count_allocs(|| {
+            stomp_metric_with(&x, m, ProfileMetric::ZNormalized, &mut ws, &mut mp).unwrap();
+        });
+        assert_eq!(allocs, 0, "warm stomp allocated under TSAD_OBS=0");
+    });
+
+    // 2. thread-count invariance is bitwise, with workers reading the
+    //    disabled environment verdict themselves
+    let reference = stomp_profile(&x, m, 1);
+    for threads in [2usize, 8] {
+        let got = stomp_profile(&x, m, threads);
+        assert!(
+            got.0
+                .iter()
+                .zip(&reference.0)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "profile differs at {threads} threads under TSAD_OBS=0"
+        );
+        assert_eq!(got.1, reference.1, "index differs at {threads} threads");
+    }
+
+    // 3. nothing registered: the snapshot is empty (checked before any
+    //    enabled-mode recording below re-populates the registry)
+    assert!(
+        tsad_obs::snapshot().is_empty(),
+        "metrics registered despite TSAD_OBS=0"
+    );
+
+    // instrumentation on vs off never changes numerics: re-enable on this
+    // thread only and compare bitwise (single-threaded, so every record
+    // site the kernel reaches is live)
+    let instrumented = tsad_obs::with_enabled(true, || stomp_profile(&x, m, 1));
+    assert!(
+        instrumented
+            .0
+            .iter()
+            .zip(&reference.0)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "instrumentation changed the profile"
+    );
+    assert_eq!(instrumented.1, reference.1);
+    assert!(
+        !tsad_obs::snapshot().is_empty(),
+        "enabled-mode sanity check recorded nothing (is the instrumentation wired?)"
+    );
+}

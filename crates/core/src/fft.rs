@@ -10,7 +10,19 @@
 use std::cell::RefCell;
 use std::sync::{Arc, Mutex};
 
+use tsad_obs::Counter;
+
 use crate::error::{CoreError, Result};
+
+/// Plan served from a cache (thread-local mirror or the shared store)
+/// without rebuilding twiddle tables. Covers both complex and real plans.
+static PLAN_HIT: Counter = Counter::new("core.fft.plan_hit");
+/// Plan built from scratch (first transform of this size in the process).
+static PLAN_MISS: Counter = Counter::new("core.fft.plan_miss");
+/// Sliding-dot-product call served by already-warm thread-local scratch.
+static SCRATCH_REUSE: Counter = Counter::new("core.fft.scratch_reuse");
+/// Sliding-dot-product call that had to (re)allocate its scratch buffers.
+static SCRATCH_GROW: Counter = Counter::new("core.fft.scratch_grow");
 
 /// A complex number with `f64` components.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -162,11 +174,19 @@ pub fn fft_plan(n: usize) -> Result<Arc<FftPlan>> {
     LOCAL_PLANS.with(|local| {
         let mut local = local.borrow_mut();
         if let Some(plan) = &local[idx] {
+            PLAN_HIT.inc();
             return Ok(plan.clone());
         }
-        let plan = SHARED_PLANS.lock().expect("fft plan cache poisoned")[idx]
-            .get_or_insert_with(|| Arc::new(FftPlan::new(n)))
-            .clone();
+        let plan = match &mut SHARED_PLANS.lock().expect("fft plan cache poisoned")[idx] {
+            Some(plan) => {
+                PLAN_HIT.inc();
+                plan.clone()
+            }
+            slot @ None => {
+                PLAN_MISS.inc();
+                slot.insert(Arc::new(FftPlan::new(n))).clone()
+            }
+        };
         local[idx] = Some(plan.clone());
         Ok(plan)
     })
@@ -231,11 +251,19 @@ pub fn rfft_plan(n: usize) -> Result<Arc<RfftPlan>> {
     LOCAL_RPLANS.with(|local| {
         let mut local = local.borrow_mut();
         if let Some(plan) = &local[idx] {
+            PLAN_HIT.inc();
             return Ok(plan.clone());
         }
-        let plan = SHARED_RPLANS.lock().expect("rfft plan cache poisoned")[idx]
-            .get_or_insert_with(|| Arc::new(RfftPlan::new(n, half)))
-            .clone();
+        let plan = match &mut SHARED_RPLANS.lock().expect("rfft plan cache poisoned")[idx] {
+            Some(plan) => {
+                PLAN_HIT.inc();
+                plan.clone()
+            }
+            slot @ None => {
+                PLAN_MISS.inc();
+                slot.insert(Arc::new(RfftPlan::new(n, half))).clone()
+            }
+        };
         local[idx] = Some(plan.clone());
         Ok(plan)
     })
@@ -498,6 +526,13 @@ pub fn sliding_dot_product_fft_into(
     let plan = rfft_plan(size)?;
     SDP_SCRATCH.with(|scratch| {
         let scratch = &mut *scratch.borrow_mut();
+        // The spectra hold size/2 packed complex points (see rfft_with_plan);
+        // enough capacity in both buffers means this call allocates nothing.
+        if scratch.series_spec.capacity() >= size / 2 && scratch.query_spec.capacity() >= size / 2 {
+            SCRATCH_REUSE.inc();
+        } else {
+            SCRATCH_GROW.inc();
+        }
         let ts = &mut scratch.series_spec;
         let q = &mut scratch.query_spec;
         rfft_with_plan(&plan, ts, |i| if i < n { series[i] } else { 0.0 });

@@ -3,7 +3,7 @@
 //!
 //! Provides genuine wall-clock measurement — per benchmark: a warm-up
 //! phase, then `sample_size` timed samples whose iteration count is chosen
-//! so each sample runs ≳ [`TARGET_SAMPLE`] — and prints
+//! so each sample runs ≳ `TARGET_SAMPLE` — and prints
 //! `group/name  mean  [min .. max]` lines. The statistical analysis,
 //! plotting, and regression detection of the real crate are out of scope;
 //! the numbers are honest and comparable run-to-run on the same machine.

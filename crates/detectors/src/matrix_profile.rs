@@ -16,7 +16,12 @@ use tsad_core::dist::{dot_to_znorm_dist, mass_with_moments};
 use tsad_core::error::{CoreError, Result};
 use tsad_core::windows::{MomentsScratch, WindowMoments};
 use tsad_core::{stats, TimeSeries};
+use tsad_obs::Span;
 use tsad_parallel::ScratchPool;
+
+/// Wall-clock time each worker spends filling one band of diagonals. The
+/// per-band distribution is what shows whether the band fan-out is balanced.
+static STOMP_BAND_NS: Span = Span::new("detectors.stomp.band_ns");
 
 use crate::Detector;
 
@@ -278,6 +283,7 @@ fn scan_bands<S: Scorer, const LEFT: bool>(
         diagonals,
         BandSpace::default,
         |space, band| {
+            let _band_timer = STOMP_BAND_NS.start();
             space.scores.clear();
             space.scores.resize(count, f64::INFINITY);
             space.index.clear();

@@ -21,8 +21,19 @@ use std::cell::RefCell;
 use tsad_core::dist::dot_to_znorm_dist;
 use tsad_core::error::{CoreError, Result};
 use tsad_core::windows::{subsequence_count, MomentsScratch, WindowMoments};
+use tsad_obs::Counter;
 
 use crate::matrix_profile::exclusion_zone;
+
+/// DRAG invocations — one per `(length, r)` attempt, so the ratio to the
+/// number of candidate lengths shows how often the `r` halving retried.
+static DRAG_PASSES: Counter = Counter::new("detectors.merlin.drag_passes");
+/// Windows eliminated by phase 1 before refinement ever saw them.
+static WINDOWS_PRUNED: Counter = Counter::new("detectors.merlin.windows_pruned");
+/// Windows that survived phase 1 into the refinement pass.
+static CANDIDATES_KEPT: Counter = Counter::new("detectors.merlin.candidates_kept");
+/// Phase-2 candidates abandoned early (nearest neighbor within `r`).
+static REFINE_ABANDONED: Counter = Counter::new("detectors.merlin.refine_abandoned");
 
 /// A discord found at a specific subsequence length.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +92,7 @@ fn drag_phases(
     moments: &WindowMoments,
     candidates: &mut Vec<usize>,
 ) -> Option<(usize, f64)> {
+    DRAG_PASSES.inc();
     let count = moments.len();
     let excl = exclusion_zone(m);
 
@@ -113,6 +125,10 @@ fn drag_phases(
             candidates.push(i);
         }
     }
+    // Phase 1's whole point is shrinking the refinement set: windows that
+    // never survive to phase 2 are the "pruned" ones.
+    WINDOWS_PRUNED.add((count - candidates.len()) as u64);
+    CANDIDATES_KEPT.add(candidates.len() as u64);
     if candidates.is_empty() {
         return None;
     }
@@ -129,6 +145,7 @@ fn drag_phases(
             if d < nn {
                 nn = d;
                 if nn < r {
+                    REFINE_ABANDONED.inc();
                     continue 'cand; // false positive from phase 1
                 }
             }
@@ -231,7 +248,7 @@ fn discord_at_length(x: &[f64], m: usize, r_hint: &mut Option<f64>) -> Result<Le
 ///
 /// The length range fans out over `tsad-parallel` in contiguous chunks;
 /// the warm-start chain restarts cold at each chunk boundary, which costs
-/// a few extra halving probes but — because [`discord_at_length`] is
+/// a few extra halving probes but — because `discord_at_length` is
 /// hint-independent — leaves every per-length result identical at every
 /// thread count.
 pub fn merlin(x: &[f64], min_len: usize, max_len: usize) -> Result<Vec<LengthDiscord>> {

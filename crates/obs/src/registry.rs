@@ -1,0 +1,156 @@
+//! The global metric registry: an intrusive lock-free linked list.
+//!
+//! Every metric is a `&'static` value that *contains* its own list link
+//! ([`Link`]), so registering it is a compare-and-swap onto a global head
+//! pointer — no `Vec`, no `Mutex`, no heap. A metric registers itself
+//! lazily on its first record (when recording is enabled); snapshots walk
+//! the lists and sort by name, so the output order is independent of the
+//! race in which threads first touched which metric.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// The intrusive list link embedded in each metric.
+#[derive(Debug)]
+pub(crate) struct Link<T> {
+    next: AtomicPtr<T>,
+    registered: AtomicBool,
+}
+
+impl<T> Link<T> {
+    pub(crate) const fn new() -> Self {
+        Self {
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            registered: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A metric type that carries a [`Link`] to its peers.
+pub(crate) trait Node: Sized + 'static {
+    fn link(&self) -> &Link<Self>;
+}
+
+impl Node for Counter {
+    fn link(&self) -> &Link<Self> {
+        self.link_ref()
+    }
+}
+
+impl Node for Gauge {
+    fn link(&self) -> &Link<Self> {
+        self.link_ref()
+    }
+}
+
+impl Node for Histogram {
+    fn link(&self) -> &Link<Self> {
+        self.link_ref()
+    }
+}
+
+/// One global list head per metric kind.
+#[derive(Debug)]
+pub(crate) struct Registry<T> {
+    head: AtomicPtr<T>,
+}
+
+pub(crate) static COUNTERS: Registry<Counter> = Registry::new();
+pub(crate) static GAUGES: Registry<Gauge> = Registry::new();
+pub(crate) static HISTOGRAMS: Registry<Histogram> = Registry::new();
+
+impl<T: Node> Registry<T> {
+    const fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Links `node` into the list exactly once. The fast path (already
+    /// registered) is a single relaxed load; the first call per metric
+    /// claims the `registered` flag and pushes with a CAS loop. Never
+    /// allocates.
+    #[inline]
+    pub(crate) fn register(&self, node: &'static T) {
+        if node.link().registered.load(Ordering::Relaxed) {
+            return;
+        }
+        if node.link().registered.swap(true, Ordering::AcqRel) {
+            return; // another thread won the push
+        }
+        let ptr: *mut T = node as *const T as *mut T;
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            node.link().next.store(head, Ordering::Relaxed);
+            match self
+                .head
+                .compare_exchange_weak(head, ptr, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(observed) => head = observed,
+            }
+        }
+    }
+
+    /// Visits every registered metric (in registration-race order — the
+    /// exporters sort by name before rendering).
+    pub(crate) fn for_each(&self, mut f: impl FnMut(&'static T)) {
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: only `&'static T` pointers are ever pushed (see
+            // `register`), so the pointee lives for the whole program and
+            // the shared reference cannot dangle.
+            let node: &'static T = unsafe { &*cur };
+            f(node);
+            cur = node.link().next.load(Ordering::Acquire);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_walkable() {
+        static REG: Registry<Counter> = Registry::new();
+        static A: Counter = Counter::new("obs.test.reg_a");
+        static B: Counter = Counter::new("obs.test.reg_b");
+        REG.register(&A);
+        REG.register(&A);
+        REG.register(&B);
+        REG.register(&B);
+        let mut names: Vec<&str> = Vec::new();
+        REG.for_each(|c| names.push(c.name()));
+        names.sort_unstable();
+        assert_eq!(names, vec!["obs.test.reg_a", "obs.test.reg_b"]);
+    }
+
+    #[test]
+    fn concurrent_registration_loses_no_node() {
+        static REG: Registry<Counter> = Registry::new();
+        static NODES: [Counter; 8] = [
+            Counter::new("obs.test.c0"),
+            Counter::new("obs.test.c1"),
+            Counter::new("obs.test.c2"),
+            Counter::new("obs.test.c3"),
+            Counter::new("obs.test.c4"),
+            Counter::new("obs.test.c5"),
+            Counter::new("obs.test.c6"),
+            Counter::new("obs.test.c7"),
+        ];
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for node in &NODES {
+                        REG.register(node);
+                    }
+                });
+            }
+        });
+        let mut count = 0;
+        REG.for_each(|_| count += 1);
+        assert_eq!(count, NODES.len());
+    }
+}

@@ -1,0 +1,118 @@
+//! RAII wall-clock span timing.
+//!
+//! A [`Span`] is a named nanosecond [`Histogram`] plus a `start()` method
+//! returning a [`SpanGuard`]; dropping the guard records the elapsed time.
+//! Each guard holds its own `Instant`, so concurrent workers time
+//! themselves privately and the only shared operations are the relaxed
+//! `fetch_add`s inside the histogram — integer addition commutes, so the
+//! merged totals are deterministic regardless of worker interleaving.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A named timing site. Declare as a `static` and wrap regions with
+/// `let _g = SPAN.start();`.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+}
+
+impl Span {
+    /// A new span named `name` (usable in `static` position). The backing
+    /// histogram's unit is `"ns"`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            hist: Histogram::new(name, "ns"),
+        }
+    }
+
+    /// The span's registry name.
+    pub fn name(&self) -> &'static str {
+        self.hist.name()
+    }
+
+    /// The histogram the span records into (for assertions in tests).
+    pub fn histogram(&'static self) -> &'static Histogram {
+        &self.hist
+    }
+
+    /// Starts timing. When recording is disabled this does not even read
+    /// the clock — the returned guard is inert and its drop is free.
+    #[inline]
+    pub fn start(&'static self) -> SpanGuard {
+        if crate::enabled() {
+            SpanGuard {
+                active: Some((self, Instant::now())),
+            }
+        } else {
+            SpanGuard { active: None }
+        }
+    }
+}
+
+/// Guard returned by [`Span::start`]; records elapsed nanoseconds into the
+/// span's histogram when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<(&'static Span, Instant)>,
+}
+
+impl SpanGuard {
+    /// Stops timing early and discards the measurement (e.g. on an error
+    /// path that should not pollute the distribution).
+    pub fn cancel(mut self) {
+        self.active = None;
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((span, started)) = self.active.take() {
+            let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            span.hist.record(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_one_sample_per_guard() {
+        static S: Span = Span::new("obs.test.span_basic");
+        let _g = crate::test_guard();
+        crate::with_enabled(true, || {
+            {
+                let _g = S.start();
+            }
+            {
+                let _g = S.start();
+            }
+        });
+        assert_eq!(S.histogram().count(), 2);
+        assert_eq!(S.histogram().unit(), "ns");
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        static S: Span = Span::new("obs.test.span_disabled");
+        crate::with_enabled(false, || {
+            let _g = S.start();
+        });
+        assert_eq!(S.histogram().count(), 0);
+    }
+
+    #[test]
+    fn cancelled_guard_records_nothing() {
+        static S: Span = Span::new("obs.test.span_cancel");
+        let _g = crate::test_guard();
+        crate::with_enabled(true, || {
+            let g = S.start();
+            g.cancel();
+        });
+        assert_eq!(S.histogram().count(), 0);
+    }
+}

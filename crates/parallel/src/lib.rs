@@ -38,8 +38,24 @@ use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use tsad_obs::{Gauge, Histogram, Span};
 
 pub use std::thread::scope;
+
+/// Effective fan-out width of the most recent parallel call (last-wins; 1
+/// when the helpers ran inline). Recording is a relaxed store, so the
+/// single-thread fast paths stay allocation-free.
+static THREADS_GAUGE: Gauge = Gauge::new("parallel.threads");
+/// Wall-clock time each worker (including the calling thread) spends inside
+/// its chunk callback. Comparing per-worker samples against the span's max
+/// shows fan-out balance; comparing the sum against elapsed wall time shows
+/// utilization.
+static WORKER_BUSY_NS: Span = Span::new("parallel.worker.busy_ns");
+/// How long each [`par_invoke`] task sat in the queue before a worker
+/// claimed it (time from batch start to claim).
+static QUEUE_WAIT_NS: Histogram = Histogram::new("parallel.queue.wait_ns", "ns");
 
 /// Upper bound on the effective thread count, whatever the environment
 /// claims (a runaway `TSAD_THREADS=100000` must not fork-bomb the host).
@@ -134,6 +150,7 @@ where
     F: Fn(Range<usize>) -> R + Sync,
 {
     let ranges = chunk_ranges(len, current_threads());
+    THREADS_GAUGE.set(ranges.len().max(1) as u64);
     if ranges.len() <= 1 {
         return ranges.into_iter().map(f).collect();
     }
@@ -143,11 +160,17 @@ where
             .map(|r| {
                 let r = r.clone();
                 let f = &f;
-                s.spawn(move || f(r))
+                s.spawn(move || {
+                    let _busy = WORKER_BUSY_NS.start();
+                    f(r)
+                })
             })
             .collect();
         let mut out = Vec::with_capacity(handles.len() + 1);
-        out.push(f(ranges[0].clone()));
+        out.push({
+            let _busy = WORKER_BUSY_NS.start();
+            f(ranges[0].clone())
+        });
         for h in handles {
             out.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
         }
@@ -257,9 +280,13 @@ pub fn par_chunks_scratch<S, F, M>(
         return;
     }
     let threads = current_threads().min(len);
+    THREADS_GAUGE.set(threads as u64);
     if threads <= 1 {
         let mut state = pool.take(init);
-        work(&mut state, 0..len);
+        {
+            let _busy = WORKER_BUSY_NS.start();
+            work(&mut state, 0..len);
+        }
         fold(&mut state);
         pool.put(state);
         return;
@@ -273,14 +300,19 @@ pub fn par_chunks_scratch<S, F, M>(
                 let work = &work;
                 s.spawn(move || {
                     let mut state = pool.take(init);
+                    let _busy = WORKER_BUSY_NS.start();
                     work(&mut state, r);
+                    drop(_busy);
                     state
                 })
             })
             .collect();
         let mut states = Vec::with_capacity(handles.len() + 1);
         let mut first = pool.take(init);
-        work(&mut first, ranges[0].clone());
+        {
+            let _busy = WORKER_BUSY_NS.start();
+            work(&mut first, ranges[0].clone());
+        }
         states.push(first);
         for h in handles {
             states.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
@@ -306,6 +338,7 @@ pub type Task<'env, R> = Box<dyn FnOnce() -> R + Send + 'env>;
 pub fn par_invoke<'env, R: Send>(tasks: Vec<Task<'env, R>>) -> Vec<R> {
     let n = tasks.len();
     let threads = current_threads().min(n);
+    THREADS_GAUGE.set(threads.max(1) as u64);
     if threads <= 1 {
         return tasks.into_iter().map(|t| t()).collect();
     }
@@ -313,16 +346,24 @@ pub fn par_invoke<'env, R: Send>(tasks: Vec<Task<'env, R>>) -> Vec<R> {
         tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let epoch = Instant::now();
     let worker = || loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= n {
             break;
+        }
+        // Queue wait = batch start → claim. The histogram's own kill switch
+        // makes the record a no-op when observability is off; the clock
+        // read is guarded so the disabled path touches no clock at all.
+        if tsad_obs::enabled() {
+            QUEUE_WAIT_NS.record(epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         }
         let task = slots[i]
             .lock()
             .expect("task slot poisoned")
             .take()
             .expect("each task is claimed exactly once");
+        let _busy = WORKER_BUSY_NS.start();
         *results[i].lock().expect("result slot poisoned") = Some(task());
     };
     std::thread::scope(|s| {

@@ -7,8 +7,8 @@
 //! order, and evaluate the same per-sample expression. See
 //! [`equivalence`](crate::equivalence) for the machine-checked claim.
 //!
-//! The batch [`GlobalZScore`](tsad_detectors::GlobalZScore) and
-//! [`Cusum`](tsad_detectors::Cusum) fall back to whole-series statistics
+//! The batch [`GlobalZScore`](tsad_detectors::baselines::GlobalZScore) and
+//! [`Cusum`] fall back to whole-series statistics
 //! when `train_len < 2`; a bounded-memory stream cannot do that (the
 //! "whole series" never ends), so the streaming constructors require
 //! `train_len ≥ 2` and score the calibration prefix retroactively once it
@@ -34,7 +34,7 @@ fn require_train_len(train_len: usize) -> Result<()> {
     Ok(())
 }
 
-/// Streaming [`GlobalZScore`](tsad_detectors::GlobalZScore): buffers the
+/// Streaming [`GlobalZScore`](tsad_detectors::baselines::GlobalZScore): buffers the
 /// `train_len` calibration samples, then scores every sample (prefix
 /// included) as `|x − μ| / σ` with μ, σ frozen from the prefix.
 ///
@@ -218,7 +218,7 @@ impl StreamingDetector for StreamingCusum {
     }
 }
 
-/// Streaming [`MovingAvgResidual`](tsad_detectors::MovingAvgResidual):
+/// Streaming [`MovingAvgResidual`](tsad_detectors::baselines::MovingAvgResidual):
 /// `|x − movmean(x, k)| / (movstd(x, k) + ε)` with the centered,
 /// endpoint-shrinking MATLAB windows.
 ///

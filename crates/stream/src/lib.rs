@@ -31,7 +31,7 @@
 //!
 //! ## Replay
 //!
-//! The [`replay`] module feeds any dataset through a detector in
+//! The [`mod@replay`] module feeds any dataset through a detector in
 //! configurable chunk sizes, recording throughput (points/second),
 //! per-push latency, and *detection delay* (first alarm − anomaly onset,
 //! scored by `tsad-eval::streaming`).

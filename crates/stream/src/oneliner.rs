@@ -1,7 +1,7 @@
 //! Streaming execution of the paper's one-line detectors.
 //!
 //! [`StreamingOneLiner::compile`] lowers a batch
-//! [`OneLiner`](tsad_detectors::oneliner::OneLiner) predicate into a tree of
+//! [`OneLiner`] predicate into a tree of
 //! incremental nodes (one per AST operator) that consumes the series one
 //! sample at a time. The emitted scores are the margins `lhs − rhs` — the
 //! same values [`OneLiner::score_values`] computes — produced **bitwise

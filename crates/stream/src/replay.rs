@@ -16,8 +16,22 @@ use std::time::Instant;
 use tsad_core::error::{CoreError, Result};
 use tsad_core::Labels;
 use tsad_eval::streaming::{delays_from_scores, DelayReport};
+use tsad_obs::{Counter, Gauge, Histogram};
 
 use crate::StreamingDetector;
+
+/// Total points fed through [`replay`] across all runs since reset.
+static REPLAY_POINTS: Counter = Counter::new("stream.replay.points");
+/// Alarms raised outside every labeled region, summed over replay runs.
+static REPLAY_FALSE_ALARMS: Counter = Counter::new("stream.replay.false_alarms");
+/// Throughput of the most recent replay run, in points per second
+/// (last-wins across runs; per-run values live in `ReplayOutcome`).
+static REPLAY_POINTS_PER_SEC: Gauge = Gauge::new("stream.replay.points_per_sec");
+/// Wall-clock nanoseconds per pushed chunk — the detection-latency side of
+/// the throughput/latency trade the chunk size controls.
+static REPLAY_CHUNK_PUSH_NS: Histogram = Histogram::new("stream.replay.chunk_push_ns", "ns");
+/// Detection delay per detected region, in points past the anomaly onset.
+static REPLAY_DELAY_POINTS: Histogram = Histogram::new("stream.replay.delay_points", "points");
 
 /// Replay parameters.
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +114,7 @@ pub fn replay(
             }
         }
         let ns = t0.elapsed().as_nanos();
+        REPLAY_CHUNK_PUSH_NS.record(ns.min(u64::MAX as u128) as u64);
         total_ns += ns;
         let per_point = ns as f64 / chunk.len() as f64;
         if per_point > max_chunk_ns_per_point {
@@ -117,6 +132,17 @@ pub fn replay(
         f64::INFINITY
     };
     let delays = delays_from_scores(&scores, det.score_offset(), cfg.threshold, labels, cfg.slop)?;
+
+    REPLAY_POINTS.add(xs.len() as u64);
+    REPLAY_FALSE_ALARMS.add(delays.false_alarms as u64);
+    if points_per_sec.is_finite() {
+        REPLAY_POINTS_PER_SEC.set(points_per_sec as u64);
+    }
+    for region in &delays.regions {
+        if let Some(delay) = region.delay {
+            REPLAY_DELAY_POINTS.record(delay as u64);
+        }
+    }
 
     Ok(ReplayOutcome {
         detector: det.name(),

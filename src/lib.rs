@@ -42,6 +42,7 @@ pub use tsad_archive as archive;
 pub use tsad_core as core;
 pub use tsad_detectors as detectors;
 pub use tsad_eval as eval;
+pub use tsad_obs as obs;
 pub use tsad_stream as stream;
 pub use tsad_synth as synth;
 
