@@ -31,12 +31,54 @@ proptest! {
     }
 
     #[test]
+    fn name_parse_survives_hostile_numeric_fields(
+        a in ".{0,12}",
+        b in ".{0,12}",
+        big in prop::collection::vec(0u8..10, 18..26),
+    ) {
+        // overlong digit runs must overflow gracefully, not panic
+        let digits: String = big.iter().map(|d| char::from(b'0' + d)).collect();
+        for candidate in [
+            format!("001_UCR_Anomaly_{a}_{digits}_{b}_{digits}.txt"),
+            format!("{digits}_UCR_Anomaly_x_{digits}_{digits}_{digits}.txt"),
+            format!("_UCR_Anomaly_{a}_{b}__.txt"),
+        ] {
+            let _ = UcrName::parse(&candidate);
+        }
+    }
+
+    #[test]
     fn name_rejects_anomaly_before_train(
         train in 100usize..10_000,
         begin in 1usize..99,
     ) {
         let anomaly = Region::new(begin, begin + 5).unwrap();
         prop_assert!(UcrName::new(None, "x", train, anomaly).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn manifest_reader_never_panics_on_arbitrary_text(
+        body in ".{0,200}",
+        case in 0u32..1_000_000,
+    ) {
+        // read_manifest must reject (or tolerate) any file content with a
+        // typed error, never a panic
+        let dir = std::env::temp_dir().join(format!("tsad-archive-fuzz-{case}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("MANIFEST.tsv"), &body).unwrap();
+        let _ = tsad_archive::manifest::read_manifest(&dir);
+        // hostile tab layouts: right column count, garbage fields
+        std::fs::write(
+            dir.join("MANIFEST.tsv"),
+            format!("header\na\tb\tc\t{body}\te\n\t\t\t\t\n"),
+        )
+        .unwrap();
+        let _ = tsad_archive::manifest::read_manifest(&dir);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

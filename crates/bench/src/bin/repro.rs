@@ -45,6 +45,9 @@ const EXPERIMENTS: &[&str] = &[
     "triviality",
     "audit",
     "stream",
+    "faults",
+    "faults-json",
+    "faults-compare",
     "bench-json",
     "bench-compare",
     "write-archive",
@@ -58,7 +61,9 @@ fn usage() -> String {
          --obs-summary     print the tsad-obs metric summary to stderr at exit\n\
          --bench-out PATH  where bench-json writes its document (default BENCH_kernels.json)\n\
          --baseline PATH   bench-compare: the committed baseline (default BENCH_kernels.json)\n\
-         --fresh PATH      bench-compare: the freshly generated document (required)",
+         --fresh PATH      bench-compare / faults-compare: the freshly generated document (required)\n\
+         --faults-out PATH      where faults-json writes its document (default BENCH_faults.json)\n\
+         --faults-baseline PATH faults-compare: the committed baseline (default BENCH_faults.json)",
         EXPERIMENTS.join(", ")
     )
 }
@@ -70,6 +75,8 @@ struct Options {
     bench_out: String,
     baseline: String,
     fresh: Option<String>,
+    faults_out: String,
+    faults_baseline: String,
 }
 
 impl Default for Options {
@@ -80,6 +87,8 @@ impl Default for Options {
             bench_out: "BENCH_kernels.json".to_string(),
             baseline: "BENCH_kernels.json".to_string(),
             fresh: None,
+            faults_out: "BENCH_faults.json".to_string(),
+            faults_baseline: "BENCH_faults.json".to_string(),
         }
     }
 }
@@ -173,6 +182,26 @@ fn run_one(name: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>>
         ),
         "audit" => print!("{}", audit_exp::render(&audit_exp::run(seed, 10, 21)?)),
         "stream" => print!("{}", stream::render(&stream::run(seed)?)),
+        "faults" => print!("{}", faults::render(&faults::run(seed)?)),
+        "faults-json" => {
+            let exp = faults::run(seed)?;
+            let json = faults::render_json(&exp);
+            std::fs::write(&opts.faults_out, &json)?;
+            println!("wrote {} ({} rows)", opts.faults_out, exp.rows.len());
+        }
+        "faults-compare" => {
+            let fresh = opts
+                .fresh
+                .as_deref()
+                .ok_or_else(|| format!("faults-compare needs --fresh PATH\n{}", usage()))?;
+            match faults::run_files(&opts.faults_baseline, fresh) {
+                Ok(summary) => print!("{summary}"),
+                Err(failures) => {
+                    print!("{failures}");
+                    return Err("faults-compare gate failed".into());
+                }
+            }
+        }
         "bench-json" => {
             let doc = bench_json::run(seed, &bench_json::BenchConfig::default())?;
             let json = bench_json::render(&doc);
@@ -240,6 +269,12 @@ fn parse_options(args: &mut Vec<String>) -> Result<Options, String> {
         opts.baseline = v;
     }
     opts.fresh = take_value_flag(args, "--fresh")?;
+    if let Some(v) = take_value_flag(args, "--faults-out")? {
+        opts.faults_out = v;
+    }
+    if let Some(v) = take_value_flag(args, "--faults-baseline")? {
+        opts.faults_baseline = v;
+    }
     Ok(opts)
 }
 
@@ -262,7 +297,12 @@ fn main() -> ExitCode {
             .filter(|e| {
                 !matches!(
                     **e,
-                    "fig12" | "write-archive" | "bench-json" | "bench-compare"
+                    "fig12"
+                        | "write-archive"
+                        | "bench-json"
+                        | "bench-compare"
+                        | "faults-json"
+                        | "faults-compare"
                 )
             })
             .map(|s| s.to_string())

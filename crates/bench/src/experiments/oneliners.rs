@@ -170,7 +170,8 @@ pub fn fig3(seed: u64) -> Result<Fig3> {
         .collect();
     // threshold: midpoint of the largest gap at the top
     let mut sorted = residual.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // total_cmp keeps this panic-free if a residual ever goes NaN
+    sorted.sort_by(f64::total_cmp);
     let b = {
         let hi = sorted[sorted.len() - 1];
         let candidates: Vec<f64> = sorted.iter().rev().take(8).copied().collect();

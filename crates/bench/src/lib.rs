@@ -34,6 +34,7 @@ pub mod experiments {
     pub mod bench_json;
     pub mod contest;
     pub mod density;
+    pub mod faults;
     pub mod fig13;
     pub mod gallery;
     pub mod invariances;

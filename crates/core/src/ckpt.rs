@@ -1,0 +1,401 @@
+//! Dependency-free checkpoint codec for streaming state.
+//!
+//! Streaming detectors must survive process restarts: `tsad-stream`
+//! serializes every detector's dynamic state through the little-endian
+//! writer/reader pair here and proves (see the stream crate's
+//! checkpoint-equivalence tests) that suspend → restore → resume is
+//! *bitwise* identical to an uninterrupted run.
+//!
+//! Design rules:
+//!
+//! * **Floats travel as bit patterns** ([`f64::to_bits`]) — round-tripping
+//!   through decimal text would break the bitwise-equivalence guarantee and
+//!   lose NaN payloads.
+//! * **Every read is bounds-checked** and returns
+//!   [`CoreError::Checkpoint`] on truncated, oversized, or malformed input;
+//!   a corrupt blob can never panic or over-allocate (declared lengths are
+//!   validated against the bytes actually present *before* allocating).
+//! * **A checksum seals the blob**: [`CkptWriter::finish`] appends an
+//!   FNV-1a/64 digest and [`CkptReader::new`] rejects blobs whose digest
+//!   does not match, so random corruption is caught up front rather than
+//!   misparsed into plausible state.
+//!
+//! The codec is deliberately *not* self-describing: configuration
+//! (window lengths, thresholds) is carried by the detector itself and only
+//! *verified* against the blob, never restored from it. Restoring is
+//! therefore "rehydrate an identically-configured instance", which keeps
+//! the format small and the compatibility story explicit (see the
+//! versioned envelope in `tsad-stream::checkpoint`).
+
+use crate::error::{CoreError, Result};
+
+/// Builds the FNV-1a/64 digest used to seal checkpoint blobs.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Shorthand for the corrupt-checkpoint error.
+pub fn corrupt(detail: impl Into<String>) -> CoreError {
+    CoreError::Checkpoint {
+        detail: detail.into(),
+    }
+}
+
+/// Little-endian append-only encoder for checkpoint blobs.
+#[derive(Debug, Default)]
+pub struct CkptWriter {
+    buf: Vec<u8>,
+}
+
+impl CkptWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the format is 64-bit regardless of
+    /// host width).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends an `Option<f64>` as a presence byte plus the bit pattern.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.f64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f64` sequence. `len` must equal the
+    /// iterator's length (callers pass `deque.len()` / `slice.len()`).
+    pub fn f64_seq<I: IntoIterator<Item = f64>>(&mut self, len: usize, values: I) {
+        self.usize(len);
+        let before = self.buf.len();
+        for v in values {
+            self.f64(v);
+        }
+        debug_assert_eq!(self.buf.len() - before, len * 8, "len mismatch");
+    }
+
+    /// Bytes written so far (excluding the checksum `finish` will add).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before the first write.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Seals the blob: appends the FNV-1a/64 digest of everything written
+    /// and returns the finished byte vector.
+    pub fn finish(mut self) -> Vec<u8> {
+        let digest = fnv1a64(&self.buf);
+        self.buf.extend_from_slice(&digest.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Bounds-checked decoder over a sealed checkpoint blob.
+#[derive(Debug)]
+pub struct CkptReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CkptReader<'a> {
+    /// Verifies the trailing checksum and positions the reader at the start
+    /// of the payload.
+    pub fn new(bytes: &'a [u8]) -> Result<Self> {
+        if bytes.len() < 8 {
+            return Err(corrupt(format!(
+                "blob of {} bytes is too short to carry a checksum",
+                bytes.len()
+            )));
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let mut digest = [0u8; 8];
+        digest.copy_from_slice(tail);
+        let stored = u64::from_le_bytes(digest);
+        let computed = fnv1a64(payload);
+        if stored != computed {
+            return Err(corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        Ok(Self {
+            buf: payload,
+            pos: 0,
+        })
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                corrupt(format!(
+                    "truncated while reading {what}: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ))
+            })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4, "u32")?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8, "u64")?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a `usize` (stored as `u64`); rejects values that do not fit
+    /// the host width.
+    pub fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| corrupt(format!("usize field {v} exceeds host width")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool byte; anything other than 0/1 is corrupt.
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(corrupt(format!("bool byte must be 0 or 1, got {other}"))),
+        }
+    }
+
+    /// Reads an `Option<f64>` (presence byte + bit pattern).
+    pub fn opt_f64(&mut self) -> Result<Option<f64>> {
+        if self.bool()? {
+            Ok(Some(self.f64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string. The declared length is
+    /// validated against the bytes present before any allocation.
+    pub fn string(&mut self) -> Result<String> {
+        let len = self.usize()?;
+        let bytes = self.take(len, "string")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| corrupt("string field is not valid UTF-8".to_string()))
+    }
+
+    /// Reads a length-prefixed `f64` sequence. The declared length is
+    /// validated against the bytes present before any allocation, so a
+    /// corrupt length can never trigger an over-allocation.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>> {
+        let len = self.usize()?;
+        let need = len
+            .checked_mul(8)
+            .ok_or_else(|| corrupt(format!("f64 sequence length {len} overflows byte count")))?;
+        if need > self.buf.len() - self.pos {
+            return Err(corrupt(format!(
+                "f64 sequence declares {len} values but only {} bytes remain",
+                self.buf.len() - self.pos
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Succeeds only when every payload byte has been consumed — trailing
+    /// garbage means the blob and the detector disagree about the format.
+    pub fn done(&self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(corrupt(format!(
+                "{} unread bytes after the last field",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// State that can round-trip through the checkpoint codec.
+///
+/// `load` rehydrates *dynamic* state into an already-configured instance
+/// and must verify any configuration echoed into the blob (capacities,
+/// constants) against the instance, returning
+/// [`CoreError::Checkpoint`] on mismatch.
+pub trait CkptState {
+    /// Serializes the dynamic state.
+    fn save(&self, w: &mut CkptWriter);
+    /// Rehydrates the dynamic state, validating against the instance's
+    /// configuration.
+    fn load(&mut self, r: &mut CkptReader<'_>) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_bitwise() {
+        let mut w = CkptWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.usize(42);
+        w.f64(f64::NAN);
+        w.f64(-0.0);
+        w.bool(true);
+        w.opt_f64(Some(1.5));
+        w.opt_f64(None);
+        w.str("hello ✓");
+        w.f64_seq(3, [1.0, f64::INFINITY, 2.5]);
+        let blob = w.finish();
+
+        let mut r = CkptReader::new(&blob).unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.bool().unwrap());
+        assert_eq!(r.opt_f64().unwrap(), Some(1.5));
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert_eq!(r.string().unwrap(), "hello ✓");
+        let v = r.f64_vec().unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(v[1].is_infinite());
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn checksum_rejects_flipped_bits() {
+        let mut w = CkptWriter::new();
+        w.f64(3.5);
+        let mut blob = w.finish();
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                CkptReader::new(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        // untouched blob still parses
+        blob.truncate(blob.len());
+        CkptReader::new(&blob).unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        assert!(CkptReader::new(&[1, 2, 3]).is_err());
+
+        let mut w = CkptWriter::new();
+        w.u64(5);
+        let blob = w.finish();
+        let mut r = CkptReader::new(&blob).unwrap();
+        r.u32().unwrap();
+        // asking for more than remains is an error, not a panic
+        assert!(r.u64().is_err());
+
+        // unread trailing bytes fail `done`
+        let mut w = CkptWriter::new();
+        w.u64(5);
+        w.u64(6);
+        let blob = w.finish();
+        let r = CkptReader::new(&blob).unwrap();
+        assert!(r.done().is_err());
+    }
+
+    #[test]
+    fn hostile_lengths_cannot_over_allocate() {
+        // a declared length of u64::MAX must be rejected before allocating
+        let mut w = CkptWriter::new();
+        w.u64(u64::MAX);
+        let blob = w.finish();
+        let mut r = CkptReader::new(&blob).unwrap();
+        assert!(r.f64_vec().is_err());
+
+        let mut w = CkptWriter::new();
+        w.u64(1 << 40);
+        let blob = w.finish();
+        let mut r = CkptReader::new(&blob).unwrap();
+        assert!(r.string().is_err());
+    }
+
+    #[test]
+    fn bad_bool_byte_is_corrupt() {
+        let mut w = CkptWriter::new();
+        w.u8(2);
+        let blob = w.finish();
+        let mut r = CkptReader::new(&blob).unwrap();
+        assert!(matches!(r.bool(), Err(CoreError::Checkpoint { .. })));
+    }
+}

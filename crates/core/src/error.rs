@@ -37,6 +37,9 @@ pub enum CoreError {
     NonFinite { index: usize },
     /// Two inputs that must have equal lengths did not.
     LengthMismatch { left: usize, right: usize },
+    /// A checkpoint blob was truncated, corrupt, or written by an
+    /// incompatibly-configured detector (see [`crate::ckpt`]).
+    Checkpoint { detail: String },
 }
 
 impl fmt::Display for CoreError {
@@ -61,6 +64,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::LengthMismatch { left, right } => {
                 write!(f, "length mismatch: {left} vs {right}")
+            }
+            CoreError::Checkpoint { detail } => {
+                write!(f, "invalid checkpoint: {detail}")
             }
         }
     }
@@ -108,6 +114,12 @@ mod tests {
             ),
             (CoreError::NonFinite { index: 3 }, "index 3"),
             (CoreError::LengthMismatch { left: 2, right: 4 }, "2 vs 4"),
+            (
+                CoreError::Checkpoint {
+                    detail: "truncated".into(),
+                },
+                "truncated",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -28,6 +28,7 @@
 //! assert!(predicted.contains(60));
 //! ```
 
+pub mod ckpt;
 pub mod dataset;
 pub mod dist;
 pub mod error;

@@ -189,7 +189,7 @@ pub fn movmedian(x: &[f64], k: usize) -> Result<Vec<f64>> {
         let (lo, hi) = centered_window(i, k, n);
         window.clear();
         window.extend_from_slice(&x[lo..hi]);
-        window.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        window.sort_by(|a, b| a.total_cmp(b));
         let m = window.len();
         let med = if m % 2 == 1 {
             window[m / 2]

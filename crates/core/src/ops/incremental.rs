@@ -21,6 +21,7 @@
 //! of stream length.
 
 use super::{window_mean, window_std};
+use crate::ckpt::{corrupt, CkptReader, CkptState, CkptWriter};
 use crate::error::{CoreError, Result};
 use std::collections::VecDeque;
 
@@ -111,6 +112,36 @@ impl RingBuffer {
     }
 }
 
+impl CkptState for RingBuffer {
+    fn save(&self, w: &mut CkptWriter) {
+        w.usize(self.capacity);
+        w.usize(self.evicted);
+        w.f64_seq(self.buf.len(), self.buf.iter().copied());
+    }
+
+    fn load(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        let capacity = r.usize()?;
+        if capacity != self.capacity {
+            return Err(corrupt(format!(
+                "ring capacity mismatch: blob {capacity}, instance {}",
+                self.capacity
+            )));
+        }
+        let evicted = r.usize()?;
+        let values = r.f64_vec()?;
+        if values.len() > capacity {
+            return Err(corrupt(format!(
+                "ring holds {} values but capacity is {capacity}",
+                values.len()
+            )));
+        }
+        self.evicted = evicted;
+        self.buf.clear();
+        self.buf.extend(values);
+        Ok(())
+    }
+}
+
 /// Welford's online mean/variance accumulator — the numerically stable way
 /// to keep running statistics without retaining the data.
 #[derive(Debug, Clone, Copy, Default)]
@@ -179,6 +210,21 @@ impl Welford {
     }
 }
 
+impl CkptState for Welford {
+    fn save(&self, w: &mut CkptWriter) {
+        w.u64(self.n);
+        w.f64(self.mean);
+        w.f64(self.m2);
+    }
+
+    fn load(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        self.n = r.u64()?;
+        self.mean = r.f64()?;
+        self.m2 = r.f64()?;
+        Ok(())
+    }
+}
+
 /// Incremental first difference: emits `x[i] − x[i−1]` on the push of
 /// `x[i]`, `None` on the first push (batch `diff` output is one shorter than
 /// its input).
@@ -203,6 +249,17 @@ impl Diff {
     /// Forgets the previous value.
     pub fn reset(&mut self) {
         self.prev = None;
+    }
+}
+
+impl CkptState for Diff {
+    fn save(&self, w: &mut CkptWriter) {
+        w.opt_f64(self.prev);
+    }
+
+    fn load(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        self.prev = r.opt_f64()?;
+        Ok(())
     }
 }
 
@@ -279,6 +336,28 @@ impl Centered {
     fn memory_bound(&self) -> usize {
         2 * self.ring.capacity()
     }
+
+    fn save(&self, w: &mut CkptWriter) {
+        self.ring.save(w);
+        w.usize(self.pushed);
+        w.usize(self.emitted);
+    }
+
+    fn load(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        self.ring.load(r)?;
+        self.pushed = r.usize()?;
+        self.emitted = r.usize()?;
+        self.scratch.clear();
+        if self.emitted > self.pushed || self.ring.next_index() != self.pushed {
+            return Err(corrupt(format!(
+                "centered-window counters inconsistent: pushed {}, emitted {}, ring next {}",
+                self.pushed,
+                self.emitted,
+                self.ring.next_index()
+            )));
+        }
+        Ok(())
+    }
 }
 
 macro_rules! centered_node {
@@ -326,6 +405,16 @@ macro_rules! centered_node {
             /// Upper bound on retained `f64` state, in elements.
             pub fn memory_bound(&self) -> usize {
                 self.w.memory_bound()
+            }
+        }
+
+        impl CkptState for $name {
+            fn save(&self, w: &mut CkptWriter) {
+                self.w.save(w);
+            }
+
+            fn load(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+                self.w.load(r)
             }
         }
     };
@@ -456,6 +545,67 @@ mod tests {
             got.extend(mn.finish());
             assert_eq!(got, ops::movmin(&xs, k).unwrap(), "movmin k={k}");
         }
+    }
+
+    #[test]
+    fn incremental_state_round_trips_bitwise() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        // run half the stream, checkpoint, restore into a fresh node, and
+        // confirm the resumed outputs match the uninterrupted run exactly
+        let mut full = MovStd::new(7).unwrap();
+        let mut half = MovStd::new(7).unwrap();
+        let mut expect: Vec<f64> = xs.iter().filter_map(|&v| full.push(v)).collect();
+        expect.extend(full.finish());
+        let mut got: Vec<f64> = xs[..20].iter().filter_map(|&v| half.push(v)).collect();
+        let mut w = CkptWriter::new();
+        half.save(&mut w);
+        let blob = w.finish();
+        let mut resumed = MovStd::new(7).unwrap();
+        let mut r = CkptReader::new(&blob).unwrap();
+        resumed.load(&mut r).unwrap();
+        r.done().unwrap();
+        got.extend(xs[20..].iter().filter_map(|&v| resumed.push(v)));
+        got.extend(resumed.finish());
+        assert_eq!(expect.len(), got.len());
+        for (a, b) in expect.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // a blob from a differently-configured node is rejected
+        let mut other = MovStd::new(9).unwrap();
+        let mut r = CkptReader::new(&blob).unwrap();
+        assert!(other.load(&mut r).is_err());
+
+        // ring + diff + welford round-trip
+        let mut ring = RingBuffer::new(4).unwrap();
+        let mut diff = Diff::new();
+        let mut wf = Welford::new();
+        for &v in &xs[..9] {
+            ring.push(v);
+            diff.push(v);
+            wf.push(v);
+        }
+        let mut w = CkptWriter::new();
+        ring.save(&mut w);
+        diff.save(&mut w);
+        wf.save(&mut w);
+        let blob = w.finish();
+        let mut ring2 = RingBuffer::new(4).unwrap();
+        let mut diff2 = Diff::new();
+        let mut wf2 = Welford::new();
+        let mut r = CkptReader::new(&blob).unwrap();
+        ring2.load(&mut r).unwrap();
+        diff2.load(&mut r).unwrap();
+        wf2.load(&mut r).unwrap();
+        r.done().unwrap();
+        assert_eq!(
+            ring.iter().collect::<Vec<_>>(),
+            ring2.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(ring.first_index(), ring2.first_index());
+        assert_eq!(diff.push(1.0), diff2.push(1.0));
+        assert_eq!(wf.mean().to_bits(), wf2.mean().to_bits());
+        assert_eq!(wf.std_dev().to_bits(), wf2.std_dev().to_bits());
     }
 
     #[test]

@@ -65,7 +65,8 @@ pub fn quantile(x: &[f64], q: f64) -> Result<f64> {
         });
     }
     let mut sorted = x.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    // total_cmp keeps this panic-free on NaN input (NaNs sort last)
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -185,13 +186,8 @@ pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>> {
     for col in 0..n {
         // Partial pivot: bring the largest-magnitude entry to the diagonal.
         let pivot = (col..n)
-            .max_by(|&i, &j| {
-                m[i][col]
-                    .abs()
-                    .partial_cmp(&m[j][col].abs())
-                    .expect("finite")
-            })
-            .expect("non-empty range");
+            .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
+            .expect("non-empty range"); // invariant: col < n, so col..n is non-empty
         if m[pivot][col].abs() < 1e-12 {
             return Err(CoreError::BadParameter {
                 name: "matrix",
@@ -236,7 +232,7 @@ pub fn ks_statistic_uniform(sample: &[f64]) -> Result<f64> {
         return Err(CoreError::EmptySeries);
     }
     let mut s = sample.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    s.sort_by(|a, b| a.total_cmp(b));
     let n = s.len() as f64;
     let mut d: f64 = 0.0;
     for (i, &v) in s.iter().enumerate() {

@@ -1,0 +1,84 @@
+//! Regression tests for the constant-window epsilon guards.
+//!
+//! A flat (or near-flat) series is the classic z-normalization landmine:
+//! the window variance is mathematically 0, so a naive `(x − μ) / σ`
+//! divides by ~0 and sprays ±∞/NaN through every downstream distance. The
+//! convention pinned here (shared with reference matrix-profile
+//! implementations): constant windows z-normalize to all zeros, two
+//! constant windows are at distance 0, and a constant vs. non-constant
+//! window is at the maximum z-normalized distance `sqrt(2m)`.
+
+use tsad_core::dist::{dot_to_znorm_dist, mass, znorm_euclidean};
+use tsad_core::ops::{self, incremental};
+use tsad_core::windows::WindowMoments;
+
+const M: usize = 8;
+
+fn flat(n: usize, v: f64) -> Vec<f64> {
+    vec![v; n]
+}
+
+#[test]
+fn znormalize_of_a_constant_is_all_zeros() {
+    for v in [0.0, 1.0, -3.5, 1e9, 1e-12] {
+        let z = ops::znormalize(&flat(50, v));
+        assert!(z.iter().all(|&x| x == 0.0), "v={v}");
+    }
+    // near-constant: sub-epsilon jitter must hit the same guard
+    let mut x = flat(50, 2.0);
+    x[10] += 1e-13;
+    assert!(ops::znormalize(&x).iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn window_moments_report_exactly_zero_std_on_flat_windows() {
+    // large offset maximizes prefix-sum cancellation noise
+    let x = flat(200, 1e8);
+    let m = WindowMoments::compute(&x, M).unwrap();
+    assert!(m.stds.iter().all(|&s| s == 0.0));
+    assert!(m.means.iter().all(|&mu| (mu - 1e8).abs() < 1e-3));
+}
+
+#[test]
+fn incremental_movstd_is_zero_not_nan_on_flat_input() {
+    let mut node = incremental::MovStd::new(M).unwrap();
+    let x = flat(100, 7.25);
+    let mut out: Vec<f64> = x.iter().filter_map(|&v| node.push(v)).collect();
+    out.extend(node.finish());
+    assert_eq!(out.len(), x.len());
+    assert!(out.iter().all(|&s| s == 0.0), "flat movstd must be 0");
+}
+
+#[test]
+fn znorm_distance_conventions_for_constant_windows() {
+    let c1 = flat(M, 3.0);
+    let c2 = flat(M, -11.0);
+    let wavy: Vec<f64> = (0..M).map(|i| (i as f64).sin()).collect();
+    // two constants: distance 0, regardless of level
+    assert_eq!(znorm_euclidean(&c1, &c2).unwrap(), 0.0);
+    // constant vs non-constant: the maximum distance sqrt(2m)
+    let d = znorm_euclidean(&c1, &wavy).unwrap();
+    assert!((d - (2.0 * M as f64).sqrt()).abs() < 1e-12);
+    // the dot-product identity path must agree with the direct path
+    assert_eq!(dot_to_znorm_dist(0.0, M, 3.0, 0.0, -11.0, 0.0), 0.0);
+    let d2 = dot_to_znorm_dist(0.0, M, 3.0, 0.0, 0.4, 1.0);
+    assert!((d2 - (2.0 * M as f64).sqrt()).abs() < 1e-12);
+}
+
+#[test]
+fn mass_stays_finite_when_query_or_series_is_flat() {
+    let series: Vec<f64> = (0..120).map(|i| (i as f64 * 0.3).sin()).collect();
+    let flat_q = flat(M, 5.0);
+    let d = mass(&flat_q, &series).unwrap();
+    assert_eq!(d.len(), series.len() - M + 1);
+    assert!(d.iter().all(|v| v.is_finite()));
+
+    let flat_s = flat(120, 5.0);
+    let wavy_q: Vec<f64> = (0..M).map(|i| (i as f64).cos()).collect();
+    let d = mass(&wavy_q, &flat_s).unwrap();
+    assert!(d.iter().all(|v| v.is_finite()));
+
+    // flat query against flat series: all windows match exactly
+    let d = mass(&flat_q, &flat_s).unwrap();
+    assert!(d.iter().all(|&v| v == 0.0));
+}

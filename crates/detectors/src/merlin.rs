@@ -284,7 +284,7 @@ pub fn merlin_top(x: &[f64], min_len: usize, max_len: usize) -> Result<Option<Le
     Ok(all.into_iter().max_by(|a, b| {
         let na = a.distance / (a.length as f64).sqrt();
         let nb = b.distance / (b.length as f64).sqrt();
-        na.partial_cmp(&nb).expect("finite")
+        na.total_cmp(&nb)
     }))
 }
 

@@ -33,12 +33,7 @@ pub fn rank_normalize(score: &[f64]) -> Vec<f64> {
         return vec![0.0; n];
     }
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        score[a]
-            .partial_cmp(&score[b])
-            .expect("finite")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| score[a].total_cmp(&score[b]).then(a.cmp(&b)));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -94,7 +89,7 @@ pub fn score_multivariate(
             Aggregation::Mean => column.iter().sum::<f64>() / column.len() as f64,
             Aggregation::KthLargest(k) => {
                 let k = k.clamp(1, column.len());
-                column.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                column.sort_by(|a, b| b.total_cmp(a));
                 column[k - 1]
             }
         };

@@ -481,7 +481,8 @@ impl Default for SearchConfig {
 /// given labels) is almost always at one of the top gaps.
 fn threshold_candidates(signal: &[f64], max_candidates: usize, min_gap_fraction: f64) -> Vec<f64> {
     let mut sorted = signal.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    // total_cmp: `score_values` accepts raw slices, so NaN can reach here
+    sorted.sort_by(|a, b| a.total_cmp(b));
     sorted.dedup();
     if sorted.len() < 2 {
         return Vec::new();

@@ -231,7 +231,7 @@ pub fn ndt(e_s: &[f64], prune_p: f64, shoulder: usize) -> Result<NdtResult> {
                 })
                 .collect();
             maxima.push((normal_max, None));
-            maxima.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+            maxima.sort_by(|a, b| b.0.total_cmp(&a.0));
             // Hundman et al.: walking the sorted maxima, every sequence at
             // or above the LAST decrease exceeding p is kept. (Breaking at
             // the first small decrease would let two near-equal dominant

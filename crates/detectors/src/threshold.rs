@@ -21,7 +21,7 @@ pub fn top_k_peaks(score: &[f64], k: usize, exclusion: usize) -> Vec<Peak> {
             .iter()
             .enumerate()
             .filter(|(_, v)| v.is_finite())
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
         else {
             break;
         };

@@ -1,0 +1,86 @@
+//! No-panic hardening proof for the batch detectors: every public entry
+//! point that accepts a raw `&[f64]` must survive arbitrary bit patterns
+//! (every NaN payload, ±∞, subnormals, negative zero) without panicking.
+//! Returning a typed error is fine; aborting the process is not.
+
+use proptest::prelude::*;
+use tsad_detectors::matrix_profile::{
+    left_stomp, matrix_profile_naive, stamp, stomp, stomp_metric, ProfileMetric,
+};
+use tsad_detectors::merlin::{drag_discord, merlin_top};
+use tsad_detectors::oneliner::{equation, Equation};
+use tsad_detectors::telemanom::{ewma, ndt, ArForecaster};
+use tsad_detectors::threshold::{discrimination_ratio, quantile_mask, threshold_mask, top_k_peaks};
+
+fn hostile_point((sel, bits): (u8, u64)) -> f64 {
+    match sel % 8 {
+        0 | 1 => f64::from_bits(bits),
+        2 => f64::NAN,
+        3 => f64::INFINITY,
+        4 => f64::NEG_INFINITY,
+        5 => -0.0,
+        6 => f64::MIN_POSITIVE / 2.0,
+        _ => (bits % 20_000) as f64 / 100.0 - 100.0,
+    }
+}
+
+fn hostile_stream(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((any::<u8>(), any::<u64>()), min_len..=max_len)
+        .prop_map(|pairs| pairs.into_iter().map(hostile_point).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn oneliners_never_panic(xs in hostile_stream(0, 200)) {
+        for eq in [Equation::Eq1, Equation::Eq3, Equation::Eq4, Equation::Eq5, Equation::Eq6] {
+            let ol = equation(eq, 9, 2.0, 0.3);
+            let _ = ol.score_values(&xs);
+            let _ = ol.mask(&xs);
+        }
+    }
+
+    #[test]
+    fn matrix_profiles_never_panic(xs in hostile_stream(0, 120)) {
+        let _ = stomp(&xs, 8);
+        let _ = stomp_metric(&xs, 8, ProfileMetric::Euclidean);
+        let _ = left_stomp(&xs, 8, Default::default());
+        let _ = stamp(&xs, 8);
+        let _ = matrix_profile_naive(&xs, 8);
+    }
+
+    #[test]
+    fn merlin_never_panics(xs in hostile_stream(0, 120)) {
+        let _ = drag_discord(&xs, 8, 2.0);
+        let _ = merlin_top(&xs, 6, 10);
+    }
+
+    #[test]
+    fn telemanom_never_panics(xs in hostile_stream(0, 150), alpha in 0.0f64..2.0) {
+        let _ = ewma(&xs, alpha);
+        let _ = ndt(&xs, 0.1, 3);
+        let _ = ArForecaster::fit(&xs, 3);
+    }
+
+    #[test]
+    fn thresholding_never_panics(xs in hostile_stream(0, 200), k in 0usize..6) {
+        let _ = top_k_peaks(&xs, k, 5);
+        let _ = threshold_mask(&xs, 1.0);
+        let _ = quantile_mask(&xs, 0.9);
+        let _ = discrimination_ratio(&xs);
+    }
+}
+
+#[test]
+fn flat_series_through_the_stomp_pipeline_is_finite() {
+    // regression for the constant-window z-normalization guard: the full
+    // matrix profile of a constant series is finite and ~0 everywhere
+    let x = vec![42.0; 150];
+    let p = stomp(&x, 8).unwrap();
+    assert!(
+        p.profile.iter().all(|v| v.is_finite()),
+        "flat-series profile must stay finite"
+    );
+    assert!(p.profile.iter().all(|&v| v.abs() < 1e-9));
+}

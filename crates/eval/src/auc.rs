@@ -13,12 +13,7 @@ use tsad_core::Labels;
 /// the metrics deterministic).
 fn ranked_indices(score: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..score.len()).collect();
-    idx.sort_by(|&a, &b| {
-        score[b]
-            .partial_cmp(&score[a])
-            .expect("finite scores")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| score[b].total_cmp(&score[a]).then(a.cmp(&b)));
     idx
 }
 

@@ -121,7 +121,7 @@ pub fn best_f1_over_thresholds(
         return Err(CoreError::NonFinite { index: i });
     }
     let mut distinct = score.to_vec();
-    distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    distinct.sort_by(|a, b| a.total_cmp(b)); // non-finite rejected above
     distinct.dedup();
     // Cap the sweep: for long scores, evaluate ~256 quantile-spaced
     // thresholds (each F1 evaluation is O(n); a full sweep would be

@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 
+use tsad_core::ckpt::{corrupt, CkptReader, CkptState, CkptWriter};
 use tsad_core::error::{CoreError, Result};
 use tsad_core::ops::incremental::RingBuffer;
 use tsad_core::TimeSeries;
@@ -115,6 +116,41 @@ impl<D: Detector> StreamingDetector for BatchAdapter<D> {
         // ring + score backlog (≤ every) + one transient chunk copy during
         // rescoring
         2 * self.window + self.every
+    }
+
+    fn save_state(&self, w: &mut CkptWriter) {
+        // `train_len` is config but is not part of `name()`, so echo it
+        // into the blob as an extra fingerprint field
+        w.usize(self.train_len);
+        self.ring.save(w);
+        w.f64_seq(self.ready.len(), self.ready.iter().copied());
+        w.usize(self.pushed);
+        w.usize(self.scored);
+    }
+
+    fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        let train_len = r.usize()?;
+        if train_len != self.train_len {
+            return Err(corrupt(format!(
+                "batch-adapter train_len mismatch: blob {train_len}, \
+                 instance {}",
+                self.train_len
+            )));
+        }
+        self.ring.load(r)?;
+        self.ready = r.f64_vec()?.into();
+        self.pushed = r.usize()?;
+        self.scored = r.usize()?;
+        if self.scored > self.pushed || self.pushed != self.ring.next_index() {
+            return Err(corrupt(format!(
+                "batch-adapter counters inconsistent: pushed {}, scored {}, \
+                 ring next {}",
+                self.pushed,
+                self.scored,
+                self.ring.next_index()
+            )));
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,157 @@
+//! Versioned checkpoint/restore for streaming detectors.
+//!
+//! A checkpoint is a sealed [`tsad_core::ckpt`] blob with a fixed envelope:
+//!
+//! ```text
+//! magic  u32  = 0x5453_434B ("TSCK")
+//! version u32 = 1
+//! name   str  — the detector's `name()`, used as a configuration fingerprint
+//! state  ...  — detector-specific dynamic state (`save_state`)
+//! digest u64  — FNV-1a/64 over everything above (added by the codec)
+//! ```
+//!
+//! The detector's configuration (windows, train lengths, thresholds, the
+//! compiled one-liner equation) is **not** serialized: every `name()` in
+//! this crate embeds its parameters, so the name doubles as a fingerprint
+//! and [`restore`] refuses to load a blob into a differently-configured
+//! instance. Restore therefore means: construct the detector exactly as it
+//! was constructed originally, then call [`restore`] to rehydrate its
+//! dynamic state.
+//!
+//! ## Resume contract
+//!
+//! For every detector `D` in this crate, any split point `k`, and any input:
+//! checkpointing after `k` pushes, restoring into a fresh identically-
+//! configured instance, and pushing the remaining samples yields outputs
+//! **bitwise identical** to the uninterrupted run — at any thread count
+//! (verified at 1/2/8 by `tests/checkpoint_equivalence.rs`).
+
+use crate::StreamingDetector;
+use tsad_core::ckpt::{corrupt, CkptReader, CkptWriter};
+use tsad_core::error::Result;
+
+/// Envelope magic: `"TSCK"` in big-endian byte order.
+pub const CKPT_MAGIC: u32 = 0x5453_434B;
+
+/// Current envelope version. Bump when any detector's state layout changes.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Serializes `det` into a sealed, versioned checkpoint blob.
+pub fn checkpoint(det: &dyn StreamingDetector) -> Vec<u8> {
+    let mut w = CkptWriter::new();
+    w.u32(CKPT_MAGIC);
+    w.u32(CKPT_VERSION);
+    w.str(&det.name());
+    det.save_state(&mut w);
+    w.finish()
+}
+
+/// Rehydrates `det` from a blob produced by [`checkpoint`].
+///
+/// `det` must be configured identically to the instance that was
+/// checkpointed (same constructor arguments); the embedded name
+/// fingerprint enforces this. On any error the detector is reset rather
+/// than left half-loaded.
+pub fn restore(det: &mut dyn StreamingDetector, bytes: &[u8]) -> Result<()> {
+    let result = try_restore(det, bytes);
+    if result.is_err() {
+        det.reset();
+    }
+    result
+}
+
+fn try_restore(det: &mut dyn StreamingDetector, bytes: &[u8]) -> Result<()> {
+    let mut r = CkptReader::new(bytes)?;
+    let magic = r.u32()?;
+    if magic != CKPT_MAGIC {
+        return Err(corrupt(format!(
+            "bad magic {magic:#010x}, expected {CKPT_MAGIC:#010x}"
+        )));
+    }
+    let version = r.u32()?;
+    if version != CKPT_VERSION {
+        return Err(corrupt(format!(
+            "unsupported checkpoint version {version}, this build reads {CKPT_VERSION}"
+        )));
+    }
+    let name = r.string()?;
+    if name != det.name() {
+        return Err(corrupt(format!(
+            "configuration fingerprint mismatch: blob is for `{name}`, \
+             detector is `{}`",
+            det.name()
+        )));
+    }
+    det.reset();
+    det.load_state(&mut r)?;
+    r.done()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StreamingCusum, StreamingGlobalZScore};
+    use tsad_detectors::cusum::Cusum;
+
+    #[test]
+    fn envelope_rejects_wrong_magic_version_and_name() {
+        let mut det = StreamingGlobalZScore::new(10).unwrap();
+        for i in 0..25 {
+            det.push(i as f64 * 0.3);
+        }
+        let blob = checkpoint(&det);
+
+        // right detector, right config: round-trips
+        let mut fresh = StreamingGlobalZScore::new(10).unwrap();
+        restore(&mut fresh, &blob).unwrap();
+
+        // differently-configured instance: fingerprint mismatch
+        let mut other = StreamingGlobalZScore::new(11).unwrap();
+        assert!(restore(&mut other, &blob).is_err());
+
+        // different detector entirely
+        let mut cusum = StreamingCusum::new(Cusum::default(), 10).unwrap();
+        assert!(restore(&mut cusum, &blob).is_err());
+
+        // wrong magic (flip a payload byte; the checksum catches it first,
+        // so rebuild a well-sealed blob with a bad magic instead)
+        let mut w = tsad_core::ckpt::CkptWriter::new();
+        w.u32(0xBAD0_BAD0);
+        w.u32(CKPT_VERSION);
+        w.str(&det.name());
+        det.save_state(&mut w);
+        let bad = w.finish();
+        assert!(restore(&mut fresh, &bad).is_err());
+
+        // wrong version
+        let mut w = tsad_core::ckpt::CkptWriter::new();
+        w.u32(CKPT_MAGIC);
+        w.u32(CKPT_VERSION + 1);
+        w.str(&det.name());
+        det.save_state(&mut w);
+        let bad = w.finish();
+        assert!(restore(&mut fresh, &bad).is_err());
+    }
+
+    #[test]
+    fn failed_restore_leaves_a_usable_detector() {
+        let mut det = StreamingGlobalZScore::new(5).unwrap();
+        assert!(restore(&mut det, b"definitely not a checkpoint").is_err());
+        // the detector still works from scratch
+        let out = det.score_stream(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn truncated_blob_is_an_error_not_a_panic() {
+        let mut det = StreamingGlobalZScore::new(10).unwrap();
+        for i in 0..25 {
+            det.push(i as f64);
+        }
+        let blob = checkpoint(&det);
+        for cut in 0..blob.len() {
+            let mut fresh = StreamingGlobalZScore::new(10).unwrap();
+            assert!(restore(&mut fresh, &blob[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

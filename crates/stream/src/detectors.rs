@@ -16,6 +16,7 @@
 
 use std::collections::VecDeque;
 
+use tsad_core::ckpt::{corrupt, CkptReader, CkptState, CkptWriter};
 use tsad_core::error::{CoreError, Result};
 use tsad_core::ops::incremental::{MovMean, MovStd, RingBuffer};
 use tsad_core::stats;
@@ -60,6 +61,7 @@ impl StreamingGlobalZScore {
     }
 
     fn score_one(&self, v: f64) -> f64 {
+        // invariant: only called after `calibrated` is set in `push`
         let (mu, sd) = self.calibrated.expect("calibrated");
         (v - mu).abs() / sd
     }
@@ -113,6 +115,37 @@ impl StreamingDetector for StreamingGlobalZScore {
     fn memory_bound(&self) -> usize {
         2 * self.train_len + 2
     }
+
+    fn save_state(&self, w: &mut CkptWriter) {
+        w.f64_seq(self.prefix.len(), self.prefix.iter().copied());
+        match self.calibrated {
+            Some((mu, sd)) => {
+                w.bool(true);
+                w.f64(mu);
+                w.f64(sd);
+            }
+            None => w.bool(false),
+        }
+        w.f64_seq(self.ready.len(), self.ready.iter().copied());
+    }
+
+    fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        self.prefix = r.f64_vec()?;
+        if self.prefix.len() > self.train_len {
+            return Err(corrupt(format!(
+                "z-score prefix holds {} samples but train_len is {}",
+                self.prefix.len(),
+                self.train_len
+            )));
+        }
+        self.calibrated = if r.bool()? {
+            Some((r.f64()?, r.f64()?))
+        } else {
+            None
+        };
+        self.ready = r.f64_vec()?.into();
+        Ok(())
+    }
 }
 
 /// Streaming two-sided CUSUM: calibrates μ, σ on the first `train_len`
@@ -162,6 +195,7 @@ impl StreamingCusum {
     }
 
     fn step(&mut self, v: f64) -> f64 {
+        // invariant: only called after `state` is set in `push`
         let (mu, sd, hi, lo) = self.state.expect("calibrated");
         let z = (v - mu) / sd;
         let hi = (self.params.decay * hi + z - self.params.allowance).max(0.0);
@@ -216,6 +250,39 @@ impl StreamingDetector for StreamingCusum {
     fn memory_bound(&self) -> usize {
         2 * self.train_len + 4
     }
+
+    fn save_state(&self, w: &mut CkptWriter) {
+        w.f64_seq(self.prefix.len(), self.prefix.iter().copied());
+        match self.state {
+            Some((mu, sd, hi, lo)) => {
+                w.bool(true);
+                w.f64(mu);
+                w.f64(sd);
+                w.f64(hi);
+                w.f64(lo);
+            }
+            None => w.bool(false),
+        }
+        w.f64_seq(self.ready.len(), self.ready.iter().copied());
+    }
+
+    fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        self.prefix = r.f64_vec()?;
+        if self.prefix.len() > self.train_len {
+            return Err(corrupt(format!(
+                "CUSUM prefix holds {} samples but train_len is {}",
+                self.prefix.len(),
+                self.train_len
+            )));
+        }
+        self.state = if r.bool()? {
+            Some((r.f64()?, r.f64()?, r.f64()?, r.f64()?))
+        } else {
+            None
+        };
+        self.ready = r.f64_vec()?.into();
+        Ok(())
+    }
 }
 
 /// Streaming [`MovingAvgResidual`](tsad_detectors::baselines::MovingAvgResidual):
@@ -247,8 +314,8 @@ impl StreamingMovingAvgResidual {
     }
 
     fn residual(&mut self, m: f64, s: f64) -> f64 {
-        // the raw sample at the emission index is still retained: the node
-        // delay (k−1)/2 is strictly less than the ring capacity k
+        // invariant: the raw sample at the emission index is still retained
+        // — the node delay (k−1)/2 is strictly less than the ring capacity k
         let v = self.raw.get(self.emitted).expect("raw sample retained");
         self.emitted += 1;
         (v - m).abs() / (s + 1e-9)
@@ -292,6 +359,31 @@ impl StreamingDetector for StreamingMovingAvgResidual {
 
     fn memory_bound(&self) -> usize {
         self.mm.memory_bound() + self.ms.memory_bound() + self.raw.capacity()
+    }
+
+    fn save_state(&self, w: &mut CkptWriter) {
+        self.mm.save(w);
+        self.ms.save(w);
+        self.raw.save(w);
+        w.usize(self.emitted);
+    }
+
+    fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        self.mm.load(r)?;
+        self.ms.load(r)?;
+        self.raw.load(r)?;
+        self.emitted = r.usize()?;
+        // the next emission reads raw index `emitted`; it must be retained
+        if self.emitted > self.raw.next_index() || self.emitted < self.raw.first_index() {
+            return Err(corrupt(format!(
+                "moving-average residual emission cursor {} outside retained \
+                 raw range [{}, {}]",
+                self.emitted,
+                self.raw.first_index(),
+                self.raw.next_index()
+            )));
+        }
+        Ok(())
     }
 }
 

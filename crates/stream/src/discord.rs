@@ -24,6 +24,7 @@
 
 use std::collections::VecDeque;
 
+use tsad_core::ckpt::{corrupt, CkptReader, CkptState, CkptWriter};
 use tsad_core::dist::dot_to_znorm_dist;
 use tsad_core::error::{CoreError, Result};
 use tsad_core::ops::incremental::RingBuffer;
@@ -99,6 +100,8 @@ impl StreamingLeftDiscord {
     }
 
     fn val(&self, idx: usize) -> f64 {
+        // invariant: callers only index diagonals/windows inside the
+        // horizon the ring was sized for (capacity = horizon + m + 1)
         self.values
             .get(idx)
             .expect("sample within the retained horizon")
@@ -281,6 +284,58 @@ impl StreamingDetector for StreamingLeftDiscord {
 
     fn memory_bound(&self) -> usize {
         self.values.capacity() + 4 * (self.horizon + 1) + 2 * self.m
+    }
+
+    fn save_state(&self, w: &mut CkptWriter) {
+        self.values.save(w);
+        w.f64_seq(self.dots.len(), self.dots.iter().copied());
+        w.usize(self.dots_lo);
+        w.usize(self.wstats.len());
+        for s in &self.wstats {
+            w.f64(s.mean);
+            w.f64(s.std);
+            w.f64(s.sq_norm);
+        }
+        w.f64_seq(self.tail.len(), self.tail.iter().copied());
+        w.usize(self.pushed);
+    }
+
+    fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        self.values.load(r)?;
+        self.dots = r.f64_vec()?.into();
+        self.dots_lo = r.usize()?;
+        let n_stats = r.usize()?;
+        if n_stats > self.horizon + 1 {
+            return Err(corrupt(format!(
+                "discord retains {n_stats} window stats but horizon is {}",
+                self.horizon
+            )));
+        }
+        self.wstats.clear();
+        for _ in 0..n_stats {
+            self.wstats.push_back(WindowStats {
+                mean: r.f64()?,
+                std: r.f64()?,
+                sq_norm: r.f64()?,
+            });
+        }
+        self.tail = r.f64_vec()?.into();
+        self.pushed = r.usize()?;
+        self.scratch.clear();
+        if self.pushed != self.values.next_index()
+            || self.tail.len() > self.m
+            || self.dots.len() > self.horizon + 1
+        {
+            return Err(corrupt(format!(
+                "discord counters inconsistent: pushed {}, ring next {}, \
+                 tail {}, dots {}",
+                self.pushed,
+                self.values.next_index(),
+                self.tail.len(),
+                self.dots.len()
+            )));
+        }
+        Ok(())
     }
 }
 

@@ -37,18 +37,25 @@
 //! scored by `tsad-eval::streaming`).
 
 pub mod adapter;
+pub mod checkpoint;
 pub mod detectors;
 pub mod discord;
 pub mod equivalence;
 pub mod oneliner;
 pub mod replay;
+pub mod sanitize;
 
 pub use adapter::BatchAdapter;
+pub use checkpoint::{checkpoint, restore, CKPT_MAGIC, CKPT_VERSION};
 pub use detectors::{StreamingCusum, StreamingGlobalZScore, StreamingMovingAvgResidual};
 pub use discord::StreamingLeftDiscord;
 pub use equivalence::{check_equivalence, EquivalenceMode, EquivalenceReport};
 pub use oneliner::StreamingOneLiner;
 pub use replay::{replay, replay_many, ReplayConfig, ReplayJob, ReplayOutcome};
+pub use sanitize::{NanPolicy, Sanitized};
+
+use tsad_core::ckpt::{CkptReader, CkptWriter};
+use tsad_core::error::Result;
 
 /// A push-based anomaly detector with bounded memory.
 ///
@@ -96,6 +103,55 @@ pub trait StreamingDetector {
         out.extend(self.finish());
         out
     }
+
+    /// Serializes the detector's *dynamic* state (configuration is carried
+    /// by the instance and only fingerprinted, see [`checkpoint::checkpoint`]).
+    ///
+    /// Together with [`load_state`](Self::load_state) this must satisfy the
+    /// resume contract: saving after `k` pushes and loading into an
+    /// identically-configured fresh instance yields a detector whose
+    /// remaining outputs are **bitwise identical** to the uninterrupted run.
+    fn save_state(&self, w: &mut CkptWriter);
+
+    /// Rehydrates state written by [`save_state`](Self::save_state) into an
+    /// identically-configured instance. Returns
+    /// [`CoreError::Checkpoint`](tsad_core::CoreError) on malformed blobs
+    /// or configuration mismatch; the detector is left in an unspecified
+    /// but safe state on error (callers should `reset` before reuse).
+    fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<()>;
+}
+
+/// Boxed detectors stream like their contents — this is what lets the
+/// replay panel (`Vec<Box<dyn StreamingDetector>>`) be wrapped by
+/// [`Sanitized`] and checkpointed without unboxing.
+impl<T: StreamingDetector + ?Sized> StreamingDetector for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn push(&mut self, x: f64) -> Option<f64> {
+        (**self).push(x)
+    }
+    fn finish(&mut self) -> Vec<f64> {
+        (**self).finish()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn score_offset(&self) -> usize {
+        (**self).score_offset()
+    }
+    fn lag(&self) -> usize {
+        (**self).lag()
+    }
+    fn memory_bound(&self) -> usize {
+        (**self).memory_bound()
+    }
+    fn save_state(&self, w: &mut CkptWriter) {
+        (**self).save_state(w)
+    }
+    fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        (**self).load_state(r)
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +181,13 @@ mod tests {
             }
             fn memory_bound(&self) -> usize {
                 1
+            }
+            fn save_state(&self, w: &mut CkptWriter) {
+                w.opt_f64(self.held);
+            }
+            fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+                self.held = r.opt_f64()?;
+                Ok(())
             }
         }
         let mut d = Delay1 { held: None };

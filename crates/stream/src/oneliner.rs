@@ -30,6 +30,7 @@
 
 use std::collections::VecDeque;
 
+use tsad_core::ckpt::{corrupt, CkptReader, CkptState, CkptWriter};
 use tsad_core::error::{CoreError, Result};
 use tsad_core::ops::incremental;
 use tsad_detectors::oneliner::{Expr, OneLiner};
@@ -153,6 +154,101 @@ impl Node {
                 b.reset();
                 qa.clear();
                 qb.clear();
+            }
+        }
+    }
+
+    /// Structural tag for checkpoint framing; [`load`](Self::load) verifies
+    /// the blob's tree shape against the compiled plan node by node.
+    fn tag(&self) -> u8 {
+        match self {
+            Node::Source => 0,
+            Node::Const(_) => 1,
+            Node::Diff(..) => 2,
+            Node::Abs(_) => 3,
+            Node::Scale(..) => 4,
+            Node::MovMean(..) => 5,
+            Node::MovStd(..) => 6,
+            Node::MovMax(..) => 7,
+            Node::MovMin(..) => 8,
+            Node::Bin { .. } => 9,
+        }
+    }
+
+    /// Serializes the dynamic state of the whole subtree, pre-order.
+    fn save(&self, w: &mut CkptWriter) {
+        w.u8(self.tag());
+        match self {
+            Node::Source | Node::Const(_) => {}
+            Node::Diff(inner, d) => {
+                inner.save(w);
+                d.save(w);
+            }
+            Node::Abs(inner) | Node::Scale(_, inner) => inner.save(w),
+            Node::MovMean(inner, n) => {
+                inner.save(w);
+                n.save(w);
+            }
+            Node::MovStd(inner, n) => {
+                inner.save(w);
+                n.save(w);
+            }
+            Node::MovMax(inner, n) => {
+                inner.save(w);
+                n.save(w);
+            }
+            Node::MovMin(inner, n) => {
+                inner.save(w);
+                n.save(w);
+            }
+            Node::Bin { a, b, qa, qb, .. } => {
+                a.save(w);
+                b.save(w);
+                w.f64_seq(qa.len(), qa.iter().copied());
+                w.f64_seq(qb.len(), qb.iter().copied());
+            }
+        }
+    }
+
+    /// Rehydrates the subtree's dynamic state, failing on any structural
+    /// mismatch between the blob and the compiled plan.
+    fn load(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        let tag = r.u8()?;
+        if tag != self.tag() {
+            return Err(corrupt(format!(
+                "one-liner plan shape mismatch: blob node tag {tag}, plan tag {}",
+                self.tag()
+            )));
+        }
+        match self {
+            Node::Source | Node::Const(_) => Ok(()),
+            Node::Diff(inner, d) => {
+                inner.load(r)?;
+                d.load(r)
+            }
+            Node::Abs(inner) | Node::Scale(_, inner) => inner.load(r),
+            Node::MovMean(inner, n) => {
+                inner.load(r)?;
+                n.load(r)
+            }
+            Node::MovStd(inner, n) => {
+                inner.load(r)?;
+                n.load(r)
+            }
+            Node::MovMax(inner, n) => {
+                inner.load(r)?;
+                n.load(r)
+            }
+            Node::MovMin(inner, n) => {
+                inner.load(r)?;
+                n.load(r)
+            }
+            Node::Bin { a, b, qa, qb, .. } => {
+                a.load(r)?;
+                b.load(r)?;
+                *qa = r.f64_vec()?.into();
+                *qb = r.f64_vec()?.into();
+                Ok(())
             }
         }
     }
@@ -417,6 +513,14 @@ impl StreamingDetector for StreamingOneLiner {
 
     fn memory_bound(&self) -> usize {
         self.root.memory_bound()
+    }
+
+    fn save_state(&self, w: &mut CkptWriter) {
+        self.root.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        self.root.load(r)
     }
 }
 

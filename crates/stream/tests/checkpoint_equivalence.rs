@@ -1,0 +1,170 @@
+//! Acceptance check: suspend/resume is bitwise-equivalent to an
+//! uninterrupted run for **every** `StreamingDetector` in the crate.
+//!
+//! For each detector, each synthetic family, and several split points, the
+//! harness runs the full stream once, then re-runs it as
+//! `push(..split) → checkpoint → construct a fresh instance → restore →
+//! push(split..) → finish`, and compares the concatenated score streams
+//! bit-for-bit. The whole matrix repeats under thread-pool sizes 1, 2 and
+//! 8, pinning the guarantee that checkpoint bytes and resumed scores are
+//! independent of parallelism.
+
+use tsad_detectors::baselines::MovingAvgResidual;
+use tsad_detectors::cusum::Cusum;
+use tsad_detectors::oneliner::{equation, Equation};
+use tsad_stream::{
+    checkpoint, restore, BatchAdapter, NanPolicy, Sanitized, StreamingCusum, StreamingDetector,
+    StreamingGlobalZScore, StreamingLeftDiscord, StreamingMovingAvgResidual, StreamingOneLiner,
+};
+
+fn families() -> Vec<(&'static str, Vec<f64>)> {
+    let yahoo = tsad_synth::yahoo::generate(42, tsad_synth::yahoo::Family::A1, 2);
+    let (nasa, _regions) = tsad_synth::nasa::frozen_signal(7);
+    vec![
+        ("yahoo-a1", yahoo.dataset.values().to_vec()),
+        ("nasa-frozen", nasa.values().to_vec()),
+    ]
+}
+
+/// Adds some non-finite samples so the `Sanitized` wrappers checkpoint a
+/// non-trivial quarantine state.
+fn dirty(mut xs: Vec<f64>) -> Vec<f64> {
+    for i in (13..xs.len()).step_by(97) {
+        xs[i] = f64::NAN;
+    }
+    for i in (41..xs.len()).step_by(211) {
+        xs[i] = f64::INFINITY;
+    }
+    xs
+}
+
+/// The full detector panel. Each entry builds two identical instances: one
+/// runs uninterrupted, one is checkpointed and restored into a fresh twin.
+fn panel(n: usize) -> Vec<(Box<dyn StreamingDetector>, Box<dyn StreamingDetector>)> {
+    let train = (n / 4).max(2);
+    let pair = |f: &dyn Fn() -> Box<dyn StreamingDetector>| (f(), f());
+    vec![
+        pair(&|| Box::new(StreamingGlobalZScore::new(train).unwrap())),
+        pair(&|| Box::new(StreamingCusum::new(Cusum::default(), train).unwrap())),
+        pair(&|| Box::new(StreamingMovingAvgResidual::new(21).unwrap())),
+        pair(&|| {
+            Box::new(StreamingOneLiner::compile(&equation(Equation::Eq5, 21, 3.0, 0.1)).unwrap())
+        }),
+        pair(&|| {
+            Box::new(StreamingOneLiner::compile(&equation(Equation::Eq3, 0, 0.0, 2.0)).unwrap())
+        }),
+        pair(&|| Box::new(StreamingLeftDiscord::new(24, Default::default(), n).unwrap())),
+        pair(&|| Box::new(BatchAdapter::new(MovingAvgResidual::new(11), 64, 16, 0).unwrap())),
+        pair(&|| {
+            Box::new(Sanitized::new(
+                StreamingGlobalZScore::new(train).unwrap(),
+                NanPolicy::Skip,
+            ))
+        }),
+        pair(&|| {
+            Box::new(Sanitized::new(
+                StreamingCusum::new(Cusum::default(), train).unwrap(),
+                NanPolicy::ImputeLast,
+            ))
+        }),
+    ]
+}
+
+/// Runs `det` over `xs` uninterrupted: concatenated push outputs + finish.
+fn run_full(det: &mut dyn StreamingDetector, xs: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = xs.iter().filter_map(|&x| det.push(x)).collect();
+    out.extend(det.finish());
+    out
+}
+
+/// Runs `warm` to `split`, checkpoints it, restores the blob into `fresh`,
+/// resumes on `fresh`, and returns the stitched score stream.
+fn run_resumed(
+    warm: &mut dyn StreamingDetector,
+    fresh: &mut dyn StreamingDetector,
+    xs: &[f64],
+    split: usize,
+) -> Vec<f64> {
+    let mut out: Vec<f64> = xs[..split].iter().filter_map(|&x| warm.push(x)).collect();
+    let blob = checkpoint(warm);
+    restore(fresh, &blob).expect("restore must accept its own checkpoint");
+    out.extend(xs[split..].iter().filter_map(|&x| fresh.push(x)));
+    out.extend(fresh.finish());
+    out
+}
+
+fn assert_bitwise(name: &str, family: &str, split: usize, want: &[f64], got: &[f64]) {
+    assert_eq!(
+        want.len(),
+        got.len(),
+        "{name} on {family} split {split}: length mismatch"
+    );
+    for (i, (a, b)) in want.iter().zip(got).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{name} on {family} split {split}: score {i} diverged ({a} vs {b})"
+        );
+    }
+}
+
+fn full_matrix() {
+    for (family, xs) in families() {
+        let xs = dirty(xs);
+        let n = xs.len();
+        // early (mid warm-up), mid-stream, and late splits
+        for split in [3, n / 7, n / 2, n - 2] {
+            for (warm, fresh) in &mut panel(n) {
+                let name = warm.name();
+                let mut reference = panel(n)
+                    .into_iter()
+                    .find(|(d, _)| d.name() == name)
+                    .unwrap()
+                    .0;
+                let want = run_full(reference.as_mut(), &xs);
+                let got = run_resumed(warm.as_mut(), fresh.as_mut(), &xs, split);
+                assert_bitwise(&name, family, split, &want, &got);
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_is_bitwise_identical_at_one_thread() {
+    tsad_parallel::with_threads(1, full_matrix);
+}
+
+#[test]
+fn resume_is_bitwise_identical_at_two_threads() {
+    tsad_parallel::with_threads(2, full_matrix);
+}
+
+#[test]
+fn resume_is_bitwise_identical_at_eight_threads() {
+    tsad_parallel::with_threads(8, full_matrix);
+}
+
+#[test]
+fn checkpoint_bytes_are_thread_count_invariant() {
+    let (_, xs) = families().remove(0);
+    let xs = dirty(xs);
+    let n = xs.len();
+    let blobs: Vec<Vec<Vec<u8>>> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            tsad_parallel::with_threads(t, || {
+                panel(n)
+                    .into_iter()
+                    .map(|(mut d, _)| {
+                        for &x in &xs[..n / 2] {
+                            d.push(x);
+                        }
+                        checkpoint(d.as_ref())
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    assert_eq!(blobs[0], blobs[1], "1 vs 2 threads");
+    assert_eq!(blobs[0], blobs[2], "1 vs 8 threads");
+}

@@ -1,0 +1,125 @@
+//! No-panic hardening proof for the streaming engine: every public
+//! `StreamingDetector` must survive **arbitrary bit patterns** as input —
+//! NaN with every payload, ±∞, subnormals, negative zero — without
+//! panicking, and must keep its output-length contract
+//! (`n − score_offset()` scores) regardless of values.
+//!
+//! Note the shim's `any::<f64>()` draws from the unit interval, so hostile
+//! floats are generated from raw `u64` bits instead: every NaN payload and
+//! both infinities are reachable.
+
+use proptest::prelude::*;
+use tsad_detectors::baselines::MovingAvgResidual;
+use tsad_detectors::cusum::Cusum;
+use tsad_detectors::oneliner::{equation, Equation};
+use tsad_stream::{
+    checkpoint, restore, BatchAdapter, NanPolicy, Sanitized, StreamingCusum, StreamingDetector,
+    StreamingGlobalZScore, StreamingLeftDiscord, StreamingMovingAvgResidual, StreamingOneLiner,
+};
+
+/// Arbitrary bit patterns: ~every 2048th draw of `u64` is a NaN or ∞, so
+/// mix raw bits with explicitly hostile values to keep density high. (The
+/// shim has no `prop_oneof`, so a selector byte picks the flavour.)
+fn hostile_point((sel, bits): (u8, u64)) -> f64 {
+    match sel % 8 {
+        0 | 1 => f64::from_bits(bits),
+        2 => f64::NAN,
+        3 => f64::INFINITY,
+        4 => f64::NEG_INFINITY,
+        5 => -0.0,
+        6 => f64::MIN_POSITIVE / 2.0, // subnormal
+        _ => (bits % 20_000) as f64 / 100.0 - 100.0,
+    }
+}
+
+fn hostile_stream(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((any::<u8>(), any::<u64>()), min_len..=max_len)
+        .prop_map(|pairs| pairs.into_iter().map(hostile_point).collect())
+}
+
+fn panel(n: usize) -> Vec<Box<dyn StreamingDetector>> {
+    let train = (n / 3).max(2);
+    vec![
+        Box::new(StreamingGlobalZScore::new(train).unwrap()),
+        Box::new(StreamingCusum::new(Cusum::default(), train).unwrap()),
+        Box::new(StreamingMovingAvgResidual::new(9).unwrap()),
+        Box::new(StreamingOneLiner::compile(&equation(Equation::Eq5, 7, 3.0, 0.1)).unwrap()),
+        // horizon must cover the exclusion zone even for tiny streams
+        Box::new(StreamingLeftDiscord::new(8, Default::default(), n.max(8)).unwrap()),
+        Box::new(BatchAdapter::new(MovingAvgResidual::new(5), 32, 8, 0).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_detector_survives_arbitrary_bits(xs in hostile_stream(1, 160)) {
+        for mut det in panel(xs.len()) {
+            let name = det.name();
+            let mut out: Vec<f64> = xs.iter().filter_map(|&x| det.push(x)).collect();
+            out.extend(det.finish());
+            let expect = xs.len().saturating_sub(det.score_offset());
+            prop_assert_eq!(out.len(), expect, "{} length contract", name);
+        }
+    }
+
+    #[test]
+    fn sanitized_wrappers_survive_and_keep_the_contract(xs in hostile_stream(1, 160)) {
+        for policy in [NanPolicy::Propagate, NanPolicy::Skip, NanPolicy::ImputeLast] {
+            for inner in panel(xs.len()) {
+                let mut det = Sanitized::new(inner, policy);
+                let name = det.name();
+                let mut out: Vec<f64> = xs.iter().filter_map(|&x| det.push(x)).collect();
+                out.extend(det.finish());
+                // Sanitized counts score_offset in *kept* samples, so the
+                // offset actually withheld is min(offset, kept)
+                let kept = match policy {
+                    NanPolicy::Skip => xs.iter().filter(|v| v.is_finite()).count(),
+                    _ => xs.len(),
+                };
+                let withheld = det.score_offset().min(kept);
+                prop_assert_eq!(out.len(), xs.len() - withheld, "{} length contract", name);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_survives_hostile_state(xs in hostile_stream(4, 120)) {
+        // a checkpoint taken mid-hostile-stream restores bitwise into a twin
+        let split = xs.len() / 2;
+        for (mut warm, mut fresh) in panel(xs.len()).into_iter().zip(panel(xs.len())) {
+            let mut want: Vec<f64> = xs[..split].iter().filter_map(|&x| warm.push(x)).collect();
+            let blob = checkpoint(warm.as_ref());
+            restore(fresh.as_mut(), &blob).expect("own checkpoint must restore");
+            want.extend(xs[split..].iter().filter_map(|&x| fresh.push(x)));
+            want.extend(fresh.finish());
+
+            let mut reference = panel(xs.len())
+                .into_iter()
+                .find(|d| d.name() == fresh.name())
+                .unwrap();
+            let mut full: Vec<f64> = xs.iter().filter_map(|&x| reference.push(x)).collect();
+            full.extend(reference.finish());
+            prop_assert_eq!(want.len(), full.len());
+            for (a, b) in want.iter().zip(&full) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", fresh.name());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_arbitrary_garbage_without_panicking(
+        blob in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        for mut det in panel(64) {
+            // garbage must error (or in a vanishing fraction of cases pass
+            // the checksum), never panic; afterwards the detector still works
+            let _ = restore(det.as_mut(), &blob);
+            for i in 0..64 {
+                det.push(i as f64);
+            }
+            det.finish();
+        }
+    }
+}
