@@ -50,6 +50,9 @@ const EXPERIMENTS: &[&str] = &[
     "faults-compare",
     "bench-json",
     "bench-compare",
+    "fleet",
+    "fleet-json",
+    "fleet-compare",
     "write-archive",
 ];
 
@@ -63,7 +66,10 @@ fn usage() -> String {
          --baseline PATH   bench-compare: the committed baseline (default BENCH_kernels.json)\n\
          --fresh PATH      bench-compare / faults-compare: the freshly generated document (required)\n\
          --faults-out PATH      where faults-json writes its document (default BENCH_faults.json)\n\
-         --faults-baseline PATH faults-compare: the committed baseline (default BENCH_faults.json)",
+         --faults-baseline PATH faults-compare: the committed baseline (default BENCH_faults.json)\n\
+         --fleet-series N       fleet / fleet-json: series count (defaults: fleet 1000000, fleet-json 100000)\n\
+         --fleet-out PATH       where fleet-json writes its document (default BENCH_fleet.json)\n\
+         --fleet-baseline PATH  fleet-compare: the committed baseline (default BENCH_fleet.json)",
         EXPERIMENTS.join(", ")
     )
 }
@@ -77,6 +83,9 @@ struct Options {
     fresh: Option<String>,
     faults_out: String,
     faults_baseline: String,
+    fleet_series: Option<u64>,
+    fleet_out: String,
+    fleet_baseline: String,
 }
 
 impl Default for Options {
@@ -89,6 +98,9 @@ impl Default for Options {
             fresh: None,
             faults_out: "BENCH_faults.json".to_string(),
             faults_baseline: "BENCH_faults.json".to_string(),
+            fleet_series: None,
+            fleet_out: "BENCH_fleet.json".to_string(),
+            fleet_baseline: "BENCH_fleet.json".to_string(),
         }
     }
 }
@@ -209,6 +221,40 @@ fn run_one(name: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>>
             println!("wrote {} ({} kernels):", opts.bench_out, doc.kernels.len());
             print!("{json}");
         }
+        "fleet" => {
+            // the acceptance-scale demo: a million resident detectors
+            let mut cfg = fleet::FleetBenchConfig::default();
+            if let Some(n) = opts.fleet_series {
+                cfg.series = n;
+            }
+            print!("{}", fleet::render(&fleet::run(seed, &cfg)?));
+        }
+        "fleet-json" => {
+            // CI scale by default, so the committed baseline regenerates
+            // quickly on any machine
+            let mut cfg = fleet::FleetBenchConfig::ci();
+            if let Some(n) = opts.fleet_series {
+                cfg.series = n;
+            }
+            let b = fleet::run(seed, &cfg)?;
+            let json = fleet::render_json(&b);
+            std::fs::write(&opts.fleet_out, &json)?;
+            println!("wrote {} ({} series):", opts.fleet_out, b.cfg.series);
+            print!("{json}");
+        }
+        "fleet-compare" => {
+            let fresh = opts
+                .fresh
+                .as_deref()
+                .ok_or_else(|| format!("fleet-compare needs --fresh PATH\n{}", usage()))?;
+            match bench_compare::run_fleet_files(&opts.fleet_baseline, fresh) {
+                Ok(table) => print!("{table}"),
+                Err(table) => {
+                    print!("{table}");
+                    return Err("fleet-compare gate failed".into());
+                }
+            }
+        }
         "bench-compare" => {
             let fresh = opts
                 .fresh
@@ -275,6 +321,15 @@ fn parse_options(args: &mut Vec<String>) -> Result<Options, String> {
     if let Some(v) = take_value_flag(args, "--faults-baseline")? {
         opts.faults_baseline = v;
     }
+    if let Some(v) = take_value_flag(args, "--fleet-series")? {
+        opts.fleet_series = Some(v.parse().map_err(|e| format!("bad fleet series: {e}"))?);
+    }
+    if let Some(v) = take_value_flag(args, "--fleet-out")? {
+        opts.fleet_out = v;
+    }
+    if let Some(v) = take_value_flag(args, "--fleet-baseline")? {
+        opts.fleet_baseline = v;
+    }
     Ok(opts)
 }
 
@@ -303,6 +358,9 @@ fn main() -> ExitCode {
                         | "bench-compare"
                         | "faults-json"
                         | "faults-compare"
+                        | "fleet"
+                        | "fleet-json"
+                        | "fleet-compare"
                 )
             })
             .map(|s| s.to_string())

@@ -249,6 +249,148 @@ pub fn run_files(baseline_path: &str, fresh_path: &str) -> Result<String, String
     }
 }
 
+// ─── fleet gate (BENCH_fleet.json, schema tsad-bench-fleet/v1) ──────────
+
+/// Fresh `bytes_per_series` may be at most this multiple of the baseline
+/// (the accounted footprint is deterministic, so the margin only covers
+/// deliberate, reviewed growth of detector state).
+pub const MAX_BYTES_PER_SERIES_RATIO: f64 = 1.10;
+
+/// The fleet numbers one document contributes to the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetNumbers {
+    /// Series count (geometry must match to compare at all).
+    pub series: u64,
+    /// Shard count.
+    pub shards: u64,
+    /// Median ns per full round at 1 thread.
+    pub ns_1t: Option<u64>,
+    /// Steady-state allocations per point (`None` = not measured).
+    pub allocs_per_point: Option<u64>,
+    /// Accounted bytes per resident series.
+    pub bytes_per_series: Option<u64>,
+    /// Whether suspend/resume reproduced bitwise.
+    pub bitwise: Option<bool>,
+}
+
+fn extract_fleet(doc_name: &str, text: &str) -> Result<FleetNumbers, String> {
+    let doc = parse(text).map_err(|e| format!("{doc_name}: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{doc_name}: missing \"schema\""))?;
+    if !schema.starts_with("tsad-bench-fleet/") {
+        return Err(format!("{doc_name}: unexpected schema {schema:?}"));
+    }
+    let u64_field = |key: &str| doc.get(key).and_then(JsonValue::as_u64);
+    Ok(FleetNumbers {
+        series: u64_field("series").ok_or_else(|| format!("{doc_name}: missing \"series\""))?,
+        shards: u64_field("shards").ok_or_else(|| format!("{doc_name}: missing \"shards\""))?,
+        ns_1t: u64_field("median_ns_per_round_1_thread"),
+        allocs_per_point: u64_field("allocs_per_point"),
+        bytes_per_series: u64_field("bytes_per_series"),
+        bitwise: doc
+            .get("suspend_resume_bitwise")
+            .and_then(JsonValue::as_bool),
+    })
+}
+
+/// Compares two `BENCH_fleet.json` documents: geometry must match, wall
+/// time is gated relatively (like the kernels), `allocs_per_point` is
+/// gated to exactly zero, `bytes_per_series` to at most
+/// [`MAX_BYTES_PER_SERIES_RATIO`]×, and `suspend_resume_bitwise` must be
+/// `true` in the fresh run.
+pub fn compare_fleet(baseline: &str, fresh: &str, max_ratio: f64) -> Result<CompareReport, String> {
+    let base = extract_fleet("baseline", baseline)?;
+    let new = extract_fleet("fresh", fresh)?;
+    let mut report = CompareReport::default();
+
+    if (base.series, base.shards) != (new.series, new.shards) {
+        report.failures.push(format!(
+            "fleet geometry changed: baseline {}x{} series/shards, fresh {}x{} \
+             (regenerate the committed baseline)",
+            base.series, base.shards, new.series, new.shards
+        ));
+    }
+    let mut row = CompareRow {
+        name: "fleet_ingest_round".to_string(),
+        base_ns: base.ns_1t,
+        fresh_ns: new.ns_1t,
+        ratio: None,
+        base_allocs: base.allocs_per_point,
+        fresh_allocs: new.allocs_per_point,
+    };
+    match (base.ns_1t, new.ns_1t) {
+        (Some(b), Some(f)) if b > 0 => {
+            let ratio = f as f64 / b as f64;
+            row.ratio = Some(ratio);
+            if ratio > max_ratio {
+                report.failures.push(format!(
+                    "fleet ingest: wall-time regression {ratio:.2}x (fresh {f} ns vs \
+                     baseline {b} ns per round, limit {max_ratio:.2}x)"
+                ));
+            }
+        }
+        _ => report
+            .notes
+            .push("fleet ingest: wall time not comparable".to_string()),
+    }
+    match new.allocs_per_point {
+        Some(0) => {}
+        Some(n) => report.failures.push(format!(
+            "fleet ingest: allocs_per_point is {n} (contract: 0)"
+        )),
+        None if base.allocs_per_point.is_some() => report.failures.push(
+            "fleet ingest: allocs_per_point not measured in fresh run (baseline has it)"
+                .to_string(),
+        ),
+        None => report
+            .notes
+            .push("fleet ingest: allocs_per_point not measured on either side".to_string()),
+    }
+    match (base.bytes_per_series, new.bytes_per_series) {
+        (Some(b), Some(f)) if b > 0 => {
+            let ratio = f as f64 / b as f64;
+            if ratio > MAX_BYTES_PER_SERIES_RATIO {
+                report.failures.push(format!(
+                    "fleet footprint: bytes_per_series grew {ratio:.2}x ({b} -> {f}, \
+                     limit {MAX_BYTES_PER_SERIES_RATIO:.2}x)"
+                ));
+            }
+        }
+        _ => report
+            .notes
+            .push("fleet footprint: bytes_per_series not comparable".to_string()),
+    }
+    match new.bitwise {
+        Some(true) => {}
+        Some(false) => report
+            .failures
+            .push("fleet checkpoint: suspend_resume_bitwise is false".to_string()),
+        None => report
+            .failures
+            .push("fleet checkpoint: suspend_resume_bitwise missing from fresh run".to_string()),
+    }
+    report.rows.push(row);
+    Ok(report)
+}
+
+/// Reads both fleet documents and runs the gate; `Err` for
+/// unreadable/malformed inputs or a failed gate.
+pub fn run_fleet_files(baseline_path: &str, fresh_path: &str) -> Result<String, String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read fleet baseline {baseline_path}: {e}"))?;
+    let fresh = std::fs::read_to_string(fresh_path)
+        .map_err(|e| format!("cannot read fresh fleet run {fresh_path}: {e}"))?;
+    let report = compare_fleet(&baseline, &fresh, MAX_WALL_RATIO)?;
+    let table = render(&report);
+    if report.passed() {
+        Ok(table)
+    } else {
+        Err(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +511,111 @@ mod tests {
         assert!(compare(&doc(1, "0"), "{}", MAX_WALL_RATIO).is_err());
         let wrong_schema = doc(1, "0").replace("tsad-bench-kernels/v3", "something-else/v9");
         assert!(compare(&wrong_schema, &doc(1, "0"), MAX_WALL_RATIO).is_err());
+    }
+
+    fn fleet_doc(ns: u64, allocs: &str, bytes: u64, bitwise: &str) -> String {
+        format!(
+            r#"{{
+  "schema": "tsad-bench-fleet/v1",
+  "seed": 42,
+  "series": 100000,
+  "shards": 64,
+  "median_ns_per_round_1_thread": {ns},
+  "allocs_per_point": {allocs},
+  "bytes_per_series": {bytes},
+  "suspend_resume_bitwise": {bitwise}
+}}"#
+        )
+    }
+
+    #[test]
+    fn identical_fleet_documents_pass() {
+        let doc = fleet_doc(50_000_000, "0", 240, "true");
+        let report = compare_fleet(&doc, &doc, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.rows.len(), 1);
+        assert!((report.rows[0].ratio.unwrap() - 1.0).abs() < 1e-12);
+        assert!(render(&report).contains("fleet_ingest_round"));
+    }
+
+    #[test]
+    fn fleet_wall_regression_and_speedup_behave_like_kernels() {
+        let base = fleet_doc(50_000_000, "0", 240, "true");
+        let slow = fleet_doc(100_000_000, "0", 240, "true");
+        let report = compare_fleet(&base, &slow, MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("2.00x")));
+        let report = compare_fleet(&slow, &base, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn fleet_alloc_gate_is_exact() {
+        let base = fleet_doc(1000, "0", 240, "true");
+        for bad in ["1", "null"] {
+            let report =
+                compare_fleet(&base, &fleet_doc(1000, bad, 240, "true"), MAX_WALL_RATIO).unwrap();
+            assert!(!report.passed(), "allocs {bad} passed");
+            assert!(report
+                .failures
+                .iter()
+                .any(|f| f.contains("allocs_per_point")));
+        }
+    }
+
+    #[test]
+    fn fleet_footprint_growth_fails_but_margin_passes() {
+        let base = fleet_doc(1000, "0", 240, "true");
+        // +8% is inside the 10% margin
+        let report =
+            compare_fleet(&base, &fleet_doc(1000, "0", 259, "true"), MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        // +20% is not
+        let report =
+            compare_fleet(&base, &fleet_doc(1000, "0", 288, "true"), MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("bytes_per_series")));
+    }
+
+    #[test]
+    fn fleet_bitwise_flag_must_hold() {
+        let base = fleet_doc(1000, "0", 240, "true");
+        let report =
+            compare_fleet(&base, &fleet_doc(1000, "0", 240, "false"), MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("suspend_resume_bitwise")));
+    }
+
+    #[test]
+    fn fleet_geometry_change_fails_the_gate() {
+        let base = fleet_doc(1000, "0", 240, "true");
+        let rescaled = base.replace("\"series\": 100000", "\"series\": 50000");
+        let report = compare_fleet(&base, &rescaled, MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("geometry")));
+    }
+
+    #[test]
+    fn fleet_malformed_inputs_are_errors() {
+        let good = fleet_doc(1000, "0", 240, "true");
+        assert!(compare_fleet("nope", &good, MAX_WALL_RATIO).is_err());
+        assert!(compare_fleet(&good, "{}", MAX_WALL_RATIO).is_err());
+        let wrong = good.replace("tsad-bench-fleet/v1", "tsad-bench-kernels/v3");
+        assert!(compare_fleet(&wrong, &good, MAX_WALL_RATIO).is_err());
+    }
+
+    #[test]
+    fn a_real_fleet_run_compares_clean_against_itself() {
+        use crate::experiments::fleet::{render_json, run as run_fleet, FleetBenchConfig};
+        let rendered = render_json(&run_fleet(42, &FleetBenchConfig::smoke()).unwrap());
+        let report = compare_fleet(&rendered, &rendered, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod experiments {
     pub mod density;
     pub mod faults;
     pub mod fig13;
+    pub mod fleet;
     pub mod gallery;
     pub mod invariances;
     pub mod mislabels;

@@ -164,6 +164,57 @@ fn warm_stomp_stays_allocation_free_with_obs_pinned_off() {
 }
 
 #[test]
+fn fleet_steady_state_ingest_is_allocation_free() {
+    // The fleet contract (DESIGN.md §10): once every series is resident
+    // and every reusable buffer has hit its high-water mark, batched
+    // ingestion performs zero heap allocations at one effective thread —
+    // with observability ON (TSAD_OBS is unset here), so the fleet's
+    // counters, gauges, and spans are proven free along with the slab,
+    // LRU, and per-batch buffers. `repro -- fleet-json` records the same
+    // number in BENCH_fleet.json as `allocs_per_point`, gated by
+    // `fleet-compare` in CI.
+    use tsad_fleet::{BatchOutput, Fleet, FleetConfig, SeriesId};
+    use tsad_stream::{FnFactory, NanPolicy, Sanitized, StreamingCusum};
+
+    let spawn = |_id: u64| {
+        Sanitized::new(
+            StreamingCusum::new(Default::default(), 8).unwrap(),
+            NanPolicy::Skip,
+        )
+    };
+    let mut fleet = Fleet::new(
+        FnFactory(spawn),
+        FleetConfig {
+            shards: 8,
+            ..FleetConfig::default()
+        },
+    );
+    let mut out = BatchOutput::new();
+    let mut batch: Vec<(SeriesId, f64)> = Vec::with_capacity(512);
+    let mut drive = |fleet: &mut Fleet<_>, out: &mut BatchOutput, round: u64| {
+        for chunk in 0..4u64 {
+            batch.clear();
+            for id in (chunk * 512)..((chunk + 1) * 512) {
+                batch.push((SeriesId(id), ((id * 31 + round * 7) % 100) as f64 / 10.0));
+            }
+            fleet.push_batch(&batch, out);
+        }
+    };
+    with_threads(1, || {
+        // warm-up: spawn all 2048 series, calibrate (train=8), and let
+        // every reusable buffer reach its high-water mark
+        for round in 0..12 {
+            drive(&mut fleet, &mut out, round);
+        }
+        let allocs = count_allocs(|| {
+            drive(&mut fleet, &mut out, 12);
+        });
+        assert_eq!(allocs, 0, "steady-state fleet ingest allocated");
+    });
+    assert_eq!(fleet.series_active(), 2048);
+}
+
+#[test]
 fn warm_euclidean_stomp_is_allocation_free() {
     // the other scorer path has the same contract
     let x = series(700, 5);

@@ -29,14 +29,22 @@
 
 use crate::error::{CoreError, Result};
 
-/// Builds the FNV-1a/64 digest used to seal checkpoint blobs.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a/64 over `bytes` — the digest that seals checkpoint blobs, also
+/// exposed so multi-segment containers (the fleet's per-shard segments)
+/// can record each segment's digest in a [`SegmentManifest`] and detect
+/// corruption *before* parsing the segment.
+pub fn digest64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Builds the FNV-1a/64 digest used to seal checkpoint blobs.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    digest64(bytes)
 }
 
 /// Shorthand for the corrupt-checkpoint error.
@@ -115,6 +123,13 @@ impl CkptWriter {
             self.f64(v);
         }
         debug_assert_eq!(self.buf.len() - before, len * 8, "len mismatch");
+    }
+
+    /// Appends a length-prefixed raw byte blob (nested sealed blobs,
+    /// opaque payloads).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
     }
 
     /// Bytes written so far (excluding the checksum `finish` will add).
@@ -265,6 +280,13 @@ impl<'a> CkptReader<'a> {
         Ok(out)
     }
 
+    /// Reads a length-prefixed raw byte blob. The declared length is
+    /// validated against the bytes present before any allocation.
+    pub fn bytes_vec(&mut self) -> Result<Vec<u8>> {
+        let len = self.usize()?;
+        Ok(self.take(len, "byte blob")?.to_vec())
+    }
+
     /// Bytes left to read.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
@@ -296,6 +318,144 @@ pub trait CkptState {
     /// Rehydrates the dynamic state, validating against the instance's
     /// configuration.
     fn load(&mut self, r: &mut CkptReader<'_>) -> Result<()>;
+}
+
+/// Envelope magic for [`SegmentManifest`] blobs: `"TSMF"`.
+pub const MANIFEST_MAGIC: u32 = 0x5453_4D46;
+
+/// Current manifest layout version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One sealed segment's byte length and FNV-1a/64 digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Segment length in bytes (including its own trailing digest).
+    pub len: u64,
+    /// [`digest64`] over the segment's bytes.
+    pub digest: u64,
+}
+
+impl SegmentEntry {
+    /// Describes a sealed segment blob.
+    pub fn describe(segment: &[u8]) -> Self {
+        Self {
+            len: segment.len() as u64,
+            digest: digest64(segment),
+        }
+    }
+
+    /// Verifies `segment` against this entry (length first, then digest),
+    /// so truncation and corruption are caught before the segment is
+    /// parsed.
+    pub fn verify(&self, segment: &[u8]) -> Result<()> {
+        if segment.len() as u64 != self.len {
+            return Err(corrupt(format!(
+                "segment is {} bytes, manifest declares {}",
+                segment.len(),
+                self.len
+            )));
+        }
+        let computed = digest64(segment);
+        if computed != self.digest {
+            return Err(corrupt(format!(
+                "segment digest mismatch: manifest {:#018x}, computed {computed:#018x}",
+                self.digest
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A sealed table of contents over a set of independently sealed segment
+/// blobs — the envelope for *sharded* checkpoints.
+///
+/// A multi-segment checkpoint (the fleet's per-shard state) stores each
+/// segment as its own sealed [`CkptWriter`] blob and fronts them with one
+/// of these: a fingerprint identifying the producer's configuration, a
+/// free-form `meta` word list for container-specific scalars (shard count,
+/// series totals, budgets), and one [`SegmentEntry`] per segment. Readers
+/// verify the manifest's own seal, then each segment's declared length and
+/// digest before parsing it, so one corrupted shard is reported as exactly
+/// that rather than as a parse error deep inside the segment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SegmentManifest {
+    /// Producer configuration fingerprint (refused on mismatch, like the
+    /// per-detector name fingerprint in `tsad-stream::checkpoint`).
+    pub fingerprint: String,
+    /// Container-specific scalar metadata, in a fixed order the container
+    /// defines.
+    pub meta: Vec<u64>,
+    /// Length + digest per segment, in segment order.
+    pub segments: Vec<SegmentEntry>,
+}
+
+impl SegmentManifest {
+    /// Serializes into a sealed blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        w.u32(MANIFEST_MAGIC);
+        w.u32(MANIFEST_VERSION);
+        w.str(&self.fingerprint);
+        w.usize(self.meta.len());
+        for &m in &self.meta {
+            w.u64(m);
+        }
+        w.usize(self.segments.len());
+        for s in &self.segments {
+            w.u64(s.len);
+            w.u64(s.digest);
+        }
+        w.finish()
+    }
+
+    /// Parses and validates a sealed manifest blob.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = CkptReader::new(bytes)?;
+        let magic = r.u32()?;
+        if magic != MANIFEST_MAGIC {
+            return Err(corrupt(format!(
+                "bad manifest magic {magic:#010x}, expected {MANIFEST_MAGIC:#010x}"
+            )));
+        }
+        let version = r.u32()?;
+        if version != MANIFEST_VERSION {
+            return Err(corrupt(format!(
+                "unsupported manifest version {version}, this build reads {MANIFEST_VERSION}"
+            )));
+        }
+        let fingerprint = r.string()?;
+        let meta_len = r.usize()?;
+        if meta_len.saturating_mul(8) > r.remaining() {
+            return Err(corrupt(format!(
+                "manifest declares {meta_len} meta words but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut meta = Vec::with_capacity(meta_len);
+        for _ in 0..meta_len {
+            meta.push(r.u64()?);
+        }
+        let seg_len = r.usize()?;
+        if seg_len.saturating_mul(16) > r.remaining() {
+            return Err(corrupt(format!(
+                "manifest declares {seg_len} segments but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut segments = Vec::with_capacity(seg_len);
+        for _ in 0..seg_len {
+            segments.push(SegmentEntry {
+                len: r.u64()?,
+                digest: r.u64()?,
+            });
+        }
+        r.done()?;
+        Ok(Self {
+            fingerprint,
+            meta,
+            segments,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +548,98 @@ mod tests {
         let blob = w.finish();
         let mut r = CkptReader::new(&blob).unwrap();
         assert!(r.string().is_err());
+    }
+
+    #[test]
+    fn byte_blobs_round_trip_and_reject_hostile_lengths() {
+        let mut w = CkptWriter::new();
+        w.bytes(b"nested \x00 payload");
+        w.bytes(b"");
+        let blob = w.finish();
+        let mut r = CkptReader::new(&blob).unwrap();
+        assert_eq!(r.bytes_vec().unwrap(), b"nested \x00 payload");
+        assert_eq!(r.bytes_vec().unwrap(), b"");
+        r.done().unwrap();
+
+        // a declared length beyond the payload is rejected pre-allocation
+        let mut w = CkptWriter::new();
+        w.u64(1 << 40);
+        let blob = w.finish();
+        let mut r = CkptReader::new(&blob).unwrap();
+        assert!(r.bytes_vec().is_err());
+    }
+
+    #[test]
+    fn segment_manifest_round_trips_and_verifies() {
+        let seg_a = {
+            let mut w = CkptWriter::new();
+            w.u64(11);
+            w.finish()
+        };
+        let seg_b = {
+            let mut w = CkptWriter::new();
+            w.str("shard 1");
+            w.finish()
+        };
+        let m = SegmentManifest {
+            fingerprint: "fleet of CUSUM (stream, train=8)".to_string(),
+            meta: vec![2, 1_000_000],
+            segments: vec![
+                SegmentEntry::describe(&seg_a),
+                SegmentEntry::describe(&seg_b),
+            ],
+        };
+        let bytes = m.to_bytes();
+        let back = SegmentManifest::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        back.segments[0].verify(&seg_a).unwrap();
+        back.segments[1].verify(&seg_b).unwrap();
+
+        // swapped segments fail digest verification
+        assert!(back.segments[0].verify(&seg_b).is_err());
+        // truncation fails on length before the digest even runs
+        assert!(back.segments[0].verify(&seg_a[..seg_a.len() - 1]).is_err());
+        // one flipped segment byte fails digest verification
+        let mut bad = seg_a.clone();
+        bad[0] ^= 0x10;
+        assert!(back.segments[0].verify(&bad).is_err());
+
+        // any flipped manifest byte is caught by the manifest's own seal
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x40;
+            assert!(
+                SegmentManifest::from_bytes(&corrupted).is_err(),
+                "manifest flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_manifest_rejects_wrong_magic_and_version() {
+        let mut w = CkptWriter::new();
+        w.u32(0xBAD0_BAD0);
+        w.u32(MANIFEST_VERSION);
+        w.str("fp");
+        w.usize(0);
+        w.usize(0);
+        assert!(SegmentManifest::from_bytes(&w.finish()).is_err());
+
+        let mut w = CkptWriter::new();
+        w.u32(MANIFEST_MAGIC);
+        w.u32(MANIFEST_VERSION + 1);
+        w.str("fp");
+        w.usize(0);
+        w.usize(0);
+        assert!(SegmentManifest::from_bytes(&w.finish()).is_err());
+
+        // hostile declared counts cannot over-allocate
+        let mut w = CkptWriter::new();
+        w.u32(MANIFEST_MAGIC);
+        w.u32(MANIFEST_VERSION);
+        w.str("fp");
+        w.u64(u64::MAX);
+        assert!(SegmentManifest::from_bytes(&w.finish()).is_err());
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Sharded checkpoint container: one sealed segment per shard, fronted
+//! by a sealed [`SegmentManifest`].
+//!
+//! ```text
+//! FleetCheckpoint
+//! ├── manifest  — sealed tsad_core::ckpt::SegmentManifest blob
+//! │     fingerprint = factory fingerprint
+//! │     meta        = [FLEET_VERSION, shard_count, series_total, batches]
+//! │     segments[i] = { len, digest } of segment i
+//! └── segments  — per-shard sealed blobs (see `Shard::segment_bytes`)
+//!       usize shard_index
+//!       usize entry_count
+//!       entries in LRU order: id, name fingerprint, last_touch, state
+//! ```
+//!
+//! Every layer is independently verifiable: the manifest carries its own
+//! FNV-1a/64 seal, each segment carries its own, and the manifest
+//! additionally records each segment's length and digest — so a truncated
+//! or corrupted shard is identified *as that shard* before any of its
+//! bytes are parsed, and restore can refuse the whole checkpoint with a
+//! typed error while leaving the fleet reset and usable.
+//!
+//! [`to_bytes`](FleetCheckpoint::to_bytes)/[`from_bytes`](FleetCheckpoint::from_bytes)
+//! give the container a flat wire form (`u64` manifest length, manifest,
+//! segments back to back) for writing to a single file; the segment
+//! boundaries are recovered from the manifest.
+
+use tsad_core::ckpt::{corrupt, SegmentManifest};
+use tsad_core::error::Result;
+
+/// Fleet checkpoint layout version, carried as `meta[0]` in the manifest.
+pub const FLEET_VERSION: u64 = 1;
+
+/// Number of `meta` words a fleet manifest carries.
+pub(crate) const FLEET_META_WORDS: usize = 4;
+
+/// A sharded fleet checkpoint: sealed manifest plus per-shard sealed
+/// segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetCheckpoint {
+    /// Sealed [`SegmentManifest`] blob.
+    pub manifest: Vec<u8>,
+    /// Per-shard sealed segment blobs, in shard order.
+    pub segments: Vec<Vec<u8>>,
+}
+
+impl FleetCheckpoint {
+    /// Total size of the checkpoint in bytes (manifest + segments,
+    /// excluding the 8-byte wire-form length prefix).
+    pub fn total_bytes(&self) -> usize {
+        self.manifest.len() + self.segments.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Flattens into the wire form: `u64` manifest length (little-endian),
+    /// manifest blob, then every segment back to back.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.total_bytes());
+        out.extend_from_slice(&(self.manifest.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.manifest);
+        for seg in &self.segments {
+            out.extend_from_slice(seg);
+        }
+        out
+    }
+
+    /// Parses the wire form, validating the manifest's seal and using its
+    /// declared segment lengths to recover the segment boundaries. Every
+    /// length is bounds-checked before slicing; segment *digests* are
+    /// verified by restore, so a checkpoint with a corrupt segment can
+    /// still be loaded into memory and diagnosed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 8 {
+            return Err(corrupt(format!(
+                "fleet checkpoint of {} bytes is too short for the manifest length",
+                bytes.len()
+            )));
+        }
+        let (len_bytes, rest) = bytes.split_at(8);
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(len_bytes);
+        let manifest_len = u64::from_le_bytes(len8);
+        let manifest_len = usize::try_from(manifest_len)
+            .ok()
+            .filter(|&n| n <= rest.len())
+            .ok_or_else(|| {
+                corrupt(format!(
+                    "manifest length {manifest_len} exceeds the {} bytes present",
+                    rest.len()
+                ))
+            })?;
+        let (manifest_bytes, mut seg_bytes) = rest.split_at(manifest_len);
+        let manifest = SegmentManifest::from_bytes(manifest_bytes)?;
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for (i, entry) in manifest.segments.iter().enumerate() {
+            let len = usize::try_from(entry.len)
+                .ok()
+                .filter(|&n| n <= seg_bytes.len())
+                .ok_or_else(|| {
+                    corrupt(format!(
+                        "segment {i} declares {} bytes but only {} remain",
+                        entry.len,
+                        seg_bytes.len()
+                    ))
+                })?;
+            let (seg, rest) = seg_bytes.split_at(len);
+            segments.push(seg.to_vec());
+            seg_bytes = rest;
+        }
+        if !seg_bytes.is_empty() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the last segment",
+                seg_bytes.len()
+            )));
+        }
+        Ok(Self {
+            manifest: manifest_bytes.to_vec(),
+            segments,
+        })
+    }
+
+    /// Parses and validates the manifest blob.
+    pub fn parse_manifest(&self) -> Result<SegmentManifest> {
+        SegmentManifest::from_bytes(&self.manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::ckpt::{CkptWriter, SegmentEntry};
+
+    fn sample() -> FleetCheckpoint {
+        let seg = |tag: u64| {
+            let mut w = CkptWriter::new();
+            w.u64(tag);
+            w.finish()
+        };
+        let segments = vec![seg(0), seg(1), seg(2)];
+        let manifest = SegmentManifest {
+            fingerprint: "test fleet".to_string(),
+            meta: vec![FLEET_VERSION, 3, 0, 0],
+            segments: segments.iter().map(|s| SegmentEntry::describe(s)).collect(),
+        };
+        FleetCheckpoint {
+            manifest: manifest.to_bytes(),
+            segments,
+        }
+    }
+
+    #[test]
+    fn wire_form_round_trips() {
+        let ckpt = sample();
+        let bytes = ckpt.to_bytes();
+        assert_eq!(bytes.len(), 8 + ckpt.total_bytes());
+        let back = FleetCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        back.parse_manifest().unwrap();
+    }
+
+    #[test]
+    fn truncated_wire_form_is_rejected_at_every_cut() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                FleetCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0xAB);
+        assert!(FleetCheckpoint::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_manifest_length_cannot_over_allocate() {
+        let mut bytes = (u64::MAX).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 32]);
+        assert!(FleetCheckpoint::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Fleet suspend/resume: a checkpointed fleet must resume **bitwise
+//! identically** to the uninterrupted run, at every shard and thread
+//! count; corrupted or truncated checkpoints must be rejected with the
+//! fleet left reset and usable; restoring into a smaller budget must
+//! evict deterministically in checkpoint recency order.
+
+use proptest::prelude::*;
+use tsad_fleet::{BatchOutput, Fleet, FleetCheckpoint, FleetConfig, SeriesId};
+use tsad_parallel::with_threads;
+use tsad_stream::{FnFactory, NanPolicy, Sanitized, StreamingGlobalZScore};
+
+type ZFactory = FnFactory<fn(u64) -> Sanitized<StreamingGlobalZScore>>;
+
+fn spawn_one(_id: u64) -> Sanitized<StreamingGlobalZScore> {
+    Sanitized::new(StreamingGlobalZScore::new(4).unwrap(), NanPolicy::Skip)
+}
+
+fn factory() -> ZFactory {
+    FnFactory(spawn_one)
+}
+
+fn fleet(shards: usize, budget: usize) -> Fleet<ZFactory> {
+    Fleet::new(
+        factory(),
+        FleetConfig {
+            shards,
+            shard_budget_bytes: budget,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+fn value(id: u64, step: u64) -> f64 {
+    let mut x = id
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add(step.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    x ^= x >> 33;
+    (x % 1000) as f64 / 10.0
+}
+
+fn workload(series: u64, batches: u64) -> Vec<Vec<(SeriesId, f64)>> {
+    (0..batches)
+        .map(|t| {
+            (0..series)
+                .filter(|id| (id + 2 * t) % 4 != 0)
+                .map(|id| (SeriesId(id), value(id, t)))
+                .collect()
+        })
+        .collect()
+}
+
+fn drive(fleet: &mut Fleet<ZFactory>, batches: &[Vec<(SeriesId, f64)>]) -> Vec<(usize, u64, u64)> {
+    let mut out = BatchOutput::new();
+    let mut log = Vec::new();
+    for batch in batches {
+        fleet.push_batch(batch, &mut out);
+        for s in &out.scores {
+            log.push((s.batch_index, s.id.0, s.score.to_bits()));
+        }
+    }
+    log
+}
+
+#[test]
+fn suspend_resume_is_bitwise_across_shards_and_threads() {
+    let batches = workload(60, 16);
+    let (first, second) = batches.split_at(8);
+    for &shards in &[1usize, 4, 16] {
+        // uninterrupted reference
+        let mut reference = fleet(shards, usize::MAX);
+        drive(&mut reference, first);
+        let tail_ref = drive(&mut reference, second);
+        assert!(!tail_ref.is_empty());
+
+        for &threads in &[1usize, 2, 8] {
+            let tail = with_threads(threads, || {
+                let mut a = fleet(shards, usize::MAX);
+                drive(&mut a, first);
+                let ckpt = a.checkpoint();
+                // round-trip through the flat wire form too
+                let ckpt = FleetCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+                let mut b = fleet(shards, usize::MAX);
+                let report = b.restore(&ckpt).unwrap();
+                assert_eq!(report.series, a.series_active());
+                assert!(report.evicted.is_empty());
+                assert_eq!(b.batches(), a.batches());
+                drive(&mut b, second)
+            });
+            assert_eq!(
+                tail, tail_ref,
+                "resume diverged at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_restore_checkpoint_is_bitwise_stable() {
+    // recency (LRU) order must survive the round trip: checkpointing a
+    // restored fleet reproduces the original image exactly
+    let batches = workload(40, 10);
+    let mut a = fleet(8, usize::MAX);
+    drive(&mut a, &batches);
+    let ckpt = a.checkpoint();
+    let mut b = fleet(8, usize::MAX);
+    b.restore(&ckpt).unwrap();
+    let again = b.checkpoint();
+    assert_eq!(ckpt.to_bytes(), again.to_bytes());
+}
+
+#[test]
+fn restore_into_smaller_budget_evicts_deterministically() {
+    let batches = workload(50, 12);
+    let mut big = fleet(4, usize::MAX);
+    drive(&mut big, &batches);
+    let ckpt = big.checkpoint();
+    let per_entry = tsad_fleet::entry_bytes(&spawn_one(0));
+
+    // restore twice into the same smaller budget: identical eviction lists
+    let budget = per_entry * 5;
+    let mut small1 = fleet(4, budget);
+    let report1 = small1.restore(&ckpt).unwrap();
+    let mut small2 = fleet(4, budget);
+    let report2 = small2.restore(&ckpt).unwrap();
+    assert!(!report1.evicted.is_empty(), "budget never forced eviction");
+    assert_eq!(report1, report2);
+    assert_eq!(report1.series, small1.series_active());
+    assert!(small1.bytes_in_use() <= 4 * budget);
+
+    // evicted series are the *least recently fed* — every survivor's last
+    // batch is no earlier than every evicted series' last batch, per shard
+    let mut last_batch = std::collections::HashMap::new();
+    for (t, batch) in batches.iter().enumerate() {
+        for &(id, _) in batch {
+            last_batch.insert(id.0, t);
+        }
+    }
+    for &evicted in &report1.evicted {
+        let shard = small1.shard_of(evicted);
+        let e_last = last_batch[&evicted.0];
+        for (&id, &s_last) in &last_batch {
+            if small1.contains(SeriesId(id)) && small1.shard_of(SeriesId(id)) == shard {
+                assert!(
+                    s_last >= e_last,
+                    "survivor {id} (last batch {s_last}) is older than evicted \
+                     {} (last batch {e_last})",
+                    evicted.0
+                );
+            }
+        }
+    }
+
+    // the restored-and-evicted fleet keeps working
+    let mut out = BatchOutput::new();
+    small1.push_batch(&[(SeriesId(1), 1.0)], &mut out);
+}
+
+#[test]
+fn restore_rejects_mismatched_geometry_and_leaves_fleet_usable() {
+    let batches = workload(30, 6);
+    let mut a = fleet(4, usize::MAX);
+    drive(&mut a, &batches);
+    let ckpt = a.checkpoint();
+
+    // wrong shard count
+    let mut wrong = fleet(8, usize::MAX);
+    assert!(wrong.restore(&ckpt).is_err());
+    assert_eq!(wrong.series_active(), 0);
+    let mut out = BatchOutput::new();
+    wrong.push_batch(&[(SeriesId(9), 2.0)], &mut out);
+    assert_eq!(out.points, 1);
+
+    // segment list shorter than the manifest promises
+    let mut short = ckpt.clone();
+    short.segments.pop();
+    let mut f = fleet(4, usize::MAX);
+    assert!(f.restore(&short).is_err());
+    assert_eq!(f.series_active(), 0);
+
+    // segments swapped between shards: digests still match their manifest
+    // entries only if we swap those too — the per-segment shard index
+    // check must still refuse
+    let mut swapped = ckpt.clone();
+    swapped.segments.swap(0, 1);
+    let manifest = ckpt.parse_manifest().unwrap();
+    let mut entries = manifest.segments.clone();
+    entries.swap(0, 1);
+    let swapped_manifest = tsad_core::ckpt::SegmentManifest {
+        fingerprint: manifest.fingerprint.clone(),
+        meta: manifest.meta.clone(),
+        segments: entries,
+    };
+    swapped.manifest = swapped_manifest.to_bytes();
+    let mut f = fleet(4, usize::MAX);
+    assert!(f.restore(&swapped).is_err());
+    assert_eq!(f.series_active(), 0);
+}
+
+#[test]
+fn restore_detects_single_byte_corruption_in_any_segment() {
+    let batches = workload(12, 6);
+    let mut a = fleet(2, usize::MAX);
+    drive(&mut a, &batches);
+    let ckpt = a.checkpoint();
+    for seg in 0..ckpt.segments.len() {
+        // stride through the segment to keep runtime sane
+        for pos in (0..ckpt.segments[seg].len()).step_by(7) {
+            let mut bad = ckpt.clone();
+            bad.segments[seg][pos] ^= 0x01;
+            let mut f = fleet(2, usize::MAX);
+            assert!(
+                f.restore(&bad).is_err(),
+                "flip at segment {seg} byte {pos} restored"
+            );
+            assert_eq!(f.series_active(), 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Truncating the flat checkpoint image anywhere must fail cleanly —
+    /// either at parse or at restore — and leave the fleet reset.
+    #[test]
+    fn truncated_checkpoint_never_restores(
+        series in 1u64..30,
+        batches in 1u64..8,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let work = workload(series, batches);
+        let mut a = fleet(4, usize::MAX);
+        drive(&mut a, &work);
+        let bytes = a.checkpoint().to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < bytes.len());
+        let outcome = FleetCheckpoint::from_bytes(&bytes[..cut])
+            .and_then(|c| fleet(4, usize::MAX).restore(&c));
+        prop_assert!(outcome.is_err(), "cut at {} of {} parsed+restored", cut, bytes.len());
+    }
+
+    /// Flipping any byte of the flat image must fail cleanly (manifest
+    /// seal, manifest digest-of-segment, or segment seal catches it), and
+    /// the failed fleet must remain usable.
+    #[test]
+    fn corrupted_checkpoint_never_restores(
+        series in 1u64..30,
+        batches in 1u64..8,
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let work = workload(series, batches);
+        let mut a = fleet(4, usize::MAX);
+        drive(&mut a, &work);
+        let mut bytes = a.checkpoint().to_bytes();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize;
+        prop_assume!(pos < bytes.len());
+        bytes[pos] ^= 1 << bit;
+        let mut f = fleet(4, usize::MAX);
+        let outcome = FleetCheckpoint::from_bytes(&bytes)
+            .and_then(|c| f.restore(&c));
+        prop_assert!(outcome.is_err(), "flip at {}:{} restored", pos, bit);
+        prop_assert_eq!(f.series_active(), 0);
+        let mut out = BatchOutput::new();
+        f.push_batch(&[(SeriesId(3), 1.5)], &mut out);
+        prop_assert_eq!(out.points, 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Fleet determinism: batch scores and checkpoint bytes must be bitwise
+//! identical at every shard count and every thread count, and identical
+//! to feeding each series through its own standalone detector.
+
+use std::collections::BTreeMap;
+
+use tsad_fleet::{BatchOutput, Fleet, FleetConfig, SeriesId};
+use tsad_parallel::with_threads;
+use tsad_stream::{FnFactory, StreamingDetector, StreamingGlobalZScore};
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn factory() -> FnFactory<impl Fn(u64) -> StreamingGlobalZScore + Sync> {
+    FnFactory(|_id| StreamingGlobalZScore::new(4).unwrap())
+}
+
+/// Deterministic pseudo-random value for (series, step).
+fn value(id: u64, step: u64) -> f64 {
+    let mut x = id
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(step.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 29;
+    (x % 10_000) as f64 / 100.0 - 50.0
+}
+
+/// A workload of `batches` batches over `series` series, each batch
+/// carrying a varying subset so series interleave, appear, and go idle.
+fn workload(series: u64, batches: u64) -> Vec<Vec<(SeriesId, f64)>> {
+    (0..batches)
+        .map(|t| {
+            (0..series)
+                .filter(|id| (id + t) % 3 != 0)
+                .map(|id| (SeriesId(id), value(id, t)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the workload and returns every (batch_no, batch_index, id, score
+/// bits) tuple in emission order.
+fn run(shards: usize, batches: &[Vec<(SeriesId, f64)>]) -> Vec<(usize, usize, u64, u64)> {
+    let mut fleet = Fleet::new(
+        factory(),
+        FleetConfig {
+            shards,
+            ..FleetConfig::default()
+        },
+    );
+    let mut out = BatchOutput::new();
+    let mut log = Vec::new();
+    for (t, batch) in batches.iter().enumerate() {
+        fleet.push_batch(batch, &mut out);
+        for s in &out.scores {
+            log.push((t, s.batch_index, s.id.0, s.score.to_bits()));
+        }
+    }
+    log
+}
+
+#[test]
+fn scores_are_invariant_across_shard_and_thread_counts() {
+    let batches = workload(97, 20);
+    let reference = with_threads(1, || run(1, &batches));
+    assert!(!reference.is_empty());
+    for &shards in &SHARD_COUNTS {
+        for &threads in &THREAD_COUNTS {
+            let got = with_threads(threads, || run(shards, &batches));
+            assert_eq!(
+                got, reference,
+                "scores diverged at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_scores_match_standalone_detectors() {
+    let batches = workload(31, 24);
+    let fleet_log = run(4, &batches);
+
+    // replay per series through standalone detectors
+    let mut dets: BTreeMap<u64, StreamingGlobalZScore> = BTreeMap::new();
+    let mut expected: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for batch in &batches {
+        for &(id, v) in batch {
+            let det = dets
+                .entry(id.0)
+                .or_insert_with(|| StreamingGlobalZScore::new(4).unwrap());
+            if let Some(score) = det.push(v) {
+                expected.entry(id.0).or_default().push(score.to_bits());
+            }
+        }
+    }
+    let mut got: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for (_, _, id, bits) in fleet_log {
+        got.entry(id).or_default().push(bits);
+    }
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn checkpoint_bytes_are_invariant_across_thread_counts() {
+    let batches = workload(64, 12);
+    for &shards in &SHARD_COUNTS {
+        let images: Vec<Vec<u8>> = THREAD_COUNTS
+            .iter()
+            .map(|&threads| {
+                with_threads(threads, || {
+                    let mut fleet = Fleet::new(
+                        factory(),
+                        FleetConfig {
+                            shards,
+                            ..FleetConfig::default()
+                        },
+                    );
+                    let mut out = BatchOutput::new();
+                    for batch in &batches {
+                        fleet.push_batch(batch, &mut out);
+                    }
+                    fleet.checkpoint().to_bytes()
+                })
+            })
+            .collect();
+        assert_eq!(images[0], images[1], "shards={shards}: 1 vs 2 threads");
+        assert_eq!(images[0], images[2], "shards={shards}: 1 vs 8 threads");
+    }
+}
+
+#[test]
+fn eviction_order_is_invariant_across_thread_counts() {
+    let det = StreamingGlobalZScore::new(4).unwrap();
+    let budget = tsad_fleet::entry_bytes(&det) * 3;
+    let batches = workload(120, 16);
+    let run_evictions = |threads: usize| {
+        with_threads(threads, || {
+            let mut fleet = Fleet::new(
+                factory(),
+                FleetConfig {
+                    shards: 4,
+                    shard_budget_bytes: budget,
+                    ..FleetConfig::default()
+                },
+            );
+            let mut out = BatchOutput::new();
+            let mut evicted = Vec::new();
+            for batch in &batches {
+                fleet.push_batch(batch, &mut out);
+                evicted.push(out.evicted.clone());
+            }
+            evicted
+        })
+    };
+    let reference = run_evictions(1);
+    assert!(reference.iter().any(|e| !e.is_empty()), "budget never hit");
+    for &threads in &THREAD_COUNTS[1..] {
+        assert_eq!(run_evictions(threads), reference, "threads={threads}");
+    }
+}
+
+#[test]
+fn factory_receives_the_series_id() {
+    // A factory that varies configuration by id must see the right id.
+    let f = FnFactory(|id: u64| StreamingGlobalZScore::new(2 + (id % 3) as usize).unwrap());
+    let mut fleet = Fleet::new(
+        f,
+        FleetConfig {
+            shards: 4,
+            ..FleetConfig::default()
+        },
+    );
+    let mut out = BatchOutput::new();
+    let batch: Vec<(SeriesId, f64)> = (0..9u64).map(|id| (SeriesId(id), 1.0)).collect();
+    fleet.push_batch(&batch, &mut out);
+    assert_eq!(out.spawned, 9);
+    // per-id configuration shows up in the checkpoint fingerprint chain:
+    // a fleet spawned with a *different* per-id recipe must refuse it
+    let ckpt = fleet.checkpoint();
+    let mut other = Fleet::new(
+        FnFactory(|_id: u64| StreamingGlobalZScore::new(7).unwrap()),
+        FleetConfig {
+            shards: 4,
+            ..FleetConfig::default()
+        },
+    );
+    assert!(other.restore(&ckpt).is_err());
+}

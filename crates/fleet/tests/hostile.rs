@@ -1,0 +1,232 @@
+//! Hostile-batch hardening: every `tsad-faults` standard profile, pushed
+//! through `Fleet::push_batch`, must leave the fleet consistent — every
+//! non-finite point quarantined *and reported* (never silently dropped),
+//! every surviving point scored, and the fleet alive afterwards.
+
+use tsad_faults::{standard_profiles, FaultKind, FaultProfile};
+use tsad_fleet::{BatchNanPolicy, BatchOutput, Fleet, FleetConfig, SeriesId};
+use tsad_stream::{FnFactory, NanPolicy, Sanitized, StreamingDetector, StreamingGlobalZScore};
+
+const SERIES: u64 = 16;
+const LEN: usize = 256;
+const BATCH: usize = 64;
+
+/// Per-series base signal before fault injection.
+fn base_signal(id: u64) -> Vec<f64> {
+    (0..LEN)
+        .map(|t| ((t as f64) * 0.1 + id as f64).sin() * 2.0 + id as f64 * 0.01)
+        .collect()
+}
+
+/// Injects `profile` into every series and interleaves them into batches
+/// of `BATCH` points.
+fn hostile_batches(profile: &FaultProfile, seed: u64) -> Vec<Vec<(SeriesId, f64)>> {
+    let corrupted: Vec<Vec<f64>> = (0..SERIES)
+        .map(|id| profile.inject(&base_signal(id), seed ^ id).0)
+        .collect();
+    let mut points = Vec::new();
+    for t in 0..LEN {
+        for (id, series) in corrupted.iter().enumerate() {
+            points.push((SeriesId(id as u64), series[t]));
+        }
+    }
+    points.chunks(BATCH).map(<[_]>::to_vec).collect()
+}
+
+#[test]
+fn quarantine_policy_reports_every_non_finite_point_per_profile() {
+    for profile in standard_profiles() {
+        let batches = hostile_batches(&profile, 0xF1EE7);
+        let mut fleet = Fleet::new(
+            FnFactory(|_id: u64| StreamingGlobalZScore::new(8).unwrap()),
+            FleetConfig {
+                shards: 4,
+                nan_policy: BatchNanPolicy::Quarantine,
+                ..FleetConfig::default()
+            },
+        );
+        let mut out = BatchOutput::new();
+        let mut fed = 0u64;
+        let mut quarantined = 0usize;
+        let mut expected_bad = 0usize;
+        for batch in &batches {
+            expected_bad += batch.iter().filter(|(_, v)| !v.is_finite()).count();
+            fleet.push_batch(batch, &mut out);
+            fed += out.points;
+            quarantined += out.quarantined.len();
+            // every quarantined report points at an actually-bad input
+            for q in &out.quarantined {
+                let (id, v) = batch[q.batch_index];
+                assert_eq!(id, q.id, "profile {}", profile.name);
+                assert!(!v.is_finite(), "profile {}", profile.name);
+            }
+            // detectors behind the quarantine gate never emit non-finite
+            // scores from non-finite inputs (z-score of finite input is
+            // finite after warm-up)
+            for s in &out.scores {
+                assert!(
+                    s.score.is_finite(),
+                    "profile {}: non-finite score leaked",
+                    profile.name
+                );
+            }
+        }
+        let total = (SERIES as usize * LEN) as u64;
+        assert_eq!(
+            fed + quarantined as u64,
+            total,
+            "profile {}: points lost",
+            profile.name
+        );
+        assert_eq!(
+            quarantined, expected_bad,
+            "profile {}: quarantine miscount",
+            profile.name
+        );
+        assert_eq!(fleet.series_active() as u64, SERIES);
+    }
+}
+
+#[test]
+fn propagate_policy_feeds_everything_to_sanitized_detectors() {
+    // Fleets of Sanitized detectors carry their own NaN policy: the fleet
+    // gate must stand aside and deliver every point.
+    let profile = FaultProfile::new(
+        "nan-flood",
+        vec![
+            FaultKind::NanPoison { rate: 0.25 },
+            FaultKind::InfPoison { rate: 0.1 },
+        ],
+    );
+    let batches = hostile_batches(&profile, 42);
+    let mut fleet = Fleet::new(
+        FnFactory(|_id: u64| {
+            Sanitized::new(StreamingGlobalZScore::new(8).unwrap(), NanPolicy::Skip)
+        }),
+        FleetConfig {
+            shards: 4,
+            nan_policy: BatchNanPolicy::Propagate,
+            ..FleetConfig::default()
+        },
+    );
+    let mut out = BatchOutput::new();
+    let mut fed = 0u64;
+    for batch in &batches {
+        fleet.push_batch(batch, &mut out);
+        assert!(out.quarantined.is_empty());
+        fed += out.points;
+        for s in &out.scores {
+            assert!(s.score.is_finite(), "Sanitized(Skip) leaked a bad score");
+        }
+    }
+    assert_eq!(fed, SERIES * LEN as u64);
+}
+
+#[test]
+fn all_nan_batch_spawns_nothing_and_fleet_survives() {
+    let mut fleet = Fleet::new(
+        FnFactory(|_id: u64| StreamingGlobalZScore::new(4).unwrap()),
+        FleetConfig::default(),
+    );
+    let mut out = BatchOutput::new();
+    let batch: Vec<(SeriesId, f64)> = (0..50u64).map(|id| (SeriesId(id), f64::NAN)).collect();
+    fleet.push_batch(&batch, &mut out);
+    assert_eq!(out.points, 0);
+    assert_eq!(out.spawned, 0);
+    assert_eq!(out.quarantined.len(), 50);
+    assert_eq!(fleet.series_active(), 0);
+    // and a clean batch afterwards behaves normally
+    let clean: Vec<(SeriesId, f64)> = (0..50u64).map(|id| (SeriesId(id), 1.0)).collect();
+    fleet.push_batch(&clean, &mut out);
+    assert_eq!(out.points, 50);
+    assert_eq!(out.spawned, 50);
+    assert!(out.quarantined.is_empty());
+}
+
+#[test]
+fn duplicates_and_reorder_within_a_batch_stay_deterministic() {
+    // The reorder profile duplicates and swaps points *within* a series'
+    // timeline; the fleet must process them in batch order, bitwise
+    // reproducibly, and score every finite point exactly once.
+    let profile = FaultProfile::new(
+        "reorder-heavy",
+        vec![
+            FaultKind::Duplicate { rate: 0.1 },
+            FaultKind::OutOfOrder { rate: 0.1 },
+        ],
+    );
+    let run = || {
+        let batches = hostile_batches(&profile, 7);
+        let mut fleet = Fleet::new(
+            FnFactory(|_id: u64| StreamingGlobalZScore::new(8).unwrap()),
+            FleetConfig {
+                shards: 4,
+                ..FleetConfig::default()
+            },
+        );
+        let mut out = BatchOutput::new();
+        let mut log = Vec::new();
+        for batch in &batches {
+            fleet.push_batch(batch, &mut out);
+            for s in &out.scores {
+                log.push((s.batch_index, s.id.0, s.score.to_bits()));
+            }
+        }
+        log
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sanitized_fleet_matches_standalone_sanitized_detector_under_faults() {
+    // end-to-end: the fleet's per-series streams under a mixed fault
+    // profile are bitwise what a lone Sanitized detector produces
+    let profile = standard_profiles()
+        .into_iter()
+        .find(|p| p.name == "mixed")
+        .unwrap_or_else(|| FaultProfile::new("nan", vec![FaultKind::NanPoison { rate: 0.05 }]));
+    let batches = hostile_batches(&profile, 99);
+    let spawn = |_id: u64| {
+        Sanitized::new(
+            StreamingGlobalZScore::new(8).unwrap(),
+            NanPolicy::ImputeLast,
+        )
+    };
+    let mut fleet = Fleet::new(
+        FnFactory(spawn),
+        FleetConfig {
+            shards: 8,
+            nan_policy: BatchNanPolicy::Propagate,
+            ..FleetConfig::default()
+        },
+    );
+    let mut out = BatchOutput::new();
+    let mut per_series: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+    for batch in &batches {
+        fleet.push_batch(batch, &mut out);
+        for s in &out.scores {
+            per_series
+                .entry(s.id.0)
+                .or_default()
+                .push(s.score.to_bits());
+        }
+    }
+    for id in 0..SERIES {
+        let xs = profile.inject(&base_signal(id), 99 ^ id).0;
+        let mut det = spawn(id);
+        let expected: Vec<u64> = xs
+            .iter()
+            .filter_map(|&x| det.push(x))
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(
+            per_series.get(&id).cloned().unwrap_or_default(),
+            expected,
+            "series {id} diverged under profile {}",
+            profile.name
+        );
+    }
+}

@@ -105,6 +105,32 @@ impl Gauge {
         self.value.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Raises the gauge by `n` (population counts maintained
+    /// incrementally, e.g. active series in a fleet shard).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        GAUGES.register(self);
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the gauge by `n`, saturating at zero (an eviction observed
+    /// while the gauge is mid-reset must not wrap to `u64::MAX`).
+    #[inline]
+    pub fn sub(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        GAUGES.register(self);
+        self.value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            })
+            .ok();
+    }
+
     /// The current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -267,6 +293,28 @@ pub(crate) fn quantile_from_buckets(buckets: &[u64; BUCKETS], q: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_add_sub_saturate_at_zero() {
+        static G: Gauge = Gauge::new("obs.test.gauge_add_sub");
+        crate::with_enabled(true, || {
+            G.set(0);
+            G.add(5);
+            G.add(2);
+            assert_eq!(G.get(), 7);
+            G.sub(3);
+            assert_eq!(G.get(), 4);
+            G.sub(100);
+            assert_eq!(G.get(), 0, "sub saturates instead of wrapping");
+        });
+        crate::with_enabled(false, || {
+            G.add(9);
+            G.sub(1);
+        });
+        crate::with_enabled(true, || {
+            assert_eq!(G.get(), 0, "disabled add/sub must be no-ops");
+        });
+    }
 
     #[test]
     fn bucket_boundaries_are_powers_of_two() {

@@ -327,6 +327,73 @@ pub fn par_chunks_scratch<S, F, M>(
     }
 }
 
+/// Runs `f(index, &mut item)` for every item, fanning contiguous item
+/// chunks out over the effective thread count. Items are mutated in place
+/// — this is the fan-out for *stateful* partitions (a fleet's shards),
+/// where each item owns disjoint state and the work is `&mut`.
+///
+/// Within a chunk, items are processed **in index order**; chunk
+/// boundaries come from [`chunk_ranges`], so which thread touches which
+/// item is deterministic. Because every item is independent, results are
+/// identical at every thread count as long as `f` itself is a pure
+/// function of `(index, item)`.
+///
+/// With one effective thread this is a plain in-order loop: no spawn, no
+/// allocation — the fleet's steady-state ingest gate measures exactly
+/// this path.
+pub fn par_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = current_threads().min(n);
+    THREADS_GAUGE.set(threads as u64);
+    if threads <= 1 {
+        let _busy = WORKER_BUSY_NS.start();
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let ranges = chunk_ranges(n, threads);
+    std::thread::scope(|s| {
+        let mut rest = items;
+        let mut handles = Vec::with_capacity(ranges.len() - 1);
+        let mut first_chunk: Option<(usize, &mut [T])> = None;
+        for r in &ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            if first_chunk.is_none() {
+                // the calling thread keeps the first chunk for itself
+                first_chunk = Some((r.start, chunk));
+            } else {
+                let f = &f;
+                let start = r.start;
+                handles.push(s.spawn(move || {
+                    let _busy = WORKER_BUSY_NS.start();
+                    for (off, item) in chunk.iter_mut().enumerate() {
+                        f(start + off, item);
+                    }
+                }));
+            }
+        }
+        let (start, chunk) = first_chunk.expect("ranges are never empty for n > 0");
+        {
+            let _busy = WORKER_BUSY_NS.start();
+            for (off, item) in chunk.iter_mut().enumerate() {
+                f(start + off, item);
+            }
+        }
+        for h in handles {
+            h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        }
+    });
+}
+
 /// A boxed task for [`par_invoke`]; may borrow the caller's stack.
 pub type Task<'env, R> = Box<dyn FnOnce() -> R + Send + 'env>;
 
@@ -404,6 +471,23 @@ mod tests {
                     let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
                     let (min, max) = (sizes.iter().min(), sizes.iter().max());
                     assert!(max.unwrap() - min.unwrap() <= 1, "{sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_each_mut_touches_every_item_once_at_any_thread_count() {
+        for threads in [1usize, 2, 3, 8] {
+            for n in [0usize, 1, 2, 7, 64, 1000] {
+                let mut items: Vec<u64> = vec![0; n];
+                with_threads(threads, || {
+                    par_each_mut(&mut items, |i, v| {
+                        *v += i as u64 + 1;
+                    });
+                });
+                for (i, v) in items.iter().enumerate() {
+                    assert_eq!(*v, i as u64 + 1, "threads={threads} n={n} item {i}");
                 }
             }
         }

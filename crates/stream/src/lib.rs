@@ -41,6 +41,7 @@ pub mod checkpoint;
 pub mod detectors;
 pub mod discord;
 pub mod equivalence;
+pub mod factory;
 pub mod oneliner;
 pub mod replay;
 pub mod sanitize;
@@ -50,6 +51,7 @@ pub use checkpoint::{checkpoint, restore, CKPT_MAGIC, CKPT_VERSION};
 pub use detectors::{StreamingCusum, StreamingGlobalZScore, StreamingMovingAvgResidual};
 pub use discord::StreamingLeftDiscord;
 pub use equivalence::{check_equivalence, EquivalenceMode, EquivalenceReport};
+pub use factory::{DetectorFactory, FnFactory};
 pub use oneliner::StreamingOneLiner;
 pub use replay::{replay, replay_many, ReplayConfig, ReplayJob, ReplayOutcome};
 pub use sanitize::{NanPolicy, Sanitized};
