@@ -15,6 +15,10 @@
 //! * **Coverage**: a baseline kernel missing from the fresh run fails (a
 //!   silently dropped kernel must not pass the gate); a fresh-only kernel
 //!   is reported but allowed (that is what adding a kernel looks like).
+//! * **Schema**: the two documents must carry the *same* schema string. A
+//!   drift (e.g. a committed v3 baseline against a binary that now emits
+//!   v4) is reported as an explicit mismatch with a regenerate hint rather
+//!   than surfacing as a confusing missing-field failure downstream.
 //!
 //! The CLI (`repro -- bench-compare`) prints the per-kernel delta table and
 //! exits nonzero when any check fails; CI runs it in the `bench-smoke` job
@@ -29,7 +33,7 @@ use crate::minijson::{parse, JsonValue};
 pub const MAX_WALL_RATIO: f64 = 1.30;
 
 /// Kernels with an allocation-free contract (`allocs_per_iter == 0`).
-pub const GATED_KERNELS: [&str; 2] = ["sliding_dot_product", "stomp"];
+pub const GATED_KERNELS: [&str; 3] = ["sliding_dot_product", "stomp", "merlin"];
 
 /// One kernel's baseline-vs-fresh numbers.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,16 +75,21 @@ struct KernelNumbers {
     name: String,
     ns_1t: Option<u64>,
     allocs: Option<u64>,
+    dispatch: Option<String>,
+    lane_width: Option<u64>,
 }
 
-fn extract_kernels(doc_name: &str, text: &str) -> Result<Vec<KernelNumbers>, String> {
+struct KernelDoc {
+    schema: String,
+    kernels: Vec<KernelNumbers>,
+}
+
+fn extract_kernels(doc_name: &str, text: &str) -> Result<KernelDoc, String> {
     let doc = parse(text).map_err(|e| format!("{doc_name}: {e}"))?;
     let schema = doc
         .get("schema")
         .and_then(JsonValue::as_str)
         .ok_or_else(|| format!("{doc_name}: missing \"schema\""))?;
-    // v2 documents (no obs block) carry the same timing fields, so the
-    // gate still works across the schema bump.
     if !schema.starts_with("tsad-bench-kernels/") {
         return Err(format!("{doc_name}: unexpected schema {schema:?}"));
     }
@@ -88,7 +97,7 @@ fn extract_kernels(doc_name: &str, text: &str) -> Result<Vec<KernelNumbers>, Str
         .get("kernels")
         .and_then(JsonValue::as_arr)
         .ok_or_else(|| format!("{doc_name}: missing \"kernels\" array"))?;
-    kernels
+    let kernels = kernels
         .iter()
         .map(|k| {
             let name = k
@@ -101,18 +110,39 @@ fn extract_kernels(doc_name: &str, text: &str) -> Result<Vec<KernelNumbers>, Str
                     .get("median_ns_per_iter_1_thread")
                     .and_then(JsonValue::as_u64),
                 allocs: k.get("allocs_per_iter").and_then(JsonValue::as_u64),
+                dispatch: k
+                    .get("dispatch")
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string),
+                lane_width: k.get("lane_width").and_then(JsonValue::as_u64),
                 name,
             })
         })
-        .collect()
+        .collect::<Result<_, String>>()?;
+    Ok(KernelDoc {
+        schema: schema.to_string(),
+        kernels,
+    })
 }
 
 /// Compares two rendered documents. `max_ratio` is the wall-time gate
 /// (pass [`MAX_WALL_RATIO`] outside tests). Errors are malformed inputs;
 /// regression *failures* come back inside the report.
 pub fn compare(baseline: &str, fresh: &str, max_ratio: f64) -> Result<CompareReport, String> {
-    let base = extract_kernels("baseline", baseline)?;
-    let new = extract_kernels("fresh", fresh)?;
+    let base_doc = extract_kernels("baseline", baseline)?;
+    let new_doc = extract_kernels("fresh", fresh)?;
+    // A schema drift between the committed baseline and the freshly built
+    // binary must surface as *this* message, not as a cryptic missing-field
+    // parse error further down: the fix is always to regenerate the
+    // committed document with the new binary.
+    if base_doc.schema != new_doc.schema {
+        return Err(format!(
+            "schema mismatch: committed baseline is \"{}\" but the fresh run produced \"{}\" \
+             — regenerate the committed BENCH_kernels.json with `repro -- bench-json`",
+            base_doc.schema, new_doc.schema
+        ));
+    }
+    let (base, new) = (base_doc.kernels, new_doc.kernels);
     let mut report = CompareReport::default();
 
     for b in &base {
@@ -147,6 +177,19 @@ pub fn compare(baseline: &str, fresh: &str, max_ratio: f64) -> Result<CompareRep
             _ => report
                 .notes
                 .push(format!("{}: wall time not comparable", b.name)),
+        }
+        // A dispatch difference is not a regression (a different machine or
+        // a TSAD_SIMD override legitimately changes it), but the wall-time
+        // ratio then compares different code paths — say so.
+        if b.dispatch != f.dispatch || b.lane_width != f.lane_width {
+            report.notes.push(format!(
+                "{}: SIMD dispatch differs — baseline {} ({} lanes) vs fresh {} ({} lanes)",
+                b.name,
+                b.dispatch.as_deref().unwrap_or("-"),
+                b.lane_width.map_or_else(|| "-".into(), |w| w.to_string()),
+                f.dispatch.as_deref().unwrap_or("-"),
+                f.lane_width.map_or_else(|| "-".into(), |w| w.to_string()),
+            ));
         }
         if GATED_KERNELS.contains(&b.name.as_str()) {
             match (b.allocs, f.allocs) {
@@ -396,10 +439,10 @@ mod tests {
     use super::*;
     use crate::experiments::bench_json::{render as render_bench, run as run_bench, BenchConfig};
 
-    fn doc(stomp_ns: u64, stomp_allocs: &str) -> String {
+    fn doc_with_merlin(stomp_ns: u64, stomp_allocs: &str, merlin_allocs: &str) -> String {
         format!(
             r#"{{
-  "schema": "tsad-bench-kernels/v3",
+  "schema": "tsad-bench-kernels/v4",
   "seed": 42,
   "threads": 4,
   "host_threads": 1,
@@ -412,6 +455,8 @@ mod tests {
       "median_ns_per_iter_4_threads": {stomp_ns},
       "allocs_per_iter": {stomp_allocs},
       "speedup": null,
+      "dispatch": "avx2",
+      "lane_width": 4,
       "obs": {{"schema": "tsad-obs/v1", "counters": {{}}, "gauges": {{}}, "histograms": {{}}}}
     }},
     {{
@@ -420,13 +465,19 @@ mod tests {
       "iters": 5,
       "median_ns_per_iter_1_thread": 1000000,
       "median_ns_per_iter_4_threads": 900000,
-      "allocs_per_iter": 4,
+      "allocs_per_iter": {merlin_allocs},
       "speedup": null,
+      "dispatch": "avx2",
+      "lane_width": 4,
       "obs": {{"schema": "tsad-obs/v1", "counters": {{}}, "gauges": {{}}, "histograms": {{}}}}
     }}
   ]
 }}"#
         )
+    }
+
+    fn doc(stomp_ns: u64, stomp_allocs: &str) -> String {
+        doc_with_merlin(stomp_ns, stomp_allocs, "0")
     }
 
     #[test]
@@ -482,16 +533,55 @@ mod tests {
                 report.failures
             );
         }
-        // merlin is not a gated kernel: its nonzero allocs never fail
-        let report = compare(&base, &base, MAX_WALL_RATIO).unwrap();
-        assert!(report.passed());
+        // merlin is gated too since its buffers moved into scratch pools
+        for bad in ["1", "null"] {
+            let report = compare(
+                &base,
+                &doc_with_merlin(22_000_000, "0", bad),
+                MAX_WALL_RATIO,
+            )
+            .unwrap();
+            assert!(!report.passed(), "merlin allocs {bad} passed");
+            assert!(report
+                .failures
+                .iter()
+                .any(|f| f.contains("merlin") && f.contains("allocs_per_iter")));
+        }
+    }
+
+    #[test]
+    fn schema_drift_is_a_clear_error_not_a_parse_failure() {
+        let base = doc(22_000_000, "0").replace("tsad-bench-kernels/v4", "tsad-bench-kernels/v3");
+        let err = compare(&base, &doc(22_000_000, "0"), MAX_WALL_RATIO).unwrap_err();
+        assert!(err.contains("schema mismatch"), "unhelpful error: {err}");
+        assert!(err.contains("tsad-bench-kernels/v3"));
+        assert!(err.contains("tsad-bench-kernels/v4"));
+        assert!(err.contains("regenerate"), "no fix hint in: {err}");
+    }
+
+    #[test]
+    fn dispatch_drift_is_noted_but_passes() {
+        let base = doc(22_000_000, "0");
+        let scalar = base
+            .replace("\"dispatch\": \"avx2\"", "\"dispatch\": \"scalar\"")
+            .replace("\"lane_width\": 4", "\"lane_width\": 1");
+        let report = compare(&base, &scalar, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("dispatch") && n.contains("avx2") && n.contains("scalar")),
+            "notes: {:?}",
+            report.notes
+        );
     }
 
     #[test]
     fn missing_kernel_fails_but_new_kernel_is_noted() {
         let base = doc(22_000_000, "0");
         let only_stomp = r#"{
-  "schema": "tsad-bench-kernels/v3",
+  "schema": "tsad-bench-kernels/v4",
   "kernels": [
     {"name": "stomp", "median_ns_per_iter_1_thread": 22000000, "allocs_per_iter": 0}
   ]
@@ -509,7 +599,7 @@ mod tests {
     fn malformed_inputs_are_errors_not_failures() {
         assert!(compare("not json", &doc(1, "0"), MAX_WALL_RATIO).is_err());
         assert!(compare(&doc(1, "0"), "{}", MAX_WALL_RATIO).is_err());
-        let wrong_schema = doc(1, "0").replace("tsad-bench-kernels/v3", "something-else/v9");
+        let wrong_schema = doc(1, "0").replace("tsad-bench-kernels/v4", "something-else/v9");
         assert!(compare(&wrong_schema, &doc(1, "0"), MAX_WALL_RATIO).is_err());
     }
 
@@ -606,7 +696,7 @@ mod tests {
         let good = fleet_doc(1000, "0", 240, "true");
         assert!(compare_fleet("nope", &good, MAX_WALL_RATIO).is_err());
         assert!(compare_fleet(&good, "{}", MAX_WALL_RATIO).is_err());
-        let wrong = good.replace("tsad-bench-fleet/v1", "tsad-bench-kernels/v3");
+        let wrong = good.replace("tsad-bench-fleet/v1", "tsad-bench-kernels/v4");
         assert!(compare_fleet(&wrong, &good, MAX_WALL_RATIO).is_err());
     }
 

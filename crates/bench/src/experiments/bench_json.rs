@@ -11,16 +11,22 @@
 //!
 //! The timings are a *baseline*, not a pass/fail gate — absolute numbers
 //! are machine-specific. The allocation counts, in contrast, are exact and
-//! portable, so CI does gate on `allocs_per_iter == 0` for the two kernels
-//! with allocation-free contracts (`sliding_dot_product`, `stomp`); the
-//! wall-clock columns are gated *relatively* by the `bench-compare`
-//! subcommand (fresh run vs the committed baseline).
+//! portable, so CI does gate on `allocs_per_iter == 0` for the three
+//! kernels with allocation-free contracts (`sliding_dot_product`, `stomp`,
+//! `merlin`); the wall-clock columns are gated *relatively* by the
+//! `bench-compare` subcommand (fresh run vs the committed baseline).
 //!
 //! Since schema v3 every kernel entry embeds a per-kernel `tsad-obs`
 //! snapshot (`"obs"`, schema `tsad-obs/v1`): FFT plan-cache hit rates,
 //! STOMP band timings, MERLIN prune counts, worker utilization, replay
 //! throughput. The registry is reset before each kernel, so the block
 //! describes that kernel alone.
+//!
+//! Schema v4 adds the SIMD dispatch the run resolved to: every kernel
+//! entry carries `"dispatch"` (the backend name — `avx2`, `sse2`, `neon`,
+//! or `scalar`) and `"lane_width"` (f64 lanes per vector). Both come from
+//! `tsad_core::simd::current()` at measure time, so a `TSAD_SIMD=0` run is
+//! self-describing in the committed baseline.
 
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -32,7 +38,7 @@ use tsad_core::Labels;
 use tsad_detectors::matrix_profile::{
     stomp_metric_with, MatrixProfile, ProfileMetric, StompWorkspace,
 };
-use tsad_detectors::merlin::merlin;
+use tsad_detectors::merlin::merlin_into;
 use tsad_parallel::with_threads;
 use tsad_stream::{replay, ReplayConfig, StreamingLeftDiscord};
 
@@ -114,6 +120,11 @@ pub struct KernelTiming {
     /// Heap allocations in one warm single-threaded iteration, or `None`
     /// when the counting allocator is not installed in this process.
     pub allocs_per_iter: Option<u64>,
+    /// SIMD backend the run dispatched to (`avx2`, `sse2`, `neon`, or
+    /// `scalar`), resolved at measure time via `tsad_core::simd::current()`.
+    pub dispatch: &'static str,
+    /// f64 lanes per vector on that backend (1 for scalar).
+    pub lane_width: usize,
     /// Observability snapshot covering this kernel's warm-up, allocation
     /// count, and both timing columns (the registry is reset before each
     /// kernel, so the snapshot is per-kernel, not cumulative).
@@ -192,6 +203,7 @@ fn measure(name: &'static str, params: String, iters: usize, f: &mut dyn FnMut()
     });
     let median_ns_1t = time_at_threads(iters, 1, f);
     let median_ns_nt = time_at_threads(iters, PAR_THREADS, f);
+    let backend = tsad_core::simd::current();
     KernelTiming {
         name,
         params,
@@ -199,6 +211,8 @@ fn measure(name: &'static str, params: String, iters: usize, f: &mut dyn FnMut()
         median_ns_1t,
         median_ns_nt,
         allocs_per_iter,
+        dispatch: backend.name(),
+        lane_width: backend.lane_width(),
         obs: tsad_obs::snapshot(),
     }
 }
@@ -233,14 +247,20 @@ pub fn run(seed: u64, cfg: &BenchConfig) -> Result<BenchJson> {
         },
     ));
 
+    // MERLIN through the caller-owned-buffer entry point: the output list
+    // persists across iterations (cleared, not dropped), the per-chunk
+    // partials come from a scratch pool, and the DRAG buffers are
+    // thread-local — so warm iterations are allocation-free.
     let x = series(cfg.merlin_n, seed + 1);
     let (lo, hi) = cfg.merlin_lengths;
+    let mut discords = Vec::new();
     kernels.push(measure(
         "merlin",
         format!("n={}, lengths={lo}..={hi}", cfg.merlin_n),
         cfg.iters,
         &mut || {
-            merlin(&x, lo, hi).expect("merlin");
+            discords.clear();
+            merlin_into(&x, lo, hi, &mut discords).expect("merlin");
         },
     ));
 
@@ -288,7 +308,7 @@ pub fn run(seed: u64, cfg: &BenchConfig) -> Result<BenchJson> {
 /// offline, so no serde).
 pub fn render(doc: &BenchJson) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"tsad-bench-kernels/v3\",");
+    let _ = writeln!(out, "  \"schema\": \"tsad-bench-kernels/v4\",");
     let _ = writeln!(out, "  \"seed\": {},", doc.seed);
     let _ = writeln!(out, "  \"threads\": {},", doc.threads);
     let _ = writeln!(out, "  \"host_threads\": {},", doc.host_threads);
@@ -320,6 +340,8 @@ pub fn render(doc: &BenchJson) -> String {
             }
             None => out.push_str("      \"speedup\": null,\n"),
         }
+        let _ = writeln!(out, "      \"dispatch\": \"{}\",", k.dispatch);
+        let _ = writeln!(out, "      \"lane_width\": {},", k.lane_width);
         let _ = writeln!(out, "      \"obs\": {}", tsad_obs::render_json(&k.obs, 6));
         out.push_str(if i + 1 < doc.kernels.len() {
             "    },\n"
@@ -345,7 +367,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for field in [
-            "\"schema\": \"tsad-bench-kernels/v3\"",
+            "\"schema\": \"tsad-bench-kernels/v4\"",
             "\"obs\"",
             "\"tsad-obs/v1\"",
             "\"seed\"",
@@ -355,6 +377,8 @@ mod tests {
             "\"median_ns_per_iter_1_thread\"",
             "\"allocs_per_iter\"",
             "\"speedup\"",
+            "\"dispatch\"",
+            "\"lane_width\"",
             "\"stomp\"",
             "\"merlin\"",
             "\"sliding_dot_product\"",
@@ -423,6 +447,29 @@ mod tests {
             .obs
             .histogram("stream.replay.chunk_push_ns")
             .is_some_and(|h| h.count > 0));
+    }
+
+    #[test]
+    fn forced_scalar_reports_scalar_dispatch() {
+        use tsad_core::simd::{self, Backend};
+        let doc = simd::with_backend(Backend::Scalar, || run(11, &BenchConfig::smoke()).unwrap());
+        for k in &doc.kernels {
+            assert_eq!(k.dispatch, "scalar", "{}", k.name);
+            assert_eq!(k.lane_width, 1, "{}", k.name);
+        }
+        let json = render(&doc);
+        assert!(json.contains("\"dispatch\": \"scalar\""));
+        assert!(json.contains("\"lane_width\": 1"));
+    }
+
+    #[test]
+    fn dispatch_matches_the_resolved_backend() {
+        let doc = run(13, &BenchConfig::smoke()).unwrap();
+        let current = tsad_core::simd::current();
+        for k in &doc.kernels {
+            assert_eq!(k.dispatch, current.name(), "{}", k.name);
+            assert_eq!(k.lane_width, current.lane_width(), "{}", k.name);
+        }
     }
 
     #[test]

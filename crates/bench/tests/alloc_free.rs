@@ -4,7 +4,8 @@
 //! its global allocator and asserts that, after one warm-up call at a
 //! single effective thread, the hot kernels perform **zero** heap
 //! allocations: the FFT plan lookup, the sliding dot product into a
-//! caller-owned buffer, and STOMP through its workspace entry point.
+//! caller-owned buffer, STOMP through its workspace entry point, and the
+//! MERLIN length sweep through `merlin_into`.
 //!
 //! Everything runs under `with_threads(1)`: the zero-allocation contract
 //! is single-threaded by design (scoped worker spawns at higher thread
@@ -96,6 +97,26 @@ fn warm_stomp_is_allocation_free() {
         });
         assert_eq!(allocs, 0, "warm stomp allocated");
         assert_eq!(mp.profile.len(), x.len() - m + 1);
+    });
+}
+
+#[test]
+fn warm_merlin_is_allocation_free() {
+    // MERLIN's contract: with the output list persistent, the per-chunk
+    // partials pooled, and the DRAG buffers thread-local, a warm
+    // single-threaded length sweep performs zero heap allocations — with
+    // observability ON, like every other contract in this file.
+    use tsad_detectors::merlin::merlin_into;
+    let x = series(400, 7);
+    with_threads(1, || {
+        let mut discords = Vec::new();
+        merlin_into(&x, 16, 24, &mut discords).unwrap();
+        let allocs = count_allocs(|| {
+            discords.clear();
+            merlin_into(&x, 16, 24, &mut discords).unwrap();
+        });
+        assert_eq!(allocs, 0, "warm merlin allocated");
+        assert_eq!(discords.len(), 9);
     });
 }
 

@@ -13,6 +13,7 @@ use std::sync::{Arc, Mutex};
 use tsad_obs::Counter;
 
 use crate::error::{CoreError, Result};
+use crate::simd::{self, Backend, C64Lanes, ScalarC64};
 
 /// Plan served from a cache (thread-local mirror or the shared store)
 /// without rebuilding twiddle tables. Covers both complex and real plans.
@@ -25,6 +26,11 @@ static SCRATCH_REUSE: Counter = Counter::new("core.fft.scratch_reuse");
 static SCRATCH_GROW: Counter = Counter::new("core.fft.scratch_grow");
 
 /// A complex number with `f64` components.
+///
+/// `repr(C)` so a `[Complex]` slice is exactly an interleaved
+/// `re, im, re, im, …` sequence of f64 values — the layout the SIMD lane
+/// types in [`crate::simd`] load and store directly.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     pub re: f64,
@@ -280,11 +286,20 @@ pub fn fft_in_place(data: &mut [Complex], inverse: bool) -> Result<()> {
 }
 
 /// The butterfly passes, driven by a prebuilt plan. `data.len()` must equal
-/// `plan.n`.
+/// `plan.n`. Dispatches on [`simd::current`]; every backend performs the
+/// same per-element operation chain, so the output is bitwise identical
+/// across backends on finite inputs (DESIGN.md §11).
 pub fn fft_with_plan(data: &mut [Complex], plan: &FftPlan, inverse: bool) {
+    fft_with_plan_be(data, plan, inverse, simd::current());
+}
+
+/// [`fft_with_plan`] with a pre-resolved backend, so compound kernels (the
+/// sliding dot product runs four transform passes) resolve dispatch exactly
+/// once at their own entry.
+fn fft_with_plan_be(data: &mut [Complex], plan: &FftPlan, inverse: bool, backend: Backend) {
     let n = data.len();
     assert_eq!(n, plan.n, "plan size mismatch");
-    // Bit-reversal permutation.
+    // Bit-reversal permutation (random-access swaps; stays scalar).
     let mut j = 0usize;
     for i in 1..n {
         let mut bit = n >> 1;
@@ -297,35 +312,118 @@ pub fn fft_with_plan(data: &mut [Complex], plan: &FftPlan, inverse: bool) {
             data.swap(i, j);
         }
     }
-    // Butterflies, one table stage per level.
     let twiddles = if inverse {
         &plan.inverse
     } else {
         &plan.forward
     };
+    let scale = if inverse { Some(1.0 / n as f64) } else { None };
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only dispatched when `is_supported()` held.
+        Backend::Avx2 => unsafe { butterflies_avx2(data, twiddles, scale) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => butterflies_lanes::<simd::SseC64>(data, twiddles, scale),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => butterflies_lanes::<simd::NeonC64>(data, twiddles, scale),
+        _ => butterflies_lanes::<ScalarC64>(data, twiddles, scale),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn butterflies_avx2(data: &mut [Complex], twiddles: &[Complex], scale: Option<f64>) {
+    butterflies_lanes::<simd::AvxC64>(data, twiddles, scale);
+}
+
+/// All butterfly stages plus the optional inverse `1/n` scaling, generic
+/// over the complex lane width. The per-element chain is exactly the scalar
+/// `u + v·w` / `u − v·w` butterfly (the lane `mul_complex` documents its
+/// bitwise contract), so every instantiation agrees bitwise on finite input.
+#[inline(always)]
+fn butterflies_lanes<C: C64Lanes>(data: &mut [Complex], twiddles: &[Complex], scale: Option<f64>) {
+    let n = data.len();
+    let ptr = data.as_mut_ptr() as *mut f64;
     let mut offset = 0;
     let mut len = 2;
+    if len <= n {
+        // len == 2: every butterfly uses the single stage twiddle (1 + 0i),
+        // so C consecutive blocks can run per vector after a de-interleave
+        // (`gather_lo`/`gather_hi` split [u0 v0 u1 v1] into us/vs and fuse
+        // the results back — the identity when C == 1).
+        let w = C::splat(twiddles[0].re, twiddles[0].im);
+        let step = 2 * C::COMPLEX;
+        let mut i = 0;
+        while i + step <= n {
+            // SAFETY: complexes [i, i + 2C) are in bounds; the two loads
+            // cover disjoint halves of that range.
+            unsafe {
+                let x0 = C::load(ptr.add(2 * i));
+                let x1 = C::load(ptr.add(2 * (i + C::COMPLEX)));
+                let u = x0.gather_lo(x1);
+                let v = x0.gather_hi(x1).mul_complex(w);
+                let a = u.add(v);
+                let b = u.sub(v);
+                a.gather_lo(b).store(ptr.add(2 * i));
+                a.gather_hi(b).store(ptr.add(2 * (i + C::COMPLEX)));
+            }
+            i += step;
+        }
+        while i < n {
+            let u = data[i];
+            let v = data[i + 1] * twiddles[0];
+            data[i] = u + v;
+            data[i + 1] = u - v;
+            i += 2;
+        }
+        offset += 1;
+        len = 4;
+    }
     while len <= n {
         let half = len / 2;
         let stage = &twiddles[offset..offset + half];
         let mut i = 0;
         while i < n {
-            for (k, &w) in stage.iter().enumerate() {
+            let mut k = 0;
+            // half >= 2 is a multiple of every lane width here (C <= 2),
+            // so the vector loop covers the stage exactly.
+            while k + C::COMPLEX <= half {
+                // SAFETY: k + C <= half keeps both halves of the butterfly
+                // in bounds and non-overlapping; the twiddle load reads
+                // repr(C) complex values within the stage slice.
+                unsafe {
+                    let u = C::load(ptr.add(2 * (i + k)));
+                    let v = C::load(ptr.add(2 * (i + k + half)));
+                    let w = C::load(stage.as_ptr().add(k) as *const f64);
+                    let t = v.mul_complex(w);
+                    u.add(t).store(ptr.add(2 * (i + k)));
+                    u.sub(t).store(ptr.add(2 * (i + k + half)));
+                }
+                k += C::COMPLEX;
+            }
+            while k < half {
                 let u = data[i + k];
-                let v = data[i + k + half] * w;
+                let v = data[i + k + half] * stage[k];
                 data[i + k] = u + v;
                 data[i + k + half] = u - v;
+                k += 1;
             }
             i += len;
         }
         offset += half;
         len <<= 1;
     }
-    if inverse {
-        let scale = 1.0 / n as f64;
-        for c in data.iter_mut() {
-            c.re *= scale;
-            c.im *= scale;
+    if let Some(s) = scale {
+        let mut i = 0;
+        while i + C::COMPLEX <= n {
+            // SAFETY: complexes [i, i + C) are in bounds.
+            unsafe { C::load(ptr.add(2 * i)).scale(s).store(ptr.add(2 * i)) };
+            i += C::COMPLEX;
+        }
+        while i < n {
+            data[i].re *= s;
+            data[i].im *= s;
+            i += 1;
         }
     }
 }
@@ -368,36 +466,105 @@ pub fn sliding_dot_product_into(query: &[f64], series: &[f64], out: &mut Vec<f64
     }
 }
 
-/// Forward half of the packed real transform: pack `sample(0..n)` into
-/// `n/2` complex points, run the half-size complex FFT, and unpack in place
-/// into the **packed spectrum** layout: slot `k` (`1 <= k < n/2`) holds
-/// `X[k]`; slot 0 holds `{re: X[0], im: X[n/2]}` (both bins are purely real
-/// for real input, so they share a slot and nothing is lost).
-fn rfft_with_plan(plan: &RfftPlan, out: &mut Vec<Complex>, mut sample: impl FnMut(usize) -> f64) {
+/// Real input feeding a packed transform: a sample slice, optionally
+/// reversed, always zero-padded out to the transform size. Replacing the
+/// old closure-per-sample packing with slice chunking turned the pack pass
+/// into straight-line copies the compiler vectorizes on every backend.
+enum RealSource<'a> {
+    /// `sample(i) = s[i]` for `i < s.len()`, else `0.0`.
+    Padded(&'a [f64]),
+    /// `sample(i) = s[len − 1 − i]` for `i < s.len()`, else `0.0` (the
+    /// reversed-query form that turns convolution into correlation).
+    PaddedReversed(&'a [f64]),
+}
+
+/// Forward half of the packed real transform: pack the source into `n/2`
+/// complex points, run the half-size complex FFT, and unpack in place into
+/// the **packed spectrum** layout: slot `k` (`1 <= k < n/2`) holds `X[k]`;
+/// slot 0 holds `{re: X[0], im: X[n/2]}` (both bins are purely real for
+/// real input, so they share a slot and nothing is lost).
+fn rfft_with_plan(plan: &RfftPlan, out: &mut Vec<Complex>, src: RealSource<'_>, backend: Backend) {
     let h = plan.n / 2;
     out.clear();
     out.reserve(h);
-    for k in 0..h {
-        out.push(Complex::new(sample(2 * k), sample(2 * k + 1)));
+    match src {
+        RealSource::Padded(s) => {
+            let mut chunks = s.chunks_exact(2);
+            out.extend(chunks.by_ref().map(|c| Complex::new(c[0], c[1])));
+            if let [last] = chunks.remainder() {
+                out.push(Complex::new(*last, 0.0));
+            }
+        }
+        RealSource::PaddedReversed(s) => {
+            let mut chunks = s.rchunks_exact(2);
+            out.extend(chunks.by_ref().map(|c| Complex::new(c[1], c[0])));
+            if let [first] = chunks.remainder() {
+                out.push(Complex::new(*first, 0.0));
+            }
+        }
     }
-    fft_with_plan(out, &plan.half, false);
-    // Unpack: with Z the half transform, E_k = (Z[k] + conj(Z[h−k]))/2 and
-    // O_k = (Z[k] − conj(Z[h−k]))/(2i) are the even/odd-sample DFTs, and
-    // X[k] = E_k + w^k·O_k, X[h−k] = conj(E_k − w^k·O_k) with w = e^{-2πi/n}.
+    out.resize(h, Complex::default());
+    fft_with_plan_be(out, &plan.half, false, backend);
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only dispatched when `is_supported()` held.
+        Backend::Avx2 => unsafe { unpack_forward_avx2(out, &plan.twiddles) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unpack_forward_lanes::<simd::SseC64>(out, &plan.twiddles),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unpack_forward_lanes::<simd::NeonC64>(out, &plan.twiddles),
+        _ => unpack_forward_lanes::<ScalarC64>(out, &plan.twiddles),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn unpack_forward_avx2(out: &mut [Complex], twiddles: &[Complex]) {
+    unpack_forward_lanes::<simd::AvxC64>(out, twiddles);
+}
+
+/// The forward unpack pass: with Z the half transform,
+/// `E_k = (Z[k] + conj(Z[h−k]))/2` and `O_k = (Z[k] − conj(Z[h−k]))/(2i)`
+/// are the even/odd-sample DFTs, and `X[k] = E_k + w^k·O_k`,
+/// `X[h−k] = conj(E_k − w^k·O_k)` with `w = e^{-2πi/n}`.
+///
+/// Vector slots `k .. k+C` pair with slots `h−k−C+1 ..= h−k` loaded in
+/// reversed complex order; the loop bound `2(k+C−1) < h` is exactly the
+/// condition that the two ranges never overlap, and the scalar tail
+/// finishes the middle. Per-slot chains match the historical scalar code
+/// bit for bit (negate-then-add equals subtract in IEEE arithmetic).
+#[inline(always)]
+fn unpack_forward_lanes<C: C64Lanes>(out: &mut [Complex], twiddles: &[Complex]) {
+    let h = out.len();
     let z0 = out[0];
     out[0] = Complex::new(z0.re + z0.im, z0.re - z0.im);
+    let ptr = out.as_mut_ptr() as *mut f64;
     let mut k = 1;
+    while 2 * (k + C::COMPLEX - 1) < h {
+        let rev = h - k - (C::COMPLEX - 1);
+        // SAFETY: 1 <= k, k + C - 1 < rev (the loop bound), and
+        // rev + C - 1 = h - k < h keep both ranges in bounds and disjoint.
+        unsafe {
+            let a = C::load(ptr.add(2 * k));
+            let b = C::load_reversed(ptr.add(2 * rev));
+            let e = a.add(b.conj()).scale(0.5);
+            let f = a.sub(b.conj()).scale(0.5);
+            let w = C::load(twiddles.as_ptr().add(k) as *const f64);
+            let wo = w.mul_complex(f).swap_re_im().conj(); // −i·(w^k·F)
+            e.add(wo).store(ptr.add(2 * k));
+            e.sub(wo).conj().store_reversed(ptr.add(2 * rev));
+        }
+        k += C::COMPLEX;
+    }
     while 2 * k < h {
         let a = out[k];
         let b = out[h - k];
         let e = Complex::new((a.re + b.re) * 0.5, (a.im - b.im) * 0.5);
         let f = Complex::new((a.re - b.re) * 0.5, (a.im + b.im) * 0.5);
-        let t = plan.twiddles[k] * f;
+        let t = twiddles[k] * f;
         let wo = Complex::new(t.im, -t.re); // −i·(w^k·F) = w^k·O_k
-        let xk = e + wo;
-        let xc = e - wo;
-        out[k] = xk;
-        out[h - k] = xc.conj();
+        out[k] = e + wo;
+        out[h - k] = (e - wo).conj();
         k += 1;
     }
     if h >= 2 {
@@ -410,10 +577,49 @@ fn rfft_with_plan(plan: &RfftPlan, out: &mut Vec<Complex>, mut sample: impl FnMu
 /// real convolution). Slot 0 multiplies componentwise because `X[0]` and
 /// `X[n/2]` are independent real bins sharing the slot.
 pub fn packed_spectrum_mul(a: &mut [Complex], b: &[Complex]) {
+    packed_spectrum_mul_be(a, b, simd::current());
+}
+
+fn packed_spectrum_mul_be(a: &mut [Complex], b: &[Complex], backend: Backend) {
     debug_assert_eq!(a.len(), b.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only dispatched when `is_supported()` held.
+        Backend::Avx2 => unsafe { spectrum_mul_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => spectrum_mul_lanes::<simd::SseC64>(a, b),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => spectrum_mul_lanes::<simd::NeonC64>(a, b),
+        _ => spectrum_mul_lanes::<ScalarC64>(a, b),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn spectrum_mul_avx2(a: &mut [Complex], b: &[Complex]) {
+    spectrum_mul_lanes::<simd::AvxC64>(a, b);
+}
+
+#[inline(always)]
+fn spectrum_mul_lanes<C: C64Lanes>(a: &mut [Complex], b: &[Complex]) {
     a[0] = Complex::new(a[0].re * b[0].re, a[0].im * b[0].im);
-    for (x, y) in a[1..].iter_mut().zip(&b[1..]) {
-        *x = *x * *y;
+    let n = a.len();
+    let pa = a.as_mut_ptr() as *mut f64;
+    let pb = b.as_ptr() as *const f64;
+    let mut k = 1;
+    while k + C::COMPLEX <= n {
+        // SAFETY: complexes [k, k + C) are in bounds of both equal-length
+        // slices.
+        unsafe {
+            let x = C::load(pa.add(2 * k));
+            let y = C::load(pb.add(2 * k));
+            x.mul_complex(y).store(pa.add(2 * k));
+        }
+        k += C::COMPLEX;
+    }
+    while k < n {
+        a[k] = a[k] * b[k];
+        k += 1;
     }
 }
 
@@ -422,21 +628,62 @@ pub fn packed_spectrum_mul(a: &mut [Complex], b: &[Complex]) {
 /// half-size FFT (whose `1/(n/2)` scaling makes the roundtrip exact, and
 /// makes `irfft(X·Y)` the properly scaled circular convolution). Afterwards
 /// slot `k` holds the real samples `{re: x[2k], im: x[2k+1]}`.
-fn irfft_with_plan(plan: &RfftPlan, x: &mut [Complex]) {
-    let h = plan.n / 2;
-    debug_assert_eq!(x.len(), h);
-    // Inverse of the unpack: E_k = (X[k] + conj(X[h−k]))/2,
-    // w^k·O_k = (X[k] − conj(X[h−k]))/2, Z[k] = E_k + i·O_k,
-    // Z[h−k] = conj(E_k) + i·conj(O_k).
+fn irfft_with_plan(plan: &RfftPlan, x: &mut [Complex], backend: Backend) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only dispatched when `is_supported()` held.
+        Backend::Avx2 => unsafe { unpack_inverse_avx2(x, &plan.twiddles) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unpack_inverse_lanes::<simd::SseC64>(x, &plan.twiddles),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unpack_inverse_lanes::<simd::NeonC64>(x, &plan.twiddles),
+        _ => unpack_inverse_lanes::<ScalarC64>(x, &plan.twiddles),
+    }
+    fft_with_plan_be(x, &plan.half, true, backend);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn unpack_inverse_avx2(x: &mut [Complex], twiddles: &[Complex]) {
+    unpack_inverse_lanes::<simd::AvxC64>(x, twiddles);
+}
+
+/// Inverse of the forward unpack: `E_k = (X[k] + conj(X[h−k]))/2`,
+/// `w^k·O_k = (X[k] − conj(X[h−k]))/2`, `Z[k] = E_k + i·O_k`,
+/// `Z[h−k] = conj(E_k) + i·conj(O_k)`. Same pairing, bounds, and bitwise
+/// reasoning as [`unpack_forward_lanes`].
+#[inline(always)]
+fn unpack_inverse_lanes<C: C64Lanes>(x: &mut [Complex], twiddles: &[Complex]) {
+    let h = x.len();
     let x0 = x[0];
     x[0] = Complex::new((x0.re + x0.im) * 0.5, (x0.re - x0.im) * 0.5);
+    let ptr = x.as_mut_ptr() as *mut f64;
     let mut k = 1;
+    while 2 * (k + C::COMPLEX - 1) < h {
+        let rev = h - k - (C::COMPLEX - 1);
+        // SAFETY: same disjoint-range argument as the forward unpack.
+        unsafe {
+            let a = C::load(ptr.add(2 * k));
+            let b = C::load_reversed(ptr.add(2 * rev));
+            let e = a.add(b.conj()).scale(0.5);
+            let g = a.sub(b.conj()).scale(0.5);
+            let w = C::load(twiddles.as_ptr().add(k) as *const f64);
+            let o = w.conj().mul_complex(g);
+            // Z[k] = E + i·O; Z[h−k] = conj(E) + i·conj(O) — i· is
+            // swap_re_im + neg_re, and i·conj(o) swaps without negating.
+            e.add(o.swap_re_im().neg_re()).store(ptr.add(2 * k));
+            e.conj()
+                .add(o.swap_re_im())
+                .store_reversed(ptr.add(2 * rev));
+        }
+        k += C::COMPLEX;
+    }
     while 2 * k < h {
         let a = x[k];
         let b = x[h - k];
         let e = Complex::new((a.re + b.re) * 0.5, (a.im - b.im) * 0.5);
         let g = Complex::new((a.re - b.re) * 0.5, (a.im + b.im) * 0.5);
-        let o = plan.twiddles[k].conj() * g;
+        let o = twiddles[k].conj() * g;
         x[k] = Complex::new(e.re - o.im, e.im + o.re);
         x[h - k] = Complex::new(e.re + o.im, o.re - e.im);
         k += 1;
@@ -444,7 +691,6 @@ fn irfft_with_plan(plan: &RfftPlan, x: &mut [Complex]) {
     if h >= 2 {
         x[h / 2] = x[h / 2].conj();
     }
-    fft_with_plan(x, &plan.half, true);
 }
 
 /// Real-input FFT: writes the packed `n/2`-point spectrum of the length-`n`
@@ -453,7 +699,7 @@ fn irfft_with_plan(plan: &RfftPlan, x: &mut [Complex]) {
 /// its capacity suffices. See [`packed_spectrum_mul`] for the slot layout.
 pub fn rfft(input: &[f64], out: &mut Vec<Complex>) -> Result<()> {
     let plan = rfft_plan(input.len())?;
-    rfft_with_plan(&plan, out, |i| input[i]);
+    rfft_with_plan(&plan, out, RealSource::Padded(input), simd::current());
     Ok(())
 }
 
@@ -463,14 +709,18 @@ pub fn rfft(input: &[f64], out: &mut Vec<Complex>) -> Result<()> {
 pub fn irfft(spec: &mut [Complex], out: &mut Vec<f64>) -> Result<()> {
     let n = spec.len() * 2;
     let plan = rfft_plan(n)?;
-    irfft_with_plan(&plan, spec);
+    irfft_with_plan(&plan, spec, simd::current());
     out.clear();
-    out.reserve(n);
-    for c in spec.iter() {
-        out.push(c.re);
-        out.push(c.im);
-    }
+    out.extend_from_slice(complex_as_f64s(spec));
     Ok(())
+}
+
+/// A `[Complex]` slice viewed as its interleaved `re, im, …` f64 sequence.
+/// Sound because [`Complex`] is `repr(C)` with two f64 fields and no
+/// padding.
+fn complex_as_f64s(spec: &[Complex]) -> &[f64] {
+    // SAFETY: repr(C) guarantees the layout; length doubles exactly.
+    unsafe { std::slice::from_raw_parts(spec.as_ptr() as *const f64, spec.len() * 2) }
 }
 
 /// Reusable frequency-domain buffers for [`sliding_dot_product_fft_into`].
@@ -505,10 +755,44 @@ pub fn sliding_dot_product_fft(query: &[f64], series: &[f64]) -> Result<Vec<f64>
     Ok(out)
 }
 
+/// Smallest overlap-save block (in real points). A 16384-point block keeps
+/// the whole working set — 8192 packed complex points, the 8192-point
+/// half-plan twiddles, the pack/unpack roots, and the precomputed query
+/// spectrum — resident in a ~2 MB L2, which is what lets the vector
+/// butterflies run at compute speed instead of memory speed. Below one
+/// block's worth of work the single-transform path is used unchanged.
+const SDP_BLOCK_MIN: usize = 16_384;
+
+/// The FFT size [`sliding_dot_product_fft_into`] uses for a given shape:
+/// the overlap-save block when the series is long enough to split (the
+/// block must hold at least `4·m` points so the discarded `m − 1`-point
+/// overlap stays a minority of each block), else the full padded size.
+/// A pure function of `(n, m)` — like the naive/FFT crossover, the choice
+/// can never depend on thread count or call history.
+fn sdp_fft_size(n: usize, m: usize) -> usize {
+    // linear correlation needs n + m points of headroom (the highest used
+    // convolution index is n - 1 + m); padding to 2n would double the FFT
+    // whenever n + m lands below a power-of-two boundary that 2n crosses
+    let full = next_pow2(n + m);
+    let block = next_pow2(4 * m).max(SDP_BLOCK_MIN);
+    if block < full {
+        block
+    } else {
+        full
+    }
+}
+
 /// [`sliding_dot_product_fft`] writing into a caller-owned buffer. Repeated
 /// calls with the same `(n, m)` shape — STOMP seed rows, STAMP's per-row
 /// scans, MERLIN's length sweep — perform zero heap allocations once the
 /// thread-local scratch and `out` have warmed up.
+///
+/// Long series run in **overlap-save** blocks of `sdp_fft_size` points:
+/// the reversed query's spectrum is transformed once, then each block of
+/// the series is transformed, multiplied, and inverted in L2-resident
+/// buffers, with consecutive blocks overlapping by `m − 1` points (the
+/// circular-wraparound prefix of each block's convolution is discarded).
+/// Short series keep the historical single full-size transform.
 pub fn sliding_dot_product_fft_into(
     query: &[f64],
     series: &[f64],
@@ -519,11 +803,12 @@ pub fn sliding_dot_product_fft_into(
     if m == 0 || m > n {
         return Err(CoreError::BadWindow { window: m, len: n });
     }
-    // linear correlation needs n + m points of headroom (the highest used
-    // convolution index is n - 1 + m); padding to 2n would double the FFT
-    // whenever n + m lands below a power-of-two boundary that 2n crosses
-    let size = next_pow2(n + m);
+    let size = sdp_fft_size(n, m);
     let plan = rfft_plan(size)?;
+    // One dispatch resolution covers every transform pass of every block
+    // (and any worker thread this call runs on inherits the caller's
+    // choice).
+    let backend = simd::current();
     SDP_SCRATCH.with(|scratch| {
         let scratch = &mut *scratch.borrow_mut();
         // The spectra hold size/2 packed complex points (see rfft_with_plan);
@@ -535,24 +820,29 @@ pub fn sliding_dot_product_fft_into(
         }
         let ts = &mut scratch.series_spec;
         let q = &mut scratch.query_spec;
-        rfft_with_plan(&plan, ts, |i| if i < n { series[i] } else { 0.0 });
         // Reverse the query so that convolution computes correlation.
-        rfft_with_plan(&plan, q, |i| if i < m { query[m - 1 - i] } else { 0.0 });
-        packed_spectrum_mul(ts, q);
-        irfft_with_plan(&plan, ts);
+        rfft_with_plan(&plan, q, RealSource::PaddedReversed(query), backend);
         out.clear();
         out.reserve(n - m + 1);
-        // Convolution index m-1+i holds Σ_j query[j]·series[i+j]; after the
-        // inverse, slot k packs real samples {2k, 2k+1}.
-        out.extend((0..=n - m).map(|i| {
-            let idx = m - 1 + i;
-            let c = ts[idx / 2];
-            if idx.is_multiple_of(2) {
-                c.re
-            } else {
-                c.im
-            }
-        }));
+        // Each block contributes `step` outputs; the first `m − 1` slots of
+        // its circular convolution wrap around and are discarded, which is
+        // why consecutive blocks re-read the previous block's tail.
+        let step = size - m + 1;
+        let total = n - m + 1;
+        let mut start = 0;
+        while start < total {
+            let chunk = &series[start..n.min(start + size)];
+            rfft_with_plan(&plan, ts, RealSource::Padded(chunk), backend);
+            packed_spectrum_mul_be(ts, q, backend);
+            irfft_with_plan(&plan, ts, backend);
+            // Convolution index m-1+t holds Σ_j query[j]·chunk[t+j]; after
+            // the inverse, slot k packs real samples {2k, 2k+1} — so the
+            // valid outputs are a contiguous f64 run of the interleaved
+            // buffer starting at m-1.
+            let take = step.min(total - start);
+            out.extend_from_slice(&complex_as_f64s(ts)[m - 1..m - 1 + take]);
+            start += step;
+        }
     });
     Ok(())
 }
@@ -845,6 +1135,46 @@ mod tests {
         });
         for (a, b) in here.iter().zip(&there) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sdp_fft_size_is_a_pure_shape_function() {
+        // short series: the full padded transform, exactly as before
+        assert_eq!(sdp_fft_size(600, 129), next_pow2(600 + 129));
+        assert_eq!(sdp_fft_size(15_000, 512), next_pow2(15_512));
+        // the bench shape splits into minimum-size L2-resident blocks
+        assert_eq!(sdp_fft_size(65_536, 512), SDP_BLOCK_MIN);
+        // long windows grow the block so the m-1 overlap stays a minority
+        assert_eq!(sdp_fft_size(60_000, 5_000), 32_768);
+        // ...until the full transform is no bigger anyway
+        assert_eq!(sdp_fft_size(20_000, 20_000), next_pow2(40_000));
+    }
+
+    #[test]
+    fn overlap_save_blocks_agree_with_naive() {
+        // n is large enough that sliding_dot_product_fft runs the
+        // overlap-save path; shapes cover a partial tail block, an exact
+        // block multiple (total == 2*step), and a tail of exactly one
+        // output (total == step + 1).
+        let m = 200usize;
+        let step = SDP_BLOCK_MIN - m + 1;
+        let series: Vec<f64> = (0..2 * step + m - 1)
+            .map(|i| ((i * 29 % 41) as f64) * 0.25 - 3.0)
+            .collect();
+        for n in [20_000usize, 2 * step + m - 1, step + m] {
+            let x = &series[..n];
+            assert!(sdp_fft_size(n, m) < next_pow2(n + m), "n={n} must split");
+            let query: Vec<f64> = x[37..37 + m].iter().map(|&v| v * 0.8 - 0.4).collect();
+            let fast = sliding_dot_product_fft(&query, x).unwrap();
+            let naive = sliding_dot_product_naive(&query, x).unwrap();
+            assert_eq!(fast.len(), naive.len());
+            for (i, (a, b)) in fast.iter().zip(&naive).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9 * b.abs().max(1.0),
+                    "n={n} i={i}: {a} vs {b}"
+                );
+            }
         }
     }
 

@@ -37,6 +37,7 @@ pub mod labels;
 pub mod ops;
 pub mod sax;
 pub mod series;
+pub mod simd;
 pub mod stats;
 pub mod windows;
 

@@ -14,6 +14,7 @@ use std::ops::Range;
 
 use tsad_core::dist::{dot_to_znorm_dist, mass_with_moments};
 use tsad_core::error::{CoreError, Result};
+use tsad_core::simd::{self, Backend, F64Lanes};
 use tsad_core::windows::{MomentsScratch, WindowMoments};
 use tsad_core::{stats, TimeSeries};
 use tsad_obs::Span;
@@ -48,9 +49,10 @@ pub struct MatrixProfile {
     /// `profile[i]` = z-normalized distance from window `i` to its nearest
     /// non-trivial neighbor.
     pub profile: Vec<f64>,
-    /// `index[i]` = start of that nearest neighbor. Windows that received
-    /// no admissible neighbor (tiny inputs; the left profile's warm-up
-    /// prefix) keep the placeholder 0 — check `profile[i]` before trusting
+    /// `index[i]` = start of that nearest neighbor; exact distance ties are
+    /// resolved to the smallest neighbor index. Windows that received no
+    /// admissible neighbor (tiny inputs; the left profile's warm-up prefix)
+    /// keep the placeholder 0 — check `profile[i]` before trusting
     /// `index[i]` in those regions.
     pub index: Vec<usize>,
     /// Subsequence length.
@@ -111,6 +113,39 @@ trait Scorer: Sync {
     fn finalize(&self, s: f64) -> f64;
 }
 
+/// A [`Scorer`] that can evaluate a lockstep group of `L::LANES` adjacent
+/// diagonals at once. Lane `g` holds the pair `(i, j0 + g)` (`FWD`, the
+/// self-join's ascending columns) or `(i, j0 - g)` (the left profile's
+/// descending columns). Implementations must run, per lane, the **exact
+/// operation chain** of [`Scorer::score`] — lanewise IEEE arithmetic then
+/// makes a vector group bitwise equal to the scalar walk, which is what
+/// keeps the banded scan thread-count invariant under SIMD (DESIGN.md §11).
+trait LaneScorer: Scorer {
+    /// Lane-group score; see the trait docs for the lane-to-pair mapping.
+    ///
+    /// # Safety
+    /// The scorer's lookup tables must be readable at every lane's column:
+    /// `j0..j0 + L::LANES` when `FWD`, else `j0 + 1 - L::LANES..=j0`.
+    unsafe fn score_lanes<L: F64Lanes, const FWD: bool>(&self, i: usize, j0: usize, qt: L) -> L;
+}
+
+/// Loads the lane group of table values for the column side: ascending from
+/// `j0` for the self-join, descending from `j0` for the left profile (the
+/// reversed load keeps lane `g` ↔ column `j0 - g`).
+///
+/// # Safety
+/// See [`LaneScorer::score_lanes`].
+#[inline(always)]
+unsafe fn load_cols<L: F64Lanes, const FWD: bool>(table: &[f64], j0: usize) -> L {
+    unsafe {
+        if FWD {
+            L::load(table.as_ptr().add(j0))
+        } else {
+            L::load_reversed(table.as_ptr().add(j0 + 1 - L::LANES))
+        }
+    }
+}
+
 /// Z-normalized scoring for series with no degenerate (constant) windows:
 /// minimizes the negated Pearson correlation
 /// `-(qt − a_i·a_j)·inv_i·inv_j` with `a_i = √m·μ_i` and
@@ -133,6 +168,22 @@ impl Scorer for CorrScorer<'_> {
     #[inline]
     fn finalize(&self, s: f64) -> f64 {
         (self.two_m * (1.0 + s)).max(0.0).sqrt()
+    }
+}
+
+impl LaneScorer for CorrScorer<'_> {
+    #[inline(always)]
+    unsafe fn score_lanes<L: F64Lanes, const FWD: bool>(&self, i: usize, j0: usize, qt: L) -> L {
+        let (aj, invj) = unsafe {
+            (
+                load_cols::<L, FWD>(self.a, j0),
+                load_cols::<L, FWD>(self.inv, j0),
+            )
+        };
+        // per lane: -((qt - a_i*a_j) * (inv_i*inv_j)), exactly as `score`
+        qt.sub(L::splat(self.a[i]).mul(aj))
+            .mul(L::splat(self.inv[i]).mul(invj))
+            .neg()
     }
 }
 
@@ -165,6 +216,22 @@ impl Scorer for ZnormScorer<'_> {
     }
 }
 
+impl LaneScorer for ZnormScorer<'_> {
+    /// The branchy degenerate-window conventions don't vectorize; degenerate
+    /// inputs dispatch with [`Backend::Scalar`] (see [`run_scan`]), so this
+    /// per-lane fallback only ever runs with the one-lane scalar type.
+    #[inline(always)]
+    unsafe fn score_lanes<L: F64Lanes, const FWD: bool>(&self, i: usize, j0: usize, qt: L) -> L {
+        let q = qt.to_array();
+        let mut out = [0.0f64; 4];
+        for (g, slot) in out.iter_mut().enumerate().take(L::LANES) {
+            let j = if FWD { j0 + g } else { j0 - g };
+            *slot = self.score(i, j, q[g]);
+        }
+        unsafe { L::load(out.as_ptr()) }
+    }
+}
+
 /// Raw-Euclidean scoring: minimizes the squared distance
 /// `‖a‖² + ‖b‖² − 2·qt` and takes one square root per window at the end.
 struct EuclidScorer<'a> {
@@ -174,7 +241,14 @@ struct EuclidScorer<'a> {
 impl Scorer for EuclidScorer<'_> {
     #[inline]
     fn score(&self, i: usize, j: usize, qt: f64) -> f64 {
-        (self.sq_norms[i] + self.sq_norms[j] - 2.0 * qt).max(0.0)
+        let s = self.sq_norms[i] + self.sq_norms[j] - 2.0 * qt;
+        // hardware-max (maxpd) semantics, spelled out so the scalar chain is
+        // bit-identical to the vector lanes' clamp
+        if s > 0.0 {
+            s
+        } else {
+            0.0
+        }
     }
     #[inline]
     fn finalize(&self, s: f64) -> f64 {
@@ -182,26 +256,268 @@ impl Scorer for EuclidScorer<'_> {
     }
 }
 
+impl LaneScorer for EuclidScorer<'_> {
+    #[inline(always)]
+    unsafe fn score_lanes<L: F64Lanes, const FWD: bool>(&self, i: usize, j0: usize, qt: L) -> L {
+        let sj = unsafe { load_cols::<L, FWD>(self.sq_norms, j0) };
+        // per lane: (sq_i + sq_j - 2·qt) clamped at zero, exactly as `score`
+        L::splat(self.sq_norms[i])
+            .add(sj)
+            .sub(L::splat(2.0).mul(qt))
+            .max(L::splat(0.0))
+    }
+}
+
 /// Per-worker band buffers, pooled across calls (the workspace spawns
 /// threads per call, so persistence has to live outside the workers; see
-/// `tsad_parallel::ScratchPool`). Both vectors are fully re-initialized on
+/// `tsad_parallel::ScratchPool`). All vectors are fully re-initialized on
 /// every use — only capacity survives.
 #[derive(Debug, Default)]
 struct BandSpace {
     scores: Vec<f64>,
     index: Vec<usize>,
+    /// Dot-product checkpoint per diagonal of the band, carried across row
+    /// blocks (see [`fill_band_lanes`]).
+    qt_save: Vec<f64>,
 }
 
 static BAND_POOL: ScratchPool<BandSpace> = ScratchPool::new();
 
-/// Walks one band of diagonals. Diagonal `k` pairs window `i` with window
-/// `i ± k` following the STOMP dot-product recurrence
-/// `QT[i+1][j+1] = QT[i][j] − x[i]·x[j] + x[i+m]·x[j+m]` from the seed
-/// `QT[0][k]`. `LEFT` selects the left-profile variant: only the later
-/// window of each pair is updated, so every entry sees exactly the
-/// candidates preceding it.
+/// Merges candidate `(s, j)` into profile slot `r` under the
+/// order-independent tie rule: the surviving entry is the **lexicographic
+/// minimum** of every `(score, neighbor index)` candidate the slot ever
+/// sees — strict improvement wins, exact score ties go to the smaller
+/// neighbor index. Lexicographic minima are associative and commutative,
+/// so the final state is identical no matter how candidates are grouped
+/// into lanes, row blocks, bands, or threads; this rule is what lets the
+/// SIMD kernels walk diagonals in lockstep groups and still stay bitwise
+/// thread-count invariant. NaN scores never displace anything (both
+/// comparisons are false), matching the historical strict-`<` behavior.
+#[inline(always)]
+fn merge_cell(scores: &mut [f64], index: &mut [usize], r: usize, s: f64, j: usize) {
+    if s < scores[r] || (s == scores[r] && j < index[r]) {
+        scores[r] = s;
+        index[r] = j;
+    }
+}
+
+/// Scalar walk of diagonal `k` over `rows` (a row is the `i` of the cell
+/// being scored: the pair is `(i, i+k)` for the self-join, `(i, i−k)` for
+/// the left profile). The diagonal's first row seeds `qt` from the
+/// precomputed dot-product row; later rows advance the STOMP recurrence
+/// `QT[i+1][j+1] = QT[i][j] − x[i]·x[j] + x[i+m]·x[j+m]` in place, so a
+/// diagonal can be walked in disjoint row slices (blocks) with `qt` carried
+/// between them.
 #[allow(clippy::too_many_arguments)]
-fn fill_band<S: Scorer, const LEFT: bool>(
+#[inline(always)]
+fn scalar_rows<S: Scorer, const LEFT: bool>(
+    x: &[f64],
+    m: usize,
+    first_row: &[f64],
+    scorer: &S,
+    k: usize,
+    rows: Range<usize>,
+    qt: &mut f64,
+    scores: &mut [f64],
+    index: &mut [usize],
+) {
+    let mut i = rows.start;
+    let seed_row = if LEFT { k } else { 0 };
+    if i <= seed_row && seed_row < rows.end {
+        *qt = first_row[k];
+        if LEFT {
+            let s = scorer.score(k, 0, *qt);
+            merge_cell(scores, index, k, s, 0);
+        } else {
+            let s = scorer.score(0, k, *qt);
+            merge_cell(scores, index, 0, s, k);
+            merge_cell(scores, index, k, s, 0);
+        }
+        i = seed_row + 1;
+    }
+    while i < rows.end {
+        let j = if LEFT { i - k } else { i + k };
+        *qt = *qt - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
+        let s = scorer.score(i, j, *qt);
+        merge_cell(scores, index, i, s, j);
+        if !LEFT {
+            merge_cell(scores, index, j, s, i);
+        }
+        i += 1;
+    }
+}
+
+/// Lockstep walk of the self-join diagonal group `k..k+LANES` over `rows`.
+/// At row `i` the group's partners are the `LANES` consecutive windows
+/// starting at `i + k`, so the recurrence inputs, the scorer tables, and
+/// the partner-side profile slots are all contiguous vector loads. Rows
+/// past the lockstep range (diagonal `k+g` outlives the group by
+/// `LANES−1−g` rows) finish on the scalar twin with the same `qt` lanes.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn self_group_rows<L: F64Lanes, S: LaneScorer>(
+    x: &[f64],
+    m: usize,
+    count: usize,
+    first_row: &[f64],
+    scorer: &S,
+    k: usize,
+    rows: Range<usize>,
+    qs: &mut [f64],
+    scores: &mut [f64],
+    index: &mut [usize],
+) {
+    let vec_end = count - (k + L::LANES - 1);
+    let mut qt = if rows.start == 0 {
+        // Row 0 seeds every lane straight from the precomputed dot-product
+        // row and, like the scalar seed, scores both sides of each pair.
+        let qt = unsafe { L::load(first_row.as_ptr().add(k)) };
+        let s = unsafe { scorer.score_lanes::<L, true>(0, k, qt) };
+        if s.le_mask(L::splat(scores[0])) != 0 {
+            let sa = s.to_array();
+            for (g, &sv) in sa.iter().enumerate().take(L::LANES) {
+                merge_cell(scores, index, 0, sv, k + g);
+            }
+        }
+        let cur = unsafe { L::load(scores.as_ptr().add(k)) };
+        if s.le_mask(cur) != 0 {
+            let sa = s.to_array();
+            for (g, &sv) in sa.iter().enumerate().take(L::LANES) {
+                merge_cell(scores, index, k + g, sv, 0);
+            }
+        }
+        qt
+    } else {
+        unsafe { L::load(qs.as_ptr()) }
+    };
+    for i in rows.start.max(1)..rows.end.min(vec_end) {
+        let j0 = i + k;
+        let (xl, xh) = unsafe {
+            (
+                L::load(x.as_ptr().add(j0 - 1)),
+                L::load(x.as_ptr().add(j0 + m - 1)),
+            )
+        };
+        qt = qt
+            .sub(L::splat(x[i - 1]).mul(xl))
+            .add(L::splat(x[i + m - 1]).mul(xh));
+        let s = unsafe { scorer.score_lanes::<L, true>(i, j0, qt) };
+        // Fast path: a lane can only win a slot when its score is <= the
+        // slot's current one (NaN lanes compare false, as in merge_cell),
+        // so an all-clear mask skips the lane-by-lane merge entirely.
+        if s.le_mask(L::splat(scores[i])) != 0 {
+            let sa = s.to_array();
+            for (g, &sv) in sa.iter().enumerate().take(L::LANES) {
+                merge_cell(scores, index, i, sv, j0 + g);
+            }
+        }
+        let cur = unsafe { L::load(scores.as_ptr().add(j0)) };
+        if s.le_mask(cur) != 0 {
+            let sa = s.to_array();
+            for (g, &sv) in sa.iter().enumerate().take(L::LANES) {
+                merge_cell(scores, index, j0 + g, sv, i);
+            }
+        }
+    }
+    unsafe { qt.store(qs.as_mut_ptr()) };
+    // ragged end: lane L-1 defines the lockstep bound, earlier lanes run on
+    for (g, q) in qs.iter_mut().enumerate().take(L::LANES - 1) {
+        scalar_rows::<S, false>(
+            x,
+            m,
+            first_row,
+            scorer,
+            k + g,
+            rows.start.max(vec_end)..rows.end.min(count - (k + g)),
+            q,
+            scores,
+            index,
+        );
+    }
+}
+
+/// Lockstep walk of the left-profile diagonal group `k..k+LANES` over
+/// `rows`. Lane `g` pairs row `i` with window `i − k − g`: the columns
+/// descend as the lane index ascends, so the column-side loads are
+/// reversed. Diagonal `k+g` only comes alive at row `k+g` — the staggered
+/// prologue walks each lane on the scalar twin until the whole group is
+/// live, then the lanes advance in lockstep to the end of the series
+/// (left-profile diagonals all end at row `count`, so there is no ragged
+/// epilogue). Only the later window of each pair is updated.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn left_group_rows<L: F64Lanes, S: LaneScorer>(
+    x: &[f64],
+    m: usize,
+    first_row: &[f64],
+    scorer: &S,
+    k: usize,
+    rows: Range<usize>,
+    qs: &mut [f64],
+    scores: &mut [f64],
+    index: &mut [usize],
+) {
+    let vec_start = k + L::LANES;
+    for (g, q) in qs.iter_mut().enumerate().take(L::LANES) {
+        scalar_rows::<S, true>(
+            x,
+            m,
+            first_row,
+            scorer,
+            k + g,
+            rows.start.max(k + g)..rows.end.min(vec_start),
+            q,
+            scores,
+            index,
+        );
+    }
+    let start = rows.start.max(vec_start);
+    if start >= rows.end {
+        return;
+    }
+    let mut qt = unsafe { L::load(qs.as_ptr()) };
+    for i in start..rows.end {
+        let j0 = i - k;
+        // lane g reads x[j_g - 1] with j_g = j0 - g: reversed loads keep
+        // lane order while the addresses descend
+        let base = j0 - L::LANES;
+        let (xl, xh) = unsafe {
+            (
+                L::load_reversed(x.as_ptr().add(base)),
+                L::load_reversed(x.as_ptr().add(base + m)),
+            )
+        };
+        qt = qt
+            .sub(L::splat(x[i - 1]).mul(xl))
+            .add(L::splat(x[i + m - 1]).mul(xh));
+        let s = unsafe { scorer.score_lanes::<L, false>(i, j0, qt) };
+        if s.le_mask(L::splat(scores[i])) != 0 {
+            let sa = s.to_array();
+            for (g, &sv) in sa.iter().enumerate().take(L::LANES) {
+                merge_cell(scores, index, i, sv, j0 - g);
+            }
+        }
+    }
+    unsafe { qt.store(qs.as_mut_ptr()) };
+}
+
+/// Rows per cache block: every diagonal of a band advances through the same
+/// row block before any moves on, so the `x`/lookup-table/profile windows a
+/// block touches stay L2-resident while the whole band crosses them. 16k
+/// rows touch well under 1 MB across the six hot arrays.
+const ROW_BLOCK: usize = 16_384;
+
+/// Walks one band of diagonals in lockstep groups of `L::LANES`, row-blocked
+/// to L2. Diagonal `k` pairs window `i` with window `i ± k` following the
+/// STOMP dot-product recurrence from the seed `QT[0][k]`; `LEFT` selects
+/// the left-profile variant (only the later window of each pair is
+/// updated, so every entry sees exactly the candidates preceding it).
+/// Every lane computes the exact scalar operation chain and every merge
+/// goes through [`merge_cell`]'s order-independent rule, so lane grouping,
+/// row blocking, and band boundaries are all invisible bit for bit.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn fill_band_lanes<L: F64Lanes, S: LaneScorer, const LEFT: bool>(
     x: &[f64],
     m: usize,
     count: usize,
@@ -211,59 +527,139 @@ fn fill_band<S: Scorer, const LEFT: bool>(
     band: Range<usize>,
     scores: &mut [f64],
     index: &mut [usize],
+    qt_save: &mut Vec<f64>,
 ) {
-    for d in band {
-        let k = excl + d;
-        let mut qt = first_row[k];
-        if LEFT {
-            let s = scorer.score(k, 0, qt);
-            if s < scores[k] {
-                scores[k] = s;
-                index[k] = 0;
+    qt_save.clear();
+    qt_save.resize(band.len(), 0.0);
+    let mut rb = 0usize;
+    while rb < count {
+        let re = (rb + ROW_BLOCK).min(count);
+        let mut d = band.start;
+        while d < band.end {
+            let k = excl + d;
+            let qs = &mut qt_save[d - band.start..];
+            // A full lane group needs LANES diagonals left in the band and
+            // a diagonal long enough for at least one lockstep row.
+            let grouped = band.end - d >= L::LANES
+                && if LEFT {
+                    k + L::LANES < count
+                } else {
+                    k + L::LANES <= count
+                };
+            if !grouped {
+                let (lo, hi) = if LEFT { (k, count) } else { (0, count - k) };
+                scalar_rows::<S, LEFT>(
+                    x,
+                    m,
+                    first_row,
+                    scorer,
+                    k,
+                    rb.max(lo)..re.min(hi),
+                    &mut qs[0],
+                    scores,
+                    index,
+                );
+                d += 1;
+                continue;
             }
-            for i in k + 1..count {
-                let j = i - k;
-                qt = qt - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
-                let s = scorer.score(i, j, qt);
-                if s < scores[i] {
-                    scores[i] = s;
-                    index[i] = j;
-                }
+            let qs = &mut qs[..L::LANES];
+            if LEFT {
+                left_group_rows::<L, S>(x, m, first_row, scorer, k, rb..re, qs, scores, index);
+            } else {
+                self_group_rows::<L, S>(
+                    x,
+                    m,
+                    count,
+                    first_row,
+                    scorer,
+                    k,
+                    rb..re,
+                    qs,
+                    scores,
+                    index,
+                );
             }
-        } else {
-            let s = scorer.score(0, k, qt);
-            if s < scores[0] {
-                scores[0] = s;
-                index[0] = k;
-            }
-            if s < scores[k] {
-                scores[k] = s;
-                index[k] = 0;
-            }
-            for i in 1..count - k {
-                let j = i + k;
-                qt = qt - x[i - 1] * x[j - 1] + x[i + m - 1] * x[j + m - 1];
-                let s = scorer.score(i, j, qt);
-                if s < scores[i] {
-                    scores[i] = s;
-                    index[i] = j;
-                }
-                if s < scores[j] {
-                    scores[j] = s;
-                    index[j] = i;
-                }
-            }
+            d += L::LANES;
         }
+        rb = re;
     }
 }
 
-/// Fans contiguous bands of diagonals out over `tsad-parallel` and
-/// min-merges the per-worker buffers back **in band order** with a strict
-/// `<` — equivalent to one sequential scan over all diagonals in ascending
-/// order, so the outcome is identical wherever the band boundaries fall.
-/// `scores`/`index` are reset and receive the merged result.
+/// AVX2-dispatched monomorphization of [`fill_band_lanes`]: the
+/// `target_feature` wrapper is what lets the compiler emit 256-bit
+/// instructions for the inlined lane ops.
+///
+/// # Safety
+/// The CPU must support AVX2 (guaranteed when dispatch chose
+/// [`Backend::Avx2`]).
+#[cfg(target_arch = "x86_64")]
 #[allow(clippy::too_many_arguments)]
-fn scan_bands<S: Scorer, const LEFT: bool>(
+#[target_feature(enable = "avx2")]
+unsafe fn fill_band_avx2<S: LaneScorer, const LEFT: bool>(
+    x: &[f64],
+    m: usize,
+    count: usize,
+    excl: usize,
+    first_row: &[f64],
+    scorer: &S,
+    band: Range<usize>,
+    scores: &mut [f64],
+    index: &mut [usize],
+    qt_save: &mut Vec<f64>,
+) {
+    fill_band_lanes::<simd::AvxF64, S, LEFT>(
+        x, m, count, excl, first_row, scorer, band, scores, index, qt_save,
+    );
+}
+
+/// Runs one band under the dispatched SIMD backend. The backend is resolved
+/// once per profile call on the caller's thread (see [`run_scan`]) and
+/// passed in, so worker threads can never re-detect differently.
+#[allow(clippy::too_many_arguments)]
+fn fill_band<S: LaneScorer, const LEFT: bool>(
+    backend: Backend,
+    x: &[f64],
+    m: usize,
+    count: usize,
+    excl: usize,
+    first_row: &[f64],
+    scorer: &S,
+    band: Range<usize>,
+    scores: &mut [f64],
+    index: &mut [usize],
+    qt_save: &mut Vec<f64>,
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: dispatch only selects Avx2 on a CPU that supports it.
+        Backend::Avx2 => unsafe {
+            fill_band_avx2::<S, LEFT>(
+                x, m, count, excl, first_row, scorer, band, scores, index, qt_save,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => fill_band_lanes::<simd::SseF64, S, LEFT>(
+            x, m, count, excl, first_row, scorer, band, scores, index, qt_save,
+        ),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => fill_band_lanes::<simd::NeonF64, S, LEFT>(
+            x, m, count, excl, first_row, scorer, band, scores, index, qt_save,
+        ),
+        _ => fill_band_lanes::<simd::ScalarF64, S, LEFT>(
+            x, m, count, excl, first_row, scorer, band, scores, index, qt_save,
+        ),
+    }
+}
+
+/// Fans contiguous bands of diagonals out over `tsad-parallel` and merges
+/// the per-worker buffers through [`merge_cell`]'s order-independent rule —
+/// every slot ends at the lexicographic minimum of all its candidates, so
+/// the outcome is identical wherever the band boundaries fall and in
+/// whatever order the folds arrive. `scores`/`index` are reset and receive
+/// the merged result.
+#[allow(clippy::too_many_arguments)]
+fn scan_bands<S: LaneScorer, const LEFT: bool>(
+    backend: Backend,
     x: &[f64],
     m: usize,
     count: usize,
@@ -289,6 +685,7 @@ fn scan_bands<S: Scorer, const LEFT: bool>(
             space.index.clear();
             space.index.resize(count, 0);
             fill_band::<S, LEFT>(
+                backend,
                 x,
                 m,
                 count,
@@ -298,14 +695,12 @@ fn scan_bands<S: Scorer, const LEFT: bool>(
                 band,
                 &mut space.scores,
                 &mut space.index,
+                &mut space.qt_save,
             );
         },
         |space| {
             for i in 0..count {
-                if space.scores[i] < scores[i] {
-                    scores[i] = space.scores[i];
-                    index[i] = space.index[i];
-                }
+                merge_cell(scores, index, i, space.scores[i], space.index[i]);
             }
         },
     );
@@ -338,8 +733,9 @@ thread_local! {
 
 /// Shared preparation + dispatch for both profile variants. Scorer choice
 /// is a pure function of the input (`ZNormalized` series with any window
-/// std below the degeneracy epsilon take the exact historical path), so
-/// dispatch cannot vary with thread count.
+/// std below the degeneracy epsilon take the exact historical path), and
+/// the SIMD backend is resolved here, once, on the caller's thread — so
+/// neither dispatch can vary with thread count.
 fn run_scan<const LEFT: bool>(
     x: &[f64],
     m: usize,
@@ -366,6 +762,7 @@ fn run_scan<const LEFT: bool>(
     } = ws;
     let index = &mut out.index;
     let profile = &mut out.profile;
+    let backend = simd::current();
     match metric {
         ProfileMetric::ZNormalized => {
             // mirror dot_to_znorm_dist's degeneracy epsilon
@@ -376,7 +773,20 @@ fn run_scan<const LEFT: bool>(
                     means: &moments.means,
                     stds: &moments.stds,
                 };
-                scan_bands::<_, LEFT>(x, m, count, excl, first_row, &scorer, scores, index);
+                // the degenerate conventions are branchy scalar code; forcing
+                // the one-lane backend keeps the historical path bit for bit
+                // (still a pure function of the input)
+                scan_bands::<_, LEFT>(
+                    Backend::Scalar,
+                    x,
+                    m,
+                    count,
+                    excl,
+                    first_row,
+                    &scorer,
+                    scores,
+                    index,
+                );
                 profile.clear();
                 profile.extend(scores.iter().map(|&s| scorer.finalize(s)));
             } else {
@@ -390,7 +800,9 @@ fn run_scan<const LEFT: bool>(
                     inv,
                     two_m: 2.0 * m as f64,
                 };
-                scan_bands::<_, LEFT>(x, m, count, excl, first_row, &scorer, scores, index);
+                scan_bands::<_, LEFT>(
+                    backend, x, m, count, excl, first_row, &scorer, scores, index,
+                );
                 profile.clear();
                 profile.extend(scores.iter().map(|&s| scorer.finalize(s)));
             }
@@ -400,7 +812,9 @@ fn run_scan<const LEFT: bool>(
             sq_norms.reserve(count);
             sq_norms.extend((0..count).map(|i| x[i..i + m].iter().map(|v| v * v).sum::<f64>()));
             let scorer = EuclidScorer { sq_norms };
-            scan_bands::<_, LEFT>(x, m, count, excl, first_row, &scorer, scores, index);
+            scan_bands::<_, LEFT>(
+                backend, x, m, count, excl, first_row, &scorer, scores, index,
+            );
             profile.clear();
             profile.extend(scores.iter().map(|&s| scorer.finalize(s)));
         }
@@ -433,11 +847,13 @@ fn cap_non_finite(profile: &mut [f64]) {
 /// window `i` with window `i + k`, and the dot product follows the STOMP
 /// recurrence `QT[i+1][j+1] = QT[i][j] − x[i]·x[j] + x[i+m]·x[j+m]` from
 /// the seed `QT[0][k]`. Diagonals are independent, so contiguous bands of
-/// them fan out over `tsad-parallel` with per-thread profile buffers that
-/// are min-merged in band order. Each pairwise distance is computed by the
-/// same floating-point operation chain regardless of banding, and the
-/// ordered merge reproduces a sequential ascending-diagonal scan, so the
-/// result is **bitwise identical at every thread count**.
+/// them fan out over `tsad-parallel` with per-thread profile buffers, and
+/// within a band adjacent diagonals advance in SIMD lockstep groups under
+/// the runtime-dispatched backend (`TSAD_SIMD=0` forces scalar). Each
+/// pairwise score is computed by the same floating-point operation chain
+/// regardless of banding or lane grouping, and every profile update goes
+/// through one order-independent lexicographic merge rule, so the result
+/// is **bitwise identical at every thread count and on every backend**.
 pub fn stomp_metric(x: &[f64], m: usize, metric: ProfileMetric) -> Result<MatrixProfile> {
     STOMP_WS.with(|ws| {
         let mut out = MatrixProfile {

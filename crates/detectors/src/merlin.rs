@@ -20,8 +20,10 @@ use std::cell::RefCell;
 
 use tsad_core::dist::dot_to_znorm_dist;
 use tsad_core::error::{CoreError, Result};
+use tsad_core::simd::{self, Backend};
 use tsad_core::windows::{subsequence_count, MomentsScratch, WindowMoments};
 use tsad_obs::Counter;
+use tsad_parallel::ScratchPool;
 
 use crate::matrix_profile::exclusion_zone;
 
@@ -65,14 +67,21 @@ thread_local! {
 /// Z-normalized distance between windows `i` and `j` from one fused dot
 /// product and the precomputed moments — no per-pair normalization buffers
 /// (the historical `znorm_euclidean` call allocated two vectors and made
-/// four passes per pair).
+/// four passes per pair). The dot product runs on the dispatched SIMD
+/// backend: the scalar backend reproduces the historical sequential sum
+/// bit for bit, while the wide backends reassociate the accumulation and
+/// agree with it at 1e-9 relative — which is why MERLIN is tolerance-gated
+/// rather than bitwise-gated across backends (DESIGN.md §11).
 #[inline]
-fn pair_distance(x: &[f64], m: usize, moments: &WindowMoments, i: usize, j: usize) -> f64 {
-    let dot: f64 = x[i..i + m]
-        .iter()
-        .zip(&x[j..j + m])
-        .map(|(&a, &b)| a * b)
-        .sum();
+fn pair_distance(
+    x: &[f64],
+    m: usize,
+    moments: &WindowMoments,
+    backend: Backend,
+    i: usize,
+    j: usize,
+) -> f64 {
+    let dot = simd::dot_with(backend, &x[i..i + m], &x[j..j + m]);
     dot_to_znorm_dist(
         dot,
         m,
@@ -90,6 +99,7 @@ fn drag_phases(
     m: usize,
     r: f64,
     moments: &WindowMoments,
+    backend: Backend,
     candidates: &mut Vec<usize>,
 ) -> Option<(usize, f64)> {
     DRAG_PASSES.inc();
@@ -110,7 +120,7 @@ fn drag_phases(
                 write += 1;
                 continue;
             }
-            let d = pair_distance(x, m, moments, i, c);
+            let d = pair_distance(x, m, moments, backend, i, c);
             if d < r {
                 // c has a neighbor within r → not a discord; and i matched
                 // something, so i is not a candidate either.
@@ -141,7 +151,7 @@ fn drag_phases(
             if j.abs_diff(c) < excl {
                 continue;
             }
-            let d = pair_distance(x, m, moments, c, j);
+            let d = pair_distance(x, m, moments, backend, c, j);
             if d < nn {
                 nn = d;
                 if nn < r {
@@ -167,6 +177,7 @@ pub fn drag_discord(x: &[f64], m: usize, r: f64) -> Result<Option<(usize, f64)>>
             len: x.len(),
         });
     }
+    let backend = simd::current();
     DRAG_SCRATCH.with(|scratch| {
         let scratch = &mut *scratch.borrow_mut();
         WindowMoments::compute_with(x, m, &mut scratch.mscratch, &mut scratch.moments)?;
@@ -175,6 +186,7 @@ pub fn drag_discord(x: &[f64], m: usize, r: f64) -> Result<Option<(usize, f64)>>
             m,
             r,
             &scratch.moments,
+            backend,
             &mut scratch.candidates,
         ))
     })
@@ -188,7 +200,12 @@ pub fn drag_discord(x: &[f64], m: usize, r: f64) -> Result<Option<(usize, f64)>>
 /// bottoms out, the `r = 0` call disables both pruning rules and returns
 /// the exact answer unconditionally. This hint-independence is what lets
 /// [`merlin`] split the length range into chunks at arbitrary boundaries.
-fn discord_at_length(x: &[f64], m: usize, r_hint: &mut Option<f64>) -> Result<LengthDiscord> {
+fn discord_at_length(
+    x: &[f64],
+    m: usize,
+    backend: Backend,
+    r_hint: &mut Option<f64>,
+) -> Result<LengthDiscord> {
     let count = subsequence_count(x.len(), m)?;
     if count < 2 {
         return Err(CoreError::BadWindow {
@@ -205,7 +222,9 @@ fn discord_at_length(x: &[f64], m: usize, r_hint: &mut Option<f64>) -> Result<Le
         let scratch = &mut *scratch.borrow_mut();
         WindowMoments::compute_with(x, m, &mut scratch.mscratch, &mut scratch.moments)?;
         for _ in 0..64 {
-            if let Some(hit) = drag_phases(x, m, r, &scratch.moments, &mut scratch.candidates) {
+            if let Some(hit) =
+                drag_phases(x, m, r, &scratch.moments, backend, &mut scratch.candidates)
+            {
                 found = Some(hit);
                 break;
             }
@@ -217,7 +236,14 @@ fn discord_at_length(x: &[f64], m: usize, r_hint: &mut Option<f64>) -> Result<Le
         if found.is_none() {
             // (Near-)degenerate series: fall back to the exact, unpruned
             // search.
-            found = drag_phases(x, m, 0.0, &scratch.moments, &mut scratch.candidates);
+            found = drag_phases(
+                x,
+                m,
+                0.0,
+                &scratch.moments,
+                backend,
+                &mut scratch.candidates,
+            );
         }
         Ok(())
     })?;
@@ -240,18 +266,38 @@ fn discord_at_length(x: &[f64], m: usize, r_hint: &mut Option<f64>) -> Result<Le
     }
 }
 
-/// MERLIN: top discord at every length in `min_len ..= max_len`.
+/// Pooled per-chunk state for the MERLIN length sweep: the partial result
+/// list and the first error a chunk hit (if any). Pooling these — together
+/// with the thread-local [`DragScratch`] — makes a warm [`merlin_into`]
+/// call fully allocation-free.
+#[derive(Debug, Default)]
+struct MerlinSpace {
+    part: Vec<LengthDiscord>,
+    err: Option<CoreError>,
+}
+
+static MERLIN_POOL: ScratchPool<MerlinSpace> = ScratchPool::new();
+
+/// MERLIN: top discord at every length in `min_len ..= max_len`, appended
+/// to `out` in length order.
 ///
 /// `r` starts at `2√m` (the theoretical maximum z-normalized distance) and
 /// halves until DRAG succeeds; subsequent lengths warm-start from the
 /// previous discord distance scaled by 0.99, as in the published algorithm.
 ///
-/// The length range fans out over `tsad-parallel` in contiguous chunks;
-/// the warm-start chain restarts cold at each chunk boundary, which costs
-/// a few extra halving probes but — because `discord_at_length` is
-/// hint-independent — leaves every per-length result identical at every
-/// thread count.
-pub fn merlin(x: &[f64], min_len: usize, max_len: usize) -> Result<Vec<LengthDiscord>> {
+/// The length range fans out over `tsad-parallel` in contiguous chunks
+/// with pooled per-chunk buffers; the warm-start chain restarts cold at
+/// each chunk boundary, which costs a few extra halving probes but —
+/// because `discord_at_length` is hint-independent — leaves every
+/// per-length result identical at every thread count. The SIMD backend is
+/// resolved once here, on the caller's thread, so worker threads cannot
+/// change the dispatch either.
+pub fn merlin_into(
+    x: &[f64],
+    min_len: usize,
+    max_len: usize,
+    out: &mut Vec<LengthDiscord>,
+) -> Result<()> {
     if min_len == 0 || min_len > max_len {
         return Err(CoreError::BadParameter {
             name: "min_len",
@@ -261,18 +307,47 @@ pub fn merlin(x: &[f64], min_len: usize, max_len: usize) -> Result<Vec<LengthDis
     }
     subsequence_count(x.len(), max_len)?;
     let lengths = max_len - min_len + 1;
-    let chunks = tsad_parallel::par_chunks(lengths, |range| -> Result<Vec<LengthDiscord>> {
-        let mut part = Vec::with_capacity(range.len());
-        let mut r_hint: Option<f64> = None;
-        for offset in range {
-            part.push(discord_at_length(x, min_len + offset, &mut r_hint)?);
-        }
-        Ok(part)
-    });
-    let mut out = Vec::with_capacity(lengths);
-    for chunk in chunks {
-        out.extend(chunk?);
+    let backend = simd::current();
+    out.reserve(lengths);
+    let mut first_err: Option<CoreError> = None;
+    tsad_parallel::par_chunks_scratch(
+        &MERLIN_POOL,
+        lengths,
+        MerlinSpace::default,
+        |space, range| {
+            space.part.clear();
+            space.err = None;
+            let mut r_hint: Option<f64> = None;
+            for offset in range {
+                match discord_at_length(x, min_len + offset, backend, &mut r_hint) {
+                    Ok(d) => space.part.push(d),
+                    Err(e) => {
+                        space.err = Some(e);
+                        break;
+                    }
+                }
+            }
+        },
+        |space| {
+            if first_err.is_none() {
+                if let Some(e) = space.err.take() {
+                    first_err = Some(e);
+                } else {
+                    out.extend_from_slice(&space.part);
+                }
+            }
+        },
+    );
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
+}
+
+/// Allocating convenience wrapper over [`merlin_into`].
+pub fn merlin(x: &[f64], min_len: usize, max_len: usize) -> Result<Vec<LengthDiscord>> {
+    let mut out = Vec::new();
+    merlin_into(x, min_len, max_len, &mut out)?;
     Ok(out)
 }
 
