@@ -53,6 +53,9 @@ const EXPERIMENTS: &[&str] = &[
     "fleet",
     "fleet-json",
     "fleet-compare",
+    "loadgen",
+    "ingest-json",
+    "ingest-compare",
     "write-archive",
 ];
 
@@ -69,7 +72,17 @@ fn usage() -> String {
          --faults-baseline PATH faults-compare: the committed baseline (default BENCH_faults.json)\n\
          --fleet-series N       fleet / fleet-json: series count (defaults: fleet 1000000, fleet-json 100000)\n\
          --fleet-out PATH       where fleet-json writes its document (default BENCH_fleet.json)\n\
-         --fleet-baseline PATH  fleet-compare: the committed baseline (default BENCH_fleet.json)",
+         --fleet-baseline PATH  fleet-compare: the committed baseline (default BENCH_fleet.json)\n\
+         --ingest-out PATH      where ingest-json writes its document (default BENCH_ingest.json)\n\
+         --ingest-baseline PATH ingest-compare: the committed baseline (default BENCH_ingest.json)\n\
+         --addr HOST:PORT  loadgen: drive an already-running server (default: self-hosted on 127.0.0.1:0)\n\
+         --series N        loadgen: series-id space (default 10000)\n\
+         --rps N           loadgen: target requests/second, 0 = unpaced (default 0)\n\
+         --conns C         loadgen: concurrent client connections (default 4)\n\
+         --transport T     loadgen: http or tcp (default http)\n\
+         --requests N      loadgen: total requests, 0 = run for --duration-ms (default 10000)\n\
+         --duration-ms N   loadgen: run length when --requests 0 (default 5000)\n\
+         --batch-points N  loadgen: points per request (default 64)",
         EXPERIMENTS.join(", ")
     )
 }
@@ -86,6 +99,9 @@ struct Options {
     fleet_series: Option<u64>,
     fleet_out: String,
     fleet_baseline: String,
+    ingest_out: String,
+    ingest_baseline: String,
+    loadgen: ingest_bench::LoadGenCli,
 }
 
 impl Default for Options {
@@ -101,6 +117,9 @@ impl Default for Options {
             fleet_series: None,
             fleet_out: "BENCH_fleet.json".to_string(),
             fleet_baseline: "BENCH_fleet.json".to_string(),
+            ingest_out: "BENCH_ingest.json".to_string(),
+            ingest_baseline: "BENCH_ingest.json".to_string(),
+            loadgen: ingest_bench::LoadGenCli::default(),
         }
     }
 }
@@ -255,6 +274,35 @@ fn run_one(name: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>>
                 }
             }
         }
+        "loadgen" => match ingest_bench::run_loadgen(&opts.loadgen, seed) {
+            Ok(report) => print!("{report}"),
+            Err(e) => return Err(e.into()),
+        },
+        "ingest-json" => {
+            let b = ingest_bench::run(seed, &ingest_bench::IngestBenchConfig::ci())?;
+            let json = ingest_bench::render_json(&b);
+            std::fs::write(&opts.ingest_out, &json)?;
+            println!(
+                "wrote {} ({} stages, {} transports):",
+                opts.ingest_out,
+                b.stages.len(),
+                b.loadgen.len()
+            );
+            print!("{}", ingest_bench::render(&b));
+        }
+        "ingest-compare" => {
+            let fresh = opts
+                .fresh
+                .as_deref()
+                .ok_or_else(|| format!("ingest-compare needs --fresh PATH\n{}", usage()))?;
+            match bench_compare::run_ingest_files(&opts.ingest_baseline, fresh) {
+                Ok(table) => print!("{table}"),
+                Err(table) => {
+                    print!("{table}");
+                    return Err("ingest-compare gate failed".into());
+                }
+            }
+        }
         "bench-compare" => {
             let fresh = opts
                 .fresh
@@ -330,6 +378,35 @@ fn parse_options(args: &mut Vec<String>) -> Result<Options, String> {
     if let Some(v) = take_value_flag(args, "--fleet-baseline")? {
         opts.fleet_baseline = v;
     }
+    if let Some(v) = take_value_flag(args, "--ingest-out")? {
+        opts.ingest_out = v;
+    }
+    if let Some(v) = take_value_flag(args, "--ingest-baseline")? {
+        opts.ingest_baseline = v;
+    }
+    opts.loadgen.addr = take_value_flag(args, "--addr")?;
+    if let Some(v) = take_value_flag(args, "--series")? {
+        opts.loadgen.cfg.series = v.parse().map_err(|e| format!("bad series: {e}"))?;
+    }
+    if let Some(v) = take_value_flag(args, "--rps")? {
+        opts.loadgen.cfg.rps = v.parse().map_err(|e| format!("bad rps: {e}"))?;
+    }
+    if let Some(v) = take_value_flag(args, "--conns")? {
+        opts.loadgen.cfg.conns = v.parse().map_err(|e| format!("bad conns: {e}"))?;
+    }
+    if let Some(v) = take_value_flag(args, "--transport")? {
+        opts.loadgen.cfg.transport = v.parse()?;
+    }
+    if let Some(v) = take_value_flag(args, "--requests")? {
+        opts.loadgen.cfg.requests = v.parse().map_err(|e| format!("bad requests: {e}"))?;
+    }
+    if let Some(v) = take_value_flag(args, "--duration-ms")? {
+        let ms: u64 = v.parse().map_err(|e| format!("bad duration: {e}"))?;
+        opts.loadgen.cfg.duration = std::time::Duration::from_millis(ms);
+    }
+    if let Some(v) = take_value_flag(args, "--batch-points")? {
+        opts.loadgen.cfg.batch_points = v.parse().map_err(|e| format!("bad batch points: {e}"))?;
+    }
     Ok(opts)
 }
 
@@ -361,6 +438,9 @@ fn main() -> ExitCode {
                         | "fleet"
                         | "fleet-json"
                         | "fleet-compare"
+                        | "loadgen"
+                        | "ingest-json"
+                        | "ingest-compare"
                 )
             })
             .map(|s| s.to_string())

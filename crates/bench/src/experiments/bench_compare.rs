@@ -1,75 +1,46 @@
-//! `bench-compare` — perf-regression gating against the committed baseline.
+//! `bench-compare` / `fleet-compare` / `ingest-compare` — perf-regression
+//! gating against the committed baselines.
 //!
-//! Reads two `BENCH_kernels.json` documents — the checked-in baseline and a
-//! freshly generated run — and compares them kernel by kernel:
+//! Each comparator reads two rendered documents — the checked-in baseline
+//! and a freshly generated run — and applies the shared gates from
+//! [`crate::gate`]:
 //!
-//! * **Wall time**: a fresh single-thread median more than
-//!   [`MAX_WALL_RATIO`]× the baseline fails the gate. The 1-thread column is
+//! * **Wall time**: a fresh single-thread number more than
+//!   [`MAX_WALL_RATIO`]× the baseline fails. The 1-thread column is
 //!   compared because it is the least scheduler-sensitive number the
 //!   document has; the generous threshold absorbs CI-runner noise while
 //!   still catching real (2×-style) regressions.
-//! * **Allocations** (for the [`GATED_KERNELS`] with allocation-free
-//!   contracts): any increase over the baseline, any nonzero count, or a
-//!   missing measurement fails. Allocation counts are exact and portable,
-//!   so this gate has no noise margin at all.
-//! * **Coverage**: a baseline kernel missing from the fresh run fails (a
-//!   silently dropped kernel must not pass the gate); a fresh-only kernel
-//!   is reported but allowed (that is what adding a kernel looks like).
-//! * **Schema**: the two documents must carry the *same* schema string. A
-//!   drift (e.g. a committed v3 baseline against a binary that now emits
-//!   v4) is reported as an explicit mismatch with a regenerate hint rather
-//!   than surfacing as a confusing missing-field failure downstream.
+//! * **Allocations** (for measurements with allocation-free contracts):
+//!   any nonzero count or a vanished measurement fails; allocation counts
+//!   are exact and portable, so this gate has no noise margin at all.
+//! * **Coverage**: a baseline row missing from the fresh run fails (a
+//!   silently dropped kernel must not pass the gate); a fresh-only row is
+//!   reported but allowed (that is what adding a kernel looks like).
+//! * **Schema**: the two documents must carry the *same* schema string —
+//!   drift is an explicit regenerate-the-baseline error, not a confusing
+//!   missing-field failure downstream.
 //!
-//! The CLI (`repro -- bench-compare`) prints the per-kernel delta table and
-//! exits nonzero when any check fails; CI runs it in the `bench-smoke` job
-//! against a fresh run written to a temp path, so the committed baseline
-//! stays authoritative.
+//! The ingest comparator additionally gates the per-stage p99 latencies
+//! **absolutely** against the crate's budgets ([`tsad_ingest::BUDGET_PARSE_NS`]
+//! and friends, widened to the containing log2 histogram bucket bound), and
+//! loopback loadgen throughput relatively with a wider margin
+//! ([`MAX_RPS_DROP`]) because socket numbers are noisier than in-process
+//! ones.
+//!
+//! The CLI (`repro -- bench-compare|fleet-compare|ingest-compare`) prints
+//! the delta table and exits nonzero when any check fails; CI runs each in
+//! its smoke job against a fresh run written to a temp path, so the
+//! committed baselines stay authoritative.
 
-use std::fmt::Write as _;
+pub use crate::gate::{render, CompareReport, CompareRow, MAX_WALL_RATIO};
 
-use crate::minijson::{parse, JsonValue};
-
-/// Fresh wall time may be at most this multiple of the baseline.
-pub const MAX_WALL_RATIO: f64 = 1.30;
+use crate::gate::{
+    gate_exact_zero_allocs, gate_wall_ratio, note_dispatch_drift, parse_same_schema,
+};
+use crate::minijson::JsonValue;
 
 /// Kernels with an allocation-free contract (`allocs_per_iter == 0`).
 pub const GATED_KERNELS: [&str; 3] = ["sliding_dot_product", "stomp", "merlin"];
-
-/// One kernel's baseline-vs-fresh numbers.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CompareRow {
-    /// Kernel name.
-    pub name: String,
-    /// Baseline median ns/iter at 1 thread (`None` if absent there).
-    pub base_ns: Option<u64>,
-    /// Fresh median ns/iter at 1 thread (`None` if absent there).
-    pub fresh_ns: Option<u64>,
-    /// `fresh / base` when both sides are present and the base is nonzero.
-    pub ratio: Option<f64>,
-    /// Baseline allocations per warm iteration (`None` = not measured).
-    pub base_allocs: Option<u64>,
-    /// Fresh allocations per warm iteration (`None` = not measured).
-    pub fresh_allocs: Option<u64>,
-}
-
-/// The comparison outcome: every row plus the failed checks (empty =
-/// the gate passes).
-#[derive(Debug, Clone, Default)]
-pub struct CompareReport {
-    /// Per-kernel rows, baseline order first, then fresh-only kernels.
-    pub rows: Vec<CompareRow>,
-    /// Human-readable failures; the gate passes iff this is empty.
-    pub failures: Vec<String>,
-    /// Non-fatal observations (fresh-only kernels, unmeasured columns).
-    pub notes: Vec<String>,
-}
-
-impl CompareReport {
-    /// True when every check passed.
-    pub fn passed(&self) -> bool {
-        self.failures.is_empty()
-    }
-}
 
 struct KernelNumbers {
     name: String,
@@ -79,25 +50,12 @@ struct KernelNumbers {
     lane_width: Option<u64>,
 }
 
-struct KernelDoc {
-    schema: String,
-    kernels: Vec<KernelNumbers>,
-}
-
-fn extract_kernels(doc_name: &str, text: &str) -> Result<KernelDoc, String> {
-    let doc = parse(text).map_err(|e| format!("{doc_name}: {e}"))?;
-    let schema = doc
-        .get("schema")
-        .and_then(JsonValue::as_str)
-        .ok_or_else(|| format!("{doc_name}: missing \"schema\""))?;
-    if !schema.starts_with("tsad-bench-kernels/") {
-        return Err(format!("{doc_name}: unexpected schema {schema:?}"));
-    }
+fn extract_kernels(doc_name: &str, doc: &JsonValue) -> Result<Vec<KernelNumbers>, String> {
     let kernels = doc
         .get("kernels")
         .and_then(JsonValue::as_arr)
         .ok_or_else(|| format!("{doc_name}: missing \"kernels\" array"))?;
-    let kernels = kernels
+    kernels
         .iter()
         .map(|k| {
             let name = k
@@ -118,31 +76,21 @@ fn extract_kernels(doc_name: &str, text: &str) -> Result<KernelDoc, String> {
                 name,
             })
         })
-        .collect::<Result<_, String>>()?;
-    Ok(KernelDoc {
-        schema: schema.to_string(),
-        kernels,
-    })
+        .collect()
 }
 
-/// Compares two rendered documents. `max_ratio` is the wall-time gate
-/// (pass [`MAX_WALL_RATIO`] outside tests). Errors are malformed inputs;
-/// regression *failures* come back inside the report.
+/// Compares two rendered kernel documents. `max_ratio` is the wall-time
+/// gate (pass [`MAX_WALL_RATIO`] outside tests). Errors are malformed
+/// inputs; regression *failures* come back inside the report.
 pub fn compare(baseline: &str, fresh: &str, max_ratio: f64) -> Result<CompareReport, String> {
-    let base_doc = extract_kernels("baseline", baseline)?;
-    let new_doc = extract_kernels("fresh", fresh)?;
-    // A schema drift between the committed baseline and the freshly built
-    // binary must surface as *this* message, not as a cryptic missing-field
-    // parse error further down: the fix is always to regenerate the
-    // committed document with the new binary.
-    if base_doc.schema != new_doc.schema {
-        return Err(format!(
-            "schema mismatch: committed baseline is \"{}\" but the fresh run produced \"{}\" \
-             — regenerate the committed BENCH_kernels.json with `repro -- bench-json`",
-            base_doc.schema, new_doc.schema
-        ));
-    }
-    let (base, new) = (base_doc.kernels, new_doc.kernels);
+    let (base_doc, new_doc) = parse_same_schema(
+        baseline,
+        fresh,
+        "tsad-bench-kernels/",
+        "repro -- bench-json",
+    )?;
+    let base = extract_kernels("baseline", &base_doc)?;
+    let new = extract_kernels("fresh", &new_doc)?;
     let mut report = CompareReport::default();
 
     for b in &base {
@@ -163,56 +111,17 @@ pub fn compare(baseline: &str, fresh: &str, max_ratio: f64) -> Result<CompareRep
             report.rows.push(row);
             continue;
         };
-        match (b.ns_1t, f.ns_1t) {
-            (Some(base_ns), Some(fresh_ns)) if base_ns > 0 => {
-                let ratio = fresh_ns as f64 / base_ns as f64;
-                row.ratio = Some(ratio);
-                if ratio > max_ratio {
-                    report.failures.push(format!(
-                        "{}: wall-time regression {:.2}x (fresh {} ns vs baseline {} ns, limit {:.2}x)",
-                        b.name, ratio, fresh_ns, base_ns, max_ratio
-                    ));
-                }
-            }
-            _ => report
-                .notes
-                .push(format!("{}: wall time not comparable", b.name)),
-        }
-        // A dispatch difference is not a regression (a different machine or
-        // a TSAD_SIMD override legitimately changes it), but the wall-time
-        // ratio then compares different code paths — say so.
-        if b.dispatch != f.dispatch || b.lane_width != f.lane_width {
-            report.notes.push(format!(
-                "{}: SIMD dispatch differs — baseline {} ({} lanes) vs fresh {} ({} lanes)",
-                b.name,
-                b.dispatch.as_deref().unwrap_or("-"),
-                b.lane_width.map_or_else(|| "-".into(), |w| w.to_string()),
-                f.dispatch.as_deref().unwrap_or("-"),
-                f.lane_width.map_or_else(|| "-".into(), |w| w.to_string()),
-            ));
-        }
+        row.ratio = gate_wall_ratio(&mut report, &b.name, b.ns_1t, f.ns_1t, max_ratio);
+        note_dispatch_drift(
+            &mut report,
+            &b.name,
+            b.dispatch.as_deref(),
+            b.lane_width,
+            f.dispatch.as_deref(),
+            f.lane_width,
+        );
         if GATED_KERNELS.contains(&b.name.as_str()) {
-            match (b.allocs, f.allocs) {
-                (_, Some(fresh_allocs)) if fresh_allocs > 0 => {
-                    report.failures.push(format!(
-                        "{}: allocs_per_iter is {} (contract: 0)",
-                        b.name, fresh_allocs
-                    ));
-                }
-                (Some(base_allocs), Some(fresh_allocs)) if fresh_allocs > base_allocs => {
-                    report.failures.push(format!(
-                        "{}: allocs_per_iter grew {} -> {}",
-                        b.name, base_allocs, fresh_allocs
-                    ));
-                }
-                (Some(_), None) => {
-                    report.failures.push(format!(
-                        "{}: allocs_per_iter not measured in fresh run (baseline has it)",
-                        b.name
-                    ));
-                }
-                _ => {}
-            }
+            gate_exact_zero_allocs(&mut report, &b.name, "allocs_per_iter", b.allocs, f.allocs);
         }
         report.rows.push(row);
     }
@@ -235,47 +144,6 @@ pub fn compare(baseline: &str, fresh: &str, max_ratio: f64) -> Result<CompareRep
     Ok(report)
 }
 
-fn fmt_opt(v: Option<u64>) -> String {
-    v.map_or_else(|| "-".to_string(), |n| n.to_string())
-}
-
-/// Renders the per-kernel delta table plus the failure/note lists.
-pub fn render(report: &CompareReport) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<32} {:>14} {:>14} {:>7} {:>12} {:>12}",
-        "kernel", "base ns/iter", "fresh ns/iter", "ratio", "base allocs", "fresh allocs"
-    );
-    for r in &report.rows {
-        let _ = writeln!(
-            out,
-            "{:<32} {:>14} {:>14} {:>7} {:>12} {:>12}",
-            r.name,
-            fmt_opt(r.base_ns),
-            fmt_opt(r.fresh_ns),
-            r.ratio
-                .map_or_else(|| "-".to_string(), |x| format!("{x:.2}x")),
-            fmt_opt(r.base_allocs),
-            fmt_opt(r.fresh_allocs),
-        );
-    }
-    for note in &report.notes {
-        let _ = writeln!(out, "note: {note}");
-    }
-    if report.passed() {
-        let _ = writeln!(
-            out,
-            "PASS: no wall-time regression beyond {MAX_WALL_RATIO:.2}x, allocation contracts hold"
-        );
-    } else {
-        for failure in &report.failures {
-            let _ = writeln!(out, "FAIL: {failure}");
-        }
-    }
-    out
-}
-
 /// Reads both files and runs the gate; `Err` for unreadable/malformed
 /// inputs or a failed gate (message includes the table).
 pub fn run_files(baseline_path: &str, fresh_path: &str) -> Result<String, String> {
@@ -292,7 +160,7 @@ pub fn run_files(baseline_path: &str, fresh_path: &str) -> Result<String, String
     }
 }
 
-// ─── fleet gate (BENCH_fleet.json, schema tsad-bench-fleet/v1) ──────────
+// ─── fleet gate (BENCH_fleet.json, schema tsad-bench-fleet/v2) ──────────
 
 /// Fresh `bytes_per_series` may be at most this multiple of the baseline
 /// (the accounted footprint is deterministic, so the margin only covers
@@ -314,17 +182,13 @@ pub struct FleetNumbers {
     pub bytes_per_series: Option<u64>,
     /// Whether suspend/resume reproduced bitwise.
     pub bitwise: Option<bool>,
+    /// SIMD backend the run dispatched to.
+    pub dispatch: Option<String>,
+    /// f64 lanes of that backend.
+    pub lane_width: Option<u64>,
 }
 
-fn extract_fleet(doc_name: &str, text: &str) -> Result<FleetNumbers, String> {
-    let doc = parse(text).map_err(|e| format!("{doc_name}: {e}"))?;
-    let schema = doc
-        .get("schema")
-        .and_then(JsonValue::as_str)
-        .ok_or_else(|| format!("{doc_name}: missing \"schema\""))?;
-    if !schema.starts_with("tsad-bench-fleet/") {
-        return Err(format!("{doc_name}: unexpected schema {schema:?}"));
-    }
+fn extract_fleet(doc_name: &str, doc: &JsonValue) -> Result<FleetNumbers, String> {
     let u64_field = |key: &str| doc.get(key).and_then(JsonValue::as_u64);
     Ok(FleetNumbers {
         series: u64_field("series").ok_or_else(|| format!("{doc_name}: missing \"series\""))?,
@@ -335,17 +199,24 @@ fn extract_fleet(doc_name: &str, text: &str) -> Result<FleetNumbers, String> {
         bitwise: doc
             .get("suspend_resume_bitwise")
             .and_then(JsonValue::as_bool),
+        dispatch: doc
+            .get("dispatch")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string),
+        lane_width: u64_field("lane_width"),
     })
 }
 
-/// Compares two `BENCH_fleet.json` documents: geometry must match, wall
-/// time is gated relatively (like the kernels), `allocs_per_point` is
-/// gated to exactly zero, `bytes_per_series` to at most
-/// [`MAX_BYTES_PER_SERIES_RATIO`]×, and `suspend_resume_bitwise` must be
-/// `true` in the fresh run.
+/// Compares two `BENCH_fleet.json` documents: schema strings must be
+/// identical, geometry must match, wall time is gated relatively (like the
+/// kernels), `allocs_per_point` exactly to zero, `bytes_per_series` to at
+/// most [`MAX_BYTES_PER_SERIES_RATIO`]×, `suspend_resume_bitwise` must be
+/// `true` in the fresh run, and a SIMD dispatch drift is noted.
 pub fn compare_fleet(baseline: &str, fresh: &str, max_ratio: f64) -> Result<CompareReport, String> {
-    let base = extract_fleet("baseline", baseline)?;
-    let new = extract_fleet("fresh", fresh)?;
+    let (base_doc, new_doc) =
+        parse_same_schema(baseline, fresh, "tsad-bench-fleet/", "repro -- fleet-json")?;
+    let base = extract_fleet("baseline", &base_doc)?;
+    let new = extract_fleet("fresh", &new_doc)?;
     let mut report = CompareReport::default();
 
     if (base.series, base.shards) != (new.series, new.shards) {
@@ -363,34 +234,28 @@ pub fn compare_fleet(baseline: &str, fresh: &str, max_ratio: f64) -> Result<Comp
         base_allocs: base.allocs_per_point,
         fresh_allocs: new.allocs_per_point,
     };
-    match (base.ns_1t, new.ns_1t) {
-        (Some(b), Some(f)) if b > 0 => {
-            let ratio = f as f64 / b as f64;
-            row.ratio = Some(ratio);
-            if ratio > max_ratio {
-                report.failures.push(format!(
-                    "fleet ingest: wall-time regression {ratio:.2}x (fresh {f} ns vs \
-                     baseline {b} ns per round, limit {max_ratio:.2}x)"
-                ));
-            }
-        }
-        _ => report
-            .notes
-            .push("fleet ingest: wall time not comparable".to_string()),
-    }
-    match new.allocs_per_point {
-        Some(0) => {}
-        Some(n) => report.failures.push(format!(
-            "fleet ingest: allocs_per_point is {n} (contract: 0)"
-        )),
-        None if base.allocs_per_point.is_some() => report.failures.push(
-            "fleet ingest: allocs_per_point not measured in fresh run (baseline has it)"
-                .to_string(),
-        ),
-        None => report
-            .notes
-            .push("fleet ingest: allocs_per_point not measured on either side".to_string()),
-    }
+    row.ratio = gate_wall_ratio(
+        &mut report,
+        "fleet ingest",
+        base.ns_1t,
+        new.ns_1t,
+        max_ratio,
+    );
+    gate_exact_zero_allocs(
+        &mut report,
+        "fleet ingest",
+        "allocs_per_point",
+        base.allocs_per_point,
+        new.allocs_per_point,
+    );
+    note_dispatch_drift(
+        &mut report,
+        "fleet ingest",
+        base.dispatch.as_deref(),
+        base.lane_width,
+        new.dispatch.as_deref(),
+        new.lane_width,
+    );
     match (base.bytes_per_series, new.bytes_per_series) {
         (Some(b), Some(f)) if b > 0 => {
             let ratio = f as f64 / b as f64;
@@ -426,6 +291,261 @@ pub fn run_fleet_files(baseline_path: &str, fresh_path: &str) -> Result<String, 
     let fresh = std::fs::read_to_string(fresh_path)
         .map_err(|e| format!("cannot read fresh fleet run {fresh_path}: {e}"))?;
     let report = compare_fleet(&baseline, &fresh, MAX_WALL_RATIO)?;
+    let table = render(&report);
+    if report.passed() {
+        Ok(table)
+    } else {
+        Err(table)
+    }
+}
+
+// ─── ingest gate (BENCH_ingest.json, schema tsad-bench-ingest/v1) ───────
+
+/// Loopback loadgen throughput may drop to at most `1/MAX_RPS_DROP` of the
+/// baseline: socket numbers bounce more than in-process medians, so the
+/// relative margin is wider than [`MAX_WALL_RATIO`].
+pub const MAX_RPS_DROP: f64 = 1.5;
+
+/// The stages whose fresh p99 is gated absolutely against the crate's
+/// latency budgets, as `(stage name, budget field)` pairs.
+const BUDGETED_STAGES: [(&str, &str); 3] = [
+    ("parse", "budget_parse_ns"),
+    ("route", "budget_route_ns"),
+    ("overhead", "budget_overhead_ns"),
+];
+
+struct StageNumbers {
+    stage: String,
+    p99_ns: Option<u64>,
+    count: Option<u64>,
+}
+
+fn extract_stages(doc_name: &str, doc: &JsonValue) -> Result<Vec<StageNumbers>, String> {
+    let stages = doc
+        .get("stages")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("{doc_name}: missing \"stages\" array"))?;
+    stages
+        .iter()
+        .map(|s| {
+            let stage = s
+                .get("stage")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{doc_name}: stage without a name"))?
+                .to_string();
+            Ok(StageNumbers {
+                p99_ns: s.get("p99_ns").and_then(JsonValue::as_u64),
+                count: s.get("count").and_then(JsonValue::as_u64),
+                stage,
+            })
+        })
+        .collect()
+}
+
+/// Compares two `BENCH_ingest.json` documents.
+///
+/// Gated: schema equality, request-geometry equality (`batch_points`), the
+/// fresh per-stage p99 against the **absolute** latency budgets the
+/// document itself carries (widened to [`tsad_ingest::budget_bound`], the
+/// containing log2-bucket upper bound, because the histogram quantile
+/// overestimates by at most one bucket), `allocs_per_request` exactly to
+/// zero, loadgen `errors` exactly to zero, and per-transport loopback
+/// throughput relatively via [`MAX_RPS_DROP`]. The per-stage ratio columns
+/// are informational — sub-10μs medians are too jittery for a relative
+/// gate; the budgets are the contract.
+pub fn compare_ingest(baseline: &str, fresh: &str) -> Result<CompareReport, String> {
+    let (base_doc, new_doc) = parse_same_schema(
+        baseline,
+        fresh,
+        "tsad-bench-ingest/",
+        "repro -- ingest-json",
+    )?;
+    let mut report = CompareReport::default();
+
+    let geometry = |doc: &JsonValue| {
+        (
+            doc.get("batch_points").and_then(JsonValue::as_u64),
+            doc.get("series").and_then(JsonValue::as_u64),
+        )
+    };
+    if geometry(&base_doc) != geometry(&new_doc) {
+        report.failures.push(format!(
+            "ingest geometry changed: baseline {:?} batch_points/series, fresh {:?} \
+             (regenerate the committed baseline)",
+            geometry(&base_doc),
+            geometry(&new_doc)
+        ));
+    }
+    note_dispatch_drift(
+        &mut report,
+        "ingest",
+        base_doc.get("dispatch").and_then(JsonValue::as_str),
+        base_doc.get("lane_width").and_then(JsonValue::as_u64),
+        new_doc.get("dispatch").and_then(JsonValue::as_str),
+        new_doc.get("lane_width").and_then(JsonValue::as_u64),
+    );
+
+    // per-stage rows: informational ratios, absolute budget gates
+    let base_stages = extract_stages("baseline", &base_doc)?;
+    let new_stages = extract_stages("fresh", &new_doc)?;
+    for b in &base_stages {
+        let f = new_stages.iter().find(|s| s.stage == b.stage);
+        let mut row = CompareRow {
+            name: format!("ingest_{}_p99", b.stage),
+            base_ns: b.p99_ns,
+            fresh_ns: f.and_then(|s| s.p99_ns),
+            ratio: None,
+            base_allocs: None,
+            fresh_allocs: None,
+        };
+        let Some(f) = f else {
+            report.failures.push(format!(
+                "ingest stage {}: present in baseline but missing from fresh run",
+                b.stage
+            ));
+            report.rows.push(row);
+            continue;
+        };
+        if let (Some(bn), Some(fn_)) = (b.p99_ns, f.p99_ns) {
+            if bn > 0 {
+                row.ratio = Some(fn_ as f64 / bn as f64);
+            }
+        }
+        if f.count == Some(0) {
+            report.failures.push(format!(
+                "ingest stage {}: zero samples in fresh run",
+                b.stage
+            ));
+        }
+        report.rows.push(row);
+    }
+    for (stage, budget_field) in BUDGETED_STAGES {
+        let budget = new_doc
+            .get(budget_field)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("fresh: missing \"{budget_field}\""))?;
+        let bound = tsad_ingest::budget_bound(budget);
+        let Some(p99) = new_stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .and_then(|s| s.p99_ns)
+        else {
+            report
+                .failures
+                .push(format!("ingest stage {stage}: p99 missing from fresh run"));
+            continue;
+        };
+        if p99 > bound {
+            report.failures.push(format!(
+                "ingest stage {stage}: p99 {p99} ns busts the {budget} ns budget \
+                 (bucket bound {bound} ns)"
+            ));
+        }
+    }
+
+    gate_exact_zero_allocs(
+        &mut report,
+        "ingest request path",
+        "allocs_per_request",
+        base_doc
+            .get("allocs_per_request")
+            .and_then(JsonValue::as_u64),
+        new_doc
+            .get("allocs_per_request")
+            .and_then(JsonValue::as_u64),
+    );
+
+    // Loopback throughput per transport: relative, wide margin — but
+    // only when both documents were produced with the same worker
+    // count. `TSAD_THREADS` resizes the server's worker set, so rps
+    // across different thread counts is not a regression signal (the
+    // CI matrix runs at TSAD_THREADS=1 and 4 against one committed
+    // baseline). Error counts and the absolute budgets gate regardless.
+    let threads = |doc: &JsonValue| doc.get("host_threads").and_then(JsonValue::as_u64);
+    let rps_comparable = match (threads(&base_doc), threads(&new_doc)) {
+        (Some(b), Some(f)) if b == f => true,
+        (Some(b), Some(f)) => {
+            report.notes.push(format!(
+                "loadgen throughput not gated: host_threads {b} (baseline) vs {f} (fresh)"
+            ));
+            false
+        }
+        _ => false,
+    };
+    struct LoadRun {
+        transport: String,
+        rps: Option<u64>,
+        errors: Option<u64>,
+    }
+    let loadgen = |doc: &JsonValue, name: &str| -> Result<Vec<LoadRun>, String> {
+        let runs = doc
+            .get("loadgen")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| format!("{name}: missing \"loadgen\" array"))?;
+        runs.iter()
+            .map(|r| {
+                let transport = r
+                    .get("transport")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("{name}: loadgen run without a transport"))?
+                    .to_string();
+                Ok(LoadRun {
+                    transport,
+                    rps: r.get("rps").and_then(JsonValue::as_u64),
+                    errors: r.get("errors").and_then(JsonValue::as_u64),
+                })
+            })
+            .collect()
+    };
+    let base_runs = loadgen(&base_doc, "baseline")?;
+    let new_runs = loadgen(&new_doc, "fresh")?;
+    for run in &base_runs {
+        let (transport, base_rps) = (&run.transport, &run.rps);
+        let Some(fresh) = new_runs.iter().find(|r| &r.transport == transport) else {
+            report.failures.push(format!(
+                "loadgen {transport}: present in baseline but missing from fresh run"
+            ));
+            continue;
+        };
+        let (fresh_rps, fresh_errors) = (&fresh.rps, &fresh.errors);
+        match fresh_errors {
+            Some(0) => {}
+            Some(n) => report.failures.push(format!(
+                "loadgen {transport}: {n} request errors (contract: 0)"
+            )),
+            None => report.failures.push(format!(
+                "loadgen {transport}: errors missing from fresh run"
+            )),
+        }
+        match (base_rps, fresh_rps) {
+            (Some(b), Some(f)) if *b > 0 => {
+                let drop = *b as f64 / (*f).max(1) as f64;
+                if rps_comparable && drop > MAX_RPS_DROP {
+                    report.failures.push(format!(
+                        "loadgen {transport}: throughput dropped {drop:.2}x \
+                         ({b} -> {f} req/s, limit {MAX_RPS_DROP:.2}x)"
+                    ));
+                }
+                report
+                    .notes
+                    .push(format!("loadgen {transport}: {b} -> {f} req/s on loopback"));
+            }
+            _ => report
+                .notes
+                .push(format!("loadgen {transport}: throughput not comparable")),
+        }
+    }
+    Ok(report)
+}
+
+/// Reads both ingest documents and runs the gate; `Err` for
+/// unreadable/malformed inputs or a failed gate.
+pub fn run_ingest_files(baseline_path: &str, fresh_path: &str) -> Result<String, String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read ingest baseline {baseline_path}: {e}"))?;
+    let fresh = std::fs::read_to_string(fresh_path)
+        .map_err(|e| format!("cannot read fresh ingest run {fresh_path}: {e}"))?;
+    let report = compare_ingest(&baseline, &fresh)?;
     let table = render(&report);
     if report.passed() {
         Ok(table)
@@ -606,10 +726,12 @@ mod tests {
     fn fleet_doc(ns: u64, allocs: &str, bytes: u64, bitwise: &str) -> String {
         format!(
             r#"{{
-  "schema": "tsad-bench-fleet/v1",
+  "schema": "tsad-bench-fleet/v2",
   "seed": 42,
   "series": 100000,
   "shards": 64,
+  "dispatch": "avx2",
+  "lane_width": 4,
   "median_ns_per_round_1_thread": {ns},
   "allocs_per_point": {allocs},
   "bytes_per_series": {bytes},
@@ -692,11 +814,38 @@ mod tests {
     }
 
     #[test]
+    fn fleet_schema_drift_is_a_regenerate_error() {
+        let base = fleet_doc(1000, "0", 240, "true").replace("/v2", "/v1");
+        let err =
+            compare_fleet(&base, &fleet_doc(1000, "0", 240, "true"), MAX_WALL_RATIO).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        assert!(err.contains("fleet-json"), "no fix hint in: {err}");
+    }
+
+    #[test]
+    fn fleet_dispatch_drift_is_noted_but_passes() {
+        let base = fleet_doc(1000, "0", 240, "true");
+        let scalar = base
+            .replace("\"dispatch\": \"avx2\"", "\"dispatch\": \"scalar\"")
+            .replace("\"lane_width\": 4", "\"lane_width\": 1");
+        let report = compare_fleet(&base, &scalar, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("dispatch") && n.contains("scalar")),
+            "notes: {:?}",
+            report.notes
+        );
+    }
+
+    #[test]
     fn fleet_malformed_inputs_are_errors() {
         let good = fleet_doc(1000, "0", 240, "true");
         assert!(compare_fleet("nope", &good, MAX_WALL_RATIO).is_err());
         assert!(compare_fleet(&good, "{}", MAX_WALL_RATIO).is_err());
-        let wrong = good.replace("tsad-bench-fleet/v1", "tsad-bench-kernels/v4");
+        let wrong = good.replace("tsad-bench-fleet/v2", "tsad-bench-kernels/v4");
         assert!(compare_fleet(&wrong, &good, MAX_WALL_RATIO).is_err());
     }
 
@@ -717,5 +866,151 @@ mod tests {
         assert!(report.passed(), "failures: {:?}", report.failures);
         assert_eq!(report.rows.len(), 4);
         assert!(report.rows.iter().all(|r| r.ratio == Some(1.0)));
+    }
+
+    // ─── ingest gate ────────────────────────────────────────────────────
+
+    fn ingest_doc(parse_p99: u64, allocs: &str, http_rps: u64, errors: u64) -> String {
+        format!(
+            r#"{{
+  "schema": "tsad-bench-ingest/v1",
+  "seed": 42,
+  "series": 4096,
+  "batch_points": 64,
+  "host_threads": 1,
+  "dispatch": "avx2",
+  "lane_width": 4,
+  "budget_parse_ns": 5000,
+  "budget_route_ns": 10000,
+  "budget_overhead_ns": 100000,
+  "stages": [
+    {{"stage": "parse", "count": 512, "p50_ns": 900, "p95_ns": 1500, "p99_ns": {parse_p99}, "max_ns": 8000}},
+    {{"stage": "route", "count": 512, "p50_ns": 200, "p95_ns": 400, "p99_ns": 511, "max_ns": 2000}},
+    {{"stage": "push", "count": 512, "p50_ns": 3000, "p95_ns": 5000, "p99_ns": 8191, "max_ns": 20000}},
+    {{"stage": "respond", "count": 512, "p50_ns": 800, "p95_ns": 1200, "p99_ns": 2047, "max_ns": 4000}},
+    {{"stage": "request", "count": 512, "p50_ns": 6000, "p95_ns": 9000, "p99_ns": 16383, "max_ns": 40000}},
+    {{"stage": "overhead", "count": 512, "p50_ns": 3000, "p95_ns": 5000, "p99_ns": 8191, "max_ns": 20000}}
+  ],
+  "allocs_per_request": {allocs},
+  "loadgen": [
+    {{"transport": "http", "requests": 2000, "errors": {errors}, "rps": {http_rps}, "p99_ns": 100000}},
+    {{"transport": "tcp", "requests": 2000, "errors": 0, "rps": 90000, "p99_ns": 80000}}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn identical_ingest_documents_pass() {
+        let doc = ingest_doc(2047, "0", 50_000, 0);
+        let report = compare_ingest(&doc, &doc).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        // one row per stage
+        assert_eq!(report.rows.len(), 6);
+        assert!(render(&report).contains("ingest_parse_p99"));
+    }
+
+    #[test]
+    fn ingest_budget_bust_fails_absolutely() {
+        let base = ingest_doc(2047, "0", 50_000, 0);
+        // 9000 ns > budget_bound(5000) = 8191: busted even though the
+        // baseline also carried it (absolute, not relative)
+        let report = compare_ingest(&base, &ingest_doc(9000, "0", 50_000, 0)).unwrap();
+        assert!(!report.passed());
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("parse") && f.contains("budget")),
+            "failures: {:?}",
+            report.failures
+        );
+        // right at the bucket bound passes
+        let report = compare_ingest(&base, &ingest_doc(8191, "0", 50_000, 0)).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn ingest_alloc_gate_is_exact() {
+        let base = ingest_doc(2047, "0", 50_000, 0);
+        for bad in ["1", "null"] {
+            let report = compare_ingest(&base, &ingest_doc(2047, bad, 50_000, 0)).unwrap();
+            assert!(!report.passed(), "allocs {bad} passed");
+            assert!(report
+                .failures
+                .iter()
+                .any(|f| f.contains("allocs_per_request")));
+        }
+    }
+
+    #[test]
+    fn ingest_throughput_drop_fails_but_noise_passes() {
+        let base = ingest_doc(2047, "0", 60_000, 0);
+        // 2x drop fails
+        let report = compare_ingest(&base, &ingest_doc(2047, "0", 30_000, 0)).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("throughput")));
+        // -20% is inside the 1.5x margin
+        let report = compare_ingest(&base, &ingest_doc(2047, "0", 48_000, 0)).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        // and a speedup obviously passes
+        let report = compare_ingest(&base, &ingest_doc(2047, "0", 120_000, 0)).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn ingest_throughput_is_not_gated_across_thread_counts() {
+        // TSAD_THREADS resizes the worker set; a 2x rps drop against a
+        // baseline from a different thread count is noted, not failed
+        // (the CI matrix compares 1- and 4-thread runs to one baseline).
+        let base = ingest_doc(2047, "0", 60_000, 0);
+        let fresh =
+            ingest_doc(2047, "0", 30_000, 0).replace("\"host_threads\": 1", "\"host_threads\": 4");
+        let report = compare_ingest(&base, &fresh).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("host_threads 1 (baseline) vs 4 (fresh)")),
+            "notes: {:?}",
+            report.notes
+        );
+        // errors still fail even when rps is not comparable
+        let fresh =
+            ingest_doc(2047, "0", 30_000, 7).replace("\"host_threads\": 1", "\"host_threads\": 4");
+        let report = compare_ingest(&base, &fresh).unwrap();
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn ingest_loadgen_errors_fail_the_gate() {
+        let base = ingest_doc(2047, "0", 50_000, 0);
+        let report = compare_ingest(&base, &ingest_doc(2047, "0", 50_000, 3)).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("http") && f.contains("errors")));
+    }
+
+    #[test]
+    fn ingest_schema_drift_and_geometry_changes_are_caught() {
+        let base = ingest_doc(2047, "0", 50_000, 0);
+        let v2 = base.replace("tsad-bench-ingest/v1", "tsad-bench-ingest/v2");
+        let err = compare_ingest(&base, &v2).unwrap_err();
+        assert!(err.contains("ingest-json"), "no fix hint in: {err}");
+        let rescaled = base.replace("\"batch_points\": 64", "\"batch_points\": 128");
+        let report = compare_ingest(&base, &rescaled).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("geometry")));
+    }
+
+    #[test]
+    fn a_real_ingest_run_compares_clean_against_itself() {
+        use crate::experiments::ingest_bench::{render_json, run, IngestBenchConfig};
+        let rendered = render_json(&run(42, &IngestBenchConfig::smoke()).unwrap());
+        let report = compare_ingest(&rendered, &rendered).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
     }
 }

@@ -22,9 +22,13 @@
 //!   checkpoint size.
 //!
 //! `fleet-json` renders the same run as `BENCH_fleet.json` (schema
-//! `tsad-bench-fleet/v1`), which CI gates via `repro -- fleet-compare`:
+//! `tsad-bench-fleet/v2`), which CI gates via `repro -- fleet-compare`:
 //! wall time relatively (like the kernel gate), allocations and the
-//! bitwise bit exactly.
+//! bitwise bit exactly. Schema v2 adds the SIMD dispatch the run resolved
+//! to — `"dispatch"` (the backend name) and `"lane_width"` (f64 lanes per
+//! vector), both from [`tsad_core::simd::current`] at measure time — so a
+//! wall-time drift on a machine that dispatched differently (or under a
+//! `TSAD_SIMD` override) is attributable instead of mysterious.
 
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -119,6 +123,11 @@ pub struct FleetBench {
     /// the restored fleet's next-round scores bitwise equal to the
     /// original's.
     pub suspend_resume_bitwise: bool,
+    /// SIMD backend the run dispatched to (`avx2`, `sse2`, `neon`, or
+    /// `scalar`), resolved at measure time via [`tsad_core::simd::current`].
+    pub dispatch: &'static str,
+    /// f64 lanes per vector of that backend.
+    pub lane_width: usize,
     /// Observability snapshot covering the whole run.
     pub obs: tsad_obs::Snapshot,
 }
@@ -283,6 +292,7 @@ pub fn run(seed: u64, cfg: &FleetBenchConfig) -> Result<FleetBench> {
         && !log_a.is_empty()
         && log_a == log_b;
 
+    let backend = tsad_core::simd::current();
     Ok(FleetBench {
         seed,
         cfg: *cfg,
@@ -294,6 +304,8 @@ pub fn run(seed: u64, cfg: &FleetBenchConfig) -> Result<FleetBench> {
         bytes_per_series: fleet.bytes_per_series(),
         checkpoint_bytes: ckpt_1t.total_bytes(),
         suspend_resume_bitwise,
+        dispatch: backend.name(),
+        lane_width: backend.lane_width(),
         obs: tsad_obs::snapshot(),
     })
 }
@@ -325,6 +337,11 @@ pub fn render(b: &FleetBench) -> String {
         out,
         "Fleet: {} series x {} shards, {} detector",
         b.cfg.series, b.cfg.shards, b.detector
+    );
+    let _ = writeln!(
+        out,
+        "  dispatch:   {} ({} f64 lanes)",
+        b.dispatch, b.lane_width
     );
     let _ = writeln!(
         out,
@@ -367,10 +384,12 @@ pub fn render(b: &FleetBench) -> String {
 /// Renders the machine-readable document (`BENCH_fleet.json`).
 pub fn render_json(b: &FleetBench) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"tsad-bench-fleet/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"tsad-bench-fleet/v2\",");
     let _ = writeln!(out, "  \"seed\": {},", b.seed);
     let _ = writeln!(out, "  \"series\": {},", b.cfg.series);
     let _ = writeln!(out, "  \"shards\": {},", b.cfg.shards);
+    let _ = writeln!(out, "  \"dispatch\": \"{}\",", b.dispatch);
+    let _ = writeln!(out, "  \"lane_width\": {},", b.lane_width);
     let _ = writeln!(out, "  \"batch_points\": {},", b.cfg.batch_points);
     let _ = writeln!(out, "  \"threads\": {PAR_THREADS},");
     let _ = writeln!(
@@ -450,7 +469,15 @@ mod tests {
         let doc = crate::minijson::parse(&json).expect("fleet json parses");
         assert_eq!(
             doc.get("schema").and_then(|v| v.as_str()),
-            Some("tsad-bench-fleet/v1")
+            Some("tsad-bench-fleet/v2")
+        );
+        assert_eq!(
+            doc.get("dispatch").and_then(|v| v.as_str()),
+            Some(tsad_core::simd::current().name())
+        );
+        assert_eq!(
+            doc.get("lane_width").and_then(|v| v.as_u64()),
+            Some(tsad_core::simd::current().lane_width() as u64)
         );
         assert_eq!(
             doc.get("suspend_resume_bitwise").and_then(|v| v.as_bool()),
@@ -465,6 +492,16 @@ mod tests {
         let human = render(&b);
         assert!(human.contains("points/s"));
         assert!(human.contains("PASS"));
+    }
+
+    #[test]
+    fn forced_scalar_reports_scalar_dispatch() {
+        use tsad_core::simd::{self, Backend};
+        let b = simd::with_backend(Backend::Scalar, || {
+            run(11, &FleetBenchConfig::smoke()).unwrap()
+        });
+        assert_eq!(b.dispatch, "scalar");
+        assert_eq!(b.lane_width, 1);
     }
 
     #[test]

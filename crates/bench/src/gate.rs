@@ -1,0 +1,297 @@
+//! Shared machinery for the `*-compare` perf-regression gates.
+//!
+//! Three committed baselines are gated in CI — `BENCH_kernels.json`,
+//! `BENCH_fleet.json`, and `BENCH_ingest.json` — and all of them need the
+//! same ingredients: a schema-equality check with a regenerate hint, a
+//! relative wall-time gate with a noise margin, an exact-zero allocation
+//! gate, and a row/failure/note report rendered as a delta table. This
+//! module holds those ingredients once so each comparator in
+//! [`crate::experiments::bench_compare`] and the ingest gate stays a thin
+//! description of *what* it gates, not a third copy of *how*.
+
+use std::fmt::Write as _;
+
+use crate::minijson::{parse, JsonValue};
+
+/// Fresh wall time may be at most this multiple of the baseline. Generous
+/// enough to absorb CI-runner noise, tight enough to catch real (2×-style)
+/// regressions.
+pub const MAX_WALL_RATIO: f64 = 1.30;
+
+/// One measurement's baseline-vs-fresh numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Row name (a kernel, the fleet round, an ingest stage, …).
+    pub name: String,
+    /// Baseline wall number in ns (`None` if absent there).
+    pub base_ns: Option<u64>,
+    /// Fresh wall number in ns (`None` if absent there).
+    pub fresh_ns: Option<u64>,
+    /// `fresh / base` when both sides are present and the base is nonzero.
+    pub ratio: Option<f64>,
+    /// Baseline allocation count (`None` = not measured).
+    pub base_allocs: Option<u64>,
+    /// Fresh allocation count (`None` = not measured).
+    pub fresh_allocs: Option<u64>,
+}
+
+/// The comparison outcome: every row plus the failed checks (empty =
+/// the gate passes).
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Per-measurement rows, baseline order first.
+    pub rows: Vec<CompareRow>,
+    /// Human-readable failures; the gate passes iff this is empty.
+    pub failures: Vec<String>,
+    /// Non-fatal observations (new rows, unmeasured columns, dispatch
+    /// drift).
+    pub notes: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Parses a rendered document and returns its `"schema"` string, erroring
+/// unless it starts with `prefix` (catches feeding the wrong BENCH file to
+/// the wrong comparator).
+pub fn extract_schema(doc_name: &str, doc: &JsonValue, prefix: &str) -> Result<String, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{doc_name}: missing \"schema\""))?;
+    if !schema.starts_with(prefix) {
+        return Err(format!("{doc_name}: unexpected schema {schema:?}"));
+    }
+    Ok(schema.to_string())
+}
+
+/// Parses both documents and demands the *same* schema string. A drift
+/// (e.g. a committed v1 baseline against a binary that now emits v2) must
+/// surface as this message — whose fix is always `regen_cmd` — rather than
+/// as a confusing missing-field failure downstream.
+pub fn parse_same_schema(
+    baseline: &str,
+    fresh: &str,
+    prefix: &str,
+    regen_cmd: &str,
+) -> Result<(JsonValue, JsonValue), String> {
+    let base = parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let new = parse(fresh).map_err(|e| format!("fresh: {e}"))?;
+    let base_schema = extract_schema("baseline", &base, prefix)?;
+    let new_schema = extract_schema("fresh", &new, prefix)?;
+    if base_schema != new_schema {
+        return Err(format!(
+            "schema mismatch: committed baseline is \"{base_schema}\" but the fresh run \
+             produced \"{new_schema}\" — regenerate the committed document with `{regen_cmd}`"
+        ));
+    }
+    Ok((base, new))
+}
+
+/// The relative wall-time gate: computes `fresh / base`, records a failure
+/// beyond `max_ratio`, a note when either side is missing. Returns the
+/// ratio for the caller's [`CompareRow`].
+pub fn gate_wall_ratio(
+    report: &mut CompareReport,
+    label: &str,
+    base_ns: Option<u64>,
+    fresh_ns: Option<u64>,
+    max_ratio: f64,
+) -> Option<f64> {
+    match (base_ns, fresh_ns) {
+        (Some(b), Some(f)) if b > 0 => {
+            let ratio = f as f64 / b as f64;
+            if ratio > max_ratio {
+                report.failures.push(format!(
+                    "{label}: wall-time regression {ratio:.2}x (fresh {f} ns vs \
+                     baseline {b} ns, limit {max_ratio:.2}x)"
+                ));
+            }
+            Some(ratio)
+        }
+        _ => {
+            report
+                .notes
+                .push(format!("{label}: wall time not comparable"));
+            None
+        }
+    }
+}
+
+/// The exact-zero allocation gate: any nonzero fresh count fails, and a
+/// measurement that silently disappears (baseline has it, fresh does not)
+/// fails too — allocation counts are exact and portable, so there is no
+/// noise margin at all. `field` names the JSON field in the message.
+pub fn gate_exact_zero_allocs(
+    report: &mut CompareReport,
+    label: &str,
+    field: &str,
+    base: Option<u64>,
+    fresh: Option<u64>,
+) {
+    match fresh {
+        Some(0) => {}
+        Some(n) => report
+            .failures
+            .push(format!("{label}: {field} is {n} (contract: 0)")),
+        None if base.is_some() => report.failures.push(format!(
+            "{label}: {field} not measured in fresh run (baseline has it)"
+        )),
+        None => report
+            .notes
+            .push(format!("{label}: {field} not measured on either side")),
+    }
+}
+
+/// Notes (never fails) a SIMD dispatch difference between the two sides: a
+/// different machine or a `TSAD_SIMD` override legitimately changes it, but
+/// the wall-time ratio then compares different code paths — say so.
+pub fn note_dispatch_drift(
+    report: &mut CompareReport,
+    label: &str,
+    base_dispatch: Option<&str>,
+    base_lanes: Option<u64>,
+    fresh_dispatch: Option<&str>,
+    fresh_lanes: Option<u64>,
+) {
+    if base_dispatch != fresh_dispatch || base_lanes != fresh_lanes {
+        let lanes = |w: Option<u64>| w.map_or_else(|| "-".into(), |w| w.to_string());
+        report.notes.push(format!(
+            "{label}: SIMD dispatch differs — baseline {} ({} lanes) vs fresh {} ({} lanes)",
+            base_dispatch.unwrap_or("-"),
+            lanes(base_lanes),
+            fresh_dispatch.unwrap_or("-"),
+            lanes(fresh_lanes),
+        ));
+    }
+}
+
+fn fmt_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| n.to_string())
+}
+
+/// Renders the per-row delta table plus the failure/note lists.
+pub fn render(report: &CompareReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>14} {:>14} {:>7} {:>12} {:>12}",
+        "kernel", "base ns/iter", "fresh ns/iter", "ratio", "base allocs", "fresh allocs"
+    );
+    for r in &report.rows {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>14} {:>14} {:>7} {:>12} {:>12}",
+            r.name,
+            fmt_opt(r.base_ns),
+            fmt_opt(r.fresh_ns),
+            r.ratio
+                .map_or_else(|| "-".to_string(), |x| format!("{x:.2}x")),
+            fmt_opt(r.base_allocs),
+            fmt_opt(r.fresh_allocs),
+        );
+    }
+    for note in &report.notes {
+        let _ = writeln!(out, "note: {note}");
+    }
+    if report.passed() {
+        let _ = writeln!(
+            out,
+            "PASS: no wall-time regression beyond {MAX_WALL_RATIO:.2}x, allocation contracts hold"
+        );
+    } else {
+        for failure in &report.failures {
+            let _ = writeln!(out, "FAIL: {failure}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_ratio_gate_fails_beyond_margin_and_returns_the_ratio() {
+        let mut report = CompareReport::default();
+        let r = gate_wall_ratio(&mut report, "x", Some(100), Some(120), MAX_WALL_RATIO);
+        assert!((r.unwrap() - 1.2).abs() < 1e-12);
+        assert!(report.passed());
+        let r = gate_wall_ratio(&mut report, "x", Some(100), Some(200), MAX_WALL_RATIO);
+        assert!((r.unwrap() - 2.0).abs() < 1e-12);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("2.00x"));
+    }
+
+    #[test]
+    fn missing_wall_numbers_note_instead_of_failing() {
+        let mut report = CompareReport::default();
+        assert_eq!(
+            gate_wall_ratio(&mut report, "x", None, Some(1), MAX_WALL_RATIO),
+            None
+        );
+        assert_eq!(
+            gate_wall_ratio(&mut report, "x", Some(0), Some(1), MAX_WALL_RATIO),
+            None
+        );
+        assert!(report.passed());
+        assert_eq!(report.notes.len(), 2);
+    }
+
+    #[test]
+    fn alloc_gate_is_exact_and_catches_vanished_measurements() {
+        let mut report = CompareReport::default();
+        gate_exact_zero_allocs(&mut report, "x", "allocs", Some(0), Some(0));
+        assert!(report.passed());
+        gate_exact_zero_allocs(&mut report, "x", "allocs", Some(0), Some(1));
+        gate_exact_zero_allocs(&mut report, "y", "allocs", Some(0), None);
+        assert_eq!(report.failures.len(), 2);
+        let mut report = CompareReport::default();
+        gate_exact_zero_allocs(&mut report, "z", "allocs", None, None);
+        assert!(report.passed());
+        assert_eq!(report.notes.len(), 1);
+    }
+
+    #[test]
+    fn schema_equality_error_names_both_versions_and_the_fix() {
+        let v1 = r#"{"schema": "tsad-bench-thing/v1"}"#;
+        let v2 = r#"{"schema": "tsad-bench-thing/v2"}"#;
+        let err =
+            parse_same_schema(v1, v2, "tsad-bench-thing/", "repro -- thing-json").unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        assert!(err.contains("tsad-bench-thing/v1"));
+        assert!(err.contains("tsad-bench-thing/v2"));
+        assert!(err.contains("regenerate"));
+        assert!(err.contains("repro -- thing-json"));
+        assert!(parse_same_schema(v1, v1, "tsad-bench-thing/", "cmd").is_ok());
+        assert!(parse_same_schema(v1, v1, "tsad-bench-other/", "cmd").is_err());
+    }
+
+    #[test]
+    fn dispatch_drift_is_a_note_not_a_failure() {
+        let mut report = CompareReport::default();
+        note_dispatch_drift(
+            &mut report,
+            "x",
+            Some("avx2"),
+            Some(4),
+            Some("avx2"),
+            Some(4),
+        );
+        assert!(report.notes.is_empty());
+        note_dispatch_drift(
+            &mut report,
+            "x",
+            Some("avx2"),
+            Some(4),
+            Some("scalar"),
+            Some(1),
+        );
+        assert!(report.passed());
+        assert!(report.notes[0].contains("avx2") && report.notes[0].contains("scalar"));
+    }
+}

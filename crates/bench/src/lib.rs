@@ -25,6 +25,7 @@
 //! | `stream` | [`experiments::stream`] | streaming engine: equivalence + replay tables |
 
 pub mod alloc_track;
+pub mod gate;
 pub mod minijson;
 
 pub mod experiments {
@@ -38,6 +39,7 @@ pub mod experiments {
     pub mod fig13;
     pub mod fleet;
     pub mod gallery;
+    pub mod ingest_bench;
     pub mod invariances;
     pub mod mislabels;
     pub mod oneliners;

@@ -1,0 +1,231 @@
+//! Length-prefixed binary framing for bulk batches.
+//!
+//! Every frame is an 8-byte header followed by `len` payload bytes:
+//!
+//! ```text
+//! +-------+---------+------+----------+-----------------+
+//! | magic | version | type | reserved |   len (u32 LE)  |
+//! | 0xB5  |  0x01   | u8   |   0x00   |                 |
+//! +-------+---------+------+----------+-----------------+
+//! ```
+//!
+//! `0xB5` is not a valid first byte of an HTTP method, so the connection
+//! layer sniffs the protocol from byte one. Payload layouts:
+//!
+//! * `INGEST` / `SCORE` — `n` packed points, 16 bytes each:
+//!   `series id (u64 LE)` then `value (f64 LE bits)`. `len % 16 != 0` is
+//!   a framing error.
+//! * `QUERY` — one `u64 LE` series id.
+//! * `SNAPSHOT`, `PING` — empty.
+//! * `ACK` — four `u64 LE`: points, spawned, quarantined, evicted.
+//! * `SCORES` — `u64 LE` count, then `count` records of 20 bytes:
+//!   `batch index (u32 LE)`, `series id (u64 LE)`, `score (f64 LE bits)`.
+//! * `QUERY_RESP` — `u64 LE` id, `u8` resident flag, `u64 LE` shard.
+//! * `SNAP_RESP` — three `u64 LE`: bytes, segments, series.
+//! * `RETRY` — empty: backpressure, resend later (the binary 503).
+//! * `ERROR` — `u16 LE` code (HTTP-style: 400/404/413/500) + UTF-8 text.
+//!
+//! Decoding is bounds-checked everywhere; a hostile `len` is rejected
+//! against the configured cap *before* any buffer grows, so a 4 GiB
+//! declared length costs the attacker a closed connection, not us an
+//! allocation.
+
+use tsad_fleet::SeriesId;
+
+/// First byte of every frame (and the protocol sniff byte).
+pub const FRAME_MAGIC: u8 = 0xB5;
+/// Protocol version this build speaks.
+pub const FRAME_VERSION: u8 = 0x01;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Bytes per packed point in `INGEST`/`SCORE` payloads.
+pub const POINT_BYTES: usize = 16;
+/// Bytes per packed score record in `SCORES` payloads.
+pub const SCORE_BYTES: usize = 20;
+
+/// Request frame types (client → server).
+pub const T_INGEST: u8 = 0x01;
+/// Like [`T_INGEST`] but the response carries per-point scores.
+pub const T_SCORE: u8 = 0x02;
+/// Residency query for one series.
+pub const T_QUERY: u8 = 0x03;
+/// Checkpoint the fleet; respond with sizes.
+pub const T_SNAPSHOT: u8 = 0x04;
+/// Liveness probe.
+pub const T_PING: u8 = 0x05;
+
+/// Response frame types (server → client).
+pub const T_ACK: u8 = 0x81;
+/// Scores response (for [`T_SCORE`]).
+pub const T_SCORES: u8 = 0x82;
+/// Query response.
+pub const T_QUERY_RESP: u8 = 0x83;
+/// Snapshot response.
+pub const T_SNAP_RESP: u8 = 0x84;
+/// Ping response.
+pub const T_PONG: u8 = 0x85;
+/// Backpressure: the request was not admitted; retry later.
+pub const T_RETRY: u8 = 0x7E;
+/// Protocol or handler error; the connection closes after this frame.
+pub const T_ERROR: u8 = 0x7F;
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The frame type byte (not yet validated against the known set).
+    pub ftype: u8,
+    /// Declared payload length.
+    pub len: usize,
+}
+
+/// Why a frame failed to decode. Each maps to one `ERROR` frame + close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// First byte of the header was not [`FRAME_MAGIC`].
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion,
+    /// Reserved byte was nonzero.
+    BadReserved,
+    /// Declared payload length exceeds the configured cap.
+    Oversized,
+}
+
+/// Parses a frame header from the front of `buf`. `Ok(None)` means more
+/// bytes are needed; the declared length is checked against
+/// `max_payload_bytes` before the caller buffers anything.
+pub fn parse_header(
+    buf: &[u8],
+    max_payload_bytes: usize,
+) -> Result<Option<FrameHeader>, FrameError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf[0] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if buf.len() >= 2 && buf[1] != FRAME_VERSION {
+        return Err(FrameError::BadVersion);
+    }
+    if buf.len() >= 4 && buf[3] != 0 {
+        return Err(FrameError::BadReserved);
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if len > max_payload_bytes {
+        return Err(FrameError::Oversized);
+    }
+    Ok(Some(FrameHeader { ftype: buf[2], len }))
+}
+
+/// Appends a frame header to `out`.
+pub fn write_header(out: &mut Vec<u8>, ftype: u8, payload_len: usize) {
+    out.push(FRAME_MAGIC);
+    out.push(FRAME_VERSION);
+    out.push(ftype);
+    out.push(0);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Appends a complete frame (header + payload) to `out`.
+pub fn write_frame(out: &mut Vec<u8>, ftype: u8, payload: &[u8]) {
+    write_header(out, ftype, payload.len());
+    out.extend_from_slice(payload);
+}
+
+/// Appends one packed point to a payload being built.
+pub fn write_point(out: &mut Vec<u8>, id: u64, value: f64) {
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&value.to_bits().to_le_bytes());
+}
+
+/// Decodes an `INGEST`/`SCORE` payload into `batch` (cleared first).
+/// Fails when the payload is not a whole number of points.
+pub fn decode_points(payload: &[u8], batch: &mut Vec<(SeriesId, f64)>) -> Result<(), &'static str> {
+    batch.clear();
+    if !payload.len().is_multiple_of(POINT_BYTES) {
+        return Err("point payload length is not a multiple of 16");
+    }
+    for rec in payload.chunks_exact(POINT_BYTES) {
+        let id = u64::from_le_bytes(rec[..8].try_into().expect("8-byte slice"));
+        let bits = u64::from_le_bytes(rec[8..].try_into().expect("8-byte slice"));
+        batch.push((SeriesId(id), f64::from_bits(bits)));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut out = Vec::new();
+        write_header(&mut out, T_INGEST, 32);
+        assert_eq!(out.len(), HEADER_LEN);
+        let h = parse_header(&out, 1 << 20).unwrap().unwrap();
+        assert_eq!(
+            h,
+            FrameHeader {
+                ftype: T_INGEST,
+                len: 32
+            }
+        );
+    }
+
+    #[test]
+    fn incomplete_headers_ask_for_more() {
+        let mut out = Vec::new();
+        write_header(&mut out, T_PING, 0);
+        for cut in 0..HEADER_LEN {
+            assert_eq!(parse_header(&out[..cut], 1024).unwrap(), None, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn early_rejection_of_bad_prefixes() {
+        assert_eq!(parse_header(b"G", 1024), Err(FrameError::BadMagic));
+        assert_eq!(
+            parse_header(&[FRAME_MAGIC, 9], 1024),
+            Err(FrameError::BadVersion)
+        );
+        assert_eq!(
+            parse_header(&[FRAME_MAGIC, FRAME_VERSION, T_PING, 7], 1024),
+            Err(FrameError::BadReserved)
+        );
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_before_buffering() {
+        let mut out = Vec::new();
+        write_header(&mut out, T_INGEST, 0);
+        out[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(parse_header(&out, 1 << 20), Err(FrameError::Oversized));
+    }
+
+    #[test]
+    fn points_roundtrip_bitwise_including_nan_payloads() {
+        let mut payload = Vec::new();
+        let weird = f64::from_bits(0x7FF8_DEAD_BEEF_0001); // NaN with payload
+        for (id, v) in [(0u64, 1.5f64), (u64::MAX, weird), (7, f64::NEG_INFINITY)] {
+            write_point(&mut payload, id, v);
+        }
+        let mut batch = Vec::new();
+        decode_points(&payload, &mut batch).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], (SeriesId(0), 1.5));
+        assert_eq!(batch[1].1.to_bits(), weird.to_bits());
+        assert_eq!(batch[2], (SeriesId(7), f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn ragged_point_payloads_are_rejected() {
+        let mut batch = vec![(SeriesId(9), 9.0)];
+        assert!(decode_points(&[0u8; 15], &mut batch).is_err());
+        assert!(batch.is_empty(), "cleared even on error");
+        assert!(decode_points(&[0u8; 17], &mut batch).is_err());
+        assert!(decode_points(&[], &mut batch).is_ok());
+    }
+}

@@ -1,0 +1,275 @@
+//! Minimal incremental HTTP/1.1 request parsing — sans-IO, zero-copy,
+//! zero-allocation.
+//!
+//! [`parse_head`] looks at the bytes accumulated so far and either
+//! returns a borrowed [`RequestHead`] (the head is complete), `Ok(None)`
+//! (more bytes needed), or a typed error that maps directly to a 4xx
+//! response. Only the two headers the server acts on are interpreted
+//! (`Content-Length`, `Connection`); everything else is skipped after a
+//! syntax check. The parser never allocates: every field borrows the
+//! input buffer.
+//!
+//! The grammar accepted is the practical HTTP/1.x subset: request line
+//! `METHOD SP TARGET SP HTTP/1.[01] CRLF`, then `name: value CRLF`
+//! headers, then an empty `CRLF` line. Bare `LF` line endings are
+//! tolerated (hostile clients send them; curl never does), chunked
+//! transfer encoding is not (the server answers 400 — batch ingest has a
+//! known length by construction).
+
+/// A parsed request head borrowing the connection's input buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHead<'a> {
+    /// The method token, e.g. `GET`, `POST`.
+    pub method: &'a str,
+    /// Path component of the request target (before any `?`).
+    pub path: &'a str,
+    /// Raw query string (after `?`, empty when absent).
+    pub query: &'a str,
+    /// True for `HTTP/1.1`, false for `HTTP/1.0`.
+    pub version_11: bool,
+    /// Declared body length (0 when the header is absent).
+    pub content_length: usize,
+    /// Effective keep-alive after `Connection:` handling (HTTP/1.1
+    /// defaults on, 1.0 defaults off).
+    pub keep_alive: bool,
+    /// Bytes the head occupies, including the terminating empty line.
+    pub head_len: usize,
+}
+
+/// Why a head failed to parse. Each variant maps to one response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed syntax (status 400); the message is the reason detail.
+    BadRequest(&'static str),
+    /// The head exceeded the configured bound (status 431).
+    HeadTooLarge,
+    /// Only HTTP/1.0 and 1.1 are spoken (status 505).
+    VersionUnsupported,
+}
+
+/// Finds the end of the head: the index just past the first empty line.
+/// Accepts `\r\n\r\n` and bare `\n\n` (and the mixed forms).
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits one header line into trimmed `(name, value)`.
+fn split_header(line: &str) -> Option<(&str, &str)> {
+    let colon = line.find(':')?;
+    let (name, rest) = line.split_at(colon);
+    Some((name.trim(), rest[1..].trim()))
+}
+
+/// Incrementally parses a request head from `buf`.
+///
+/// * `Ok(Some(head))` — the head is complete and well-formed.
+/// * `Ok(None)` — incomplete; read more bytes (guaranteed only while
+///   `buf.len() <= max_head_bytes`).
+/// * `Err(e)` — respond with the mapped status and close.
+pub fn parse_head(buf: &[u8], max_head_bytes: usize) -> Result<Option<RequestHead<'_>>, HttpError> {
+    let Some(head_len) = head_end(buf) else {
+        if buf.len() > max_head_bytes {
+            return Err(HttpError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_len > max_head_bytes {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| HttpError::BadRequest("head is not UTF-8"))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or(HttpError::BadRequest("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("garbage after HTTP version"));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("malformed method token"));
+    }
+    let version_11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::VersionUnsupported),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequest("request target must be absolute"));
+    }
+
+    let mut content_length = 0usize;
+    let mut keep_alive = version_11;
+    for line in lines {
+        if line.is_empty() {
+            break; // the empty line terminating the head
+        }
+        let Some((name, value)) = split_header(line) else {
+            return Err(HttpError::BadRequest("header line without a colon"));
+        };
+        if name.is_empty() {
+            return Err(HttpError::BadRequest("empty header name"));
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest("unparseable Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::BadRequest("chunked bodies are not supported"));
+        }
+    }
+
+    Ok(Some(RequestHead {
+        method,
+        path,
+        query,
+        version_11,
+        content_length,
+        keep_alive,
+        head_len,
+    }))
+}
+
+/// Looks up `key` in a raw query string (`a=1&b=2`). Returns the raw
+/// value slice (no percent-decoding — ids are plain integers).
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX: usize = 8 * 1024;
+
+    #[test]
+    fn parses_a_complete_post() {
+        let raw = b"POST /ingest HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\nbody bytes..";
+        let head = parse_head(raw, MAX).unwrap().unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.path, "/ingest");
+        assert_eq!(head.query, "");
+        assert!(head.version_11);
+        assert_eq!(head.content_length, 12);
+        assert!(head.keep_alive);
+        assert_eq!(&raw[head.head_len..], b"body bytes..");
+    }
+
+    #[test]
+    fn incomplete_heads_ask_for_more() {
+        let full = b"GET /stats HTTP/1.1\r\n\r\n";
+        for cut in 0..full.len() - 1 {
+            assert_eq!(parse_head(&full[..cut], MAX).unwrap(), None, "cut={cut}");
+        }
+        assert!(parse_head(full, MAX).unwrap().is_some());
+    }
+
+    #[test]
+    fn query_strings_split_off_the_path() {
+        let head = parse_head(b"GET /query?id=42&x=1 HTTP/1.1\r\n\r\n", MAX)
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.path, "/query");
+        assert_eq!(head.query, "id=42&x=1");
+        assert_eq!(query_param(head.query, "id"), Some("42"));
+        assert_eq!(query_param(head.query, "x"), Some("1"));
+        assert_eq!(query_param(head.query, "nope"), None);
+    }
+
+    #[test]
+    fn connection_close_and_http10_default() {
+        let head = parse_head(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", MAX)
+            .unwrap()
+            .unwrap();
+        assert!(!head.keep_alive);
+        let head = parse_head(b"GET / HTTP/1.0\r\n\r\n", MAX).unwrap().unwrap();
+        assert!(!head.keep_alive);
+        let head = parse_head(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", MAX)
+            .unwrap()
+            .unwrap();
+        assert!(head.keep_alive);
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let head = parse_head(b"POST /score HTTP/1.1\nContent-Length: 3\n\nabc", MAX)
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.content_length, 3);
+        assert_eq!(head.path, "/score");
+    }
+
+    #[test]
+    fn oversized_heads_error_even_when_incomplete() {
+        let mut raw = b"GET / HTTP/1.1\r\nX: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX + 1));
+        assert_eq!(parse_head(&raw, MAX), Err(HttpError::HeadTooLarge));
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected_with_reasons() {
+        for (raw, what) in [
+            (&b"\r\n\r\n"[..], "empty request line"),
+            (b"GET\r\n\r\n", "missing target"),
+            (b"GET /x\r\n\r\n", "missing version"),
+            (b"GET /x HTTP/2.0\r\n\r\n", "http2"),
+            (b"get /x HTTP/1.1\r\n\r\n", "lowercase method"),
+            (b"GET x HTTP/1.1\r\n\r\n", "relative target"),
+            (b"GET /x HTTP/1.1\r\nbad line\r\n\r\n", "colonless header"),
+            (
+                b"GET /x HTTP/1.1\r\nContent-Length: two\r\n\r\n",
+                "bad length",
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                "chunked",
+            ),
+            (b"GET /x HTTP/1.1 extra\r\n\r\n", "trailing junk"),
+        ] {
+            assert!(parse_head(raw, MAX).is_err(), "case: {what}");
+        }
+    }
+
+    #[test]
+    fn binary_garbage_is_an_error_not_a_panic() {
+        let garbage: Vec<u8> = (0..256).map(|i| (i * 37 % 251) as u8).collect();
+        let mut with_terminator = garbage.clone();
+        with_terminator.extend_from_slice(b"\r\n\r\n");
+        assert!(parse_head(&with_terminator, MAX).is_err());
+        // without a terminator it just waits (the conn layer enforces the
+        // bound + deadline)
+        assert_eq!(parse_head(&garbage, MAX).unwrap(), None);
+    }
+}

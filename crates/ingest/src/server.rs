@@ -1,0 +1,267 @@
+//! The socket layer: nonblocking accept + per-worker connection polling.
+//!
+//! All protocol logic lives in [`Conn`]; this module only shovels bytes.
+//! [`serve`] runs one accept+poll loop per worker over scoped threads
+//! (workers default to [`tsad_parallel::current_threads`], so
+//! `TSAD_THREADS` governs the server like every other subsystem). Every
+//! socket is nonblocking: a worker never parks on one connection, so a
+//! hostile client dribbling a request byte-per-second cannot stall the
+//! accept loop or its neighbours — it just burns its own idle deadline
+//! and gets closed.
+//!
+//! Two deadlines apply per connection: a short one while a *partial*
+//! request is buffered (the slowloris guard) and a longer keep-alive one
+//! while the connection is idle between requests.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tsad_stream::DetectorFactory;
+
+use crate::conn::{Conn, ConnConfig};
+use crate::engine::Engine;
+use crate::{INGEST_CONNS, INGEST_TIMEOUTS};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads; 0 means [`tsad_parallel::current_threads`].
+    pub workers: usize,
+    /// Per-connection parser bounds.
+    pub conn: ConnConfig,
+    /// Open connections each worker will hold; accepts pause (in the OS
+    /// backlog) while a worker is full.
+    pub max_conns_per_worker: usize,
+    /// Deadline for a connection holding a partially received request
+    /// (the slowloris guard).
+    pub idle_timeout: Duration,
+    /// Deadline for an idle keep-alive connection with no pending bytes.
+    pub keep_alive_timeout: Duration,
+    /// Sleep when a poll pass finds no work (keeps idle CPU near zero
+    /// without adding meaningful latency).
+    pub poll_sleep: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            conn: ConnConfig::default(),
+            max_conns_per_worker: 128,
+            idle_timeout: Duration::from_secs(2),
+            keep_alive_timeout: Duration::from_secs(30),
+            poll_sleep: Duration::from_micros(50),
+        }
+    }
+}
+
+/// One worker's view of a connection.
+struct Slot {
+    stream: TcpStream,
+    conn: Conn,
+    /// Last time this connection made progress (bytes moved or a request
+    /// completed); deadlines measure from here.
+    last_progress: Instant,
+}
+
+impl Slot {
+    fn close(self) {
+        INGEST_CONNS.sub(1);
+        // Drop closes the socket; best-effort FIN first.
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Runs the server until `shutdown` becomes true. Blocks the calling
+/// thread; use [`start`] for a handle-based background server.
+pub fn serve<F>(
+    engine: &Engine<F>,
+    listener: TcpListener,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()>
+where
+    F: DetectorFactory + Send,
+    F::Detector: Sync,
+{
+    listener.set_nonblocking(true)?;
+    let workers = if cfg.workers == 0 {
+        tsad_parallel::current_threads()
+    } else {
+        cfg.workers
+    }
+    .max(1);
+
+    tsad_parallel::scope(|s| {
+        for _ in 0..workers {
+            let listener = listener.try_clone().expect("clone listener");
+            s.spawn(move || worker_loop(engine, &listener, cfg, shutdown));
+        }
+    });
+    Ok(())
+}
+
+/// One worker: accept into free capacity, then poll every connection.
+fn worker_loop<F>(
+    engine: &Engine<F>,
+    listener: &TcpListener,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+) where
+    F: DetectorFactory,
+    F::Detector: Sync,
+{
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut read_buf = vec![0u8; 16 * 1024];
+    while !shutdown.load(Ordering::Relaxed) {
+        let mut worked = false;
+
+        // Accept while capacity remains; the listener is shared, so each
+        // pending connection lands on whichever worker grabs it first.
+        while slots.len() < cfg.max_conns_per_worker {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    INGEST_CONNS.add(1);
+                    slots.push(Slot {
+                        stream,
+                        conn: Conn::new(cfg.conn),
+                        last_progress: Instant::now(),
+                    });
+                    worked = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break, // transient (EMFILE etc.); retry next pass
+            }
+        }
+
+        let now = Instant::now();
+        let mut i = 0;
+        while i < slots.len() {
+            let slot = &mut slots[i];
+            let mut drop_conn = false;
+
+            // Read what the peer has; feed it through the state machine.
+            if !slot.conn.wants_close() {
+                match slot.stream.read(&mut read_buf) {
+                    Ok(0) => drop_conn = true, // peer closed; flush below
+                    Ok(n) => {
+                        slot.conn.feed(&read_buf[..n], engine);
+                        slot.last_progress = now;
+                        worked = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => drop_conn = true,
+                }
+            }
+
+            // Flush pending output.
+            while !slot.conn.output().is_empty() {
+                match slot.stream.write(slot.conn.output()) {
+                    Ok(0) => {
+                        drop_conn = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        slot.conn.consume_output(n);
+                        slot.last_progress = now;
+                        worked = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        drop_conn = true;
+                        break;
+                    }
+                }
+            }
+
+            if slot.conn.wants_close() && slot.conn.output().is_empty() {
+                drop_conn = true;
+            }
+            // Deadlines: short while a request is partially buffered,
+            // long while idle between requests.
+            let idle = now.duration_since(slot.last_progress);
+            if slot.conn.has_partial() && idle > cfg.idle_timeout {
+                INGEST_TIMEOUTS.inc();
+                drop_conn = true;
+            } else if idle > cfg.keep_alive_timeout {
+                drop_conn = true;
+            }
+
+            if drop_conn {
+                slots.swap_remove(i).close();
+            } else {
+                i += 1;
+            }
+        }
+
+        if !worked {
+            std::thread::sleep(cfg.poll_sleep);
+        }
+    }
+    for slot in slots.drain(..) {
+        slot.close();
+    }
+}
+
+/// A running background server (see [`start`]).
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `127.0.0.1:0`).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and waits for the workers to exit.
+    pub fn stop(mut self) -> std::io::Result<()> {
+        self.shutdown.store(true, Ordering::Relaxed);
+        match self.join.take() {
+            Some(join) => join.join().unwrap_or(Ok(())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Binds `addr` and runs [`serve`] on a background thread.
+pub fn start<F>(
+    engine: Arc<Engine<F>>,
+    cfg: ServerConfig,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ServerHandle>
+where
+    F: DetectorFactory + Send + 'static,
+    F::Detector: Sync,
+{
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shutdown2 = Arc::clone(&shutdown);
+    let join = std::thread::Builder::new()
+        .name("tsad-ingest-server".into())
+        .spawn(move || serve(&engine, listener, &cfg, &shutdown2))?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        join: Some(join),
+    })
+}

@@ -1,0 +1,249 @@
+//! Hostile-client suite: every `tsad-faults` standard profile through
+//! both transports, raw-bytes fuzzing of the protocol state machine, and
+//! reconciliation of the server's quarantine accounting against the raw
+//! fleet's `BatchNanPolicy` reports.
+//!
+//! Everything here runs sans-IO through [`Conn::feed`] — the socket
+//! layer is exercised separately in `e2e.rs`; these tests are about the
+//! protocol logic surviving adversarial input without panicking,
+//! stalling, or miscounting.
+
+use proptest::prelude::*;
+use tsad_faults::standard_profiles;
+use tsad_fleet::{BatchOutput, Fleet, FleetConfig, SeriesId};
+use tsad_ingest::frame::{self, FRAME_MAGIC, HEADER_LEN, T_ACK, T_ERROR, T_INGEST, T_SCORE};
+use tsad_ingest::{Conn, ConnConfig, Engine, EngineConfig};
+use tsad_stream::{FnFactory, StreamingGlobalZScore};
+
+type TestFactory = FnFactory<fn(u64) -> StreamingGlobalZScore>;
+
+fn spawn_detector(_id: u64) -> StreamingGlobalZScore {
+    StreamingGlobalZScore::new(4).expect("window >= 2")
+}
+
+fn new_fleet() -> Fleet<TestFactory> {
+    Fleet::new(
+        FnFactory(spawn_detector as fn(u64) -> StreamingGlobalZScore),
+        FleetConfig {
+            shards: 4,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+fn new_engine() -> Engine<TestFactory> {
+    Engine::new(new_fleet(), EngineConfig::default())
+}
+
+/// A clean base signal the fault profiles corrupt.
+fn clean_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.21).sin() + 0.05 * (i as f64 * 0.013).cos())
+        .collect()
+}
+
+/// Spreads a faulted series across 16 series ids.
+fn to_batch(ys: &[f64]) -> Vec<(SeriesId, f64)> {
+    ys.iter()
+        .enumerate()
+        .map(|(i, &v)| (SeriesId((i % 16) as u64), v))
+        .collect()
+}
+
+#[test]
+fn all_fault_profiles_match_raw_fleet_accounting_over_http() {
+    let xs = clean_series(512);
+    for profile in standard_profiles() {
+        let (ys, _) = profile.inject(&xs, 7);
+        let batch = to_batch(&ys);
+
+        // Reference: the same batch through a raw fleet.
+        let mut raw = new_fleet();
+        let mut raw_out = BatchOutput::new();
+        raw.push_batch(&batch, &mut raw_out);
+
+        // Via the HTTP text transport. `{}` for f64 is the shortest
+        // round-tripping form, so finite values survive exactly; NaN
+        // variants collapse to the canonical NaN, which quarantines the
+        // same way.
+        let engine = new_engine();
+        let mut conn = Conn::new(ConnConfig::default());
+        let mut body = String::new();
+        for (id, v) in &batch {
+            body.push_str(&format!("{} {}\n", id.0, v));
+        }
+        let req = format!(
+            "POST /ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        conn.feed(req.as_bytes(), &engine);
+        let resp = String::from_utf8_lossy(conn.output()).into_owned();
+        assert!(
+            resp.starts_with("HTTP/1.1 200 OK"),
+            "{}: {resp}",
+            profile.name
+        );
+        assert!(
+            resp.contains(&format!("\"points\":{}", raw_out.points)),
+            "{}: {resp}",
+            profile.name
+        );
+        assert!(
+            resp.contains(&format!("\"quarantined\":{}", raw_out.quarantined.len())),
+            "{}: {resp}",
+            profile.name
+        );
+        let totals = engine.totals();
+        assert_eq!(totals.points, raw_out.points, "{}", profile.name);
+        assert_eq!(
+            totals.quarantined,
+            raw_out.quarantined.len() as u64,
+            "{}",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn all_fault_profiles_score_bitwise_identically_over_binary() {
+    let xs = clean_series(512);
+    for profile in standard_profiles() {
+        let (ys, _) = profile.inject(&xs, 11);
+        let batch = to_batch(&ys);
+
+        let mut raw = new_fleet();
+        let mut raw_out = BatchOutput::new();
+        raw.push_batch(&batch, &mut raw_out);
+
+        // Binary framing carries f64 bits, so the comparison is exact —
+        // NaN payloads included.
+        let engine = new_engine();
+        let mut conn = Conn::new(ConnConfig::default());
+        let mut payload = Vec::new();
+        for (id, v) in &batch {
+            frame::write_point(&mut payload, id.0, *v);
+        }
+        let mut req = Vec::new();
+        frame::write_frame(&mut req, T_SCORE, &payload);
+        conn.feed(&req, &engine);
+
+        let out = conn.output();
+        assert_eq!(out[2], frame::T_SCORES, "{}", profile.name);
+        let body = &out[HEADER_LEN..];
+        let n = u64::from_le_bytes(body[..8].try_into().unwrap()) as usize;
+        assert_eq!(n, raw_out.scores.len(), "{}", profile.name);
+        for (i, s) in raw_out.scores.iter().enumerate() {
+            let rec = &body[8 + i * frame::SCORE_BYTES..8 + (i + 1) * frame::SCORE_BYTES];
+            let idx = u32::from_le_bytes(rec[..4].try_into().unwrap()) as usize;
+            let id = u64::from_le_bytes(rec[4..12].try_into().unwrap());
+            let bits = u64::from_le_bytes(rec[12..20].try_into().unwrap());
+            assert_eq!(idx, s.batch_index, "{}", profile.name);
+            assert_eq!(id, s.id.0, "{}", profile.name);
+            assert_eq!(bits, s.score.to_bits(), "{} score {i}", profile.name);
+        }
+        assert_eq!(
+            engine.totals().quarantined,
+            raw_out.quarantined.len() as u64,
+            "{}",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn truncated_frame_waits_without_output_and_is_detectable() {
+    let engine = new_engine();
+    let mut conn = Conn::new(ConnConfig::default());
+    let mut payload = Vec::new();
+    frame::write_point(&mut payload, 1, 1.0);
+    let mut req = Vec::new();
+    frame::write_frame(&mut req, T_INGEST, &payload);
+    conn.feed(&req[..req.len() - 3], &engine);
+    assert!(conn.output().is_empty());
+    assert!(conn.has_partial(), "the idle deadline applies here");
+    conn.feed(&req[req.len() - 3..], &engine);
+    assert_eq!(conn.output()[2], T_ACK);
+    assert!(!conn.has_partial());
+}
+
+#[test]
+fn header_split_across_many_feeds_never_misparses() {
+    let engine = new_engine();
+    let mut payload = Vec::new();
+    for i in 0..9u64 {
+        frame::write_point(&mut payload, i, i as f64);
+    }
+    let mut req = Vec::new();
+    frame::write_frame(&mut req, T_INGEST, &payload);
+    for chunk_len in [1usize, 2, 3, 5, 7] {
+        let mut conn = Conn::new(ConnConfig::default());
+        for chunk in req.chunks(chunk_len) {
+            conn.feed(chunk, &engine);
+        }
+        assert_eq!(conn.output()[2], T_ACK, "chunk_len={chunk_len}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_or_stall(
+        bytes in prop::collection::vec(0u8..=255u8, 0..512),
+    ) {
+        let engine = new_engine();
+        // whole-buffer feed
+        let mut conn = Conn::new(ConnConfig::default());
+        conn.feed(&bytes, &engine);
+        // byte-by-byte feed must behave identically state-wise
+        let mut dribble = Conn::new(ConnConfig::default());
+        for &b in &bytes {
+            dribble.feed(&[b], &engine);
+        }
+        prop_assert_eq!(conn.wants_close(), dribble.wants_close());
+    }
+
+    #[test]
+    fn arbitrary_bytes_after_frame_magic_never_panic(
+        bytes in prop::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        let engine = new_engine();
+        let mut conn = Conn::new(ConnConfig::default());
+        conn.feed(&[FRAME_MAGIC], &engine);
+        conn.feed(&bytes, &engine);
+        // a hostile stream either errored (closing) or waits bounded
+        if conn.wants_close() {
+            prop_assert_eq!(conn.output()[2], T_ERROR);
+        }
+    }
+
+    #[test]
+    fn arbitrary_payloads_in_valid_ingest_frames_get_a_response(
+        payload in prop::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        let engine = new_engine();
+        let mut conn = Conn::new(ConnConfig::default());
+        let mut req = Vec::new();
+        frame::write_frame(&mut req, T_INGEST, &payload);
+        conn.feed(&req, &engine);
+        // whole numbers of points ACK; ragged payloads error — silence
+        // is never an option
+        prop_assert!(!conn.output().is_empty());
+        let expected = if payload.len() % frame::POINT_BYTES == 0 { T_ACK } else { T_ERROR };
+        prop_assert_eq!(conn.output()[2], expected);
+    }
+
+    #[test]
+    fn arbitrary_http_bodies_never_panic(
+        body in prop::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        let engine = new_engine();
+        let mut conn = Conn::new(ConnConfig::default());
+        let mut req = format!("POST /ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len())
+            .into_bytes();
+        req.extend_from_slice(&body);
+        conn.feed(&req, &engine);
+        let resp = conn.output();
+        prop_assert!(resp.starts_with(b"HTTP/1.1 200") || resp.starts_with(b"HTTP/1.1 400"));
+    }
+}
