@@ -48,6 +48,10 @@ const EXPERIMENTS: &[&str] = &[
     "faults",
     "faults-json",
     "faults-compare",
+    "catalog",
+    "catalog-json",
+    "catalog-compare",
+    "detectors-md",
     "bench-json",
     "bench-compare",
     "fleet",
@@ -70,6 +74,9 @@ fn usage() -> String {
          --fresh PATH      bench-compare / faults-compare: the freshly generated document (required)\n\
          --faults-out PATH      where faults-json writes its document (default BENCH_faults.json)\n\
          --faults-baseline PATH faults-compare: the committed baseline (default BENCH_faults.json)\n\
+         --catalog-out PATH      where catalog-json writes its document (default BENCH_catalog.json)\n\
+         --catalog-baseline PATH catalog-compare: the committed baseline (default BENCH_catalog.json)\n\
+         --detectors-out PATH    where detectors-md writes the catalog doc (default DETECTORS.md)\n\
          --fleet-series N       fleet / fleet-json: series count (defaults: fleet 1000000, fleet-json 100000)\n\
          --fleet-out PATH       where fleet-json writes its document (default BENCH_fleet.json)\n\
          --fleet-baseline PATH  fleet-compare: the committed baseline (default BENCH_fleet.json)\n\
@@ -96,6 +103,9 @@ struct Options {
     fresh: Option<String>,
     faults_out: String,
     faults_baseline: String,
+    catalog_out: String,
+    catalog_baseline: String,
+    detectors_out: String,
     fleet_series: Option<u64>,
     fleet_out: String,
     fleet_baseline: String,
@@ -114,6 +124,9 @@ impl Default for Options {
             fresh: None,
             faults_out: "BENCH_faults.json".to_string(),
             faults_baseline: "BENCH_faults.json".to_string(),
+            catalog_out: "BENCH_catalog.json".to_string(),
+            catalog_baseline: "BENCH_catalog.json".to_string(),
+            detectors_out: "DETECTORS.md".to_string(),
             fleet_series: None,
             fleet_out: "BENCH_fleet.json".to_string(),
             fleet_baseline: "BENCH_fleet.json".to_string(),
@@ -232,6 +245,34 @@ fn run_one(name: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>>
                     return Err("faults-compare gate failed".into());
                 }
             }
+        }
+        "catalog" => print!(
+            "{}",
+            catalog::render(&catalog::run(seed, &catalog::CatalogConfig::ci())?)
+        ),
+        "catalog-json" => {
+            let exp = catalog::run(seed, &catalog::CatalogConfig::ci())?;
+            let json = catalog::render_json(&exp);
+            std::fs::write(&opts.catalog_out, &json)?;
+            println!("wrote {} ({} rows)", opts.catalog_out, exp.rows.len());
+        }
+        "catalog-compare" => {
+            let fresh = opts
+                .fresh
+                .as_deref()
+                .ok_or_else(|| format!("catalog-compare needs --fresh PATH\n{}", usage()))?;
+            match catalog::run_files(&opts.catalog_baseline, fresh) {
+                Ok(table) => print!("{table}"),
+                Err(table) => {
+                    print!("{table}");
+                    return Err("catalog-compare gate failed".into());
+                }
+            }
+        }
+        "detectors-md" => {
+            let md = catalog::detectors_md();
+            std::fs::write(&opts.detectors_out, &md)?;
+            println!("wrote {} ({} bytes)", opts.detectors_out, md.len());
         }
         "bench-json" => {
             let doc = bench_json::run(seed, &bench_json::BenchConfig::default())?;
@@ -369,6 +410,15 @@ fn parse_options(args: &mut Vec<String>) -> Result<Options, String> {
     if let Some(v) = take_value_flag(args, "--faults-baseline")? {
         opts.faults_baseline = v;
     }
+    if let Some(v) = take_value_flag(args, "--catalog-out")? {
+        opts.catalog_out = v;
+    }
+    if let Some(v) = take_value_flag(args, "--catalog-baseline")? {
+        opts.catalog_baseline = v;
+    }
+    if let Some(v) = take_value_flag(args, "--detectors-out")? {
+        opts.detectors_out = v;
+    }
     if let Some(v) = take_value_flag(args, "--fleet-series")? {
         opts.fleet_series = Some(v.parse().map_err(|e| format!("bad fleet series: {e}"))?);
     }
@@ -435,6 +485,9 @@ fn main() -> ExitCode {
                         | "bench-compare"
                         | "faults-json"
                         | "faults-compare"
+                        | "catalog-json"
+                        | "catalog-compare"
+                        | "detectors-md"
                         | "fleet"
                         | "fleet-json"
                         | "fleet-compare"

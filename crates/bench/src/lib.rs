@@ -23,6 +23,7 @@
 //! | `triviality` | [`experiments::triviality_all`] | §2.2 solvability beyond Yahoo |
 //! | `audit` | [`experiments::audit_exp`] | §2.6 audit verdict: benchmark vs archive |
 //! | `stream` | [`experiments::stream`] | streaming engine: equivalence + replay tables |
+//! | `catalog` | [`experiments::catalog`] | full detector registry × Yahoo triviality grid |
 
 pub mod alloc_track;
 pub mod gate;
@@ -33,6 +34,7 @@ pub mod experiments {
     pub mod audit_exp;
     pub mod bench_compare;
     pub mod bench_json;
+    pub mod catalog;
     pub mod contest;
     pub mod density;
     pub mod faults;

@@ -40,6 +40,11 @@ pub enum CoreError {
     /// A checkpoint blob was truncated, corrupt, or written by an
     /// incompatibly-configured detector (see [`crate::ckpt`]).
     Checkpoint { detail: String },
+    /// A name-based lookup (a registry id, a parameter key, …) failed.
+    ///
+    /// `what` says which namespace was searched, `name` the key that was
+    /// not in it.
+    Unknown { what: &'static str, name: String },
 }
 
 impl fmt::Display for CoreError {
@@ -67,6 +72,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Checkpoint { detail } => {
                 write!(f, "invalid checkpoint: {detail}")
+            }
+            CoreError::Unknown { what, name } => {
+                write!(f, "unknown {what} `{name}`")
             }
         }
     }

@@ -142,6 +142,63 @@ impl Detector for SubsequenceKnn {
     }
 }
 
+/// Tukey-fence quantile baseline: distance beyond the train-prefix
+/// interquartile box, in IQR units.
+///
+/// `score = max(x − q3, q1 − x) / IQR` (clamped at 0 inside the box), so a
+/// point at the classic `1.5·IQR` whisker scores exactly
+/// [`QuantileBaseline::multiplier`] = 1.5. Quartiles come from the train
+/// prefix when it has at least four points, otherwise the whole series —
+/// the same unsupervised fallback the z-score baseline uses.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileBaseline {
+    /// Whisker multiplier; only shifts the implied alarm threshold, never
+    /// the ranking.
+    pub multiplier: f64,
+}
+
+impl Default for QuantileBaseline {
+    fn default() -> Self {
+        Self { multiplier: 1.5 }
+    }
+}
+
+/// Linearly-interpolated empirical quantile of unsorted data.
+fn quantile(x: &[f64], level: f64) -> f64 {
+    let mut sorted = x.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = level * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = (pos.ceil() as usize).min(sorted.len() - 1);
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+}
+
+impl Detector for QuantileBaseline {
+    fn name(&self) -> &'static str {
+        "quantile/IQR baseline"
+    }
+    fn score(&self, ts: &TimeSeries, train_len: usize) -> Result<Vec<f64>> {
+        let x = ts.values();
+        if x.is_empty() {
+            return Err(CoreError::EmptySeries);
+        }
+        if !(self.multiplier > 0.0 && self.multiplier.is_finite()) {
+            return Err(CoreError::BadParameter {
+                name: "multiplier",
+                value: self.multiplier,
+                expected: "a positive finite whisker multiplier",
+            });
+        }
+        let reference = if train_len >= 4 { &x[..train_len] } else { x };
+        let q1 = quantile(reference, 0.25);
+        let q3 = quantile(reference, 0.75);
+        let iqr = (q3 - q1).max(1e-12);
+        Ok(x.iter()
+            .map(|&v| ((v - q3).max(q1 - v) / iqr).max(0.0))
+            .collect())
+    }
+}
+
 /// Seeded uniform-random scores — the calibration floor.
 #[derive(Debug, Clone, Copy)]
 pub struct RandomDetector {
@@ -219,6 +276,30 @@ mod tests {
         // needs a train prefix
         assert!(det.score(&ts, 10).is_err());
         assert!(SubsequenceKnn::new(0).score(&ts, 300).is_err());
+    }
+
+    #[test]
+    fn quantile_baseline_scores_in_iqr_units() {
+        let ts = spiky(300, 200);
+        assert_eq!(
+            most_anomalous_point(&QuantileBaseline::default(), &ts, 0).unwrap(),
+            200
+        );
+        // inside the interquartile box the score is exactly zero
+        let flatish: Vec<f64> = (0..100).map(|i| (i % 5) as f64).collect();
+        let ts = TimeSeries::new("box", flatish).unwrap();
+        let s = QuantileBaseline::default().score(&ts, 0).unwrap();
+        assert!(s.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        assert!(s.contains(&0.0));
+        // constant series must not divide by zero
+        let flat = TimeSeries::new("flat", vec![3.0; 40]).unwrap();
+        assert!(QuantileBaseline::default()
+            .score(&flat, 0)
+            .unwrap()
+            .iter()
+            .all(|v| v.is_finite()));
+        let bad = QuantileBaseline { multiplier: -1.0 };
+        assert!(bad.score(&flat, 0).is_err());
     }
 
     #[test]

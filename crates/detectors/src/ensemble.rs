@@ -26,11 +26,25 @@ pub enum EnsembleNormalization {
     Rank,
 }
 
-/// An ensemble of detectors combined by averaging normalized scores.
+/// How the normalized member scores are combined point-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnsembleCombine {
+    /// Point-wise mean of member scores — every member votes with its
+    /// confidence.
+    #[default]
+    Mean,
+    /// Point-wise median — robust voting: up to half the members can be
+    /// arbitrarily wrong without moving the combined score.
+    Median,
+}
+
+/// An ensemble of detectors combined by aggregating normalized scores.
 pub struct Ensemble {
-    members: Vec<Box<dyn Detector>>,
-    /// Normalization applied to each member before averaging.
+    members: Vec<Box<dyn Detector + Send + Sync>>,
+    /// Normalization applied to each member before combining.
     pub normalization: EnsembleNormalization,
+    /// Point-wise combinator over the normalized member scores.
+    pub combine: EnsembleCombine,
     /// Require at least this many members to score successfully
     /// (detectors may error on inputs they cannot handle, e.g. too-short
     /// train prefixes).
@@ -38,13 +52,23 @@ pub struct Ensemble {
 }
 
 impl Ensemble {
-    /// Creates a z-score ensemble; at least one member must succeed per
-    /// series.
-    pub fn new(members: Vec<Box<dyn Detector>>) -> Self {
+    /// Creates a mean z-score ensemble; at least one member must succeed
+    /// per series.
+    pub fn new(members: Vec<Box<dyn Detector + Send + Sync>>) -> Self {
         Self {
             members,
             normalization: EnsembleNormalization::ZScore,
+            combine: EnsembleCombine::Mean,
             min_members: 1,
+        }
+    }
+
+    /// Creates a voting ensemble with an explicit combinator (z-score
+    /// normalization, as in [`Ensemble::new`]).
+    pub fn voting(members: Vec<Box<dyn Detector + Send + Sync>>, combine: EnsembleCombine) -> Self {
+        Self {
+            combine,
+            ..Self::new(members)
         }
     }
 
@@ -65,9 +89,15 @@ fn standardize(score: &[f64]) -> Vec<f64> {
 
 impl Detector for Ensemble {
     fn name(&self) -> &'static str {
-        match self.normalization {
-            EnsembleNormalization::ZScore => "ensemble (mean z-score)",
-            EnsembleNormalization::Rank => "ensemble (mean rank)",
+        match (self.combine, self.normalization) {
+            (EnsembleCombine::Mean, EnsembleNormalization::ZScore) => {
+                crate::registry::display::VOTING_MEAN
+            }
+            (EnsembleCombine::Mean, EnsembleNormalization::Rank) => "ensemble (mean rank)",
+            (EnsembleCombine::Median, EnsembleNormalization::ZScore) => {
+                crate::registry::display::VOTING_MEDIAN
+            }
+            (EnsembleCombine::Median, EnsembleNormalization::Rank) => "ensemble (median rank)",
         }
     }
     fn score(&self, ts: &TimeSeries, train_len: usize) -> Result<Vec<f64>> {
@@ -91,13 +121,31 @@ impl Detector for Ensemble {
         }
         let n = ts.len();
         let mut out = vec![0.0; n];
-        for r in &normalized {
-            for (o, v) in out.iter_mut().zip(r) {
-                *o += v;
+        match self.combine {
+            EnsembleCombine::Mean => {
+                for r in &normalized {
+                    for (o, v) in out.iter_mut().zip(r) {
+                        *o += v;
+                    }
+                }
+                for o in &mut out {
+                    *o /= normalized.len() as f64;
+                }
             }
-        }
-        for o in &mut out {
-            *o /= normalized.len() as f64;
+            EnsembleCombine::Median => {
+                let mut column = Vec::with_capacity(normalized.len());
+                for (i, o) in out.iter_mut().enumerate() {
+                    column.clear();
+                    column.extend(normalized.iter().map(|r| r[i]));
+                    column.sort_by(f64::total_cmp);
+                    let k = column.len();
+                    *o = if k % 2 == 1 {
+                        column[k / 2]
+                    } else {
+                        0.5 * (column[k / 2 - 1] + column[k / 2])
+                    };
+                }
+            }
         }
         Ok(out)
     }
@@ -148,6 +196,31 @@ mod tests {
         let score = ensemble.score(&ts, 0).unwrap();
         assert!(score.iter().all(|v| (0.0..=1.0).contains(v)));
         assert_eq!(ensemble.name(), "ensemble (mean rank)");
+    }
+
+    #[test]
+    fn median_vote_ignores_a_hostile_minority_member() {
+        let ts = spiky(600, 400);
+        // the random member's noise is a minority vote; the median of
+        // {zscore, movavg, random} at the spike is a real member's score
+        let median = Ensemble::voting(
+            vec![
+                Box::new(GlobalZScore),
+                Box::new(MovingAvgResidual::new(21)),
+                Box::new(RandomDetector::new(7)),
+            ],
+            EnsembleCombine::Median,
+        );
+        assert_eq!(median.name(), "voting ensemble (median)");
+        assert_eq!(most_anomalous_point(&median, &ts, 0).unwrap(), 400);
+        // even member count: median averages the two central votes
+        let two = Ensemble::voting(
+            vec![Box::new(GlobalZScore), Box::new(MovingAvgResidual::new(21))],
+            EnsembleCombine::Median,
+        );
+        let s = two.score(&ts, 0).unwrap();
+        assert_eq!(s.len(), ts.len());
+        assert!(s.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Seasonal-hybrid ESD (Hochenbaum, Vallis & Kejariwal, 2017) — the
+//! Twitter "AnomalyDetection" recipe: strip a seasonal component, then run
+//! the generalized ESD test on *robust* (median/MAD) residual statistics
+//! so a handful of genuine outliers cannot mask each other.
+//!
+//! The decomposition here is deliberately simple and deterministic: the
+//! seasonal component is the per-phase median over the whole series (a
+//! robust version of the classical seasonal means), the trend is the
+//! global median of what remains. The residual robust z-score
+//! `|r − median(r)| / MAD(r)` is the per-point anomaly score, and
+//! [`ShEsd::anomalies`] applies the full generalized-ESD stopping rule on
+//! top of it (critical values from the usual t-approximation, with a
+//! normal-quantile kernel implemented below — no external stats crate).
+
+use tsad_core::error::{CoreError, Result};
+use tsad_core::TimeSeries;
+
+use crate::seasonal::estimate_period;
+use crate::Detector;
+
+/// Scale factor making the MAD a consistent σ estimator for Gaussians.
+const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Seasonal-hybrid ESD detector.
+#[derive(Debug, Clone, Copy)]
+pub struct ShEsd {
+    /// Seasonal period; `0` = estimate with the autocorrelation scan used
+    /// by the seasonal-profile detector.
+    pub period: usize,
+    /// Upper bound for the automatic period scan.
+    pub max_period: usize,
+    /// Significance level for the ESD critical values.
+    pub alpha: f64,
+    /// Maximum fraction of points ESD may flag (the test needs an upper
+    /// bound on the outlier count; Twitter's default is 10%).
+    pub max_frac: f64,
+}
+
+impl Default for ShEsd {
+    fn default() -> Self {
+        Self {
+            period: 0,
+            max_period: 64,
+            alpha: 0.05,
+            max_frac: 0.10,
+        }
+    }
+}
+
+fn median_of(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, good to
+/// ~1.15e-9 over (0, 1)). Enough precision for ESD critical values.
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inv_norm_cdf(1.0 - p)
+    }
+}
+
+impl ShEsd {
+    /// Returns the seasonal-plus-trend-removed residuals.
+    pub fn residuals(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.is_empty() {
+            return Err(CoreError::EmptySeries);
+        }
+        if !(0.0 < self.alpha && self.alpha < 1.0) {
+            return Err(CoreError::BadParameter {
+                name: "alpha",
+                value: self.alpha,
+                expected: "0 < alpha < 1",
+            });
+        }
+        if !(0.0 < self.max_frac && self.max_frac <= 0.49) {
+            return Err(CoreError::BadParameter {
+                name: "max_frac",
+                value: self.max_frac,
+                expected: "0 < max_frac <= 0.49",
+            });
+        }
+        let period = if self.period > 0 {
+            self.period
+        } else {
+            // the scan needs a few full cycles; when the series is too
+            // short for that, fall back to "no seasonality"
+            let hi = self.max_period.min(x.len() / 3);
+            if hi >= 2 {
+                estimate_period(x, 2, hi).unwrap_or(0)
+            } else {
+                0
+            }
+        };
+        let mut resid = x.to_vec();
+        if period >= 2 && x.len() >= 2 * period {
+            for phase in 0..period {
+                let column: Vec<f64> = x.iter().skip(phase).step_by(period).copied().collect();
+                let m = median_of(column);
+                for r in resid.iter_mut().skip(phase).step_by(period) {
+                    *r -= m;
+                }
+            }
+        }
+        let trend = median_of(resid.clone());
+        for r in &mut resid {
+            *r -= trend;
+        }
+        Ok(resid)
+    }
+
+    /// Indices the generalized ESD test flags as anomalous, most extreme
+    /// first.
+    pub fn anomalies(&self, x: &[f64]) -> Result<Vec<usize>> {
+        let resid = self.residuals(x)?;
+        let n = resid.len();
+        let max_k = ((n as f64 * self.max_frac).ceil() as usize).min(n.saturating_sub(2));
+        if max_k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut removed: Vec<usize> = Vec::with_capacity(max_k);
+        let mut last_significant = 0usize;
+        for k in 1..=max_k {
+            let values: Vec<f64> = active.iter().map(|&i| resid[i]).collect();
+            let med = median_of(values.clone());
+            let mad = (median_of(values.iter().map(|v| (v - med).abs()).collect()) * MAD_TO_SIGMA)
+                .max(1e-12);
+            let (pos, &idx) = active
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| {
+                    ((resid[a] - med).abs() / mad).total_cmp(&((resid[b] - med).abs() / mad))
+                })
+                .expect("active set is non-empty while k <= n - 2");
+            let r_stat = (resid[idx] - med).abs() / mad;
+            // generalized-ESD critical value λ_k with a normal-quantile
+            // kernel (the t-quantile with this many dof is within the MAD
+            // robustness slack)
+            let remaining = (n - k + 1) as f64;
+            let p = 1.0 - self.alpha / (2.0 * remaining);
+            let z = inv_norm_cdf(p);
+            let lambda =
+                (remaining - 1.0) * z / ((remaining - 2.0 + z * z).max(1e-9) * remaining).sqrt();
+            if r_stat > lambda {
+                last_significant = k;
+            }
+            removed.push(idx);
+            active.swap_remove(pos);
+        }
+        removed.truncate(last_significant);
+        Ok(removed)
+    }
+}
+
+impl Detector for ShEsd {
+    fn name(&self) -> &'static str {
+        crate::registry::display::SH_ESD
+    }
+
+    /// Robust z-score of the seasonal-hybrid residual. Fully unsupervised
+    /// (the train split is ignored), like the paper's Table-1 one-liners.
+    fn score(&self, ts: &TimeSeries, _train_len: usize) -> Result<Vec<f64>> {
+        let resid = self.residuals(ts.values())?;
+        let med = median_of(resid.clone());
+        let mad =
+            (median_of(resid.iter().map(|r| (r - med).abs()).collect()) * MAD_TO_SIGMA).max(1e-12);
+        Ok(resid.iter().map(|r| (r - med).abs() / mad).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::most_anomalous_point;
+
+    fn seasonal_series(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let phase = (i % period) as f64 / period as f64;
+                (phase * std::f64::consts::TAU).sin() * 3.0 + (i as f64 * 0.001)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inv_norm_matches_known_quantiles() {
+        assert!((inv_norm_cdf(0.5)).abs() < 1e-9);
+        assert!((inv_norm_cdf(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.025) + 1.959_964).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.999) - 3.090_232).abs() < 1e-4);
+    }
+
+    #[test]
+    fn seasonal_spike_beats_the_seasonal_swing() {
+        let mut x = seasonal_series(600, 24);
+        // smaller than the ±3 seasonal swing, huge against the residual
+        x[400] += 2.0;
+        let ts = TimeSeries::new("shesd", x).unwrap();
+        let det = ShEsd {
+            period: 24,
+            ..ShEsd::default()
+        };
+        assert_eq!(most_anomalous_point(&det, &ts, 0).unwrap(), 400);
+        let flagged = det.anomalies(ts.values()).unwrap();
+        assert_eq!(flagged.first(), Some(&400));
+    }
+
+    #[test]
+    fn auto_period_finds_the_same_spike() {
+        let mut x = seasonal_series(600, 24);
+        x[400] += 2.0;
+        let ts = TimeSeries::new("shesd-auto", x).unwrap();
+        assert_eq!(
+            most_anomalous_point(&ShEsd::default(), &ts, 0).unwrap(),
+            400
+        );
+    }
+
+    #[test]
+    fn clean_series_flags_nothing() {
+        let x = seasonal_series(480, 24);
+        let det = ShEsd {
+            period: 24,
+            ..ShEsd::default()
+        };
+        assert!(det.anomalies(&x).unwrap().is_empty());
+    }
+
+    #[test]
+    fn constant_and_tiny_series_do_not_panic() {
+        let det = ShEsd::default();
+        assert!(det.residuals(&[]).is_err());
+        let flat = vec![2.0; 50];
+        let s = det
+            .score(&TimeSeries::new("flat", flat.clone()).unwrap(), 0)
+            .unwrap();
+        assert!(s.iter().all(|v| v.is_finite()));
+        assert!(det.anomalies(&flat).unwrap().is_empty());
+        assert!(det.anomalies(&[1.0, 2.0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parameters_are_validated() {
+        let bad_alpha = ShEsd {
+            alpha: 1.5,
+            ..ShEsd::default()
+        };
+        assert!(bad_alpha.residuals(&[1.0; 32]).is_err());
+        let bad_frac = ShEsd {
+            max_frac: 0.9,
+            ..ShEsd::default()
+        };
+        assert!(bad_frac.residuals(&[1.0; 32]).is_err());
+    }
+}

@@ -21,7 +21,7 @@ use tsad_core::windows::subsequence_count;
 use crate::matrix_profile::exclusion_zone;
 
 /// HOT SAX parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct HotSaxConfig {
     /// SAX word length (PAA segments).
     pub word_length: usize,
@@ -114,6 +114,43 @@ pub fn hotsax_discord(x: &[f64], m: usize, config: &HotSaxConfig) -> Result<(usi
         });
     }
     Ok((best_loc, best_dist))
+}
+
+/// [`crate::Detector`] adapter over the HOT SAX discord search: zero
+/// everywhere except the winning discord window, which carries its
+/// nearest-neighbor distance.
+#[derive(Debug, Clone, Copy)]
+pub struct HotSaxDetector {
+    /// Discord subsequence length.
+    pub window: usize,
+    /// SAX discretization parameters.
+    pub config: HotSaxConfig,
+}
+
+impl HotSaxDetector {
+    /// Creates the detector with subsequence length `window` and default
+    /// SAX parameters.
+    pub fn new(window: usize) -> Self {
+        Self {
+            window,
+            config: HotSaxConfig::default(),
+        }
+    }
+}
+
+impl crate::Detector for HotSaxDetector {
+    fn name(&self) -> &'static str {
+        crate::registry::display::HOT_SAX
+    }
+    fn score(&self, ts: &tsad_core::TimeSeries, _train_len: usize) -> Result<Vec<f64>> {
+        let x = ts.values();
+        let (start, dist) = hotsax_discord(x, self.window, &self.config)?;
+        let mut out = vec![0.0; x.len()];
+        for o in out.iter_mut().skip(start).take(self.window) {
+            *o = dist;
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,281 @@
+//! Subsequence isolation forest — Liu, Ting & Zhou's isolation forest
+//! (ICDM 2008) applied to sliding-window shape features, the standard way
+//! to lift the point-outlier ensemble onto subsequence anomalies.
+//!
+//! Each window of length `m` is summarized by six cheap shape features
+//! (mean, standard deviation, min, max, net slope, mean absolute
+//! first-difference). Randomized binary trees then isolate feature
+//! vectors: anomalous windows sit in sparse regions of feature space and
+//! are isolated near the root, so their expected path length is short.
+//! The window score is the standard `2^(−E[h]/c(ψ))` normalization and
+//! per-point scores take the max over covering windows (the same
+//! convention the discord detectors use).
+//!
+//! Everything is driven by a seeded [`StdRng`], so a fixed
+//! `(window, trees, sample, seed)` quadruple gives bitwise-identical
+//! scores on every run and thread count — the determinism contract the
+//! registry property tests enforce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsad_core::error::{CoreError, Result};
+use tsad_core::TimeSeries;
+
+use crate::Detector;
+
+/// Number of shape features extracted per window.
+const N_FEATURES: usize = 6;
+
+/// Isolation forest over sliding-window shape features.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsequenceIsolationForest {
+    /// Subsequence length `m`.
+    pub window: usize,
+    /// Number of trees in the forest.
+    pub trees: usize,
+    /// Sub-sample size ψ per tree (capped at the window count).
+    pub sample: usize,
+    /// RNG seed; fixed seed ⇒ bitwise-identical scores.
+    pub seed: u64,
+}
+
+impl Default for SubsequenceIsolationForest {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            trees: 48,
+            sample: 128,
+            seed: 7,
+        }
+    }
+}
+
+enum Node {
+    Leaf {
+        size: usize,
+    },
+    Split {
+        dim: usize,
+        at: f64,
+        lo: Box<Node>,
+        hi: Box<Node>,
+    },
+}
+
+/// Average unsuccessful-search path length in a BST of `k` nodes — the
+/// `c(·)` normalizer from the isolation-forest paper.
+fn c_factor(k: usize) -> f64 {
+    if k <= 1 {
+        return 0.0;
+    }
+    let k = k as f64;
+    // harmonic number H(k−1) ≈ ln(k−1) + γ
+    2.0 * ((k - 1.0).ln() + 0.577_215_664_901_532_9) - 2.0 * (k - 1.0) / k
+}
+
+fn features(w: &[f64]) -> [f64; N_FEATURES] {
+    let m = w.len() as f64;
+    let mean = w.iter().sum::<f64>() / m;
+    let var = w.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / m;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in w {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let mut abs_diff = 0.0;
+    for pair in w.windows(2) {
+        abs_diff += (pair[1] - pair[0]).abs();
+    }
+    let steps = (w.len() - 1).max(1) as f64;
+    [
+        mean,
+        var.max(0.0).sqrt(),
+        lo,
+        hi,
+        w[w.len() - 1] - w[0],
+        abs_diff / steps,
+    ]
+}
+
+fn build_tree(
+    points: &[[f64; N_FEATURES]],
+    subset: &[usize],
+    depth: usize,
+    rng: &mut StdRng,
+) -> Node {
+    if subset.len() <= 1 || depth == 0 {
+        return Node::Leaf { size: subset.len() };
+    }
+    // pick a random dimension with actual spread; give up after one cycle
+    let start = rng.gen_range(0..N_FEATURES);
+    let mut split = None;
+    for k in 0..N_FEATURES {
+        let dim = (start + k) % N_FEATURES;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &i in subset.iter() {
+            lo = lo.min(points[i][dim]);
+            hi = hi.max(points[i][dim]);
+        }
+        if lo.is_finite() && hi.is_finite() && lo < hi {
+            split = Some((dim, lo, hi));
+            break;
+        }
+    }
+    let Some((dim, lo, hi)) = split else {
+        return Node::Leaf { size: subset.len() };
+    };
+    let at = rng.gen_range(lo..hi);
+    let mut left: Vec<usize> = Vec::new();
+    let mut right: Vec<usize> = Vec::new();
+    for &i in subset.iter() {
+        if points[i][dim] < at {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    if left.is_empty() || right.is_empty() {
+        return Node::Leaf { size: subset.len() };
+    }
+    Node::Split {
+        dim,
+        at,
+        lo: Box::new(build_tree(points, &left, depth - 1, rng)),
+        hi: Box::new(build_tree(points, &right, depth - 1, rng)),
+    }
+}
+
+fn path_length(mut node: &Node, p: &[f64; N_FEATURES]) -> f64 {
+    let mut depth = 0.0;
+    loop {
+        match node {
+            Node::Leaf { size } => return depth + c_factor(*size),
+            Node::Split { dim, at, lo, hi } => {
+                depth += 1.0;
+                node = if p[*dim] < *at { lo } else { hi };
+            }
+        }
+    }
+}
+
+impl Detector for SubsequenceIsolationForest {
+    fn name(&self) -> &'static str {
+        crate::registry::display::IFOREST
+    }
+
+    /// Unsupervised: the forest is grown over every window (train and
+    /// test alike), matching the original algorithm's transductive use.
+    fn score(&self, ts: &TimeSeries, _train_len: usize) -> Result<Vec<f64>> {
+        let x = ts.values();
+        let m = self.window;
+        if m < 2 || m > x.len() {
+            return Err(CoreError::BadWindow {
+                window: m,
+                len: x.len(),
+            });
+        }
+        if self.trees == 0 || self.sample < 2 {
+            return Err(CoreError::BadParameter {
+                name: "trees",
+                value: self.trees.min(self.sample) as f64,
+                expected: "trees >= 1 and sample >= 2",
+            });
+        }
+        let n_windows = x.len() - m + 1;
+        let points: Vec<[f64; N_FEATURES]> =
+            (0..n_windows).map(|i| features(&x[i..i + m])).collect();
+        let psi = self.sample.min(n_windows);
+        let depth_cap = (psi as f64).log2().ceil().max(1.0) as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut avg_path = vec![0.0f64; n_windows];
+        for _ in 0..self.trees {
+            let subset: Vec<usize> = (0..psi).map(|_| rng.gen_range(0..n_windows)).collect();
+            let tree = build_tree(&points, &subset, depth_cap, &mut rng);
+            for (i, p) in points.iter().enumerate() {
+                avg_path[i] += path_length(&tree, p);
+            }
+        }
+        let norm = c_factor(psi).max(1e-9);
+        let t = self.trees as f64;
+        let mut out = vec![0.0; x.len()];
+        for (i, path) in avg_path.iter().enumerate() {
+            let s = 2.0f64.powf(-(path / t) / norm);
+            for o in out.iter_mut().skip(i).take(m) {
+                if s > *o {
+                    *o = s;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::most_anomalous_point;
+
+    fn periodic_with_bump(n: usize, at: usize) -> TimeSeries {
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 25.0).sin())
+            .collect();
+        for v in x.iter_mut().skip(at).take(12) {
+            *v += 4.0;
+        }
+        TimeSeries::new("bump", x).unwrap()
+    }
+
+    #[test]
+    fn isolates_the_bump_window() {
+        let ts = periodic_with_bump(700, 500);
+        let det = SubsequenceIsolationForest::default();
+        let peak = most_anomalous_point(&det, &ts, 300).unwrap();
+        assert!(
+            (468..=544).contains(&peak),
+            "peak {peak} should be a window covering the bump"
+        );
+    }
+
+    #[test]
+    fn fixed_seed_is_bitwise_deterministic() {
+        let ts = periodic_with_bump(400, 300);
+        let det = SubsequenceIsolationForest::default();
+        assert_eq!(det.score(&ts, 0).unwrap(), det.score(&ts, 0).unwrap());
+        let other = SubsequenceIsolationForest {
+            seed: 99,
+            ..SubsequenceIsolationForest::default()
+        };
+        assert_ne!(det.score(&ts, 0).unwrap(), other.score(&ts, 0).unwrap());
+    }
+
+    #[test]
+    fn scores_are_in_the_unit_interval() {
+        let ts = periodic_with_bump(400, 300);
+        let s = SubsequenceIsolationForest::default().score(&ts, 0).unwrap();
+        assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected_or_safe() {
+        let det = SubsequenceIsolationForest::default();
+        let tiny = TimeSeries::new("tiny", vec![1.0; 8]).unwrap();
+        assert!(det.score(&tiny, 0).is_err()); // window > len
+        let flat = TimeSeries::new("flat", vec![2.0; 200]).unwrap();
+        // constant series: no dimension has spread, every tree is a leaf
+        let s = det.score(&flat, 0).unwrap();
+        assert!(s.iter().all(|v| v.is_finite()));
+        let bad = SubsequenceIsolationForest {
+            trees: 0,
+            ..SubsequenceIsolationForest::default()
+        };
+        assert!(bad.score(&flat, 0).is_err());
+    }
+
+    #[test]
+    fn c_factor_matches_the_paper_constants() {
+        assert_eq!(c_factor(1), 0.0);
+        // c(2) = 2·H(1) − 2·(1/2) = 2·1 − 1 ... with H via ln+γ approx
+        assert!((c_factor(2) - (2.0 * 0.577_215_664_901_532_9 - 1.0)).abs() < 1e-12);
+        assert!(c_factor(256) > c_factor(16));
+    }
+}

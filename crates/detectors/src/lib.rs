@@ -28,24 +28,38 @@
 //!   detectors.
 //! * [`baselines`] — the deliberately-dumb detectors the paper uses to make
 //!   its point (naive last-point for the run-to-failure flaw, global
-//!   z-score, moving-average residual, subsequence 1-NN, random).
+//!   z-score, moving-average residual, subsequence 1-NN, quantile/IQR,
+//!   random).
+//! * [`spot`] — streaming peaks-over-threshold with an EVT/GPD tail fit
+//!   (Siffer et al., KDD 2017).
+//! * [`esd`] — Twitter's seasonal-hybrid ESD on robust residuals.
+//! * [`iforest`] — isolation forest over sliding-window shape features.
 //!
 //! All detectors implement [`Detector`], which maps a series (with an
-//! optional train prefix) to a per-point anomaly score.
+//! optional train prefix) to a per-point anomaly score, and every one of
+//! them is listed in [`registry::DetectorRegistry`] — the single table
+//! that docs generation, the streaming factory, the fleet, and the
+//! catalog benchmark resolve from.
 
 pub mod baselines;
 pub mod cusum;
 pub mod discord;
 pub mod ensemble;
+pub mod esd;
 pub mod hotsax;
+pub mod iforest;
 pub mod matrix_profile;
 pub mod merlin;
 pub mod multivariate;
 pub mod oneliner;
+pub mod registry;
 pub mod seasonal;
 pub mod spectral;
+pub mod spot;
 pub mod telemanom;
 pub mod threshold;
+
+pub use registry::{DetectorRegistry, Params};
 
 use tsad_core::{Result, TimeSeries};
 
@@ -63,6 +77,18 @@ pub trait Detector {
 
     /// Per-point anomaly score, same length as `ts`.
     fn score(&self, ts: &TimeSeries, train_len: usize) -> Result<Vec<f64>>;
+}
+
+/// Boxed detectors are detectors, so registry-built
+/// `Box<dyn Detector + Send + Sync>` values slot into anything generic
+/// over `D: Detector` (ensembles, the streaming batch adapter).
+impl<D: Detector + ?Sized> Detector for Box<D> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn score(&self, ts: &TimeSeries, train_len: usize) -> Result<Vec<f64>> {
+        (**self).score(ts, train_len)
+    }
 }
 
 /// Location of the single most anomalous point according to a detector:

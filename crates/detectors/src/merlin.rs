@@ -363,6 +363,42 @@ pub fn merlin_top(x: &[f64], min_len: usize, max_len: usize) -> Result<Option<Le
     }))
 }
 
+/// [`crate::Detector`] adapter over the MERLIN length sweep: the series
+/// score is zero everywhere except the span of the best
+/// length-normalized discord, which carries its discord distance.
+#[derive(Debug, Clone, Copy)]
+pub struct MerlinDetector {
+    /// Smallest discord length to try.
+    pub min_len: usize,
+    /// Largest discord length to try (inclusive).
+    pub max_len: usize,
+}
+
+impl Default for MerlinDetector {
+    fn default() -> Self {
+        Self {
+            min_len: 8,
+            max_len: 64,
+        }
+    }
+}
+
+impl crate::Detector for MerlinDetector {
+    fn name(&self) -> &'static str {
+        crate::registry::display::MERLIN
+    }
+    fn score(&self, ts: &tsad_core::TimeSeries, _train_len: usize) -> Result<Vec<f64>> {
+        let x = ts.values();
+        let mut out = vec![0.0; x.len()];
+        if let Some(d) = merlin_top(x, self.min_len, self.max_len)? {
+            for o in out.iter_mut().skip(d.start).take(d.length) {
+                *o = d.distance;
+            }
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

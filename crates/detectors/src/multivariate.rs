@@ -98,10 +98,83 @@ pub fn score_multivariate(
     Ok(out)
 }
 
+/// OmniAnomaly-style reconstruction scorer (Su et al., KDD 2019, reduced
+/// to its decision rule): score each point by the negative log-likelihood
+/// of the observation under an online one-step predictive model, then
+/// aggregate channels by rank-normalized consensus.
+///
+/// The original uses a stochastic RNN's reconstruction density; this
+/// dependency-free stand-in keeps the *scoring pipeline* — per-channel
+/// predictive NLL, robust cross-channel aggregation — with an EWMA
+/// Gaussian as the predictive density. The model is causal (the density
+/// for `x[t]` only sees `x[..t]`), so the batch→streaming adapter changes
+/// nothing about its semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct OmniScorer {
+    /// EWMA smoothing factor for the predictive mean and variance.
+    pub alpha: f64,
+}
+
+impl Default for OmniScorer {
+    fn default() -> Self {
+        Self { alpha: 0.05 }
+    }
+}
+
+impl OmniScorer {
+    /// Per-point Gaussian negative log-likelihood of one channel under the
+    /// running EWMA predictive density.
+    pub fn channel_nll(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.is_empty() {
+            return Err(CoreError::EmptySeries);
+        }
+        if !(0.0 < self.alpha && self.alpha <= 1.0) {
+            return Err(CoreError::BadParameter {
+                name: "alpha",
+                value: self.alpha,
+                expected: "0 < alpha <= 1",
+            });
+        }
+        // warm-start the moments from a short prefix — a cold var of 1.0
+        // makes the log-variance term rank the entire warm-up region as
+        // the most anomalous part of the channel
+        let warm = &x[..x.len().min(32)];
+        let mut mu = warm.iter().sum::<f64>() / warm.len() as f64;
+        let mut var =
+            (warm.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / warm.len() as f64).max(1e-12);
+        let mut out = Vec::with_capacity(x.len());
+        for &v in x {
+            let var_safe = var.max(1e-12);
+            let e = v - mu;
+            out.push(0.5 * (std::f64::consts::TAU * var_safe).ln() + e * e / (2.0 * var_safe));
+            mu += self.alpha * e;
+            var = (1.0 - self.alpha) * var + self.alpha * e * e;
+        }
+        Ok(out)
+    }
+
+    /// Scores all channels of `series` and aggregates by rank-normalized
+    /// mean (OmniAnomaly sums channel likelihoods; after rank
+    /// normalization the sum and the mean rank identically).
+    pub fn score_multi(&self, series: &MultiSeries, train_len: usize) -> Result<Vec<f64>> {
+        score_multivariate(self, series, train_len, Aggregation::Mean)
+    }
+}
+
+impl Detector for OmniScorer {
+    fn name(&self) -> &'static str {
+        crate::registry::display::OMNI_NLL
+    }
+    fn score(&self, ts: &tsad_core::TimeSeries, _train_len: usize) -> Result<Vec<f64>> {
+        self.channel_nll(ts.values())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::baselines::{GlobalZScore, MovingAvgResidual};
+    use crate::most_anomalous_point;
 
     #[test]
     fn rank_normalize_properties() {
@@ -172,6 +245,34 @@ mod tests {
         let max_score = score_multivariate(&det, &series, 0, Aggregation::Max).unwrap();
         // with Max, the glitch is at least competitive with the incident
         assert!(max_score[300] >= 0.99, "{}", max_score[300]);
+    }
+
+    #[test]
+    fn omni_scorer_finds_the_smd_incident() {
+        let machine = tsad_synth::omni::smd_machine(42);
+        let region = machine.labels.regions()[0];
+        let score = OmniScorer::default()
+            .score_multi(&machine.series, 0)
+            .unwrap();
+        assert_eq!(score.len(), machine.series.len());
+        let peak = tsad_core::stats::argmax(&score).unwrap();
+        assert!(
+            region.dilate(30, score.len()).contains(peak),
+            "peak {peak} vs {region:?}"
+        );
+    }
+
+    #[test]
+    fn omni_univariate_nll_peaks_at_a_spike() {
+        let mut x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.1).sin() * 0.3).collect();
+        x[400] += 6.0;
+        let ts = tsad_core::TimeSeries::new("omni", x).unwrap();
+        let det = OmniScorer::default();
+        assert_eq!(most_anomalous_point(&det, &ts, 0).unwrap(), 400);
+        // deterministic + validated
+        assert_eq!(det.score(&ts, 0).unwrap(), det.score(&ts, 0).unwrap());
+        assert!(OmniScorer { alpha: 0.0 }.channel_nll(&[1.0]).is_err());
+        assert!(det.channel_nll(&[]).is_err());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Fleet × registry integration: a [`RegistryFactory`] built from any
+//! catalog id must host a fleet — spawn per-series detectors, score
+//! batches deterministically, and suspend/resume bitwise through the
+//! sharded checkpoint with the registry-derived name fingerprint guarding
+//! the envelope. This is the "one table" guarantee of the registry: the
+//! same id that drives the batch experiments drives a million-series
+//! fleet.
+
+use tsad_detectors::registry::Params;
+use tsad_fleet::{BatchOutput, Fleet, FleetConfig, SeriesId};
+use tsad_stream::{RegistryFactory, StreamHints};
+
+fn hints() -> StreamHints {
+    StreamHints {
+        train_len: 16,
+        horizon: 48,
+    }
+}
+
+fn fleet(id: &str, shards: usize) -> Fleet<RegistryFactory> {
+    Fleet::new(
+        RegistryFactory::new(id, Params::new(), hints()).unwrap(),
+        FleetConfig {
+            shards,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+fn value(id: u64, step: u64) -> f64 {
+    let mut x = id
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add(step.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    x ^= x >> 33;
+    (x % 1000) as f64 / 10.0
+}
+
+fn workload(series: u64, batches: u64) -> Vec<Vec<(SeriesId, f64)>> {
+    (0..batches)
+        .map(|t| (0..series).map(|id| (SeriesId(id), value(id, t))).collect())
+        .collect()
+}
+
+fn drive(fleet: &mut Fleet<RegistryFactory>, batches: &[Vec<(SeriesId, f64)>]) -> Vec<u64> {
+    let mut out = BatchOutput::new();
+    let mut log = Vec::new();
+    for batch in batches {
+        fleet.push_batch(batch, &mut out);
+        log.extend(out.scores.iter().map(|s| s.score.to_bits()));
+    }
+    log
+}
+
+/// A cheap native port, an adapted quadratic detector, and the new SPOT
+/// port: one representative per spawn path (running every catalog entry
+/// through a fleet is the smoke job's work, not a unit test's).
+const REPRESENTATIVE_IDS: [&str; 3] = ["cusum", "iqr-baseline", "spot"];
+
+#[test]
+fn registry_factories_host_fleets_and_suspend_resume_bitwise() {
+    for id in REPRESENTATIVE_IDS {
+        // long enough that even the adapted entry (chunk geometry
+        // every=96) emits scores on both sides of the checkpoint
+        let batches = workload(16, 240);
+        let (first, second) = batches.split_at(120);
+
+        let mut reference = fleet(id, 4);
+        drive(&mut reference, first);
+        let tail_ref = drive(&mut reference, second);
+        assert!(!tail_ref.is_empty(), "{id}: fleet emitted nothing");
+
+        let mut a = fleet(id, 4);
+        drive(&mut a, first);
+        let ckpt = a.checkpoint();
+        let mut b = fleet(id, 4);
+        b.restore(&ckpt)
+            .unwrap_or_else(|e| panic!("{id}: restore failed: {e}"));
+        assert_eq!(tail_ref, drive(&mut b, second), "{id}: resume diverged");
+    }
+}
+
+#[test]
+fn fleets_refuse_checkpoints_from_a_different_catalog_entry() {
+    let batches = workload(8, 24);
+    let mut a = fleet("cusum", 2);
+    drive(&mut a, &batches);
+    let ckpt = a.checkpoint();
+    let mut other = fleet("spot", 2);
+    let err = other
+        .restore(&ckpt)
+        .expect_err("cross-entry fleet restore must fail");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+}
+
+#[test]
+fn spawned_detectors_are_identical_across_series_ids() {
+    use tsad_stream::{DetectorFactory, StreamingDetector};
+    let factory = RegistryFactory::new("moving-avg-residual", Params::new(), hints()).unwrap();
+    let xs: Vec<f64> = (0..200).map(|i| value(3, i)).collect();
+    let mut a = factory.spawn(0);
+    let mut b = factory.spawn(u64::MAX);
+    assert_eq!(a.score_stream(&xs), b.score_stream(&xs));
+    assert_eq!(factory.fingerprint(), a.name());
+}

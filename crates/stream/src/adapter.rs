@@ -78,7 +78,8 @@ impl<D: Detector> BatchAdapter<D> {
 impl<D: Detector> StreamingDetector for BatchAdapter<D> {
     fn name(&self) -> String {
         format!(
-            "batch-adapter({}, window={}, every={})",
+            "{}({}, window={}, every={})",
+            tsad_detectors::registry::display::BATCH_ADAPTER,
             self.detector.name(),
             self.window,
             self.every

@@ -69,7 +69,13 @@ impl StreamingGlobalZScore {
 
 impl StreamingDetector for StreamingGlobalZScore {
     fn name(&self) -> String {
-        format!("global z-score (stream, train={})", self.train_len)
+        // the registry display const is the fingerprint prefix: renames
+        // propagate to TSCK fingerprints from one place
+        format!(
+            "{} (stream, train={})",
+            tsad_detectors::registry::display::GLOBAL_ZSCORE,
+            self.train_len
+        )
     }
 
     fn push(&mut self, x: f64) -> Option<f64> {
@@ -207,7 +213,11 @@ impl StreamingCusum {
 
 impl StreamingDetector for StreamingCusum {
     fn name(&self) -> String {
-        format!("CUSUM (stream, train={})", self.train_len)
+        format!(
+            "{} (stream, train={})",
+            tsad_detectors::registry::display::CUSUM,
+            self.train_len
+        )
     }
 
     fn push(&mut self, x: f64) -> Option<f64> {
@@ -324,7 +334,11 @@ impl StreamingMovingAvgResidual {
 
 impl StreamingDetector for StreamingMovingAvgResidual {
     fn name(&self) -> String {
-        format!("moving-average residual (stream, k={})", self.window)
+        format!(
+            "{} (stream, k={})",
+            tsad_detectors::registry::display::MOVING_AVG_RESIDUAL,
+            self.window
+        )
     }
 
     fn push(&mut self, x: f64) -> Option<f64> {

@@ -196,8 +196,10 @@ impl StreamingDetector for StreamingLeftDiscord {
             ProfileMetric::Euclidean => "euclid",
         };
         format!(
-            "left discord (stream, m={}, {metric}, horizon={})",
-            self.m, self.horizon
+            "{} (stream, m={}, {metric}, horizon={})",
+            tsad_detectors::registry::display::LEFT_DISCORD,
+            self.m,
+            self.horizon
         )
     }
 

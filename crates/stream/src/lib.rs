@@ -43,8 +43,10 @@ pub mod discord;
 pub mod equivalence;
 pub mod factory;
 pub mod oneliner;
+pub mod registry;
 pub mod replay;
 pub mod sanitize;
+pub mod spot;
 
 pub use adapter::BatchAdapter;
 pub use checkpoint::{checkpoint, restore, CKPT_MAGIC, CKPT_VERSION};
@@ -53,8 +55,10 @@ pub use discord::StreamingLeftDiscord;
 pub use equivalence::{check_equivalence, EquivalenceMode, EquivalenceReport};
 pub use factory::{DetectorFactory, FnFactory};
 pub use oneliner::StreamingOneLiner;
+pub use registry::{RegistryFactory, StreamHints, StreamRegistry};
 pub use replay::{replay, replay_many, ReplayConfig, ReplayJob, ReplayOutcome};
 pub use sanitize::{NanPolicy, Sanitized};
+pub use spot::StreamingSpot;
 
 use tsad_core::ckpt::{CkptReader, CkptWriter};
 use tsad_core::error::Result;

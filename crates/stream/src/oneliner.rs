@@ -488,7 +488,11 @@ impl StreamingOneLiner {
 
 impl StreamingDetector for StreamingOneLiner {
     fn name(&self) -> String {
-        format!("one-liner (stream): {}", self.name)
+        format!(
+            "{} (stream): {}",
+            tsad_detectors::registry::display::ONE_LINER,
+            self.name
+        )
     }
 
     fn push(&mut self, x: f64) -> Option<f64> {

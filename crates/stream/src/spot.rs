@@ -1,0 +1,260 @@
+//! Native streaming port of the SPOT/EVT tail detector.
+//!
+//! SPOT is *born* streaming (Siffer et al. run it one point at a time), so
+//! the port is the thin part: buffer the `train_len` calibration prefix,
+//! hand it to [`SpotState::calibrate`], score the prefix retroactively
+//! with the frozen initial state, then score-and-update every subsequent
+//! push — the exact sequence `tsad_detectors::spot::Spot::run` executes,
+//! driving the *same* state machine. The equivalence is therefore bitwise
+//! by construction and machine-checked in this module's tests.
+
+use std::collections::VecDeque;
+
+use tsad_core::ckpt::{corrupt, CkptReader, CkptWriter};
+use tsad_core::error::Result;
+use tsad_detectors::registry::display;
+use tsad_detectors::spot::{Spot, SpotState, TailState};
+
+use crate::StreamingDetector;
+
+/// Streaming SPOT: calibrates on the first `train_len` pushes, then O(1)
+/// per point.
+#[derive(Debug, Clone)]
+pub struct StreamingSpot {
+    params: Spot,
+    train_len: usize,
+    prefix: Vec<f64>,
+    state: Option<SpotState>,
+    ready: VecDeque<f64>,
+}
+
+impl StreamingSpot {
+    /// Creates the detector; the tail fit freezes its initial thresholds
+    /// after `train_len` pushes (must satisfy the batch calibration
+    /// minimum). Parameter validation matches [`SpotState::calibrate`] and
+    /// happens eagerly by calibrating on a probe prefix.
+    pub fn new(params: Spot, train_len: usize) -> Result<Self> {
+        // validate level/risk/train_len now rather than at push #train_len:
+        // a synthetic ramp prefix exercises the same checks calibrate runs
+        if train_len < tsad_detectors::spot::MIN_CALIBRATION {
+            return Err(tsad_core::CoreError::BadWindow {
+                window: tsad_detectors::spot::MIN_CALIBRATION,
+                len: train_len,
+            });
+        }
+        let probe: Vec<f64> = (0..train_len.min(64)).map(|i| i as f64).collect();
+        SpotState::calibrate(&probe, params.level, params.risk)?;
+        Ok(Self {
+            params,
+            train_len,
+            prefix: Vec::with_capacity(train_len),
+            state: None,
+            ready: VecDeque::new(),
+        })
+    }
+}
+
+fn save_tail(w: &mut CkptWriter, t: &TailState) {
+    w.f64(t.t);
+    w.u64(t.n_excess);
+    w.f64(t.sum);
+    w.f64(t.sum_sq);
+    w.f64(t.zq);
+}
+
+fn load_tail(r: &mut CkptReader<'_>) -> Result<TailState> {
+    Ok(TailState {
+        t: r.f64()?,
+        n_excess: r.u64()?,
+        sum: r.f64()?,
+        sum_sq: r.f64()?,
+        zq: r.f64()?,
+    })
+}
+
+impl StreamingDetector for StreamingSpot {
+    fn name(&self) -> String {
+        format!(
+            "{} (stream, train={}, level={}, risk={})",
+            display::SPOT,
+            self.train_len,
+            self.params.level,
+            self.params.risk
+        )
+    }
+
+    fn push(&mut self, x: f64) -> Option<f64> {
+        match &mut self.state {
+            None => {
+                self.prefix.push(x);
+                if self.prefix.len() == self.train_len {
+                    // infallible: constructor pre-validated level/risk and
+                    // the prefix length equals train_len >= MIN_CALIBRATION
+                    let state =
+                        SpotState::calibrate(&self.prefix, self.params.level, self.params.risk)
+                            .expect("parameters validated at construction");
+                    for &v in &self.prefix {
+                        self.ready.push_back(state.score(v));
+                    }
+                    self.prefix = Vec::new();
+                    self.state = Some(state);
+                }
+            }
+            Some(state) => {
+                self.ready.push_back(state.score(x));
+                state.update(x);
+            }
+        }
+        self.ready.pop_front()
+    }
+
+    fn finish(&mut self) -> Vec<f64> {
+        // a stream shorter than train_len never calibrates: emit nothing,
+        // exactly like the other prefix-calibrated ports
+        self.ready.drain(..).collect()
+    }
+
+    fn reset(&mut self) {
+        self.prefix.clear();
+        self.state = None;
+        self.ready.clear();
+    }
+
+    fn lag(&self) -> usize {
+        self.train_len - 1
+    }
+
+    fn memory_bound(&self) -> usize {
+        // prefix + backlog + the two 5-field tails + bookkeeping
+        2 * self.train_len + 16
+    }
+
+    fn save_state(&self, w: &mut CkptWriter) {
+        w.f64_seq(self.prefix.len(), self.prefix.iter().copied());
+        match &self.state {
+            Some(s) => {
+                w.bool(true);
+                w.u64(s.seen);
+                save_tail(w, &s.up);
+                save_tail(w, &s.down);
+            }
+            None => w.bool(false),
+        }
+        w.f64_seq(self.ready.len(), self.ready.iter().copied());
+    }
+
+    fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<()> {
+        self.prefix = r.f64_vec()?;
+        if self.prefix.len() > self.train_len {
+            return Err(corrupt(format!(
+                "SPOT prefix holds {} samples but train_len is {}",
+                self.prefix.len(),
+                self.train_len
+            )));
+        }
+        self.state = if r.bool()? {
+            Some(SpotState {
+                risk: self.params.risk,
+                seen: r.u64()?,
+                up: load_tail(r)?,
+                down: load_tail(r)?,
+            })
+        } else {
+            None
+        };
+        self.ready = r.f64_vec()?.into();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsad_core::TimeSeries;
+    use tsad_detectors::Detector;
+
+    fn series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let noise = (((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64
+                    / (1u64 << 24) as f64)
+                    - 0.5;
+                let spike = if i == 3 * n / 4 { 7.0 } else { 0.0 };
+                (i as f64 * 0.07).sin() * 0.4 + noise + spike
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spot_stream_is_bitwise_batch() {
+        let xs = series(600);
+        let ts = TimeSeries::from_values(xs.clone()).unwrap();
+        let params = Spot::default();
+        let batch = params.score(&ts, 150).unwrap();
+        let mut det = StreamingSpot::new(params, 150).unwrap();
+        let got = det.score_stream(&xs);
+        assert_eq!(batch.len(), got.len());
+        for (i, (a, b)) in batch.iter().zip(&got).enumerate() {
+            assert!(a.to_bits() == b.to_bits(), "i={i}: {a} vs {b}");
+        }
+        det.reset();
+        assert_eq!(got, det.score_stream(&xs));
+    }
+
+    #[test]
+    fn constructor_validates_eagerly() {
+        assert!(StreamingSpot::new(Spot::default(), 4).is_err());
+        assert!(StreamingSpot::new(
+            Spot {
+                level: 0.2,
+                risk: 1e-3
+            },
+            100
+        )
+        .is_err());
+        assert!(StreamingSpot::new(
+            Spot {
+                level: 0.98,
+                risk: 0.9
+            },
+            100
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn checkpoint_mid_stream_resumes_bitwise() {
+        let xs = series(500);
+        let mut full = StreamingSpot::new(Spot::default(), 100).unwrap();
+        let full_scores = full.score_stream(&xs);
+
+        for cut in [50usize, 100, 250] {
+            let mut a = StreamingSpot::new(Spot::default(), 100).unwrap();
+            let mut head: Vec<f64> = xs[..cut].iter().filter_map(|&v| a.push(v)).collect();
+            let blob = crate::checkpoint(&a);
+            let mut b = StreamingSpot::new(Spot::default(), 100).unwrap();
+            crate::restore(&mut b, &blob).unwrap();
+            head.extend(xs[cut..].iter().filter_map(|&v| b.push(v)));
+            head.extend(b.finish());
+            assert_eq!(full_scores, head, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn short_stream_emits_nothing() {
+        let mut det = StreamingSpot::new(Spot::default(), 100).unwrap();
+        assert_eq!(det.score_stream(&[1.0, 2.0, 3.0]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn name_carries_the_configuration_fingerprint() {
+        let det = StreamingSpot::new(Spot::default(), 64).unwrap();
+        let name = det.name();
+        assert!(name.starts_with(display::SPOT), "{name}");
+        assert!(name.contains("train=64"), "{name}");
+        assert!(
+            name.contains("level=0.98") && name.contains("risk=0.001"),
+            "{name}"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Hostile-telemetry sweep over the whole detector catalog: every
+//! registry entry's streaming form is fed every standard fault profile
+//! (dropouts, NaN bursts, ±∞ spikes, stuck-at plateaus, clock skew
+//! artifacts — whatever `tsad-faults` ships) and must neither panic nor
+//! break the length contract. Catalog membership implies fault-suite
+//! membership: the loop is over `StreamRegistry`, so new detectors are
+//! conscripted automatically.
+
+use tsad_detectors::registry::Params;
+use tsad_faults::standard_profiles;
+use tsad_stream::{checkpoint, restore, StreamHints, StreamRegistry, StreamingDetector};
+
+fn base_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let noise = (((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64
+                / (1u64 << 24) as f64)
+                - 0.5;
+            (i as f64 * 0.04).sin() * 2.0 + 0.4 * noise
+        })
+        .collect()
+}
+
+fn hints() -> StreamHints {
+    StreamHints {
+        train_len: 48,
+        horizon: 80,
+    }
+}
+
+#[test]
+fn every_entry_survives_every_standard_fault_profile() {
+    let reg = StreamRegistry::standard();
+    let base = base_series(400);
+    for (p_idx, profile) in standard_profiles().iter().enumerate() {
+        let (xs, _report) = profile.inject(&base, 0xC0FF_EE00 + p_idx as u64);
+        for entry in reg.catalog().entries() {
+            let mut det = reg.build(entry.id, &Params::new(), &hints()).unwrap();
+            let out = det.score_stream(&xs);
+            assert_eq!(
+                out.len(),
+                xs.len() - det.score_offset().min(xs.len()),
+                "{} × {}: length contract",
+                entry.id,
+                profile.name
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_checkpoints_resume_bitwise_for_every_entry() {
+    // resume equivalence must hold even when the checkpointed state was
+    // built from corrupted telemetry
+    let reg = StreamRegistry::standard();
+    let base = base_series(300);
+    for profile in standard_profiles() {
+        let (xs, _report) = profile.inject(&base, 0xBAD_5EED);
+        let cut = xs.len() / 2;
+        for entry in reg.catalog().entries() {
+            let mut full = reg.build(entry.id, &Params::new(), &hints()).unwrap();
+            let want = full.score_stream(&xs);
+
+            let mut warm = reg.build(entry.id, &Params::new(), &hints()).unwrap();
+            let mut got: Vec<f64> = xs[..cut].iter().filter_map(|&v| warm.push(v)).collect();
+            let blob = checkpoint(&warm);
+            let mut resumed = reg.build(entry.id, &Params::new(), &hints()).unwrap();
+            restore(&mut resumed, &blob)
+                .unwrap_or_else(|e| panic!("{} × {}: {e}", entry.id, profile.name));
+            got.extend(xs[cut..].iter().filter_map(|&v| resumed.push(v)));
+            got.extend(resumed.finish());
+
+            assert_eq!(want.len(), got.len(), "{} × {}", entry.id, profile.name);
+            for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} × {}: diverges at {i}",
+                    entry.id,
+                    profile.name
+                );
+            }
+        }
+    }
+}
