@@ -60,6 +60,9 @@ const EXPERIMENTS: &[&str] = &[
     "loadgen",
     "ingest-json",
     "ingest-compare",
+    "wal",
+    "wal-json",
+    "wal-compare",
     "write-archive",
 ];
 
@@ -82,6 +85,8 @@ fn usage() -> String {
          --fleet-baseline PATH  fleet-compare: the committed baseline (default BENCH_fleet.json)\n\
          --ingest-out PATH      where ingest-json writes its document (default BENCH_ingest.json)\n\
          --ingest-baseline PATH ingest-compare: the committed baseline (default BENCH_ingest.json)\n\
+         --wal-out PATH         where wal-json writes its document (default BENCH_wal.json)\n\
+         --wal-baseline PATH    wal-compare: the committed baseline (default BENCH_wal.json)\n\
          --addr HOST:PORT  loadgen: drive an already-running server (default: self-hosted on 127.0.0.1:0)\n\
          --series N        loadgen: series-id space (default 10000)\n\
          --rps N           loadgen: target requests/second, 0 = unpaced (default 0)\n\
@@ -111,6 +116,8 @@ struct Options {
     fleet_baseline: String,
     ingest_out: String,
     ingest_baseline: String,
+    wal_out: String,
+    wal_baseline: String,
     loadgen: ingest_bench::LoadGenCli,
 }
 
@@ -132,6 +139,8 @@ impl Default for Options {
             fleet_baseline: "BENCH_fleet.json".to_string(),
             ingest_out: "BENCH_ingest.json".to_string(),
             ingest_baseline: "BENCH_ingest.json".to_string(),
+            wal_out: "BENCH_wal.json".to_string(),
+            wal_baseline: "BENCH_wal.json".to_string(),
             loadgen: ingest_bench::LoadGenCli::default(),
         }
     }
@@ -344,6 +353,30 @@ fn run_one(name: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>>
                 }
             }
         }
+        "wal" => print!(
+            "{}",
+            wal_bench::render(&wal_bench::run(seed, &wal_bench::WalBenchConfig::ci())?)
+        ),
+        "wal-json" => {
+            let b = wal_bench::run(seed, &wal_bench::WalBenchConfig::ci())?;
+            let json = wal_bench::render_json(&b);
+            std::fs::write(&opts.wal_out, &json)?;
+            println!("wrote {} ({} policies):", opts.wal_out, b.rows.len());
+            print!("{}", wal_bench::render(&b));
+        }
+        "wal-compare" => {
+            let fresh = opts
+                .fresh
+                .as_deref()
+                .ok_or_else(|| format!("wal-compare needs --fresh PATH\n{}", usage()))?;
+            match bench_compare::run_wal_files(&opts.wal_baseline, fresh) {
+                Ok(table) => print!("{table}"),
+                Err(table) => {
+                    print!("{table}");
+                    return Err("wal-compare gate failed".into());
+                }
+            }
+        }
         "bench-compare" => {
             let fresh = opts
                 .fresh
@@ -434,6 +467,12 @@ fn parse_options(args: &mut Vec<String>) -> Result<Options, String> {
     if let Some(v) = take_value_flag(args, "--ingest-baseline")? {
         opts.ingest_baseline = v;
     }
+    if let Some(v) = take_value_flag(args, "--wal-out")? {
+        opts.wal_out = v;
+    }
+    if let Some(v) = take_value_flag(args, "--wal-baseline")? {
+        opts.wal_baseline = v;
+    }
     opts.loadgen.addr = take_value_flag(args, "--addr")?;
     if let Some(v) = take_value_flag(args, "--series")? {
         opts.loadgen.cfg.series = v.parse().map_err(|e| format!("bad series: {e}"))?;
@@ -494,6 +533,9 @@ fn main() -> ExitCode {
                         | "loadgen"
                         | "ingest-json"
                         | "ingest-compare"
+                        | "wal"
+                        | "wal-json"
+                        | "wal-compare"
                 )
             })
             .map(|s| s.to_string())

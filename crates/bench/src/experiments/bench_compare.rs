@@ -554,6 +554,142 @@ pub fn run_ingest_files(baseline_path: &str, fresh_path: &str) -> Result<String,
     }
 }
 
+// ─── wal gate (BENCH_wal.json, schema tsad-bench-wal/v1) ────────────────
+
+struct WalPolicyNumbers {
+    policy: String,
+    wall_ns: Option<u64>,
+    allocs: Option<u64>,
+}
+
+fn extract_wal_policies(doc_name: &str, doc: &JsonValue) -> Result<Vec<WalPolicyNumbers>, String> {
+    let rows = doc
+        .get("policies")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("{doc_name}: missing \"policies\" array"))?;
+    rows.iter()
+        .map(|r| {
+            let policy = r
+                .get("policy")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{doc_name}: policy row without a name"))?
+                .to_string();
+            Ok(WalPolicyNumbers {
+                wall_ns: r.get("wall_ns_per_batch").and_then(JsonValue::as_u64),
+                allocs: r.get("allocs_per_batch").and_then(JsonValue::as_u64),
+                policy,
+            })
+        })
+        .collect()
+}
+
+/// Compares two `BENCH_wal.json` documents.
+///
+/// Gated: schema equality, workload-geometry equality
+/// (`batches`/`batch_points`/`segment_bytes`), append wall time relatively
+/// for the **fsync-free** policy only (the `per-batch` and `group` rows
+/// are dominated by fsync latency, which is a property of the CI runner's
+/// disk, not of the code — their ratios are informational),
+/// `allocs_per_batch` exactly to zero for every policy, and the recovery
+/// booleans absolutely: a fresh run whose torn-tail recovery is not
+/// bitwise-faithful fails regardless of what the baseline says.
+pub fn compare_wal(baseline: &str, fresh: &str, max_ratio: f64) -> Result<CompareReport, String> {
+    let (base_doc, new_doc) =
+        parse_same_schema(baseline, fresh, "tsad-bench-wal/", "repro -- wal-json")?;
+    let mut report = CompareReport::default();
+
+    let geometry = |doc: &JsonValue| {
+        (
+            doc.get("batches").and_then(JsonValue::as_u64),
+            doc.get("batch_points").and_then(JsonValue::as_u64),
+            doc.get("segment_bytes").and_then(JsonValue::as_u64),
+        )
+    };
+    if geometry(&base_doc) != geometry(&new_doc) {
+        report.failures.push(format!(
+            "wal geometry changed: baseline {:?} batches/batch_points/segment_bytes, \
+             fresh {:?} (regenerate the committed baseline)",
+            geometry(&base_doc),
+            geometry(&new_doc)
+        ));
+    }
+
+    let base = extract_wal_policies("baseline", &base_doc)?;
+    let new = extract_wal_policies("fresh", &new_doc)?;
+    for b in &base {
+        let f = new.iter().find(|p| p.policy == b.policy);
+        let name = format!("wal_append_{}", b.policy);
+        let mut row = CompareRow {
+            name: name.clone(),
+            base_ns: b.wall_ns,
+            fresh_ns: f.and_then(|p| p.wall_ns),
+            ratio: None,
+            base_allocs: b.allocs,
+            fresh_allocs: f.and_then(|p| p.allocs),
+        };
+        let Some(f) = f else {
+            report.failures.push(format!(
+                "{name}: present in baseline but missing from fresh run"
+            ));
+            report.rows.push(row);
+            continue;
+        };
+        if b.policy == "off" {
+            row.ratio = gate_wall_ratio(&mut report, &name, b.wall_ns, f.wall_ns, max_ratio);
+        } else if let (Some(bn), Some(fn_)) = (b.wall_ns, f.wall_ns) {
+            // fsync-bound rows: the ratio is runner-disk news, not a gate
+            if bn > 0 {
+                row.ratio = Some(fn_ as f64 / bn as f64);
+            }
+        }
+        gate_exact_zero_allocs(&mut report, &name, "allocs_per_batch", b.allocs, f.allocs);
+        report.rows.push(row);
+    }
+
+    let recovery = new_doc
+        .get("recovery")
+        .ok_or_else(|| "fresh: missing \"recovery\" object".to_string())?;
+    for (field, label) in [
+        ("bitwise", "recovered state not bitwise-equal"),
+        ("torn_tail_truncated", "torn tail not repaired"),
+    ] {
+        match recovery.get(field).and_then(JsonValue::as_bool) {
+            Some(true) => {}
+            Some(false) => report
+                .failures
+                .push(format!("wal recovery: {label} ({field} is false)")),
+            None => report
+                .failures
+                .push(format!("wal recovery: {field} missing from fresh run")),
+        }
+    }
+    match recovery.get("replayed_batches").and_then(JsonValue::as_u64) {
+        Some(n) if n > 0 => report.notes.push(format!(
+            "wal recovery: replayed {n} batches past a torn tail"
+        )),
+        _ => report
+            .failures
+            .push("wal recovery: fresh run replayed zero batches".to_string()),
+    }
+    Ok(report)
+}
+
+/// Reads both WAL documents and runs the gate; `Err` for
+/// unreadable/malformed inputs or a failed gate.
+pub fn run_wal_files(baseline_path: &str, fresh_path: &str) -> Result<String, String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read wal baseline {baseline_path}: {e}"))?;
+    let fresh = std::fs::read_to_string(fresh_path)
+        .map_err(|e| format!("cannot read fresh wal run {fresh_path}: {e}"))?;
+    let report = compare_wal(&baseline, &fresh, MAX_WALL_RATIO)?;
+    let table = render(&report);
+    if report.passed() {
+        Ok(table)
+    } else {
+        Err(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1011,6 +1147,135 @@ mod tests {
         use crate::experiments::ingest_bench::{render_json, run, IngestBenchConfig};
         let rendered = render_json(&run(42, &IngestBenchConfig::smoke()).unwrap());
         let report = compare_ingest(&rendered, &rendered).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+    }
+
+    // ─── wal gate ───────────────────────────────────────────────────────
+
+    fn wal_doc(off_ns: u64, off_allocs: &str, bitwise: &str, torn: &str) -> String {
+        format!(
+            r#"{{
+  "schema": "tsad-bench-wal/v1",
+  "seed": 42,
+  "batches": 2000,
+  "batch_points": 64,
+  "segment_bytes": 1048576,
+  "policies": [
+    {{"policy": "per-batch", "wall_ns_per_batch": 2000000, "points_per_sec": 32000, "fsyncs": 2001, "bytes_written": 3000000, "allocs_per_batch": 0}},
+    {{"policy": "group", "wall_ns_per_batch": 400000, "points_per_sec": 160000, "fsyncs": 251, "bytes_written": 3000000, "allocs_per_batch": 0}},
+    {{"policy": "off", "wall_ns_per_batch": {off_ns}, "points_per_sec": 8000000, "fsyncs": 3, "bytes_written": 3000000, "allocs_per_batch": {off_allocs}}}
+  ],
+  "recovery": {{"bitwise": {bitwise}, "replayed_batches": 41, "truncated_bytes": 7, "torn_tail_truncated": {torn}}}
+}}"#
+        )
+    }
+
+    #[test]
+    fn identical_wal_documents_pass() {
+        let doc = wal_doc(8000, "0", "true", "true");
+        let report = compare_wal(&doc, &doc, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.rows.len(), 3);
+        assert!(render(&report).contains("wal_append_off"));
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("replayed 41 batches")));
+    }
+
+    #[test]
+    fn wal_wall_gate_applies_to_the_fsync_free_policy_only() {
+        let base = wal_doc(8000, "0", "true", "true");
+        // 2x on the off row fails
+        let report =
+            compare_wal(&base, &wal_doc(16000, "0", "true", "true"), MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("wal_append_off") && f.contains("2.00x")));
+        // 2x on the fsync-bound rows is informational: runner disks vary
+        let slow_fsync = base
+            .replace(
+                "\"wall_ns_per_batch\": 2000000",
+                "\"wall_ns_per_batch\": 4000000",
+            )
+            .replace(
+                "\"wall_ns_per_batch\": 400000",
+                "\"wall_ns_per_batch\": 800000",
+            );
+        let report = compare_wal(&base, &slow_fsync, MAX_WALL_RATIO).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn wal_alloc_gate_is_exact_per_policy() {
+        let base = wal_doc(8000, "0", "true", "true");
+        for bad in ["1", "null"] {
+            let report =
+                compare_wal(&base, &wal_doc(8000, bad, "true", "true"), MAX_WALL_RATIO).unwrap();
+            assert!(!report.passed(), "allocs {bad} passed");
+            assert!(report
+                .failures
+                .iter()
+                .any(|f| f.contains("allocs_per_batch")));
+        }
+    }
+
+    #[test]
+    fn wal_recovery_contracts_are_absolute() {
+        let base = wal_doc(8000, "0", "true", "true");
+        // a baseline that also carries bitwise=false does not excuse it
+        let bad = wal_doc(8000, "0", "false", "true");
+        let report = compare_wal(&bad, &bad, MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("bitwise")));
+        let report =
+            compare_wal(&base, &wal_doc(8000, "0", "true", "false"), MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("torn tail not repaired")));
+        // zero replayed batches means the harness never exercised recovery
+        let hollow = base.replace("\"replayed_batches\": 41", "\"replayed_batches\": 0");
+        let report = compare_wal(&base, &hollow, MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("zero batches")));
+    }
+
+    #[test]
+    fn wal_geometry_change_and_schema_drift_are_caught() {
+        let base = wal_doc(8000, "0", "true", "true");
+        let rescaled = base.replace("\"batches\": 2000", "\"batches\": 100");
+        let report = compare_wal(&base, &rescaled, MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("geometry")));
+        let v2 = base.replace("tsad-bench-wal/v1", "tsad-bench-wal/v2");
+        let err = compare_wal(&base, &v2, MAX_WALL_RATIO).unwrap_err();
+        assert!(err.contains("wal-json"), "no fix hint in: {err}");
+    }
+
+    #[test]
+    fn wal_missing_policy_fails_the_gate() {
+        let base = wal_doc(8000, "0", "true", "true");
+        let gone = base.replace(
+            "{\"policy\": \"group\", \"wall_ns_per_batch\": 400000, \"points_per_sec\": 160000, \"fsyncs\": 251, \"bytes_written\": 3000000, \"allocs_per_batch\": 0},\n",
+            "",
+        );
+        let report = compare_wal(&base, &gone, MAX_WALL_RATIO).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("wal_append_group") && f.contains("missing")));
+    }
+
+    #[test]
+    fn a_real_wal_run_compares_clean_against_itself() {
+        use crate::experiments::wal_bench::{render_json, run, WalBenchConfig};
+        let rendered = render_json(&run(42, &WalBenchConfig::smoke()).unwrap());
+        let report = compare_wal(&rendered, &rendered, MAX_WALL_RATIO).unwrap();
         assert!(report.passed(), "failures: {:?}", report.failures);
     }
 }

@@ -241,7 +241,7 @@ pub fn render_loadgen(transport: Transport, r: &LoadReport) -> String {
     format!(
         "loadgen {}: {:.0} req/s, {:.0} points/s\n  \
          latency p50 {} ns, p95 {} ns, p99 {} ns, max {} ns\n  \
-         {} ok, {} retried, {} errors in {:.2}s\n",
+         {} ok, {} retried, {} backoff resends, {} errors in {:.2}s\n",
         transport.name(),
         r.rps(),
         r.points_per_sec(),
@@ -251,6 +251,7 @@ pub fn render_loadgen(transport: Transport, r: &LoadReport) -> String {
         r.max_ns,
         r.requests,
         r.retried,
+        r.retries,
         r.errors,
         r.elapsed_ns as f64 / 1e9
     )
@@ -444,13 +445,15 @@ pub fn render(b: &IngestBench) -> String {
     for (transport, r) in &b.loadgen {
         let _ = writeln!(
             out,
-            "  loadgen {:<5} {:>8.0} req/s  {:>12.0} pts/s  p99 {} ns  ({} ok, {} retried, {} errors)",
+            "  loadgen {:<5} {:>8.0} req/s  {:>12.0} pts/s  p99 {} ns  \
+             ({} ok, {} retried, {} resends, {} errors)",
             transport.name(),
             r.rps(),
             r.points_per_sec(),
             r.p99_ns,
             r.requests,
             r.retried,
+            r.retries,
             r.errors
         );
     }
@@ -524,12 +527,13 @@ pub fn render_json(b: &IngestBench) -> String {
     for (i, (transport, r)) in b.loadgen.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"transport\": \"{}\", \"requests\": {}, \"retried\": {}, \"errors\": {}, \
-             \"points\": {}, \"rps\": {}, \"points_per_sec\": {}, \"p50_ns\": {}, \
+            "    {{\"transport\": \"{}\", \"requests\": {}, \"retried\": {}, \"retries\": {}, \
+             \"errors\": {}, \"points\": {}, \"rps\": {}, \"points_per_sec\": {}, \"p50_ns\": {}, \
              \"p99_ns\": {}, \"max_ns\": {}}}{}",
             transport.name(),
             r.requests,
             r.retried,
+            r.retries,
             r.errors,
             r.points,
             r.rps().round() as u64,

@@ -53,6 +53,7 @@ pub mod experiments {
     pub mod taxi;
     pub mod triviality_all;
     pub mod ucr_figs;
+    pub mod wal_bench;
 }
 
 /// The default seed used by the `repro` binary; every experiment is

@@ -1,0 +1,168 @@
+//! Durability-path gates for `tsad-wal`, run with a counting allocator
+//! installed in *this* binary (like `repro` does):
+//!
+//! * a warm WAL append against real files allocates **zero** heap memory
+//!   per batch, with observability ON;
+//! * disabling observability (the thread-scoped [`tsad_obs::with_enabled`])
+//!   keeps the append path allocation-free and leaves the log bytes
+//!   **bitwise identical** — the kill switch changes cost, never what
+//!   reaches the disk;
+//! * after appends, the global metric registry carries the `wal.*`
+//!   family, so `repro --obs-summary` includes the durability path.
+
+#[global_allocator]
+static ALLOC: tsad_bench::alloc_track::CountingAlloc = tsad_bench::alloc_track::CountingAlloc;
+
+use tsad_bench::alloc_track::{count_allocs, counting_allocator_active};
+use tsad_wal::{FsDir, FsyncPolicy, MemDir, Wal, WalConfig, WalDir};
+
+/// A unique scratch directory under the system temp dir, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let n = NONCE.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "tsad-wal-gates-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        std::fs::create_dir_all(&path).expect("scratch dir");
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Deterministic finite value for (id, round).
+fn value(id: u64, round: u64) -> f64 {
+    let mut x = id
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(round.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    x ^= x >> 31;
+    (x % 4000) as f64 / 100.0 - 20.0
+}
+
+const POINTS: u64 = 32;
+
+fn batch(round: u64) -> Vec<(u64, f64)> {
+    (0..POINTS)
+        .map(|i| {
+            let id = (round * POINTS + i) % 256;
+            (id, value(id, round))
+        })
+        .collect()
+}
+
+/// A WAL on real files with a segment big enough that the counted window
+/// never rotates (rotation opens a file, which allocates by design).
+fn warm_wal(tag: &str, policy: FsyncPolicy) -> (TempDir, Wal<FsDir>) {
+    let tmp = TempDir::new(tag);
+    let dir = FsDir::open(&tmp.0).expect("open scratch dir");
+    let cfg = WalConfig {
+        segment_bytes: 64 << 20,
+        policy,
+        ..WalConfig::new("wal-gates-zscore-w4")
+    };
+    let mut wal = Wal::create(dir, cfg).expect("create wal");
+    // warm: scratch buffers grow to their high-water mark
+    for round in 0..16 {
+        let b = batch(round);
+        wal.append(b.iter().copied()).expect("warm append");
+    }
+    (tmp, wal)
+}
+
+fn assert_zero_alloc_warm(tag: &str, policy: FsyncPolicy) {
+    assert!(
+        counting_allocator_active(),
+        "this test binary must install CountingAlloc"
+    );
+    let (_tmp, mut wal) = warm_wal(tag, policy.clone());
+    let batches: Vec<Vec<(u64, f64)>> = (16..64).map(batch).collect();
+    let allocs = count_allocs(|| {
+        for b in &batches {
+            wal.append(b.iter().copied()).expect("counted append");
+        }
+    });
+    assert_eq!(
+        allocs,
+        0,
+        "warm append path allocated ({} batches, {policy:?})",
+        batches.len()
+    );
+}
+
+#[test]
+fn warm_append_is_allocation_free_with_obs_on() {
+    assert_zero_alloc_warm("on-per-batch", FsyncPolicy::PerBatch);
+    assert_zero_alloc_warm("on-off", FsyncPolicy::Off);
+}
+
+#[test]
+fn warm_append_is_allocation_free_with_obs_off() {
+    tsad_obs::with_enabled(false, || {
+        assert_zero_alloc_warm("off-per-batch", FsyncPolicy::PerBatch);
+        assert_zero_alloc_warm("off-off", FsyncPolicy::Off);
+    });
+}
+
+#[test]
+fn obs_kill_switch_never_changes_the_log_bytes() {
+    // identical appends into two in-memory logs, one with recording off:
+    // every segment byte must match.
+    let write_all = || {
+        let dir = MemDir::new();
+        let cfg = WalConfig {
+            segment_bytes: 2048,
+            ..WalConfig::new("wal-gates-zscore-w4")
+        };
+        let mut wal = Wal::create(dir.clone(), cfg).expect("create");
+        for round in 0..32 {
+            let b = batch(round);
+            wal.append(b.iter().copied()).expect("append");
+        }
+        wal.flush().expect("flush");
+        drop(wal);
+        dir
+    };
+    let dir_on = write_all();
+    let dir_off = tsad_obs::with_enabled(false, write_all);
+
+    let mut names = dir_on.survivor().list().expect("list");
+    names.sort();
+    let mut names_off = dir_off.survivor().list().expect("list");
+    names_off.sort();
+    assert_eq!(names, names_off, "segment sets differ");
+    assert!(!names.is_empty());
+    for name in &names {
+        assert_eq!(
+            dir_on.survivor().file(name),
+            dir_off.survivor().file(name),
+            "{name} differs with observability disabled"
+        );
+    }
+}
+
+#[test]
+fn obs_registry_carries_the_wal_family_after_appends() {
+    let (_tmp, mut wal) = warm_wal("obs-family", FsyncPolicy::PerBatch);
+    for round in 16..24 {
+        let b = batch(round);
+        wal.append(b.iter().copied()).expect("append");
+    }
+    let summary = tsad_obs::render_summary(&tsad_obs::snapshot());
+    for metric in ["wal.append_ns", "wal.fsync_ns"] {
+        assert!(
+            summary.contains(metric),
+            "summary missing {metric}:\n{summary}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Crash injection for storage writers: the kill-at-any-byte shim.
+//!
+//! A durability claim ("no ACKed batch is ever lost, no partial batch is
+//! ever applied") is only as good as the crash model it was tested under.
+//! The weakest useful model — and the one real `kill -9` delivers — is
+//! *the process dies between any two bytes reaching the disk*. This module
+//! provides [`CrashFuse`], a shared byte-budget that a storage shim (see
+//! `tsad-wal`'s `MemDir`) consults on every write: the first `budget`
+//! bytes are admitted, the write that crosses the budget is **torn** (only
+//! its admitted prefix is applied) and fails, and every subsequent
+//! operation fails too — the process is dead.
+//!
+//! Running the same workload once per byte offset of its recorded write
+//! trace ("kill at byte 0, kill at byte 1, …") makes the crash matrix
+//! exhaustive rather than sampled; the workloads in
+//! `crates/faults/tests/wal_crash.rs` are sized so the full sweep stays in
+//! CI budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a [`CrashFuse`] said about one write attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admitted {
+    /// How many leading bytes of the write may be applied.
+    pub allowed: usize,
+    /// Whether the fuse tripped on (or before) this write. When `true`
+    /// the caller must apply only `allowed` bytes and fail the operation.
+    pub crashed: bool,
+}
+
+/// A shared, thread-safe byte budget modeling a crash at an exact byte
+/// offset of a write trace.
+///
+/// The fuse is monotone: once tripped it stays tripped (`u64::MAX`
+/// budget never trips and models a healthy process). All methods use
+/// relaxed-ordering atomics; the fuse carries no other state.
+#[derive(Debug)]
+pub struct CrashFuse {
+    remaining: AtomicU64,
+}
+
+impl CrashFuse {
+    /// A fuse that kills the writer after exactly `budget` admitted bytes.
+    pub fn new(budget: u64) -> Self {
+        Self {
+            remaining: AtomicU64::new(budget),
+        }
+    }
+
+    /// A fuse that never trips (healthy process).
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Asks to write `want` bytes. Returns how many may be applied and
+    /// whether the process just died. A `want` of zero on a live fuse is
+    /// admitted without consuming budget.
+    pub fn admit(&self, want: usize) -> Admitted {
+        let want64 = want as u64;
+        let mut cur = self.remaining.load(Ordering::Relaxed);
+        loop {
+            let take = cur.min(want64);
+            match self.remaining.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Admitted {
+                        allowed: take as usize,
+                        crashed: take < want64 || cur == take,
+                    }
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Whether the budget is exhausted (every further operation fails).
+    pub fn tripped(&self) -> bool {
+        self.remaining.load(Ordering::Relaxed) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_fuse_never_trips() {
+        let fuse = CrashFuse::unlimited();
+        for _ in 0..1000 {
+            let a = fuse.admit(1 << 20);
+            assert_eq!(a.allowed, 1 << 20);
+            assert!(!a.crashed);
+        }
+        assert!(!fuse.tripped());
+    }
+
+    #[test]
+    fn fuse_tears_the_crossing_write_and_stays_dead() {
+        let fuse = CrashFuse::new(10);
+        let a = fuse.admit(4);
+        assert_eq!((a.allowed, a.crashed), (4, false));
+        // this write crosses the budget: 6 remain, 8 wanted
+        let a = fuse.admit(8);
+        assert_eq!((a.allowed, a.crashed), (6, true));
+        assert!(fuse.tripped());
+        // dead is dead: nothing more is admitted
+        let a = fuse.admit(1);
+        assert_eq!((a.allowed, a.crashed), (0, true));
+        let a = fuse.admit(0);
+        assert_eq!((a.allowed, a.crashed), (0, true));
+    }
+
+    #[test]
+    fn exact_budget_write_is_applied_then_the_next_one_dies() {
+        // budget == write size: the write lands whole, but the fuse is
+        // exhausted, so the *operation* still reports the crash (the
+        // bytes are on disk; the ACK never happens).
+        let fuse = CrashFuse::new(8);
+        let a = fuse.admit(8);
+        assert_eq!((a.allowed, a.crashed), (8, true));
+        assert!(fuse.tripped());
+    }
+
+    #[test]
+    fn zero_want_on_a_live_fuse_is_free() {
+        let fuse = CrashFuse::new(5);
+        let a = fuse.admit(0);
+        assert_eq!((a.allowed, a.crashed), (0, false));
+        assert_eq!(fuse.admit(5).allowed, 5);
+    }
+
+    #[test]
+    fn every_byte_offset_of_a_trace_is_reachable() {
+        // sweeping budgets 0..=total over a fixed write trace hits every
+        // possible torn prefix exactly once
+        let trace = [3usize, 7, 1, 12];
+        let total: usize = trace.iter().sum();
+        for k in 0..=total {
+            let fuse = CrashFuse::new(k as u64);
+            let mut applied = 0usize;
+            for &w in &trace {
+                let a = fuse.admit(w);
+                applied += a.allowed;
+                if a.crashed {
+                    break;
+                }
+            }
+            assert_eq!(applied, k.min(total), "budget {k}");
+        }
+    }
+}

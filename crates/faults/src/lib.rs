@@ -24,6 +24,10 @@
 //! * **Dependency-free.** Usable from any crate (including `no_std`-ish
 //!   contexts) without dragging in the detector stack.
 
+pub mod crash;
+
+pub use crash::{Admitted, CrashFuse};
+
 use std::fmt;
 
 /// SplitMix64: tiny, high-quality 64-bit generator (public domain

@@ -1,0 +1,258 @@
+//! The kill-at-any-byte crash matrix.
+//!
+//! A workload appends deterministic batches to a WAL over the in-memory
+//! storage shim, once per possible crash point: for **every byte offset
+//! `k` of the recorded write trace**, a fresh run is killed after exactly
+//! `k` admitted bytes ([`CrashFuse`]), the survivor recovers, replays
+//! into a fleet, and the result must be **bitwise identical** (fleet
+//! checkpoint bytes) to an uncrashed run over some prefix of the
+//! batches. The durability side of the contract is policy-dependent:
+//!
+//! * every policy: recovered state is a *complete-batch prefix* — no
+//!   crash point may ever apply a partial batch;
+//! * `PerBatch`: the prefix includes every batch whose append was ACKed
+//!   before the crash (an ACK is a durability promise);
+//! * checkpoints: crash anywhere inside `store_checkpoint` leaves a
+//!   recoverable log, and checkpoint + WAL-tail replay equals full-log
+//!   replay.
+//!
+//! The workloads are sized so the exhaustive sweep (one full
+//! crash-recover-replay cycle per trace byte, ~1-2 thousand of them)
+//! stays well inside the CI budget.
+
+use std::sync::Arc;
+
+use tsad_faults::{CrashFuse, SplitMix64};
+use tsad_fleet::{BatchOutput, Fleet, FleetConfig, SeriesId};
+use tsad_stream::{DetectorFactory, FnFactory, StreamingGlobalZScore};
+use tsad_wal::{recover, FsyncPolicy, MemDir, Wal, WalConfig};
+
+type TestFactory = FnFactory<fn(u64) -> StreamingGlobalZScore>;
+
+fn spawn_detector(_id: u64) -> StreamingGlobalZScore {
+    StreamingGlobalZScore::new(4).expect("window >= 2")
+}
+
+fn factory() -> TestFactory {
+    FnFactory(spawn_detector as fn(u64) -> StreamingGlobalZScore)
+}
+
+fn new_fleet() -> Fleet<TestFactory> {
+    Fleet::new(
+        factory(),
+        FleetConfig {
+            shards: 4,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+const BATCHES: u64 = 10;
+const POINTS: usize = 6;
+
+/// Deterministic workload batches (values include negatives and repeats
+/// so detector state actually moves).
+fn batches() -> Vec<Vec<(u64, f64)>> {
+    let mut rng = SplitMix64::new(0x57a1_5eed);
+    (0..BATCHES)
+        .map(|_| {
+            (0..POINTS as u64)
+                .map(|i| (i % 7, rng.next_f64() * 4.0 - 2.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn wal_cfg() -> WalConfig {
+    WalConfig {
+        // tiny segments: the trace crosses several seal + header writes,
+        // so crashes land inside those too
+        segment_bytes: 320,
+        ..WalConfig::new(factory().fingerprint())
+    }
+}
+
+/// Fleet checkpoint bytes after feeding the first `j` batches — the
+/// bitwise reference the crashed-and-recovered state must match.
+fn reference_states(all: &[Vec<(u64, f64)>]) -> Vec<Vec<u8>> {
+    let mut refs = Vec::with_capacity(all.len() + 1);
+    let mut fleet = new_fleet();
+    let mut out = BatchOutput::new();
+    refs.push(fleet.checkpoint().to_bytes());
+    for batch in all {
+        let converted: Vec<(SeriesId, f64)> =
+            batch.iter().map(|&(id, v)| (SeriesId(id), v)).collect();
+        fleet.push_batch(&converted, &mut out);
+        refs.push(fleet.checkpoint().to_bytes());
+    }
+    refs
+}
+
+/// Runs the workload until the fuse kills it. Returns how many appends
+/// were ACKed (`Ok` from `append`) and at which batch indices
+/// `store_checkpoint` succeeded.
+fn run_workload(
+    dir: MemDir,
+    cfg: WalConfig,
+    all: &[Vec<(u64, f64)>],
+    refs: &[Vec<u8>],
+    ckpt_after: &[u64],
+) -> u64 {
+    let Ok(mut wal) = Wal::create(dir, cfg) else {
+        return 0; // killed during creation: nothing was ever ACKed
+    };
+    let mut acked = 0u64;
+    for (i, batch) in all.iter().enumerate() {
+        match wal.append(batch.iter().copied()) {
+            Ok(_) => acked += 1,
+            Err(_) => return acked,
+        }
+        let seq = i as u64 + 1;
+        if ckpt_after.contains(&seq) && wal.store_checkpoint(seq, &refs[seq as usize]).is_err() {
+            return acked;
+        }
+    }
+    acked
+}
+
+/// Recovers the survivor and replays into a fresh fleet; returns
+/// `(batches_in_final_state, state_bytes)`.
+fn recover_and_replay(dir: &MemDir, cfg: &WalConfig) -> (u64, Vec<u8>) {
+    let rec = recover(dir, cfg).unwrap_or_else(|e| panic!("crash damage must recover: {e}"));
+    let mut fleet = new_fleet();
+    let base = match &rec.checkpoint {
+        Some((seq, bytes)) => {
+            let ckpt = tsad_fleet::FleetCheckpoint::from_bytes(bytes).expect("valid checkpoint");
+            fleet.restore(&ckpt).expect("restore from own checkpoint");
+            *seq
+        }
+        None => 0,
+    };
+    let mut out = BatchOutput::new();
+    for (i, b) in rec.batches.iter().enumerate() {
+        assert_eq!(b.seq, base + i as u64 + 1, "replay must be contiguous");
+        let converted: Vec<(SeriesId, f64)> =
+            b.points.iter().map(|&(id, v)| (SeriesId(id), v)).collect();
+        fleet.push_batch(&converted, &mut out);
+    }
+    (
+        base + rec.batches.len() as u64,
+        fleet.checkpoint().to_bytes(),
+    )
+}
+
+/// Total bytes the uncrashed workload writes (the trace length).
+fn trace_bytes(
+    cfg: &WalConfig,
+    all: &[Vec<(u64, f64)>],
+    refs: &[Vec<u8>],
+    ckpt_after: &[u64],
+) -> u64 {
+    let dir = MemDir::new();
+    let acked = run_workload(dir.clone(), cfg.clone(), all, refs, ckpt_after);
+    assert_eq!(acked, all.len() as u64, "uncrashed run must ACK everything");
+    dir.total_bytes()
+}
+
+fn crash_matrix(policy: FsyncPolicy, ckpt_after: &[u64], acks_are_durable: bool) {
+    let all = batches();
+    let refs = reference_states(&all);
+    let cfg = WalConfig {
+        policy,
+        ..wal_cfg()
+    };
+    let total = trace_bytes(&cfg, &all, &refs, ckpt_after);
+    assert!(total > 500, "trace unexpectedly small: {total}");
+
+    for k in 0..=total {
+        let dir = MemDir::with_fuse(Arc::new(CrashFuse::new(k)));
+        let acked = run_workload(dir.clone(), cfg.clone(), &all, &refs, ckpt_after);
+        let survivor = dir.survivor();
+        let (recovered, state) = recover_and_replay(&survivor, &cfg);
+
+        // 1. completeness: the state is byte-identical to an uncrashed
+        //    run over the first `recovered` batches — no partial batch,
+        //    no reordering, no silent skip
+        assert_eq!(
+            state, refs[recovered as usize],
+            "kill at byte {k}/{total}: recovered state diverges from the \
+             uncrashed reference over {recovered} batches"
+        );
+        // 2. the prefix never exceeds what was appended
+        assert!(
+            recovered <= all.len() as u64,
+            "kill at byte {k}: recovered {recovered} of {} batches",
+            all.len()
+        );
+        // 3. durability: with per-batch fsync every ACK survives
+        if acks_are_durable {
+            assert!(
+                recovered >= acked,
+                "kill at byte {k}: ACKed {acked} batches but recovered only {recovered}"
+            );
+        }
+
+        // 4. recovery is idempotent: a second scan of the repaired log
+        //    reaches the same state
+        let (again, state2) = recover_and_replay(&survivor, &cfg);
+        assert_eq!((again, &state2), (recovered, &state), "kill at byte {k}");
+    }
+}
+
+#[test]
+fn kill_at_every_byte_per_batch_fsync() {
+    crash_matrix(FsyncPolicy::PerBatch, &[], true);
+}
+
+#[test]
+fn kill_at_every_byte_with_checkpoints() {
+    // checkpoints after batches 4 and 8: the sweep crashes inside
+    // checkpoint writes, marker cleanup, and segment truncation too
+    crash_matrix(FsyncPolicy::PerBatch, &[4, 8], true);
+}
+
+#[test]
+fn kill_at_every_byte_fsync_off_still_yields_bitwise_prefixes() {
+    // with fsync off an ACK is not a durability promise (that is the
+    // documented trade), but recovery must still land on a bitwise
+    // complete-batch prefix at every crash point
+    crash_matrix(FsyncPolicy::Off, &[], false);
+}
+
+#[test]
+fn kill_at_every_byte_group_commit() {
+    crash_matrix(
+        FsyncPolicy::GroupCommit {
+            batches: 3,
+            max_pending_micros: u64::MAX,
+        },
+        &[],
+        false,
+    );
+}
+
+#[test]
+fn checkpoint_plus_tail_replay_equals_full_log_replay() {
+    // the uncrashed equivalence: same workload recorded twice, one log
+    // checkpointed mid-stream and truncated, one not — both recoveries
+    // must land on the same bitwise state as the direct run
+    let all = batches();
+    let refs = reference_states(&all);
+    let cfg = wal_cfg();
+
+    let plain = MemDir::new();
+    run_workload(plain.clone(), cfg.clone(), &all, &refs, &[]);
+    let ckpted = MemDir::new();
+    run_workload(ckpted.clone(), cfg.clone(), &all, &refs, &[5]);
+    assert!(
+        ckpted.total_bytes() != plain.total_bytes(),
+        "checkpointing should have truncated covered segments"
+    );
+
+    let (n1, s1) = recover_and_replay(&plain, &cfg);
+    let (n2, s2) = recover_and_replay(&ckpted, &cfg);
+    assert_eq!(n1, all.len() as u64);
+    assert_eq!(n2, all.len() as u64);
+    assert_eq!(s1, refs[all.len()], "full-log replay diverged");
+    assert_eq!(s2, refs[all.len()], "checkpoint + tail replay diverged");
+}

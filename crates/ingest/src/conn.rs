@@ -24,7 +24,7 @@ use std::time::Instant;
 use tsad_fleet::{BatchOutput, SeriesId};
 use tsad_stream::DetectorFactory;
 
-use crate::engine::{Engine, SubmitError, SubmitTiming};
+use crate::engine::{BatchLog, Engine, SubmitError, SubmitTiming};
 use crate::frame::{
     self, FrameError, FRAME_MAGIC, HEADER_LEN, T_ACK, T_ERROR, T_INGEST, T_PING, T_PONG, T_QUERY,
     T_QUERY_RESP, T_RETRY, T_SCORE, T_SCORES, T_SNAPSHOT, T_SNAP_RESP,
@@ -115,10 +115,11 @@ impl Conn {
     /// Feeds bytes from the peer and processes every complete request in
     /// the buffer (pipelining works). Responses accumulate in
     /// [`Conn::output`].
-    pub fn feed<F>(&mut self, bytes: &[u8], engine: &Engine<F>)
+    pub fn feed<F, L>(&mut self, bytes: &[u8], engine: &Engine<F, L>)
     where
         F: DetectorFactory,
         F::Detector: Sync,
+        L: BatchLog,
     {
         if self.closing {
             return; // a closing connection reads nothing more
@@ -175,10 +176,11 @@ impl Conn {
 
     /// Tries to process one HTTP request from the buffer. Returns true
     /// when it consumed input (try again for pipelined requests).
-    fn step_http<F>(&mut self, engine: &Engine<F>) -> bool
+    fn step_http<F, L>(&mut self, engine: &Engine<F, L>) -> bool
     where
         F: DetectorFactory,
         F::Detector: Sync,
+        L: BatchLog,
     {
         if self.in_buf.is_empty() {
             return false;
@@ -254,6 +256,13 @@ impl Conn {
                     Err(SubmitError::TooLarge) => {
                         status_err = Some((413, "Payload Too Large", "batch exceeds max points"))
                     }
+                    Err(SubmitError::Internal) => {
+                        status_err = Some((
+                            500,
+                            "Internal Server Error",
+                            "durability failure, batch not applied",
+                        ))
+                    }
                 }
             }
             (other, Ok(())) => {
@@ -282,8 +291,9 @@ impl Conn {
         let t_respond = obs.then(Instant::now);
         match status_err {
             Some((status, reason, detail)) => {
-                // Parse/body errors close; semantic refusals keep alive.
-                let ka = keep_alive && status != 400 && status != 413;
+                // Parse/body errors and durability failures close;
+                // semantic refusals keep alive.
+                let ka = keep_alive && status != 400 && status != 413 && status != 500;
                 self.http_error_keep(status, reason, detail, ka, status == 503);
                 if status != 503 {
                     INGEST_ERRORS.inc(); // 503 is backpressure, not an error
@@ -444,10 +454,11 @@ impl Conn {
 
     /// Tries to process one binary frame from the buffer. Returns true
     /// when it consumed input.
-    fn step_binary<F>(&mut self, engine: &Engine<F>) -> bool
+    fn step_binary<F, L>(&mut self, engine: &Engine<F, L>) -> bool
     where
         F: DetectorFactory,
         F::Detector: Sync,
+        L: BatchLog,
     {
         if self.in_buf.is_empty() {
             return false;
@@ -515,11 +526,13 @@ impl Conn {
         let mut timing = SubmitTiming::default();
         let mut busy = false;
         let mut too_large = false;
+        let mut internal = false;
         if matches!(header.ftype, T_INGEST | T_SCORE) {
             match engine.submit(&self.batch, &mut self.bout, &mut timing) {
                 Ok(()) => {}
                 Err(SubmitError::Busy) => busy = true,
                 Err(SubmitError::TooLarge) => too_large = true,
+                Err(SubmitError::Internal) => internal = true,
             }
         }
 
@@ -528,6 +541,8 @@ impl Conn {
             frame::write_frame(&mut self.out, T_RETRY, &[]);
         } else if too_large {
             self.binary_error_no_count(413, "batch exceeds max points");
+        } else if internal {
+            self.binary_error_no_count(500, "durability failure, batch not applied");
         } else {
             match header.ftype {
                 T_INGEST => {
@@ -572,7 +587,7 @@ impl Conn {
             }
         }
         self.finish_request(obs, parse_ns, 0, &timing, t_respond);
-        if too_large {
+        if too_large || internal {
             INGEST_ERRORS.inc();
         }
         true

@@ -58,6 +58,11 @@ pub enum SubmitError {
     Busy,
     /// The batch exceeds `max_batch_points`.
     TooLarge,
+    /// The durability hook ([`BatchLog::append`]) failed. The batch was
+    /// **not** applied: a batch the log did not accept must never move
+    /// detector state, or replay-after-crash would diverge from what
+    /// clients were told.
+    Internal,
 }
 
 /// Monotonic totals since engine construction (independent of the
@@ -78,6 +83,8 @@ pub struct EngineTotals {
     pub evicted: u64,
     /// Submits refused by backpressure.
     pub rejected: u64,
+    /// Submits aborted because the durability hook failed.
+    pub wal_errors: u64,
 }
 
 #[derive(Debug, Default)]
@@ -89,6 +96,7 @@ struct Stats {
     quarantined: AtomicU64,
     evicted: AtomicU64,
     rejected: AtomicU64,
+    wal_errors: AtomicU64,
 }
 
 /// Per-submit stage timings, in nanoseconds (zero when observability is
@@ -101,23 +109,60 @@ pub struct SubmitTiming {
     pub push_ns: u64,
 }
 
+/// Durability hook the engine drives under the fleet lock, *before* the
+/// batch touches detectors (log-then-apply). An `Err` aborts the submit
+/// with [`SubmitError::Internal`], so the fleet never holds state a
+/// post-crash replay could not reproduce. `Mutex<tsad_wal::Wal<_>>`
+/// implements it (see [`crate::durable`]); the default [`NoLog`] keeps
+/// the non-durable serving path zero-cost.
+pub trait BatchLog: Send + Sync {
+    /// Appends one batch; returns its log sequence number.
+    fn append(&self, batch: &[(SeriesId, f64)]) -> std::io::Result<u64>;
+}
+
+/// The default hook: no durability, every append is a free no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoLog;
+
+impl BatchLog for NoLog {
+    #[inline]
+    fn append(&self, _batch: &[(SeriesId, f64)]) -> std::io::Result<u64> {
+        Ok(0)
+    }
+}
+
 /// Shared, bounded access to one fleet. See the module docs.
-pub struct Engine<F: DetectorFactory> {
+pub struct Engine<F: DetectorFactory, L: BatchLog = NoLog> {
     cfg: EngineConfig,
     fleet: Mutex<Fleet<F>>,
+    log: L,
     inflight: AtomicUsize,
     stats: Stats,
 }
 
 impl<F: DetectorFactory> Engine<F> {
-    /// Wraps a fleet for serving.
+    /// Wraps a fleet for serving, without durability.
     pub fn new(fleet: Fleet<F>, cfg: EngineConfig) -> Self {
+        Self::with_log(fleet, cfg, NoLog)
+    }
+}
+
+impl<F: DetectorFactory, L: BatchLog> Engine<F, L> {
+    /// Wraps a fleet for serving with a durability hook: every admitted
+    /// batch is appended to `log` before it is applied.
+    pub fn with_log(fleet: Fleet<F>, cfg: EngineConfig, log: L) -> Self {
         Self {
             cfg,
             fleet: Mutex::new(fleet),
+            log,
             inflight: AtomicUsize::new(0),
             stats: Stats::default(),
         }
+    }
+
+    /// The durability hook.
+    pub fn log(&self) -> &L {
+        &self.log
     }
 
     /// The engine's configuration.
@@ -135,6 +180,7 @@ impl<F: DetectorFactory> Engine<F> {
             quarantined: self.stats.quarantined.load(Ordering::Relaxed),
             evicted: self.stats.evicted.load(Ordering::Relaxed),
             rejected: self.stats.rejected.load(Ordering::Relaxed),
+            wal_errors: self.stats.wal_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -171,6 +217,15 @@ impl<F: DetectorFactory> Engine<F> {
         let t_push = obs.then(Instant::now);
         {
             let mut fleet = self.fleet.lock().unwrap_or_else(|e| e.into_inner());
+            // Log-then-apply, both under the fleet lock: the WAL sequence
+            // and the fleet's batch counter advance in lockstep, so a
+            // checkpoint taken under the same lock names a WAL position.
+            if self.log.append(batch).is_err() {
+                drop(fleet);
+                self.inflight.fetch_sub(n, Ordering::AcqRel);
+                self.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Internal);
+            }
             with_threads(self.cfg.fleet_threads, || fleet.push_batch(batch, out));
         }
         self.inflight.fetch_sub(n, Ordering::AcqRel);
@@ -314,6 +369,45 @@ mod tests {
         assert_eq!(e.totals().rejected, 1);
         // the permit was returned: an empty batch still goes through
         assert_eq!(e.submit(&[], &mut out, &mut t), Ok(()));
+    }
+
+    #[test]
+    fn a_failing_log_aborts_the_submit_and_returns_the_permit() {
+        struct FailLog;
+        impl BatchLog for FailLog {
+            fn append(&self, _batch: &[(SeriesId, f64)]) -> std::io::Result<u64> {
+                Err(std::io::Error::other("disk gone"))
+            }
+        }
+        fn spawn(_id: u64) -> StreamingGlobalZScore {
+            StreamingGlobalZScore::new(2).unwrap()
+        }
+        let e = Engine::with_log(
+            Fleet::new(
+                FnFactory(spawn as fn(u64) -> StreamingGlobalZScore),
+                FleetConfig::default(),
+            ),
+            EngineConfig {
+                max_inflight_points: 1,
+                ..EngineConfig::default()
+            },
+            FailLog,
+        );
+        let mut out = BatchOutput::new();
+        let mut t = SubmitTiming::default();
+        for _ in 0..3 {
+            // Internal (not Busy) every time: the permit came back, and
+            // the batch never reached the fleet
+            assert_eq!(
+                e.submit(&[(SeriesId(1), 1.0)], &mut out, &mut t),
+                Err(SubmitError::Internal)
+            );
+        }
+        let totals = e.totals();
+        assert_eq!(totals.batches, 0);
+        assert_eq!(totals.points, 0);
+        assert_eq!(totals.wal_errors, 3);
+        assert!(!e.query(SeriesId(1)).0, "un-logged batch must not apply");
     }
 
     #[test]

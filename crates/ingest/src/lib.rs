@@ -70,6 +70,7 @@
 //! ```
 
 pub mod conn;
+pub mod durable;
 pub mod engine;
 pub mod frame;
 pub mod http;
@@ -77,7 +78,10 @@ pub mod loadgen;
 pub mod server;
 
 pub use conn::{Conn, ConnConfig};
-pub use engine::{Engine, EngineConfig, EngineTotals, SubmitError};
+pub use durable::{
+    checkpoint_now, recover_engine, CheckpointStats, DurableEngine, RecoveredEngine,
+};
+pub use engine::{BatchLog, Engine, EngineConfig, EngineTotals, NoLog, SubmitError};
 pub use loadgen::{LoadGenConfig, LoadReport, Transport};
 pub use server::{serve, start, ServerConfig, ServerHandle};
 

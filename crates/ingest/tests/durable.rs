@@ -1,0 +1,273 @@
+//! End-to-end durability: WAL-backed engines crash, recover, and refuse
+//! foreign logs.
+//!
+//! The byte-exhaustive crash matrix lives in
+//! `crates/faults/tests/wal_crash.rs`; this suite covers the serving
+//! glue above it — [`recover_engine`] / [`checkpoint_now`] round-trips,
+//! the [`SubmitError::Internal`] wire mapping, and the registry
+//! fingerprint refusal (a log recorded under one catalog detector id
+//! must never replay into a fleet spawned from a different id).
+
+use tsad_detectors::registry::Params;
+use tsad_fleet::{BatchOutput, FleetConfig, SeriesId};
+use tsad_ingest::engine::{BatchLog, SubmitTiming};
+use tsad_ingest::{
+    checkpoint_now, recover_engine, Conn, ConnConfig, DurableEngine, Engine, EngineConfig,
+};
+use tsad_stream::{
+    DetectorFactory, FnFactory, RegistryFactory, StreamHints, StreamingGlobalZScore,
+};
+use tsad_wal::{MemDir, WalConfig, WalError};
+
+type ZFactory = FnFactory<fn(u64) -> StreamingGlobalZScore>;
+
+fn spawn_z(_id: u64) -> StreamingGlobalZScore {
+    StreamingGlobalZScore::new(4).expect("window >= 2")
+}
+
+fn zfactory() -> ZFactory {
+    FnFactory(spawn_z as fn(u64) -> StreamingGlobalZScore)
+}
+
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        shards: 4,
+        ..FleetConfig::default()
+    }
+}
+
+/// Small segments so a handful of batches spans several files.
+fn wal_cfg() -> WalConfig {
+    WalConfig {
+        segment_bytes: 256,
+        // the fingerprint is replaced by recover_engine; prove that by
+        // passing a wrong one on purpose
+        ..WalConfig::new("ignored-and-replaced")
+    }
+}
+
+fn batch(i: u64) -> Vec<(SeriesId, f64)> {
+    (0..6u64)
+        .map(|j| (SeriesId(j % 5), ((i * 7 + j) as f64 * 0.37).sin()))
+        .collect()
+}
+
+fn submit_n(engine: &DurableEngine<ZFactory, MemDir>, from: u64, n: u64) {
+    let mut out = BatchOutput::new();
+    let mut t = SubmitTiming::default();
+    for i in from..from + n {
+        engine.submit(&batch(i), &mut out, &mut t).expect("submit");
+    }
+}
+
+fn state_of<F, L>(engine: &Engine<F, L>) -> Vec<u8>
+where
+    F: DetectorFactory,
+    F::Detector: Sync,
+    L: BatchLog,
+{
+    engine.with_fleet(|fleet| fleet.checkpoint().to_bytes())
+}
+
+#[test]
+fn acked_batches_survive_a_crash_bitwise() {
+    let dir = MemDir::new();
+    let rec = recover_engine(
+        dir.clone(),
+        zfactory(),
+        wal_cfg(),
+        fleet_cfg(),
+        EngineConfig::default(),
+    )
+    .expect("empty dir starts a fresh log");
+    assert_eq!(rec.replayed_batches, 0);
+    submit_n(&rec.engine, 0, 7);
+    let expected = state_of(&rec.engine);
+    let expected_totals = rec.engine.totals();
+    drop(rec); // crash: no flush, no shutdown path
+
+    let again = recover_engine(
+        dir.survivor(),
+        zfactory(),
+        wal_cfg(),
+        fleet_cfg(),
+        EngineConfig::default(),
+    )
+    .expect("recovery");
+    assert_eq!(again.checkpoint_seq, None);
+    assert_eq!(again.replayed_batches, 7);
+    assert_eq!(
+        state_of(&again.engine),
+        expected,
+        "recovered fleet diverges from the pre-crash state"
+    );
+    assert_eq!(again.engine.with_fleet(|f| f.batches()), 7);
+    assert_eq!(expected_totals.batches, 7);
+    assert_eq!(expected_totals.wal_errors, 0);
+
+    // the resumed log keeps sequencing where the crash left off
+    submit_n(&again.engine, 7, 1);
+    let wal = again.engine.log().lock().unwrap();
+    assert_eq!(wal.next_seq(), 9);
+}
+
+#[test]
+fn checkpoint_plus_wal_tail_equals_pre_crash_state() {
+    let dir = MemDir::new();
+    let rec = recover_engine(
+        dir.clone(),
+        zfactory(),
+        wal_cfg(),
+        fleet_cfg(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    submit_n(&rec.engine, 0, 5);
+    let stats = checkpoint_now(&rec.engine).expect("checkpoint");
+    assert_eq!(stats.seq, 5, "seq must equal the fleet batch counter");
+    assert!(stats.payload_bytes > 0);
+    assert!(
+        stats.reclaimed_bytes > 0,
+        "5 batches over 256-byte segments must seal (and so reclaim) something"
+    );
+    submit_n(&rec.engine, 5, 3);
+    let expected = state_of(&rec.engine);
+    drop(rec);
+
+    let again = recover_engine(
+        dir.survivor(),
+        zfactory(),
+        wal_cfg(),
+        fleet_cfg(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(again.checkpoint_seq, Some(5));
+    assert_eq!(again.replayed_batches, 3);
+    assert_eq!(again.engine.with_fleet(|f| f.batches()), 8);
+    assert_eq!(state_of(&again.engine), expected);
+}
+
+#[test]
+fn a_log_recorded_under_one_catalog_id_is_refused_by_another() {
+    let cusum = RegistryFactory::new("cusum", Params::new(), StreamHints::default()).unwrap();
+    let cusum_fp = cusum.fingerprint();
+    let dir = MemDir::new();
+    let rec = recover_engine(
+        dir.clone(),
+        cusum,
+        wal_cfg(),
+        fleet_cfg(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    submit_n_registry(&rec.engine, 2);
+    drop(rec);
+
+    // same catalog, different detector id: replay must be refused, not
+    // silently scored by the wrong detector
+    let zscore =
+        RegistryFactory::new("global-zscore", Params::new(), StreamHints::default()).unwrap();
+    let zscore_fp = zscore.fingerprint();
+    match recover_engine(
+        dir.survivor(),
+        zscore,
+        wal_cfg(),
+        fleet_cfg(),
+        EngineConfig::default(),
+    ) {
+        Err(WalError::FingerprintMismatch {
+            expected, found, ..
+        }) => {
+            assert_eq!(expected, zscore_fp);
+            assert_eq!(found, cusum_fp);
+        }
+        Ok(_) => panic!("a foreign log must not replay"),
+        Err(other) => panic!("expected FingerprintMismatch, got {other}"),
+    }
+
+    // a factory with the *same* id recovers fine
+    let cusum2 = RegistryFactory::new("cusum", Params::new(), StreamHints::default()).unwrap();
+    let again = recover_engine(
+        dir.survivor(),
+        cusum2,
+        wal_cfg(),
+        fleet_cfg(),
+        EngineConfig::default(),
+    )
+    .expect("same-id recovery");
+    assert_eq!(again.replayed_batches, 2);
+}
+
+fn submit_n_registry(engine: &DurableEngine<RegistryFactory, MemDir>, n: u64) {
+    let mut out = BatchOutput::new();
+    let mut t = SubmitTiming::default();
+    for i in 0..n {
+        engine.submit(&batch(i), &mut out, &mut t).expect("submit");
+    }
+}
+
+#[test]
+fn wal_failure_maps_to_http_500_and_closes() {
+    struct FailLog;
+    impl BatchLog for FailLog {
+        fn append(&self, _batch: &[(SeriesId, f64)]) -> std::io::Result<u64> {
+            Err(std::io::Error::other("disk gone"))
+        }
+    }
+    let engine = Engine::with_log(
+        tsad_fleet::Fleet::new(zfactory(), fleet_cfg()),
+        EngineConfig::default(),
+        FailLog,
+    );
+    let mut conn = Conn::new(ConnConfig::default());
+    let body = "1 0.5\n2 1.5\n";
+    let req = format!(
+        "POST /ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    conn.feed(req.as_bytes(), &engine);
+    let out = String::from_utf8_lossy(conn.output()).into_owned();
+    assert!(
+        out.starts_with("HTTP/1.1 500 Internal Server Error"),
+        "got: {out}"
+    );
+    assert!(conn.wants_close(), "durability failures must close");
+    assert_eq!(engine.totals().wal_errors, 1);
+    assert_eq!(engine.totals().batches, 0);
+    assert!(!engine.query(SeriesId(1)).0, "batch must not have applied");
+}
+
+#[test]
+fn wal_failure_maps_to_a_binary_error_frame() {
+    struct FailLog;
+    impl BatchLog for FailLog {
+        fn append(&self, _batch: &[(SeriesId, f64)]) -> std::io::Result<u64> {
+            Err(std::io::Error::other("disk gone"))
+        }
+    }
+    let engine = Engine::with_log(
+        tsad_fleet::Fleet::new(zfactory(), fleet_cfg()),
+        EngineConfig::default(),
+        FailLog,
+    );
+    let mut conn = Conn::new(ConnConfig::default());
+    let mut req = Vec::new();
+    let mut payload = Vec::new();
+    tsad_ingest::frame::write_point(&mut payload, 1, 0.5);
+    tsad_ingest::frame::write_frame(&mut req, tsad_ingest::frame::T_INGEST, &payload);
+    conn.feed(&req, &engine);
+    let out = conn.output();
+    assert!(out.len() > tsad_ingest::frame::HEADER_LEN + 2);
+    assert_eq!(out[0], tsad_ingest::frame::FRAME_MAGIC);
+    assert_eq!(out[2], tsad_ingest::frame::T_ERROR);
+    // the error payload leads with the status code, little-endian
+    let code = u16::from_le_bytes([
+        out[tsad_ingest::frame::HEADER_LEN],
+        out[tsad_ingest::frame::HEADER_LEN + 1],
+    ]);
+    assert_eq!(code, 500);
+    assert!(conn.wants_close());
+    assert_eq!(engine.totals().wal_errors, 1);
+}

@@ -162,9 +162,18 @@ fn backpressure_reaches_the_client_as_retries() {
         },
     );
     assert_eq!(report.requests, 0, "{report:?}");
+    // every request exhausted its bounded backoff budget
     assert_eq!(report.retried, 10, "{report:?}");
+    assert_eq!(
+        report.retries,
+        10 * (tsad_ingest::loadgen::MAX_ATTEMPTS as u64 - 1),
+        "{report:?}"
+    );
     assert_eq!(engine.totals().points, 0);
-    assert_eq!(engine.totals().rejected, 10);
+    assert_eq!(
+        engine.totals().rejected,
+        10 * tsad_ingest::loadgen::MAX_ATTEMPTS as u64
+    );
     handle.stop().expect("clean shutdown");
 }
 

@@ -1,0 +1,59 @@
+//! # tsad-wal — crash-durable write-ahead log for the serving path
+//!
+//! The ingest front-end ACKs a batch the moment the fleet has scored it;
+//! until this crate, a process crash silently dropped every ACKed point.
+//! That is precisely the kind of unexamined operating condition the
+//! benchmark-flaws paper warns about: a system that looks accurate on
+//! curated data but loses admitted data on the first `kill -9` is not
+//! reproducing anything credible. `tsad-wal` closes the gap with a
+//! segment-based append-only log sitting between `tsad-ingest` and
+//! `tsad-fleet`:
+//!
+//! * **Record format** — length-prefixed `(series_id, f64)` batch records,
+//!   monotonically sequenced, each sealed with the TSCK FNV-1a digest
+//!   ([`tsad_core::ckpt::digest64`]); segment headers carry the detector
+//!   factory fingerprint so a log is never replayed into the wrong fleet.
+//! * **Fsync policy** — [`FsyncPolicy::PerBatch`] (an ACK survives any
+//!   crash), [`FsyncPolicy::GroupCommit`] (bounded ACK loss window), or
+//!   [`FsyncPolicy::Off`] (seals and checkpoints only). The policy trades
+//!   durable-ingest throughput for ACK strength; `repro -- wal` measures
+//!   all three into `BENCH_wal.json`.
+//! * **Recovery** — [`recover`] scans the segments, truncates a torn tail
+//!   at the first corrupt record (never panics, reports the dropped
+//!   bytes), refuses corruption in sealed segments with a precise
+//!   [`WalError`], and hands back the newest checkpoint plus the batches
+//!   to replay after it; checkpoint + WAL-tail replay is bitwise equal to
+//!   full-log replay, which is bitwise equal to an uncrashed run.
+//! * **Crash proof, not crash hope** — storage sits behind
+//!   [`WalDir`]/[`WalFile`] so the kill-at-any-byte harness
+//!   (`crates/faults/tests/wal_crash.rs`) runs the real append/recover
+//!   code against [`MemDir`] + [`tsad_faults::CrashFuse`], crashing the
+//!   writer at *every* byte offset of its write trace; a proptest suite
+//!   (`crates/wal/tests/corruption.rs`) flips arbitrary bytes of sealed
+//!   segments and asserts refusal.
+//!
+//! The warm append path performs zero heap allocations (gated with the
+//! counting allocator in `crates/bench/tests/wal_gates.rs`, obs on and
+//! off). Observability: `wal.append_ns`, `wal.fsync_ns`,
+//! `wal.group_commit_batches`, `wal.recovery_truncated_bytes`.
+
+mod log;
+mod storage;
+
+pub use crate::log::{
+    recover, FsyncPolicy, Recovered, RecoveredBatch, RecoveryReport, Result, Wal, WalConfig,
+    WalError, ENTRY_BYTES,
+};
+pub use storage::{FsDir, FsFile, MemDir, MemFile, WalDir, WalFile};
+
+use tsad_obs::{Counter, Span};
+
+/// Append path: encode + write (+ policy fsync) per batch.
+pub(crate) static WAL_APPEND_NS: Span = Span::new("wal.append_ns");
+/// Every fsync the log issues (appends, seals, checkpoints).
+pub(crate) static WAL_FSYNC_NS: Span = Span::new("wal.fsync_ns");
+/// Batches made durable by group-commit syncs.
+pub(crate) static WAL_GROUP_COMMIT_BATCHES: Counter = Counter::new("wal.group_commit_batches");
+/// Bytes cut off torn tails by recovery.
+pub(crate) static WAL_RECOVERY_TRUNCATED_BYTES: Counter =
+    Counter::new("wal.recovery_truncated_bytes");

@@ -1,0 +1,378 @@
+//! Storage abstraction: a directory of append-only files.
+//!
+//! The WAL itself never touches `std::fs` directly — it speaks to a
+//! [`WalDir`] (create/list/read/remove/truncate) handing out [`WalFile`]s
+//! (append/sync). Two implementations ship:
+//!
+//! * [`FsDir`] — real files under a root directory, `sync_data` for
+//!   durability; what the serving path uses.
+//! * [`MemDir`] — an in-memory map with an optional
+//!   [`CrashFuse`](tsad_faults::CrashFuse) so the crash harness can kill
+//!   the writer at any byte offset of its write trace and then recover
+//!   from exactly the bytes that made it "to disk". Writes are modeled
+//!   write-through (every admitted byte survives), which is the adversarial
+//!   case for torn records; the fsync-policy durability claims are about
+//!   which *ACKs* may be trusted, and the harness checks those against the
+//!   per-policy contract.
+//!
+//! The fuse is byte-granular on appends; metadata operations (create,
+//! remove, truncate) fail once the fuse has tripped but are otherwise
+//! atomic — a crash "inside" a metadata operation is not modeled.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use tsad_faults::CrashFuse;
+
+/// An append-only file handle.
+pub trait WalFile: Send {
+    /// Appends `buf` at the end of the file. All-or-nothing on success;
+    /// on failure any prefix may have been applied (torn write).
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Forces previously appended bytes to durable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A flat directory of named append-only files.
+pub trait WalDir: Send {
+    /// The file handle type this directory hands out.
+    type File: WalFile;
+
+    /// Creates (or truncates) `name` and opens it for appending.
+    fn create(&self, name: &str) -> io::Result<Self::File>;
+    /// Opens an existing `name` for appending at its current end.
+    fn open_append(&self, name: &str) -> io::Result<Self::File>;
+    /// All file names in the directory, sorted.
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// Reads a whole file.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Current size of `name` in bytes.
+    fn size(&self, name: &str) -> io::Result<u64>;
+    /// Deletes `name`.
+    fn remove(&self, name: &str) -> io::Result<()>;
+    /// Shrinks `name` to `len` bytes (recovery's torn-tail cut).
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+}
+
+// ─── real filesystem ────────────────────────────────────────────────────
+
+/// A [`WalDir`] over a real directory.
+#[derive(Debug)]
+pub struct FsDir {
+    root: PathBuf,
+}
+
+impl FsDir {
+    /// Opens (creating if needed) the directory at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The directory path.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+/// File handle handed out by [`FsDir`].
+#[derive(Debug)]
+pub struct FsFile {
+    file: File,
+}
+
+impl WalFile for FsFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.file.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+impl WalDir for FsDir {
+    type File = FsFile;
+
+    fn create(&self, name: &str) -> io::Result<FsFile> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(self.root.join(name))?;
+        Ok(FsFile { file })
+    }
+
+    fn open_append(&self, name: &str) -> io::Result<FsFile> {
+        let file = OpenOptions::new().append(true).open(self.root.join(name))?;
+        Ok(FsFile { file })
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.root.join(name))
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        Ok(std::fs::metadata(self.root.join(name))?.len())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        std::fs::remove_file(self.root.join(name))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let file = OpenOptions::new().write(true).open(self.root.join(name))?;
+        file.set_len(len)
+    }
+}
+
+// ─── in-memory shim with crash injection ────────────────────────────────
+
+fn crash_err() -> io::Error {
+    io::Error::other("crash fuse tripped: simulated process death")
+}
+
+/// An in-memory [`WalDir`] guarded by a [`CrashFuse`]. Cloning shares the
+/// underlying files *and* the fuse; [`MemDir::survivor`] shares the files
+/// but replaces the fuse — that is "the machine after the reboot".
+#[derive(Debug, Clone)]
+pub struct MemDir {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+    fuse: Arc<CrashFuse>,
+}
+
+impl Default for MemDir {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemDir {
+    /// An empty directory with an unlimited fuse (healthy process).
+    pub fn new() -> Self {
+        Self::with_fuse(Arc::new(CrashFuse::unlimited()))
+    }
+
+    /// An empty directory whose writes are admitted by `fuse`.
+    pub fn with_fuse(fuse: Arc<CrashFuse>) -> Self {
+        Self {
+            files: Arc::new(Mutex::new(BTreeMap::new())),
+            fuse,
+        }
+    }
+
+    /// A view of the same files through a fresh unlimited fuse: the state
+    /// a recovering process observes after the crash.
+    pub fn survivor(&self) -> Self {
+        Self {
+            files: Arc::clone(&self.files),
+            fuse: Arc::new(CrashFuse::unlimited()),
+        }
+    }
+
+    /// Snapshot of one file's bytes (test inspection).
+    pub fn file(&self, name: &str) -> Option<Vec<u8>> {
+        self.files.lock().unwrap().get(name).cloned()
+    }
+
+    /// Overwrites one file's bytes wholesale (test corruption).
+    pub fn put(&self, name: &str, bytes: Vec<u8>) {
+        self.files.lock().unwrap().insert(name.to_string(), bytes);
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files
+            .lock()
+            .unwrap()
+            .values()
+            .map(|v| v.len() as u64)
+            .sum()
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.fuse.tripped() {
+            Err(crash_err())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// File handle handed out by [`MemDir`].
+#[derive(Debug)]
+pub struct MemFile {
+    name: String,
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+    fuse: Arc<CrashFuse>,
+}
+
+impl WalFile for MemFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        let admitted = self.fuse.admit(buf.len());
+        if admitted.allowed > 0 {
+            let mut files = self.files.lock().unwrap();
+            match files.get_mut(&self.name) {
+                Some(data) => data.extend_from_slice(&buf[..admitted.allowed]),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("{}: removed while open", self.name),
+                    ))
+                }
+            }
+        }
+        if admitted.crashed {
+            Err(crash_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.fuse.tripped() {
+            Err(crash_err())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl WalDir for MemDir {
+    type File = MemFile;
+
+    fn create(&self, name: &str) -> io::Result<MemFile> {
+        self.check_alive()?;
+        self.files
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Vec::new());
+        Ok(MemFile {
+            name: name.to_string(),
+            files: Arc::clone(&self.files),
+            fuse: Arc::clone(&self.fuse),
+        })
+    }
+
+    fn open_append(&self, name: &str) -> io::Result<MemFile> {
+        self.check_alive()?;
+        if !self.files.lock().unwrap().contains_key(name) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{name}: no such file"),
+            ));
+        }
+        Ok(MemFile {
+            name: name.to_string(),
+            files: Arc::clone(&self.files),
+            fuse: Arc::clone(&self.fuse),
+        })
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.check_alive()?;
+        Ok(self.files.lock().unwrap().keys().cloned().collect())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.check_alive()?;
+        self.files
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{name}: no such file")))
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        self.check_alive()?;
+        self.files
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|v| v.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{name}: no such file")))
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.check_alive()?;
+        self.files
+            .lock()
+            .unwrap()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{name}: no such file")))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        self.check_alive()?;
+        let mut files = self.files.lock().unwrap();
+        let data = files.get_mut(name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("{name}: no such file"))
+        })?;
+        data.truncate(len as usize);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memdir_torn_write_keeps_the_admitted_prefix() {
+        let dir = MemDir::with_fuse(Arc::new(CrashFuse::new(5)));
+        let mut f = dir.create("a").unwrap();
+        assert!(f.append(b"0123456789").is_err());
+        // the process is dead: reads through the same dir fail...
+        assert!(dir.read("a").is_err());
+        // ...but the survivor sees exactly the admitted 5 bytes
+        assert_eq!(dir.survivor().read("a").unwrap(), b"01234");
+    }
+
+    #[test]
+    fn memdir_metadata_ops_fail_after_the_crash() {
+        let dir = MemDir::with_fuse(Arc::new(CrashFuse::new(0)));
+        let mut f = MemDir::new().create("x").unwrap(); // unrelated live file
+        assert!(f.append(b"ok").is_ok());
+        assert!(dir.create("a").is_err());
+        assert!(dir.list().is_err());
+        assert!(dir.remove("a").is_err());
+        assert!(dir.truncate("a", 0).is_err());
+    }
+
+    #[test]
+    fn fsdir_roundtrip_append_truncate_remove() {
+        let root = std::env::temp_dir().join(format!("tsad-wal-fsdir-{}", std::process::id()));
+        let dir = FsDir::open(&root).unwrap();
+        let mut f = dir.create("seg").unwrap();
+        f.append(b"hello world").unwrap();
+        f.sync().unwrap();
+        assert_eq!(dir.read("seg").unwrap(), b"hello world");
+        assert_eq!(dir.size("seg").unwrap(), 11);
+        dir.truncate("seg", 5).unwrap();
+        assert_eq!(dir.read("seg").unwrap(), b"hello");
+        assert_eq!(dir.list().unwrap(), vec!["seg".to_string()]);
+        dir.remove("seg").unwrap();
+        assert!(dir.list().unwrap().is_empty());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,184 @@
+//! Property suite: arbitrary single-byte corruption of log files.
+//!
+//! The recovery contract under corruption has two sides:
+//!
+//! * a corrupt **sealed** segment is *refused* with a precise
+//!   [`WalError`] — sealed bytes can only be damaged by bit rot or
+//!   operator error, never by a crash, and silently dropping admitted
+//!   records would be exactly the illusion this repo exists to dispel;
+//! * a corrupt **tail** segment is *repaired* by the torn-tail rule —
+//!   recovery truncates at the first invalid record, reports the cut,
+//!   and the surviving batches are always a strict prefix of what was
+//!   appended.
+//!
+//! Neither side may ever panic, whatever byte is flipped.
+
+use proptest::prelude::*;
+use tsad_wal::{recover, MemDir, Wal, WalConfig, WalDir, WalError};
+
+const FP: &str = "corruption-suite-fp";
+
+/// (directory, appended batches, sorted segment names).
+type BuiltLog = (MemDir, Vec<Vec<(u64, f64)>>, Vec<String>);
+
+/// Builds a deterministic log with several sealed segments plus an
+/// unsealed multi-record tail; returns the directory, the appended
+/// batches, and the sorted segment file names.
+fn build_log() -> BuiltLog {
+    let dir = MemDir::new();
+    let cfg = WalConfig {
+        segment_bytes: 256,
+        ..WalConfig::new(FP)
+    };
+    let mut wal = Wal::create(dir.clone(), cfg).unwrap();
+    let mut batches = Vec::new();
+    for seq in 1..=18u64 {
+        let batch: Vec<(u64, f64)> = (0..5u64)
+            .map(|i| (i * 3 + 1, (seq as f64 * 0.7 + i as f64 * 0.31).sin()))
+            .collect();
+        wal.append(batch.iter().copied()).unwrap();
+        batches.push(batch);
+    }
+    drop(wal);
+    let mut segs: Vec<String> = dir
+        .survivor()
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("wal-"))
+        .collect();
+    segs.sort();
+    assert!(segs.len() >= 3, "need sealed segments: {segs:?}");
+    (dir, batches, segs)
+}
+
+fn cfg() -> WalConfig {
+    WalConfig {
+        segment_bytes: 256,
+        ..WalConfig::new(FP)
+    }
+}
+
+/// Asserts `got` is a prefix of the original `batches`, contiguous from
+/// sequence 1.
+fn assert_prefix(got: &[tsad_wal::RecoveredBatch], batches: &[Vec<(u64, f64)>]) {
+    for (i, b) in got.iter().enumerate() {
+        assert_eq!(b.seq, i as u64 + 1, "non-contiguous recovery");
+        assert_eq!(b.points, batches[i], "batch {} diverged", b.seq);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sealed_segment_corruption_is_always_refused(
+        seg_pick in 0usize..1024,
+        offset_pick in 0usize..65536,
+        mask in 0u8..255,
+    ) {
+        let (dir, _batches, segs) = build_log();
+        // all but the final segment are sealed
+        let name = &segs[seg_pick % (segs.len() - 1)];
+        let mut bytes = dir.file(name).unwrap();
+        let at = offset_pick % bytes.len();
+        bytes[at] ^= mask.wrapping_add(1); // a nonzero xor: always a real flip
+        dir.put(name, bytes);
+        match recover(&dir, &cfg()) {
+            Err(WalError::Corrupt { segment, .. }) => prop_assert_eq!(&segment, name),
+            Err(WalError::FingerprintMismatch { segment, .. }) => {
+                // a flip inside the fingerprint bytes itself would break
+                // the header digest first; mismatch can only come from a
+                // flip that somehow left the digest valid — never happens
+                // for single-byte flips, so reaching here is a bug
+                prop_assert!(false, "fingerprint mismatch from a flip in {}", segment);
+            }
+            Err(WalError::SequenceGap { .. }) => {
+                prop_assert!(false, "sequence gap from a single flip");
+            }
+            other => prop_assert!(false, "expected refusal, got {:?}", other.map(|r| r.report)),
+        }
+    }
+
+    #[test]
+    fn tail_segment_corruption_is_repaired_to_a_prefix(
+        offset_pick in 0usize..65536,
+        mask in 0u8..255,
+    ) {
+        let (dir, batches, segs) = build_log();
+        let name = segs.last().unwrap();
+        let mut bytes = dir.file(name).unwrap();
+        let len = bytes.len() as u64;
+        let at = offset_pick % bytes.len();
+        bytes[at] ^= mask.wrapping_add(1);
+        dir.put(name, bytes);
+        let rec = recover(&dir, &cfg()).unwrap();
+        prop_assert!(rec.batches.len() <= batches.len());
+        assert_prefix(&rec.batches, &batches);
+        // a flip in the tail always drops at least the record it hit
+        prop_assert!(rec.batches.len() < batches.len());
+        prop_assert!(rec.report.torn_tail.is_some());
+        prop_assert!(rec.report.truncated_bytes > 0 || rec.report.torn_tail.as_deref() == Some(name));
+        prop_assert!(rec.report.truncated_bytes <= len);
+        // and the repair is stable: a second scan is clean
+        let again = recover(&dir, &cfg()).unwrap();
+        prop_assert_eq!(again.batches.len(), rec.batches.len());
+        prop_assert_eq!(again.report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn garbage_files_never_panic_recovery(
+        garbage in prop::collection::vec(0u8..=255u8, 0..512),
+    ) {
+        // a lone tail segment made of arbitrary bytes: recovery may
+        // refuse (if it happens to scan as a foreign fingerprint) but
+        // normally repairs to an empty log — and never panics
+        let dir = MemDir::new();
+        dir.put("wal-00000000000000000001.seg", garbage);
+        match recover(&dir, &cfg()) {
+            Ok(rec) => {
+                prop_assert!(rec.batches.is_empty());
+                prop_assert_eq!(rec.next_seq(), 1);
+            }
+            Err(e) => {
+                // precise, printable refusal
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_markers_never_panic_recovery(
+        garbage in prop::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        let (dir, batches, _segs) = build_log();
+        dir.put("ckpt-00000000000000000009.tsck", garbage);
+        let rec = recover(&dir, &cfg()).unwrap();
+        // the marker is digest-guarded: arbitrary bytes are dropped and
+        // the full log replays
+        prop_assert!(rec.checkpoint.is_none());
+        prop_assert_eq!(rec.batches.len(), batches.len());
+        prop_assert_eq!(rec.report.dropped_checkpoints, 1);
+    }
+}
+
+#[test]
+fn every_single_byte_flip_of_the_tail_recovers_a_prefix() {
+    // exhaustive over the tail (not sampled): the tail is small enough
+    // to try literally every byte offset
+    let (dir0, batches, segs) = build_log();
+    let name = segs.last().unwrap();
+    let tail_len = dir0.file(name).unwrap().len();
+    for at in 0..tail_len {
+        let (dir, _, _) = build_log();
+        let mut bytes = dir.file(name).unwrap();
+        bytes[at] ^= 0x80;
+        dir.put(name, bytes);
+        let rec = recover(&dir, &cfg()).unwrap_or_else(|e| panic!("offset {at}: {e}"));
+        assert_prefix(&rec.batches, &batches);
+        assert!(
+            rec.batches.len() < batches.len(),
+            "offset {at}: flip dropped nothing"
+        );
+    }
+}
