@@ -118,6 +118,13 @@ pub struct SubmitTiming {
 pub trait BatchLog: Send + Sync {
     /// Appends one batch; returns its log sequence number.
     fn append(&self, batch: &[(SeriesId, f64)]) -> std::io::Result<u64>;
+
+    /// Periodic maintenance, driven by the server's idle poll passes.
+    /// Group-commit WALs use it to enforce their age bound when appends
+    /// stop arriving ([`tsad_wal::Wal::tick`]); the default is a no-op.
+    fn tick(&self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// The default hook: no durability, every append is a free no-op.

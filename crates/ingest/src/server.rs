@@ -204,6 +204,11 @@ fn worker_loop<F, L>(
         }
 
         if !worked {
+            // Idle pass: let the durability hook enforce its group-commit
+            // age bound even though no appends are arriving. An error
+            // here poisons the WAL, which the next submit surfaces as
+            // Internal — nothing to report from the socket layer.
+            let _ = engine.log().tick();
             std::thread::sleep(cfg.poll_sleep);
         }
     }

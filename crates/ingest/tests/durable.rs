@@ -268,6 +268,14 @@ fn wal_failure_maps_to_a_binary_error_frame() {
         out[tsad_ingest::frame::HEADER_LEN + 1],
     ]);
     assert_eq!(code, 500);
-    assert!(conn.wants_close());
+    // mirror the HTTP path: a durability failure closes the connection…
+    assert!(conn.wants_close(), "durability failures must close");
+    // …and a closing connection reads nothing more: a pipelined PING
+    // after the failed ingest must not produce a PONG
+    let before = conn.output().len();
+    let mut ping = Vec::new();
+    tsad_ingest::frame::write_frame(&mut ping, tsad_ingest::frame::T_PING, &[]);
+    conn.feed(&ping, &engine);
+    assert_eq!(conn.output().len(), before, "closed conn answered a frame");
     assert_eq!(engine.totals().wal_errors, 1);
 }

@@ -42,7 +42,7 @@ mod storage;
 
 pub use crate::log::{
     recover, FsyncPolicy, Recovered, RecoveredBatch, RecoveryReport, Result, Wal, WalConfig,
-    WalError, ENTRY_BYTES,
+    WalError, ENTRY_BYTES, MAX_RECORD_POINTS,
 };
 pub use storage::{FsDir, FsFile, MemDir, MemFile, WalDir, WalFile};
 

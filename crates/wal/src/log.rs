@@ -55,6 +55,11 @@ const REC_TRAILER: usize = 8;
 pub const ENTRY_BYTES: usize = 16;
 /// Size of a `SEAL` record.
 const SEAL_BYTES: u64 = (REC_HEAD + REC_TRAILER) as u64;
+/// Most points one record can carry: the record length field is a `u32`
+/// counting payload bytes, so anything larger would silently wrap it and
+/// write a self-disagreeing record. [`Wal::append`] refuses bigger
+/// batches up front (`InvalidInput`) instead.
+pub const MAX_RECORD_POINTS: usize = u32::MAX as usize / ENTRY_BYTES;
 
 fn seg_name(first_seq: u64) -> String {
     format!("wal-{first_seq:020}.seg")
@@ -89,6 +94,11 @@ pub enum FsyncPolicy {
     /// `fsync` once per group: after `batches` appends or once the oldest
     /// unsynced batch is `max_pending_micros` old, whichever comes first.
     /// A crash may lose up to one group of ACKed batches.
+    ///
+    /// The age bound is evaluated on the append path and by [`Wal::tick`];
+    /// if appends stop *and* nothing drives `tick` (the ingest server
+    /// calls it on idle poll passes), already-appended batches stay
+    /// unsynced until the next append or an explicit [`Wal::flush`].
     GroupCommit {
         /// Sync after this many unsynced batches.
         batches: u32,
@@ -674,6 +684,11 @@ pub struct Wal<D: WalDir> {
     pending_since: Option<Instant>,
     fsyncs: u64,
     bytes_written: u64,
+    /// Set after any I/O failure on the segment write stream (a torn
+    /// append, a failed seal, a failed fsync). A poisoned log refuses
+    /// every further append: writing past a possibly-torn prefix would
+    /// make recovery's tail truncation swallow *later, ACKed* records.
+    poisoned: bool,
 }
 
 fn open_segment<D: WalDir>(
@@ -717,6 +732,7 @@ impl<D: WalDir> Wal<D> {
             pending_since: None,
             fsyncs: 0,
             bytes_written: header_len,
+            poisoned: false,
         })
     }
 
@@ -755,6 +771,7 @@ impl<D: WalDir> Wal<D> {
             pending_since: None,
             fsyncs: 0,
             bytes_written: 0,
+            poisoned: false,
         })
     }
 
@@ -776,6 +793,23 @@ impl<D: WalDir> Wal<D> {
     /// Live segment files (sealed + active).
     pub fn segment_count(&self) -> usize {
         self.sealed.len() + 1
+    }
+
+    /// Whether an earlier append-path I/O failure poisoned the log
+    /// (every further append is refused until [`recover`] + [`resume`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_usable(&self) -> io::Result<()> {
+        if self.poisoned {
+            Err(io::Error::other(
+                "wal poisoned by an earlier I/O failure: the segment tail \
+                 may be torn; run recovery before appending",
+            ))
+        } else {
+            Ok(())
+        }
     }
 
     fn sync_file(&mut self) -> io::Result<()> {
@@ -810,19 +844,46 @@ impl<D: WalDir> Wal<D> {
     }
 
     /// Appends one batch, returning its sequence number. On `Err` the
-    /// record may be torn on disk; recovery truncates it — callers must
-    /// not ACK the batch.
+    /// record may be torn on disk and the log **poisons itself**: every
+    /// further append is refused until [`recover`] truncates the torn
+    /// tail. (Appending past torn bytes would put valid records behind
+    /// them, and recovery's tail truncation would then silently drop
+    /// those later, possibly ACKed, records.) Callers must not ACK the
+    /// failed batch. Batches over [`MAX_RECORD_POINTS`] are refused with
+    /// `InvalidInput` before anything is written — the log stays usable.
     pub fn append<I>(&mut self, points: I) -> io::Result<u64>
     where
         I: IntoIterator<Item = (u64, f64)>,
         I::IntoIter: ExactSizeIterator<Item = (u64, f64)>,
     {
         let _g = WAL_APPEND_NS.start();
+        self.check_usable()?;
+        let points = points.into_iter();
+        if points.len() > MAX_RECORD_POINTS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "batch of {} points exceeds the {MAX_RECORD_POINTS} a record can carry",
+                    points.len()
+                ),
+            ));
+        }
+        let r = self.append_record(points);
+        if r.is_err() {
+            self.poisoned = true;
+        }
+        r
+    }
+
+    fn append_record<I>(&mut self, points: I) -> io::Result<u64>
+    where
+        I: Iterator<Item = (u64, f64)> + ExactSizeIterator,
+    {
         let seq = self.next_seq;
         // Encoding before the rotation check requires a second buffer in
         // rotate(); encoding after would need the record length first.
         // The scratch holds the data record; rotate uses its own Vec.
-        encode_record_into(&mut self.scratch, REC_DATA, seq, points.into_iter());
+        encode_record_into(&mut self.scratch, REC_DATA, seq, points);
         let rec_len = self.scratch.len() as u64;
         if self.seg_records > 0 && self.seg_len + rec_len + SEAL_BYTES > self.cfg.segment_bytes {
             self.rotate()?;
@@ -859,14 +920,45 @@ impl<D: WalDir> Wal<D> {
     }
 
     /// Forces everything appended so far to durable storage (group-commit
-    /// stragglers included).
+    /// stragglers included). A failed sync poisons the log: the kernel
+    /// may have dropped the dirty pages, so later syncs cannot vouch for
+    /// the earlier bytes.
     pub fn flush(&mut self) -> io::Result<()> {
+        self.check_usable()?;
         if self.pending > 0 {
             WAL_GROUP_COMMIT_BATCHES.add(self.pending as u64);
             self.pending = 0;
             self.pending_since = None;
         }
-        self.sync_file()
+        let r = self.sync_file();
+        if r.is_err() {
+            self.poisoned = true;
+        }
+        r
+    }
+
+    /// Enforces the group-commit age bound without a new append: syncs
+    /// if unsynced batches older than `max_pending_micros` are pending.
+    /// Returns whether a sync happened. The ingest server drives this
+    /// from its idle poll passes; without such a driver the age bound
+    /// only holds while appends keep arriving (see
+    /// [`FsyncPolicy::GroupCommit`]). No-op under other policies.
+    pub fn tick(&mut self) -> io::Result<bool> {
+        let FsyncPolicy::GroupCommit {
+            max_pending_micros, ..
+        } = self.cfg.policy
+        else {
+            return Ok(false);
+        };
+        self.check_usable()?;
+        let due = self.pending > 0
+            && self
+                .pending_since
+                .is_some_and(|t| t.elapsed().as_micros() as u64 >= max_pending_micros);
+        if !due {
+            return Ok(false);
+        }
+        self.flush().map(|()| true)
     }
 
     /// Records a fleet checkpoint covering every batch up to and
@@ -1153,6 +1245,185 @@ mod tests {
         wal.append(batch(9, 2)).unwrap();
         wal.flush().unwrap();
         assert_eq!(wal.fsyncs(), 3);
+    }
+
+    /// A [`WalDir`] wrapper modeling a *transient* storage fault: the
+    /// next append after [`TearNext::arm`] applies only half its bytes
+    /// and fails (ENOSPC-style torn write), then everything works again.
+    /// This is the adversarial case for poisoning — the device recovers,
+    /// but the log must not write past the torn bytes.
+    #[derive(Clone)]
+    struct TearNext {
+        inner: MemDir,
+        armed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl TearNext {
+        fn new(inner: MemDir) -> Self {
+            Self {
+                inner,
+                armed: Default::default(),
+            }
+        }
+
+        fn arm(&self) {
+            self.armed.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    struct TearFile {
+        inner: crate::storage::MemFile,
+        armed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl crate::storage::WalFile for TearFile {
+        fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+            if self.armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                self.inner.append(&buf[..buf.len() / 2])?;
+                return Err(io::Error::other("transient device error (torn write)"));
+            }
+            self.inner.append(buf)
+        }
+
+        fn sync(&mut self) -> io::Result<()> {
+            self.inner.sync()
+        }
+    }
+
+    impl WalDir for TearNext {
+        type File = TearFile;
+
+        fn create(&self, name: &str) -> io::Result<TearFile> {
+            Ok(TearFile {
+                inner: self.inner.create(name)?,
+                armed: std::sync::Arc::clone(&self.armed),
+            })
+        }
+
+        fn open_append(&self, name: &str) -> io::Result<TearFile> {
+            Ok(TearFile {
+                inner: self.inner.open_append(name)?,
+                armed: std::sync::Arc::clone(&self.armed),
+            })
+        }
+
+        fn list(&self) -> io::Result<Vec<String>> {
+            self.inner.list()
+        }
+
+        fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+            self.inner.read(name)
+        }
+
+        fn size(&self, name: &str) -> io::Result<u64> {
+            self.inner.size(name)
+        }
+
+        fn remove(&self, name: &str) -> io::Result<()> {
+            self.inner.remove(name)
+        }
+
+        fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+            self.inner.truncate(name, len)
+        }
+    }
+
+    #[test]
+    fn a_torn_append_poisons_the_log_until_recovery() {
+        let mem = MemDir::new();
+        let dir = TearNext::new(mem.clone());
+        let mut wal = Wal::create(dir.clone(), cfg()).unwrap();
+        for seq in 1..=3u64 {
+            wal.append(batch(seq, 3)).unwrap();
+        }
+        // batch 4 tears mid-record; the device then recovers
+        dir.arm();
+        assert!(wal.append(batch(4, 3)).is_err());
+        assert!(wal.is_poisoned());
+        // the poisoned log refuses to write past the torn bytes even
+        // though the device works again — otherwise recovery's tail
+        // truncation would swallow this (ACK-able) batch too
+        let frozen = mem.file(&seg_name(1)).unwrap();
+        let err = wal.append(batch(5, 3)).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "got: {err}");
+        assert!(wal.flush().is_err());
+        assert_eq!(mem.file(&seg_name(1)).unwrap(), frozen, "wrote past tear");
+        // recovery truncates exactly the torn record; batches 1-3 (all
+        // ACKed) survive and appending resumes at 4
+        let rec = recover(&mem, &cfg()).unwrap();
+        assert_eq!(
+            rec.batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(rec.report.truncated_bytes > 0);
+        assert_eq!(rec.next_seq(), 4);
+        let mut wal = Wal::resume(mem.clone(), cfg(), &rec).unwrap();
+        assert_eq!(wal.append(batch(4, 3)).unwrap(), 4);
+        let rec = recover(&mem, &cfg()).unwrap();
+        assert_eq!(rec.batches.len(), 4);
+        assert_eq!(rec.report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn oversized_batches_are_refused_without_poisoning() {
+        /// Claims `MAX_RECORD_POINTS + 1` items without materializing
+        /// them (the refusal must trigger before any encoding).
+        struct Huge;
+        impl Iterator for Huge {
+            type Item = (u64, f64);
+            fn next(&mut self) -> Option<(u64, f64)> {
+                Some((0, 0.0))
+            }
+            fn size_hint(&self) -> (usize, Option<usize>) {
+                (MAX_RECORD_POINTS + 1, Some(MAX_RECORD_POINTS + 1))
+            }
+        }
+        impl ExactSizeIterator for Huge {}
+
+        let dir = MemDir::new();
+        let mut wal = Wal::create(dir.clone(), cfg()).unwrap();
+        wal.append(batch(1, 3)).unwrap();
+        let err = wal.append(Huge).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // nothing was written and the log stays usable
+        assert!(!wal.is_poisoned());
+        assert_eq!(wal.append(batch(2, 3)).unwrap(), 2);
+        let rec = recover(&dir, &cfg()).unwrap();
+        assert_eq!(rec.batches.len(), 2);
+        assert_eq!(rec.report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn tick_enforces_the_group_commit_age_bound() {
+        let dir = MemDir::new();
+        let mut cfg = cfg();
+        cfg.policy = FsyncPolicy::GroupCommit {
+            batches: 1000,
+            max_pending_micros: 2_000,
+        };
+        let mut wal = Wal::create(dir.clone(), cfg).unwrap();
+        wal.append(batch(1, 2)).unwrap();
+        assert_eq!(wal.fsyncs(), 0, "far below the group size");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(wal.tick().unwrap(), "age bound passed: tick must sync");
+        assert_eq!(wal.fsyncs(), 1);
+        // nothing pending: the next tick is a no-op
+        assert!(!wal.tick().unwrap());
+        assert_eq!(wal.fsyncs(), 1);
+    }
+
+    #[test]
+    fn tick_is_a_noop_under_per_batch_and_off() {
+        for policy in [FsyncPolicy::PerBatch, FsyncPolicy::Off] {
+            let dir = MemDir::new();
+            let mut c = cfg();
+            c.policy = policy;
+            let mut wal = Wal::create(dir, c).unwrap();
+            wal.append(batch(1, 2)).unwrap();
+            let before = wal.fsyncs();
+            assert!(!wal.tick().unwrap());
+            assert_eq!(wal.fsyncs(), before);
+        }
     }
 
     #[test]

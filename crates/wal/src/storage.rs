@@ -4,8 +4,13 @@
 //! [`WalDir`] (create/list/read/remove/truncate) handing out [`WalFile`]s
 //! (append/sync). Two implementations ship:
 //!
-//! * [`FsDir`] — real files under a root directory, `sync_data` for
-//!   durability; what the serving path uses.
+//! * [`FsDir`] — real files under a root directory; what the serving
+//!   path uses. File contents are made durable with `sync_data`, and
+//!   directory *entries* with an fsync of the directory itself after
+//!   every create/remove — without that, power loss (unlike `kill -9`)
+//!   can lose a freshly rotated segment or checkpoint marker whose
+//!   contents were already synced, and recovery would see a clean
+//!   shorter chain instead of refusing.
 //! * [`MemDir`] — an in-memory map with an optional
 //!   [`CrashFuse`](tsad_faults::CrashFuse) so the crash harness can kill
 //!   the writer at any byte offset of its write trace and then recover
@@ -77,6 +82,23 @@ impl FsDir {
     pub fn root(&self) -> &Path {
         &self.root
     }
+
+    /// Makes directory-entry changes (create/remove) durable. A file's
+    /// `sync_data` persists its *contents*; the entry naming it lives in
+    /// the directory and survives power loss only after the directory
+    /// itself is fsynced.
+    fn sync_dir(&self) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            File::open(&self.root)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            // Directories cannot be opened as files here; entry
+            // durability is best-effort (matches pre-existing behavior).
+            Ok(())
+        }
+    }
 }
 
 /// File handle handed out by [`FsDir`].
@@ -104,6 +126,10 @@ impl WalDir for FsDir {
             .create(true)
             .truncate(true)
             .open(self.root.join(name))?;
+        // The entry must be durable before any record in this file is
+        // ACKed; rotation and checkpointing are cold paths, so the extra
+        // fsync is off the per-batch budget.
+        self.sync_dir()?;
         Ok(FsFile { file })
     }
 
@@ -135,12 +161,16 @@ impl WalDir for FsDir {
     }
 
     fn remove(&self, name: &str) -> io::Result<()> {
-        std::fs::remove_file(self.root.join(name))
+        std::fs::remove_file(self.root.join(name))?;
+        self.sync_dir()
     }
 
     fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
         let file = OpenOptions::new().write(true).open(self.root.join(name))?;
-        file.set_len(len)
+        file.set_len(len)?;
+        // Recovery's torn-tail cut must itself survive a crash: resumed
+        // appends assume the torn bytes are gone.
+        file.sync_all()
     }
 }
 
